@@ -1,0 +1,53 @@
+//! Contextual bandits for online workload-capacity estimation.
+//!
+//! Sec. V of the paper casts the capacity estimator as a contextual
+//! bandit: the **arms** are candidate daily workload capacities `C`, the
+//! **context** is the broker's working status `x_b` (Table II features),
+//! and the **reward** is the realised daily sign-up rate `s_b`. Three
+//! policies are provided:
+//!
+//! * [`LinUcb`] — the standard linear UCB of Eq. (3) (Li et al., WWW'10).
+//! * [`NnUcb`] — the paper's **NN-enhanced UCB** (Alg. 1): an MLP reward
+//!   map `S_θ`, gradient-based exploration bonus
+//!   `α√(g_θᵀ D⁻¹ g_θ)` (Eq. 5), covariance update `D ← D + g gᵀ`, a
+//!   16-trial replay buffer and the regularised loss of Eq. (6).
+//! * [`NeuralUcb`] — the NeuralUCB baseline (Zhou et al., ICML'20) used
+//!   by the paper's `AN` comparator: same bonus, but trained one
+//!   observation at a time with no personalisation.
+//!
+//! [`PersonalizedEstimator`] implements Sec. V-D: a generic base network
+//! trained on all brokers, copied per broker with the first `L−1` layers
+//! frozen, fine-tuned on broker-specific trials.
+//!
+//! [`regret`] provides cumulative-regret accounting and the Theorem 1
+//! bound `n|C|ξ^L / π^{L−1}`.
+
+pub mod arms;
+pub mod epsilon_greedy;
+pub mod linucb;
+pub mod neural_ucb;
+pub mod nn_ucb;
+pub mod personalized;
+pub mod regret;
+pub mod shrinkage;
+pub mod thompson;
+pub mod traits;
+
+/// Standard-normal sample via Box–Muller (shared by the stochastic
+/// policies; `rand` provides only uniform draws).
+pub(crate) fn gaussian_sample<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+pub use arms::CandidateCapacities;
+pub use epsilon_greedy::EpsilonGreedy;
+pub use linucb::LinUcb;
+pub use neural_ucb::NeuralUcb;
+pub use nn_ucb::{CapacitySelection, NnUcb, NnUcbConfig};
+pub use personalized::PersonalizedEstimator;
+pub use regret::{theorem1_bound, RegretTracker};
+pub use shrinkage::ShrinkageEstimator;
+pub use thompson::LinearThompson;
+pub use traits::CapacityEstimator;

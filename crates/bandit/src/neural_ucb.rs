@@ -1,0 +1,116 @@
+//! NeuralUCB (Zhou, Li & Gu, ICML'20) — the bandit behind the paper's
+//! `AN` baseline ("Assignment with NeuralUCB").
+
+use crate::arms::CandidateCapacities;
+use crate::nn_ucb::{NnUcb, NnUcbConfig};
+use crate::traits::CapacityEstimator;
+use rand::Rng;
+
+/// NeuralUCB: the same gradient-bonus machinery as [`NnUcb`] but trained
+/// **one observation at a time** (no replay buffer) and used as a single
+/// *generic* model for all brokers (no layer-transfer personalisation).
+///
+/// The two behavioural differences matter in the evaluation: the
+/// per-observation training makes early estimates noisy ("AN yields less
+/// utility in covering seven days, indicating that it may face a cold
+/// start", Sec. VII-B), and the lack of personalisation caps its final
+/// quality below LACB.
+#[derive(Clone, Debug)]
+pub struct NeuralUcb {
+    inner: NnUcb,
+}
+
+impl NeuralUcb {
+    /// Create a NeuralUCB policy with the paper's default
+    /// hyper-parameters but `batch_size = 1`.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        context_dim: usize,
+        arms: CandidateCapacities,
+        mut cfg: NnUcbConfig,
+    ) -> Self {
+        cfg.batch_size = 1;
+        Self { inner: NnUcb::new(rng, context_dim, arms, cfg) }
+    }
+
+    /// The arm set.
+    pub fn arms(&self) -> &CandidateCapacities {
+        self.inner.arms()
+    }
+
+    /// Predicted reward without exploration bonus.
+    pub fn predict(&self, context: &[f64], capacity: f64) -> f64 {
+        self.inner.predict(context, capacity)
+    }
+
+    /// Total reward observed.
+    pub fn cumulative_reward(&self) -> f64 {
+        self.inner.cumulative_reward()
+    }
+}
+
+impl CapacityEstimator for NeuralUcb {
+    fn estimate(&self, context: &[f64]) -> f64 {
+        self.inner.estimate(context)
+    }
+
+    fn choose(&mut self, context: &[f64]) -> f64 {
+        self.inner.choose(context)
+    }
+
+    fn update(&mut self, context: &[f64], workload: f64, reward: f64) {
+        self.inner.update(context, workload, reward);
+    }
+
+    fn trials(&self) -> u64 {
+        self.inner.trials()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn arms() -> CandidateCapacities {
+        CandidateCapacities::range(10.0, 50.0, 10.0)
+    }
+
+    #[test]
+    fn trains_immediately_per_observation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = NeuralUcb::new(&mut rng, 1, arms(), NnUcbConfig::default());
+        let before = b.predict(&[0.5], 20.0);
+        // One observation is enough to move the network.
+        b.update(&[0.5], 20.0, 1.0);
+        let after = b.predict(&[0.5], 20.0);
+        assert_ne!(before, after, "batch_size=1 must train on every update");
+    }
+
+    #[test]
+    fn learns_peak_with_enough_data() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = NnUcbConfig { lr: 0.05, train_epochs: 4, ..Default::default() };
+        let mut b = NeuralUcb::new(&mut rng, 1, arms(), cfg);
+        let reward = |c: f64| 0.3 - 0.0004 * (c - 30.0) * (c - 30.0);
+        for _ in 0..60 {
+            for &c in arms().values() {
+                b.update(&[0.5], c, reward(c));
+            }
+        }
+        let picked = b.estimate(&[0.5]);
+        assert!((picked - 30.0).abs() <= 10.0, "picked {picked}");
+    }
+
+    #[test]
+    fn estimator_interface_works() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = NeuralUcb::new(&mut rng, 2, arms(), NnUcbConfig::default());
+        let c = b.choose(&[0.1, 0.2]);
+        assert!(arms().values().contains(&c));
+        b.update(&[0.1, 0.2], c, 0.3);
+        assert_eq!(b.trials(), 1);
+        assert!((b.cumulative_reward() - 0.3).abs() < 1e-12);
+    }
+}

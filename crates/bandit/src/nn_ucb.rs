@@ -1,0 +1,479 @@
+//! The paper's NN-enhanced UCB policy (Alg. 1).
+
+use crate::arms::CandidateCapacities;
+use crate::traits::CapacityEstimator;
+use linalg::{InverseTracker, UcbCovariance};
+use neural::{Mlp, MlpBuilder};
+use rand::Rng;
+
+/// Hyper-parameters of [`NnUcb`], defaulting to the paper's values
+/// (Sec. VII-A: `α = 0.001`, `λ = 0.001`, `batchSize = 16`, 3-layer MLP,
+/// ReLU).
+#[derive(Clone, Debug)]
+pub struct NnUcbConfig {
+    /// Exploration coefficient `α` of Eq. (5).
+    pub alpha: f64,
+    /// Regularisation `λ`: initialises `D = λI` and weights the L2 term
+    /// of Eq. (6).
+    pub lambda: f64,
+    /// Replay-buffer size; parameters train once the buffer fills
+    /// (Alg. 1 line 15).
+    pub batch_size: usize,
+    /// Learning rate of the `θ ← θ − lr·∇L` step (Alg. 1 line 17).
+    pub lr: f64,
+    /// Gradient steps taken per buffer flush.
+    pub train_epochs: usize,
+    /// Hidden layer widths of `S_θ`.
+    pub hidden: Vec<usize>,
+    /// Exact or diagonal covariance tracking.
+    pub covariance: UcbCovariance,
+    /// How a capacity is picked from the per-arm UCBs (see
+    /// [`CapacitySelection`]).
+    pub selection: CapacitySelection,
+    /// Size of the experience-replay ring. Alg. 1 trains on each
+    /// 16-trial buffer once and discards it; with one trial per broker
+    /// per day that wastes most of the scarce signal. When
+    /// `replay_cap > 0`, flushed trials are retained (FIFO up to the
+    /// cap) and every training flush fits the whole ring. `0` reproduces
+    /// the paper's literal buffer-only training.
+    pub replay_cap: usize,
+}
+
+/// Arm-selection policy applied to the per-arm UCB values.
+///
+/// The paper's reward is the daily sign-up **rate**, which is flat below
+/// a broker's capacity knee and declines past it. That makes the literal
+/// argmax ill-posed in two ways: every below-knee arm is reward-optimal
+/// (ties broken by noise), and a function approximator smooths the
+/// flat-then-decline shape into a strict decline whose argmax is the
+/// *smallest* arm — systematically under-capping strong brokers. The
+/// alternative policies address this; the platform's economics (serve
+/// while the broker's marginal sign-up value stays competitive) is
+/// captured by [`CapacitySelection::MarginalValue`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CapacitySelection {
+    /// Alg. 1's literal `argmax_c UCB(x, c)`.
+    ArgmaxUcb,
+    /// Largest capacity whose UCB is within `tolerance · |max|` of the
+    /// maximum — targets the knee when the learned curve is genuinely
+    /// flat below it.
+    KneePlateau {
+        /// Relative near-tie tolerance (e.g. `0.05`).
+        tolerance: f64,
+    },
+    /// Largest capacity whose *marginal* predicted daily value
+    /// `(c_i·UCB_i − c_{i−1}·UCB_{i−1}) / (c_i − c_{i−1})` is at least
+    /// `tau` times the broker's peak predicted rate. Serving beyond that
+    /// point yields less per request than a typical alternative broker —
+    /// the knee-plus-margin cap the assignment layer actually wants.
+    MarginalValue {
+        /// Marginal-rate threshold as a fraction of the peak rate.
+        tau: f64,
+    },
+}
+
+impl Default for NnUcbConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.001,
+            lambda: 0.001,
+            batch_size: 16,
+            lr: 0.01,
+            train_epochs: 4,
+            hidden: vec![16, 8],
+            covariance: UcbCovariance::Diagonal,
+            selection: CapacitySelection::ArgmaxUcb,
+            replay_cap: 0,
+        }
+    }
+}
+
+impl NnUcbConfig {
+    /// The paper's full-width network (input 128 → 64 → 16 → 1). The
+    /// compact default is preferred for experiments because the
+    /// exploration bonus costs `O(d)`–`O(d²)` per arm per batch.
+    pub fn paper_width() -> Self {
+        Self { hidden: vec![64, 16], ..Self::default() }
+    }
+}
+
+/// NN-enhanced UCB contextual bandit `B_{θ,D}` (Alg. 1).
+///
+/// ```
+/// use bandit::{CandidateCapacities, CapacityEstimator, NnUcb, NnUcbConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let arms = CandidateCapacities::range(10.0, 50.0, 10.0);
+/// let mut bandit = NnUcb::new(&mut rng, 2, arms, NnUcbConfig::default());
+///
+/// // Choose a capacity for a broker's working status, observe the day.
+/// let ctx = [0.4, 0.7];
+/// let capacity = bandit.choose(&ctx);
+/// bandit.update(&ctx, capacity, 0.23); // (x, w, s) trial triple
+/// assert_eq!(bandit.trials(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NnUcb {
+    cfg: NnUcbConfig,
+    arms: CandidateCapacities,
+    net: Mlp,
+    dinv: InverseTracker,
+    /// Observation buffer `ob` of `(x, w, s)` trial triples.
+    buffer: Vec<(Vec<f64>, f64, f64)>,
+    /// Experience-replay ring (active when `cfg.replay_cap > 0`).
+    replay: std::collections::VecDeque<(Vec<f64>, f64, f64)>,
+    trials: u64,
+    cumulative_reward: f64,
+}
+
+impl NnUcb {
+    /// Create a bandit for contexts of dimensionality `context_dim`.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        context_dim: usize,
+        arms: CandidateCapacities,
+        cfg: NnUcbConfig,
+    ) -> Self {
+        let input_dim = arms.encoded_dim(context_dim);
+        let net = MlpBuilder::new(input_dim).hidden(&cfg.hidden).build(rng);
+        let dinv = InverseTracker::new(net.trainable_param_count(), cfg.lambda, cfg.covariance);
+        Self { cfg, arms, net, dinv, buffer: Vec::new(), replay: std::collections::VecDeque::new(), trials: 0, cumulative_reward: 0.0 }
+    }
+
+    /// Wrap an existing (e.g. transferred and partially frozen) network.
+    /// The covariance dimension follows the network's *trainable*
+    /// parameter count, so a last-layer-only fine-tuned bandit gets a
+    /// small `D` — exactly the personalised estimator of Sec. V-D.
+    pub fn from_network(net: Mlp, arms: CandidateCapacities, cfg: NnUcbConfig) -> Self {
+        let dinv = InverseTracker::new(net.trainable_param_count(), cfg.lambda, cfg.covariance);
+        Self { cfg, arms, net, dinv, buffer: Vec::new(), replay: std::collections::VecDeque::new(), trials: 0, cumulative_reward: 0.0 }
+    }
+
+    /// The arm set.
+    pub fn arms(&self) -> &CandidateCapacities {
+        &self.arms
+    }
+
+    /// The reward-mapping network `S_θ`.
+    pub fn network(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Mutable access to the network (used by the personalised estimator
+    /// to sync transferred layers).
+    pub fn network_mut(&mut self) -> &mut Mlp {
+        &mut self.net
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NnUcbConfig {
+        &self.cfg
+    }
+
+    /// Total reward accumulated through [`CapacityEstimator::update`].
+    pub fn cumulative_reward(&self) -> f64 {
+        self.cumulative_reward
+    }
+
+    /// Predicted reward `S_θ(x, c)` without the exploration bonus.
+    pub fn predict(&self, context: &[f64], capacity: f64) -> f64 {
+        self.net.forward(&self.arms.encode(context, capacity))
+    }
+
+    /// The upper confidence bound of Eq. (5) for one arm.
+    pub fn ucb(&self, context: &[f64], capacity: f64) -> f64 {
+        let enc = self.arms.encode(context, capacity);
+        let (s, g) = self.net.forward_with_gradient(&enc);
+        s + self.dinv.exploration_bonus(self.cfg.alpha, &g)
+    }
+
+    /// Arm selection (Alg. 1 lines 6–10) under the configured
+    /// [`CapacitySelection`] policy.
+    fn best_arm(&self, context: &[f64]) -> (usize, Vec<f64>) {
+        // Per-arm predictions, UCBs and gradients.
+        let mut preds = Vec::with_capacity(self.arms.len());
+        let mut grads: Vec<Vec<f64>> = Vec::with_capacity(self.arms.len());
+        let mut max_ucb = f64::NEG_INFINITY;
+        let mut argmax_ucb = 0usize;
+        for (i, &c) in self.arms.values().iter().enumerate() {
+            let enc = self.arms.encode(context, c);
+            let (s, g) = self.net.forward_with_gradient(&enc);
+            let u = s + self.dinv.exploration_bonus(self.cfg.alpha, &g);
+            if u > max_ucb {
+                max_ucb = u;
+                argmax_ucb = i;
+            }
+            preds.push(s);
+            grads.push(g);
+        }
+        // The plateau/marginal readings operate on the *predictions*, not
+        // the UCBs: the exploration bonus is largest exactly on the
+        // rarely-served tail arms, and folding it into the deployed
+        // capacity systematically over-caps every broker. (ArgmaxUcb
+        // remains the paper-literal UCB argmax.)
+        let best_idx = match self.cfg.selection {
+            CapacitySelection::ArgmaxUcb => argmax_ucb,
+            CapacitySelection::KneePlateau { tolerance } => {
+                let max_pred = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let cutoff = max_pred - tolerance * max_pred.abs();
+                let mut best_idx = 0;
+                let mut best_cap = f64::NEG_INFINITY;
+                for (i, s) in preds.iter().enumerate() {
+                    let cap = self.arms.value(i);
+                    if *s >= cutoff && cap > best_cap {
+                        best_cap = cap;
+                        best_idx = i;
+                    }
+                }
+                best_idx
+            }
+            CapacitySelection::MarginalValue { tau } => {
+                // Order arms by capacity and compute marginal predicted
+                // daily value between consecutive arms.
+                let mut order: Vec<usize> = (0..preds.len()).collect();
+                order.sort_by(|&a, &b| {
+                    self.arms.value(a).partial_cmp(&self.arms.value(b)).unwrap()
+                });
+                let max_pred = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let cutoff = tau * max_pred.max(0.0);
+                let mut best_idx = order[0];
+                let mut prev_total = self.arms.value(order[0]) * preds[order[0]];
+                let mut prev_cap = self.arms.value(order[0]);
+                for &i in order.iter().skip(1) {
+                    let cap = self.arms.value(i);
+                    let total = cap * preds[i];
+                    let marginal = (total - prev_total) / (cap - prev_cap);
+                    if marginal >= cutoff {
+                        best_idx = i;
+                    }
+                    prev_total = total;
+                    prev_cap = cap;
+                }
+                best_idx
+            }
+        };
+        let grad = std::mem::take(&mut grads[best_idx]);
+        (best_idx, grad)
+    }
+
+    /// Train on the buffered trials (Alg. 1 lines 15–18): minimise
+    /// Eq. (6) over `(x_o, w_o) → s_o`, then clear the buffer.
+    fn flush_buffer(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        // Move the fresh trials into the replay ring (when enabled) and
+        // train on everything retained; otherwise train on the buffer
+        // alone (Alg. 1's literal behaviour).
+        let training: Vec<(Vec<f64>, f64, f64)> = if self.cfg.replay_cap > 0 {
+            for t in self.buffer.drain(..) {
+                if self.replay.len() == self.cfg.replay_cap {
+                    self.replay.pop_front();
+                }
+                self.replay.push_back(t);
+            }
+            self.replay.iter().cloned().collect()
+        } else {
+            std::mem::take(&mut self.buffer)
+        };
+        let inputs: Vec<Vec<f64>> = training
+            .iter()
+            .map(|(x, w, _)| self.arms.encode(x, *w))
+            .collect();
+        let targets: Vec<f64> = training.iter().map(|&(_, _, s)| s).collect();
+        // Eq. (6) is a *summed* loss, so its gradient scales with the
+        // buffer size; normalising the step by the batch length keeps the
+        // configured learning rate meaningful for any batchSize, and the
+        // norm clip prevents an early oversized step from killing every
+        // ReLU (which would freeze the policy on one arm forever).
+        let lr = self.cfg.lr / inputs.len() as f64;
+        for _ in 0..self.cfg.train_epochs {
+            self.net.train_step_clipped(&inputs, &targets, lr, self.cfg.lambda, 50.0);
+        }
+        self.buffer.clear();
+    }
+
+    /// Force-train on whatever is buffered, regardless of fill level.
+    /// Useful at the end of a simulation horizon.
+    pub fn flush(&mut self) {
+        self.flush_buffer();
+    }
+}
+
+impl CapacityEstimator for NnUcb {
+    fn estimate(&self, context: &[f64]) -> f64 {
+        let (idx, _) = self.best_arm(context);
+        self.arms.value(idx)
+    }
+
+    fn choose(&mut self, context: &[f64]) -> f64 {
+        let (idx, grad) = self.best_arm(context);
+        // Alg. 1 line 12: D ← D + g gᵀ for the chosen arm.
+        self.dinv.rank1_update(&grad);
+        self.arms.value(idx)
+    }
+
+    fn update(&mut self, context: &[f64], workload: f64, reward: f64) {
+        self.trials += 1;
+        self.cumulative_reward += reward;
+        // Observing a reward at (x, w) shrinks the uncertainty there,
+        // whether or not this bandit chose the workload itself (trials
+        // can be imposed by the assignment layer). Without this, a
+        // passively-fed bandit would keep its initial exploration bonus
+        // forever and its argmax would be dominated by gradient norms.
+        let enc = self.arms.encode(context, workload);
+        let g = self.net.param_gradient(&enc);
+        self.dinv.rank1_update(&g);
+        self.buffer.push((context.to_vec(), workload, reward));
+        if self.buffer.len() >= self.cfg.batch_size {
+            self.flush_buffer();
+        }
+    }
+
+    fn trials(&self) -> u64 {
+        self.trials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn arms() -> CandidateCapacities {
+        CandidateCapacities::range(10.0, 50.0, 10.0)
+    }
+
+    /// Ground-truth reward: peaks sharply at capacity 30 regardless of
+    /// context (10 and 50 give 0.1; 30 gives 0.5).
+    fn true_reward(c: f64) -> f64 {
+        0.5 - 0.001 * (c - 30.0) * (c - 30.0)
+    }
+
+    fn bandit(seed: u64) -> NnUcb {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = NnUcbConfig { lr: 0.02, train_epochs: 8, ..Default::default() };
+        NnUcb::new(&mut rng, 2, arms(), cfg)
+    }
+
+    #[test]
+    fn covariance_dimension_tracks_trainable_params() {
+        let b = bandit(1);
+        assert_eq!(
+            b.net.trainable_param_count(),
+            match &b.dinv {
+                linalg::InverseTracker::Diagonal { diag } => diag.len(),
+                linalg::InverseTracker::Full { inv } => inv.rows(),
+            }
+        );
+    }
+
+    #[test]
+    fn update_buffers_until_batch_size() {
+        let mut b = bandit(2);
+        for i in 0..15 {
+            b.update(&[0.1, 0.2], 20.0, 0.25);
+            assert_eq!(b.buffer.len(), i + 1);
+        }
+        b.update(&[0.1, 0.2], 20.0, 0.25);
+        assert!(b.buffer.is_empty(), "buffer should flush at batchSize=16");
+        assert_eq!(b.trials(), 16);
+    }
+
+    #[test]
+    fn learns_the_reward_peak() {
+        let mut b = bandit(3);
+        let ctx = [0.5, 0.5];
+        // Feed trials covering every arm so the network sees the whole
+        // reward curve.
+        for _round in 0..80 {
+            for &c in arms().values() {
+                b.update(&ctx, c, true_reward(c));
+            }
+        }
+        b.flush();
+        // The greedy estimate should now be the true best arm (30).
+        let picked = b.estimate(&ctx);
+        assert!(
+            (picked - 30.0).abs() <= 10.0,
+            "picked {picked}, expected near 30"
+        );
+        // And the predicted curve should rank 30 above the extremes.
+        let p10 = b.predict(&ctx, 10.0);
+        let p30 = b.predict(&ctx, 30.0);
+        let p50 = b.predict(&ctx, 50.0);
+        assert!(p30 > p10 && p30 > p50, "curve {p10} {p30} {p50}");
+    }
+
+    #[test]
+    fn choose_commits_covariance() {
+        let mut b = bandit(4);
+        let ctx = [0.3, 0.7];
+        let enc_bonus_before: f64 = {
+            let enc = b.arms.encode(&ctx, b.estimate(&ctx));
+            let g = b.net.param_gradient(&enc);
+            b.dinv.exploration_bonus(1.0, &g)
+        };
+        for _ in 0..20 {
+            b.choose(&ctx);
+        }
+        let enc_bonus_after: f64 = {
+            let enc = b.arms.encode(&ctx, b.estimate(&ctx));
+            let g = b.net.param_gradient(&enc);
+            b.dinv.exploration_bonus(1.0, &g)
+        };
+        assert!(
+            enc_bonus_after < enc_bonus_before,
+            "bonus should shrink: {enc_bonus_before} -> {enc_bonus_after}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_pure() {
+        let b = bandit(5);
+        let ctx = [0.2, 0.9];
+        let a = b.estimate(&ctx);
+        let b2 = b.estimate(&ctx);
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn ucb_exceeds_prediction() {
+        let b = bandit(6);
+        let ctx = [0.4, 0.1];
+        for &c in b.arms().values() {
+            assert!(b.ucb(&ctx, c) >= b.predict(&ctx, c));
+        }
+    }
+
+    #[test]
+    fn network_persistence_roundtrip() {
+        // Persisting the reward network (neural::serialize) and
+        // re-wrapping it restores identical predictions — the warm-start
+        // path for a platform restart.
+        let mut b = bandit(8);
+        for i in 0..32 {
+            b.update(&[0.3, 0.7], 10.0 + (i % 6) as f64 * 10.0, 0.2);
+        }
+        b.flush();
+        let text = neural::serialize::to_text(b.network());
+        let restored = NnUcb::from_network(
+            neural::serialize::from_text(&text).unwrap(),
+            b.arms().clone(),
+            b.config().clone(),
+        );
+        for &c in b.arms().values() {
+            assert_eq!(b.predict(&[0.3, 0.7], c), restored.predict(&[0.3, 0.7], c));
+        }
+    }
+
+    #[test]
+    fn cumulative_reward_accumulates() {
+        let mut b = bandit(7);
+        b.update(&[0.0, 0.0], 10.0, 0.2);
+        b.update(&[0.0, 0.0], 10.0, 0.3);
+        assert!((b.cumulative_reward() - 0.5).abs() < 1e-12);
+    }
+}

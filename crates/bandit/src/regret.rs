@@ -1,0 +1,139 @@
+//! Regret accounting and the Theorem 1 bound.
+//!
+//! Eq. (7) defines the bandit's regret as the gap between the rewards of
+//! an oracle that always plays the best capacity and the rewards actually
+//! collected. Theorem 1 bounds the NN-enhanced UCB regret over `n`
+//! batches by `n |C| ξ^L / π^{L−1}`, where `ξ` bounds every layer's
+//! operator norm.
+
+/// Online cumulative-regret tracker.
+#[derive(Clone, Debug, Default)]
+pub struct RegretTracker {
+    cumulative: f64,
+    per_round: Vec<f64>,
+}
+
+impl RegretTracker {
+    /// Fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one round: the oracle's reward under the optimal arm and
+    /// the reward the policy actually obtained.
+    ///
+    /// Instantaneous regret is clamped at zero — a lucky draw cannot
+    /// produce negative regret under the Eq. (7) definition where the
+    /// oracle plays the per-context optimum.
+    pub fn record(&mut self, oracle_reward: f64, actual_reward: f64) {
+        let r = (oracle_reward - actual_reward).max(0.0);
+        self.cumulative += r;
+        self.per_round.push(r);
+    }
+
+    /// Total regret so far (Eq. 7).
+    pub fn cumulative(&self) -> f64 {
+        self.cumulative
+    }
+
+    /// Number of rounds recorded.
+    pub fn rounds(&self) -> usize {
+        self.per_round.len()
+    }
+
+    /// Per-round regrets.
+    pub fn per_round(&self) -> &[f64] {
+        &self.per_round
+    }
+
+    /// Average regret over the most recent `window` rounds (all rounds if
+    /// fewer) — the practical convergence diagnostic: a learning policy
+    /// drives this toward zero.
+    pub fn recent_mean(&self, window: usize) -> f64 {
+        if self.per_round.is_empty() {
+            return 0.0;
+        }
+        let start = self.per_round.len().saturating_sub(window);
+        let tail = &self.per_round[start..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// The Theorem 1 regret bound `n |C| ξ^L / π^{L−1}` for an `L`-layer MLP
+/// with `num_arms` candidate capacities over `n` batches.
+pub fn theorem1_bound(n: u64, num_arms: usize, xi: f64, layers: usize) -> f64 {
+    assert!(layers >= 1, "need at least one layer");
+    let pi = std::f64::consts::PI;
+    n as f64 * num_arms as f64 * xi.powi(layers as i32) / pi.powi(layers as i32 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_adds_up() {
+        let mut t = RegretTracker::new();
+        t.record(1.0, 0.4);
+        t.record(1.0, 0.9);
+        assert!((t.cumulative() - 0.7).abs() < 1e-12);
+        assert_eq!(t.rounds(), 2);
+    }
+
+    #[test]
+    fn negative_regret_clamped() {
+        let mut t = RegretTracker::new();
+        t.record(0.5, 0.8);
+        assert_eq!(t.cumulative(), 0.0);
+    }
+
+    #[test]
+    fn recent_mean_windows() {
+        let mut t = RegretTracker::new();
+        for r in [1.0, 1.0, 0.0, 0.0] {
+            t.record(r, 0.0);
+        }
+        assert!((t.recent_mean(2) - 0.0).abs() < 1e-12);
+        assert!((t.recent_mean(4) - 0.5).abs() < 1e-12);
+        assert!((t.recent_mean(100) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_recent_mean_is_zero() {
+        assert_eq!(RegretTracker::new().recent_mean(10), 0.0);
+    }
+
+    #[test]
+    fn theorem1_formula() {
+        // n=10, |C|=5, ξ=2, L=3: 10·5·8/π² ≈ 40.528…
+        let b = theorem1_bound(10, 5, 2.0, 3);
+        let expected = 10.0 * 5.0 * 8.0 / (std::f64::consts::PI.powi(2));
+        assert!((b - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem1_single_layer_has_no_pi() {
+        let b = theorem1_bound(1, 1, 3.0, 1);
+        assert!((b - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem1_grows_linearly_in_n() {
+        let b1 = theorem1_bound(100, 3, 1.5, 3);
+        let b2 = theorem1_bound(200, 3, 1.5, 3);
+        assert!((b2 / b1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_networks_grow_bound_when_xi_exceeds_pi() {
+        // The paper's practical note: deeper nets can hurt the bound when
+        // ξ > π.
+        let shallow = theorem1_bound(10, 5, 4.0, 2);
+        let deep = theorem1_bound(10, 5, 4.0, 4);
+        assert!(deep > shallow);
+        // …but help when ξ < π.
+        let shallow2 = theorem1_bound(10, 5, 2.0, 2);
+        let deep2 = theorem1_bound(10, 5, 2.0, 4);
+        assert!(deep2 < shallow2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Thompson sampling with a Bayesian linear reward model.
+//!
+//! Posterior sampling is the classical alternative to optimism: keep a
+//! Gaussian posterior `N(μ, σ² A⁻¹)` over the linear reward weights
+//! (`A = λI + Σ z zᵀ`, `μ = A⁻¹ b`), draw one weight vector per
+//! decision, and play its argmax. Like [`crate::LinUcb`] it is limited
+//! to linear context/arm effects; it is included as the third classic
+//! exploration strategy next to UCB and ε-greedy.
+
+use crate::arms::CandidateCapacities;
+use crate::traits::CapacityEstimator;
+use linalg::{Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Linear Thompson sampling over encoded `[x; c]` features.
+#[derive(Clone, Debug)]
+pub struct LinearThompson {
+    arms: CandidateCapacities,
+    /// Precision matrix `A = λI + Σ z zᵀ`.
+    precision: Matrix,
+    /// Reward-weighted feature sum `b = Σ z·s`.
+    b: Vec<f64>,
+    /// Posterior noise scale σ.
+    noise: f64,
+    rng: StdRng,
+    trials: u64,
+    cumulative_reward: f64,
+    /// Cached Cholesky of the precision (invalidated on update).
+    chol: Option<Cholesky>,
+}
+
+impl LinearThompson {
+    /// Create a sampler with ridge prior `λ` and reward-noise scale σ.
+    pub fn new(
+        seed: u64,
+        context_dim: usize,
+        arms: CandidateCapacities,
+        lambda: f64,
+        noise: f64,
+    ) -> Self {
+        assert!(lambda > 0.0 && noise > 0.0, "lambda and noise must be positive");
+        let dim = arms.encoded_dim(context_dim);
+        Self {
+            arms,
+            precision: Matrix::scaled_identity(dim, lambda),
+            b: vec![0.0; dim],
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+            trials: 0,
+            cumulative_reward: 0.0,
+            chol: None,
+        }
+    }
+
+    fn cholesky(&mut self) -> &Cholesky {
+        if self.chol.is_none() {
+            self.chol = Some(
+                Cholesky::new(&self.precision).expect("precision is SPD by construction"),
+            );
+        }
+        self.chol.as_ref().expect("just set")
+    }
+
+    /// Posterior mean `μ = A⁻¹ b`.
+    pub fn posterior_mean(&mut self) -> Vec<f64> {
+        let b = self.b.clone();
+        self.cholesky().solve(&b)
+    }
+
+    /// Draw one weight vector from the posterior
+    /// `θ̃ = μ + σ L⁻ᵀ ε`, `ε ~ N(0, I)` (with `A = L Lᵀ`).
+    pub fn sample_weights(&mut self) -> Vec<f64> {
+        let dim = self.b.len();
+        let eps: Vec<f64> = (0..dim).map(|_| crate::gaussian_sample(&mut self.rng)).collect();
+        let noise = self.noise;
+        let mu = self.posterior_mean();
+        // Solve Lᵀ y = ε  ⇒  y has covariance A⁻¹.
+        let chol = self.cholesky();
+        let l = chol.factor();
+        let mut y = vec![0.0; dim];
+        for i in (0..dim).rev() {
+            let mut sum = eps[i];
+            for k in (i + 1)..dim {
+                sum -= l[(k, i)] * y[k];
+            }
+            y[i] = sum / l[(i, i)];
+        }
+        mu.iter().zip(&y).map(|(m, yi)| m + noise * yi).collect()
+    }
+
+    /// Greedy (posterior-mean) prediction for one arm.
+    pub fn predict(&mut self, context: &[f64], capacity: f64) -> f64 {
+        let z = self.arms.encode(context, capacity);
+        linalg::vector::dot(&self.posterior_mean(), &z)
+    }
+
+    /// Total reward observed.
+    pub fn cumulative_reward(&self) -> f64 {
+        self.cumulative_reward
+    }
+
+    fn argmax_under(&self, weights: &[f64], context: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_v = f64::NEG_INFINITY;
+        for (i, &c) in self.arms.values().iter().enumerate() {
+            let z = self.arms.encode(context, c);
+            let v = linalg::vector::dot(weights, &z);
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl CapacityEstimator for LinearThompson {
+    fn estimate(&self, context: &[f64]) -> f64 {
+        // Pure estimate uses the posterior mean (no sampling, no
+        // mutation): recompute μ via a local Cholesky.
+        let chol = Cholesky::new(&self.precision).expect("SPD");
+        let mu = chol.solve(&self.b);
+        let mut best = 0;
+        let mut best_v = f64::NEG_INFINITY;
+        for (i, &c) in self.arms.values().iter().enumerate() {
+            let z = self.arms.encode(context, c);
+            let v = linalg::vector::dot(&mu, &z);
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        self.arms.value(best)
+    }
+
+    fn choose(&mut self, context: &[f64]) -> f64 {
+        let theta = self.sample_weights();
+        let idx = self.argmax_under(&theta, context);
+        self.arms.value(idx)
+    }
+
+    fn update(&mut self, context: &[f64], workload: f64, reward: f64) {
+        let z = self.arms.encode(context, workload);
+        self.precision.rank1_update(1.0, &z);
+        linalg::vector::axpy(reward, &z, &mut self.b);
+        self.chol = None;
+        self.trials += 1;
+        self.cumulative_reward += reward;
+    }
+
+    fn trials(&self) -> u64 {
+        self.trials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arms() -> CandidateCapacities {
+        CandidateCapacities::range(10.0, 50.0, 10.0)
+    }
+
+    #[test]
+    fn recovers_linear_reward() {
+        let mut t = LinearThompson::new(1, 1, arms(), 0.1, 0.05);
+        for _ in 0..60 {
+            for &c in arms().values() {
+                t.update(&[1.0], c, 0.8 * c / 50.0);
+            }
+        }
+        assert_eq!(t.estimate(&[1.0]), 50.0);
+        let p = t.predict(&[1.0], 30.0);
+        assert!((p - 0.48).abs() < 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn sampling_varies_before_data_and_settles_after() {
+        let mut t = LinearThompson::new(2, 1, arms(), 0.1, 1.0);
+        let mut early = std::collections::HashSet::new();
+        for _ in 0..50 {
+            early.insert(t.choose(&[0.5]) as i64);
+        }
+        // A model linear in c always argmaxes at an endpoint arm, so
+        // prior sampling alternates between the two extremes.
+        assert!(early.len() >= 2, "prior sampling should flip between extremes: {early:?}");
+        assert!(early.contains(&10) && early.contains(&50), "{early:?}");
+        // Feed strong evidence for arm 50.
+        for _ in 0..200 {
+            for &c in arms().values() {
+                t.update(&[0.5], c, c / 50.0);
+            }
+        }
+        let mut late = std::collections::HashMap::new();
+        for _ in 0..50 {
+            *late.entry(t.choose(&[0.5]) as i64).or_insert(0usize) += 1;
+        }
+        assert!(late[&50] >= 40, "posterior should concentrate: {late:?}");
+    }
+
+    #[test]
+    fn posterior_mean_matches_ridge_solution() {
+        let mut t = LinearThompson::new(3, 1, arms(), 1.0, 0.1);
+        t.update(&[1.0], 20.0, 0.4);
+        t.update(&[0.5], 40.0, 0.6);
+        // μ = (λI + Σzzᵀ)⁻¹ Σ z s — verify by reconstructing Aμ = b.
+        let mu = t.posterior_mean();
+        let back = t.precision.matvec(&mu);
+        for (bi, ei) in back.iter().zip(&t.b) {
+            assert!((bi - ei).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn estimate_is_pure() {
+        let t = LinearThompson::new(4, 1, arms(), 1.0, 0.1);
+        assert_eq!(t.estimate(&[0.3]), t.estimate(&[0.3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_params_panic() {
+        LinearThompson::new(0, 1, arms(), 0.0, 0.1);
+    }
+}

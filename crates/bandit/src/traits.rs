@@ -1,0 +1,21 @@
+//! The estimator interface shared by every capacity-choosing policy.
+
+/// A workload-capacity estimator in the sense of Sec. V: given a broker's
+/// working status it proposes a daily capacity, and it learns online from
+/// `(x, w, s)` trial triples.
+pub trait CapacityEstimator {
+    /// `B.estimate(x)` — choose a capacity for working status `x`
+    /// (maximum-UCB arm). Pure: does not record the decision.
+    fn estimate(&self, context: &[f64]) -> f64;
+
+    /// Choose a capacity *and* commit the exploration: updates the
+    /// covariance `D` with the chosen arm's gradient (Alg. 1 lines 6–12).
+    fn choose(&mut self, context: &[f64]) -> f64;
+
+    /// `B.update(x, w, s)` — feed back the observed workload `w` and
+    /// reward (sign-up rate) `s` under status `x` (Alg. 1 lines 13–19).
+    fn update(&mut self, context: &[f64], workload: f64, reward: f64);
+
+    /// Number of trials observed so far.
+    fn trials(&self) -> u64;
+}

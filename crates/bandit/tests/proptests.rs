@@ -1,0 +1,83 @@
+//! Property tests of the bandit stack.
+
+use bandit::{CandidateCapacities, CapacityEstimator, LinUcb, NnUcb, NnUcbConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arms() -> CandidateCapacities {
+    CandidateCapacities::range(10.0, 60.0, 10.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn nearest_arm_is_truly_nearest(w in 0.0f64..100.0) {
+        let a = arms();
+        let idx = a.nearest(w);
+        let chosen = (a.value(idx) - w).abs();
+        for &v in a.values() {
+            prop_assert!(chosen <= (v - w).abs() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn estimates_are_always_valid_arms(
+        seed in 0u64..500,
+        ctx in proptest::collection::vec(0.0f64..1.0, 3),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bandit = NnUcb::new(&mut rng, 3, arms(), NnUcbConfig::default());
+        let c = bandit.estimate(&ctx);
+        prop_assert!(arms().values().contains(&c));
+    }
+
+    #[test]
+    fn updates_count_and_accumulate(
+        seed in 0u64..500,
+        rewards in proptest::collection::vec(0.0f64..1.0, 1..20),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bandit = NnUcb::new(&mut rng, 2, arms(), NnUcbConfig::default());
+        for (i, &r) in rewards.iter().enumerate() {
+            bandit.update(&[0.5, 0.5], 10.0 + (i % 6) as f64 * 10.0, r);
+        }
+        prop_assert_eq!(bandit.trials(), rewards.len() as u64);
+        let sum: f64 = rewards.iter().sum();
+        prop_assert!((bandit.cumulative_reward() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ucb_dominates_prediction(
+        seed in 0u64..500,
+        ctx in proptest::collection::vec(0.0f64..1.0, 2),
+        n_updates in 0usize..30,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = NnUcbConfig { alpha: 0.05, ..NnUcbConfig::default() };
+        let mut bandit = NnUcb::new(&mut rng, 2, arms(), cfg);
+        for i in 0..n_updates {
+            bandit.update(&ctx, 10.0 + (i % 6) as f64 * 10.0, 0.2);
+        }
+        for &c in arms().values() {
+            prop_assert!(bandit.ucb(&ctx, c) >= bandit.predict(&ctx, c) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn linucb_handles_any_reward_scale(
+        scale in 0.01f64..100.0,
+        seed in 0u64..100,
+    ) {
+        let _ = seed;
+        let mut b = LinUcb::new(1, arms(), 0.1, 1.0);
+        for _ in 0..20 {
+            for &c in arms().values() {
+                b.update(&[1.0], c, scale * c / 60.0);
+            }
+        }
+        // Linear reward increasing in c → largest arm wins at any scale.
+        prop_assert_eq!(b.estimate(&[1.0]), 60.0);
+    }
+}

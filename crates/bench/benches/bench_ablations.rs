@@ -1,0 +1,44 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §7:
+//! the same variants as the `ablations` experiment binary (value
+//! function, CBS, dithering, smoothing, personalisation mechanism),
+//! measured on a shared stress world. Wall time here; the utility deltas
+//! are reported by `cargo run -p experiments --bin ablations`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::ablations::variants;
+use lacb::{run, Lacb, RunConfig};
+use platform_sim::{Dataset, SyntheticConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn dataset() -> Dataset {
+    Dataset::synthetic(&SyntheticConfig {
+        num_brokers: 100,
+        num_requests: 2_000,
+        days: 2,
+        imbalance: 0.2,
+        seed: 88,
+    })
+}
+
+fn bench_lacb_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lacb_ablations");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+    let ds = dataset();
+
+    for (name, cfg) in variants() {
+        group.bench_with_input(BenchmarkId::new("lacb", name), &cfg, |b, cfg| {
+            b.iter_batched(
+                || Lacb::new(cfg.clone()),
+                |mut algo| black_box(run(&ds, &mut algo, &RunConfig::default()).total_utility),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lacb_variants);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Candidate Broker Selection (Alg. 3) micro-benchmarks: quickselect
+//! top-k vs. a full sort, across broker-pool sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matching::cbs::top_k_indices;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_cbs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cbs_topk");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let k = 30;
+    for n in [1_000usize, 5_000, 20_000] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let utilities: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("quickselect", n),
+            &utilities,
+            |b, utilities| {
+                let mut rng = StdRng::seed_from_u64(17);
+                b.iter(|| black_box(top_k_indices(utilities, k, &mut rng)))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("full_sort", n), &utilities, |b, utilities| {
+            b.iter(|| {
+                let mut idx: Vec<usize> = (0..utilities.len()).collect();
+                idx.sort_by(|&a, &b| utilities[b].partial_cmp(&utilities[a]).unwrap());
+                idx.truncate(k);
+                black_box(idx)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cbs);
+criterion_main!(benches);

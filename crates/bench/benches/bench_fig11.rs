@@ -1,0 +1,42 @@
+//! Fig. 11 regenerator: one full day of a (down-scaled) City A under
+//! each algorithm — the end-to-end per-day cost whose cumulative curve
+//! the paper plots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::suite::{build, SuiteKind};
+use lacb::{run, RunConfig};
+use platform_sim::{CityId, Dataset, RealWorldConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_city_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_city_day");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+
+    let cfg = RealWorldConfig::load_preserving(CityId::A, 0.02, 0.05);
+    let ds = Dataset::real_world(&cfg);
+    for name in ["Top-3", "KM", "AN", "LACB", "LACB-Opt"] {
+        group.bench_with_input(BenchmarkId::new("one_day", name), &ds, |b, ds| {
+            b.iter_batched(
+                || {
+                    build(SuiteKind::Full, ds.brokers.len(), CityId::A.ctopk_capacity(), 9)
+                        .into_iter()
+                        .find(|a| a.name() == name)
+                        .expect("algorithm present")
+                },
+                |mut algo| {
+                    black_box(
+                        run(ds, algo.as_mut(), &RunConfig { max_days: Some(1) }).total_utility,
+                    )
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_city_day);
+criterion_main!(benches);

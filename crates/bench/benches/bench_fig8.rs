@@ -1,0 +1,81 @@
+//! Fig. 8 regenerator (running-time panels): per-batch assignment cost
+//! of every algorithm as |B|, |R|-per-batch, and σ vary. The utility
+//! panels come from the `fig8_synthetic` experiment binary; this bench
+//! isolates the per-batch time — the quantity whose asymptotics the
+//! paper's four time plots show.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lacb::{Assigner, AssignmentNeuralUcb, BatchKm, Lacb, LacbConfig, TopK};
+use platform_sim::{Dataset, Platform, SyntheticConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Build a ready-to-assign world: platform with open day plus the
+/// requests of the first batch.
+fn world(brokers: usize, per_batch: usize) -> (Platform, Dataset) {
+    let cfg = SyntheticConfig {
+        num_brokers: brokers,
+        num_requests: per_batch * 20,
+        days: 1,
+        imbalance: per_batch as f64 / brokers as f64,
+        seed: 55,
+    };
+    let ds = Dataset::synthetic(&cfg);
+    let mut p = Platform::from_dataset(&ds);
+    p.begin_day();
+    (p, ds)
+}
+
+fn algos(brokers: usize) -> Vec<Box<dyn Assigner>> {
+    vec![
+        Box::new(TopK::new(3, 1)),
+        Box::new(BatchKm::new()),
+        Box::new(AssignmentNeuralUcb::new(brokers, LacbConfig::default().arms, 2)),
+        Box::new(Lacb::new(LacbConfig::default())),
+        Box::new(Lacb::new_opt()),
+    ]
+}
+
+fn bench_vary_brokers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_time_vs_brokers");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for brokers in [100usize, 200, 400] {
+        let (p, ds) = world(brokers, 30);
+        for mut algo in algos(brokers) {
+            algo.begin_day(&p, 0);
+            let name = algo.name();
+            group.bench_with_input(
+                BenchmarkId::new(name, brokers),
+                &ds.days[0][0].requests,
+                |b, requests| b.iter(|| black_box(algo.assign_batch(&p, requests).len())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_vary_batch_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_time_vs_requests_per_batch");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for per_batch in [5usize, 15, 30, 60] {
+        let brokers = 300;
+        let (p, ds) = world(brokers, per_batch);
+        for mut algo in algos(brokers) {
+            algo.begin_day(&p, 0);
+            let name = algo.name();
+            group.bench_with_input(
+                BenchmarkId::new(name, per_batch),
+                &ds.days[0][0].requests,
+                |b, requests| b.iter(|| black_box(algo.assign_batch(&p, requests).len())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_brokers, bench_vary_batch_width);
+criterion_main!(benches);

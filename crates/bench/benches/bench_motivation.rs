@@ -1,0 +1,58 @@
+//! Figs. 2–4 regenerator cost: the motivation pipeline (Top-3 run +
+//! bucketing + Welch test + KDE) on a quick-scale city, plus the
+//! statistics/KDE substrate in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linalg::stats::welch_t_test;
+use linalg::{GaussianKde1d, GaussianKde2d};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_stats_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("motivation_substrate");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let a: Vec<f64> = (0..5_000).map(|_| rng.gen::<f64>() * 0.3).collect();
+    let b: Vec<f64> = (0..5_000).map(|_| rng.gen::<f64>() * 0.2).collect();
+    group.bench_function("welch_t_test_5k", |bch| {
+        bch.iter(|| black_box(welch_t_test(&a, &b)))
+    });
+
+    let samples: Vec<f64> = (0..500).map(|_| rng.gen::<f64>() * 60.0).collect();
+    let kde = GaussianKde1d::fit(&samples);
+    group.bench_function("kde1d_grid_200", |bch| {
+        bch.iter(|| black_box(kde.grid(0.0, 60.0, 200)))
+    });
+
+    let xs: Vec<f64> = (0..300).map(|_| rng.gen::<f64>() * 60.0).collect();
+    let ys: Vec<f64> = (0..300).map(|_| rng.gen::<f64>() * 0.4).collect();
+    let kde2 = GaussianKde2d::fit(&xs, &ys);
+    group.bench_function("kde2d_mode_48x32", |bch| {
+        bch.iter(|| black_box(kde2.mode((0.0, 72.0), (0.0, 1.0), 48, 32)))
+    });
+    group.finish();
+}
+
+fn bench_fig2_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_motivation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("collect_3_days_city_a", |b| {
+        b.iter(|| {
+            black_box(experiments::motivation::collect_observations(
+                experiments::Preset::Quick,
+                platform_sim::CityId::A,
+                3,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats_substrate, bench_fig2_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Tiny hand-rolled flag parser (`--key value` pairs plus boolean
+//! switches); no external dependency needed for four subcommands.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positional subcommand plus flags.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse everything after the subcommand. `--key value` populates
+    /// `flags`; a `--key` followed by another `--…` (or end of input) is
+    /// a boolean switch.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {token:?}"));
+            };
+            if key.is_empty() {
+                return Err("empty flag name".into());
+            }
+            match argv.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    out.flags.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    out.switches.push(key.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// String flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Typed flag with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        }
+    }
+
+    /// Boolean switch.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let a = Args::parse(&argv("--brokers 100 --fast-only --seed 7")).unwrap();
+        assert_eq!(a.get("brokers"), Some("100"));
+        assert_eq!(a.get_or::<u64>("seed", 0).unwrap(), 7);
+        assert!(a.has("fast-only"));
+        assert!(!a.has("slow"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&argv("")).unwrap();
+        assert_eq!(a.get_or::<usize>("days", 14).unwrap(), 14);
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(Args::parse(&argv("oops --x 1")).is_err());
+    }
+
+    #[test]
+    fn reports_bad_typed_value() {
+        let a = Args::parse(&argv("--days banana")).unwrap();
+        assert!(a.get_or::<usize>("days", 1).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = Args::parse(&argv("--x 1")).unwrap();
+        assert!(a.require("out").is_err());
+        assert_eq!(a.require("x").unwrap(), "1");
+    }
+}

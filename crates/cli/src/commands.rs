@@ -1,0 +1,275 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use bandit::{
+    CandidateCapacities, CapacityEstimator, EpsilonGreedy, LinUcb, LinearThompson,
+    NeuralUcb, NnUcb, RegretTracker,
+};
+use lacb::{
+    run, Assigner, AssignmentNeuralUcb, BatchKm, CTopK, GreedyMatch, Lacb, LacbConfig,
+    OracleCapacity, RandomizedRecommendation, RunConfig, TopK,
+};
+use platform_sim::{io as ds_io, CityId, Dataset, RealWorldConfig, SyntheticConfig};
+use std::path::Path;
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "usage:
+  caam generate --kind synthetic|city-a|city-b|city-c --out DIR --name NAME
+                [--brokers N] [--requests N] [--days N] [--sigma X]
+                [--scale S] [--seed N]
+  caam run      --algo top1|top3|rr|km|greedy|ctop1|ctop3|an|lacb|lacb-opt|oracle
+                [--dataset DIR/NAME] [--ctopk-capacity C]
+                [synthetic flags as in generate]
+  caam compare  [--fast-only] [synthetic flags]
+  caam bandits  [--rounds N] [--seed N]";
+
+/// Route a raw argv to its subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("no subcommand".into());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "bandits" => cmd_bandits(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn synthetic_from(args: &Args) -> Result<SyntheticConfig, String> {
+    Ok(SyntheticConfig {
+        num_brokers: args.get_or("brokers", 100)?,
+        num_requests: args.get_or("requests", 1200)?,
+        days: args.get_or("days", 5)?,
+        imbalance: args.get_or("sigma", 0.12)?,
+        seed: args.get_or("seed", 7)?,
+    })
+}
+
+fn dataset_from(args: &Args) -> Result<Dataset, String> {
+    if let Some(path) = args.get("dataset") {
+        let p = Path::new(path);
+        let dir = p.parent().unwrap_or(Path::new("."));
+        let name = p
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| format!("bad dataset path {path:?}"))?;
+        return ds_io::load_dataset(dir, name).map_err(|e| e.to_string());
+    }
+    Ok(Dataset::synthetic(&synthetic_from(args)?))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let name = args.require("name")?.to_string();
+    let kind = args.get("kind").unwrap_or("synthetic");
+    let ds = match kind {
+        "synthetic" => Dataset::synthetic(&synthetic_from(args)?),
+        "city-a" | "city-b" | "city-c" => {
+            let city = match kind {
+                "city-a" => CityId::A,
+                "city-b" => CityId::B,
+                _ => CityId::C,
+            };
+            let scale: f64 = args.get_or("scale", 0.05)?;
+            Dataset::real_world(&RealWorldConfig::scaled(city, scale))
+        }
+        other => return Err(format!("unknown --kind {other:?}")),
+    };
+    ds_io::save_dataset(&ds, Path::new(out), &name).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}/{name}.brokers.csv and {out}/{name}.requests.csv ({} brokers, {} requests, {} days)",
+        ds.brokers.len(),
+        ds.total_requests(),
+        ds.num_days()
+    );
+    Ok(())
+}
+
+fn make_algo(name: &str, num_brokers: usize, ctopk_capacity: f64, seed: u64) -> Result<Box<dyn Assigner>, String> {
+    let arms = CandidateCapacities::range(10.0, 60.0, 10.0);
+    Ok(match name {
+        "top1" => Box::new(TopK::new(1, seed)),
+        "top3" => Box::new(TopK::new(3, seed)),
+        "rr" => Box::new(RandomizedRecommendation::new(seed)),
+        "km" => Box::new(BatchKm::new()),
+        "greedy" => Box::new(GreedyMatch::new()),
+        "ctop1" => Box::new(CTopK::new(1, ctopk_capacity, seed)),
+        "ctop3" => Box::new(CTopK::new(3, ctopk_capacity, seed)),
+        "an" => Box::new(AssignmentNeuralUcb::new(num_brokers, arms, seed)),
+        "lacb" => Box::new(Lacb::new(LacbConfig { seed, ..LacbConfig::default() })),
+        "lacb-opt" => Box::new(Lacb::new(LacbConfig { seed, ..LacbConfig::opt() })),
+        "oracle" => Box::new(OracleCapacity::new()),
+        other => return Err(format!("unknown --algo {other:?}")),
+    })
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let ds = dataset_from(args)?;
+    let algo_name = args.get("algo").unwrap_or("lacb-opt");
+    let ctopk: f64 = args.get_or("ctopk-capacity", 40.0)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let mut algo = make_algo(algo_name, ds.brokers.len(), ctopk, seed)?;
+    let m = run(&ds, algo.as_mut(), &RunConfig::default());
+    println!("dataset   : {}", ds.name);
+    println!("algorithm : {}", m.algorithm);
+    println!("total utility : {:.2}", m.total_utility);
+    println!("algorithm time: {:.3}s", m.elapsed_secs);
+    println!("peak broker mean daily workload: {:.1}",
+        m.ledger.workload_distribution().first().copied().unwrap_or(0.0));
+    println!("workload gini : {:.3}", platform_sim::gini(&m.ledger.workload_distribution()));
+    println!("per-day utility: {}",
+        m.daily_utility.iter().map(|u| format!("{u:.0}")).collect::<Vec<_>>().join(" "));
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let ds = dataset_from(args)?;
+    let ctopk: f64 = args.get_or("ctopk-capacity", 40.0)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let names: &[&str] = if args.has("fast-only") {
+        &["top1", "top3", "rr", "greedy", "ctop1", "ctop3", "lacb-opt"]
+    } else {
+        &[
+            "top1", "top3", "rr", "greedy", "ctop1", "ctop3", "km", "an", "lacb",
+            "lacb-opt", "oracle",
+        ]
+    };
+    println!("{:<10} {:>14} {:>10} {:>12}", "algorithm", "total utility", "seconds", "peak w/day");
+    for name in names {
+        let mut algo = make_algo(name, ds.brokers.len(), ctopk, seed)?;
+        let m = run(&ds, algo.as_mut(), &RunConfig::default());
+        println!(
+            "{:<10} {:>14.1} {:>10.3} {:>12.1}",
+            m.algorithm,
+            m.total_utility,
+            m.elapsed_secs,
+            m.ledger.workload_distribution().first().copied().unwrap_or(0.0)
+        );
+    }
+    Ok(())
+}
+
+/// Bandit shoot-out on a simulated non-linear capacity-reward surface —
+/// exercises every policy in the `bandit` crate side by side.
+fn cmd_bandits(args: &Args) -> Result<(), String> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let rounds: u64 = args.get_or("rounds", 600)?;
+    let seed: u64 = args.get_or("seed", 4)?;
+    let arms = CandidateCapacities::range(10.0, 60.0, 10.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let reward = |fatigue: f64, c: f64| {
+        let best = if fatigue < 0.5 { 50.0 } else { 20.0 };
+        0.45 - 0.0004 * (c - best) * (c - best)
+    };
+
+    // The reward here is *peaked* in c (not flat-then-declining), so the
+    // right selection is the plain argmax of Alg. 1, not LACB's
+    // knee-plateau read.
+    let cfg = bandit::NnUcbConfig {
+        alpha: 0.1,
+        lr: 0.05,
+        train_epochs: 6,
+        ..bandit::NnUcbConfig::default()
+    };
+    let batched = bandit::NnUcbConfig { train_epochs: 96, ..cfg.clone() };
+    let mut policies: Vec<(&str, Box<dyn CapacityEstimator>)> = vec![
+        ("NN-enhanced UCB", Box::new(NnUcb::new(&mut rng, 1, arms.clone(), batched))),
+        ("NeuralUCB", Box::new(NeuralUcb::new(&mut rng, 1, arms.clone(), cfg))),
+        ("LinUCB", Box::new(LinUcb::new(1, arms.clone(), 0.1, 0.1))),
+        ("eps-greedy(0.1)", Box::new(EpsilonGreedy::new(seed, 1, arms.clone(), 0.1, 0.05))),
+        ("Thompson", Box::new(LinearThompson::new(seed, 1, arms.clone(), 0.1, 0.2))),
+    ];
+    let mut trackers: Vec<RegretTracker> = policies.iter().map(|_| RegretTracker::new()).collect();
+
+    for t in 0..rounds {
+        let fatigue =
+            if t % 2 == 0 { rng.gen_range(0.0..0.4) } else { rng.gen_range(0.6..1.0) };
+        let ctx = [fatigue];
+        let oracle = arms
+            .values()
+            .iter()
+            .map(|&c| reward(fatigue, c))
+            .fold(f64::NEG_INFINITY, f64::max);
+        for ((_, policy), tracker) in policies.iter_mut().zip(&mut trackers) {
+            let c = policy.choose(&ctx);
+            let r = reward(fatigue, c);
+            policy.update(&ctx, c, r);
+            tracker.record(oracle, r);
+        }
+    }
+    println!("{rounds} rounds on a context-dependent reward surface:");
+    println!("{:<18} {:>12} {:>14}", "policy", "cum. regret", "recent regret");
+    for ((name, _), tracker) in policies.iter().zip(&trackers) {
+        println!(
+            "{:<18} {:>12.2} {:>14.4}",
+            name,
+            tracker.cumulative(),
+            tracker.recent_mean(100)
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(dispatch(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn unknown_algo_errors() {
+        let args = Args::parse(&argv("--algo nope --brokers 10 --requests 40 --days 1")).unwrap();
+        assert!(cmd_run(&args).is_err());
+    }
+
+    #[test]
+    fn run_and_compare_work_on_tiny_world() {
+        let args = Args::parse(&argv(
+            "--algo top1 --brokers 10 --requests 60 --days 2 --sigma 0.3",
+        ))
+        .unwrap();
+        cmd_run(&args).unwrap();
+        let args = Args::parse(&argv(
+            "--fast-only --brokers 10 --requests 60 --days 2 --sigma 0.3",
+        ))
+        .unwrap();
+        cmd_compare(&args).unwrap();
+    }
+
+    #[test]
+    fn generate_then_run_roundtrip() {
+        let dir = std::env::temp_dir().join("caam_cli_test");
+        let out = dir.display().to_string();
+        let args = Args::parse(&argv(&format!(
+            "--kind synthetic --out {out} --name t --brokers 10 --requests 60 --days 2 --sigma 0.3"
+        )))
+        .unwrap();
+        cmd_generate(&args).unwrap();
+        let args = Args::parse(&argv(&format!("--algo top3 --dataset {out}/t"))).unwrap();
+        cmd_run(&args).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bandits_shootout_runs() {
+        let args = Args::parse(&argv("--rounds 40")).unwrap();
+        cmd_bandits(&args).unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! `caam` — command-line front end.
+//!
+//! ```text
+//! caam generate --kind synthetic --out data --name demo [--brokers N] [--requests N] [--days N] [--sigma X] [--seed N]
+//! caam generate --kind city-a|city-b|city-c --out data --name demo [--scale 0.05]
+//! caam run --algo lacb-opt [--dataset data/demo | synthetic flags]
+//! caam compare [--fast-only] [synthetic flags]
+//! caam bandits [--rounds N]
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

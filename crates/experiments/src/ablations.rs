@@ -1,0 +1,108 @@
+//! LACB component ablations (DESIGN.md §7).
+//!
+//! Runs LACB with one component disabled at a time on a shared world,
+//! isolating each component's utility contribution:
+//!
+//! * value function (Eqs. 14–15) on/off (`δ = ∞` disables refinement),
+//! * CBS pruning on/off (LACB-Opt vs plain LACB),
+//! * capacity dithering on/off,
+//! * capacity smoothing on/off,
+//! * personalisation mechanism (tabular shrinkage vs the paper's
+//!   layer-transfer fine-tuning vs none).
+
+use crate::presets::Preset;
+use lacb::{run, Lacb, LacbConfig, Personalization, RunConfig};
+use platform_sim::Dataset;
+
+/// One ablation result.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: &'static str,
+    /// Total realised utility.
+    pub utility: f64,
+    /// Algorithm wall-clock seconds.
+    pub secs: f64,
+}
+
+/// The ablation variants, each as `(label, config)`.
+pub fn variants() -> Vec<(&'static str, LacbConfig)> {
+    vec![
+        ("full (LACB-Opt)", LacbConfig::opt()),
+        ("no CBS (plain LACB)", LacbConfig::default()),
+        ("no value function", LacbConfig { delta: 1e18, ..LacbConfig::opt() }),
+        ("no dithering", LacbConfig { dither: 0.0, ..LacbConfig::opt() }),
+        ("no smoothing", LacbConfig { capacity_smoothing: 0.0, ..LacbConfig::opt() }),
+        (
+            "layer-transfer personalisation",
+            LacbConfig {
+                personalization: Personalization::LayerTransfer,
+                ..LacbConfig::opt()
+            },
+        ),
+    ]
+}
+
+/// Run every variant on a 21-day *stress* version of the preset's
+/// synthetic world: average demand of ~8 requests/day/broker, so that
+/// most of the population operates near its capacity knee. Components
+/// only differentiate under capacity pressure — at the evaluation
+/// worlds' light load every variant converges to the same caps and the
+/// table reads as all-ties.
+pub fn run_ablations(preset: Preset) -> Vec<AblationRow> {
+    let mut cfg = preset.synthetic_default();
+    cfg.days = 21;
+    cfg.num_requests = cfg.num_brokers * 8 * cfg.days;
+    run_ablations_on(&cfg)
+}
+
+/// Run every variant on an explicit world.
+pub fn run_ablations_on(cfg: &platform_sim::SyntheticConfig) -> Vec<AblationRow> {
+    let ds = Dataset::synthetic(cfg);
+    variants()
+        .into_iter()
+        .map(|(variant, cfg)| {
+            let mut algo = Lacb::new(cfg);
+            let m = run(&ds, &mut algo, &RunConfig::default());
+            AblationRow { variant, utility: m.total_utility, secs: m.elapsed_secs }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform_sim::SyntheticConfig;
+
+    fn tiny_world() -> SyntheticConfig {
+        SyntheticConfig {
+            num_brokers: 30,
+            num_requests: 900,
+            days: 5,
+            imbalance: 0.3,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn all_variants_run_and_produce_utility() {
+        let rows = run_ablations_on(&tiny_world());
+        assert_eq!(rows.len(), variants().len());
+        for r in &rows {
+            assert!(r.utility > 0.0, "{}: zero utility", r.variant);
+            assert!(r.secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cbs_saves_time_without_losing_utility() {
+        let rows = run_ablations_on(&tiny_world());
+        let get = |name: &str| rows.iter().find(|r| r.variant.contains(name)).unwrap();
+        let full = get("full");
+        let no_cbs = get("no CBS");
+        // Corollary 1: utilities close; CBS strictly cheaper.
+        let rel = (full.utility - no_cbs.utility).abs() / no_cbs.utility;
+        assert!(rel < 0.1, "CBS should preserve utility (rel {rel})");
+        assert!(full.secs < no_cbs.secs, "CBS should be faster");
+    }
+}

@@ -1,0 +1,45 @@
+//! Regenerates Fig. 10: per-broker workload distributions of every
+//! algorithm on the three city datasets.
+//!
+//! Usage: `cargo run --release -p experiments --bin fig10_workload_dist [--preset ...]`
+
+use experiments::distributions::city_distributions;
+use experiments::report::{fmt, Table};
+use experiments::suite::SuiteKind;
+use experiments::Preset;
+use platform_sim::CityId;
+
+fn main() {
+    let preset = Preset::from_args();
+    eprintln!("fig10: preset = {}", preset.label());
+    let top_n = 100;
+
+    for city in CityId::ALL {
+        let rows = city_distributions(preset, city, SuiteKind::Full);
+        let mut table = Table::new(
+            format!("Fig. 10 — per-broker mean daily workload, {}", city.label()),
+            &["algorithm", "rank", "mean_daily_workload"],
+        );
+        for r in &rows {
+            for (i, w) in r.workload_dist.iter().take(top_n).enumerate() {
+                table.push_row(vec![r.algo.clone(), (i + 1).to_string(), fmt(*w)]);
+            }
+        }
+        println!("{}", table.to_markdown());
+        for r in &rows {
+            println!(
+                "  {}: {} — peak broker workload {}/day, workload Gini {:.3}",
+                r.city,
+                r.algo,
+                fmt(r.workload_dist.first().copied().unwrap_or(0.0)),
+                r.workload_gini
+            );
+        }
+        println!();
+        let name = format!("fig10_{}", city.label().replace(' ', "_").to_lowercase());
+        match table.save_csv(&name) {
+            Ok(p) => eprintln!("saved {p}"),
+            Err(e) => eprintln!("could not save CSV: {e}"),
+        }
+    }
+}

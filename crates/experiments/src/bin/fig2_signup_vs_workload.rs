@@ -1,0 +1,43 @@
+//! Regenerates Fig. 2: average sign-up rate vs. daily workload in two
+//! cities, plus the Welch t-test of Sec. II-A.
+//!
+//! Usage: `cargo run --release -p experiments --bin fig2_signup_vs_workload [--preset quick|standard|paper]`
+
+use experiments::motivation::fig2;
+use experiments::report::{fmt, Table};
+use experiments::Preset;
+
+fn main() {
+    let preset = Preset::from_args();
+    eprintln!("fig2: preset = {}", preset.label());
+    let cities = fig2(preset);
+
+    let mut table = Table::new(
+        "Fig. 2 — average sign-up rate vs. requests served per day",
+        &["city", "workload_bucket", "mean_signup_rate", "broker_days"],
+    );
+    for c in &cities {
+        for p in &c.points {
+            table.push_row(vec![
+                p.city.to_string(),
+                fmt(p.workload),
+                fmt(p.mean_signup),
+                p.n.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.to_markdown());
+    for c in &cities {
+        match &c.welch {
+            Some(w) => println!(
+                "{}: Welch t = {:.2}, df = {:.1}, p = {:.2e}  (workload ≤ {} vs > {})",
+                c.city, w.t, w.df, w.p_value, c.threshold, c.threshold
+            ),
+            None => println!("{}: not enough high-workload broker-days for the t-test", c.city),
+        }
+    }
+    match table.save_csv("fig2_signup_vs_workload") {
+        Ok(p) => eprintln!("saved {p}"),
+        Err(e) => eprintln!("could not save CSV: {e}"),
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates Fig. 3: per-broker Gaussian-KDE analysis of the top
+//! brokers' (workload, sign-up-rate) distributions in City A.
+//!
+//! Usage: `cargo run --release -p experiments --bin fig3_top_brokers [--preset ...]`
+
+use experiments::motivation::fig3;
+use experiments::report::{fmt, Table};
+use experiments::Preset;
+
+fn main() {
+    let preset = Preset::from_args();
+    eprintln!("fig3: preset = {}", preset.label());
+    let rows = fig3(preset, 21);
+
+    let mut table = Table::new(
+        "Fig. 3 — top brokers in City A: KDE operating point and workload/sign-up trend",
+        &[
+            "broker",
+            "active_days",
+            "mean_workload",
+            "kde_mode_workload",
+            "kde_mode_signup",
+            "corr(workload, signup)",
+        ],
+    );
+    let mut negative = 0usize;
+    for r in &rows {
+        if r.workload_signup_corr < 0.0 {
+            negative += 1;
+        }
+        table.push_row(vec![
+            r.broker.to_string(),
+            r.days.to_string(),
+            fmt(r.mean_workload),
+            fmt(r.mode_workload),
+            fmt(r.mode_signup),
+            fmt(r.workload_signup_corr),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "{negative}/{} top brokers show a decreasing sign-up trend as workload grows \
+         (the paper: all 21 studied brokers decline past their accustomed range).",
+        rows.len()
+    );
+    match table.save_csv("fig3_top_brokers") {
+        Ok(p) => eprintln!("saved {p}"),
+        Err(e) => eprintln!("could not save CSV: {e}"),
+    }
+}

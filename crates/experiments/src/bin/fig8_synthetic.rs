@@ -1,0 +1,64 @@
+//! Regenerates Fig. 8: the four synthetic sweeps (total utility and
+//! running time vs. |B|, |R|, Day, σ).
+//!
+//! Usage:
+//! `cargo run --release -p experiments --bin fig8_synthetic [--preset ...] [--sweep brokers|requests|days|imbalance] [--fast-only]`
+//!
+//! Without `--sweep`, all four columns run.
+
+use experiments::fig8::{opt_speedups, sweep, SweepParam};
+use experiments::report::{fmt, Table};
+use experiments::suite::SuiteKind;
+use experiments::Preset;
+
+fn main() {
+    let preset = Preset::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let kind = if args.iter().any(|a| a == "--fast-only") {
+        SuiteKind::FastOnly
+    } else {
+        SuiteKind::Full
+    };
+    let which: Vec<SweepParam> = match args.iter().position(|a| a == "--sweep") {
+        Some(i) => match args.get(i + 1).and_then(|s| SweepParam::parse(s)) {
+            Some(p) => vec![p],
+            None => {
+                eprintln!("unknown --sweep value; running all four");
+                SweepParam::ALL.to_vec()
+            }
+        },
+        None => SweepParam::ALL.to_vec(),
+    };
+    eprintln!("fig8: preset = {}, sweeps = {:?}", preset.label(), which);
+
+    for param in which {
+        let points = sweep(param, preset, kind);
+        let mut table = Table::new(
+            format!("Fig. 8 — varying {}", param.label()),
+            &[param.label(), "algorithm", "total_utility", "seconds"],
+        );
+        for p in &points {
+            table.push_row(vec![
+                fmt(p.value),
+                p.algo.clone(),
+                fmt(p.utility),
+                format!("{:.3}", p.secs),
+            ]);
+        }
+        println!("{}", table.to_markdown());
+        for (v, s) in opt_speedups(&points) {
+            println!(
+                "  {} = {}: LACB-Opt is {:.1}x faster than the slowest KM-family algorithm",
+                param.label(),
+                fmt(v),
+                s
+            );
+        }
+        println!();
+        let name = format!("fig8_{}", param.label().replace(['|', '.'], ""));
+        match table.save_csv(&name) {
+            Ok(p) => eprintln!("saved {p}"),
+            Err(e) => eprintln!("could not save CSV: {e}"),
+        }
+    }
+}

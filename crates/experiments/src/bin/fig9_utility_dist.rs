@@ -1,0 +1,47 @@
+//! Regenerates Fig. 9: per-broker utility distributions of every
+//! algorithm on the three city datasets.
+//!
+//! Usage: `cargo run --release -p experiments --bin fig9_utility_dist [--preset ...]`
+
+use experiments::distributions::city_distributions;
+use experiments::report::{fmt, Table};
+use experiments::suite::SuiteKind;
+use experiments::Preset;
+use platform_sim::CityId;
+
+fn main() {
+    let preset = Preset::from_args();
+    eprintln!("fig9: preset = {}", preset.label());
+    let top_n = 100;
+
+    for city in CityId::ALL {
+        let rows = city_distributions(preset, city, SuiteKind::Full);
+        let mut table = Table::new(
+            format!("Fig. 9 — per-broker utility distribution, {}", city.label()),
+            &["algorithm", "rank", "utility"],
+        );
+        for r in &rows {
+            for (i, u) in r.utility_dist.iter().take(top_n).enumerate() {
+                table.push_row(vec![r.algo.clone(), (i + 1).to_string(), fmt(*u)]);
+            }
+        }
+        println!("{}", table.to_markdown());
+        for r in &rows {
+            if let Some(frac) = r.improved_over_topk {
+                println!(
+                    "  {}: {} — total {}, {:.1}% of active brokers improved vs Top-3",
+                    r.city,
+                    r.algo,
+                    fmt(r.total_utility),
+                    frac * 100.0
+                );
+            }
+        }
+        println!();
+        let name = format!("fig9_{}", city.label().replace(' ', "_").to_lowercase());
+        match table.save_csv(&name) {
+            Ok(p) => eprintln!("saved {p}"),
+            Err(e) => eprintln!("could not save CSV: {e}"),
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Runs every experiment at the chosen preset, writing all CSVs under
+//! `results/`. The one-stop regeneration entry point for EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p experiments --bin run_all [--preset quick|standard|paper]`
+
+use experiments::distributions::city_distributions;
+use experiments::fig11::run_all_cities;
+use experiments::fig8::{opt_speedups, sweep, SweepParam};
+use experiments::motivation::{fig2, fig3, fig4};
+use experiments::report::{fmt, Table};
+use experiments::suite::SuiteKind;
+use experiments::tables::{table3, table4};
+use experiments::Preset;
+use platform_sim::CityId;
+
+fn main() {
+    let preset = Preset::from_args();
+    println!("== run_all: preset = {} ==\n", preset.label());
+
+    // Tables III & IV.
+    println!("{}", table3().to_markdown());
+    table3().save_csv("table3").ok();
+    println!("{}", table4(preset.city_scale()).to_markdown());
+    table4(preset.city_scale()).save_csv("table4").ok();
+
+    // Motivation: Figs. 2–4.
+    let f2 = fig2(preset);
+    for c in &f2 {
+        if let Some(w) = &c.welch {
+            println!("Fig.2 {}: Welch t = {:.2}, p = {:.2e}", c.city, w.t, w.p_value);
+        }
+    }
+    let f3 = fig3(preset, 21);
+    let neg = f3.iter().filter(|r| r.workload_signup_corr < 0.0).count();
+    println!("Fig.3: {neg}/{} top brokers decline with workload", f3.len());
+    let f4 = fig4(preset, 200);
+    for c in &f4 {
+        println!("Fig.4 {}: top-1 ratio {:.2}x, {} overloaded", c.city, c.top1_ratio, c.overloaded_count);
+    }
+    println!();
+
+    // Fig. 8: four sweeps.
+    for param in SweepParam::ALL {
+        let points = sweep(param, preset, SuiteKind::Full);
+        let mut table = Table::new(
+            format!("Fig. 8 — varying {}", param.label()),
+            &[param.label(), "algorithm", "total_utility", "seconds"],
+        );
+        for p in &points {
+            table.push_row(vec![
+                fmt(p.value),
+                p.algo.clone(),
+                fmt(p.utility),
+                format!("{:.3}", p.secs),
+            ]);
+        }
+        println!("{}", table.to_markdown());
+        for (v, s) in opt_speedups(&points) {
+            println!("  {}={}: LACB-Opt {s:.1}x faster", param.label(), fmt(v));
+        }
+        table
+            .save_csv(&format!("fig8_{}", param.label().replace(['|', '.'], "")))
+            .ok();
+        println!();
+    }
+
+    // Figs. 9 & 10 per city.
+    for city in CityId::ALL {
+        let rows = city_distributions(preset, city, SuiteKind::Full);
+        for r in &rows {
+            println!(
+                "Fig.9/10 {} {}: total {}, peak workload {}/day, gini {:.3}{}",
+                r.city,
+                r.algo,
+                fmt(r.total_utility),
+                fmt(r.workload_dist.first().copied().unwrap_or(0.0)),
+                r.workload_gini,
+                r.improved_over_topk
+                    .map(|f| format!(", improved-vs-Top3 {:.1}%", f * 100.0))
+                    .unwrap_or_default()
+            );
+        }
+        println!();
+    }
+
+    // Sec. V-E: empirical regret + Theorem 1 bound.
+    for r in experiments::regret::run_regret_analysis(600, 4) {
+        println!(
+            "Regret {}: cumulative {:.1}, recent {:.3}{}",
+            r.policy,
+            r.cumulative,
+            r.recent,
+            r.theorem1.map(|b| format!(", Theorem-1 bound {b:.0}")).unwrap_or_default()
+        );
+    }
+    println!();
+
+    // Component ablations (DESIGN.md §7).
+    for r in experiments::ablations::run_ablations(preset) {
+        println!("Ablation {}: utility {:.0} in {:.2}s", r.variant, r.utility, r.secs);
+    }
+    println!();
+
+    // Fig. 11.
+    let cities = run_all_cities(preset, SuiteKind::Full, None);
+    for c in &cities {
+        for m in &c.runs {
+            println!(
+                "Fig.11 {} {}: total {} in {:.2}s",
+                c.city,
+                m.algorithm,
+                fmt(m.total_utility),
+                m.elapsed_secs
+            );
+        }
+        if let Some(s) = c.opt_speedup() {
+            println!("Fig.11 {}: LACB-Opt speedup {s:.1}x", c.city);
+        }
+        println!();
+    }
+    println!("done; CSVs under results/");
+}

@@ -1,0 +1,17 @@
+//! Prints Table IV (real-world dataset statistics) and the generated
+//! instance counts at the preset's scale.
+
+use experiments::report::Table as _Unused;
+use experiments::tables::table4;
+use experiments::Preset;
+
+fn main() {
+    let _ = core::marker::PhantomData::<_Unused>;
+    let preset = Preset::from_args();
+    let t = table4(preset.city_scale());
+    println!("{}", t.to_markdown());
+    match t.save_csv("table4") {
+        Ok(p) => eprintln!("saved {p}"),
+        Err(e) => eprintln!("could not save CSV: {e}"),
+    }
+}

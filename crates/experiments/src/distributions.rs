@@ -1,0 +1,124 @@
+//! Figs. 9 & 10: per-broker utility and workload distributions on the
+//! city datasets.
+
+use crate::presets::Preset;
+use crate::suite::{self, SuiteKind};
+use lacb::{run, RunConfig, RunMetrics};
+use platform_sim::{gini, CityId, Dataset};
+
+/// Distribution summary of one algorithm on one city.
+#[derive(Clone, Debug)]
+pub struct DistRow {
+    /// City label.
+    pub city: &'static str,
+    /// Algorithm label.
+    pub algo: String,
+    /// Total realised utility.
+    pub total_utility: f64,
+    /// Per-broker realised utilities, descending (Fig. 9's curve).
+    pub utility_dist: Vec<f64>,
+    /// Per-broker mean daily workloads, descending (Fig. 10's curve).
+    pub workload_dist: Vec<f64>,
+    /// Gini coefficient of the workload distribution (Matthew-effect
+    /// indicator; not in the paper but a faithful quantification).
+    pub workload_gini: f64,
+    /// Fraction of active brokers whose utility improved over Top-3
+    /// (populated by [`city_distributions`]; the paper reports
+    /// 72.0%–82.2% for LACB and a 25.7% *decrease* share for RR).
+    pub improved_over_topk: Option<f64>,
+}
+
+/// Run the suite on one city and compute both distributions per
+/// algorithm.
+pub fn city_distributions(preset: Preset, city: CityId, kind: SuiteKind) -> Vec<DistRow> {
+    let ds = Dataset::real_world(&preset.city(city));
+    let algos = suite::build(kind, ds.brokers.len(), city.ctopk_capacity(), 314 + city as u64);
+    // The distribution figures report utilities only (no wall-clock), so
+    // independent policies can run on worker threads without skewing any
+    // timing comparison.
+    let metrics: Vec<RunMetrics> = std::thread::scope(|scope| {
+        let handles: Vec<_> = algos
+            .into_iter()
+            .map(|mut a| {
+                let ds = &ds;
+                scope.spawn(move || run(ds, a.as_mut(), &RunConfig::default()))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("algorithm run panicked"))
+            .collect()
+    });
+    let topk_ledger = metrics
+        .iter()
+        .find(|m| m.algorithm == "Top-3")
+        .map(|m| m.ledger.clone());
+    metrics
+        .into_iter()
+        .map(|m| {
+            let workload_dist = m.ledger.workload_distribution();
+            DistRow {
+                city: city.label(),
+                algo: m.algorithm.clone(),
+                total_utility: m.total_utility,
+                utility_dist: m.ledger.utility_distribution(),
+                workload_gini: gini(&workload_dist),
+                improved_over_topk: topk_ledger
+                    .as_ref()
+                    .map(|t| m.ledger.improved_fraction_over(t)),
+                workload_dist,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> &'static [DistRow] {
+        static ROWS: std::sync::OnceLock<Vec<DistRow>> = std::sync::OnceLock::new();
+        ROWS.get_or_init(|| city_distributions(Preset::Quick, CityId::C, SuiteKind::Full))
+    }
+
+    #[test]
+    fn distributions_cover_every_algorithm() {
+        let rows = rows();
+        let names: Vec<&str> = rows.iter().map(|r| r.algo.as_str()).collect();
+        for expected in suite::names(SuiteKind::Full) {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn topk_has_most_concentrated_workload() {
+        let rows = rows();
+        let gini_of = |name: &str| rows.iter().find(|r| r.algo == name).unwrap().workload_gini;
+        // Top-1 concentrates more than RR (which spreads randomly).
+        assert!(
+            gini_of("Top-1") > gini_of("RR"),
+            "Top-1 gini {} vs RR gini {}",
+            gini_of("Top-1"),
+            gini_of("RR")
+        );
+        // LACB's top-broker peak workload stays below Top-1's.
+        let peak = |name: &str| rows.iter().find(|r| r.algo == name).unwrap().workload_dist[0];
+        assert!(peak("LACB") < peak("Top-1"));
+    }
+
+    #[test]
+    fn lacb_improves_most_brokers_over_top3() {
+        let rows = rows();
+        let lacb = rows.iter().find(|r| r.algo == "LACB").unwrap();
+        let frac = lacb.improved_over_topk.unwrap();
+        assert!(frac > 0.5, "LACB improved fraction {frac} should exceed 0.5");
+    }
+
+    #[test]
+    fn lacb_total_beats_topk() {
+        let rows = rows();
+        let total = |name: &str| rows.iter().find(|r| r.algo == name).unwrap().total_utility;
+        assert!(total("LACB") > total("Top-1"));
+        assert!(total("LACB-Opt") > total("Top-1"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Fig. 11: total utility and cumulative running time over the days of
+//! the three real-world datasets.
+
+use crate::presets::Preset;
+use crate::suite::{self, SuiteKind};
+use lacb::{run, RunConfig, RunMetrics};
+use platform_sim::{CityId, Dataset};
+
+/// Per-city results: one [`RunMetrics`] per algorithm, carrying the
+/// per-day utility and cumulative-time series that Fig. 11 plots.
+#[derive(Debug)]
+pub struct CityResults {
+    /// City label.
+    pub city: &'static str,
+    /// One run per algorithm, suite order.
+    pub runs: Vec<RunMetrics>,
+}
+
+impl CityResults {
+    /// Find a run by algorithm name.
+    pub fn get(&self, algo: &str) -> Option<&RunMetrics> {
+        self.runs.iter().find(|m| m.algorithm == algo)
+    }
+
+    /// LACB-Opt speed-up over the slowest KM-family comparator (the
+    /// paper reports 233.4×–284.9× on the real datasets).
+    pub fn opt_speedup(&self) -> Option<f64> {
+        let opt = self.get("LACB-Opt")?;
+        let slowest = self
+            .runs
+            .iter()
+            .filter(|m| matches!(m.algorithm.as_str(), "KM" | "AN" | "LACB"))
+            .map(|m| m.elapsed_secs)
+            .fold(f64::NAN, f64::max);
+        if slowest.is_nan() || opt.elapsed_secs <= 0.0 {
+            None
+        } else {
+            Some(slowest / opt.elapsed_secs)
+        }
+    }
+}
+
+/// Run the suite on one city.
+pub fn run_city(preset: Preset, city: CityId, kind: SuiteKind, max_days: Option<usize>) -> CityResults {
+    let ds = Dataset::real_world(&preset.city(city));
+    let algos = suite::build(kind, ds.brokers.len(), city.ctopk_capacity(), 2718 + city as u64);
+    let runs = algos
+        .into_iter()
+        .map(|mut a| run(&ds, a.as_mut(), &RunConfig { max_days }))
+        .collect();
+    CityResults { city: city.label(), runs }
+}
+
+/// Run all three cities.
+pub fn run_all_cities(preset: Preset, kind: SuiteKind, max_days: Option<usize>) -> Vec<CityResults> {
+    CityId::ALL
+        .into_iter()
+        .map(|c| run_city(preset, c, kind, max_days))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn city_run_produces_daily_series() {
+        let r = run_city(Preset::Quick, CityId::A, SuiteKind::Full, Some(4));
+        assert_eq!(r.city, "City A");
+        for m in &r.runs {
+            assert_eq!(m.daily_utility.len(), 4, "{}", m.algorithm);
+            assert_eq!(m.daily_elapsed.len(), 4);
+            // Cumulative time is non-decreasing (the paper notes the
+            // runtime "increases linearly over days").
+            assert!(m.daily_elapsed.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn lacb_opt_dominates_topk_and_speeds_up_km_family() {
+        let r = run_city(Preset::Quick, CityId::A, SuiteKind::Full, Some(5));
+        let opt = r.get("LACB-Opt").unwrap();
+        let top1 = r.get("Top-1").unwrap();
+        assert!(
+            opt.total_utility > top1.total_utility,
+            "LACB-Opt {} vs Top-1 {}",
+            opt.total_utility,
+            top1.total_utility
+        );
+        let speedup = r.opt_speedup().unwrap();
+        assert!(speedup > 1.0, "LACB-Opt should be faster than KM-family, got {speedup}x");
+    }
+
+    #[test]
+    fn lacb_and_opt_close_in_utility() {
+        let r = run_city(Preset::Quick, CityId::C, SuiteKind::Full, Some(5));
+        let a = r.get("LACB").unwrap().total_utility;
+        let b = r.get("LACB-Opt").unwrap().total_utility;
+        let rel = (a - b).abs() / a.max(b);
+        assert!(rel < 0.15, "LACB {a} vs LACB-Opt {b} (rel {rel})");
+    }
+}

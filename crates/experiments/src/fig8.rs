@@ -1,0 +1,214 @@
+//! Fig. 8: the four synthetic parameter sweeps (utility + running time).
+
+use crate::presets::Preset;
+use crate::suite::{self, SuiteKind};
+use lacb::{run, RunConfig};
+use platform_sim::{Dataset, SyntheticConfig};
+
+/// Which Table III factor is swept.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepParam {
+    /// Column 1: number of brokers `|B|`.
+    Brokers,
+    /// Column 2: number of requests `|R|`.
+    Requests,
+    /// Column 3: covering days.
+    Days,
+    /// Column 4: degree of imbalance `σ`.
+    Imbalance,
+}
+
+impl SweepParam {
+    /// All four columns of Fig. 8.
+    pub const ALL: [SweepParam; 4] =
+        [SweepParam::Brokers, SweepParam::Requests, SweepParam::Days, SweepParam::Imbalance];
+
+    /// Axis label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepParam::Brokers => "|B|",
+            SweepParam::Requests => "|R|",
+            SweepParam::Days => "Day",
+            SweepParam::Imbalance => "sigma",
+        }
+    }
+
+    /// Parse a CLI value.
+    pub fn parse(s: &str) -> Option<SweepParam> {
+        match s.to_ascii_lowercase().as_str() {
+            "brokers" | "b" => Some(SweepParam::Brokers),
+            "requests" | "r" => Some(SweepParam::Requests),
+            "days" | "day" => Some(SweepParam::Days),
+            "imbalance" | "sigma" => Some(SweepParam::Imbalance),
+            _ => None,
+        }
+    }
+}
+
+/// One `(sweep value, algorithm)` measurement.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The swept factor.
+    pub param: SweepParam,
+    /// The factor's value at this point.
+    pub value: f64,
+    /// Algorithm label.
+    pub algo: String,
+    /// Total realised utility.
+    pub utility: f64,
+    /// Algorithm wall-clock seconds over the horizon.
+    pub secs: f64,
+}
+
+/// The sweep values for a factor under a preset (Table III values,
+/// scaled down for the smaller presets).
+pub fn sweep_values(param: SweepParam, preset: Preset) -> Vec<f64> {
+    let s = preset.sweep_scale() as f64;
+    match param {
+        SweepParam::Brokers => SyntheticConfig::BROKER_SWEEP
+            .iter()
+            .map(|&b| (b as f64 / s).max(20.0).round())
+            .collect(),
+        SweepParam::Requests => SyntheticConfig::REQUEST_SWEEP
+            .iter()
+            .map(|&r| (r as f64 / s).max(200.0).round())
+            .collect(),
+        SweepParam::Days => match preset {
+            Preset::Quick => vec![2.0, 3.0, 4.0, 5.0],
+            _ => SyntheticConfig::DAY_SWEEP.iter().map(|&d| d as f64).collect(),
+        },
+        SweepParam::Imbalance => SyntheticConfig::IMBALANCE_SWEEP.to_vec(),
+    }
+}
+
+/// Build the dataset configuration for one sweep point: every other
+/// factor stays at the preset's default (the bolded Table III settings).
+pub fn config_for(param: SweepParam, value: f64, preset: Preset) -> SyntheticConfig {
+    let mut cfg = preset.synthetic_default();
+    match param {
+        SweepParam::Brokers => {
+            // Keep per-batch width constant as |B| varies, as the paper
+            // does by fixing σ (σ·|B| scales with |B|; holding |R| fixed
+            // changes the batch count instead).
+            let per_batch = cfg.requests_per_batch() as f64;
+            cfg.num_brokers = value as usize;
+            cfg.imbalance = per_batch / value;
+        }
+        SweepParam::Requests => cfg.num_requests = value as usize,
+        SweepParam::Days => cfg.days = value as usize,
+        SweepParam::Imbalance => cfg.imbalance = value,
+    }
+    cfg
+}
+
+/// Run one sweep column with the given suite.
+pub fn sweep(param: SweepParam, preset: Preset, kind: SuiteKind) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for value in sweep_values(param, preset) {
+        let cfg = config_for(param, value, preset);
+        let ds = Dataset::synthetic(&cfg);
+        // The synthetic population's capacity knee is ~40 (Fig. 2-style);
+        // CTop-K uses it as its shared constant.
+        let algos = suite::build(kind, cfg.num_brokers, 40.0, 90 + value as u64);
+        for mut algo in algos {
+            let m = run(&ds, algo.as_mut(), &RunConfig::default());
+            out.push(SweepPoint {
+                param,
+                value,
+                algo: m.algorithm.clone(),
+                utility: m.total_utility,
+                secs: m.elapsed_secs,
+            });
+        }
+    }
+    out
+}
+
+/// Speed-up of LACB-Opt over the slowest KM-family algorithm at each
+/// sweep value (the paper quotes 16.4×–1091.9×).
+pub fn opt_speedups(points: &[SweepPoint]) -> Vec<(f64, f64)> {
+    let mut values: Vec<f64> = points.iter().map(|p| p.value).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values.dedup();
+    values
+        .into_iter()
+        .filter_map(|v| {
+            let opt = points.iter().find(|p| p.value == v && p.algo == "LACB-Opt")?;
+            let km_family: Vec<f64> = points
+                .iter()
+                .filter(|p| p.value == v && matches!(p.algo.as_str(), "KM" | "AN" | "LACB"))
+                .map(|p| p.secs)
+                .collect();
+            let slowest = km_family.iter().cloned().fold(f64::NAN, f64::max);
+            if slowest.is_nan() || opt.secs <= 0.0 {
+                None
+            } else {
+                Some((v, slowest / opt.secs))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_values_scale_with_preset() {
+        let quick = sweep_values(SweepParam::Brokers, Preset::Quick);
+        let paper = sweep_values(SweepParam::Brokers, Preset::Paper);
+        assert_eq!(paper, vec![500.0, 1000.0, 2000.0, 5000.0, 10000.0]);
+        assert!(quick.iter().zip(&paper).all(|(q, p)| q <= p));
+    }
+
+    #[test]
+    fn config_for_brokers_keeps_batch_width() {
+        let base = Preset::Quick.synthetic_default();
+        let cfg = config_for(SweepParam::Brokers, 200.0, Preset::Quick);
+        assert_eq!(cfg.num_brokers, 200);
+        assert_eq!(cfg.requests_per_batch(), base.requests_per_batch());
+    }
+
+    #[test]
+    fn imbalance_sweep_is_paper_values() {
+        let vals = sweep_values(SweepParam::Imbalance, Preset::Quick);
+        assert_eq!(vals, vec![0.005, 0.01, 0.015, 0.02, 0.05]);
+    }
+
+    #[test]
+    fn tiny_sweep_runs_and_orders_correctly() {
+        // One minimal end-to-end sweep point with the full suite: check
+        // the headline orderings on the smallest instance.
+        let mut preset_cfg = Preset::Quick.synthetic_default();
+        preset_cfg.num_brokers = 40;
+        preset_cfg.num_requests = 800;
+        preset_cfg.days = 3;
+        preset_cfg.imbalance = 0.2;
+        let ds = Dataset::synthetic(&preset_cfg);
+        let algos = crate::suite::build(SuiteKind::Full, 40, 40.0, 5);
+        let mut results = std::collections::HashMap::new();
+        for mut a in algos {
+            let m = lacb::run(&ds, a.as_mut(), &lacb::RunConfig::default());
+            results.insert(m.algorithm.clone(), m);
+        }
+        let u = |name: &str| results[name].total_utility;
+        // LACB family beats Top-1 (the overloaded status quo).
+        assert!(u("LACB") > u("Top-1"), "LACB {} vs Top-1 {}", u("LACB"), u("Top-1"));
+        assert!(u("LACB-Opt") > u("Top-1"));
+        // LACB and LACB-Opt are close (Corollary 1).
+        let rel = (u("LACB") - u("LACB-Opt")).abs() / u("LACB");
+        assert!(rel < 0.1, "LACB vs LACB-Opt differ by {rel}");
+    }
+
+    #[test]
+    fn speedup_helper_computes_ratio() {
+        let pts = vec![
+            SweepPoint { param: SweepParam::Brokers, value: 10.0, algo: "KM".into(), utility: 0.0, secs: 8.0 },
+            SweepPoint { param: SweepParam::Brokers, value: 10.0, algo: "LACB".into(), utility: 0.0, secs: 10.0 },
+            SweepPoint { param: SweepParam::Brokers, value: 10.0, algo: "LACB-Opt".into(), utility: 0.0, secs: 0.5 },
+        ];
+        let s = opt_speedups(&pts);
+        assert_eq!(s.len(), 1);
+        assert!((s[0].1 - 20.0).abs() < 1e-12);
+    }
+}

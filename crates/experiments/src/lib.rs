@@ -1,0 +1,37 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each figure/table has a library module returning structured results
+//! (so tests and benches can assert on them) and a binary under
+//! `src/bin/` that prints the same rows/series the paper reports and
+//! writes CSVs under `results/`.
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Fig. 2 (sign-up rate vs workload, 2 cities) | [`motivation`] | `fig2_signup_vs_workload` |
+//! | Fig. 3 (top-broker KDE) | [`motivation`] | `fig3_top_brokers` |
+//! | Fig. 4 (top-broker workload distribution) | [`motivation`] | `fig4_workload_dist` |
+//! | Table III (synthetic grid) | [`tables`] | `table3_datasets` |
+//! | Table IV (real datasets) | [`tables`] | `table4_datasets` |
+//! | Fig. 8 (synthetic sweeps: utility & time) | [`fig8`] | `fig8_synthetic` |
+//! | Fig. 9 (utility distributions) | [`distributions`] | `fig9_utility_dist` |
+//! | Fig. 10 (workload distributions) | [`distributions`] | `fig10_workload_dist` |
+//! | Fig. 11 (real-dataset totals & runtime) | [`fig11`] | `fig11_real` |
+//!
+//! Scale presets: the paper-size instances take hours for the cubic
+//! KM-family; [`presets::Preset`] offers `Quick` (seconds, used in CI),
+//! `Standard` (minutes, default for binaries) and `Paper` (full Table
+//! III/IV sizes) — pass `--preset paper` to any binary.
+
+pub mod ablations;
+pub mod distributions;
+pub mod fig11;
+pub mod fig8;
+pub mod motivation;
+pub mod presets;
+pub mod regret;
+pub mod report;
+pub mod suite;
+pub mod tables;
+
+pub use presets::Preset;
+pub use report::Table;

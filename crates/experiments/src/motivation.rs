@@ -1,0 +1,296 @@
+//! The Sec. II measurement study: Figs. 2, 3 and 4.
+//!
+//! The paper's motivation runs on proprietary platform logs gathered
+//! under the production top-k recommender. We regenerate the same three
+//! analyses by running **Top-3 recommendation** (the platform status quo,
+//! Fig. 1) on city-scale simulated populations and collecting the
+//! resulting broker-day `(workload, sign-up-rate)` observations.
+
+use lacb::{Assigner, TopK};
+use linalg::stats::{mean, welch_t_test, WelchResult};
+use linalg::GaussianKde2d;
+use platform_sim::{CityId, Dataset, Platform, TrialTriple};
+
+use crate::presets::Preset;
+
+/// A broker-day observation from the motivation run.
+pub type Observation = TrialTriple;
+
+/// Run Top-3 over a city-like instance and collect every broker-day
+/// trial triple.
+pub fn collect_observations(preset: Preset, city: CityId, days: usize) -> Vec<Observation> {
+    let ds = Dataset::real_world(&preset.city(city)).truncated(days);
+    let mut platform = Platform::from_dataset(&ds);
+    let mut algo = TopK::new(3, 2024 + city as u64);
+    let mut out = Vec::new();
+    for (d, day) in ds.days.iter().enumerate() {
+        platform.begin_day();
+        algo.begin_day(&platform, d);
+        for batch in day {
+            let assignment = algo.assign_batch(&platform, &batch.requests);
+            platform.execute_batch(&batch.requests, &assignment);
+        }
+        let fb = platform.end_day();
+        algo.end_day(&platform, &fb);
+        out.extend(fb.trials);
+    }
+    out
+}
+
+/// One Fig. 2 curve point: average sign-up rate within a daily-workload
+/// bucket.
+#[derive(Clone, Debug)]
+pub struct Fig2Point {
+    /// City label.
+    pub city: &'static str,
+    /// Bucket centre (requests served per day).
+    pub workload: f64,
+    /// Mean sign-up rate of broker-days in the bucket.
+    pub mean_signup: f64,
+    /// Number of broker-days in the bucket.
+    pub n: usize,
+}
+
+/// Result of the Fig. 2 analysis for one city.
+#[derive(Clone, Debug)]
+pub struct Fig2City {
+    /// City label.
+    pub city: &'static str,
+    /// Bucketed curve (bucket width [`FIG2_BUCKET`]).
+    pub points: Vec<Fig2Point>,
+    /// Welch's t-test between sign-up rates of low-workload
+    /// (`≤ threshold`) and high-workload (`> threshold`) broker-days.
+    pub welch: Option<WelchResult>,
+    /// The workload threshold used for the test (the paper uses 40).
+    pub threshold: f64,
+}
+
+/// Fig. 2 bucket width (requests/day).
+pub const FIG2_BUCKET: f64 = 5.0;
+
+/// Fig. 2: sign-up rate vs. daily workload, one entry per city.
+pub fn fig2(preset: Preset) -> Vec<Fig2City> {
+    let days = match preset {
+        Preset::Quick => 6,
+        Preset::Standard => 10,
+        Preset::Paper => 21,
+    };
+    [CityId::A, CityId::B]
+        .into_iter()
+        .map(|city| fig2_city(collect_observations(preset, city, days), city.label()))
+        .collect()
+}
+
+fn fig2_city(obs: Vec<Observation>, city: &'static str) -> Fig2City {
+    let threshold = 40.0;
+    let mut buckets: std::collections::BTreeMap<i64, Vec<f64>> = Default::default();
+    let mut low = Vec::new();
+    let mut high = Vec::new();
+    for t in &obs {
+        let b = (t.workload / FIG2_BUCKET).floor() as i64;
+        buckets.entry(b).or_default().push(t.signup_rate);
+        if t.workload <= threshold {
+            low.push(t.signup_rate);
+        } else {
+            high.push(t.signup_rate);
+        }
+    }
+    let points = buckets
+        .into_iter()
+        .map(|(b, rates)| Fig2Point {
+            city,
+            workload: (b as f64 + 0.5) * FIG2_BUCKET,
+            mean_signup: mean(&rates),
+            n: rates.len(),
+        })
+        .collect();
+    Fig2City { city, points, welch: welch_t_test(&low, &high), threshold }
+}
+
+/// One Fig. 3 row: a top broker's KDE-fitted operating point and its
+/// workload/sign-up trend.
+#[derive(Clone, Debug)]
+pub struct Fig3Row {
+    /// Broker id.
+    pub broker: usize,
+    /// Number of active days observed.
+    pub days: usize,
+    /// Mean daily workload.
+    pub mean_workload: f64,
+    /// KDE mode of the (workload, sign-up) density — the "light area" of
+    /// Fig. 3, the broker's accustomed operating point.
+    pub mode_workload: f64,
+    /// Sign-up rate at the KDE mode.
+    pub mode_signup: f64,
+    /// Pearson correlation between daily workload and sign-up rate
+    /// (negative = performance drops when pushed past the comfort zone).
+    pub workload_signup_corr: f64,
+}
+
+/// Fig. 3: per-broker KDE analysis of the `top_n` most-loaded brokers in
+/// City A (the paper studies the 21 busiest of the top 50).
+pub fn fig3(preset: Preset, top_n: usize) -> Vec<Fig3Row> {
+    let days = match preset {
+        Preset::Quick => 8,
+        Preset::Standard => 12,
+        Preset::Paper => 21,
+    };
+    let obs = collect_observations(preset, CityId::A, days);
+    // Group observations per broker.
+    let mut per_broker: std::collections::HashMap<usize, Vec<&Observation>> = Default::default();
+    for t in &obs {
+        per_broker.entry(t.broker).or_default().push(t);
+    }
+    // The paper studies the brokers that "serve more than 40 requests
+    // occasionally": rank by *peak* daily workload (among brokers with
+    // enough active days for a meaningful trend).
+    let mut ranked: Vec<(usize, f64)> = per_broker
+        .iter()
+        .filter(|(_, ts)| ts.len() >= 3)
+        .map(|(&b, ts)| (b, ts.iter().map(|t| t.workload).fold(0.0, f64::max)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    ranked
+        .into_iter()
+        .take(top_n)
+        .map(|(b, _)| {
+            let ts = &per_broker[&b];
+            let ws: Vec<f64> = ts.iter().map(|t| t.workload).collect();
+            let ss: Vec<f64> = ts.iter().map(|t| t.signup_rate).collect();
+            let kde = GaussianKde2d::fit(&ws, &ss);
+            let wmax = ws.iter().cloned().fold(1.0, f64::max);
+            let (mode_w, mode_s) = kde.mode((0.0, wmax * 1.2), (0.0, 1.0), 48, 32);
+            Fig3Row {
+                broker: b,
+                days: ts.len(),
+                mean_workload: mean(&ws),
+                mode_workload: mode_w,
+                mode_signup: mode_s,
+                workload_signup_corr: linalg::stats::pearson(&ws, &ss),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 4 summary for one city: the workload distribution of the
+/// `top_n` most-loaded brokers vs. the city average.
+#[derive(Clone, Debug)]
+pub struct Fig4City {
+    /// City label.
+    pub city: &'static str,
+    /// Mean daily workloads of the top brokers, descending.
+    pub top_workloads: Vec<f64>,
+    /// City-wide average daily workload per broker.
+    pub city_average: f64,
+    /// Ratio of the #1 broker's workload to the city average (the paper
+    /// reports 12.03× for City A).
+    pub top1_ratio: f64,
+    /// Brokers among the top whose mean daily workload exceeds the
+    /// capacity knee (the paper's "black box" risk group).
+    pub overloaded_count: usize,
+}
+
+/// Fig. 4: top-broker workload concentration under Top-3 recommendation.
+pub fn fig4(preset: Preset, top_n: usize) -> Vec<Fig4City> {
+    let days = match preset {
+        Preset::Quick => 5,
+        Preset::Standard => 8,
+        Preset::Paper => 21,
+    };
+    [CityId::A, CityId::B]
+        .into_iter()
+        .map(|city| {
+            let obs = collect_observations(preset, city, days);
+            let n_brokers = Dataset::real_world(&preset.city(city)).brokers.len();
+            let mut per_broker = vec![0.0f64; n_brokers];
+            for t in &obs {
+                per_broker[t.broker] += t.workload;
+            }
+            let per_day = days as f64;
+            let mut daily: Vec<f64> = per_broker.iter().map(|w| w / per_day).collect();
+            let city_average = daily.iter().sum::<f64>() / n_brokers as f64;
+            daily.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let top: Vec<f64> = daily.iter().take(top_n).cloned().collect();
+            let knee = 40.0;
+            Fig4City {
+                city: city.label(),
+                top1_ratio: if city_average > 0.0 { top[0] / city_average } else { 0.0 },
+                overloaded_count: top.iter().filter(|&&w| w > knee).count(),
+                top_workloads: top,
+                city_average,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_signup_drops_past_threshold() {
+        let cities = fig2(Preset::Quick);
+        assert_eq!(cities.len(), 2);
+        for c in &cities {
+            assert!(!c.points.is_empty(), "{}: no points", c.city);
+            // Compare mean sign-up below vs above the knee, weighting by n.
+            let lo: Vec<f64> = c
+                .points
+                .iter()
+                .filter(|p| p.workload <= c.threshold && p.n >= 3)
+                .map(|p| p.mean_signup)
+                .collect();
+            let hi: Vec<f64> = c
+                .points
+                .iter()
+                .filter(|p| p.workload > c.threshold + 10.0 && p.n >= 3)
+                .map(|p| p.mean_signup)
+                .collect();
+            if !lo.is_empty() && !hi.is_empty() {
+                assert!(
+                    mean(&lo) > mean(&hi),
+                    "{}: low-workload sign-up {} should exceed high-workload {}",
+                    c.city,
+                    mean(&lo),
+                    mean(&hi)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_welch_is_significant() {
+        let cities = fig2(Preset::Quick);
+        // At least one city must show the paper's significant separation.
+        let significant = cities
+            .iter()
+            .filter_map(|c| c.welch.as_ref())
+            .any(|w| w.p_value < 0.01 && w.t > 0.0);
+        assert!(significant, "expected a significant workload/sign-up separation");
+    }
+
+    #[test]
+    fn fig3_top_brokers_mostly_decline_with_workload() {
+        let rows = fig3(Preset::Quick, 15);
+        assert!(!rows.is_empty());
+        let negative = rows.iter().filter(|r| r.workload_signup_corr < 0.0).count();
+        assert!(
+            negative * 2 >= rows.len(),
+            "most top brokers should show a decreasing trend ({negative}/{})",
+            rows.len()
+        );
+    }
+
+    #[test]
+    fn fig4_top_brokers_dominate_average() {
+        let cities = fig4(Preset::Quick, 50);
+        for c in cities {
+            assert!(c.top1_ratio > 3.0, "{}: top-1 ratio {}", c.city, c.top1_ratio);
+            assert!(c.top_workloads[0] >= c.city_average);
+            assert!(c
+                .top_workloads
+                .windows(2)
+                .all(|w| w[0] >= w[1]));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Scale presets for the experiment binaries.
+//!
+//! The paper's default synthetic instance (`|B| = 2000`, `|R| = 50K`,
+//! 14 days) makes every KM-family algorithm pay `O(|B|³)` per batch over
+//! ~1 700 batches — hours of compute per configuration. That cost *is*
+//! the paper's point (Fig. 8's running-time panels), so we keep the
+//! algorithms faithful and instead scale the instances:
+//!
+//! * [`Preset::Quick`] — seconds; used by tests and smoke runs.
+//! * [`Preset::Standard`] — minutes; default for the binaries, large
+//!   enough that the cubic/CBS separation is unambiguous.
+//! * [`Preset::Paper`] — the full Table III/IV sizes.
+
+use platform_sim::{RealWorldConfig, SyntheticConfig};
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// Tiny instances for CI (seconds end-to-end).
+    Quick,
+    /// Reduced instances for interactive runs (minutes).
+    Standard,
+    /// The paper's full sizes (hours for the cubic baselines).
+    Paper,
+}
+
+impl Preset {
+    /// Parse from a CLI flag value.
+    pub fn parse(s: &str) -> Option<Preset> {
+        match s.to_ascii_lowercase().as_str() {
+            "quick" => Some(Preset::Quick),
+            "standard" => Some(Preset::Standard),
+            "paper" => Some(Preset::Paper),
+            _ => None,
+        }
+    }
+
+    /// Extract `--preset <value>` from CLI args, defaulting to
+    /// `Standard`.
+    pub fn from_args() -> Preset {
+        let args: Vec<String> = std::env::args().collect();
+        for i in 0..args.len() {
+            if args[i] == "--preset" {
+                if let Some(v) = args.get(i + 1).and_then(|s| Preset::parse(s)) {
+                    return v;
+                }
+                eprintln!("unknown --preset value; using standard");
+            }
+        }
+        Preset::Standard
+    }
+
+    /// The base synthetic configuration (the bolded Table III defaults,
+    /// scaled for the preset).
+    ///
+    /// Scaling preserves the two ratios that drive the paper's
+    /// phenomena: light average load (≈2 requests/day/broker) and many
+    /// small batches per day (so per-batch winners accumulate daily
+    /// overload). Requests-per-batch shrinks with the population —
+    /// keeping it at the paper's 30 while shrinking |B| would starve the
+    /// batch count.
+    pub fn synthetic_default(self) -> SyntheticConfig {
+        match self {
+            Preset::Quick => SyntheticConfig {
+                num_brokers: 100,
+                num_requests: 1200, // 12/batch × 20 batches/day × 5 days
+                days: 5,
+                imbalance: 0.12,
+                seed: 7,
+            },
+            Preset::Standard => SyntheticConfig {
+                num_brokers: 400,
+                num_requests: 6000, // 12/batch × 50 batches/day × 10 days
+                days: 10,
+                imbalance: 0.03,
+                seed: 7,
+            },
+            Preset::Paper => SyntheticConfig::default(),
+        }
+    }
+
+    /// Divisor applied to the Table III sweep values (brokers/requests).
+    pub fn sweep_scale(self) -> usize {
+        match self {
+            Preset::Quick => 20,
+            Preset::Standard => 5,
+            Preset::Paper => 1,
+        }
+    }
+
+    /// The broker-side scale factor for Table IV instances.
+    pub fn city_scale(self) -> f64 {
+        match self {
+            Preset::Quick => 0.02,
+            Preset::Standard => 0.08,
+            Preset::Paper => 1.0,
+        }
+    }
+
+    /// The request-side scale factor. Reduced presets shrink requests
+    /// *less* than brokers so the top brokers still cross the ~40/day
+    /// capacity knee — the overload phenomenon is absolute, not relative
+    /// (see [`RealWorldConfig::load_preserving`]).
+    pub fn city_request_scale(self) -> f64 {
+        match self {
+            Preset::Quick => 0.05,
+            Preset::Standard => 0.12,
+            Preset::Paper => 1.0,
+        }
+    }
+
+    /// City-scale config for a given city under this preset.
+    pub fn city(self, city: platform_sim::CityId) -> RealWorldConfig {
+        RealWorldConfig::load_preserving(city, self.city_scale(), self.city_request_scale())
+    }
+
+    /// Label for report footers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Preset::Quick => "quick",
+            Preset::Standard => "standard",
+            Preset::Paper => "paper",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for p in [Preset::Quick, Preset::Standard, Preset::Paper] {
+            assert_eq!(Preset::parse(p.label()), Some(p));
+        }
+        assert_eq!(Preset::parse("nope"), None);
+    }
+
+    #[test]
+    fn paper_preset_is_table_iii_default() {
+        assert_eq!(Preset::Paper.synthetic_default(), SyntheticConfig::default());
+        assert_eq!(Preset::Paper.sweep_scale(), 1);
+        assert_eq!(Preset::Paper.city_scale(), 1.0);
+    }
+
+    #[test]
+    fn quick_preset_is_small() {
+        let c = Preset::Quick.synthetic_default();
+        assert!(c.num_brokers <= 200);
+        assert!(c.num_requests <= 2000);
+    }
+
+    /// Reduced presets must preserve the Table III load structure: light
+    /// average daily load and tens of batches per day.
+    #[test]
+    fn reduced_presets_preserve_load_regime() {
+        for p in [Preset::Quick, Preset::Standard] {
+            let c = p.synthetic_default();
+            let per_broker_daily =
+                c.num_requests as f64 / c.num_brokers as f64 / c.days as f64;
+            assert!(
+                (0.5..=5.0).contains(&per_broker_daily),
+                "{p:?}: avg load {per_broker_daily}"
+            );
+            assert!(c.batches_per_day() >= 15, "{p:?}: {} batches/day", c.batches_per_day());
+        }
+    }
+}

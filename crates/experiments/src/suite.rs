@@ -1,0 +1,74 @@
+//! The standard algorithm suite of Sec. VII-A.
+
+use bandit::CandidateCapacities;
+use lacb::{
+    AssignmentNeuralUcb, Assigner, BatchKm, CTopK, Lacb, LacbConfig,
+    RandomizedRecommendation, TopK,
+};
+
+/// Which algorithms to instantiate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuiteKind {
+    /// Every comparator of the paper (Top-1, Top-3, RR, KM, CTop-1,
+    /// CTop-3, AN, LACB, LACB-Opt).
+    Full,
+    /// Only the fast (non-cubic) algorithms — Top-K, RR, CTop-K,
+    /// LACB-Opt — for very large instances.
+    FastOnly,
+}
+
+/// Default candidate-capacity arms shared by the learned policies.
+pub fn default_arms() -> CandidateCapacities {
+    CandidateCapacities::range(10.0, 60.0, 10.0)
+}
+
+/// Build the algorithm suite. `num_brokers` sizes AN's estimator;
+/// `ctopk_capacity` is the empirical shared constant (Sec. VII-A uses the
+/// city-level knee: 45/55/40 for Cities A/B/C; synthetic runs use the
+/// Fig. 2-style knee of the generated population, ~40).
+pub fn build(kind: SuiteKind, num_brokers: usize, ctopk_capacity: f64, seed: u64) -> Vec<Box<dyn Assigner>> {
+    let mut algos: Vec<Box<dyn Assigner>> = vec![
+        Box::new(TopK::new(1, seed)),
+        Box::new(TopK::new(3, seed + 1)),
+        Box::new(RandomizedRecommendation::new(seed + 2)),
+        Box::new(CTopK::new(1, ctopk_capacity, seed + 3)),
+        Box::new(CTopK::new(3, ctopk_capacity, seed + 4)),
+    ];
+    if kind == SuiteKind::Full {
+        algos.push(Box::new(BatchKm::new()));
+        algos.push(Box::new(AssignmentNeuralUcb::new(num_brokers, default_arms(), seed + 5)));
+        algos.push(Box::new(Lacb::new(LacbConfig { seed: seed + 6, ..LacbConfig::default() })));
+    }
+    algos.push(Box::new(Lacb::new(LacbConfig { seed: seed + 7, ..LacbConfig::opt() })));
+    algos
+}
+
+/// Names in suite order, for tests and table headers.
+pub fn names(kind: SuiteKind) -> Vec<&'static str> {
+    match kind {
+        SuiteKind::Full => vec![
+            "Top-1", "Top-3", "RR", "CTop-1", "CTop-3", "KM", "AN", "LACB", "LACB-Opt",
+        ],
+        SuiteKind::FastOnly => vec!["Top-1", "Top-3", "RR", "CTop-1", "CTop-3", "LACB-Opt"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_suite_names_match() {
+        let algos = build(SuiteKind::Full, 50, 40.0, 1);
+        let got: Vec<String> = algos.iter().map(|a| a.name()).collect();
+        assert_eq!(got, names(SuiteKind::Full));
+    }
+
+    #[test]
+    fn fast_suite_excludes_cubic() {
+        let algos = build(SuiteKind::FastOnly, 50, 40.0, 1);
+        let got: Vec<String> = algos.iter().map(|a| a.name()).collect();
+        assert_eq!(got, names(SuiteKind::FastOnly));
+        assert!(!got.iter().any(|n| n == "KM" || n == "AN" || n == "LACB"));
+    }
+}

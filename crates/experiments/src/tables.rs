@@ -1,0 +1,92 @@
+//! Tables III and IV: dataset inventories.
+
+use crate::report::Table;
+use platform_sim::{CityId, Dataset, RealWorldConfig, SyntheticConfig};
+
+/// Table III: the synthetic factor grid, defaults bolded with `*`.
+pub fn table3() -> Table {
+    let mut t = Table::new("Table III: synthetic datasets", &["Factor", "Settings"]);
+    let mark = |v: String, is_default: bool| if is_default { format!("*{v}*") } else { v };
+    t.push_row(vec![
+        "The number of brokers |B|".into(),
+        SyntheticConfig::BROKER_SWEEP
+            .iter()
+            .map(|&b| mark(b.to_string(), b == 2000))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    t.push_row(vec![
+        "The number of requests |R|".into(),
+        SyntheticConfig::REQUEST_SWEEP
+            .iter()
+            .map(|&r| mark(format!("{}K", r / 1000), r == 50_000))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    t.push_row(vec![
+        "The number of covering days Day".into(),
+        SyntheticConfig::DAY_SWEEP
+            .iter()
+            .map(|&d| mark(d.to_string(), d == 14))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    t.push_row(vec![
+        "The degree of imbalance sigma".into(),
+        SyntheticConfig::IMBALANCE_SWEEP
+            .iter()
+            .map(|&s| mark(s.to_string(), s == 0.015))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    t
+}
+
+/// Table IV: real-world dataset statistics, with the generated instance
+/// verified against the declared counts at `scale`.
+pub fn table4(scale: f64) -> Table {
+    let mut t = Table::new(
+        format!("Table IV: real-world datasets (generated at scale {scale})"),
+        &["City", "Days", "Brokers", "Requests", "Generated brokers", "Generated requests"],
+    );
+    for city in CityId::ALL {
+        let (b, r, d) = city.stats();
+        let cfg = RealWorldConfig::scaled(city, scale);
+        let ds = Dataset::real_world(&cfg);
+        t.push_row(vec![
+            city.label().to_string(),
+            d.to_string(),
+            b.to_string(),
+            r.to_string(),
+            ds.brokers.len().to_string(),
+            ds.total_requests().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_lists_all_factors() {
+        let t = table3();
+        assert_eq!(t.len(), 4);
+        let md = t.to_markdown();
+        assert!(md.contains("*2000*"));
+        assert!(md.contains("*50K*"));
+        assert!(md.contains("*14*"));
+        assert!(md.contains("*0.015*"));
+    }
+
+    #[test]
+    fn table4_generated_counts_match_scale() {
+        let t = table4(0.01);
+        assert_eq!(t.len(), 3);
+        let csv = t.to_csv();
+        // City A: 5515 * 0.01 ≈ 55 brokers, 103106 * 0.01 ≈ 1031 requests.
+        assert!(csv.contains("55"), "{csv}");
+        assert!(csv.contains("1031"), "{csv}");
+    }
+}

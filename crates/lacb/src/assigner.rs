@@ -1,0 +1,62 @@
+//! The broker-matching policy interface.
+
+use platform_sim::{DayFeedback, Platform, Request};
+
+/// A batched broker-matching policy (the "assignment algorithms" of
+/// Sec. VII-A).
+///
+/// The runner guarantees the call order
+/// `begin_day → (assign_batch)* → end_day` for every day of the horizon.
+/// Implementations see only algorithm-legal information: the utility
+/// matrix, the public broker state (current workloads) and the day-level
+/// feedback trials — never the latent capacities (except the explicit
+/// [`crate::OracleCapacity`] reference policy).
+///
+/// `Send` is required so experiment harnesses can run independent
+/// policies on worker threads (each against its own `Platform`).
+pub trait Assigner: Send {
+    /// Display name used in reports (e.g. `"LACB-Opt"`).
+    fn name(&self) -> String;
+
+    /// Called after `platform.begin_day()`: estimate capacities, reset
+    /// per-day state.
+    fn begin_day(&mut self, platform: &Platform, day: usize);
+
+    /// Produce the batch assignment: `result[r]` is the broker id to
+    /// serve request `r` of the batch, or `None` to leave it unserved.
+    ///
+    /// Matching-based policies (KM, AN, LACB) return distinct brokers per
+    /// batch; recommendation-style policies (Top-K, RR, CTop-K) may repeat
+    /// a broker, because each client picks independently from its own
+    /// recommendation list — that collision is precisely what overloads
+    /// top brokers.
+    fn assign_batch(&mut self, platform: &Platform, requests: &[Request]) -> Vec<Option<usize>>;
+
+    /// End-of-day feedback with the realised trial triples.
+    fn end_day(&mut self, platform: &Platform, feedback: &DayFeedback);
+}
+
+/// Assert the matching property (each broker at most once per batch);
+/// used by the runner in debug builds and by tests.
+pub fn assert_is_matching(assignment: &[Option<usize>]) {
+    let mut seen = std::collections::HashSet::new();
+    for b in assignment.iter().flatten() {
+        assert!(seen.insert(*b), "broker {b} assigned twice in one batch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_assertion_accepts_distinct() {
+        assert_is_matching(&[Some(1), None, Some(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn matching_assertion_rejects_duplicates() {
+        assert_is_matching(&[Some(1), Some(1)]);
+    }
+}

@@ -1,0 +1,165 @@
+//! AN — Assignment with NeuralUCB (Sec. VII-A).
+//!
+//! Capacity exploration by a single generic NeuralUCB bandit (Zhou et
+//! al., ICML'20) shared across all brokers, followed by per-batch KM on
+//! the brokers with residual capacity. This is the strongest baseline in
+//! the paper: it is capacity-aware and learned, but it lacks both LACB's
+//! per-broker personalisation and the capacity-aware value function, and
+//! its one-sample-at-a-time training gives it a visible cold start on
+//! short horizons (Fig. 8, covering-days column).
+
+use crate::assigner::Assigner;
+use bandit::{CandidateCapacities, CapacityEstimator, NeuralUcb, NnUcbConfig};
+use matching::hungarian::{max_weight_assignment, max_weight_assignment_padded};
+use platform_sim::{DayFeedback, Platform, Request, STATUS_DIM};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The AN baseline.
+pub struct AssignmentNeuralUcb {
+    bandit: NeuralUcb,
+    capacities: Vec<f64>,
+}
+
+impl AssignmentNeuralUcb {
+    /// Create with the suite's shared bandit hyper-parameters (see
+    /// [`crate::lacb::tuned_bandit_config`] — identical to what LACB
+    /// uses, keeping the comparison fair) and the given
+    /// candidate-capacity arms.
+    pub fn new(num_brokers: usize, arms: CandidateCapacities, seed: u64) -> Self {
+        Self::with_config(num_brokers, arms, crate::lacb::tuned_bandit_config(), seed)
+    }
+
+    /// Create with explicit bandit hyper-parameters.
+    pub fn with_config(
+        num_brokers: usize,
+        arms: CandidateCapacities,
+        cfg: NnUcbConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bandit = NeuralUcb::new(&mut rng, STATUS_DIM, arms, cfg);
+        Self { bandit, capacities: vec![0.0; num_brokers] }
+    }
+
+    /// Capacity currently assigned to broker `b`.
+    pub fn capacity_of(&self, b: usize) -> f64 {
+        self.capacities[b]
+    }
+}
+
+impl Assigner for AssignmentNeuralUcb {
+    fn name(&self) -> String {
+        "AN".to_string()
+    }
+
+    fn begin_day(&mut self, platform: &Platform, _day: usize) {
+        for b in 0..platform.num_brokers() {
+            self.capacities[b] = self.bandit.choose(platform.day_start_status(b));
+        }
+    }
+
+    fn assign_batch(&mut self, platform: &Platform, requests: &[Request]) -> Vec<Option<usize>> {
+        let available: Vec<usize> = (0..platform.num_brokers())
+            .filter(|&b| platform.workload_today(b) < self.capacities[b])
+            .collect();
+        if available.is_empty() {
+            return vec![None; requests.len()];
+        }
+        let full = platform.utility_matrix(requests);
+        let reduced = full.select_columns(&available);
+        let result = if reduced.rows() <= reduced.cols() {
+            max_weight_assignment_padded(&reduced)
+        } else {
+            max_weight_assignment(&reduced)
+        };
+        result
+            .row_to_col
+            .into_iter()
+            .map(|slot| slot.map(|c| available[c]))
+            .collect()
+    }
+
+    fn end_day(&mut self, _platform: &Platform, feedback: &DayFeedback) {
+        for t in &feedback.trials {
+            self.bandit.update(&t.context, t.workload, t.signup_rate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assigner::assert_is_matching;
+    use platform_sim::{Dataset, SyntheticConfig};
+
+    fn world() -> (Platform, Dataset) {
+        let cfg = SyntheticConfig {
+            num_brokers: 25,
+            num_requests: 250,
+            days: 2,
+            imbalance: 0.2,
+            seed: 19,
+        };
+        let ds = Dataset::synthetic(&cfg);
+        (Platform::from_dataset(&ds), ds)
+    }
+
+    fn arms() -> CandidateCapacities {
+        CandidateCapacities::range(10.0, 50.0, 10.0)
+    }
+
+    #[test]
+    fn full_day_cycle_runs() {
+        let (mut p, ds) = world();
+        let mut a = AssignmentNeuralUcb::new(p.num_brokers(), arms(), 1);
+        for day in &ds.days {
+            p.begin_day();
+            a.begin_day(&p, 0);
+            for batch in day {
+                let assignment = a.assign_batch(&p, &batch.requests);
+                assert_is_matching(&assignment);
+                p.execute_batch(&batch.requests, &assignment);
+            }
+            let fb = p.end_day();
+            a.end_day(&p, &fb);
+        }
+        assert!(a.bandit.trials() > 0, "bandit should have received trials");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn respects_learned_capacity() {
+        let (mut p, ds) = world();
+        let mut a = AssignmentNeuralUcb::new(p.num_brokers(), arms(), 2);
+        p.begin_day();
+        a.begin_day(&p, 0);
+        let mut served = vec![0.0; p.num_brokers()];
+        for batch in &ds.days[0] {
+            let assignment = a.assign_batch(&p, &batch.requests);
+            p.execute_batch(&batch.requests, &assignment);
+            for s in assignment.iter().flatten() {
+                served[*s] += 1.0;
+            }
+        }
+        for b in 0..p.num_brokers() {
+            assert!(
+                served[b] <= a.capacity_of(b),
+                "broker {b}: served {} > capacity {}",
+                served[b],
+                a.capacity_of(b)
+            );
+        }
+    }
+
+    #[test]
+    fn capacities_come_from_arm_set() {
+        let (mut p, _) = world();
+        let mut a = AssignmentNeuralUcb::new(p.num_brokers(), arms(), 3);
+        p.begin_day();
+        a.begin_day(&p, 0);
+        for b in 0..p.num_brokers() {
+            assert!(arms().values().contains(&a.capacity_of(b)));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-batch Kuhn–Munkres without capacity awareness.
+//!
+//! Runs the classical KM algorithm on the dummy-padded balanced graph in
+//! every batch (Sec. VII-A). Spreads load *within* a batch (a matching
+//! uses each broker once) but the same strong brokers win every batch, so
+//! their daily workloads still pile up — and the padded `|B| × |B|` solve
+//! is the cubic bottleneck the running-time plots of Fig. 8 show.
+
+use crate::assigner::Assigner;
+use matching::hungarian::{max_weight_assignment, max_weight_assignment_padded};
+use platform_sim::{DayFeedback, Platform, Request};
+
+/// Capacity-blind per-batch KM.
+#[derive(Clone, Debug, Default)]
+pub struct BatchKm;
+
+impl BatchKm {
+    /// Create the baseline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Assigner for BatchKm {
+    fn name(&self) -> String {
+        "KM".to_string()
+    }
+
+    fn begin_day(&mut self, _platform: &Platform, _day: usize) {}
+
+    fn assign_batch(&mut self, platform: &Platform, requests: &[Request]) -> Vec<Option<usize>> {
+        let u = platform.utility_matrix(requests);
+        let result = if u.rows() <= u.cols() {
+            // Paper-faithful: balanced KM over all |B| brokers.
+            max_weight_assignment_padded(&u)
+        } else {
+            max_weight_assignment(&u)
+        };
+        result.row_to_col
+    }
+
+    fn end_day(&mut self, _platform: &Platform, _feedback: &DayFeedback) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assigner::assert_is_matching;
+    use platform_sim::{Dataset, SyntheticConfig};
+
+    fn world() -> (Platform, Dataset) {
+        let cfg = SyntheticConfig {
+            num_brokers: 40,
+            num_requests: 200,
+            days: 1,
+            imbalance: 0.25,
+            seed: 13,
+        };
+        let ds = Dataset::synthetic(&cfg);
+        (Platform::from_dataset(&ds), ds)
+    }
+
+    #[test]
+    fn produces_a_matching() {
+        let (mut p, ds) = world();
+        p.begin_day();
+        let mut a = BatchKm::new();
+        let assignment = a.assign_batch(&p, &ds.days[0][0].requests);
+        assert_is_matching(&assignment);
+        assert!(assignment.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn maximizes_predicted_batch_utility() {
+        let (mut p, ds) = world();
+        p.begin_day();
+        let mut a = BatchKm::new();
+        let reqs = &ds.days[0][0].requests;
+        let assignment = a.assign_batch(&p, reqs);
+        let u = p.utility_matrix(reqs);
+        let km_total: f64 = assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(r, s)| s.map(|b| u.get(r, b)))
+            .sum();
+        // Compare against the rectangular exact solver.
+        let opt = matching::max_weight_assignment(&u);
+        assert!((km_total - opt.total).abs() < 1e-9);
+    }
+}

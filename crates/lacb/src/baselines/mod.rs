@@ -1,0 +1,16 @@
+//! The comparison algorithms of Sec. VII-A.
+//!
+//! Two families, mirroring the paper's grouping: capacity-blind
+//! ([`top_k::TopK`], [`rr::RandomizedRecommendation`], [`km::BatchKm`])
+//! and capacity-aware ([`ctop_k::CTopK`], [`an::AssignmentNeuralUcb`]),
+//! plus an omniscient [`oracle::OracleCapacity`] upper reference that the
+//! paper does not include but which bounds what any capacity estimator
+//! could achieve.
+
+pub mod an;
+pub mod ctop_k;
+pub mod greedy;
+pub mod km;
+pub mod oracle;
+pub mod rr;
+pub mod top_k;

@@ -1,0 +1,91 @@
+//! Omniscient capacity oracle (upper reference, not in the paper).
+//!
+//! Uses the simulator's ground-truth fatigue-adjusted capacity for every
+//! broker and assigns by per-batch KM on the non-saturated pool. No
+//! learned estimator can beat it under the same per-batch-KM assignment
+//! rule, so the gap `Oracle − LACB` isolates the *estimation* error of
+//! the bandit, and `Oracle − AN` bounds what any capacity-awareness can
+//! deliver.
+
+use crate::assigner::Assigner;
+use matching::hungarian::max_weight_assignment;
+use platform_sim::{DayFeedback, Platform, Request};
+
+/// Capacity oracle + per-batch rectangular KM.
+#[derive(Clone, Debug, Default)]
+pub struct OracleCapacity {
+    capacities: Vec<f64>,
+}
+
+impl OracleCapacity {
+    /// Create the oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Assigner for OracleCapacity {
+    fn name(&self) -> String {
+        "Oracle".to_string()
+    }
+
+    fn begin_day(&mut self, platform: &Platform, _day: usize) {
+        self.capacities = (0..platform.num_brokers())
+            .map(|b| platform.oracle_effective_capacity(b))
+            .collect();
+    }
+
+    fn assign_batch(&mut self, platform: &Platform, requests: &[Request]) -> Vec<Option<usize>> {
+        let available: Vec<usize> = (0..platform.num_brokers())
+            .filter(|&b| platform.workload_today(b) < self.capacities[b])
+            .collect();
+        if available.is_empty() {
+            return vec![None; requests.len()];
+        }
+        let reduced = platform.utility_matrix(requests).select_columns(&available);
+        max_weight_assignment(&reduced)
+            .row_to_col
+            .into_iter()
+            .map(|slot| slot.map(|c| available[c]))
+            .collect()
+    }
+
+    fn end_day(&mut self, _platform: &Platform, _feedback: &DayFeedback) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assigner::assert_is_matching;
+    use platform_sim::{Dataset, SyntheticConfig};
+
+    #[test]
+    fn never_overloads_true_capacity() {
+        let cfg = SyntheticConfig {
+            num_brokers: 15,
+            num_requests: 600,
+            days: 1,
+            imbalance: 0.6,
+            seed: 23,
+        };
+        let ds = Dataset::synthetic(&cfg);
+        let mut p = Platform::from_dataset(&ds);
+        let mut a = OracleCapacity::new();
+        p.begin_day();
+        a.begin_day(&p, 0);
+        let caps: Vec<f64> =
+            (0..p.num_brokers()).map(|b| p.oracle_effective_capacity(b)).collect();
+        let mut served = vec![0.0; p.num_brokers()];
+        for batch in &ds.days[0] {
+            let assignment = a.assign_batch(&p, &batch.requests);
+            assert_is_matching(&assignment);
+            p.execute_batch(&batch.requests, &assignment);
+            for s in assignment.iter().flatten() {
+                served[*s] += 1.0;
+            }
+        }
+        for b in 0..p.num_brokers() {
+            assert!(served[b] <= caps[b].ceil(), "broker {b} overloaded");
+        }
+    }
+}

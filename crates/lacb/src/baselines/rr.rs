@@ -1,0 +1,116 @@
+//! Randomized Recommendation (RR).
+//!
+//! Extends fair task-allocation ideas (Basik et al.) to broker matching:
+//! each request samples a broker with probability proportional to the
+//! broker's platform quality score. It trivially avoids overload by
+//! apportioning requests across the whole population — at the price of
+//! poor match quality and of capping what strong brokers are allowed to
+//! contribute (Sec. VII-C: "RR decreases the utility of 25.7% brokers
+//! compared with Top-K").
+
+use crate::assigner::Assigner;
+use platform_sim::{rng::weighted_choice, DayFeedback, Platform, Request};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Quality-weighted random recommendation.
+#[derive(Clone, Debug)]
+pub struct RandomizedRecommendation {
+    rng: StdRng,
+    weights: Vec<f64>,
+}
+
+impl RandomizedRecommendation {
+    /// Create with the given seed; weights are captured per platform at
+    /// the first `begin_day`.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), weights: Vec::new() }
+    }
+}
+
+impl Assigner for RandomizedRecommendation {
+    fn name(&self) -> String {
+        "RR".to_string()
+    }
+
+    fn begin_day(&mut self, platform: &Platform, _day: usize) {
+        // The platform's quality index is its published service-quality
+        // score (the same score Top-K ranks by, aggregated over pairs):
+        // we use each broker's quality attribute as the sampling weight.
+        if self.weights.len() != platform.num_brokers() {
+            self.weights = platform.brokers().iter().map(|b| b.quality).collect();
+        }
+    }
+
+    fn assign_batch(&mut self, _platform: &Platform, requests: &[Request]) -> Vec<Option<usize>> {
+        (0..requests.len())
+            .map(|_| Some(weighted_choice(&mut self.rng, &self.weights)))
+            .collect()
+    }
+
+    fn end_day(&mut self, _platform: &Platform, _feedback: &DayFeedback) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform_sim::{Dataset, SyntheticConfig};
+
+    fn world() -> (Platform, Dataset) {
+        let cfg = SyntheticConfig {
+            num_brokers: 50,
+            num_requests: 2000,
+            days: 1,
+            imbalance: 0.4,
+            seed: 8,
+        };
+        let ds = Dataset::synthetic(&cfg);
+        (Platform::from_dataset(&ds), ds)
+    }
+
+    #[test]
+    fn spreads_load_widely() {
+        let (mut p, ds) = world();
+        p.begin_day();
+        let mut a = RandomizedRecommendation::new(3);
+        a.begin_day(&p, 0);
+        let mut served = vec![0usize; p.num_brokers()];
+        for batch in &ds.days[0] {
+            for slot in a.assign_batch(&p, &batch.requests).iter().flatten() {
+                served[*slot] += 1;
+            }
+        }
+        let active = served.iter().filter(|&&c| c > 0).count();
+        assert!(active > 40, "RR should reach most brokers, got {active}");
+    }
+
+    #[test]
+    fn respects_quality_weighting() {
+        let (mut p, ds) = world();
+        p.begin_day();
+        let mut a = RandomizedRecommendation::new(4);
+        a.begin_day(&p, 0);
+        let mut served = vec![0f64; p.num_brokers()];
+        for _ in 0..30 {
+            for batch in &ds.days[0] {
+                for slot in a.assign_batch(&p, &batch.requests).iter().flatten() {
+                    served[*slot] += 1.0;
+                }
+            }
+        }
+        let qualities: Vec<f64> = p.brokers().iter().map(|b| b.quality).collect();
+        let r = linalg::stats::pearson(&qualities, &served);
+        assert!(r > 0.5, "serving should correlate with quality, r = {r}");
+    }
+
+    #[test]
+    fn every_request_served() {
+        let (mut p, ds) = world();
+        p.begin_day();
+        let mut a = RandomizedRecommendation::new(5);
+        a.begin_day(&p, 0);
+        let batch = &ds.days[0][0];
+        let assignment = a.assign_batch(&p, &batch.requests);
+        assert!(assignment.iter().all(Option::is_some));
+    }
+}

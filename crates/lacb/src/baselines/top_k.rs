@@ -1,0 +1,144 @@
+//! Top-K recommendation (the platform status quo; Fig. 1).
+//!
+//! For every request the platform lists the `k` brokers with the highest
+//! pair utility; the client picks one of them uniformly at random. No
+//! capacity accounting of any kind — this is the mechanism whose
+//! overload behaviour motivates the whole paper (Sec. II).
+
+use crate::assigner::Assigner;
+use platform_sim::{DayFeedback, Platform, Request};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Top-K recommendation with uniform client choice among the listed
+/// brokers.
+#[derive(Clone, Debug)]
+pub struct TopK {
+    k: usize,
+    rng: StdRng,
+}
+
+impl TopK {
+    /// `k` brokers listed per request (the paper evaluates k=1 and k=3).
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self { k, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The `k` in use.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Indices of the top-k utilities in a row (exact, by partial sort).
+    fn top_k_of(row: &[f64], k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        let k = k.min(idx.len());
+        idx.select_nth_unstable_by(k - 1, |&a, &b| {
+            row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl Assigner for TopK {
+    fn name(&self) -> String {
+        format!("Top-{}", self.k)
+    }
+
+    fn begin_day(&mut self, _platform: &Platform, _day: usize) {}
+
+    fn assign_batch(&mut self, platform: &Platform, requests: &[Request]) -> Vec<Option<usize>> {
+        let u = platform.utility_matrix(requests);
+        (0..requests.len())
+            .map(|r| {
+                let top = Self::top_k_of(u.row(r), self.k);
+                if top.is_empty() {
+                    None
+                } else {
+                    let pick = self.rng.gen_range(0..top.len());
+                    Some(top[pick])
+                }
+            })
+            .collect()
+    }
+
+    fn end_day(&mut self, _platform: &Platform, _feedback: &DayFeedback) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform_sim::{Dataset, SyntheticConfig};
+
+    fn world() -> (Platform, Dataset) {
+        let cfg = SyntheticConfig {
+            num_brokers: 30,
+            num_requests: 300,
+            days: 2,
+            imbalance: 0.2,
+            seed: 5,
+        };
+        let ds = Dataset::synthetic(&cfg);
+        (Platform::from_dataset(&ds), ds)
+    }
+
+    #[test]
+    fn top1_is_argmax() {
+        let (mut p, ds) = world();
+        p.begin_day();
+        let mut a = TopK::new(1, 0);
+        let reqs = &ds.days[0][0].requests;
+        let assignment = a.assign_batch(&p, reqs);
+        let u = p.utility_matrix(reqs);
+        for (r, slot) in assignment.iter().enumerate() {
+            let b = slot.unwrap();
+            let best = u.row(r).iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(u.get(r, b), best);
+        }
+    }
+
+    #[test]
+    fn top3_picks_within_top3() {
+        let (mut p, ds) = world();
+        p.begin_day();
+        let mut a = TopK::new(3, 1);
+        let reqs = &ds.days[0][0].requests;
+        let assignment = a.assign_batch(&p, reqs);
+        let u = p.utility_matrix(reqs);
+        for (r, slot) in assignment.iter().enumerate() {
+            let b = slot.unwrap();
+            let mut row: Vec<f64> = u.row(r).to_vec();
+            row.sort_by(|x, y| y.partial_cmp(x).unwrap());
+            assert!(u.get(r, b) >= row[2] - 1e-12, "pick outside top-3");
+        }
+    }
+
+    #[test]
+    fn concentrates_load_on_few_brokers() {
+        let (mut p, ds) = world();
+        p.begin_day();
+        let mut a = TopK::new(1, 2);
+        let mut served = vec![0usize; p.num_brokers()];
+        for batch in &ds.days[0] {
+            for slot in a.assign_batch(&p, &batch.requests).iter().flatten() {
+                served[*slot] += 1;
+            }
+        }
+        let active = served.iter().filter(|&&c| c > 0).count();
+        // Top-1 on static utilities routes everything to a small broker set.
+        assert!(active <= 20, "active brokers = {active}");
+    }
+
+    #[test]
+    fn name_reflects_k() {
+        assert_eq!(TopK::new(3, 0).name(), "Top-3");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        TopK::new(0, 0);
+    }
+}

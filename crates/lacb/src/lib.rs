@@ -1,0 +1,40 @@
+//! LACB — Learned Assignment with Contextual Bandits (the paper's core
+//! contribution) and every comparator of its evaluation.
+//!
+//! The crate is organised around the [`Assigner`] trait: a broker-matching
+//! policy that, day by day and batch by batch, decides which broker serves
+//! which request. The experiment [`runner`] drives any `Assigner` through
+//! a [`platform_sim::Platform`] and collects the utility/runtime metrics
+//! the paper's figures report.
+//!
+//! Implemented policies:
+//!
+//! | Policy | Paper section | Capacity | Assignment |
+//! |---|---|---|---|
+//! | [`TopK`] | baseline (Cremonesi et al.) | none | client picks among the k highest-utility brokers |
+//! | [`RandomizedRecommendation`] | baseline (fair matching) | none | quality-weighted sampling |
+//! | [`BatchKm`] | baseline | none | per-batch Kuhn–Munkres |
+//! | [`CTopK`] | baseline (Christakopoulou et al.) | one empirical city-level constant | Top-K over non-saturated brokers |
+//! | [`AssignmentNeuralUcb`] (AN) | baseline (Zhou et al.) | generic NeuralUCB | per-batch KM |
+//! | [`Lacb`] | Secs. V–VI | personalised NN-enhanced UCB | value-function-guided KM (VFGA, Alg. 2) |
+//! | [`Lacb`] with [`LacbConfig::use_cbs`] (LACB-Opt) | Sec. VI-C | same | VFGA on the CBS-reduced graph (Alg. 3) |
+//! | [`OracleCapacity`] | — (upper reference) | ground-truth effective capacity | per-batch KM |
+
+pub mod assigner;
+pub mod baselines;
+pub mod lacb;
+pub mod runner;
+pub mod value_function;
+
+pub use assigner::Assigner;
+pub use baselines::an::AssignmentNeuralUcb;
+pub use baselines::ctop_k::CTopK;
+pub use baselines::greedy::GreedyMatch;
+pub use baselines::km::BatchKm;
+pub use baselines::oracle::OracleCapacity;
+pub use baselines::rr::RandomizedRecommendation;
+pub use baselines::top_k::TopK;
+pub use lacb::{tuned_bandit_config, Lacb, LacbConfig, Personalization};
+pub use platform_sim::RunMetrics;
+pub use runner::{run, RunConfig};
+pub use value_function::ValueFunction;

@@ -1,0 +1,152 @@
+//! The capacity-aware value function `V(cr)` of Sec. VI-B.
+//!
+//! `V(cr)` is the expected *future* utility of a broker holding residual
+//! capacity `cr`; it is trained online by the tabular temporal-difference
+//! rule of Eq. (14):
+//!
+//! ```text
+//! V(cr) ← V(cr) + β [ u + γ V(cr') − V(cr) ]
+//! ```
+//!
+//! and consumed by VFGA's utility refinement of Eq. (15):
+//! `u' = u + γV(cr−1) − V(cr)` for top brokers. Intuitively the
+//! refinement *discounts* an assignment that burns scarce residual
+//! capacity (when `V` is increasing in `cr`, the adjustment is negative),
+//! steering the matcher toward brokers with slack.
+
+/// Tabular value function over integer residual-capacity states.
+#[derive(Clone, Debug)]
+pub struct ValueFunction {
+    v: Vec<f64>,
+    beta: f64,
+    gamma: f64,
+    updates: u64,
+}
+
+impl ValueFunction {
+    /// Create a value table for states `0..=max_capacity` with the
+    /// paper's learning rate `β = 0.25` and discount `γ = 0.9` unless
+    /// overridden.
+    pub fn new(max_capacity: usize, beta: f64, gamma: f64) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0,1]");
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0,1]");
+        Self { v: vec![0.0; max_capacity + 1], beta, gamma, updates: 0 }
+    }
+
+    /// Paper defaults: β=0.25, γ=0.9.
+    pub fn with_paper_defaults(max_capacity: usize) -> Self {
+        Self::new(max_capacity, 0.25, 0.9)
+    }
+
+    /// Clamp a (possibly fractional or out-of-range) residual capacity
+    /// onto a table index.
+    fn idx(&self, cr: f64) -> usize {
+        (cr.max(0.0).round() as usize).min(self.v.len() - 1)
+    }
+
+    /// `V(cr)`.
+    pub fn value(&self, cr: f64) -> f64 {
+        self.v[self.idx(cr)]
+    }
+
+    /// The discount factor `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Number of TD updates applied.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Eq. (14): one TD update for the transition `cr → cr'` with reward
+    /// `u`.
+    pub fn td_update(&mut self, cr: f64, reward: f64, cr_next: f64) {
+        let i = self.idx(cr);
+        let target = reward + self.gamma * self.v[self.idx(cr_next)];
+        self.v[i] += self.beta * (target - self.v[i]);
+        self.updates += 1;
+    }
+
+    /// Eq. (15)'s additive refinement term `γV(cr−1) − V(cr)` for a
+    /// broker with residual capacity `cr` about to serve one request.
+    pub fn refinement(&self, cr: f64) -> f64 {
+        self.gamma * self.value(cr - 1.0) - self.value(cr)
+    }
+
+    /// Borrow the raw table (diagnostics, plots).
+    pub fn table(&self) -> &[f64] {
+        &self.v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let v = ValueFunction::with_paper_defaults(10);
+        assert_eq!(v.value(5.0), 0.0);
+        assert_eq!(v.refinement(5.0), 0.0);
+    }
+
+    #[test]
+    fn td_update_moves_toward_target() {
+        let mut v = ValueFunction::new(10, 0.5, 0.9);
+        v.td_update(5.0, 1.0, 4.0);
+        // target = 1 + 0.9·0 = 1; step = 0.5·(1-0) = 0.5
+        assert!((v.value(5.0) - 0.5).abs() < 1e-12);
+        v.td_update(5.0, 1.0, 4.0);
+        assert!((v.value(5.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrapping_propagates_value() {
+        let mut v = ValueFunction::new(5, 0.5, 1.0);
+        // Make state 0 valuable, then transition 1 → 0 should inherit.
+        for _ in 0..20 {
+            v.td_update(0.0, 1.0, 0.0);
+        }
+        assert!(v.value(0.0) > 1.0);
+        v.td_update(1.0, 0.0, 0.0);
+        assert!(v.value(1.0) > 0.0);
+    }
+
+    #[test]
+    fn out_of_range_states_clamp() {
+        let mut v = ValueFunction::with_paper_defaults(5);
+        v.td_update(100.0, 1.0, 99.0); // both clamp to 5
+        assert!(v.value(100.0) > 0.0);
+        assert_eq!(v.value(100.0), v.value(5.0));
+        v.td_update(-3.0, 1.0, -4.0); // clamps to 0
+        assert!(v.value(0.0) > 0.0);
+    }
+
+    #[test]
+    fn refinement_negative_when_value_increases_with_capacity() {
+        let mut v = ValueFunction::new(10, 1.0, 0.9);
+        // Manually shape V increasing in cr: serving costs value.
+        for cr in 0..=10 {
+            for _ in 0..30 {
+                v.td_update(cr as f64, cr as f64 * 0.1, cr as f64);
+            }
+        }
+        assert!(v.value(8.0) > v.value(2.0));
+        assert!(v.refinement(8.0) < 0.0);
+    }
+
+    #[test]
+    fn update_counter() {
+        let mut v = ValueFunction::with_paper_defaults(3);
+        v.td_update(1.0, 0.1, 0.0);
+        v.td_update(2.0, 0.1, 1.0);
+        assert_eq!(v.updates(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in (0,1]")]
+    fn invalid_beta_panics() {
+        ValueFunction::new(5, 0.0, 0.9);
+    }
+}

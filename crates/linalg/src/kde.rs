@@ -1,0 +1,209 @@
+//! Gaussian kernel density estimation.
+//!
+//! Fig. 3 of the paper fits a Gaussian KDE to each top broker's empirical
+//! (workload, sign-up-rate) distribution to show that "the center of the
+//! performance distribution" sits in the broker's accustomed workload
+//! range. [`GaussianKde1d`] and [`GaussianKde2d`] regenerate those density
+//! surfaces; bandwidths default to Silverman's rule of thumb.
+
+use crate::stats::std_dev;
+
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// One-dimensional Gaussian KDE.
+#[derive(Clone, Debug)]
+pub struct GaussianKde1d {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl GaussianKde1d {
+    /// Fit with Silverman's rule-of-thumb bandwidth
+    /// `h = 1.06 σ n^(−1/5)` (floored at a small positive value so that
+    /// degenerate samples still yield a proper density).
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn fit(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "KDE requires at least one sample");
+        let n = samples.len() as f64;
+        let sigma = std_dev(samples);
+        let h = (1.06 * sigma * n.powf(-0.2)).max(1e-3);
+        Self::with_bandwidth(samples, h)
+    }
+
+    /// Fit with an explicit bandwidth.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or `bandwidth <= 0`.
+    pub fn with_bandwidth(samples: &[f64], bandwidth: f64) -> Self {
+        assert!(!samples.is_empty(), "KDE requires at least one sample");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        Self { samples: samples.to_vec(), bandwidth }
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let n = self.samples.len() as f64;
+        let sum: f64 = self
+            .samples
+            .iter()
+            .map(|&s| {
+                let z = (x - s) / h;
+                (-0.5 * z * z).exp()
+            })
+            .sum();
+        sum * INV_SQRT_2PI / (n * h)
+    }
+
+    /// Evaluate the density on a uniform grid of `points` values spanning
+    /// `[lo, hi]`; returns `(grid, densities)`.
+    pub fn grid(&self, lo: f64, hi: f64, points: usize) -> (Vec<f64>, Vec<f64>) {
+        assert!(points >= 2, "need at least two grid points");
+        let step = (hi - lo) / (points - 1) as f64;
+        let xs: Vec<f64> = (0..points).map(|i| lo + i as f64 * step).collect();
+        let ds = xs.iter().map(|&x| self.density(x)).collect();
+        (xs, ds)
+    }
+
+    /// Location of the density mode on a search grid — used to report a
+    /// broker's "accustomed workload" (the light region of Fig. 3).
+    pub fn mode(&self, lo: f64, hi: f64, points: usize) -> f64 {
+        let (xs, ds) = self.grid(lo, hi, points);
+        let idx = crate::vector::argmax(&ds).expect("non-empty grid");
+        xs[idx]
+    }
+}
+
+/// Two-dimensional Gaussian KDE with a diagonal bandwidth matrix,
+/// matching the (workload, sign-up-rate) surfaces of Fig. 3.
+#[derive(Clone, Debug)]
+pub struct GaussianKde2d {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    hx: f64,
+    hy: f64,
+}
+
+impl GaussianKde2d {
+    /// Fit with per-axis Silverman bandwidths
+    /// `h = σ n^(−1/6)` (the 2-D rule of thumb).
+    ///
+    /// # Panics
+    /// Panics if the inputs are empty or of different lengths.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "KDE2d: length mismatch");
+        assert!(!xs.is_empty(), "KDE requires at least one sample");
+        let n = xs.len() as f64;
+        let hx = (std_dev(xs) * n.powf(-1.0 / 6.0)).max(1e-3);
+        let hy = (std_dev(ys) * n.powf(-1.0 / 6.0)).max(1e-3);
+        Self { xs: xs.to_vec(), ys: ys.to_vec(), hx, hy }
+    }
+
+    /// Density at `(x, y)`.
+    pub fn density(&self, x: f64, y: f64) -> f64 {
+        let n = self.xs.len() as f64;
+        let mut sum = 0.0;
+        for (&sx, &sy) in self.xs.iter().zip(&self.ys) {
+            let zx = (x - sx) / self.hx;
+            let zy = (y - sy) / self.hy;
+            sum += (-0.5 * (zx * zx + zy * zy)).exp();
+        }
+        sum * INV_SQRT_2PI * INV_SQRT_2PI / (n * self.hx * self.hy)
+    }
+
+    /// Mode of the joint density searched over a `gx × gy` grid;
+    /// returns `(x*, y*)` — the broker's accustomed (workload, sign-up)
+    /// operating point.
+    pub fn mode(
+        &self,
+        x_range: (f64, f64),
+        y_range: (f64, f64),
+        gx: usize,
+        gy: usize,
+    ) -> (f64, f64) {
+        assert!(gx >= 2 && gy >= 2, "grid must be at least 2x2");
+        let mut best = (x_range.0, y_range.0);
+        let mut best_d = f64::NEG_INFINITY;
+        for i in 0..gx {
+            let x = x_range.0 + (x_range.1 - x_range.0) * i as f64 / (gx - 1) as f64;
+            for j in 0..gy {
+                let y =
+                    y_range.0 + (y_range.1 - y_range.0) * j as f64 / (gy - 1) as f64;
+                let d = self.density(x, y);
+                if d > best_d {
+                    best_d = d;
+                    best = (x, y);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_nonnegative_and_peaks_at_data() {
+        let kde = GaussianKde1d::with_bandwidth(&[0.0, 0.0, 0.0, 5.0], 0.5);
+        assert!(kde.density(0.0) > kde.density(5.0));
+        assert!(kde.density(2.5) >= 0.0);
+        assert!(kde.density(100.0) < 1e-12);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let kde = GaussianKde1d::with_bandwidth(&[1.0, 2.0, 3.0], 0.4);
+        // Trapezoid integration over a wide range.
+        let (xs, ds) = kde.grid(-10.0, 15.0, 2_001);
+        let step = xs[1] - xs[0];
+        let integral: f64 = ds.windows(2).map(|w| 0.5 * (w[0] + w[1]) * step).sum();
+        assert!((integral - 1.0).abs() < 1e-6, "integral = {integral}");
+    }
+
+    #[test]
+    fn silverman_bandwidth_positive_even_for_constant_data() {
+        let kde = GaussianKde1d::fit(&[2.0, 2.0, 2.0]);
+        assert!(kde.bandwidth() > 0.0);
+        assert!(kde.density(2.0).is_finite());
+    }
+
+    #[test]
+    fn mode_finds_cluster_center() {
+        let samples: Vec<f64> =
+            (0..50).map(|i| 10.0 + 0.01 * (i % 5) as f64).collect();
+        let kde = GaussianKde1d::fit(&samples);
+        let m = kde.mode(0.0, 20.0, 401);
+        assert!((m - 10.0).abs() < 0.5, "mode = {m}");
+    }
+
+    #[test]
+    fn kde2d_mode_near_data_center() {
+        let xs: Vec<f64> = (0..40).map(|i| 15.0 + 0.1 * (i % 4) as f64).collect();
+        let ys: Vec<f64> = (0..40).map(|i| 0.20 + 0.002 * (i % 3) as f64).collect();
+        let kde = GaussianKde2d::fit(&xs, &ys);
+        let (mx, my) = kde.mode((0.0, 40.0), (0.0, 0.5), 81, 51);
+        assert!((mx - 15.0).abs() < 2.0, "mx = {mx}");
+        assert!((my - 0.20).abs() < 0.05, "my = {my}");
+    }
+
+    #[test]
+    fn kde2d_density_positive() {
+        let kde = GaussianKde2d::fit(&[1.0, 2.0], &[3.0, 4.0]);
+        assert!(kde.density(1.5, 3.5) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_kde_panics() {
+        GaussianKde1d::fit(&[]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Dense linear-algebra, statistics and density-estimation substrate.
+//!
+//! This crate provides the numerical building blocks used throughout the
+//! LACB reproduction:
+//!
+//! * [`Matrix`] — a small, dense, row-major `f64` matrix with the
+//!   operations needed by the contextual-bandit machinery (mat-vec,
+//!   quadratic forms, Cholesky solves).
+//! * [`InverseTracker`] — maintains the inverse of the bandit covariance
+//!   matrix `D = λI + Σ g gᵀ` under rank-1 updates via the
+//!   Sherman–Morrison identity, with an optional diagonal approximation
+//!   for very wide networks (the standard NeuralUCB trick).
+//! * [`stats`] — descriptive statistics plus **Welch's t-test**, which the
+//!   paper uses in Sec. II-A to show the sign-up rate is significantly
+//!   correlated with daily workload (p < 0.0001).
+//! * [`kde`] — Gaussian kernel density estimation, used in Fig. 3 of the
+//!   paper to visualise each top broker's performance/workload density.
+//!
+//! Everything is implemented from scratch on `std` only; no external
+//! numerical dependencies are required.
+
+pub mod cholesky;
+pub mod inverse;
+pub mod kde;
+pub mod matrix;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use inverse::{InverseTracker, UcbCovariance};
+pub use kde::{GaussianKde1d, GaussianKde2d};
+pub use matrix::Matrix;

@@ -1,0 +1,379 @@
+//! Descriptive statistics and hypothesis testing.
+//!
+//! Sec. II-A of the paper supports the "limited broker capacity" claim with
+//! **Welch's t-test** between the sign-up rates of low-workload and
+//! high-workload days (p < 0.0001). This module implements the full chain
+//! needed to regenerate that analysis: sample moments, Welch's statistic
+//! with the Welch–Satterthwaite degrees of freedom, and a two-sided
+//! p-value via the regularised incomplete beta function.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Unbiased (n−1) sample variance; `0.0` when fewer than two samples.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Linear-interpolation percentile (`q` in `[0, 1]`).
+///
+/// # Panics
+/// Panics if `x` is empty or `q` is outside `[0, 1]`.
+pub fn percentile(x: &[f64], q: f64) -> f64 {
+    assert!(!x.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    let mut sorted = x.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Pearson correlation coefficient; `0.0` when either side is constant.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson: length mismatch");
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Result of a Welch two-sample t-test.
+#[derive(Clone, Copy, Debug)]
+pub struct WelchResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Welch's unequal-variance t-test between two samples.
+///
+/// Returns `None` when either sample has fewer than two observations or
+/// both variances are zero (the statistic is undefined).
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<WelchResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        return None;
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let p = 2.0 * student_t_sf(t.abs(), df);
+    Some(WelchResult { t, df, p_value: p })
+}
+
+/// Survival function `P(T > t)` of Student's t distribution with `df`
+/// degrees of freedom, via the regularised incomplete beta function.
+pub fn student_t_sf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return if t > 0.0 { 0.0 } else { 1.0 };
+    }
+    let x = df / (df + t * t);
+    0.5 * incomplete_beta(0.5 * df, 0.5, x)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g=7).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for the g=7, n=9 Lanczos approximation.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` by continued fraction
+/// (Numerical-Recipes style `betacf`).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
+        + a * x.ln()
+        + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Simple histogram with uniform bins over `[lo, hi)`.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` uniform buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "hi must exceed lo");
+        Self { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Record an observation. Values outside `[lo, hi)` are clamped into
+    /// the first/last bin.
+    pub fn record(&mut self, v: f64) {
+        let bins = self.counts.len();
+        let t = (v - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as isize).clamp(0, bins as isize - 1);
+        self.counts[idx as usize] += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&x) - 5.0).abs() < 1e-12);
+        assert!((variance(&x) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&x, 0.0), 1.0);
+        assert_eq!(percentile(&x, 1.0), 4.0);
+        assert!((percentile(&x, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let yneg = [6.0, 4.0, 2.0];
+        assert!((pearson(&x, &yneg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        for (n, fact) in [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)] {
+            assert!(
+                (ln_gamma(n) - f64::ln(fact)).abs() < 1e-10,
+                "ln_gamma({n})"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        let (a, b, x) = (2.5, 1.5, 0.3);
+        let lhs = incomplete_beta(a, b, x);
+        let rhs = 1.0 - incomplete_beta(b, a, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1,1) = x
+        for x in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn student_t_sf_known_values() {
+        // With df=1 (Cauchy), P(T > 1) = 1/4.
+        assert!((student_t_sf(1.0, 1.0) - 0.25).abs() < 1e-10);
+        // Symmetric at zero.
+        assert!((student_t_sf(0.0, 5.0) - 0.5).abs() < 1e-12);
+        // Large df approaches the normal tail: P(Z > 1.96) ≈ 0.025.
+        assert!((student_t_sf(1.96, 1e6) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn welch_detects_clear_separation() {
+        let lo: Vec<f64> = (0..50).map(|i| 0.20 + 0.001 * (i % 7) as f64).collect();
+        let hi: Vec<f64> = (0..50).map(|i| 0.05 + 0.001 * (i % 5) as f64).collect();
+        let r = welch_t_test(&lo, &hi).unwrap();
+        assert!(r.t > 10.0, "t = {}", r.t);
+        assert!(r.p_value < 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn welch_identical_samples_high_p() {
+        let a = [0.1, 0.2, 0.3, 0.4, 0.15, 0.25];
+        let r = welch_t_test(&a, &a).unwrap();
+        assert!(r.t.abs() < 1e-12);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn welch_degenerate_returns_none() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn histogram_clamps_and_counts() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [-1.0, 0.5, 3.0, 9.9, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts()[0], 2); // -1 clamped + 0.5
+        assert_eq!(h.counts()[4], 2); // 9.9 + 100 clamped
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+    }
+}

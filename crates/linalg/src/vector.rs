@@ -1,0 +1,154 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! The bandit and neural-network code paths operate on flat parameter and
+//! gradient vectors; these helpers keep those call sites allocation-free.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (the BLAS `axpy` primitive).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a vector in place: `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean (`L2`) norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean norm, used by the regularised bandit loss
+/// `λ‖θ‖²` of Eq. (6).
+#[inline]
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// Element-wise sum of two slices into a fresh `Vec`.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b` into a fresh `Vec`.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Index of the maximum element; ties resolve to the first occurrence.
+///
+/// Returns `None` for an empty slice. `NaN` entries are never selected
+/// unless every entry is `NaN`.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((_, bv)) => matches!(v.partial_cmp(&bv), Some(std::cmp::Ordering::Greater)),
+        };
+        if better {
+            best = Some((i, v));
+        }
+    }
+    best.map(|(i, _)| i).or(if x.is_empty() { None } else { Some(0) })
+}
+
+/// Index of the minimum element; ties resolve to the first occurrence.
+pub fn argmin(x: &[f64]) -> Option<usize> {
+    let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+    argmax(&neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatched_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm2_sq(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [1.0, 2.0];
+        let b = [0.5, -1.0];
+        assert_eq!(sub(&add(&a, &b), &b), a.to_vec());
+    }
+
+    #[test]
+    fn argmax_ties_first() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn argmax_empty() {
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        assert_eq!(argmax(&[f64::NAN, 1.0, 0.5]), Some(1));
+    }
+
+    #[test]
+    fn argmin_basic() {
+        assert_eq!(argmin(&[4.0, -1.0, 2.0]), Some(1));
+    }
+}

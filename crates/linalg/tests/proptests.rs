@@ -1,0 +1,122 @@
+//! Property tests of the numerical substrate.
+
+use linalg::stats::{incomplete_beta, mean, percentile, student_t_sf, variance, welch_t_test};
+use linalg::{Cholesky, GaussianKde1d, InverseTracker, Matrix, UcbCovariance};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn matvec_is_linear(
+        a in proptest::collection::vec(-5.0f64..5.0, 12),
+        x in proptest::collection::vec(-5.0f64..5.0, 4),
+        y in proptest::collection::vec(-5.0f64..5.0, 4),
+        alpha in -3.0f64..3.0,
+    ) {
+        let m = Matrix::from_vec(3, 4, a);
+        // M(αx + y) = αMx + My
+        let axy: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| alpha * xi + yi).collect();
+        let lhs = m.matvec(&axy);
+        let mx = m.matvec(&x);
+        let my = m.matvec(&y);
+        for i in 0..3 {
+            prop_assert!((lhs[i] - (alpha * mx[i] + my[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rank1_updates_preserve_spd(gs in proptest::collection::vec(
+        proptest::collection::vec(-3.0f64..3.0, 4), 1..8)) {
+        let mut d = Matrix::scaled_identity(4, 0.5);
+        for g in &gs {
+            d.rank1_update(1.0, g);
+        }
+        // SPD ⇒ Cholesky succeeds and the quadratic form is positive.
+        let ch = Cholesky::new(&d);
+        prop_assert!(ch.is_ok());
+        prop_assert!(d.quad_form(&[1.0, -1.0, 0.5, 2.0]) > 0.0);
+    }
+
+    #[test]
+    fn sherman_morrison_stays_consistent(gs in proptest::collection::vec(
+        proptest::collection::vec(-2.0f64..2.0, 3), 1..10)) {
+        let lambda = 0.7;
+        let mut tracker = InverseTracker::new(3, lambda, UcbCovariance::Full);
+        let mut d = Matrix::scaled_identity(3, lambda);
+        for g in &gs {
+            tracker.rank1_update(g);
+            d.rank1_update(1.0, g);
+        }
+        let direct = Cholesky::new(&d).unwrap().inverse();
+        let probe = [0.3, -0.7, 1.1];
+        let via_tracker = tracker.quad_form(&probe);
+        let via_direct = direct.quad_form(&probe);
+        prop_assert!((via_tracker - via_direct).abs() < 1e-6 * (1.0 + via_direct.abs()));
+    }
+
+    #[test]
+    fn exploration_bonus_never_grows_with_data(
+        g in proptest::collection::vec(-2.0f64..2.0, 3),
+        probe in proptest::collection::vec(-2.0f64..2.0, 3),
+    ) {
+        for mode in [UcbCovariance::Full, UcbCovariance::Diagonal] {
+            let mut t = InverseTracker::new(3, 1.0, mode);
+            let before = t.exploration_bonus(1.0, &probe);
+            t.rank1_update(&g);
+            let after = t.exploration_bonus(1.0, &probe);
+            prop_assert!(after <= before + 1e-9, "{mode:?}: {before} -> {after}");
+        }
+    }
+
+    #[test]
+    fn variance_is_translation_invariant(xs in finite_vec(2..40), shift in -50.0f64..50.0) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((variance(&xs) - variance(&shifted)).abs() < 1e-6 * (1.0 + variance(&xs)));
+        prop_assert!((mean(&shifted) - (mean(&xs) + shift)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_monotone(xs in finite_vec(1..30), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi) + 1e-12);
+    }
+
+    #[test]
+    fn t_sf_is_a_valid_tail_probability(t in 0.0f64..50.0, df in 1.0f64..200.0) {
+        let p = student_t_sf(t, df);
+        prop_assert!((0.0..=0.5).contains(&p), "p = {p}");
+        // Monotone decreasing in t.
+        let p2 = student_t_sf(t + 1.0, df);
+        prop_assert!(p2 <= p + 1e-12);
+    }
+
+    #[test]
+    fn incomplete_beta_monotone_in_x(a in 0.2f64..5.0, b in 0.2f64..5.0, x in 0.01f64..0.98) {
+        let lo = incomplete_beta(a, b, x);
+        let hi = incomplete_beta(a, b, (x + 0.02).min(1.0));
+        prop_assert!(lo <= hi + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&lo));
+    }
+
+    #[test]
+    fn welch_symmetric_in_sign(xs in finite_vec(3..20), ys in finite_vec(3..20)) {
+        if let (Some(ab), Some(ba)) = (welch_t_test(&xs, &ys), welch_t_test(&ys, &xs)) {
+            prop_assert!((ab.t + ba.t).abs() < 1e-9);
+            prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kde_density_nonnegative_everywhere(
+        samples in proptest::collection::vec(-10.0f64..10.0, 1..30),
+        x in -20.0f64..20.0,
+    ) {
+        let kde = GaussianKde1d::fit(&samples);
+        prop_assert!(kde.density(x) >= 0.0);
+    }
+}

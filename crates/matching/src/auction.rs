@@ -1,0 +1,150 @@
+//! Bertsekas' auction algorithm for maximum-weight assignment.
+//!
+//! A third, structurally different solver next to the Hungarian
+//! algorithm and min-cost flow. Requests (bidders) repeatedly bid for
+//! their most valuable broker (object) at current prices; prices rise by
+//! the bid increment `γ + ε`, where `γ` is the bidder's advantage of its
+//! best object over its second best. With bidding increment floor `ε`,
+//! the algorithm terminates with an assignment whose total utility is
+//! within `n·ε` of optimal (ε-complementary slackness).
+//!
+//! The auction is of practical interest because each bidding round is
+//! embarrassingly parallel and prices give a warm start across similar
+//! instances (consecutive batches!) — both properties the Hungarian
+//! algorithm lacks.
+
+use crate::graph::{AssignmentResult, UtilityMatrix};
+
+/// Solve maximum-weight assignment by auction; the result's total is
+/// within `rows·epsilon` of the optimum.
+///
+/// # Panics
+/// Panics if `epsilon <= 0` or `rows > cols` (broker matching always
+/// has `|R| ≤ |B|` per batch).
+pub fn auction_assignment(u: &UtilityMatrix, epsilon: f64) -> AssignmentResult {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let (n, m) = (u.rows(), u.cols());
+    assert!(n <= m, "auction expects requests ≤ brokers ({n} > {m})");
+    if n == 0 || m == 0 {
+        return AssignmentResult::empty(n);
+    }
+
+    let mut price = vec![0.0f64; m];
+    let mut owner: Vec<Option<usize>> = vec![None; m]; // object -> bidder
+    let mut assigned: Vec<Option<usize>> = vec![None; n]; // bidder -> object
+    let mut unassigned: Vec<usize> = (0..n).collect();
+
+    // Each bidder can displace another, so the loop terminates because
+    // prices only rise and values are bounded; the standard bound is
+    // O(n·m·(max_u/ε)) bids.
+    while let Some(i) = unassigned.pop() {
+        // Find best and second-best net value for bidder i.
+        let row = u.row(i);
+        let mut best_j = 0usize;
+        let mut best_v = f64::NEG_INFINITY;
+        let mut second_v = f64::NEG_INFINITY;
+        for (j, (&util, &p)) in row.iter().zip(&price).enumerate() {
+            let v = util - p;
+            if v > best_v {
+                second_v = best_v;
+                best_v = v;
+                best_j = j;
+            } else if v > second_v {
+                second_v = v;
+            }
+        }
+        // Single-object corner case: no second-best exists.
+        if !second_v.is_finite() {
+            second_v = best_v - epsilon;
+        }
+        // Bid: raise the price by the advantage plus ε.
+        price[best_j] += best_v - second_v + epsilon;
+        if let Some(prev) = owner[best_j].replace(i) {
+            assigned[prev] = None;
+            unassigned.push(prev);
+        }
+        assigned[i] = Some(best_j);
+    }
+
+    let total = assigned
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.map(|j| u.get(i, j)))
+        .sum();
+    AssignmentResult { row_to_col: assigned, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::max_weight_assignment;
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> UtilityMatrix {
+        let mut s = seed;
+        UtilityMatrix::from_fn(rows, cols, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64) / (u32::MAX as f64)
+        })
+    }
+
+    #[test]
+    fn near_optimal_within_n_epsilon() {
+        for seed in [1u64, 7, 42, 99] {
+            for (n, m) in [(3, 5), (5, 5), (8, 20), (12, 12)] {
+                let u = pseudo_random(n, m, seed);
+                let eps = 1e-4;
+                let auc = auction_assignment(&u, eps);
+                let opt = max_weight_assignment(&u);
+                auc.validate(&u);
+                assert!(
+                    auc.total >= opt.total - n as f64 * eps - 1e-9,
+                    "{n}x{m} seed {seed}: auction {} vs optimal {}",
+                    auc.total,
+                    opt.total
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_epsilon_recovers_exact_optimum_on_separated_instances() {
+        // With a utility gap larger than n·ε the auction result is exactly
+        // optimal.
+        let u = UtilityMatrix::from_vec(2, 3, vec![0.9, 0.1, 0.4, 0.2, 0.8, 0.3]);
+        let a = auction_assignment(&u, 1e-6);
+        assert_eq!(a.row_to_col, vec![Some(0), Some(1)]);
+        assert!((a.total - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_bidders_end_assigned() {
+        let u = pseudo_random(6, 10, 5);
+        let a = auction_assignment(&u, 1e-3);
+        assert_eq!(a.matched_count(), 6);
+    }
+
+    #[test]
+    fn single_row_takes_best_column() {
+        let u = UtilityMatrix::from_vec(1, 4, vec![0.1, 0.7, 0.3, 0.2]);
+        let a = auction_assignment(&u, 1e-6);
+        assert_eq!(a.row_to_col, vec![Some(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_panics() {
+        auction_assignment(&UtilityMatrix::zeros(1, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requests ≤ brokers")]
+    fn tall_instance_panics() {
+        auction_assignment(&UtilityMatrix::zeros(3, 2), 1e-3);
+    }
+
+    #[test]
+    fn empty_instance_is_fine() {
+        let a = auction_assignment(&UtilityMatrix::zeros(0, 4), 1e-3);
+        assert_eq!(a.row_to_col.len(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Candidate Broker Selection (CBS) — Alg. 3 of the paper.
+//!
+//! Theorem 2 / Corollary 1: for an imbalanced bipartite graph
+//! `⟨U, V, E⟩` with `|U| ≤ |V|`, some optimal assignment matches every
+//! `u ∈ U` inside `Top^u_{|U|}`, the `|U|` heaviest neighbours of `u`.
+//! CBS therefore selects, per request, the `|R|` largest-utility brokers
+//! by quickselect (expected `O(|B|)` per request) and assigns on the
+//! union — shrinking Kuhn–Munkres from `O(|B|³)` to `O(|R|³ + |R||B|)`.
+//!
+//! Alg. 3 partitions around a pivot drawn uniformly from the utility
+//! values (`LC = {b : u ≥ p}`, `RC = {b : u < p}`) and recurses. We add
+//! the standard three-way partition (`>`, `=`, `<`) so that duplicate
+//! utilities cannot cause unbounded recursion — with two-way partitioning
+//! an all-equal value set puts everything in `LC` forever.
+
+use crate::graph::UtilityMatrix;
+use rand::Rng;
+
+/// Indices of the `k` largest values of `utilities`, in no particular
+/// order, via random-pivot quickselect (Alg. 3). Returns all indices when
+/// `k >= utilities.len()` (Alg. 3 lines 1–3).
+pub fn top_k_indices<R: Rng + ?Sized>(
+    utilities: &[f64],
+    k: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..utilities.len()).collect();
+    if k >= idx.len() {
+        return idx;
+    }
+    let mut out = Vec::with_capacity(k);
+    let mut need = k;
+    // Iterative quickselect over the current candidate set.
+    while need > 0 {
+        debug_assert!(!idx.is_empty());
+        if idx.len() <= need {
+            out.extend_from_slice(&idx);
+            break;
+        }
+        // Random pivot value drawn from the candidate utilities (Alg. 3 line 4).
+        let p = utilities[idx[rng.gen_range(0..idx.len())]];
+        let mut gt = Vec::new();
+        let mut eq = Vec::new();
+        let mut lt = Vec::new();
+        for &i in &idx {
+            let v = utilities[i];
+            if v > p {
+                gt.push(i);
+            } else if v < p {
+                lt.push(i);
+            } else {
+                eq.push(i);
+            }
+        }
+        if gt.len() >= need {
+            idx = gt;
+        } else if gt.len() + eq.len() >= need {
+            out.extend_from_slice(&gt);
+            out.extend_from_slice(&eq[..need - gt.len()]);
+            break;
+        } else {
+            out.extend_from_slice(&gt);
+            out.extend_from_slice(&eq);
+            need -= gt.len() + eq.len();
+            idx = lt;
+        }
+    }
+    debug_assert_eq!(out.len(), k);
+    out
+}
+
+/// The CBS candidate set for a whole batch: the union
+/// `⋃_{r ∈ R} Top^r_k` of per-request top-k broker indices, sorted and
+/// deduplicated. With `k = |R|` (Corollary 1) the union provably contains
+/// an optimal assignment of the full graph.
+pub fn candidate_union<R: Rng + ?Sized>(
+    u: &UtilityMatrix,
+    k: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut seen = vec![false; u.cols()];
+    for r in 0..u.rows() {
+        for b in top_k_indices(u.row(r), k, rng) {
+            seen[b] = true;
+        }
+    }
+    (0..u.cols()).filter(|&b| seen[b]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::max_weight_assignment;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sorted(mut v: Vec<usize>) -> Vec<usize> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn selects_the_k_largest() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let vals = [0.1, 0.9, 0.5, 0.7, 0.2];
+        let got = sorted(top_k_indices(&vals, 3, &mut rng));
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn k_of_everything_returns_all() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let vals = [0.3, 0.1];
+        assert_eq!(sorted(top_k_indices(&vals, 2, &mut rng)), vec![0, 1]);
+        assert_eq!(sorted(top_k_indices(&vals, 10, &mut rng)), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(top_k_indices(&[1.0, 2.0], 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn duplicate_values_terminate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let vals = vec![0.5; 100];
+        let got = top_k_indices(&vals, 10, &mut rng);
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn selection_value_matches_sort() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64) / (u32::MAX as f64)
+        };
+        for trial in 0..20 {
+            let n = 50 + trial * 7;
+            let vals: Vec<f64> = (0..n).map(|_| next()).collect();
+            let k = 1 + trial % 12;
+            let got = top_k_indices(&vals, k, &mut rng);
+            assert_eq!(got.len(), k);
+            let mut sorted_vals = vals.clone();
+            sorted_vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let threshold = sorted_vals[k - 1];
+            for &i in &got {
+                assert!(vals[i] >= threshold - 1e-12, "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn cbs_preserves_optimal_assignment_value() {
+        // Corollary 1: KM on the CBS-reduced graph equals KM on the full
+        // graph when k = |R|.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((seed >> 33) as f64) / (u32::MAX as f64)
+        };
+        for _ in 0..10 {
+            let u = UtilityMatrix::from_fn(4, 30, |_, _| next());
+            let full = max_weight_assignment(&u);
+            let cols = candidate_union(&u, u.rows(), &mut rng);
+            let reduced = u.select_columns(&cols);
+            let red = max_weight_assignment(&reduced);
+            assert!(
+                (full.total - red.total).abs() < 1e-9,
+                "full {} vs reduced {}",
+                full.total,
+                red.total
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_union_is_sorted_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let u = UtilityMatrix::from_fn(3, 20, |r, c| ((r * 31 + c * 17) % 13) as f64);
+        let cols = candidate_union(&u, 3, &mut rng);
+        assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        assert!(cols.len() <= 9);
+        assert!(!cols.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Dense bipartite utility instances and assignment results.
+
+/// A dense `rows × cols` utility table: `u[(r, b)]` is the matching
+/// utility `u_{r,b}` of assigning broker (column) `b` to request (row)
+/// `r`. Utilities are assumed finite; larger is better.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UtilityMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl UtilityMatrix {
+    /// All-zero utilities.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a generator `f(row, col) -> utility`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "utility data/shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of requests (rows).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of brokers (columns).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Utility of pair `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Set the utility of pair `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = v;
+    }
+
+    /// Borrow row `r` (all brokers' utilities for one request).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row access.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A new matrix restricted to the given column subset (in order).
+    /// `cols[i]` becomes column `i` of the result — used by CBS to build
+    /// the reduced graph over candidate brokers.
+    pub fn select_columns(&self, cols: &[usize]) -> UtilityMatrix {
+        let mut out = UtilityMatrix::zeros(self.rows, cols.len());
+        for r in 0..self.rows {
+            let src = self.row(r);
+            let dst = out.row_mut(r);
+            for (i, &c) in cols.iter().enumerate() {
+                dst[i] = src[c];
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> UtilityMatrix {
+        let mut out = UtilityMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+}
+
+/// The result of a maximum-weight assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssignmentResult {
+    /// `row_to_col[r]` is the broker assigned to request `r`, or `None`
+    /// if the request was left unassigned (possible only when the solver
+    /// is allowed to drop non-positive edges).
+    pub row_to_col: Vec<Option<usize>>,
+    /// Sum of utilities over the matched pairs.
+    pub total: f64,
+}
+
+impl AssignmentResult {
+    /// An empty assignment over `rows` requests.
+    pub fn empty(rows: usize) -> Self {
+        Self { row_to_col: vec![None; rows], total: 0.0 }
+    }
+
+    /// Number of matched pairs.
+    pub fn matched_count(&self) -> usize {
+        self.row_to_col.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Verify the assignment is a matching (no broker used twice) and
+    /// recompute its total utility against `u`. Panics on inconsistency —
+    /// intended for tests and debug assertions.
+    pub fn validate(&self, u: &UtilityMatrix) -> f64 {
+        assert_eq!(self.row_to_col.len(), u.rows(), "row count mismatch");
+        let mut used = vec![false; u.cols()];
+        let mut total = 0.0;
+        for (r, m) in self.row_to_col.iter().enumerate() {
+            if let Some(c) = *m {
+                assert!(c < u.cols(), "column out of range");
+                assert!(!used[c], "broker {c} matched twice");
+                used[c] = true;
+                total += u.get(r, c);
+            }
+        }
+        assert!(
+            (total - self.total).abs() < 1e-6 * (1.0 + total.abs()),
+            "stored total {} disagrees with recomputed {}",
+            self.total,
+            total
+        );
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_layout() {
+        let u = UtilityMatrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(u.get(0, 0), 0.0);
+        assert_eq!(u.get(1, 2), 12.0);
+        assert_eq!(u.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn select_columns_reorders() {
+        let u = UtilityMatrix::from_fn(2, 4, |r, c| (r * 4 + c) as f64);
+        let s = u.select_columns(&[3, 1]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 2);
+        assert_eq!(s.get(0, 0), 3.0);
+        assert_eq!(s.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let u = UtilityMatrix::from_fn(2, 3, |r, c| (r + c) as f64 * 0.5);
+        assert_eq!(u.transpose().transpose(), u);
+    }
+
+    #[test]
+    fn validate_accepts_proper_matching() {
+        let u = UtilityMatrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        let a = AssignmentResult { row_to_col: vec![Some(0), Some(1)], total: 2.0 };
+        assert_eq!(a.validate(&u), 2.0);
+        assert_eq!(a.matched_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "matched twice")]
+    fn validate_rejects_duplicate_broker() {
+        let u = UtilityMatrix::zeros(2, 2);
+        let a = AssignmentResult { row_to_col: vec![Some(0), Some(0)], total: 0.0 };
+        a.validate(&u);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees")]
+    fn validate_rejects_wrong_total() {
+        let u = UtilityMatrix::from_fn(1, 1, |_, _| 1.0);
+        let a = AssignmentResult { row_to_col: vec![Some(0)], total: 5.0 };
+        a.validate(&u);
+    }
+
+    #[test]
+    fn empty_assignment() {
+        let a = AssignmentResult::empty(3);
+        assert_eq!(a.matched_count(), 0);
+        assert_eq!(a.total, 0.0);
+    }
+}

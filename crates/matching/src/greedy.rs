@@ -1,0 +1,102 @@
+//! Greedy maximum-weight matching.
+//!
+//! Sorts all candidate edges by utility (descending) and accepts any edge
+//! whose endpoints are both free. Tong et al. (VLDB'16) showed this to be
+//! competitive for many practical online matching workloads; here it
+//! serves as a fast inexact comparator and as the per-request fallback
+//! when exactness is not required.
+
+use crate::graph::{AssignmentResult, UtilityMatrix};
+
+/// Greedy matching over all pairs. Only edges with utility strictly
+/// greater than `min_utility` are considered (pass `f64::NEG_INFINITY`
+/// to force-match every request when possible).
+pub fn greedy_assignment(u: &UtilityMatrix, min_utility: f64) -> AssignmentResult {
+    let (n, m) = (u.rows(), u.cols());
+    let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(n * m);
+    for r in 0..n {
+        for (b, &w) in u.row(r).iter().enumerate() {
+            if w > min_utility {
+                edges.push((w, r, b));
+            }
+        }
+    }
+    // Descending by weight; deterministic tie-break on indices.
+    edges.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    let mut row_used = vec![false; n];
+    let mut col_used = vec![false; m];
+    let mut row_to_col = vec![None; n];
+    let mut total = 0.0;
+    for (w, r, b) in edges {
+        if !row_used[r] && !col_used[b] {
+            row_used[r] = true;
+            col_used[b] = true;
+            row_to_col[r] = Some(b);
+            total += w;
+        }
+    }
+    AssignmentResult { row_to_col, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::max_weight_assignment;
+
+    #[test]
+    fn greedy_takes_heaviest_edge_first() {
+        // Classic greedy-suboptimal instance:
+        //   r0: [2, 1], r1: [1.9, 0]
+        // Greedy takes (r0,b0)=2 then (r1,b1)=0 → 2.0;
+        // optimal is (r0,b1)+(r1,b0) = 1 + 1.9 = 2.9.
+        let u = UtilityMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.9, 0.0]);
+        let g = greedy_assignment(&u, f64::NEG_INFINITY);
+        assert_eq!(g.total, 2.0);
+        let opt = max_weight_assignment(&u);
+        assert!((opt.total - 2.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_never_beats_optimal() {
+        let mut seed = 5u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((seed >> 33) as f64) / (u32::MAX as f64)
+        };
+        for _ in 0..20 {
+            let u = UtilityMatrix::from_fn(4, 6, |_, _| next());
+            let g = greedy_assignment(&u, f64::NEG_INFINITY);
+            let o = max_weight_assignment(&u);
+            assert!(g.total <= o.total + 1e-9);
+            g.validate(&u);
+        }
+    }
+
+    #[test]
+    fn min_utility_filters_edges() {
+        let u = UtilityMatrix::from_vec(1, 2, vec![0.1, 0.05]);
+        let g = greedy_assignment(&u, 0.2);
+        assert_eq!(g.matched_count(), 0);
+    }
+
+    #[test]
+    fn greedy_is_at_least_half_optimal() {
+        // Classic guarantee: greedy matching is 1/2-approximate.
+        let mut seed = 77u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64) / (u32::MAX as f64)
+        };
+        for _ in 0..20 {
+            let u = UtilityMatrix::from_fn(5, 5, |_, _| next());
+            let g = greedy_assignment(&u, 0.0);
+            let o = max_weight_assignment(&u);
+            assert!(g.total >= 0.5 * o.total - 1e-9, "greedy {} opt {}", g.total, o.total);
+        }
+    }
+}

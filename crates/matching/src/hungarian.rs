@@ -1,0 +1,305 @@
+//! Kuhn–Munkres (Hungarian) maximum-weight assignment.
+//!
+//! Implemented as the shortest-augmenting-path ("Jonker–Volgenant style")
+//! variant with dual potentials, which solves a rectangular `n × m`
+//! (`n ≤ m`) *minimum-cost* assignment in `O(n² m)`. Maximum-weight
+//! utility instances are negated into costs; the dual potentials make
+//! negative costs unproblematic.
+//!
+//! Two entry points mirror the paper:
+//!
+//! * [`max_weight_assignment`] — rectangular form. Every request is
+//!   matched (to distinct brokers), exactly what the reduced CBS graph of
+//!   LACB-Opt needs: `O(|R|²·k)` on the pruned graph.
+//! * [`max_weight_assignment_padded`] — the paper-faithful balanced form:
+//!   the request side is padded with `|B| − |R|` dummy rows of zero
+//!   utility so the matrix is `|B| × |B|` before solving (Sec. VI-B,
+//!   "add dummy vertices … and execute the classical KM algorithm").
+//!   This is what gives the `KM`, `AN` and plain `LACB` comparators their
+//!   `O(|B|³)` running time, and reproducing the paper's running-time
+//!   plots requires actually paying it.
+
+use crate::graph::{AssignmentResult, UtilityMatrix};
+
+/// Maximum-weight assignment on a rectangular instance.
+///
+/// All `min(rows, cols)` requests on the smaller side are matched. If
+/// `rows > cols` the instance is solved transposed and mapped back, so
+/// callers never need to care about orientation.
+///
+/// ```
+/// use matching::{max_weight_assignment, UtilityMatrix};
+///
+/// // Two requests, three brokers.
+/// let u = UtilityMatrix::from_vec(2, 3, vec![
+///     0.9, 0.1, 0.5,
+///     0.8, 0.2, 0.4,
+/// ]);
+/// let a = max_weight_assignment(&u);
+/// assert_eq!(a.row_to_col, vec![Some(0), Some(2)]); // 0.9 + 0.4
+/// assert!((a.total - 1.3).abs() < 1e-12);
+/// ```
+pub fn max_weight_assignment(u: &UtilityMatrix) -> AssignmentResult {
+    if u.rows() == 0 || u.cols() == 0 {
+        return AssignmentResult::empty(u.rows());
+    }
+    if u.rows() <= u.cols() {
+        solve_rect(u)
+    } else {
+        // Transpose, solve, invert the mapping.
+        let t = u.transpose();
+        let at = solve_rect(&t);
+        let mut row_to_col = vec![None; u.rows()];
+        for (tc, m) in at.row_to_col.iter().enumerate() {
+            if let Some(tr) = *m {
+                row_to_col[tr] = Some(tc);
+            }
+        }
+        AssignmentResult { row_to_col, total: at.total }
+    }
+}
+
+/// The paper-faithful balanced Kuhn–Munkres: pad the request side with
+/// zero-utility dummy rows until the instance is square, then solve.
+///
+/// The returned assignment only reports the real rows, but the *work done*
+/// is that of the `cols × cols` balanced instance — `O(|B|³)`.
+///
+/// # Panics
+/// Panics if `rows > cols`; broker matching always has `|R| ≤ |B|` after
+/// batching (Sec. VI-B).
+pub fn max_weight_assignment_padded(u: &UtilityMatrix) -> AssignmentResult {
+    assert!(
+        u.rows() <= u.cols(),
+        "padded KM expects requests ≤ brokers ({} > {})",
+        u.rows(),
+        u.cols()
+    );
+    if u.cols() == 0 {
+        return AssignmentResult::empty(u.rows());
+    }
+    let n = u.cols();
+    let padded = UtilityMatrix::from_fn(n, n, |r, c| {
+        if r < u.rows() {
+            u.get(r, c)
+        } else {
+            0.0
+        }
+    });
+    let full = solve_rect(&padded);
+    let mut row_to_col = full.row_to_col;
+    row_to_col.truncate(u.rows());
+    let total = row_to_col
+        .iter()
+        .enumerate()
+        .filter_map(|(r, m)| m.map(|c| u.get(r, c)))
+        .sum();
+    AssignmentResult { row_to_col, total }
+}
+
+/// Core rectangular solver (`rows ≤ cols`), minimising `-utility`.
+#[allow(clippy::needless_range_loop)] // index loops are the clear idiom in this kernel
+fn solve_rect(u: &UtilityMatrix) -> AssignmentResult {
+    let n = u.rows();
+    let m = u.cols();
+    debug_assert!(n <= m);
+    const INF: f64 = f64::INFINITY;
+
+    // 1-based arrays in the classic formulation.
+    let mut pot_u = vec![0.0f64; n + 1];
+    let mut pot_v = vec![0.0f64; m + 1];
+    let mut matched_row = vec![0usize; m + 1]; // column -> row (0 = free)
+    let mut way = vec![0usize; m + 1];
+
+    let mut minv = vec![0.0f64; m + 1];
+    let mut used = vec![false; m + 1];
+
+    for i in 1..=n {
+        matched_row[0] = i;
+        let mut j0 = 0usize;
+        minv.iter_mut().for_each(|v| *v = INF);
+        used.iter_mut().for_each(|v| *v = false);
+        loop {
+            used[j0] = true;
+            let i0 = matched_row[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            let row = u.row(i0 - 1);
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                // cost = -utility
+                let cur = -row[j - 1] - pot_u[i0] - pot_v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            debug_assert!(delta.is_finite(), "no augmenting path found");
+            for j in 0..=m {
+                if used[j] {
+                    pot_u[matched_row[j]] += delta;
+                    pot_v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if matched_row[j0] == 0 {
+                break;
+            }
+        }
+        // Unwind the alternating path.
+        loop {
+            let j1 = way[j0];
+            matched_row[j0] = matched_row[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![None; n];
+    let mut total = 0.0;
+    for j in 1..=m {
+        let i = matched_row[j];
+        if i != 0 {
+            row_to_col[i - 1] = Some(j - 1);
+            total += u.get(i - 1, j - 1);
+        }
+    }
+    AssignmentResult { row_to_col, total }
+}
+
+/// Exhaustive optimal assignment by enumeration — exponential, only for
+/// cross-checking the solvers on tiny instances in tests.
+pub fn brute_force_assignment(u: &UtilityMatrix) -> f64 {
+    fn rec(u: &UtilityMatrix, row: usize, used: &mut Vec<bool>) -> f64 {
+        if row == u.rows() {
+            return 0.0;
+        }
+        let mut best = f64::NEG_INFINITY;
+        for c in 0..u.cols() {
+            if !used[c] {
+                used[c] = true;
+                let v = u.get(row, c) + rec(u, row + 1, used);
+                used[c] = false;
+                if v > best {
+                    best = v;
+                }
+            }
+        }
+        best
+    }
+    assert!(u.rows() <= u.cols(), "brute force expects rows ≤ cols");
+    if u.rows() == 0 {
+        return 0.0;
+    }
+    let mut used = vec![false; u.cols()];
+    rec(u, 0, &mut used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_figure7_example() {
+        // Fig. 7 of the paper: refined utilities u11=0.25, u12=0.45,
+        // u21=0.4, u22=0.5; optimum is {(b1,r2),(b2,r1)} = 0.45+0.4.
+        let u = UtilityMatrix::from_vec(2, 2, vec![0.25, 0.40, 0.45, 0.50]);
+        // rows are requests r1, r2; columns brokers b1, b2.
+        let a = max_weight_assignment(&u);
+        assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
+        assert!((a.total - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_best_on_diagonal() {
+        let u = UtilityMatrix::from_fn(3, 3, |r, c| if r == c { 10.0 } else { 1.0 });
+        let a = max_weight_assignment(&u);
+        assert_eq!(a.row_to_col, vec![Some(0), Some(1), Some(2)]);
+        assert_eq!(a.total, 30.0);
+        a.validate(&u);
+    }
+
+    #[test]
+    fn rectangular_uses_best_columns() {
+        let u = UtilityMatrix::from_vec(1, 4, vec![0.1, 0.9, 0.3, 0.2]);
+        let a = max_weight_assignment(&u);
+        assert_eq!(a.row_to_col, vec![Some(1)]);
+    }
+
+    #[test]
+    fn tall_matrices_are_transposed() {
+        // 3 rows, 2 cols: only 2 rows can match.
+        let u = UtilityMatrix::from_vec(3, 2, vec![5.0, 1.0, 1.0, 5.0, 4.0, 4.0]);
+        let a = max_weight_assignment(&u);
+        assert_eq!(a.matched_count(), 2);
+        assert!((a.validate(&u) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_negative_utilities() {
+        let u = UtilityMatrix::from_vec(2, 2, vec![-1.0, -5.0, -5.0, -1.0]);
+        let a = max_weight_assignment(&u);
+        assert_eq!(a.total, -2.0);
+    }
+
+    #[test]
+    fn padded_matches_rectangular_value() {
+        let u = UtilityMatrix::from_fn(3, 6, |r, c| ((r * 7 + c * 3) % 10) as f64 * 0.1);
+        let rect = max_weight_assignment(&u);
+        let padded = max_weight_assignment_padded(&u);
+        assert!((rect.total - padded.total).abs() < 1e-9);
+        padded.validate(&u);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        // Deterministic pseudo-random instances.
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64)
+        };
+        for (n, m) in [(2, 2), (3, 3), (3, 5), (4, 4), (4, 7), (5, 5)] {
+            let u = UtilityMatrix::from_fn(n, m, |_, _| next() * 2.0 - 0.5);
+            let a = max_weight_assignment(&u);
+            let best = brute_force_assignment(&u);
+            assert!(
+                (a.total - best).abs() < 1e-9,
+                "{n}x{m}: solver {} vs brute {best}",
+                a.total
+            );
+            a.validate(&u);
+        }
+    }
+
+    #[test]
+    fn empty_instances() {
+        let a = max_weight_assignment(&UtilityMatrix::zeros(0, 5));
+        assert_eq!(a.row_to_col.len(), 0);
+        let b = max_weight_assignment(&UtilityMatrix::zeros(3, 0));
+        assert_eq!(b.matched_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requests ≤ brokers")]
+    fn padded_rejects_tall() {
+        max_weight_assignment_padded(&UtilityMatrix::zeros(3, 2));
+    }
+
+    #[test]
+    fn all_rows_matched_when_rows_leq_cols() {
+        let u = UtilityMatrix::from_fn(4, 9, |r, c| ((r + c) % 5) as f64);
+        let a = max_weight_assignment(&u);
+        assert_eq!(a.matched_count(), 4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Element-wise activation functions and their derivatives.
+
+/// Activation function applied element-wise after a dense layer.
+///
+/// The paper's reward network (Eq. 4) uses **ReLU** between layers and a
+/// purely linear output layer ([`Activation::Identity`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// `max(0, z)` — the paper's choice (`σ_i` in Eq. 4).
+    Relu,
+    /// Logistic sigmoid `1 / (1 + e^{-z})`; handy when the reward is a
+    /// rate in `[0, 1]` such as the sign-up rate.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No-op, used for the final linear layer.
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation to a single pre-activation value.
+    #[inline]
+    pub fn apply(self, z: f64) -> f64 {
+        match self {
+            Activation::Relu => z.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-z).exp()),
+            Activation::Tanh => z.tanh(),
+            Activation::Identity => z,
+        }
+    }
+
+    /// Derivative dσ/dz evaluated at the pre-activation `z`.
+    ///
+    /// ReLU's sub-gradient at exactly zero is taken to be `0`, the common
+    /// convention.
+    #[inline]
+    pub fn derivative(self, z: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => {
+                let s = self.apply(z);
+                s * (1.0 - s)
+            }
+            Activation::Tanh => {
+                let t = z.tanh();
+                1.0 - t * t
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Apply in place over a slice.
+    pub fn apply_slice(self, z: &mut [f64]) {
+        for v in z.iter_mut() {
+            *v = self.apply(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+        assert_eq!(Activation::Relu.derivative(0.0), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(s.apply(10.0) > 0.999);
+        assert!(s.apply(-10.0) < 0.001);
+        assert!((s.derivative(0.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let t = Activation::Tanh;
+        assert!((t.apply(1.3) + t.apply(-1.3)).abs() < 1e-12);
+        assert!((t.derivative(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        assert_eq!(Activation::Identity.apply(7.0), 7.0);
+        assert_eq!(Activation::Identity.derivative(7.0), 1.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference() {
+        let h = 1e-6;
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::Identity] {
+            for z in [-2.0, -0.5, 0.1, 1.7] {
+                let numeric = (act.apply(z + h) - act.apply(z - h)) / (2.0 * h);
+                assert!(
+                    (numeric - act.derivative(z)).abs() < 1e-6,
+                    "{act:?} at {z}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_slice_in_place() {
+        let mut z = vec![-1.0, 0.5];
+        Activation::Relu.apply_slice(&mut z);
+        assert_eq!(z, vec![0.0, 0.5]);
+    }
+}

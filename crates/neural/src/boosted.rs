@@ -1,0 +1,249 @@
+//! Gradient-boosted regression stumps.
+//!
+//! The paper takes the pair utility `u_{r,b}` as *input*, "learned from
+//! historical assignments using models such as XGBoost" (Sec. III).
+//! This module supplies that substrate: a small, dependency-free
+//! gradient-boosting regressor over depth-1 trees (stumps), fitted by
+//! least-squares residual boosting. It is the learned counterpart of the
+//! simulator's generative utility model — `examples/learned_utility.rs`
+//! fits it on logged assignment outcomes and measures how faithfully it
+//! recovers the true utility ordering.
+
+/// A depth-1 regression tree: `if x[feature] < threshold { left } else { right }`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stump {
+    /// Feature index the split tests.
+    pub feature: usize,
+    /// Split threshold.
+    pub threshold: f64,
+    /// Prediction when `x[feature] < threshold`.
+    pub left: f64,
+    /// Prediction otherwise.
+    pub right: f64,
+}
+
+impl Stump {
+    /// Evaluate the stump.
+    #[inline]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if x[self.feature] < self.threshold {
+            self.left
+        } else {
+            self.right
+        }
+    }
+}
+
+/// Training options for [`Gbrt::fit`].
+#[derive(Clone, Debug)]
+pub struct GbrtConfig {
+    /// Number of boosting rounds (stumps).
+    pub rounds: usize,
+    /// Shrinkage applied to each stump's contribution.
+    pub learning_rate: f64,
+    /// Candidate thresholds examined per feature (quantiles of the
+    /// feature's empirical distribution).
+    pub candidate_thresholds: usize,
+}
+
+impl Default for GbrtConfig {
+    fn default() -> Self {
+        Self { rounds: 100, learning_rate: 0.1, candidate_thresholds: 16 }
+    }
+}
+
+/// Gradient-boosted stump ensemble for least-squares regression.
+#[derive(Clone, Debug)]
+pub struct Gbrt {
+    base: f64,
+    learning_rate: f64,
+    stumps: Vec<Stump>,
+}
+
+impl Gbrt {
+    /// Fit on rows `x[i]` with targets `y[i]`.
+    ///
+    /// # Panics
+    /// Panics on empty input, ragged rows, or length mismatch.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], cfg: &GbrtConfig) -> Gbrt {
+        assert!(!x.is_empty(), "need at least one training row");
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let dim = x[0].len();
+        assert!(x.iter().all(|r| r.len() == dim), "ragged feature rows");
+        assert!(cfg.rounds > 0 && cfg.learning_rate > 0.0, "invalid config");
+
+        let n = x.len() as f64;
+        let base = y.iter().sum::<f64>() / n;
+        let mut residual: Vec<f64> = y.iter().map(|v| v - base).collect();
+        let mut stumps = Vec::with_capacity(cfg.rounds);
+
+        // Pre-compute candidate thresholds per feature (quantiles).
+        let thresholds: Vec<Vec<f64>> = (0..dim)
+            .map(|f| {
+                let mut vals: Vec<f64> = x.iter().map(|r| r[f]).collect();
+                vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+                vals.dedup();
+                if vals.len() <= cfg.candidate_thresholds {
+                    // Midpoints between consecutive distinct values.
+                    vals.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect()
+                } else {
+                    (1..=cfg.candidate_thresholds)
+                        .map(|k| {
+                            let pos = k * (vals.len() - 1) / (cfg.candidate_thresholds + 1);
+                            vals[pos]
+                        })
+                        .collect()
+                }
+            })
+            .collect();
+
+        for _ in 0..cfg.rounds {
+            let Some(stump) = Self::best_stump(x, &residual, &thresholds) else {
+                break; // residuals constant: nothing left to fit
+            };
+            for (r, row) in residual.iter_mut().zip(x) {
+                *r -= cfg.learning_rate * stump.predict(row);
+            }
+            stumps.push(stump);
+        }
+        Gbrt { base, learning_rate: cfg.learning_rate, stumps }
+    }
+
+    /// Least-squares-optimal stump over all features/thresholds for the
+    /// current residuals; `None` when no split reduces the error.
+    fn best_stump(x: &[Vec<f64>], residual: &[f64], thresholds: &[Vec<f64>]) -> Option<Stump> {
+        let mut best: Option<(f64, Stump)> = None;
+        for (f, cands) in thresholds.iter().enumerate() {
+            for &t in cands {
+                let mut sum_l = 0.0;
+                let mut n_l = 0.0;
+                let mut sum_r = 0.0;
+                let mut n_r = 0.0;
+                for (row, &r) in x.iter().zip(residual) {
+                    if row[f] < t {
+                        sum_l += r;
+                        n_l += 1.0;
+                    } else {
+                        sum_r += r;
+                        n_r += 1.0;
+                    }
+                }
+                if n_l == 0.0 || n_r == 0.0 {
+                    continue;
+                }
+                // SSE reduction of the two-mean fit = nL·meanL² + nR·meanR².
+                let gain = sum_l * sum_l / n_l + sum_r * sum_r / n_r;
+                if best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                    best = Some((
+                        gain,
+                        Stump { feature: f, threshold: t, left: sum_l / n_l, right: sum_r / n_r },
+                    ));
+                }
+            }
+        }
+        best.filter(|(g, _)| *g > 1e-12).map(|(_, s)| s)
+    }
+
+    /// Predict one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.base
+            + self.learning_rate
+                * self.stumps.iter().map(|s| s.predict(x)).sum::<f64>()
+    }
+
+    /// Number of fitted stumps.
+    pub fn len(&self) -> usize {
+        self.stumps.len()
+    }
+
+    /// True when no stumps were fitted (constant model).
+    pub fn is_empty(&self) -> bool {
+        self.stumps.is_empty()
+    }
+
+    /// Mean squared error on a dataset.
+    pub fn mse(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len());
+        if x.is_empty() {
+            return 0.0;
+        }
+        x.iter()
+            .zip(y)
+            .map(|(row, &t)| {
+                let e = self.predict(row) - t;
+                e * e
+            })
+            .sum::<f64>()
+            / x.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_2d(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .flat_map(|i| (0..n).map(move |j| vec![i as f64 / n as f64, j as f64 / n as f64]))
+            .collect()
+    }
+
+    #[test]
+    fn fits_constant_exactly() {
+        let x = grid_2d(5);
+        let y = vec![0.7; x.len()];
+        let m = Gbrt::fit(&x, &y, &GbrtConfig::default());
+        assert!(m.is_empty(), "constant target needs no stumps");
+        assert!((m.predict(&[0.3, 0.3]) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fits_step_function() {
+        let x = grid_2d(8);
+        let y: Vec<f64> = x.iter().map(|r| if r[0] < 0.5 { 0.0 } else { 1.0 }).collect();
+        let m = Gbrt::fit(&x, &y, &GbrtConfig::default());
+        assert!(m.mse(&x, &y) < 1e-3, "mse = {}", m.mse(&x, &y));
+        assert!(m.predict(&[0.1, 0.5]) < 0.2);
+        assert!(m.predict(&[0.9, 0.5]) > 0.8);
+    }
+
+    #[test]
+    fn fits_additive_function() {
+        let x = grid_2d(10);
+        let y: Vec<f64> = x.iter().map(|r| 0.4 * r[0] + 0.6 * r[1]).collect();
+        let cfg = GbrtConfig { rounds: 300, ..GbrtConfig::default() };
+        let m = Gbrt::fit(&x, &y, &cfg);
+        assert!(m.mse(&x, &y) < 5e-4, "mse = {}", m.mse(&x, &y));
+    }
+
+    #[test]
+    fn more_rounds_never_hurt_training_error() {
+        let x = grid_2d(7);
+        let y: Vec<f64> = x.iter().map(|r| (3.0 * r[0]).sin() * r[1]).collect();
+        let short = Gbrt::fit(&x, &y, &GbrtConfig { rounds: 10, ..Default::default() });
+        let long = Gbrt::fit(&x, &y, &GbrtConfig { rounds: 200, ..Default::default() });
+        assert!(long.mse(&x, &y) <= short.mse(&x, &y) + 1e-12);
+    }
+
+    #[test]
+    fn picks_informative_feature() {
+        // Feature 1 is pure noise; every split should use feature 0.
+        let x = grid_2d(6);
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0).collect();
+        let m = Gbrt::fit(&x, &y, &GbrtConfig { rounds: 20, ..Default::default() });
+        assert!(!m.is_empty());
+        assert!(m.stumps.iter().all(|s| s.feature == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        Gbrt::fit(&[vec![1.0]], &[1.0, 2.0], &GbrtConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training row")]
+    fn empty_input_panics() {
+        Gbrt::fit(&[], &[], &GbrtConfig::default());
+    }
+}

@@ -1,0 +1,91 @@
+//! Weight initialisation.
+//!
+//! Alg. 1 line 3 initialises θ "with Gauss Distribution"; we provide both
+//! a plain Gaussian and the variance-scaled He/Xavier schemes that keep
+//! deep ReLU networks trainable.
+
+use rand::Rng;
+
+/// Sample a standard normal via the Box–Muller transform.
+///
+/// `rand` itself only provides uniform sampling; distributions live in a
+/// separate crate we deliberately avoid depending on.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard u1 away from zero so ln(u1) is finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample `N(mean, std²)`.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * randn(rng)
+}
+
+/// Weight-initialisation scheme for a dense layer of shape
+/// `fan_out × fan_in`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Init {
+    /// i.i.d. `N(0, std²)` — the paper's "Gauss Distribution" init.
+    Gaussian {
+        /// Standard deviation of each weight.
+        std: f64,
+    },
+    /// He initialisation `N(0, 2/fan_in)`, the standard choice for ReLU.
+    He,
+    /// Xavier/Glorot initialisation `N(0, 2/(fan_in+fan_out))`.
+    Xavier,
+}
+
+impl Init {
+    /// Standard deviation this scheme prescribes for the given fan-in and
+    /// fan-out.
+    pub fn std_for(self, fan_in: usize, fan_out: usize) -> f64 {
+        match self {
+            Init::Gaussian { std } => std,
+            Init::He => (2.0 / fan_in.max(1) as f64).sqrt(),
+            Init::Xavier => (2.0 / (fan_in + fan_out).max(1) as f64).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..20_000).map(|_| randn(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var: f64 =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / samples.len() as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn gaussian_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> =
+            (0..20_000).map(|_| gaussian(&mut rng, 5.0, 0.5)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn init_std_formulas() {
+        assert_eq!(Init::Gaussian { std: 0.1 }.std_for(100, 10), 0.1);
+        assert!((Init::He.std_for(8, 4) - 0.5).abs() < 1e-12);
+        assert!((Init::Xavier.std_for(6, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn init_handles_zero_fans() {
+        assert!(Init::He.std_for(0, 0).is_finite());
+        assert!(Init::Xavier.std_for(0, 0).is_finite());
+    }
+}

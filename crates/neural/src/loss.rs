@@ -1,0 +1,75 @@
+//! Loss functions.
+//!
+//! The bandit trains on Eq. (6):
+//! `L(θ) = Σ_o ‖S_θ(x_o, w_o) − s_o‖² + λ‖θ‖²`.
+
+/// Mean squared error `1/n Σ (pred − target)²`.
+pub fn mse(preds: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(preds.len(), targets.len(), "mse: length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    preds
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / preds.len() as f64
+}
+
+/// Sum-of-squares error `Σ (pred − target)²` — the un-normalised form in
+/// Eq. (6) of the paper.
+pub fn sse(preds: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(preds.len(), targets.len(), "sse: length mismatch");
+    preds
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum()
+}
+
+/// Eq. (6): `Σ (pred − target)² + λ‖θ‖²`.
+pub fn sse_with_l2(preds: &[f64], targets: &[f64], lambda: f64, params: &[f64]) -> f64 {
+    sse(preds, targets) + lambda * linalg::vector::norm2_sq(params)
+}
+
+/// Gradient of the squared error of a single sample w.r.t. the
+/// prediction: `d/dp (p − t)² = 2(p − t)`.
+#[inline]
+pub fn dsq(pred: f64, target: f64) -> f64 {
+    2.0 * (pred - target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known() {
+        assert_eq!(mse(&[1.0, 2.0], &[0.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn mse_empty_is_zero() {
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn sse_is_n_times_mse() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [0.0, 0.0, 0.0];
+        assert!((sse(&p, &t) - 3.0 * mse(&p, &t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_term_added() {
+        let v = sse_with_l2(&[1.0], &[1.0], 0.5, &[2.0, 2.0]);
+        assert_eq!(v, 4.0);
+    }
+
+    #[test]
+    fn dsq_sign() {
+        assert_eq!(dsq(3.0, 1.0), 4.0);
+        assert_eq!(dsq(1.0, 3.0), -4.0);
+    }
+}

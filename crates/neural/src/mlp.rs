@@ -1,0 +1,552 @@
+//! The multilayer perceptron `S_θ` of Eq. (4) with layer freezing.
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::layer::{Dense, LayerCache};
+use crate::loss;
+use linalg::Matrix;
+use rand::Rng;
+
+/// A scalar-output MLP: `S_θ : R^d → R`.
+///
+/// Layers can be individually **frozen**; frozen layers still participate
+/// in forward/backward passes but are excluded from the flat parameter and
+/// gradient vectors, so every training step and every bandit covariance
+/// update automatically operates on the trainable subset only. This is
+/// the mechanism behind the paper's personalised estimator (Sec. V-D):
+/// copy the base network, freeze the first `L−1` layers, fine-tune the
+/// last.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    frozen: Vec<bool>,
+}
+
+/// Builder for [`Mlp`], defaulting to the paper's 3-layer ReLU network.
+#[derive(Clone, Debug)]
+pub struct MlpBuilder {
+    input_dim: usize,
+    hidden: Vec<usize>,
+    activation: Activation,
+    init: Init,
+    use_bias: bool,
+}
+
+impl MlpBuilder {
+    /// Start a builder for a network with the given input dimensionality.
+    pub fn new(input_dim: usize) -> Self {
+        Self {
+            input_dim,
+            hidden: vec![64, 16],
+            activation: Activation::Relu,
+            init: Init::He,
+            use_bias: true,
+        }
+    }
+
+    /// Hidden layer widths (the output layer of width 1 is implicit).
+    pub fn hidden(mut self, widths: &[usize]) -> Self {
+        self.hidden = widths.to_vec();
+        self
+    }
+
+    /// Hidden activation (default ReLU, matching Eq. 4).
+    pub fn activation(mut self, act: Activation) -> Self {
+        self.activation = act;
+        self
+    }
+
+    /// Weight initialisation scheme.
+    pub fn init(mut self, init: Init) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Enable or disable bias terms (Eq. 4 literally has none).
+    pub fn bias(mut self, use_bias: bool) -> Self {
+        self.use_bias = use_bias;
+        self
+    }
+
+    /// Build the network, sampling weights from `rng`.
+    pub fn build<R: Rng + ?Sized>(self, rng: &mut R) -> Mlp {
+        assert!(self.input_dim > 0, "input dim must be positive");
+        let mut layers = Vec::with_capacity(self.hidden.len() + 1);
+        let mut fan_in = self.input_dim;
+        for &w in &self.hidden {
+            layers.push(Dense::new(rng, fan_in, w, self.activation, self.init, self.use_bias));
+            fan_in = w;
+        }
+        layers.push(Dense::new(
+            rng,
+            fan_in,
+            1,
+            Activation::Identity,
+            self.init,
+            self.use_bias,
+        ));
+        let frozen = vec![false; layers.len()];
+        Mlp { layers, frozen }
+    }
+}
+
+impl Mlp {
+    /// Assemble a network from explicit layers and frozen flags,
+    /// validating the architecture (consecutive dims chain; scalar
+    /// output).
+    pub fn from_layers(layers: Vec<Dense>, frozen: Vec<bool>) -> Result<Mlp, String> {
+        if layers.is_empty() {
+            return Err("network must have at least one layer".into());
+        }
+        if layers.len() != frozen.len() {
+            return Err("frozen mask length mismatch".into());
+        }
+        for w in layers.windows(2) {
+            if w[0].fan_out() != w[1].fan_in() {
+                return Err(format!(
+                    "layer dims do not chain: {} -> {}",
+                    w[0].fan_out(),
+                    w[1].fan_in()
+                ));
+            }
+        }
+        if layers.last().expect("non-empty").fan_out() != 1 {
+            return Err("output layer must be scalar".into());
+        }
+        Ok(Mlp { layers, frozen })
+    }
+
+    /// Number of layers `L` (hidden layers plus the linear output layer).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Borrow layer `idx` (0-based from the input side).
+    pub fn layer(&self, idx: usize) -> &Dense {
+        &self.layers[idx]
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].fan_in()
+    }
+
+    /// Freeze or unfreeze one layer (0-based from the input side).
+    pub fn freeze_layer(&mut self, idx: usize, frozen: bool) {
+        self.frozen[idx] = frozen;
+    }
+
+    /// Freeze the first `L−1` layers, leaving only the output layer
+    /// trainable — the paper's layer-transfer personalisation.
+    pub fn freeze_all_but_last(&mut self) {
+        let n = self.layers.len();
+        for (i, f) in self.frozen.iter_mut().enumerate() {
+            *f = i + 1 < n;
+        }
+    }
+
+    /// Unfreeze every layer.
+    pub fn unfreeze_all(&mut self) {
+        self.frozen.iter_mut().for_each(|f| *f = false);
+    }
+
+    /// Whether layer `idx` is frozen.
+    pub fn is_frozen(&self, idx: usize) -> bool {
+        self.frozen[idx]
+    }
+
+    /// Total parameter count, frozen or not.
+    pub fn total_param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Parameter count of the trainable subset — this is the dimension
+    /// `d` of the bandit covariance `D`.
+    pub fn trainable_param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .zip(&self.frozen)
+            .filter(|(_, &f)| !f)
+            .map(|(l, _)| l.param_count())
+            .sum()
+    }
+
+    /// Scalar forward pass `S_θ(x)`.
+    pub fn forward(&self, x: &[f64]) -> f64 {
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            cur = layer.forward(&cur).post;
+        }
+        debug_assert_eq!(cur.len(), 1);
+        cur[0]
+    }
+
+    fn forward_cached(&self, x: &[f64]) -> (f64, Vec<LayerCache>) {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            let c = layer.forward(&cur);
+            cur = c.post.clone();
+            caches.push(c);
+        }
+        (cur[0], caches)
+    }
+
+    /// `g_θ(x) = ∇_θ S_θ(x)` over the **trainable** parameters, flattened
+    /// layer by layer (input side first; weights row-major, then biases).
+    ///
+    /// This is the gradient vector that feeds the UCB exploration bonus of
+    /// Eq. (5) and the covariance update of Alg. 1 line 12.
+    pub fn param_gradient(&self, x: &[f64]) -> Vec<f64> {
+        let (_, caches) = self.forward_cached(x);
+        self.backward_from(&caches, 1.0).1
+    }
+
+    /// Scalar prediction together with the trainable-parameter gradient —
+    /// a single fused pass, saving the duplicate forward that separate
+    /// `forward` + `param_gradient` calls would cost inside the bandit's
+    /// per-arm loop.
+    pub fn forward_with_gradient(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let (out, caches) = self.forward_cached(x);
+        let (_, grad) = self.backward_from(&caches, 1.0);
+        (out, grad)
+    }
+
+    /// Backprop from `d_out = ∂L/∂S_θ` through every layer; returns
+    /// `(∂L/∂x, flat trainable gradient)`.
+    fn backward_from(&self, caches: &[LayerCache], d_out: f64) -> (Vec<f64>, Vec<f64>) {
+        let n = self.layers.len();
+        let mut grads_w: Vec<Matrix> = self
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(l.fan_out(), l.fan_in()))
+            .collect();
+        let mut grads_b: Vec<Vec<f64>> =
+            self.layers.iter().map(|l| vec![0.0; l.fan_out()]).collect();
+        let mut d_post = vec![d_out];
+        for i in (0..n).rev() {
+            d_post = self.layers[i].backward(
+                &caches[i],
+                &d_post,
+                &mut grads_w[i],
+                &mut grads_b[i],
+            );
+        }
+        let mut flat = Vec::with_capacity(self.trainable_param_count());
+        for i in 0..n {
+            if self.frozen[i] {
+                continue;
+            }
+            flat.extend_from_slice(grads_w[i].data());
+            if self.layers[i].param_count()
+                > self.layers[i].fan_in() * self.layers[i].fan_out()
+            {
+                flat.extend_from_slice(&grads_b[i]);
+            }
+        }
+        (d_post, flat)
+    }
+
+    /// Copy the trainable parameters into a flat vector (layout mirrors
+    /// [`Self::param_gradient`]).
+    pub fn trainable_params(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.trainable_param_count()];
+        let mut off = 0;
+        for (layer, &frozen) in self.layers.iter().zip(&self.frozen) {
+            if frozen {
+                continue;
+            }
+            off += layer.write_params(&mut out[off..]);
+        }
+        debug_assert_eq!(off, out.len());
+        out
+    }
+
+    /// Overwrite the trainable parameters from a flat vector.
+    pub fn set_trainable_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.trainable_param_count(), "param length mismatch");
+        let mut off = 0;
+        for (layer, &frozen) in self.layers.iter_mut().zip(&self.frozen) {
+            if frozen {
+                continue;
+            }
+            off += layer.read_params(&params[off..]);
+        }
+    }
+
+    /// `θ += scale · delta` over trainable parameters.
+    pub fn apply_trainable_delta(&mut self, scale: f64, delta: &[f64]) {
+        assert_eq!(delta.len(), self.trainable_param_count(), "delta length mismatch");
+        let mut off = 0;
+        for (layer, &frozen) in self.layers.iter_mut().zip(&self.frozen) {
+            if frozen {
+                continue;
+            }
+            off += layer.apply_delta(scale, &delta[off..]);
+        }
+    }
+
+    /// Gradient of the regularised batch loss of Eq. (6)
+    /// `Σ_o (S_θ(x_o) − s_o)² + λ‖θ‖²` over the trainable parameters,
+    /// together with the loss value itself.
+    pub fn loss_gradient(
+        &self,
+        inputs: &[Vec<f64>],
+        targets: &[f64],
+        lambda: f64,
+    ) -> (f64, Vec<f64>) {
+        assert_eq!(inputs.len(), targets.len(), "batch size mismatch");
+        let mut grad = vec![0.0; self.trainable_param_count()];
+        let mut preds = Vec::with_capacity(inputs.len());
+        for (x, &t) in inputs.iter().zip(targets) {
+            let (pred, caches) = self.forward_cached(x);
+            preds.push(pred);
+            let (_, g) = self.backward_from(&caches, loss::dsq(pred, t));
+            linalg::vector::axpy(1.0, &g, &mut grad);
+        }
+        let params = self.trainable_params();
+        linalg::vector::axpy(2.0 * lambda, &params, &mut grad);
+        let l = loss::sse_with_l2(&preds, targets, lambda, &params);
+        (l, grad)
+    }
+
+    /// One plain gradient-descent step on Eq. (6) (Alg. 1 line 17:
+    /// `θ ← θ − ∇L`, scaled by `lr`). Returns the pre-step loss.
+    pub fn train_step(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[f64],
+        lr: f64,
+        lambda: f64,
+    ) -> f64 {
+        self.train_step_clipped(inputs, targets, lr, lambda, f64::INFINITY)
+    }
+
+    /// [`Self::train_step`] with global gradient-norm clipping: when the
+    /// gradient's L2 norm exceeds `max_grad_norm` it is rescaled onto the
+    /// clip sphere. Clipping keeps a ReLU network from being driven into
+    /// the all-dead regime by one oversized step — without it, a large
+    /// summed-loss gradient can permanently collapse `S_θ` to a constant
+    /// (its output-layer bias), which silently disables the bandit.
+    pub fn train_step_clipped(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[f64],
+        lr: f64,
+        lambda: f64,
+        max_grad_norm: f64,
+    ) -> f64 {
+        let (l, mut grad) = self.loss_gradient(inputs, targets, lambda);
+        if max_grad_norm.is_finite() {
+            let norm = linalg::vector::norm2(&grad);
+            if norm > max_grad_norm && norm > 0.0 {
+                linalg::vector::scale(max_grad_norm / norm, &mut grad);
+            }
+        }
+        self.apply_trainable_delta(-lr, &grad);
+        l
+    }
+
+    /// The `ξ` of Theorem 1: the largest per-layer operator-norm bound.
+    pub fn xi(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(Dense::operator_norm_bound)
+            .fold(0.0, f64::max)
+    }
+
+    /// Copy all parameters (frozen and trainable alike) from another
+    /// network of identical architecture — the "copy the first L−1 layers
+    /// of θ_base" step of Sec. V-D copies everything and then freezing
+    /// determines what fine-tuning may touch.
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(self.total_param_count(), other.total_param_count(), "architecture mismatch");
+        let frozen_backup = self.frozen.clone();
+        self.unfreeze_all();
+        let mut donor = other.clone();
+        donor.unfreeze_all();
+        self.set_trainable_params(&donor.trainable_params());
+        self.frozen = frozen_backup;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MlpBuilder::new(4).hidden(&[8, 6]).build(&mut rng)
+    }
+
+    #[test]
+    fn builder_shapes() {
+        let m = net(0);
+        assert_eq!(m.num_layers(), 3);
+        assert_eq!(m.input_dim(), 4);
+        // (4*8+8) + (8*6+6) + (6*1+1) = 40 + 54 + 7
+        assert_eq!(m.total_param_count(), 101);
+        assert_eq!(m.trainable_param_count(), 101);
+    }
+
+    #[test]
+    fn freezing_shrinks_trainable_set() {
+        let mut m = net(0);
+        m.freeze_all_but_last();
+        assert_eq!(m.trainable_param_count(), 7);
+        assert!(m.is_frozen(0) && m.is_frozen(1) && !m.is_frozen(2));
+        m.unfreeze_all();
+        assert_eq!(m.trainable_param_count(), 101);
+    }
+
+    #[test]
+    fn param_gradient_matches_finite_difference() {
+        let m = net(3);
+        let x = [0.3, -0.8, 1.2, 0.5];
+        let grad = m.param_gradient(&x);
+        assert_eq!(grad.len(), m.trainable_param_count());
+        let params = m.trainable_params();
+        let eps = 1e-6;
+        // Spot-check a spread of parameter indices.
+        for k in (0..params.len()).step_by(13) {
+            let mut mp = m.clone();
+            let mut p = params.clone();
+            p[k] += eps;
+            mp.set_trainable_params(&p);
+            let fp = mp.forward(&x);
+            p[k] -= 2.0 * eps;
+            mp.set_trainable_params(&p);
+            let fm = mp.forward(&x);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - grad[k]).abs() < 1e-5,
+                "param {k}: numeric {num} vs analytic {}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_gradient_matches_finite_difference() {
+        let mut m = net(5);
+        m.freeze_all_but_last();
+        let x = [1.0, 0.2, -0.4, 0.9];
+        let grad = m.param_gradient(&x);
+        assert_eq!(grad.len(), 7);
+        let params = m.trainable_params();
+        let eps = 1e-6;
+        for k in 0..params.len() {
+            let mut mp = m.clone();
+            let mut p = params.clone();
+            p[k] += eps;
+            mp.set_trainable_params(&p);
+            let fp = mp.forward(&x);
+            p[k] -= 2.0 * eps;
+            mp.set_trainable_params(&p);
+            let fm = mp.forward(&x);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad[k]).abs() < 1e-5, "param {k}");
+        }
+    }
+
+    #[test]
+    fn loss_gradient_matches_finite_difference() {
+        let m = net(7);
+        let inputs = vec![
+            vec![0.1, 0.2, 0.3, 0.4],
+            vec![-0.5, 0.5, 1.0, -1.0],
+            vec![0.0, 0.0, 1.0, 0.0],
+        ];
+        let targets = vec![0.2, 0.8, 0.5];
+        let lambda = 0.01;
+        let (_, grad) = m.loss_gradient(&inputs, &targets, lambda);
+        let params = m.trainable_params();
+        let eps = 1e-6;
+        for k in (0..params.len()).step_by(17) {
+            let mut mp = m.clone();
+            let mut p = params.clone();
+            p[k] += eps;
+            mp.set_trainable_params(&p);
+            let preds: Vec<f64> = inputs.iter().map(|x| mp.forward(x)).collect();
+            let fp = crate::loss::sse_with_l2(&preds, &targets, lambda, &mp.trainable_params());
+            p[k] -= 2.0 * eps;
+            mp.set_trainable_params(&p);
+            let preds: Vec<f64> = inputs.iter().map(|x| mp.forward(x)).collect();
+            let fm = crate::loss::sse_with_l2(&preds, &targets, lambda, &mp.trainable_params());
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - grad[k]).abs() < 1e-4,
+                "param {k}: numeric {num} vs analytic {}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_batch() {
+        let mut m = net(11);
+        let inputs: Vec<Vec<f64>> = (0..16)
+            .map(|i| {
+                let t = i as f64 / 16.0;
+                vec![t, 1.0 - t, t * t, 0.5]
+            })
+            .collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| 0.3 * x[0] + 0.1).collect();
+        let first = m.train_step(&inputs, &targets, 0.01, 0.0);
+        let mut last = first;
+        for _ in 0..200 {
+            last = m.train_step(&inputs, &targets, 0.01, 0.0);
+        }
+        assert!(last < first * 0.2, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn fine_tuning_only_moves_last_layer() {
+        let mut m = net(13);
+        let before_all = {
+            let mut c = m.clone();
+            c.unfreeze_all();
+            c.trainable_params()
+        };
+        m.freeze_all_but_last();
+        m.train_step(&[vec![1.0, 0.0, 0.0, 0.0]], &[0.7], 0.1, 0.0);
+        let mut after = m.clone();
+        after.unfreeze_all();
+        let after_all = after.trainable_params();
+        // All but the last 7 params unchanged.
+        let n = before_all.len();
+        for k in 0..n - 7 {
+            assert_eq!(before_all[k], after_all[k], "frozen param {k} moved");
+        }
+        // And the last layer did move.
+        assert!(before_all[n - 7..]
+            .iter()
+            .zip(&after_all[n - 7..])
+            .any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn copy_params_from_transfers_function() {
+        let a = net(17);
+        let mut b = net(18);
+        assert_ne!(a.forward(&[1.0, 2.0, 3.0, 4.0]), b.forward(&[1.0, 2.0, 3.0, 4.0]));
+        b.copy_params_from(&a);
+        assert_eq!(a.forward(&[1.0, 2.0, 3.0, 4.0]), b.forward(&[1.0, 2.0, 3.0, 4.0]));
+    }
+
+    #[test]
+    fn forward_with_gradient_consistent() {
+        let m = net(19);
+        let x = [0.5, -0.5, 0.25, 1.0];
+        let (out, grad) = m.forward_with_gradient(&x);
+        assert_eq!(out, m.forward(&x));
+        assert_eq!(grad, m.param_gradient(&x));
+    }
+
+    #[test]
+    fn xi_positive() {
+        assert!(net(1).xi() > 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! First-order optimizers operating on flat parameter/gradient vectors.
+//!
+//! Alg. 1 line 17 is a plain gradient step `θ ← θ − ∇L(θ)`; [`Sgd`]
+//! generalises it with a learning rate and optional momentum, and
+//! [`Adam`] is provided because fine-tuning tiny per-broker batches is
+//! noticeably more stable with adaptive step sizes.
+
+use crate::mlp::Mlp;
+
+/// An optimizer that turns a gradient into a parameter update.
+pub trait Optimizer {
+    /// Consume one gradient and update `mlp`'s trainable parameters.
+    fn step(&mut self, mlp: &mut Mlp, grad: &[f64]);
+
+    /// Reset internal state (e.g. when the trainable set changes after
+    /// freezing layers).
+    fn reset(&mut self);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum `μ ∈ [0, 1)`.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// The learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, mlp: &mut Mlp, grad: &[f64]) {
+        if self.momentum == 0.0 {
+            mlp.apply_trainable_delta(-self.lr, grad);
+            return;
+        }
+        if self.velocity.len() != grad.len() {
+            self.velocity = vec![0.0; grad.len()];
+        }
+        for (v, &g) in self.velocity.iter_mut().zip(grad) {
+            *v = self.momentum * *v + g;
+        }
+        let v = self.velocity.clone();
+        mlp.apply_trainable_delta(-self.lr, &v);
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam (Kingma & Ba) with the usual defaults.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Adam with β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, mlp: &mut Mlp, grad: &[f64]) {
+        if self.m.len() != grad.len() {
+            self.m = vec![0.0; grad.len()];
+            self.v = vec![0.0; grad.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let mut delta = vec![0.0; grad.len()];
+        for i in 0..grad.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            delta[i] = mhat / (vhat.sqrt() + self.eps);
+        }
+        mlp.apply_trainable_delta(-self.lr, &delta);
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::MlpBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_problem() -> (Mlp, Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mlp = MlpBuilder::new(2).hidden(&[8]).build(&mut rng);
+        let inputs: Vec<Vec<f64>> = (0..32)
+            .map(|i| {
+                let t = i as f64 / 32.0;
+                vec![t, 1.0 - t]
+            })
+            .collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| (x[0] - 0.5).abs()).collect();
+        (mlp, inputs, targets)
+    }
+
+    /// Returns (initial loss, final loss).
+    fn train_with<O: Optimizer>(mut opt: O, steps: usize) -> (f64, f64) {
+        let (mut mlp, inputs, targets) = toy_problem();
+        let mut first = f64::NAN;
+        let mut last = f64::INFINITY;
+        for s in 0..steps {
+            let (l, g) = mlp.loss_gradient(&inputs, &targets, 0.0);
+            opt.step(&mut mlp, &g);
+            if s == 0 {
+                first = l;
+            }
+            last = l;
+        }
+        (first, last)
+    }
+
+    #[test]
+    fn sgd_converges_on_toy_problem() {
+        let (first, last) = train_with(Sgd::new(0.002), 800);
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn momentum_converges() {
+        let (first, last) = train_with(Sgd::with_momentum(0.001, 0.9), 800);
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let (first, last) = train_with(Adam::new(0.01), 400);
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Adam::new(0.01);
+        let (mut mlp, inputs, targets) = toy_problem();
+        let (_, g) = mlp.loss_gradient(&inputs, &targets, 0.0);
+        opt.step(&mut mlp, &g);
+        assert!(!opt.m.is_empty());
+        opt.reset();
+        assert!(opt.m.is_empty());
+        assert_eq!(opt.t, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in [0,1)")]
+    fn bad_momentum_panics() {
+        Sgd::with_momentum(0.1, 1.0);
+    }
+}

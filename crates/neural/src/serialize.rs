@@ -1,0 +1,208 @@
+//! Plain-text (de)serialisation of [`Mlp`] networks.
+//!
+//! A deployed capacity estimator retrains continuously; persisting the
+//! reward network lets a platform warm-start after restarts (and lets
+//! experiments snapshot trained models). The format is line-oriented
+//! text — versioned, diffable, no external dependency:
+//!
+//! ```text
+//! caam-mlp v1
+//! layers <L>
+//! layer <fan_in> <fan_out> <activation> <bias:0|1> <frozen:0|1>
+//! <params one line, space-separated>
+//! …
+//! ```
+
+use crate::activation::Activation;
+use crate::layer::Dense;
+use crate::mlp::Mlp;
+
+/// Errors raised when parsing a serialised network.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Magic/version line missing or unsupported.
+    BadHeader,
+    /// Structural line malformed, with a description.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "bad header (expected 'caam-mlp v1')"),
+            ParseError::Malformed(m) => write!(f, "malformed network file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn activation_tag(a: Activation) -> &'static str {
+    match a {
+        Activation::Relu => "relu",
+        Activation::Sigmoid => "sigmoid",
+        Activation::Tanh => "tanh",
+        Activation::Identity => "identity",
+    }
+}
+
+fn parse_activation(s: &str) -> Result<Activation, ParseError> {
+    match s {
+        "relu" => Ok(Activation::Relu),
+        "sigmoid" => Ok(Activation::Sigmoid),
+        "tanh" => Ok(Activation::Tanh),
+        "identity" => Ok(Activation::Identity),
+        other => Err(ParseError::Malformed(format!("unknown activation {other:?}"))),
+    }
+}
+
+/// Serialise a network (all parameters, frozen flags included).
+pub fn to_text(mlp: &Mlp) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "caam-mlp v1");
+    let _ = writeln!(out, "layers {}", mlp.num_layers());
+    for i in 0..mlp.num_layers() {
+        let layer = mlp.layer(i);
+        let _ = writeln!(
+            out,
+            "layer {} {} {} {} {}",
+            layer.fan_in(),
+            layer.fan_out(),
+            activation_tag(layer.activation()),
+            layer.uses_bias() as u8,
+            mlp.is_frozen(i) as u8,
+        );
+        let mut params = vec![0.0; layer.param_count()];
+        layer.write_params(&mut params);
+        let line: Vec<String> = params.iter().map(|p| format!("{p:e}")).collect();
+        let _ = writeln!(out, "{}", line.join(" "));
+    }
+    out
+}
+
+/// Parse a network serialised by [`to_text`].
+pub fn from_text(text: &str) -> Result<Mlp, ParseError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some("caam-mlp v1") {
+        return Err(ParseError::BadHeader);
+    }
+    let count_line = lines
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing layer count".into()))?;
+    let count: usize = count_line
+        .trim()
+        .strip_prefix("layers ")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ParseError::Malformed(format!("bad layer count line {count_line:?}")))?;
+    if count == 0 {
+        return Err(ParseError::Malformed("network must have layers".into()));
+    }
+    let mut layers = Vec::with_capacity(count);
+    let mut frozen = Vec::with_capacity(count);
+    for i in 0..count {
+        let head = lines
+            .next()
+            .ok_or_else(|| ParseError::Malformed(format!("missing header for layer {i}")))?;
+        let f: Vec<&str> = head.split_whitespace().collect();
+        if f.len() != 6 || f[0] != "layer" {
+            return Err(ParseError::Malformed(format!("bad layer header {head:?}")));
+        }
+        let fan_in: usize = f[1]
+            .parse()
+            .map_err(|_| ParseError::Malformed(format!("bad fan_in {:?}", f[1])))?;
+        let fan_out: usize = f[2]
+            .parse()
+            .map_err(|_| ParseError::Malformed(format!("bad fan_out {:?}", f[2])))?;
+        let act = parse_activation(f[3])?;
+        let use_bias = f[4] == "1";
+        frozen.push(f[5] == "1");
+        let params_line = lines
+            .next()
+            .ok_or_else(|| ParseError::Malformed(format!("missing params for layer {i}")))?;
+        let params: Result<Vec<f64>, _> =
+            params_line.split_whitespace().map(str::parse::<f64>).collect();
+        let params =
+            params.map_err(|_| ParseError::Malformed(format!("bad params for layer {i}")))?;
+        let expected = fan_in * fan_out + if use_bias { fan_out } else { 0 };
+        if params.len() != expected {
+            return Err(ParseError::Malformed(format!(
+                "layer {i}: expected {expected} params, got {}",
+                params.len()
+            )));
+        }
+        layers.push(Dense::from_params(fan_in, fan_out, act, use_bias, &params));
+    }
+    Mlp::from_layers(layers, frozen)
+        .map_err(|e| ParseError::Malformed(format!("inconsistent architecture: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::MlpBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MlpBuilder::new(3).hidden(&[6, 4]).build(&mut rng)
+    }
+
+    #[test]
+    fn roundtrip_preserves_function_exactly() {
+        let m = net(11);
+        let text = to_text(&m);
+        let back = from_text(&text).unwrap();
+        for x in [[0.1, -0.5, 0.9], [1.0, 1.0, 1.0], [-2.0, 0.0, 0.3]] {
+            assert_eq!(m.forward(&x), back.forward(&x));
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_frozen_flags() {
+        let mut m = net(13);
+        m.freeze_all_but_last();
+        let back = from_text(&to_text(&m)).unwrap();
+        assert_eq!(back.trainable_param_count(), m.trainable_param_count());
+        for i in 0..m.num_layers() {
+            assert_eq!(back.is_frozen(i), m.is_frozen(i));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(from_text("not-a-network"), Err(ParseError::BadHeader)));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let text = to_text(&net(17));
+        let truncated: String =
+            text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(matches!(from_text(&truncated), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_param_count() {
+        let text = to_text(&net(19));
+        // Drop one parameter from the first params line.
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let params_idx = 3;
+        let mut params: Vec<&str> = lines[params_idx].split_whitespace().collect();
+        params.pop();
+        lines[params_idx] = params.join(" ");
+        assert!(matches!(
+            from_text(&lines.join("\n")),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_layer_dims() {
+        // Hand-craft a file whose second layer's fan_in disagrees with
+        // the first layer's fan_out.
+        let text = "caam-mlp v1\nlayers 2\nlayer 2 3 relu 0 0\n1 2 3 4 5 6\nlayer 4 1 identity 0 0\n1 2 3 4\n";
+        assert!(matches!(from_text(text), Err(ParseError::Malformed(_))));
+    }
+}

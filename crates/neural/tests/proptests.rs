@@ -1,0 +1,102 @@
+//! Property tests of the MLP: the analytic gradients must match finite
+//! differences on random architectures, inputs and parameters.
+
+use neural::{Activation, Mlp, MlpBuilder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build(seed: u64, input: usize, hidden: &[usize], act: Activation) -> Mlp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MlpBuilder::new(input).hidden(hidden).activation(act).build(&mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gradient_matches_finite_difference(
+        seed in 0u64..1000,
+        x in proptest::collection::vec(-2.0f64..2.0, 3),
+        h1 in 2usize..6,
+        h2 in 2usize..5,
+    ) {
+        // Tanh avoids ReLU's kink right at a finite-difference point.
+        let m = build(seed, 3, &[h1, h2], Activation::Tanh);
+        let grad = m.param_gradient(&x);
+        let params = m.trainable_params();
+        let eps = 1e-6;
+        for k in (0..params.len()).step_by(7) {
+            let mut mp = m.clone();
+            let mut p = params.clone();
+            p[k] += eps;
+            mp.set_trainable_params(&p);
+            let fp = mp.forward(&x);
+            p[k] -= 2.0 * eps;
+            mp.set_trainable_params(&p);
+            let fm = mp.forward(&x);
+            let num = (fp - fm) / (2.0 * eps);
+            prop_assert!((num - grad[k]).abs() < 1e-4,
+                "param {k}: numeric {num} vs analytic {}", grad[k]);
+        }
+    }
+
+    #[test]
+    fn param_roundtrip_preserves_function(
+        seed in 0u64..1000,
+        x in proptest::collection::vec(-2.0f64..2.0, 4),
+    ) {
+        let m = build(seed, 4, &[5], Activation::Relu);
+        let out = m.forward(&x);
+        let mut m2 = build(seed + 1, 4, &[5], Activation::Relu);
+        m2.set_trainable_params(&m.trainable_params());
+        prop_assert_eq!(out, m2.forward(&x));
+    }
+
+    #[test]
+    fn freezing_never_changes_predictions(
+        seed in 0u64..1000,
+        x in proptest::collection::vec(-2.0f64..2.0, 3),
+    ) {
+        let mut m = build(seed, 3, &[4, 4], Activation::Relu);
+        let before = m.forward(&x);
+        m.freeze_all_but_last();
+        prop_assert_eq!(before, m.forward(&x));
+        m.unfreeze_all();
+        prop_assert_eq!(before, m.forward(&x));
+    }
+
+    #[test]
+    fn train_step_moves_prediction_toward_target(
+        seed in 0u64..1000,
+        x in proptest::collection::vec(-1.0f64..1.0, 3),
+        target in -1.0f64..1.0,
+    ) {
+        let mut m = build(seed, 3, &[6], Activation::Tanh);
+        let before = (m.forward(&x) - target).abs();
+        for _ in 0..20 {
+            m.train_step(std::slice::from_ref(&x), &[target], 0.05, 0.0);
+        }
+        let after = (m.forward(&x) - target).abs();
+        prop_assert!(after <= before + 1e-9, "{before} -> {after}");
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_update_norm(
+        seed in 0u64..1000,
+        x in proptest::collection::vec(-1.0f64..1.0, 3),
+    ) {
+        let mut m = build(seed, 3, &[6], Activation::Relu);
+        let before = m.trainable_params();
+        // A huge target makes the raw gradient enormous; the clip caps it.
+        m.train_step_clipped(std::slice::from_ref(&x), &[1e9], 1.0, 0.0, 1.0);
+        let after = m.trainable_params();
+        let delta: f64 = before
+            .iter()
+            .zip(&after)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        prop_assert!(delta <= 1.0 + 1e-9, "update norm {delta} exceeds clip");
+    }
+}

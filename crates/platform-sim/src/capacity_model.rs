@@ -1,0 +1,111 @@
+//! The overload response: how service quality decays past capacity.
+//!
+//! Sec. II-A measures that sign-up rates hold steady below a
+//! broker-specific workload knee and drop non-linearly beyond it. We
+//! model the per-request quality multiplier as
+//!
+//! ```text
+//! overload_factor(w) = 1                         if w ≤ c_eff
+//!                    = exp(−decay · (w − c_eff)) if w > c_eff
+//! ```
+//!
+//! where `w` is the workload *at serve time* (the request's position in
+//! the broker's day), `c_eff` the fatigue-adjusted capacity and `decay`
+//! the broker-specific rate. The exponential knee reproduces the
+//! "complex, non-linear and broker-specific" decay of Figs. 2–3 with two
+//! interpretable parameters.
+
+use crate::broker::{BrokerProfile, BrokerState};
+
+/// Quality multiplier for the `w`-th request of a broker's day
+/// (`w` counts requests already served today before this one).
+pub fn overload_factor(w: f64, effective_capacity: f64, decay: f64) -> f64 {
+    if w <= effective_capacity {
+        1.0
+    } else {
+        (-decay * (w - effective_capacity)).exp()
+    }
+}
+
+/// The expected sign-up probability when `broker` serves a request of
+/// pair utility `u` as the next request of its day.
+pub fn realized_signup_probability(
+    u: f64,
+    profile: &BrokerProfile,
+    state: &BrokerState,
+) -> f64 {
+    let next_position = state.workload_today + 1.0;
+    u * overload_factor(
+        next_position,
+        state.effective_capacity(profile),
+        profile.overload_decay,
+    )
+}
+
+/// Expected daily sign-up *rate* when a broker of the given capacity and
+/// decay serves exactly `w` requests of identical pair utility `u` —
+/// the analytic counterpart of the Fig. 2 curves, used by the motivation
+/// experiment and tests.
+pub fn expected_signup_rate(u: f64, w: f64, capacity: f64, decay: f64) -> f64 {
+    if w <= 0.0 {
+        return 0.0;
+    }
+    let n = w.floor() as u64;
+    let mut total = 0.0;
+    for k in 1..=n {
+        total += u * overload_factor(k as f64, capacity, decay);
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_penalty_below_capacity() {
+        assert_eq!(overload_factor(5.0, 10.0, 0.1), 1.0);
+        assert_eq!(overload_factor(10.0, 10.0, 0.1), 1.0);
+    }
+
+    #[test]
+    fn exponential_decay_above_capacity() {
+        let f = overload_factor(20.0, 10.0, 0.1);
+        assert!((f - (-1.0f64).exp()).abs() < 1e-12);
+        assert!(overload_factor(30.0, 10.0, 0.1) < f);
+    }
+
+    #[test]
+    fn factor_is_monotone_nonincreasing_in_w() {
+        let mut prev = f64::INFINITY;
+        for w in 0..50 {
+            let f = overload_factor(w as f64, 20.0, 0.08);
+            assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn expected_rate_flat_then_dropping() {
+        // Below capacity the average rate equals u.
+        let r20 = expected_signup_rate(0.3, 20.0, 40.0, 0.1);
+        assert!((r20 - 0.3).abs() < 1e-12);
+        // Past capacity the average falls.
+        let r60 = expected_signup_rate(0.3, 60.0, 40.0, 0.1);
+        assert!(r60 < 0.3);
+        let r100 = expected_signup_rate(0.3, 100.0, 40.0, 0.1);
+        assert!(r100 < r60);
+    }
+
+    #[test]
+    fn faster_decay_hurts_more() {
+        let gentle = expected_signup_rate(0.3, 80.0, 40.0, 0.02);
+        let steep = expected_signup_rate(0.3, 80.0, 40.0, 0.2);
+        assert!(steep < gentle);
+    }
+
+    #[test]
+    fn zero_workload_rate_is_zero() {
+        assert_eq!(expected_signup_rate(0.5, 0.0, 10.0, 0.1), 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Dataset assembly: broker populations plus day/batch request streams.
+
+use crate::broker::BrokerProfile;
+use crate::config::{RealWorldConfig, SyntheticConfig};
+use crate::request::Request;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Multiplicative weekly demand cycle (index = day mod 7). Real request
+/// streams fluctuate strongly across the week; this matters beyond
+/// realism — the workload *contrast* it creates is what lets a
+/// capacity estimator observe brokers at different points of their
+/// response curve instead of permanently at their cap.
+pub const WEEKLY_DEMAND_CYCLE: [f64; 7] = [1.15, 1.0, 0.9, 1.0, 1.1, 1.45, 0.45];
+
+/// Demand factor for a day index.
+pub fn demand_factor(day: usize) -> f64 {
+    WEEKLY_DEMAND_CYCLE[day % 7]
+}
+
+/// One fixed-time-window batch of requests (Sec. III: the platform
+/// presets the interval and assigns all requests that appeared in it).
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// The requests of this interval.
+    pub requests: Vec<Request>,
+}
+
+/// A full evaluation instance: a broker population and a request stream
+/// organised as `days × batches`.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Human-readable label for reports.
+    pub name: String,
+    /// The broker population.
+    pub brokers: Vec<BrokerProfile>,
+    /// `days[d][i]` is batch `i` of day `d`.
+    pub days: Vec<Vec<Batch>>,
+}
+
+impl Dataset {
+    /// Split `total` requests over `days` days following the weekly
+    /// demand cycle; the quotas sum exactly to `total`.
+    fn daily_quotas(total: usize, days: usize) -> Vec<usize> {
+        let weights: Vec<f64> = (0..days).map(demand_factor).collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut quotas: Vec<usize> = weights
+            .iter()
+            .map(|w| (w / wsum * total as f64).floor() as usize)
+            .collect();
+        let mut assigned: usize = quotas.iter().sum();
+        let mut d = 0usize;
+        while assigned < total {
+            quotas[d % days] += 1;
+            assigned += 1;
+            d += 1;
+        }
+        quotas
+    }
+
+    /// Chunk one day's quota into batches of (at most) `per_batch`
+    /// requests, sampling request attributes from `rng`.
+    fn build_day(
+        rng: &mut StdRng,
+        next_id: &mut usize,
+        day: usize,
+        quota: usize,
+        per_batch: usize,
+    ) -> Vec<Batch> {
+        let mut batches = Vec::with_capacity(quota.div_ceil(per_batch.max(1)));
+        let mut remaining = quota;
+        let mut i = 0usize;
+        while remaining > 0 {
+            let take = per_batch.max(1).min(remaining);
+            let requests = (0..take)
+                .map(|_| {
+                    let r = Request::sample(rng, *next_id, day, i);
+                    *next_id += 1;
+                    r
+                })
+                .collect();
+            remaining -= take;
+            batches.push(Batch { requests });
+            i += 1;
+        }
+        batches
+    }
+
+    /// Generate the Table III synthetic instance for a configuration.
+    /// Daily volumes follow [`WEEKLY_DEMAND_CYCLE`]; batch width is
+    /// `σ·|B|` (Sec. VII-A).
+    pub fn synthetic(cfg: &SyntheticConfig) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let brokers = BrokerProfile::generate(&mut rng, cfg.num_brokers);
+        let per_batch = cfg.requests_per_batch();
+        let quotas = Self::daily_quotas(cfg.num_requests, cfg.days);
+        let mut next_id = 0usize;
+        let days = quotas
+            .iter()
+            .enumerate()
+            .map(|(d, &q)| Self::build_day(&mut rng, &mut next_id, d, q, per_batch))
+            .collect();
+        Dataset {
+            name: format!(
+                "synthetic(B={},R={},Day={},sigma={})",
+                cfg.num_brokers, cfg.num_requests, cfg.days, cfg.imbalance
+            ),
+            brokers,
+            days,
+        }
+    }
+
+    /// Generate a city-scale instance at the Table IV scales. Daily
+    /// volumes follow [`WEEKLY_DEMAND_CYCLE`]; each day is split into
+    /// `batches_per_day` fixed-time windows.
+    pub fn real_world(cfg: &RealWorldConfig) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (cfg.city as u64) << 32);
+        let brokers = BrokerProfile::generate(&mut rng, cfg.num_brokers());
+        let num_requests = cfg.num_requests();
+        let days_n = cfg.days();
+        let quotas = Self::daily_quotas(num_requests, days_n);
+        let mut next_id = 0usize;
+        let days = quotas
+            .iter()
+            .enumerate()
+            .map(|(d, &q)| {
+                let per_batch = q.div_ceil(cfg.batches_per_day).max(1);
+                Self::build_day(&mut rng, &mut next_id, d, q, per_batch)
+            })
+            .collect();
+        Dataset {
+            name: format!(
+                "{} (brokers x{}, requests x{})",
+                cfg.city.label(),
+                cfg.broker_scale,
+                cfg.request_scale
+            ),
+            brokers,
+            days,
+        }
+    }
+
+    /// Total number of requests across the horizon.
+    pub fn total_requests(&self) -> usize {
+        self.days
+            .iter()
+            .flat_map(|d| d.iter())
+            .map(|b| b.requests.len())
+            .sum()
+    }
+
+    /// Number of days.
+    pub fn num_days(&self) -> usize {
+        self.days.len()
+    }
+
+    /// A copy truncated to the first `days` days — used by the Fig. 8
+    /// "covering days" sweep and the Fig. 11 per-day curves.
+    pub fn truncated(&self, days: usize) -> Dataset {
+        Dataset {
+            name: format!("{} [first {days} days]", self.name),
+            brokers: self.brokers.clone(),
+            days: self.days.iter().take(days).cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CityId;
+
+    #[test]
+    fn synthetic_request_count_exact() {
+        let cfg = SyntheticConfig {
+            num_brokers: 100,
+            num_requests: 1234,
+            days: 5,
+            imbalance: 0.05,
+            seed: 1,
+        };
+        let ds = Dataset::synthetic(&cfg);
+        assert_eq!(ds.total_requests(), 1234);
+        assert_eq!(ds.brokers.len(), 100);
+        assert_eq!(ds.num_days(), 5);
+    }
+
+    #[test]
+    fn synthetic_batch_sizes_respect_sigma() {
+        let cfg = SyntheticConfig {
+            num_brokers: 200,
+            num_requests: 600,
+            days: 3,
+            imbalance: 0.05, // 10 per batch
+            seed: 2,
+        };
+        let ds = Dataset::synthetic(&cfg);
+        for day in &ds.days {
+            for batch in day {
+                assert!(batch.requests.len() <= 10);
+            }
+        }
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_days_consistent() {
+        let cfg = SyntheticConfig {
+            num_brokers: 50,
+            num_requests: 500,
+            days: 4,
+            imbalance: 0.1,
+            seed: 3,
+        };
+        let ds = Dataset::synthetic(&cfg);
+        let mut seen = std::collections::HashSet::new();
+        for (d, day) in ds.days.iter().enumerate() {
+            for batch in day {
+                for r in &batch.requests {
+                    assert!(seen.insert(r.id), "duplicate id {}", r.id);
+                    assert_eq!(r.day, d);
+                }
+            }
+        }
+        assert_eq!(seen.len(), 500);
+    }
+
+    #[test]
+    fn real_world_scaled_counts() {
+        let cfg = RealWorldConfig::scaled(CityId::C, 0.02);
+        let ds = Dataset::real_world(&cfg);
+        assert_eq!(ds.brokers.len(), cfg.num_brokers());
+        assert_eq!(ds.total_requests(), cfg.num_requests());
+        assert_eq!(ds.num_days(), 21);
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let cfg = SyntheticConfig {
+            num_brokers: 50,
+            num_requests: 400,
+            days: 4,
+            imbalance: 0.1,
+            seed: 4,
+        };
+        let ds = Dataset::synthetic(&cfg);
+        let t = ds.truncated(2);
+        assert_eq!(t.num_days(), 2);
+        assert!(t.total_requests() < ds.total_requests());
+        assert_eq!(t.brokers.len(), ds.brokers.len());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = SyntheticConfig { num_brokers: 30, num_requests: 100, days: 2, imbalance: 0.1, seed: 5 };
+        let a = Dataset::synthetic(&cfg);
+        let b = Dataset::synthetic(&cfg);
+        assert_eq!(a.brokers[0].quality, b.brokers[0].quality);
+        assert_eq!(a.days[0][0].requests[0].attrs, b.days[0][0].requests[0].attrs);
+    }
+}

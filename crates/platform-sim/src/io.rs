@@ -1,0 +1,309 @@
+//! CSV import/export of datasets.
+//!
+//! Real deployments feed the matcher from logged data; this module
+//! round-trips a [`Dataset`] through two plain CSV files (brokers and
+//! requests) so instances can be inspected, versioned, or produced by
+//! external tooling. No CSV crate is used — the format is fixed and the
+//! writer/parser are a few dozen lines.
+
+use crate::broker::{BrokerProfile, PREF_DIM};
+use crate::dataset::{Batch, Dataset};
+use crate::request::Request;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors raised when loading a dataset from CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed row, with line number and description.
+    Parse {
+        /// 1-based line number within the offending file.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+const BROKER_HEADER: &str = "id,age,working_years,education,title,response_rate,dialogue_rounds,presentations_7d,consultations_7d,maintained_houses,quality,true_capacity,overload_decay,popularity,pref0,pref1,pref2,pref3";
+const REQUEST_HEADER: &str = "id,day,batch,intent,attr0,attr1,attr2,attr3";
+
+/// Serialise the broker population to CSV.
+pub fn brokers_to_csv(brokers: &[BrokerProfile]) -> String {
+    let mut out = String::with_capacity(64 * brokers.len());
+    let _ = writeln!(out, "{BROKER_HEADER}");
+    for b in brokers {
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            b.id,
+            b.age,
+            b.working_years,
+            b.education,
+            b.title,
+            b.response_rate,
+            b.dialogue_rounds,
+            b.presentations_7d,
+            b.consultations_7d,
+            b.maintained_houses,
+            b.quality,
+            b.true_capacity,
+            b.overload_decay,
+            b.popularity,
+        );
+        for p in &b.preference {
+            let _ = write!(out, ",{p}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Serialise the request stream (day/batch structure included) to CSV.
+pub fn requests_to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{REQUEST_HEADER}");
+    for day in &ds.days {
+        for batch in day {
+            for r in &batch.requests {
+                let _ = write!(out, "{},{},{},{}", r.id, r.day, r.batch, r.intent);
+                for a in &r.attrs {
+                    let _ = write!(out, ",{a}");
+                }
+                let _ = writeln!(out);
+            }
+        }
+    }
+    out
+}
+
+/// Save a dataset as `<dir>/<name>.brokers.csv` + `<dir>/<name>.requests.csv`.
+pub fn save_dataset(ds: &Dataset, dir: &Path, name: &str) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{name}.brokers.csv")), brokers_to_csv(&ds.brokers))?;
+    fs::write(dir.join(format!("{name}.requests.csv")), requests_to_csv(ds))?;
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(field: &str, line: usize, what: &str) -> Result<T, CsvError> {
+    field.trim().parse().map_err(|_| CsvError::Parse {
+        line,
+        message: format!("cannot parse {what} from {field:?}"),
+    })
+}
+
+/// Parse a broker CSV produced by [`brokers_to_csv`].
+pub fn brokers_from_csv(csv: &str) -> Result<Vec<BrokerProfile>, CsvError> {
+    let mut out = Vec::new();
+    for (i, row) in csv.lines().enumerate() {
+        if i == 0 {
+            if row.trim() != BROKER_HEADER {
+                return Err(CsvError::Parse {
+                    line: 1,
+                    message: "unexpected broker header".into(),
+                });
+            }
+            continue;
+        }
+        if row.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = row.split(',').collect();
+        let expected = 14 + PREF_DIM;
+        if f.len() != expected {
+            return Err(CsvError::Parse {
+                line: i + 1,
+                message: format!("expected {expected} fields, got {}", f.len()),
+            });
+        }
+        let line = i + 1;
+        out.push(BrokerProfile {
+            id: parse(f[0], line, "id")?,
+            age: parse(f[1], line, "age")?,
+            working_years: parse(f[2], line, "working_years")?,
+            education: parse(f[3], line, "education")?,
+            title: parse(f[4], line, "title")?,
+            response_rate: parse(f[5], line, "response_rate")?,
+            dialogue_rounds: parse(f[6], line, "dialogue_rounds")?,
+            presentations_7d: parse(f[7], line, "presentations_7d")?,
+            consultations_7d: parse(f[8], line, "consultations_7d")?,
+            maintained_houses: parse(f[9], line, "maintained_houses")?,
+            quality: parse(f[10], line, "quality")?,
+            true_capacity: parse(f[11], line, "true_capacity")?,
+            overload_decay: parse(f[12], line, "overload_decay")?,
+            popularity: parse(f[13], line, "popularity")?,
+            preference: f[14..]
+                .iter()
+                .map(|v| parse(v, line, "preference"))
+                .collect::<Result<Vec<f64>, _>>()?,
+        });
+    }
+    Ok(out)
+}
+
+/// Parse a request CSV produced by [`requests_to_csv`], rebuilding the
+/// day/batch structure.
+pub fn requests_from_csv(csv: &str) -> Result<Vec<Vec<Batch>>, CsvError> {
+    let mut requests: Vec<Request> = Vec::new();
+    for (i, row) in csv.lines().enumerate() {
+        if i == 0 {
+            if row.trim() != REQUEST_HEADER {
+                return Err(CsvError::Parse {
+                    line: 1,
+                    message: "unexpected request header".into(),
+                });
+            }
+            continue;
+        }
+        if row.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = row.split(',').collect();
+        let expected = 4 + PREF_DIM;
+        if f.len() != expected {
+            return Err(CsvError::Parse {
+                line: i + 1,
+                message: format!("expected {expected} fields, got {}", f.len()),
+            });
+        }
+        let line = i + 1;
+        requests.push(Request {
+            id: parse(f[0], line, "id")?,
+            day: parse(f[1], line, "day")?,
+            batch: parse(f[2], line, "batch")?,
+            intent: parse(f[3], line, "intent")?,
+            attrs: f[4..]
+                .iter()
+                .map(|v| parse(v, line, "attr"))
+                .collect::<Result<Vec<f64>, _>>()?,
+        });
+    }
+    // Rebuild days/batches preserving encounter order within each cell.
+    let num_days = requests.iter().map(|r| r.day + 1).max().unwrap_or(0);
+    let mut days: Vec<Vec<Batch>> = Vec::with_capacity(num_days);
+    for d in 0..num_days {
+        let num_batches =
+            requests.iter().filter(|r| r.day == d).map(|r| r.batch + 1).max().unwrap_or(0);
+        let mut batches: Vec<Batch> =
+            (0..num_batches).map(|_| Batch { requests: Vec::new() }).collect();
+        for r in requests.iter().filter(|r| r.day == d) {
+            batches[r.batch].requests.push(r.clone());
+        }
+        days.push(batches);
+    }
+    Ok(days)
+}
+
+/// Load a dataset previously written by [`save_dataset`].
+pub fn load_dataset(dir: &Path, name: &str) -> Result<Dataset, CsvError> {
+    let brokers = brokers_from_csv(&fs::read_to_string(
+        dir.join(format!("{name}.brokers.csv")),
+    )?)?;
+    let days = requests_from_csv(&fs::read_to_string(
+        dir.join(format!("{name}.requests.csv")),
+    )?)?;
+    Ok(Dataset { name: name.to_string(), brokers, days })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SyntheticConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::synthetic(&SyntheticConfig {
+            num_brokers: 12,
+            num_requests: 120,
+            days: 3,
+            imbalance: 0.4,
+            seed: 77,
+        })
+    }
+
+    #[test]
+    fn broker_csv_roundtrip() {
+        let ds = dataset();
+        let csv = brokers_to_csv(&ds.brokers);
+        let back = brokers_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), ds.brokers.len());
+        for (a, b) in ds.brokers.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.quality, b.quality);
+            assert_eq!(a.true_capacity, b.true_capacity);
+            assert_eq!(a.preference, b.preference);
+        }
+    }
+
+    #[test]
+    fn request_csv_roundtrip_preserves_structure() {
+        let ds = dataset();
+        let csv = requests_to_csv(&ds);
+        let days = requests_from_csv(&csv).unwrap();
+        assert_eq!(days.len(), ds.days.len());
+        for (da, db) in ds.days.iter().zip(&days) {
+            assert_eq!(da.len(), db.len());
+            for (ba, bb) in da.iter().zip(db) {
+                assert_eq!(ba.requests.len(), bb.requests.len());
+                for (ra, rb) in ba.requests.iter().zip(&bb.requests) {
+                    assert_eq!(ra.id, rb.id);
+                    assert_eq!(ra.attrs, rb.attrs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn save_and_load_full_dataset() {
+        let ds = dataset();
+        let dir = std::env::temp_dir().join("caam_io_test");
+        save_dataset(&ds, &dir, "roundtrip").unwrap();
+        let back = load_dataset(&dir, "roundtrip").unwrap();
+        assert_eq!(back.total_requests(), ds.total_requests());
+        assert_eq!(back.brokers.len(), ds.brokers.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = brokers_from_csv("nope\n1,2,3").unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_field_reports_line() {
+        let ds = dataset();
+        let mut csv = brokers_to_csv(&ds.brokers[..1]);
+        csv = csv.replace(&format!("{}", ds.brokers[0].age), "not-a-number");
+        let err = brokers_from_csv(&csv).unwrap_err();
+        match err {
+            CsvError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let csv = format!("{BROKER_HEADER}\n1,2,3\n");
+        assert!(brokers_from_csv(&csv).is_err());
+    }
+}

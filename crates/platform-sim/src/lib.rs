@@ -1,0 +1,47 @@
+//! Simulator of an online real-estate platform (the paper's evaluation
+//! substrate).
+//!
+//! The paper evaluates on "a simulator of Beike, which takes the same
+//! utility function deployed and outputs the utility between requests and
+//! brokers" (Sec. VII-A). Neither the simulator nor the production data
+//! is public, so this crate rebuilds the closest synthetic equivalent —
+//! see DESIGN.md §2 for the substitution argument. The simulator provides
+//! every behaviour the algorithms interact with:
+//!
+//! * **Brokers** ([`broker`]) with the Table II attribute vector, a
+//!   latent daily capacity, and a broker-specific non-linear
+//!   sign-up-rate response that plateaus below capacity and decays
+//!   beyond it — the empirical shape of Figs. 2–3.
+//! * **Requests** and day/batch arrival structure ([`request`],
+//!   [`dataset`]), including the Table III synthetic grid and the
+//!   Table IV city-scale generators.
+//! * A **utility model** ([`utility`]) standing in for the deployed
+//!   XGBoost predictor: `u_{r,b}` is a deterministic function of broker
+//!   quality and request/broker affinity.
+//! * The **environment loop** ([`environment`]): executes an assignment,
+//!   applies overload degradation to realised sign-ups, advances broker
+//!   fatigue day by day, and emits the `(x_b, w_b, s_b)` trial triples
+//!   the bandits train on.
+//! * **Metrics** ([`metrics`]): per-broker utility/workload
+//!   distributions, totals, Gini coefficients — everything Figs. 4, 9,
+//!   10 plot.
+
+pub mod broker;
+pub mod capacity_model;
+pub mod config;
+pub mod dataset;
+pub mod environment;
+pub mod io;
+pub mod metrics;
+pub mod request;
+pub mod rng;
+pub mod utility;
+
+pub use broker::{BrokerProfile, BrokerState, STATUS_DIM};
+pub use capacity_model::overload_factor;
+pub use config::{CityId, RealWorldConfig, SyntheticConfig};
+pub use dataset::{Batch, Dataset};
+pub use environment::{Appeal, AppealConfig, BatchOutcome, DayFeedback, Platform, TrialTriple};
+pub use metrics::{gini, BrokerLedger, RunMetrics};
+pub use request::Request;
+pub use utility::UtilityModel;

@@ -1,0 +1,312 @@
+//! Run metrics: per-broker ledgers, distribution summaries, inequality
+//! measures.
+//!
+//! Figs. 4, 9 and 10 of the paper are all *per-broker distributions*
+//! (workload or utility, sorted descending, top brokers highlighted);
+//! [`BrokerLedger`] accumulates the raw numbers during a run and exposes
+//! exactly those views. [`gini`] quantifies the Matthew effect the paper
+//! describes qualitatively.
+
+use crate::environment::BatchOutcome;
+
+/// Per-broker accumulators over one run.
+#[derive(Clone, Debug)]
+pub struct BrokerLedger {
+    realized_utility: Vec<f64>,
+    predicted_utility: Vec<f64>,
+    requests_served: Vec<f64>,
+    /// Per-day realised totals (platform-level).
+    daily_realized: Vec<f64>,
+    /// Per-day served request counts.
+    daily_served: Vec<f64>,
+    /// Per-broker maximum single-day workload (the Fig. 4/10 overload
+    /// indicator).
+    peak_daily_workload: Vec<f64>,
+    workload_today: Vec<f64>,
+}
+
+impl BrokerLedger {
+    /// Ledger for `n` brokers.
+    pub fn new(n: usize) -> Self {
+        Self {
+            realized_utility: vec![0.0; n],
+            predicted_utility: vec![0.0; n],
+            requests_served: vec![0.0; n],
+            daily_realized: Vec::new(),
+            daily_served: Vec::new(),
+            peak_daily_workload: vec![0.0; n],
+            workload_today: vec![0.0; n],
+        }
+    }
+
+    /// Number of brokers tracked.
+    pub fn num_brokers(&self) -> usize {
+        self.realized_utility.len()
+    }
+
+    /// Record one executed batch using its exact per-pair utilities.
+    pub fn record_batch(&mut self, outcome: &BatchOutcome) {
+        debug_assert_eq!(outcome.assignments.len(), outcome.pair_realized.len());
+        debug_assert_eq!(outcome.assignments.len(), outcome.pair_predicted.len());
+        for (i, &(_, b)) in outcome.assignments.iter().enumerate() {
+            self.realized_utility[b] += outcome.pair_realized[i];
+            self.predicted_utility[b] += outcome.pair_predicted[i];
+            self.requests_served[b] += 1.0;
+            self.workload_today[b] += 1.0;
+        }
+    }
+
+    /// Record exact per-pair realised/predicted utilities (preferred).
+    pub fn record_pair(&mut self, broker: usize, realized: f64, predicted: f64) {
+        self.realized_utility[broker] += realized;
+        self.predicted_utility[broker] += predicted;
+        self.requests_served[broker] += 1.0;
+        self.workload_today[broker] += 1.0;
+    }
+
+    /// Close a day: records daily totals and per-broker peaks.
+    pub fn end_day(&mut self, day_realized: f64) {
+        self.daily_realized.push(day_realized);
+        self.daily_served.push(self.workload_today.iter().sum());
+        for (peak, w) in self.peak_daily_workload.iter_mut().zip(&self.workload_today) {
+            if *w > *peak {
+                *peak = *w;
+            }
+        }
+        self.workload_today.iter_mut().for_each(|w| *w = 0.0);
+    }
+
+    /// Total realised utility of the run.
+    pub fn total_realized(&self) -> f64 {
+        self.daily_realized.iter().sum()
+    }
+
+    /// Per-day realised utilities.
+    pub fn daily_realized(&self) -> &[f64] {
+        &self.daily_realized
+    }
+
+    /// Per-broker realised utilities.
+    pub fn per_broker_utility(&self) -> &[f64] {
+        &self.realized_utility
+    }
+
+    /// Per-broker total requests served.
+    pub fn per_broker_served(&self) -> &[f64] {
+        &self.requests_served
+    }
+
+    /// Per-broker maximum single-day workload.
+    pub fn per_broker_peak_workload(&self) -> &[f64] {
+        &self.peak_daily_workload
+    }
+
+    /// Average *daily* workload per broker (total served / days).
+    pub fn per_broker_mean_daily_workload(&self) -> Vec<f64> {
+        let days = self.daily_realized.len().max(1) as f64;
+        self.requests_served.iter().map(|w| w / days).collect()
+    }
+
+    /// Utilities sorted descending — the x-axis of Fig. 9.
+    pub fn utility_distribution(&self) -> Vec<f64> {
+        let mut v = self.realized_utility.clone();
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        v
+    }
+
+    /// Mean daily workloads sorted descending — the x-axis of Figs. 4/10.
+    pub fn workload_distribution(&self) -> Vec<f64> {
+        let mut v = self.per_broker_mean_daily_workload();
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        v
+    }
+
+    /// Fraction of brokers whose realised utility strictly improved over
+    /// another run's ledger (the paper's "80.8% brokers in LACB have an
+    /// improvement in utility compared with Top-K").
+    pub fn improved_fraction_over(&self, baseline: &BrokerLedger) -> f64 {
+        assert_eq!(self.num_brokers(), baseline.num_brokers());
+        // Only brokers that participated in either run are meaningful.
+        let mut active = 0usize;
+        let mut improved = 0usize;
+        for (a, b) in self.realized_utility.iter().zip(&baseline.realized_utility) {
+            if *a > 0.0 || *b > 0.0 {
+                active += 1;
+                if a > b {
+                    improved += 1;
+                }
+            }
+        }
+        if active == 0 {
+            0.0
+        } else {
+            improved as f64 / active as f64
+        }
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` of a non-negative
+/// distribution: 1 = perfectly even, `1/n` = all mass on one broker.
+/// The complement view of [`gini`], common in the fair-allocation
+/// literature the RR baseline descends from.
+pub fn jain_index(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n as f64 * sq)
+}
+
+/// Gini coefficient of a non-negative distribution (0 = perfectly even,
+/// →1 = all mass on one broker). Quantifies the Matthew effect.
+pub fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut cum = 0.0;
+    let mut weighted = 0.0;
+    for (i, &v) in sorted.iter().enumerate() {
+        cum += v;
+        weighted += cum;
+        let _ = i;
+    }
+    // Gini = (n + 1 - 2 * Σ cum_i / total) / n
+    (n as f64 + 1.0 - 2.0 * weighted / total) / n as f64
+}
+
+/// Aggregate results of one algorithm run — filled by the experiment
+/// runner in the `lacb` crate.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Total realised utility.
+    pub total_utility: f64,
+    /// Wall-clock seconds spent inside the assignment algorithm
+    /// (excludes simulator bookkeeping), cumulative over the horizon.
+    pub elapsed_secs: f64,
+    /// Per-day realised utility.
+    pub daily_utility: Vec<f64>,
+    /// Per-day cumulative elapsed seconds.
+    pub daily_elapsed: Vec<f64>,
+    /// The broker ledger of the run.
+    pub ledger: BrokerLedger,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(pairs: &[(usize, usize)], realized: f64, predicted: f64) -> BatchOutcome {
+        let n = pairs.len().max(1) as f64;
+        BatchOutcome {
+            realized,
+            predicted,
+            assignments: pairs.to_vec(),
+            pair_realized: pairs.iter().map(|_| realized / n).collect(),
+            pair_predicted: pairs.iter().map(|_| predicted / n).collect(),
+        }
+    }
+
+    #[test]
+    fn ledger_accumulates_and_rolls_days() {
+        let mut l = BrokerLedger::new(3);
+        l.record_batch(&outcome(&[(0, 1), (1, 1), (2, 2)], 0.9, 1.2));
+        l.end_day(0.9);
+        l.record_batch(&outcome(&[(0, 1)], 0.2, 0.3));
+        l.end_day(0.2);
+        assert!((l.total_realized() - 1.1).abs() < 1e-12);
+        assert_eq!(l.per_broker_served(), &[0.0, 3.0, 1.0]);
+        assert_eq!(l.per_broker_peak_workload(), &[0.0, 2.0, 1.0]);
+        assert_eq!(l.daily_realized(), &[0.9, 0.2]);
+    }
+
+    #[test]
+    fn record_pair_is_exact() {
+        let mut l = BrokerLedger::new(2);
+        l.record_pair(0, 0.5, 0.6);
+        l.record_pair(0, 0.1, 0.2);
+        l.end_day(0.6);
+        assert!((l.per_broker_utility()[0] - 0.6).abs() < 1e-12);
+        assert_eq!(l.per_broker_served()[0], 2.0);
+    }
+
+    #[test]
+    fn distributions_sorted_descending() {
+        let mut l = BrokerLedger::new(3);
+        l.record_pair(2, 0.9, 0.9);
+        l.record_pair(0, 0.4, 0.4);
+        l.end_day(1.3);
+        let d = l.utility_distribution();
+        assert!(d.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(d[0], 0.9);
+    }
+
+    #[test]
+    fn improved_fraction() {
+        let mut a = BrokerLedger::new(4);
+        let mut b = BrokerLedger::new(4);
+        a.record_pair(0, 1.0, 1.0);
+        a.record_pair(1, 1.0, 1.0);
+        b.record_pair(0, 0.5, 0.5);
+        b.record_pair(2, 0.5, 0.5);
+        // Active brokers: 0 (a>b), 1 (a>b), 2 (a<b). Broker 3 inactive.
+        assert!((a.improved_fraction_over(&b) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!(gini(&[1.0, 1.0, 1.0, 1.0]).abs() < 1e-12);
+        let concentrated = gini(&[0.0, 0.0, 0.0, 10.0]);
+        assert!(concentrated > 0.7, "gini = {concentrated}");
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_index(&[2.0, 2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[0.0, 0.0, 0.0, 8.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn jain_and_gini_move_oppositely() {
+        let even = [1.0, 1.0, 1.0, 1.0];
+        let skew = [0.1, 0.1, 0.1, 3.7];
+        assert!(jain_index(&even) > jain_index(&skew));
+        assert!(gini(&even) < gini(&skew));
+    }
+
+    #[test]
+    fn gini_monotone_in_concentration() {
+        let even = gini(&[2.0, 2.0, 2.0, 2.0]);
+        let skew = gini(&[1.0, 1.0, 1.0, 5.0]);
+        let very = gini(&[0.1, 0.1, 0.1, 7.7]);
+        assert!(even < skew && skew < very);
+    }
+
+    #[test]
+    fn mean_daily_workload_divides_by_days() {
+        let mut l = BrokerLedger::new(1);
+        l.record_pair(0, 0.1, 0.1);
+        l.end_day(0.1);
+        l.record_pair(0, 0.1, 0.1);
+        l.record_pair(0, 0.1, 0.1);
+        l.end_day(0.2);
+        assert!((l.per_broker_mean_daily_workload()[0] - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,55 @@
+//! Client requests.
+
+use crate::broker::PREF_DIM;
+use crate::rng::unit_vector;
+use rand::Rng;
+
+/// A client request for broker service (a house-viewing enquiry).
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Global request id.
+    pub id: usize,
+    /// Day index within the horizon.
+    pub day: usize,
+    /// Batch index within the day.
+    pub batch: usize,
+    /// Unit-norm attribute embedding (district / price band / house
+    /// type), matched against broker preferences by the utility model.
+    pub attrs: Vec<f64>,
+    /// Client "seriousness" in `[0.5, 1]` — scales the achievable
+    /// sign-up probability.
+    pub intent: f64,
+}
+
+impl Request {
+    /// Sample one request.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, id: usize, day: usize, batch: usize) -> Self {
+        Self {
+            id,
+            day,
+            batch,
+            attrs: unit_vector(rng, PREF_DIM),
+            intent: 0.5 + 0.5 * rng.gen::<f64>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_is_well_formed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = Request::sample(&mut rng, 7, 2, 5);
+        assert_eq!(r.id, 7);
+        assert_eq!(r.day, 2);
+        assert_eq!(r.batch, 5);
+        assert_eq!(r.attrs.len(), PREF_DIM);
+        assert!((0.5..=1.0).contains(&r.intent));
+        let norm: f64 = r.attrs.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,136 @@
+//! Sampling utilities on top of `rand`'s uniform generator.
+//!
+//! The approved dependency set contains `rand` but not `rand_distr`, so
+//! the handful of distributions the simulator needs are implemented here.
+
+use rand::Rng;
+
+/// Standard normal via the Box–Muller transform.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// `N(mean, std²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * randn(rng)
+}
+
+/// `N(mean, std²)` clamped into `[lo, hi]` — used for bounded broker
+/// attributes (ages, rates, capacities).
+pub fn normal_clamped<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    normal(rng, mean, std).clamp(lo, hi)
+}
+
+/// Pareto (power-law) sample with scale `x_min > 0` and shape `alpha > 0`
+/// — the long-tail popularity that concentrates requests on top brokers
+/// (Fig. 4, the Matthew effect).
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// Index sampled proportionally to non-negative `weights`.
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn weighted_choice<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted_choice: empty weights");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weighted_choice: non-positive total weight");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// A uniformly random unit vector of dimension `d` (for broker/request
+/// preference embeddings).
+pub fn unit_vector<R: Rng + ?Sized>(rng: &mut R, d: usize) -> Vec<f64> {
+    assert!(d > 0, "dimension must be positive");
+    loop {
+        let v: Vec<f64> = (0..d).map(|_| randn(rng)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-9 {
+            return v.into_iter().map(|x| x / norm).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..20_000).map(|_| randn(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_clamped_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..1000 {
+            let v = normal_clamped(&mut rng, 0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pareto_exceeds_x_min_and_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let xs: Vec<f64> = (0..10_000).map(|_| pareto(&mut rng, 1.0, 1.2)).collect();
+        assert!(xs.iter().all(|&x| x >= 1.0));
+        let max = xs.iter().cloned().fold(0.0, f64::max);
+        let median = {
+            let mut s = xs.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[s.len() / 2]
+        };
+        assert!(max / median > 20.0, "tail ratio {}", max / median);
+    }
+
+    #[test]
+    fn weighted_choice_follows_weights() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let weights = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[weighted_choice(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 9.0).abs() < 1.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn unit_vector_has_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let v = unit_vector(&mut rng, 5);
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weights")]
+    fn empty_weights_panic() {
+        let mut rng = StdRng::seed_from_u64(16);
+        weighted_choice(&mut rng, &[]);
+    }
+}

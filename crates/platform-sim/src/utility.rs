@@ -1,0 +1,147 @@
+//! The pair-utility model `u_{r,b}`.
+//!
+//! In production the paper takes `u_{r,b}` from a deployed learned model
+//! (XGBoost over historical assignments, Sec. III) and treats it as
+//! algorithm *input*. We substitute a deterministic generative model:
+//! broker quality × client intent × preference affinity, lightly
+//! perturbed by pair-specific noise. The absolute values are calibrated
+//! to the sign-up-rate ranges reported in Fig. 2 (roughly 0.02–0.3).
+
+use crate::broker::BrokerProfile;
+use crate::request::Request;
+use matching::UtilityMatrix;
+
+/// Deterministic utility model (predicted sign-up probability of a
+/// request/broker pair under normal load).
+#[derive(Clone, Debug)]
+pub struct UtilityModel {
+    /// Weight of the preference-affinity term vs. raw broker quality.
+    affinity_weight: f64,
+    /// Seed for the pair-noise hash.
+    noise_seed: u64,
+    /// Amplitude of pair-specific noise.
+    noise_amp: f64,
+}
+
+impl Default for UtilityModel {
+    fn default() -> Self {
+        Self { affinity_weight: 0.35, noise_seed: 0x5EED, noise_amp: 0.03 }
+    }
+}
+
+impl UtilityModel {
+    /// Create a model with explicit parameters.
+    pub fn new(affinity_weight: f64, noise_seed: u64, noise_amp: f64) -> Self {
+        assert!((0.0..=1.0).contains(&affinity_weight));
+        Self { affinity_weight, noise_seed, noise_amp }
+    }
+
+    /// Predicted sign-up probability `u_{r,b} ∈ [0, 1]`.
+    pub fn utility(&self, request: &Request, broker: &BrokerProfile) -> f64 {
+        // Cosine affinity in [0,1].
+        let dot: f64 = request
+            .attrs
+            .iter()
+            .zip(&broker.preference)
+            .map(|(a, b)| a * b)
+            .sum();
+        let affinity = 0.5 * (dot + 1.0);
+        let blended =
+            broker.quality * (1.0 - self.affinity_weight + self.affinity_weight * affinity);
+        let noise = self.pair_noise(request.id, broker.id);
+        (request.intent * blended + noise).clamp(0.0, 1.0)
+    }
+
+    /// Dense utility matrix for one batch (`requests × brokers`).
+    pub fn utility_matrix(&self, requests: &[Request], brokers: &[BrokerProfile]) -> UtilityMatrix {
+        UtilityMatrix::from_fn(requests.len(), brokers.len(), |r, b| {
+            self.utility(&requests[r], &brokers[b])
+        })
+    }
+
+    /// Deterministic pair noise in `[-noise_amp, +noise_amp]` from a
+    /// splitmix-style hash — reproducible without storing an RNG stream
+    /// per pair.
+    fn pair_noise(&self, request_id: usize, broker_id: usize) -> f64 {
+        let mut z = self
+            .noise_seed
+            .wrapping_add((request_id as u64) << 32 | broker_id as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        (2.0 * unit - 1.0) * self.noise_amp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Vec<Request>, Vec<BrokerProfile>) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let brokers = BrokerProfile::generate(&mut rng, 40);
+        let requests: Vec<Request> =
+            (0..10).map(|i| Request::sample(&mut rng, i, 0, 0)).collect();
+        (requests, brokers)
+    }
+
+    #[test]
+    fn utilities_in_unit_interval() {
+        let (reqs, brokers) = setup();
+        let m = UtilityModel::default();
+        for r in &reqs {
+            for b in &brokers {
+                let u = m.utility(r, b);
+                assert!((0.0..=1.0).contains(&u), "u = {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn utility_is_deterministic() {
+        let (reqs, brokers) = setup();
+        let m = UtilityModel::default();
+        assert_eq!(m.utility(&reqs[0], &brokers[0]), m.utility(&reqs[0], &brokers[0]));
+    }
+
+    #[test]
+    fn higher_quality_brokers_score_higher_on_average() {
+        let (reqs, mut brokers) = setup();
+        brokers.sort_by(|a, b| a.quality.partial_cmp(&b.quality).unwrap());
+        let m = UtilityModel::default();
+        let avg = |b: &BrokerProfile| -> f64 {
+            reqs.iter().map(|r| m.utility(r, b)).sum::<f64>() / reqs.len() as f64
+        };
+        let low = avg(&brokers[0]);
+        let high = avg(brokers.last().unwrap());
+        assert!(high > low, "high-quality {high} vs low-quality {low}");
+    }
+
+    #[test]
+    fn matrix_matches_pointwise() {
+        let (reqs, brokers) = setup();
+        let m = UtilityModel::default();
+        let um = m.utility_matrix(&reqs, &brokers);
+        assert_eq!(um.rows(), reqs.len());
+        assert_eq!(um.cols(), brokers.len());
+        assert_eq!(um.get(3, 7), m.utility(&reqs[3], &brokers[7]));
+    }
+
+    #[test]
+    fn pair_noise_is_bounded_and_varied() {
+        let m = UtilityModel::default();
+        let mut distinct = std::collections::HashSet::new();
+        for r in 0..50 {
+            for b in 0..50 {
+                let n = m.pair_noise(r, b);
+                assert!(n.abs() <= 0.03 + 1e-12);
+                distinct.insert((n * 1e12) as i64);
+            }
+        }
+        assert!(distinct.len() > 1000, "noise should vary per pair");
+    }
+}

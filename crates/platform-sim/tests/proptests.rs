@@ -1,0 +1,106 @@
+//! Property tests of the platform simulator's invariants.
+
+use platform_sim::capacity_model::{expected_signup_rate, overload_factor};
+use platform_sim::{gini, Dataset, Platform, SyntheticConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn overload_factor_in_unit_interval(w in 0.0f64..500.0, cap in 1.0f64..100.0, decay in 0.001f64..0.5) {
+        let f = overload_factor(w, cap, decay);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn expected_rate_never_exceeds_base_utility(
+        u in 0.0f64..1.0, w in 1.0f64..200.0, cap in 1.0f64..100.0, decay in 0.001f64..0.5,
+    ) {
+        let r = expected_signup_rate(u, w, cap, decay);
+        prop_assert!(r <= u + 1e-12);
+        prop_assert!(r >= 0.0);
+    }
+
+    #[test]
+    fn expected_rate_monotone_nonincreasing_in_workload(
+        u in 0.1f64..1.0, cap in 5.0f64..60.0, decay in 0.01f64..0.3,
+    ) {
+        let mut prev = f64::INFINITY;
+        for w in (1..=120).step_by(7) {
+            let r = expected_signup_rate(u, w as f64, cap, decay);
+            prop_assert!(r <= prev + 1e-12);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn dataset_generation_is_exact_and_deterministic(
+        brokers in 5usize..40,
+        requests in 20usize..400,
+        days in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let cfg = SyntheticConfig {
+            num_brokers: brokers,
+            num_requests: requests,
+            days,
+            imbalance: 0.2,
+            seed,
+        };
+        let a = Dataset::synthetic(&cfg);
+        prop_assert_eq!(a.total_requests(), requests);
+        prop_assert_eq!(a.brokers.len(), brokers);
+        prop_assert_eq!(a.num_days(), days);
+        let b = Dataset::synthetic(&cfg);
+        prop_assert_eq!(a.brokers[0].quality, b.brokers[0].quality);
+    }
+
+    #[test]
+    fn realized_utility_bounded_by_predicted(
+        seed in 0u64..200,
+        target in 0usize..10,
+    ) {
+        let cfg = SyntheticConfig {
+            num_brokers: 10,
+            num_requests: 100,
+            days: 1,
+            imbalance: 0.5,
+            seed,
+        };
+        let ds = Dataset::synthetic(&cfg);
+        let mut p = Platform::from_dataset(&ds);
+        p.begin_day();
+        for batch in &ds.days[0] {
+            let assignment = vec![Some(target % 10); batch.requests.len()];
+            let out = p.execute_batch(&batch.requests, &assignment);
+            prop_assert!(out.realized <= out.predicted + 1e-9);
+            prop_assert!(out.realized >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gini_in_unit_interval(xs in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        let g = gini(&xs);
+        prop_assert!((0.0..=1.0).contains(&g), "gini = {g}");
+    }
+
+    #[test]
+    fn csv_roundtrip_any_world(seed in 0u64..300) {
+        let cfg = SyntheticConfig {
+            num_brokers: 8,
+            num_requests: 60,
+            days: 2,
+            imbalance: 0.4,
+            seed,
+        };
+        let ds = Dataset::synthetic(&cfg);
+        let brokers = platform_sim::io::brokers_from_csv(
+            &platform_sim::io::brokers_to_csv(&ds.brokers)).unwrap();
+        prop_assert_eq!(brokers.len(), ds.brokers.len());
+        let days = platform_sim::io::requests_from_csv(
+            &platform_sim::io::requests_to_csv(&ds)).unwrap();
+        let total: usize = days.iter().flat_map(|d| d.iter()).map(|b| b.requests.len()).sum();
+        prop_assert_eq!(total, ds.total_requests());
+    }
+}

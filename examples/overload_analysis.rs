@@ -1,0 +1,67 @@
+//! The Sec. II measurement study in miniature: show that under top-k
+//! recommendation, sign-up rates drop significantly once brokers are
+//! pushed past their capacity knee.
+//!
+//! Run with: `cargo run --release --example overload_analysis`
+
+use caam::lacb::{Assigner, TopK};
+use caam::linalg::stats::{mean, welch_t_test};
+use caam::platform_sim::{Dataset, Platform, SyntheticConfig, TrialTriple};
+
+fn main() {
+    let cfg = SyntheticConfig {
+        num_brokers: 80,
+        num_requests: 14_000,
+        days: 8,
+        imbalance: 0.15,
+        seed: 11,
+    };
+    let ds = Dataset::synthetic(&cfg);
+    let mut platform = Platform::from_dataset(&ds);
+    let mut topk = TopK::new(3, 3);
+
+    // Run the status-quo recommender and collect broker-day trials.
+    let mut trials: Vec<TrialTriple> = Vec::new();
+    for (d, day) in ds.days.iter().enumerate() {
+        platform.begin_day();
+        topk.begin_day(&platform, d);
+        for batch in day {
+            let a = topk.assign_batch(&platform, &batch.requests);
+            platform.execute_batch(&batch.requests, &a);
+        }
+        trials.extend(platform.end_day().trials);
+    }
+    println!("collected {} broker-day observations under Top-3\n", trials.len());
+
+    // Bucket sign-up rate by daily workload (Fig. 2's curve).
+    println!("{:>16} {:>16} {:>8}", "workload bucket", "mean sign-up", "days");
+    let bucket = 10.0;
+    let mut byb: std::collections::BTreeMap<i64, Vec<f64>> = Default::default();
+    for t in &trials {
+        byb.entry((t.workload / bucket) as i64).or_default().push(t.signup_rate);
+    }
+    for (b, rates) in &byb {
+        println!(
+            "{:>7}-{:<8} {:>16.3} {:>8}",
+            *b as f64 * bucket,
+            (*b + 1) as f64 * bucket,
+            mean(rates),
+            rates.len()
+        );
+    }
+
+    // Welch's t-test between ≤40/day and >40/day (the paper's analysis).
+    let low: Vec<f64> =
+        trials.iter().filter(|t| t.workload <= 40.0).map(|t| t.signup_rate).collect();
+    let high: Vec<f64> =
+        trials.iter().filter(|t| t.workload > 40.0).map(|t| t.signup_rate).collect();
+    match welch_t_test(&low, &high) {
+        Some(w) => println!(
+            "\nWelch's t-test (≤40 vs >40 requests/day): t = {:.2}, p = {:.2e}\n\
+             → sign-up rate is significantly lower when brokers are overloaded\n\
+               (the paper reports p < 0.0001 on production data).",
+            w.t, w.p_value
+        ),
+        None => println!("\nnot enough overloaded broker-days for the t-test"),
+    }
+}

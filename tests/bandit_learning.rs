@@ -1,0 +1,106 @@
+//! Integration: the capacity-estimation stack (neural net → bandit →
+//! personalised estimator) learns through the *platform*, not just in
+//! isolation.
+
+use caam::bandit::{CandidateCapacities, CapacityEstimator, NnUcb, PersonalizedEstimator};
+use caam::lacb::tuned_bandit_config;
+use caam::platform_sim::capacity_model::expected_signup_rate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arms() -> CandidateCapacities {
+    CandidateCapacities::range(10.0, 60.0, 10.0)
+}
+
+/// Simulated broker: serving exactly `w` requests/day at base utility
+/// `u` with the platform's overload curve.
+fn broker_day_reward(u: f64, w: f64, capacity: f64) -> f64 {
+    expected_signup_rate(u, w, capacity, 0.1)
+}
+
+#[test]
+fn nn_ucb_converges_to_the_knee_through_the_overload_curve() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut bandit = NnUcb::new(&mut rng, 1, arms(), tuned_bandit_config());
+    let true_capacity = 30.0;
+    // Interact: the bandit picks a capacity, the broker serves exactly
+    // that many requests, the realised sign-up rate comes back.
+    for _ in 0..400 {
+        let ctx = [0.5];
+        let c = bandit.choose(&ctx);
+        let s = broker_day_reward(0.3, c, true_capacity);
+        bandit.update(&ctx, c, s);
+    }
+    bandit.flush();
+    let picked = bandit.estimate(&[0.5]);
+    // The daily sign-up *rate* (the paper's reward) is flat below the
+    // knee and collapses past it, so every capacity at-or-under the knee
+    // is reward-optimal. Assert reward-optimality, not a specific arm.
+    let best_reward = arms()
+        .values()
+        .iter()
+        .map(|&c| broker_day_reward(0.3, c, true_capacity))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let picked_reward = broker_day_reward(0.3, picked, true_capacity);
+    assert!(
+        picked_reward >= 0.9 * best_reward,
+        "picked {picked} (reward {picked_reward}) vs best reward {best_reward}"
+    );
+}
+
+#[test]
+fn personalization_separates_brokers_with_identical_contexts() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut est = PersonalizedEstimator::new(
+        &mut rng,
+        2,
+        1,
+        arms(),
+        tuned_bandit_config(),
+        10,
+    );
+    let mut env_rng = StdRng::seed_from_u64(10);
+    // Broker 0: knee at 20; broker 1: knee at 50. Contexts identical, so
+    // only the broker-specific fine-tuning can separate them.
+    for _ in 0..200 {
+        for &(b, knee) in &[(0usize, 20.0), (1usize, 50.0)] {
+            let w = *[10.0, 20.0, 30.0, 40.0, 50.0, 60.0]
+                .get(env_rng.gen_range(0..6))
+                .unwrap();
+            let s = broker_day_reward(0.3, w, knee);
+            est.update(b, &[0.5], w, s);
+        }
+    }
+    est.flush();
+    assert!(est.is_personalized(0) && est.is_personalized(1));
+    let c0 = est.estimate(0, &[0.5]);
+    let c1 = est.estimate(1, &[0.5]);
+    // Reward is flat below each broker's knee, so assert each broker's
+    // pick is near-reward-optimal *for that broker* — which separates
+    // them because broker 0's reward collapses past 20.
+    let r0 = broker_day_reward(0.3, c0, 20.0);
+    let r1 = broker_day_reward(0.3, c1, 50.0);
+    assert!(r0 >= 0.85 * 0.3, "broker 0 picked {c0} (reward {r0})");
+    assert!(r1 >= 0.85 * 0.3, "broker 1 picked {c1} (reward {r1})");
+    assert!(c0 <= c1, "knee-20 broker got {c0}, knee-50 broker got {c1}");
+}
+
+#[test]
+fn generic_estimator_tracks_context_differences() {
+    // When capacity *is* explained by the context, the generic base
+    // bandit alone should learn it.
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut bandit = NnUcb::new(&mut rng, 1, arms(), tuned_bandit_config());
+    let mut env_rng = StdRng::seed_from_u64(14);
+    for _ in 0..600 {
+        // Context encodes the knee: x = knee / 60.
+        let knee = if env_rng.gen::<bool>() { 20.0 } else { 50.0 };
+        let ctx = [knee / 60.0];
+        let w = 10.0 * env_rng.gen_range(1..=6) as f64;
+        bandit.update(&ctx, w, broker_day_reward(0.3, w, knee));
+    }
+    bandit.flush();
+    let low = bandit.estimate(&[20.0 / 60.0]);
+    let high = bandit.estimate(&[50.0 / 60.0]);
+    assert!(low <= high, "fragile context: low-knee {low} vs high-knee {high}");
+}

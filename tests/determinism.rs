@@ -1,0 +1,59 @@
+//! Reproducibility: identical seeds must give bit-identical runs, and
+//! different seeds must actually change stochastic policies.
+
+use caam::lacb::{run, Assigner, Lacb, LacbConfig, RunConfig, TopK, RandomizedRecommendation};
+use caam::platform_sim::{Dataset, SyntheticConfig};
+
+fn dataset(seed: u64) -> Dataset {
+    Dataset::synthetic(&SyntheticConfig {
+        num_brokers: 30,
+        num_requests: 900,
+        days: 3,
+        imbalance: 0.2,
+        seed,
+    })
+}
+
+fn total(mut a: Box<dyn Assigner>, ds: &Dataset) -> f64 {
+    run(ds, a.as_mut(), &RunConfig::default()).total_utility
+}
+
+#[test]
+fn identical_seeds_identical_results() {
+    let ds = dataset(77);
+    for mk in [
+        || Box::new(TopK::new(3, 5)) as Box<dyn Assigner>,
+        || Box::new(RandomizedRecommendation::new(5)) as Box<dyn Assigner>,
+        || Box::new(Lacb::new(LacbConfig { seed: 5, ..LacbConfig::default() })) as Box<dyn Assigner>,
+    ] {
+        let a = total(mk(), &ds);
+        let b = total(mk(), &ds);
+        assert_eq!(a, b, "same seed must reproduce exactly");
+    }
+}
+
+#[test]
+fn different_dataset_seeds_change_the_world() {
+    let a = total(Box::new(TopK::new(1, 5)), &dataset(1));
+    let b = total(Box::new(TopK::new(1, 5)), &dataset(2));
+    assert_ne!(a, b);
+}
+
+#[test]
+fn different_policy_seeds_change_stochastic_policies() {
+    let ds = dataset(3);
+    let a = total(Box::new(RandomizedRecommendation::new(1)), &ds);
+    let b = total(Box::new(RandomizedRecommendation::new(2)), &ds);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn dataset_generation_is_deterministic() {
+    let a = dataset(42);
+    let b = dataset(42);
+    assert_eq!(a.total_requests(), b.total_requests());
+    for (ba, bb) in a.brokers.iter().zip(&b.brokers) {
+        assert_eq!(ba.quality, bb.quality);
+        assert_eq!(ba.true_capacity, bb.true_capacity);
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end integration: the full algorithm suite over a synthetic
+//! horizon, checking the paper's headline orderings (Sec. VII-D).
+
+use caam::lacb::{run, Assigner, BatchKm, CTopK, Lacb, LacbConfig, OracleCapacity, RunConfig, RandomizedRecommendation, TopK};
+use caam::platform_sim::{Dataset, SyntheticConfig};
+use std::collections::HashMap;
+
+/// A world in the paper's Table III load regime: light average load
+/// (~2.4 requests/day/broker) spread over many small batches, with
+/// heavy-tailed demand concentration — so recommendation-style policies
+/// overload the star brokers while capacity-aware assignment spreads the
+/// work. The paper's horizons are 14–21 days; the learned policies need
+/// most of that to amortise their cold start (the same effect the paper
+/// reports for AN at 7 covering days).
+fn dataset() -> Dataset {
+    Dataset::synthetic(&SyntheticConfig {
+        num_brokers: 100,
+        num_requests: 5040,
+        days: 21,
+        imbalance: 0.12, // 12 requests per batch, ~20 batches/day
+        seed: 1234,
+    })
+}
+
+/// The suite runs once and is shared across test cases (each algorithm
+/// gets its own independent platform instance inside `run`).
+fn run_suite() -> &'static HashMap<String, caam::platform_sim::RunMetrics> {
+    static SUITE: std::sync::OnceLock<HashMap<String, caam::platform_sim::RunMetrics>> =
+        std::sync::OnceLock::new();
+    SUITE.get_or_init(|| {
+        let mut algos: Vec<Box<dyn Assigner>> = vec![
+            Box::new(TopK::new(1, 1)),
+            Box::new(TopK::new(3, 2)),
+            Box::new(RandomizedRecommendation::new(3)),
+            Box::new(CTopK::new(3, 40.0, 4)),
+            Box::new(BatchKm::new()),
+            Box::new(Lacb::new(LacbConfig::default())),
+            Box::new(Lacb::new_opt()),
+            Box::new(OracleCapacity::new()),
+        ];
+        algos
+            .iter_mut()
+            .map(|a| {
+                let m = run(&dataset(), a.as_mut(), &RunConfig::default());
+                (m.algorithm.clone(), m)
+            })
+            .collect()
+    })
+}
+
+#[test]
+fn headline_orderings_hold() {
+    let results = run_suite();
+    let u = |n: &str| results[n].total_utility;
+
+    // Sec. VII-D bullet 1: capacity awareness helps — CTop-K > Top-K.
+    assert!(u("CTop-3") > u("Top-3"), "CTop-3 {} vs Top-3 {}", u("CTop-3"), u("Top-3"));
+
+    // Sec. VII-D bullet 2: LACB/LACB-Opt dominate the baselines.
+    for baseline in ["Top-1", "Top-3", "RR", "CTop-3"] {
+        assert!(
+            u("LACB") > u(baseline),
+            "LACB {} should beat {baseline} {}",
+            u("LACB"),
+            u(baseline)
+        );
+        assert!(u("LACB-Opt") > u(baseline), "LACB-Opt should beat {baseline}");
+    }
+
+    // Corollary 1: CBS costs (almost) no utility.
+    let rel = (u("LACB") - u("LACB-Opt")).abs() / u("LACB");
+    assert!(rel < 0.1, "LACB {} vs LACB-Opt {} (rel {rel})", u("LACB"), u("LACB-Opt"));
+
+    // The oracle bounds every learned policy (same KM machinery, true
+    // capacities).
+    assert!(u("Oracle") >= u("LACB") * 0.95, "oracle should not lose to LACB materially");
+
+    // Top-3 spreads at least slightly better than Top-1 on overloaded
+    // instances (the paper: "Top-3 slightly outperforms Top-1").
+    assert!(u("Top-3") > u("Top-1"));
+}
+
+#[test]
+fn lacb_reduces_top_broker_workload() {
+    let results = run_suite();
+    let peak = |n: &str| results[n].ledger.workload_distribution()[0];
+    // Fig. 10's shape: Top-K overloads its top broker far beyond LACB.
+    assert!(
+        peak("Top-1") > 2.0 * peak("LACB"),
+        "Top-1 peak {} vs LACB peak {}",
+        peak("Top-1"),
+        peak("LACB")
+    );
+    // RR's peak is the lowest of all (it ignores utility entirely).
+    assert!(peak("RR") <= peak("Top-1"));
+}
+
+#[test]
+fn lacb_improves_most_brokers_over_topk() {
+    let results = run_suite();
+    let frac = results["LACB"].ledger.improved_fraction_over(&results["Top-3"].ledger);
+    // Paper: 72.0%–82.2% improved. The exact number is instance-specific;
+    // a majority is the robust claim.
+    assert!(frac > 0.5, "only {:.1}% of brokers improved", frac * 100.0);
+}
+
+#[test]
+fn km_based_policies_are_slower_than_cbs() {
+    let results = run_suite();
+    let t = |n: &str| results[n].elapsed_secs;
+    assert!(
+        t("KM") > t("LACB-Opt"),
+        "padded KM {} should cost more than LACB-Opt {}",
+        t("KM"),
+        t("LACB-Opt")
+    );
+    assert!(t("LACB") > t("LACB-Opt"));
+}
+
+#[test]
+fn realized_never_exceeds_predicted() {
+    let results = run_suite();
+    for m in results.values() {
+        let realized: f64 = m.ledger.per_broker_utility().iter().sum();
+        // Ledger's realized total equals the metric total.
+        assert!(
+            (realized - m.total_utility).abs() < 1e-6 * (1.0 + m.total_utility),
+            "{}: ledger {} vs total {}",
+            m.algorithm,
+            realized,
+            m.total_utility
+        );
+    }
+}

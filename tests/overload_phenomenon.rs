@@ -1,0 +1,38 @@
+//! Integration: the simulator reproduces the Sec. II measurement
+//! findings that motivate the paper (via the experiments crate's
+//! motivation module).
+
+use experiments::motivation::{fig2, fig4};
+use experiments::Preset;
+
+#[test]
+fn sec2_signup_rate_separation_is_significant() {
+    let cities = fig2(Preset::Quick);
+    let mut significant = 0;
+    for c in &cities {
+        if let Some(w) = &c.welch {
+            // Positive t: low-workload days sign up more.
+            if w.t > 0.0 && w.p_value < 0.05 {
+                significant += 1;
+            }
+        }
+    }
+    assert!(significant >= 1, "no city shows the Fig. 2 separation");
+}
+
+#[test]
+fn sec2_top_brokers_exceed_city_average_and_knee() {
+    for c in fig4(Preset::Quick, 50) {
+        assert!(
+            c.top1_ratio > 5.0,
+            "{}: top-1 ratio {} too small for the Matthew effect",
+            c.city,
+            c.top1_ratio
+        );
+        assert!(
+            c.overloaded_count > 0,
+            "{}: no top broker crosses the capacity knee",
+            c.city
+        );
+    }
+}
