@@ -38,9 +38,7 @@ impl EpsilonGreedy {
     ) -> Self {
         assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
         let mut rng = StdRng::seed_from_u64(seed);
-        let net = MlpBuilder::new(arms.encoded_dim(context_dim))
-            .hidden(&[16, 8])
-            .build(&mut rng);
+        let net = MlpBuilder::new(arms.encoded_dim(context_dim)).hidden(&[16, 8]).build(&mut rng);
         Self {
             arms,
             net,

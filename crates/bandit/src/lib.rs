@@ -30,6 +30,7 @@ pub mod nn_ucb;
 pub mod personalized;
 pub mod regret;
 pub mod shrinkage;
+pub mod state;
 pub mod thompson;
 pub mod traits;
 

@@ -49,12 +49,9 @@ impl LinUcb {
         // θ = D⁻¹ b; θᵀz = bᵀ D⁻¹ z (D⁻¹ symmetric).
         match &self.dinv {
             InverseTracker::Full { inv } => linalg::vector::dot(&inv.matvec(z), &self.b),
-            InverseTracker::Diagonal { diag } => z
-                .iter()
-                .zip(diag)
-                .zip(&self.b)
-                .map(|((zi, di), bi)| zi / di * bi)
-                .sum(),
+            InverseTracker::Diagonal { diag } => {
+                z.iter().zip(diag).zip(&self.b).map(|((zi, di), bi)| zi / di * bi).sum()
+            }
         }
     }
 

@@ -1,6 +1,7 @@
 //! The paper's NN-enhanced UCB policy (Alg. 1).
 
 use crate::arms::CandidateCapacities;
+use crate::state;
 use crate::traits::CapacityEstimator;
 use linalg::{InverseTracker, UcbCovariance};
 use neural::{Mlp, MlpBuilder};
@@ -138,7 +139,16 @@ impl NnUcb {
         let input_dim = arms.encoded_dim(context_dim);
         let net = MlpBuilder::new(input_dim).hidden(&cfg.hidden).build(rng);
         let dinv = InverseTracker::new(net.trainable_param_count(), cfg.lambda, cfg.covariance);
-        Self { cfg, arms, net, dinv, buffer: Vec::new(), replay: std::collections::VecDeque::new(), trials: 0, cumulative_reward: 0.0 }
+        Self {
+            cfg,
+            arms,
+            net,
+            dinv,
+            buffer: Vec::new(),
+            replay: std::collections::VecDeque::new(),
+            trials: 0,
+            cumulative_reward: 0.0,
+        }
     }
 
     /// Wrap an existing (e.g. transferred and partially frozen) network.
@@ -147,7 +157,16 @@ impl NnUcb {
     /// small `D` — exactly the personalised estimator of Sec. V-D.
     pub fn from_network(net: Mlp, arms: CandidateCapacities, cfg: NnUcbConfig) -> Self {
         let dinv = InverseTracker::new(net.trainable_param_count(), cfg.lambda, cfg.covariance);
-        Self { cfg, arms, net, dinv, buffer: Vec::new(), replay: std::collections::VecDeque::new(), trials: 0, cumulative_reward: 0.0 }
+        Self {
+            cfg,
+            arms,
+            net,
+            dinv,
+            buffer: Vec::new(),
+            replay: std::collections::VecDeque::new(),
+            trials: 0,
+            cumulative_reward: 0.0,
+        }
     }
 
     /// The arm set.
@@ -232,9 +251,8 @@ impl NnUcb {
                 // Order arms by capacity and compute marginal predicted
                 // daily value between consecutive arms.
                 let mut order: Vec<usize> = (0..preds.len()).collect();
-                order.sort_by(|&a, &b| {
-                    self.arms.value(a).partial_cmp(&self.arms.value(b)).unwrap()
-                });
+                order
+                    .sort_by(|&a, &b| self.arms.value(a).partial_cmp(&self.arms.value(b)).unwrap());
                 let max_pred = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let cutoff = tau * max_pred.max(0.0);
                 let mut best_idx = order[0];
@@ -277,10 +295,8 @@ impl NnUcb {
         } else {
             std::mem::take(&mut self.buffer)
         };
-        let inputs: Vec<Vec<f64>> = training
-            .iter()
-            .map(|(x, w, _)| self.arms.encode(x, *w))
-            .collect();
+        let inputs: Vec<Vec<f64>> =
+            training.iter().map(|(x, w, _)| self.arms.encode(x, *w)).collect();
         let targets: Vec<f64> = training.iter().map(|&(_, _, s)| s).collect();
         // Eq. (6) is a *summed* loss, so its gradient scales with the
         // buffer size; normalising the step by the batch length keeps the
@@ -299,6 +315,107 @@ impl NnUcb {
     pub fn flush(&mut self) {
         self.flush_buffer();
     }
+
+    /// Serialise the learned state — network, covariance tracker,
+    /// observation buffer, replay ring and counters — as a checkpoint
+    /// block (see [`crate::state`]).
+    pub fn write_state(&self, out: &mut String) {
+        state::push_kv(out, "nnucb-trials", self.trials);
+        state::push_floats(out, "nnucb-cumreward", &[self.cumulative_reward]);
+        state::push_mlp(out, "nnucb-mlp", &self.net);
+        match &self.dinv {
+            InverseTracker::Full { inv } => {
+                state::push_kv(out, "nnucb-dinv-mode", format_args!("full {}", inv.rows()));
+                state::push_floats(out, "nnucb-dinv", inv.data());
+            }
+            InverseTracker::Diagonal { diag } => {
+                state::push_kv(out, "nnucb-dinv-mode", format_args!("diag {}", diag.len()));
+                state::push_floats(out, "nnucb-dinv", diag);
+            }
+        }
+        write_obs(out, "nnucb-buffer", &self.buffer);
+        let replay: Vec<(Vec<f64>, f64, f64)> = self.replay.iter().cloned().collect();
+        write_obs(out, "nnucb-replay", &replay);
+    }
+
+    /// Rebuild a bandit from [`NnUcb::write_state`] output. The live
+    /// `arms`/`cfg` come from the caller (they are part of the algorithm
+    /// configuration, not the learned state); the restored network and
+    /// covariance are validated against them — dimension mismatches and
+    /// non-finite weights are rejected.
+    pub fn read_state<'a, I: Iterator<Item = &'a str>>(
+        lines: &mut I,
+        arms: CandidateCapacities,
+        cfg: NnUcbConfig,
+    ) -> Result<NnUcb, String> {
+        let trials: u64 = state::parse_one(state::expect_key(lines, "nnucb-trials")?, "trials")?;
+        let cum =
+            state::parse_floats(state::expect_key(lines, "nnucb-cumreward")?, "cumulative reward")?;
+        state::require_len(&cum, 1, "cumulative reward")?;
+        state::require_finite(&cum, "cumulative reward")?;
+        let net = state::read_mlp(lines, "nnucb-mlp")?;
+        let expect_dim = net.trainable_param_count();
+        let mode_line = state::expect_key(lines, "nnucb-dinv-mode")?;
+        let mut mode_parts = mode_line.split_whitespace();
+        let mode = mode_parts.next().unwrap_or("");
+        let dim: usize = state::parse_one(mode_parts.next().unwrap_or(""), "dinv dim")?;
+        if dim != expect_dim {
+            return Err(format!(
+                "covariance dimension {dim} does not match network's {expect_dim} trainable params"
+            ));
+        }
+        let vals = state::parse_floats(state::expect_key(lines, "nnucb-dinv")?, "dinv")?;
+        state::require_finite(&vals, "dinv")?;
+        let dinv = match mode {
+            "full" => {
+                state::require_len(&vals, dim * dim, "full dinv")?;
+                InverseTracker::Full { inv: linalg::Matrix::from_vec(dim, dim, vals) }
+            }
+            "diag" => {
+                state::require_len(&vals, dim, "diagonal dinv")?;
+                InverseTracker::Diagonal { diag: vals }
+            }
+            other => return Err(format!("unknown dinv mode {other:?}")),
+        };
+        let buffer = read_obs(lines, "nnucb-buffer")?;
+        let replay_vec = read_obs(lines, "nnucb-replay")?;
+        Ok(NnUcb {
+            cfg,
+            arms,
+            net,
+            dinv,
+            buffer,
+            replay: replay_vec.into(),
+            trials,
+            cumulative_reward: cum[0],
+        })
+    }
+}
+
+fn write_obs(out: &mut String, key: &str, obs: &[(Vec<f64>, f64, f64)]) {
+    state::push_kv(out, key, obs.len());
+    for (ctx, w, s) in obs {
+        let mut line = vec![*w, *s];
+        line.extend_from_slice(ctx);
+        state::push_floats(out, "obs", &line);
+    }
+}
+
+fn read_obs<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+    key: &str,
+) -> Result<Vec<(Vec<f64>, f64, f64)>, String> {
+    let len: usize = state::parse_one(state::expect_key(lines, key)?, "observation count")?;
+    let mut obs = Vec::with_capacity(len);
+    for _ in 0..len {
+        let vals = state::parse_floats(state::expect_key(lines, "obs")?, "observation")?;
+        if vals.len() < 2 {
+            return Err("observation line too short".to_string());
+        }
+        state::require_finite(&vals, "observation")?;
+        obs.push((vals[2..].to_vec(), vals[0], vals[1]));
+    }
+    Ok(obs)
 }
 
 impl CapacityEstimator for NnUcb {
@@ -396,10 +513,7 @@ mod tests {
         b.flush();
         // The greedy estimate should now be the true best arm (30).
         let picked = b.estimate(&ctx);
-        assert!(
-            (picked - 30.0).abs() <= 10.0,
-            "picked {picked}, expected near 30"
-        );
+        assert!((picked - 30.0).abs() <= 10.0, "picked {picked}, expected near 30");
         // And the predicted curve should rank 30 above the extremes.
         let p10 = b.predict(&ctx, 10.0);
         let p30 = b.predict(&ctx, 30.0);
@@ -467,6 +581,65 @@ mod tests {
         for &c in b.arms().values() {
             assert_eq!(b.predict(&[0.3, 0.7], c), restored.predict(&[0.3, 0.7], c));
         }
+    }
+
+    #[test]
+    fn full_state_roundtrip_is_bit_identical() {
+        // write_state/read_state must restore covariance, buffers and
+        // counters too — UCBs (not just predictions) match exactly, and
+        // the restored bandit evolves identically from then on.
+        let mut b = bandit(15);
+        for i in 0..37 {
+            // 37 is not a multiple of batch_size, so the buffer is
+            // non-empty at checkpoint time.
+            b.update(&[0.4, 0.2], 10.0 + (i % 5) as f64 * 10.0, 0.15 + 0.01 * (i % 3) as f64);
+        }
+        let mut text = String::new();
+        b.write_state(&mut text);
+        let mut restored =
+            NnUcb::read_state(&mut text.lines(), b.arms().clone(), b.config().clone()).unwrap();
+        assert_eq!(restored.trials(), b.trials());
+        assert_eq!(restored.cumulative_reward(), b.cumulative_reward());
+        for &c in b.arms().values() {
+            assert_eq!(b.ucb(&[0.4, 0.2], c), restored.ucb(&[0.4, 0.2], c));
+        }
+        // Divergence test: run both forward identically.
+        for i in 0..20 {
+            let w = 10.0 + (i % 5) as f64 * 10.0;
+            b.update(&[0.1, 0.9], w, 0.2);
+            restored.update(&[0.1, 0.9], w, 0.2);
+        }
+        assert_eq!(b.estimate(&[0.1, 0.9]), restored.estimate(&[0.1, 0.9]));
+        assert_eq!(b.ucb(&[0.1, 0.9], 30.0), restored.ucb(&[0.1, 0.9], 30.0));
+    }
+
+    #[test]
+    fn read_state_rejects_corruption() {
+        let mut b = bandit(16);
+        b.update(&[0.5, 0.5], 20.0, 0.2);
+        let mut text = String::new();
+        b.write_state(&mut text);
+        // NaN smuggled into the covariance line.
+        let with_nan: String = text
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("nnucb-dinv ") {
+                    let mut toks: Vec<String> = rest.split_whitespace().map(String::from).collect();
+                    toks[0] = "NaN".to_string();
+                    format!("nnucb-dinv {}", toks.join(" "))
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            NnUcb::read_state(&mut with_nan.lines(), b.arms().clone(), b.config().clone()).is_err(),
+            "NaN covariance must be rejected"
+        );
+        // Truncation rejected.
+        let cut: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(NnUcb::read_state(&mut cut.lines(), b.arms().clone(), b.config().clone()).is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::arms::CandidateCapacities;
 use crate::nn_ucb::{NnUcb, NnUcbConfig};
+use crate::state;
 use crate::traits::CapacityEstimator;
 use rand::Rng;
 
@@ -134,6 +135,69 @@ impl PersonalizedEstimator {
             b.flush();
         }
     }
+
+    /// Serialise the learned state: base bandit, per-broker trial
+    /// counters, and every promoted broker's exclusive bandit.
+    pub fn write_state(&self, out: &mut String) {
+        state::push_kv(out, "personalized-brokers", self.per_broker.len());
+        state::push_kv(out, "personalized-after", self.personalize_after);
+        state::push_kv(out, "personalized-warmup", self.base_warmup);
+        self.base.write_state(out);
+        for (b, bandit) in self.per_broker.iter().enumerate() {
+            state::push_kv(out, "broker-trials", self.broker_trials[b]);
+            match bandit {
+                Some(p) => {
+                    state::push_kv(out, "personal", 1);
+                    p.write_state(out);
+                }
+                None => state::push_kv(out, "personal", 0),
+            }
+        }
+    }
+
+    /// Rebuild from [`PersonalizedEstimator::write_state`] output,
+    /// validating the broker count against the live configuration.
+    pub fn read_state<'a, I: Iterator<Item = &'a str>>(
+        lines: &mut I,
+        num_brokers: usize,
+        arms: CandidateCapacities,
+        cfg: NnUcbConfig,
+    ) -> Result<PersonalizedEstimator, String> {
+        let brokers: usize =
+            state::parse_one(state::expect_key(lines, "personalized-brokers")?, "broker count")?;
+        if brokers != num_brokers {
+            return Err(format!(
+                "checkpoint has {brokers} brokers, configuration expects {num_brokers}"
+            ));
+        }
+        let personalize_after: u64 =
+            state::parse_one(state::expect_key(lines, "personalized-after")?, "threshold")?;
+        let base_warmup: u64 =
+            state::parse_one(state::expect_key(lines, "personalized-warmup")?, "warmup")?;
+        let base = NnUcb::read_state(lines, arms.clone(), cfg.clone())?;
+        let personal_cfg = NnUcbConfig { batch_size: cfg.batch_size.min(8), ..cfg.clone() };
+        let mut per_broker = Vec::with_capacity(brokers);
+        let mut broker_trials = Vec::with_capacity(brokers);
+        for _ in 0..brokers {
+            broker_trials
+                .push(state::parse_one(state::expect_key(lines, "broker-trials")?, "trials")?);
+            let has: u8 = state::parse_one(state::expect_key(lines, "personal")?, "flag")?;
+            per_broker.push(match has {
+                0 => None,
+                1 => Some(NnUcb::read_state(lines, arms.clone(), personal_cfg.clone())?),
+                other => return Err(format!("bad personal flag {other}")),
+            });
+        }
+        Ok(PersonalizedEstimator {
+            base,
+            per_broker,
+            broker_trials,
+            personalize_after,
+            base_warmup,
+            arms,
+            cfg,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -149,8 +213,7 @@ mod tests {
     fn estimator(seed: u64, personalize_after: u64) -> PersonalizedEstimator {
         let mut rng = StdRng::seed_from_u64(seed);
         let cfg = NnUcbConfig { lr: 0.05, train_epochs: 6, ..Default::default() };
-        let mut est =
-            PersonalizedEstimator::new(&mut rng, 3, 1, arms(), cfg, personalize_after);
+        let mut est = PersonalizedEstimator::new(&mut rng, 3, 1, arms(), cfg, personalize_after);
         // Unit tests exercise promotion mechanics directly; disable the
         // pooled warm-up gate (it is tested separately below).
         est.set_base_warmup(0);
@@ -194,8 +257,7 @@ mod tests {
         assert!(!personal.network().is_frozen(n_layers - 1));
         // Covariance over last layer only: far fewer params than base.
         assert!(
-            personal.network().trainable_param_count()
-                < e.base.network().trainable_param_count()
+            personal.network().trainable_param_count() < e.base.network().trainable_param_count()
         );
     }
 
@@ -217,10 +279,7 @@ mod tests {
         let c0 = e.estimate(0, &[0.5]);
         let c1 = e.estimate(1, &[0.5]);
         // Personalised estimates should pull apart in the right order.
-        assert!(
-            c0 <= c1,
-            "broker 0 (peak 20) got {c0}, broker 1 (peak 40) got {c1}"
-        );
+        assert!(c0 <= c1, "broker 0 (peak 20) got {c0}, broker 1 (peak 40) got {c1}");
     }
 
     #[test]
@@ -230,6 +289,33 @@ mod tests {
         e.flush();
         e.flush();
         assert_eq!(e.base().trials(), 1);
+    }
+
+    #[test]
+    fn state_roundtrip_restores_promotions_exactly() {
+        let mut e = estimator(6, 3);
+        // Promote broker 0; leave brokers 1 and 2 generic.
+        for _ in 0..4 {
+            e.update(0, &[0.5], 20.0, 0.25);
+        }
+        e.update(1, &[0.5], 30.0, 0.2);
+        assert!(e.is_personalized(0) && !e.is_personalized(1));
+        let mut text = String::new();
+        e.write_state(&mut text);
+        let cfg = e.base().config().clone();
+        let mut back =
+            PersonalizedEstimator::read_state(&mut text.lines(), 3, arms(), cfg).unwrap();
+        assert!(back.is_personalized(0) && !back.is_personalized(1));
+        for b in 0..3 {
+            assert_eq!(back.estimate(b, &[0.5]), e.estimate(b, &[0.5]));
+        }
+        // Both must promote broker 1 at the same future trial.
+        for _ in 0..2 {
+            e.update(1, &[0.5], 30.0, 0.2);
+            back.update(1, &[0.5], 30.0, 0.2);
+        }
+        assert_eq!(e.is_personalized(1), back.is_personalized(1));
+        assert_eq!(back.estimate(1, &[0.5]), e.estimate(1, &[0.5]));
     }
 
     #[test]

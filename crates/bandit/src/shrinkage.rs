@@ -22,6 +22,7 @@
 
 use crate::arms::CandidateCapacities;
 use crate::nn_ucb::{NnUcb, NnUcbConfig};
+use crate::state;
 use crate::traits::CapacityEstimator;
 use rand::Rng;
 
@@ -123,12 +124,8 @@ impl ShrinkageEstimator {
             // Untrained curves are noise; start optimistic.
             return self.arm_quantile(0.75);
         }
-        let preds: Vec<f64> = self
-            .arms
-            .values()
-            .iter()
-            .map(|&c| self.base.predict(context, c))
-            .collect();
+        let preds: Vec<f64> =
+            self.arms.values().iter().map(|&c| self.base.predict(context, c)).collect();
         let max = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = preds.iter().cloned().fold(f64::INFINITY, f64::min);
         if max - min < self.plateau_tol * max.abs() {
@@ -152,9 +149,8 @@ impl ShrinkageEstimator {
     /// optimism where the data has not yet reached.
     pub fn empirical_knee(&self, b: usize) -> Option<f64> {
         let st = &self.stats[b];
-        let observed: Vec<(usize, f64)> = (0..self.arms.len())
-            .filter_map(|i| st.mean(i).map(|m| (i, m)))
-            .collect();
+        let observed: Vec<(usize, f64)> =
+            (0..self.arms.len()).filter_map(|i| st.mean(i).map(|m| (i, m))).collect();
         if observed.len() < 2 {
             return None;
         }
@@ -164,19 +160,15 @@ impl ShrinkageEstimator {
             .iter()
             .filter(|&&(_, m)| m >= cutoff)
             .map(|&(i, _)| i)
-            .max_by(|&a, &b| {
-                self.arms.value(a).partial_cmp(&self.arms.value(b)).unwrap()
-            })?;
-        let highest_observed =
-            observed.iter().map(|&(i, _)| i).max_by(|&a, &b| {
-                self.arms.value(a).partial_cmp(&self.arms.value(b)).unwrap()
-            })?;
+            .max_by(|&a, &b| self.arms.value(a).partial_cmp(&self.arms.value(b)).unwrap())?;
+        let highest_observed = observed
+            .iter()
+            .map(|&(i, _)| i)
+            .max_by(|&a, &b| self.arms.value(a).partial_cmp(&self.arms.value(b)).unwrap())?;
         if knee_idx == highest_observed {
             // No decline observed yet: extend one arm upward (bounded).
             let mut order: Vec<usize> = (0..self.arms.len()).collect();
-            order.sort_by(|&a, &b| {
-                self.arms.value(a).partial_cmp(&self.arms.value(b)).unwrap()
-            });
+            order.sort_by(|&a, &b| self.arms.value(a).partial_cmp(&self.arms.value(b)).unwrap());
             let pos = order.iter().position(|&i| i == knee_idx).expect("present");
             let next = order.get(pos + 1).copied().unwrap_or(knee_idx);
             return Some(self.arms.value(next));
@@ -211,6 +203,57 @@ impl ShrinkageEstimator {
     /// Flush the base bandit's buffered trials.
     pub fn flush(&mut self) {
         self.base.flush();
+    }
+
+    /// Serialise the learned state: the shared base bandit plus every
+    /// broker's per-arm statistics. The tuning knobs (`plateau_tol`,
+    /// `pseudo_count`, …) are configuration, not learned state, and are
+    /// not persisted.
+    pub fn write_state(&self, out: &mut String) {
+        state::push_kv(out, "shrinkage-brokers", self.stats.len());
+        self.base.write_state(out);
+        for st in &self.stats {
+            state::push_floats(out, "arm-sum", &st.sum);
+            state::push_floats(out, "arm-count", &st.count);
+        }
+    }
+
+    /// Rebuild from [`ShrinkageEstimator::write_state`] output; the
+    /// expected broker count and arm set come from the live
+    /// configuration and are validated against the checkpoint.
+    pub fn read_state<'a, I: Iterator<Item = &'a str>>(
+        lines: &mut I,
+        num_brokers: usize,
+        arms: CandidateCapacities,
+        cfg: NnUcbConfig,
+    ) -> Result<ShrinkageEstimator, String> {
+        let brokers: usize =
+            state::parse_one(state::expect_key(lines, "shrinkage-brokers")?, "broker count")?;
+        if brokers != num_brokers {
+            return Err(format!(
+                "checkpoint has {brokers} brokers, configuration expects {num_brokers}"
+            ));
+        }
+        let base = NnUcb::read_state(lines, arms.clone(), cfg)?;
+        let mut stats = Vec::with_capacity(brokers);
+        for b in 0..brokers {
+            let sum = state::parse_floats(state::expect_key(lines, "arm-sum")?, "arm sums")?;
+            let count = state::parse_floats(state::expect_key(lines, "arm-count")?, "arm counts")?;
+            state::require_len(&sum, arms.len(), &format!("broker {b} arm sums"))?;
+            state::require_len(&count, arms.len(), &format!("broker {b} arm counts"))?;
+            state::require_finite(&sum, &format!("broker {b} arm sums"))?;
+            state::require_finite(&count, &format!("broker {b} arm counts"))?;
+            stats.push(ArmStats { sum, count });
+        }
+        Ok(ShrinkageEstimator {
+            base,
+            stats,
+            arms,
+            plateau_tol: 0.1,
+            pseudo_count: 3.0,
+            warmup_trials: 128,
+            knee_margin: 5.0,
+        })
     }
 }
 
@@ -297,6 +340,40 @@ mod tests {
         let knee = e.base_knee(&[0.5, 0.5]);
         // Median of {10..60} = 40 (upper median of 6 values).
         assert!((10.0..=60.0).contains(&knee));
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_estimates_exactly() {
+        let mut e = estimator(3);
+        for _ in 0..6 {
+            for &w in &[10.0, 20.0, 30.0, 40.0, 50.0, 60.0] {
+                e.update(0, &[0.5, 0.5], w, rate(w, 20.0));
+                e.update(2, &[0.4, 0.6], w, rate(w, 50.0));
+            }
+        }
+        let mut text = String::new();
+        e.write_state(&mut text);
+        let cfg = e.base().config().clone();
+        let mut back = ShrinkageEstimator::read_state(&mut text.lines(), 3, arms(), cfg).unwrap();
+        for b in 0..3 {
+            assert_eq!(back.estimate(b, &[0.5, 0.5]), e.estimate(b, &[0.5, 0.5]));
+            assert_eq!(back.broker_trials(b), e.broker_trials(b));
+        }
+        // Evolve both identically and re-compare.
+        for &w in &[20.0, 40.0] {
+            e.update(1, &[0.3, 0.3], w, rate(w, 30.0));
+            back.update(1, &[0.3, 0.3], w, rate(w, 30.0));
+        }
+        assert_eq!(back.estimate(1, &[0.3, 0.3]), e.estimate(1, &[0.3, 0.3]));
+    }
+
+    #[test]
+    fn state_rejects_broker_count_mismatch() {
+        let e = estimator(2);
+        let mut text = String::new();
+        e.write_state(&mut text);
+        let cfg = e.base().config().clone();
+        assert!(ShrinkageEstimator::read_state(&mut text.lines(), 5, arms(), cfg).is_err());
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Line-oriented checkpoint blocks for the estimator stack.
+//!
+//! A restarted matcher should resume mid-horizon with everything it had
+//! learned — network weights, covariance tracker, replay memory,
+//! per-arm statistics — rather than cold-starting. Each estimator in
+//! this crate therefore exposes `write_state`/`read_state` producing a
+//! tagged `key value…` line block. Readers consume from a shared line
+//! iterator, so blocks compose verbatim into the `caam-ckpt v1`
+//! container the `lacb` crate assembles.
+//!
+//! Floats are written with `{:e}`, which Rust guarantees to be the
+//! shortest exactly-round-tripping representation — a checkpointed run
+//! resumes *bit-identical*, not approximately. Readers validate what
+//! they consume: non-finite weights, dimension mismatches and malformed
+//! lines are rejected with a description rather than deserialised into
+//! a silently broken learner.
+
+use std::fmt::Write as _;
+
+/// Append a `key value` line.
+pub fn push_kv(out: &mut String, key: &str, val: impl std::fmt::Display) {
+    let _ = writeln!(out, "{key} {val}");
+}
+
+/// Append a `key v1 v2 …` line of exact-round-trip floats.
+pub fn push_floats(out: &mut String, key: &str, vals: &[f64]) {
+    let _ = write!(out, "{key}");
+    for v in vals {
+        let _ = write!(out, " {v:e}");
+    }
+    let _ = writeln!(out);
+}
+
+/// Consume the next line, which must start with `key`; returns the
+/// remainder after the key (possibly empty).
+pub fn expect_key<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+    key: &str,
+) -> Result<&'a str, String> {
+    let line = lines.next().ok_or_else(|| format!("unexpected end of state: wanted {key:?}"))?;
+    let trimmed = line.trim_end();
+    if trimmed == key {
+        return Ok("");
+    }
+    trimmed
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .ok_or_else(|| format!("expected {key:?} line, found {line:?}"))
+}
+
+/// Parse one whitespace-separated value.
+pub fn parse_one<T: std::str::FromStr>(rest: &str, what: &str) -> Result<T, String> {
+    rest.trim().parse::<T>().map_err(|_| format!("bad {what}: {rest:?}"))
+}
+
+/// Parse a whitespace-separated float list.
+pub fn parse_floats(rest: &str, what: &str) -> Result<Vec<f64>, String> {
+    rest.split_whitespace()
+        .map(|tok| tok.parse::<f64>().map_err(|_| format!("bad float in {what}: {tok:?}")))
+        .collect()
+}
+
+/// Reject non-finite values — a checkpoint carrying NaN/∞ weights would
+/// resurrect a poisoned learner.
+pub fn require_finite(vals: &[f64], what: &str) -> Result<(), String> {
+    match vals.iter().find(|v| !v.is_finite()) {
+        Some(v) => Err(format!("non-finite value {v} in {what}")),
+        None => Ok(()),
+    }
+}
+
+/// Reject a vector whose length disagrees with the live configuration.
+pub fn require_len(vals: &[f64], expect: usize, what: &str) -> Result<(), String> {
+    if vals.len() != expect {
+        return Err(format!("{what}: expected {expect} values, got {}", vals.len()));
+    }
+    Ok(())
+}
+
+/// Append an embedded [`neural::serialize`] MLP block, prefixed with
+/// its line count (MLP depth varies, so the reader needs the span).
+pub fn push_mlp(out: &mut String, key: &str, net: &neural::Mlp) {
+    let text = neural::serialize::to_text(net);
+    let lines: Vec<&str> = text.lines().collect();
+    let _ = writeln!(out, "{key} {}", lines.len());
+    for l in lines {
+        let _ = writeln!(out, "{l}");
+    }
+}
+
+/// Read an embedded MLP block written by [`push_mlp`], validating that
+/// every parameter is finite.
+pub fn read_mlp<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+    key: &str,
+) -> Result<neural::Mlp, String> {
+    let rest = expect_key(lines, key)?;
+    let count: usize = parse_one(rest, "mlp line count")?;
+    let mut text = String::new();
+    for _ in 0..count {
+        let l = lines.next().ok_or_else(|| format!("{key}: truncated mlp block"))?;
+        text.push_str(l);
+        text.push('\n');
+    }
+    let net = neural::serialize::from_text(&text).map_err(|e| format!("{key}: {e}"))?;
+    for i in 0..net.num_layers() {
+        let layer = net.layer(i);
+        let mut params = vec![0.0; layer.param_count()];
+        layer.write_params(&mut params);
+        require_finite(&params, &format!("{key} layer {i} weights"))?;
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_roundtrip_and_key_mismatch() {
+        let mut out = String::new();
+        push_kv(&mut out, "trials", 42u64);
+        push_floats(&mut out, "caps", &[1.5, f64::MIN_POSITIVE, -3.0e300]);
+        let mut lines = out.lines();
+        let t: u64 = parse_one(expect_key(&mut lines, "trials").unwrap(), "trials").unwrap();
+        assert_eq!(t, 42);
+        let caps = parse_floats(expect_key(&mut lines, "caps").unwrap(), "caps").unwrap();
+        assert_eq!(caps, vec![1.5, f64::MIN_POSITIVE, -3.0e300]);
+        let mut wrong = "other 1".lines();
+        assert!(expect_key(&mut wrong, "trials").is_err());
+    }
+
+    #[test]
+    fn finiteness_and_length_guards() {
+        assert!(require_finite(&[1.0, f64::NAN], "w").is_err());
+        assert!(require_finite(&[1.0, f64::INFINITY], "w").is_err());
+        assert!(require_finite(&[1.0, -2.0], "w").is_ok());
+        assert!(require_len(&[1.0], 2, "v").is_err());
+        assert!(require_len(&[1.0, 2.0], 2, "v").is_ok());
+    }
+
+    #[test]
+    fn mlp_block_roundtrips_exactly() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = neural::MlpBuilder::new(4).hidden(&[5, 3]).build(&mut rng);
+        let mut out = String::new();
+        push_mlp(&mut out, "mlp", &net);
+        push_kv(&mut out, "after", 1u8);
+        let mut lines = out.lines();
+        let back = read_mlp(&mut lines, "mlp").unwrap();
+        assert_eq!(back.forward(&[0.1, -0.2, 0.3, 0.4]), net.forward(&[0.1, -0.2, 0.3, 0.4]));
+        // The iterator stops exactly at the block end.
+        assert_eq!(expect_key(&mut lines, "after").unwrap(), "1");
+    }
+
+    #[test]
+    fn truncated_mlp_block_rejected() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = neural::MlpBuilder::new(2).hidden(&[3]).build(&mut rng);
+        let mut out = String::new();
+        push_mlp(&mut out, "mlp", &net);
+        let truncated: Vec<&str> = out.lines().take(3).collect();
+        assert!(read_mlp(&mut truncated.into_iter(), "mlp").is_err());
+    }
+}

@@ -55,9 +55,8 @@ impl LinearThompson {
 
     fn cholesky(&mut self) -> &Cholesky {
         if self.chol.is_none() {
-            self.chol = Some(
-                Cholesky::new(&self.precision).expect("precision is SPD by construction"),
-            );
+            self.chol =
+                Some(Cholesky::new(&self.precision).expect("precision is SPD by construction"));
         }
         self.chol.as_ref().expect("just set")
     }

@@ -17,14 +17,10 @@ fn bench_cbs(c: &mut Criterion) {
     for n in [1_000usize, 5_000, 20_000] {
         let mut rng = StdRng::seed_from_u64(5);
         let utilities: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
-        group.bench_with_input(
-            BenchmarkId::new("quickselect", n),
-            &utilities,
-            |b, utilities| {
-                let mut rng = StdRng::seed_from_u64(17);
-                b.iter(|| black_box(top_k_indices(utilities, k, &mut rng)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("quickselect", n), &utilities, |b, utilities| {
+            let mut rng = StdRng::seed_from_u64(17);
+            b.iter(|| black_box(top_k_indices(utilities, k, &mut rng)))
+        });
         group.bench_with_input(BenchmarkId::new("full_sort", n), &utilities, |b, utilities| {
             b.iter(|| {
                 let mut idx: Vec<usize> = (0..utilities.len()).collect();

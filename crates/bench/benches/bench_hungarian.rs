@@ -31,28 +31,20 @@ fn bench_solvers(c: &mut Criterion) {
     let requests = 30; // the paper's default batch width (σ·|B| = 30)
     for brokers in [100usize, 200, 400, 800] {
         let u = instance(requests, brokers, 7);
-        group.bench_with_input(
-            BenchmarkId::new("padded_km", brokers),
-            &u,
-            |b, u| b.iter(|| black_box(max_weight_assignment_padded(u).total)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("rectangular_km", brokers),
-            &u,
-            |b, u| b.iter(|| black_box(max_weight_assignment(u).total)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("cbs_rectangular_km", brokers),
-            &u,
-            |b, u| {
-                let mut rng = StdRng::seed_from_u64(13);
-                b.iter(|| {
-                    let cols = candidate_union(u, u.rows(), &mut rng);
-                    let reduced = u.select_columns(&cols);
-                    black_box(max_weight_assignment(&reduced).total)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("padded_km", brokers), &u, |b, u| {
+            b.iter(|| black_box(max_weight_assignment_padded(u).total))
+        });
+        group.bench_with_input(BenchmarkId::new("rectangular_km", brokers), &u, |b, u| {
+            b.iter(|| black_box(max_weight_assignment(u).total))
+        });
+        group.bench_with_input(BenchmarkId::new("cbs_rectangular_km", brokers), &u, |b, u| {
+            let mut rng = StdRng::seed_from_u64(13);
+            b.iter(|| {
+                let cols = candidate_union(u, u.rows(), &mut rng);
+                let reduced = u.select_columns(&cols);
+                black_box(max_weight_assignment(&reduced).total)
+            })
+        });
         group.bench_with_input(BenchmarkId::new("auction", brokers), &u, |b, u| {
             b.iter(|| black_box(auction_assignment(u, 1e-4).total))
         });

@@ -18,15 +18,11 @@ fn bench_stats_substrate(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let a: Vec<f64> = (0..5_000).map(|_| rng.gen::<f64>() * 0.3).collect();
     let b: Vec<f64> = (0..5_000).map(|_| rng.gen::<f64>() * 0.2).collect();
-    group.bench_function("welch_t_test_5k", |bch| {
-        bch.iter(|| black_box(welch_t_test(&a, &b)))
-    });
+    group.bench_function("welch_t_test_5k", |bch| bch.iter(|| black_box(welch_t_test(&a, &b))));
 
     let samples: Vec<f64> = (0..500).map(|_| rng.gen::<f64>() * 60.0).collect();
     let kde = GaussianKde1d::fit(&samples);
-    group.bench_function("kde1d_grid_200", |bch| {
-        bch.iter(|| black_box(kde.grid(0.0, 60.0, 200)))
-    });
+    group.bench_function("kde1d_grid_200", |bch| bch.iter(|| black_box(kde.grid(0.0, 60.0, 200))));
 
     let xs: Vec<f64> = (0..300).map(|_| rng.gen::<f64>() * 60.0).collect();
     let ys: Vec<f64> = (0..300).map(|_| rng.gen::<f64>() * 0.4).collect();

@@ -2,15 +2,20 @@
 
 use crate::args::Args;
 use bandit::{
-    CandidateCapacities, CapacityEstimator, EpsilonGreedy, LinUcb, LinearThompson,
-    NeuralUcb, NnUcb, RegretTracker,
+    CandidateCapacities, CapacityEstimator, EpsilonGreedy, LinUcb, LinearThompson, NeuralUcb,
+    NnUcb, RegretTracker,
 };
 use lacb::{
-    run, Assigner, AssignmentNeuralUcb, BatchKm, CTopK, GreedyMatch, Lacb, LacbConfig,
-    OracleCapacity, RandomizedRecommendation, RunConfig, TopK,
+    checkpoint, run, run_chaos, Assigner, AssignmentNeuralUcb, BatchKm, CTopK, GreedyMatch, Lacb,
+    LacbConfig, OracleCapacity, RandomizedRecommendation, ResilienceConfig, ResilientAssigner,
+    RunConfig, TopK,
 };
-use platform_sim::{io as ds_io, CityId, Dataset, RealWorldConfig, SyntheticConfig};
+use platform_sim::{
+    io as ds_io, CityId, Dataset, FaultConfig, FaultPlan, RealWorldConfig, SyntheticConfig,
+    SCENARIOS,
+};
 use std::path::Path;
+use std::time::Duration;
 
 /// Usage text shown on errors.
 pub const USAGE: &str = "usage:
@@ -21,7 +26,13 @@ pub const USAGE: &str = "usage:
                 [--dataset DIR/NAME] [--ctopk-capacity C]
                 [synthetic flags as in generate]
   caam compare  [--fast-only] [synthetic flags]
-  caam bandits  [--rounds N] [--seed N]";
+  caam bandits  [--rounds N] [--seed N]
+  caam chaos    --scenario none|broker-dropout|lost-feedback|
+                  broker-dropout+lost-feedback|utility-corruption|
+                  batch-spike|full-chaos
+                [--algo …as in run] [--fault-seed N] [--raw]
+                [--deadline-ms MS] [--checkpoint-day D]
+                [--checkpoint-out FILE] [synthetic flags]";
 
 /// Route a raw argv to its subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -34,6 +45,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
         "bandits" => cmd_bandits(&args),
+        "chaos" => cmd_chaos(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -92,7 +104,12 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn make_algo(name: &str, num_brokers: usize, ctopk_capacity: f64, seed: u64) -> Result<Box<dyn Assigner>, String> {
+fn make_algo(
+    name: &str,
+    num_brokers: usize,
+    ctopk_capacity: f64,
+    seed: u64,
+) -> Result<Box<dyn Assigner>, String> {
     let arms = CandidateCapacities::range(10.0, 60.0, 10.0);
     Ok(match name {
         "top1" => Box::new(TopK::new(1, seed)),
@@ -121,11 +138,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     println!("algorithm : {}", m.algorithm);
     println!("total utility : {:.2}", m.total_utility);
     println!("algorithm time: {:.3}s", m.elapsed_secs);
-    println!("peak broker mean daily workload: {:.1}",
-        m.ledger.workload_distribution().first().copied().unwrap_or(0.0));
+    println!(
+        "peak broker mean daily workload: {:.1}",
+        m.ledger.workload_distribution().first().copied().unwrap_or(0.0)
+    );
     println!("workload gini : {:.3}", platform_sim::gini(&m.ledger.workload_distribution()));
-    println!("per-day utility: {}",
-        m.daily_utility.iter().map(|u| format!("{u:.0}")).collect::<Vec<_>>().join(" "));
+    println!(
+        "per-day utility: {}",
+        m.daily_utility.iter().map(|u| format!("{u:.0}")).collect::<Vec<_>>().join(" ")
+    );
     Ok(())
 }
 
@@ -137,8 +158,8 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         &["top1", "top3", "rr", "greedy", "ctop1", "ctop3", "lacb-opt"]
     } else {
         &[
-            "top1", "top3", "rr", "greedy", "ctop1", "ctop3", "km", "an", "lacb",
-            "lacb-opt", "oracle",
+            "top1", "top3", "rr", "greedy", "ctop1", "ctop3", "km", "an", "lacb", "lacb-opt",
+            "oracle",
         ]
     };
     println!("{:<10} {:>14} {:>10} {:>12}", "algorithm", "total utility", "seconds", "peak w/day");
@@ -152,6 +173,110 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
             m.elapsed_secs,
             m.ledger.workload_distribution().first().copied().unwrap_or(0.0)
         );
+    }
+    Ok(())
+}
+
+/// Run an algorithm under a named fault scenario and report the utility
+/// retained relative to the fault-free run. By default the algorithm is
+/// wrapped in the degradation ladder; `--raw` exposes it to the chaos
+/// unprotected. `--checkpoint-day D` additionally checkpoints the
+/// (resilient LACB) pipeline after day `D`, restores it, finishes the
+/// horizon, and verifies the total utility matches the uninterrupted
+/// run bit for bit.
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    let ds = dataset_from(args)?;
+    let scenario = args.get("scenario").unwrap_or("broker-dropout+lost-feedback");
+    let fault_seed: u64 = args.get_or("fault-seed", 13)?;
+    let algo_name = args.get("algo").unwrap_or("lacb-opt");
+    let ctopk: f64 = args.get_or("ctopk-capacity", 40.0)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let fault_cfg = FaultConfig::scenario(scenario, fault_seed).ok_or_else(|| {
+        format!("unknown --scenario {scenario:?}; known: {}", SCENARIOS.join(", "))
+    })?;
+    let plan = FaultPlan::new(fault_cfg);
+
+    let mut baseline = make_algo(algo_name, ds.brokers.len(), ctopk, seed)?;
+    let fault_free = run(&ds, baseline.as_mut(), &RunConfig::default());
+
+    let mut rcfg = ResilienceConfig::default();
+    if let Some(ms) = args.get("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("invalid --deadline-ms {ms:?}"))?;
+        rcfg.batch_deadline = Some(Duration::from_millis(ms));
+    }
+    let m = if args.has("raw") {
+        let mut a = make_algo(algo_name, ds.brokers.len(), ctopk, seed)?;
+        run_chaos(&ds, a.as_mut(), &RunConfig::default(), plan)
+    } else {
+        let primary = make_algo(algo_name, ds.brokers.len(), ctopk, seed)?;
+        let mut r = ResilientAssigner::new(primary, rcfg.clone());
+        run_chaos(&ds, &mut r, &RunConfig::default(), plan)
+    };
+
+    println!("dataset    : {}", ds.name);
+    println!("scenario   : {scenario} (fault seed {fault_seed})");
+    println!("algorithm  : {}", m.algorithm);
+    println!("fault-free utility : {:.2}", fault_free.total_utility);
+    println!("chaos utility      : {:.2}", m.total_utility);
+    println!(
+        "utility retained   : {:.1}%",
+        100.0 * m.total_utility / fault_free.total_utility.max(f64::MIN_POSITIVE)
+    );
+    if let Some(stats) = &m.resilience {
+        println!("degradation events : {}", stats.degradation_events());
+        println!(
+            "  panics {}  timeouts {}  invalid outputs {}  greedy fallbacks {}",
+            stats.primary_panics,
+            stats.primary_timeouts,
+            stats.invalid_primary_outputs,
+            stats.greedy_fallbacks
+        );
+        println!(
+            "  top-k patches {}  utilities sanitized {}  requests failed {}",
+            stats.topk_patches, stats.utilities_sanitized, stats.requests_failed
+        );
+        println!(
+            "  feedback retries {}  lost days {}  delayed days {}",
+            stats.feedback_retries, stats.feedback_lost_days, stats.feedback_delayed_days
+        );
+    }
+
+    if let Some(day) = args.get("checkpoint-day") {
+        let day: usize = day.parse().map_err(|_| format!("invalid --checkpoint-day {day:?}"))?;
+        let cfg = match algo_name {
+            "lacb" => LacbConfig { seed, ..LacbConfig::default() },
+            "lacb-opt" => LacbConfig { seed, ..LacbConfig::opt() },
+            other => {
+                return Err(format!(
+                    "--checkpoint-day needs --algo lacb or lacb-opt, got {other:?}"
+                ))
+            }
+        };
+        // A deadline would make the two runs diverge on wall-clock
+        // noise, so the checkpoint verification always runs without one.
+        let vcfg = ResilienceConfig::default();
+        let mut direct = ResilientAssigner::new(Lacb::new(cfg.clone()), vcfg.clone());
+        let uninterrupted = run_chaos(&ds, &mut direct, &RunConfig::default(), plan);
+        let mut ckpt = checkpoint::run_chaos_until(&ds, cfg.clone(), vcfg.clone(), plan, day)
+            .map_err(|e| e.to_string())?;
+        if let Some(path) = args.get("checkpoint-out") {
+            let path = Path::new(path);
+            ckpt.save(path).map_err(|e| e.to_string())?;
+            ckpt = checkpoint::Checkpoint::load(path).map_err(|e| e.to_string())?;
+            println!("checkpoint written : {}", path.display());
+        }
+        let resumed =
+            checkpoint::resume_chaos(&ds, &ckpt, cfg, vcfg, plan).map_err(|e| e.to_string())?;
+        let exact = uninterrupted.total_utility.to_bits() == resumed.total_utility.to_bits();
+        println!(
+            "checkpoint after day {day}: uninterrupted {:.4} vs resumed {:.4} — {}",
+            uninterrupted.total_utility,
+            resumed.total_utility,
+            if exact { "bit-identical" } else { "MISMATCH" }
+        );
+        if !exact {
+            return Err("checkpoint resume diverged from the uninterrupted run".into());
+        }
     }
     Ok(())
 }
@@ -192,14 +317,10 @@ fn cmd_bandits(args: &Args) -> Result<(), String> {
     let mut trackers: Vec<RegretTracker> = policies.iter().map(|_| RegretTracker::new()).collect();
 
     for t in 0..rounds {
-        let fatigue =
-            if t % 2 == 0 { rng.gen_range(0.0..0.4) } else { rng.gen_range(0.6..1.0) };
+        let fatigue = if t % 2 == 0 { rng.gen_range(0.0..0.4) } else { rng.gen_range(0.6..1.0) };
         let ctx = [fatigue];
-        let oracle = arms
-            .values()
-            .iter()
-            .map(|&c| reward(fatigue, c))
-            .fold(f64::NEG_INFINITY, f64::max);
+        let oracle =
+            arms.values().iter().map(|&c| reward(fatigue, c)).fold(f64::NEG_INFINITY, f64::max);
         for ((_, policy), tracker) in policies.iter_mut().zip(&mut trackers) {
             let c = policy.choose(&ctx);
             let r = reward(fatigue, c);
@@ -210,12 +331,7 @@ fn cmd_bandits(args: &Args) -> Result<(), String> {
     println!("{rounds} rounds on a context-dependent reward surface:");
     println!("{:<18} {:>12} {:>14}", "policy", "cum. regret", "recent regret");
     for ((name, _), tracker) in policies.iter().zip(&trackers) {
-        println!(
-            "{:<18} {:>12.2} {:>14.4}",
-            name,
-            tracker.cumulative(),
-            tracker.recent_mean(100)
-        );
+        println!("{:<18} {:>12.2} {:>14.4}", name, tracker.cumulative(), tracker.recent_mean(100));
     }
     Ok(())
 }
@@ -241,15 +357,13 @@ mod tests {
 
     #[test]
     fn run_and_compare_work_on_tiny_world() {
-        let args = Args::parse(&argv(
-            "--algo top1 --brokers 10 --requests 60 --days 2 --sigma 0.3",
-        ))
-        .unwrap();
+        let args =
+            Args::parse(&argv("--algo top1 --brokers 10 --requests 60 --days 2 --sigma 0.3"))
+                .unwrap();
         cmd_run(&args).unwrap();
-        let args = Args::parse(&argv(
-            "--fast-only --brokers 10 --requests 60 --days 2 --sigma 0.3",
-        ))
-        .unwrap();
+        let args =
+            Args::parse(&argv("--fast-only --brokers 10 --requests 60 --days 2 --sigma 0.3"))
+                .unwrap();
         cmd_compare(&args).unwrap();
     }
 
@@ -271,5 +385,46 @@ mod tests {
     fn bandits_shootout_runs() {
         let args = Args::parse(&argv("--rounds 40")).unwrap();
         cmd_bandits(&args).unwrap();
+    }
+
+    #[test]
+    fn chaos_reports_on_tiny_world() {
+        let args = Args::parse(&argv(
+            "--scenario broker-dropout+lost-feedback --algo lacb --brokers 12 \
+             --requests 90 --days 2 --sigma 0.3 --fault-seed 3",
+        ))
+        .unwrap();
+        cmd_chaos(&args).unwrap();
+    }
+
+    #[test]
+    fn chaos_rejects_unknown_scenario() {
+        let args =
+            Args::parse(&argv("--scenario nope --brokers 10 --requests 40 --days 1")).unwrap();
+        assert!(cmd_chaos(&args).unwrap_err().contains("unknown --scenario"));
+    }
+
+    #[test]
+    fn chaos_checkpoint_verifies_on_tiny_world() {
+        let out = std::env::temp_dir().join("caam_chaos_ckpt_test.ckpt");
+        let args = Args::parse(&argv(&format!(
+            "--scenario broker-dropout --algo lacb --brokers 12 --requests 120 \
+             --days 3 --sigma 0.3 --checkpoint-day 0 --checkpoint-out {}",
+            out.display()
+        )))
+        .unwrap();
+        cmd_chaos(&args).unwrap();
+        assert!(out.exists());
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn chaos_checkpoint_requires_lacb() {
+        let args = Args::parse(&argv(
+            "--scenario none --algo top1 --brokers 10 --requests 40 --days 2 \
+             --checkpoint-day 0",
+        ))
+        .unwrap();
+        assert!(cmd_chaos(&args).unwrap_err().contains("needs --algo lacb"));
     }
 }

@@ -35,10 +35,7 @@ pub fn variants() -> Vec<(&'static str, LacbConfig)> {
         ("no smoothing", LacbConfig { capacity_smoothing: 0.0, ..LacbConfig::opt() }),
         (
             "layer-transfer personalisation",
-            LacbConfig {
-                personalization: Personalization::LayerTransfer,
-                ..LacbConfig::opt()
-            },
+            LacbConfig { personalization: Personalization::LayerTransfer, ..LacbConfig::opt() },
         ),
     ]
 }
@@ -75,13 +72,7 @@ mod tests {
     use platform_sim::SyntheticConfig;
 
     fn tiny_world() -> SyntheticConfig {
-        SyntheticConfig {
-            num_brokers: 30,
-            num_requests: 900,
-            days: 5,
-            imbalance: 0.3,
-            seed: 7,
-        }
+        SyntheticConfig { num_brokers: 30, num_requests: 900, days: 5, imbalance: 0.3, seed: 7 }
     }
 
     #[test]

@@ -10,28 +10,18 @@ fn main() {
     let preset = Preset::from_args();
     eprintln!("ablations: preset = {}", preset.label());
     let rows = run_ablations(preset);
-    let mut table = Table::new(
-        "LACB component ablations",
-        &["variant", "total_utility", "seconds"],
-    );
+    let mut table =
+        Table::new("LACB component ablations", &["variant", "total_utility", "seconds"]);
     let full = rows.first().map(|r| r.utility).unwrap_or(0.0);
     for r in &rows {
-        table.push_row(vec![
-            r.variant.to_string(),
-            fmt(r.utility),
-            format!("{:.3}", r.secs),
-        ]);
+        table.push_row(vec![r.variant.to_string(), fmt(r.utility), format!("{:.3}", r.secs)]);
     }
     println!("{}", table.to_markdown());
     for r in &rows {
         if r.variant.starts_with("full") {
             continue;
         }
-        println!(
-            "  {}: {:+.1}% utility vs full",
-            r.variant,
-            100.0 * (r.utility / full - 1.0)
-        );
+        println!("  {}: {:+.1}% utility vs full", r.variant, 100.0 * (r.utility / full - 1.0));
     }
     match table.save_csv("ablations") {
         Ok(p) => eprintln!("saved {p}"),

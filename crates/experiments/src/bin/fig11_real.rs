@@ -37,10 +37,8 @@ fn main() {
     }
     println!("{}", table.to_markdown());
 
-    let mut summary = Table::new(
-        "Fig. 11 — totals",
-        &["city", "algorithm", "total_utility", "total_seconds"],
-    );
+    let mut summary =
+        Table::new("Fig. 11 — totals", &["city", "algorithm", "total_utility", "total_seconds"]);
     for c in &cities {
         for m in &c.runs {
             summary.push_row(vec![

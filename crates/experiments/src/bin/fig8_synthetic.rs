@@ -14,11 +14,8 @@ use experiments::Preset;
 fn main() {
     let preset = Preset::from_args();
     let args: Vec<String> = std::env::args().collect();
-    let kind = if args.iter().any(|a| a == "--fast-only") {
-        SuiteKind::FastOnly
-    } else {
-        SuiteKind::Full
-    };
+    let kind =
+        if args.iter().any(|a| a == "--fast-only") { SuiteKind::FastOnly } else { SuiteKind::Full };
     let which: Vec<SweepParam> = match args.iter().position(|a| a == "--sweep") {
         Some(i) => match args.get(i + 1).and_then(|s| SweepParam::parse(s)) {
             Some(p) => vec![p],

@@ -35,7 +35,10 @@ fn main() {
     println!("Fig.3: {neg}/{} top brokers decline with workload", f3.len());
     let f4 = fig4(preset, 200);
     for c in &f4 {
-        println!("Fig.4 {}: top-1 ratio {:.2}x, {} overloaded", c.city, c.top1_ratio, c.overloaded_count);
+        println!(
+            "Fig.4 {}: top-1 ratio {:.2}x, {} overloaded",
+            c.city, c.top1_ratio, c.overloaded_count
+        );
     }
     println!();
 
@@ -58,9 +61,7 @@ fn main() {
         for (v, s) in opt_speedups(&points) {
             println!("  {}={}: LACB-Opt {s:.1}x faster", param.label(), fmt(v));
         }
-        table
-            .save_csv(&format!("fig8_{}", param.label().replace(['|', '.'], "")))
-            .ok();
+        table.save_csv(&format!("fig8_{}", param.label().replace(['|', '.'], ""))).ok();
         println!();
     }
 

@@ -41,22 +41,26 @@ impl CityResults {
 }
 
 /// Run the suite on one city.
-pub fn run_city(preset: Preset, city: CityId, kind: SuiteKind, max_days: Option<usize>) -> CityResults {
+pub fn run_city(
+    preset: Preset,
+    city: CityId,
+    kind: SuiteKind,
+    max_days: Option<usize>,
+) -> CityResults {
     let ds = Dataset::real_world(&preset.city(city));
     let algos = suite::build(kind, ds.brokers.len(), city.ctopk_capacity(), 2718 + city as u64);
-    let runs = algos
-        .into_iter()
-        .map(|mut a| run(&ds, a.as_mut(), &RunConfig { max_days }))
-        .collect();
+    let runs =
+        algos.into_iter().map(|mut a| run(&ds, a.as_mut(), &RunConfig { max_days })).collect();
     CityResults { city: city.label(), runs }
 }
 
 /// Run all three cities.
-pub fn run_all_cities(preset: Preset, kind: SuiteKind, max_days: Option<usize>) -> Vec<CityResults> {
-    CityId::ALL
-        .into_iter()
-        .map(|c| run_city(preset, c, kind, max_days))
-        .collect()
+pub fn run_all_cities(
+    preset: Preset,
+    kind: SuiteKind,
+    max_days: Option<usize>,
+) -> Vec<CityResults> {
+    CityId::ALL.into_iter().map(|c| run_city(preset, c, kind, max_days)).collect()
 }
 
 #[cfg(test)]

@@ -203,9 +203,27 @@ mod tests {
     #[test]
     fn speedup_helper_computes_ratio() {
         let pts = vec![
-            SweepPoint { param: SweepParam::Brokers, value: 10.0, algo: "KM".into(), utility: 0.0, secs: 8.0 },
-            SweepPoint { param: SweepParam::Brokers, value: 10.0, algo: "LACB".into(), utility: 0.0, secs: 10.0 },
-            SweepPoint { param: SweepParam::Brokers, value: 10.0, algo: "LACB-Opt".into(), utility: 0.0, secs: 0.5 },
+            SweepPoint {
+                param: SweepParam::Brokers,
+                value: 10.0,
+                algo: "KM".into(),
+                utility: 0.0,
+                secs: 8.0,
+            },
+            SweepPoint {
+                param: SweepParam::Brokers,
+                value: 10.0,
+                algo: "LACB".into(),
+                utility: 0.0,
+                secs: 10.0,
+            },
+            SweepPoint {
+                param: SweepParam::Brokers,
+                value: 10.0,
+                algo: "LACB-Opt".into(),
+                utility: 0.0,
+                secs: 0.5,
+            },
         ];
         let s = opt_speedups(&pts);
         assert_eq!(s.len(), 1);

@@ -262,10 +262,8 @@ mod tests {
     fn fig2_welch_is_significant() {
         let cities = fig2(Preset::Quick);
         // At least one city must show the paper's significant separation.
-        let significant = cities
-            .iter()
-            .filter_map(|c| c.welch.as_ref())
-            .any(|w| w.p_value < 0.01 && w.t > 0.0);
+        let significant =
+            cities.iter().filter_map(|c| c.welch.as_ref()).any(|w| w.p_value < 0.01 && w.t > 0.0);
         assert!(significant, "expected a significant workload/sign-up separation");
     }
 
@@ -287,10 +285,7 @@ mod tests {
         for c in cities {
             assert!(c.top1_ratio > 3.0, "{}: top-1 ratio {}", c.city, c.top1_ratio);
             assert!(c.top_workloads[0] >= c.city_average);
-            assert!(c
-                .top_workloads
-                .windows(2)
-                .all(|w| w[0] >= w[1]));
+            assert!(c.top_workloads.windows(2).all(|w| w[0] >= w[1]));
         }
     }
 }

@@ -156,12 +156,8 @@ mod tests {
     fn reduced_presets_preserve_load_regime() {
         for p in [Preset::Quick, Preset::Standard] {
             let c = p.synthetic_default();
-            let per_broker_daily =
-                c.num_requests as f64 / c.num_brokers as f64 / c.days as f64;
-            assert!(
-                (0.5..=5.0).contains(&per_broker_daily),
-                "{p:?}: avg load {per_broker_daily}"
-            );
+            let per_broker_daily = c.num_requests as f64 / c.num_brokers as f64 / c.days as f64;
+            assert!((0.5..=5.0).contains(&per_broker_daily), "{p:?}: avg load {per_broker_daily}");
             assert!(c.batches_per_day() >= 15, "{p:?}: {} batches/day", c.batches_per_day());
         }
     }

@@ -9,8 +9,8 @@
 //! norms) but must hold.
 
 use bandit::{
-    theorem1_bound, CandidateCapacities, CapacityEstimator, EpsilonGreedy, LinUcb,
-    LinearThompson, NeuralUcb, NnUcb, NnUcbConfig, RegretTracker,
+    theorem1_bound, CandidateCapacities, CapacityEstimator, EpsilonGreedy, LinUcb, LinearThompson,
+    NeuralUcb, NnUcb, NnUcbConfig, RegretTracker,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,8 +51,7 @@ pub fn run_regret_analysis(rounds: u64, seed: u64) -> Vec<RegretRow> {
 
     let mut trackers: Vec<RegretTracker> = (0..5).map(|_| RegretTracker::new()).collect();
     for t in 0..rounds {
-        let fatigue =
-            if t % 2 == 0 { rng.gen_range(0.0..0.4) } else { rng.gen_range(0.6..1.0) };
+        let fatigue = if t % 2 == 0 { rng.gen_range(0.0..0.4) } else { rng.gen_range(0.6..1.0) };
         let ctx = [fatigue];
         let oracle = arms
             .values()
@@ -96,9 +95,8 @@ mod tests {
     #[test]
     fn neural_policies_beat_linear_ones() {
         let rows = run_regret_analysis(400, 4);
-        let get = |name: &str| {
-            rows.iter().find(|r| r.policy.contains(name)).expect("policy present")
-        };
+        let get =
+            |name: &str| rows.iter().find(|r| r.policy.contains(name)).expect("policy present");
         // The reward surface has a context×capacity interaction linear
         // models cannot represent — the paper's motivation for the NN.
         assert!(get("NN-enhanced").cumulative < get("LinUCB").cumulative);

@@ -2,8 +2,7 @@
 
 use bandit::CandidateCapacities;
 use lacb::{
-    AssignmentNeuralUcb, Assigner, BatchKm, CTopK, Lacb, LacbConfig,
-    RandomizedRecommendation, TopK,
+    Assigner, AssignmentNeuralUcb, BatchKm, CTopK, Lacb, LacbConfig, RandomizedRecommendation, TopK,
 };
 
 /// Which algorithms to instantiate.
@@ -26,7 +25,12 @@ pub fn default_arms() -> CandidateCapacities {
 /// `ctopk_capacity` is the empirical shared constant (Sec. VII-A uses the
 /// city-level knee: 45/55/40 for Cities A/B/C; synthetic runs use the
 /// Fig. 2-style knee of the generated population, ~40).
-pub fn build(kind: SuiteKind, num_brokers: usize, ctopk_capacity: f64, seed: u64) -> Vec<Box<dyn Assigner>> {
+pub fn build(
+    kind: SuiteKind,
+    num_brokers: usize,
+    ctopk_capacity: f64,
+    seed: u64,
+) -> Vec<Box<dyn Assigner>> {
     let mut algos: Vec<Box<dyn Assigner>> = vec![
         Box::new(TopK::new(1, seed)),
         Box::new(TopK::new(3, seed + 1)),
@@ -46,9 +50,9 @@ pub fn build(kind: SuiteKind, num_brokers: usize, ctopk_capacity: f64, seed: u64
 /// Names in suite order, for tests and table headers.
 pub fn names(kind: SuiteKind) -> Vec<&'static str> {
     match kind {
-        SuiteKind::Full => vec![
-            "Top-1", "Top-3", "RR", "CTop-1", "CTop-3", "KM", "AN", "LACB", "LACB-Opt",
-        ],
+        SuiteKind::Full => {
+            vec!["Top-1", "Top-3", "RR", "CTop-1", "CTop-3", "KM", "AN", "LACB", "LACB-Opt"]
+        }
         SuiteKind::FastOnly => vec!["Top-1", "Top-3", "RR", "CTop-1", "CTop-3", "LACB-Opt"],
     }
 }

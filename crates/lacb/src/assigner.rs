@@ -1,6 +1,6 @@
 //! The broker-matching policy interface.
 
-use platform_sim::{DayFeedback, Platform, Request};
+use platform_sim::{DayFeedback, Platform, Request, ResilienceStats};
 
 /// A batched broker-matching policy (the "assignment algorithms" of
 /// Sec. VII-A).
@@ -34,6 +34,33 @@ pub trait Assigner: Send {
 
     /// End-of-day feedback with the realised trial triples.
     fn end_day(&mut self, platform: &Platform, feedback: &DayFeedback);
+
+    /// Degradation counters, for policies that track them (the
+    /// fault-tolerant wrapper [`crate::ResilientAssigner`]). Plain
+    /// policies report `None`.
+    fn resilience_stats(&self) -> Option<ResilienceStats> {
+        None
+    }
+}
+
+/// Boxed policies are policies too, so dynamic callers (the CLI) can
+/// wrap any algorithm in [`crate::ResilientAssigner`].
+impl Assigner for Box<dyn Assigner> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn begin_day(&mut self, platform: &Platform, day: usize) {
+        (**self).begin_day(platform, day);
+    }
+    fn assign_batch(&mut self, platform: &Platform, requests: &[Request]) -> Vec<Option<usize>> {
+        (**self).assign_batch(platform, requests)
+    }
+    fn end_day(&mut self, platform: &Platform, feedback: &DayFeedback) {
+        (**self).end_day(platform, feedback);
+    }
+    fn resilience_stats(&self) -> Option<ResilienceStats> {
+        (**self).resilience_stats()
+    }
 }
 
 /// Assert the matching property (each broker at most once per batch);

@@ -73,11 +73,7 @@ impl Assigner for AssignmentNeuralUcb {
         } else {
             max_weight_assignment(&reduced)
         };
-        result
-            .row_to_col
-            .into_iter()
-            .map(|slot| slot.map(|c| available[c]))
-            .collect()
+        result.row_to_col.into_iter().map(|slot| slot.map(|c| available[c])).collect()
     }
 
     fn end_day(&mut self, _platform: &Platform, feedback: &DayFeedback) {

@@ -75,11 +75,7 @@ mod tests {
         let reqs = &ds.days[0][0].requests;
         let u = p.utility_matrix(reqs);
         let value = |assignment: &[Option<usize>]| -> f64 {
-            assignment
-                .iter()
-                .enumerate()
-                .filter_map(|(r, s)| s.map(|b| u.get(r, b)))
-                .sum()
+            assignment.iter().enumerate().filter_map(|(r, s)| s.map(|b| u.get(r, b))).sum()
         };
         let gv = value(&g.assign_batch(&p, reqs));
         let kv = value(&km.assign_batch(&p, reqs));

@@ -78,11 +78,8 @@ mod tests {
         let reqs = &ds.days[0][0].requests;
         let assignment = a.assign_batch(&p, reqs);
         let u = p.utility_matrix(reqs);
-        let km_total: f64 = assignment
-            .iter()
-            .enumerate()
-            .filter_map(|(r, s)| s.map(|b| u.get(r, b)))
-            .sum();
+        let km_total: f64 =
+            assignment.iter().enumerate().filter_map(|(r, s)| s.map(|b| u.get(r, b))).sum();
         // Compare against the rectangular exact solver.
         let opt = matching::max_weight_assignment(&u);
         assert!((km_total - opt.total).abs() < 1e-9);

@@ -30,9 +30,8 @@ impl Assigner for OracleCapacity {
     }
 
     fn begin_day(&mut self, platform: &Platform, _day: usize) {
-        self.capacities = (0..platform.num_brokers())
-            .map(|b| platform.oracle_effective_capacity(b))
-            .collect();
+        self.capacities =
+            (0..platform.num_brokers()).map(|b| platform.oracle_effective_capacity(b)).collect();
     }
 
     fn assign_batch(&mut self, platform: &Platform, requests: &[Request]) -> Vec<Option<usize>> {
@@ -73,8 +72,7 @@ mod tests {
         let mut a = OracleCapacity::new();
         p.begin_day();
         a.begin_day(&p, 0);
-        let caps: Vec<f64> =
-            (0..p.num_brokers()).map(|b| p.oracle_effective_capacity(b)).collect();
+        let caps: Vec<f64> = (0..p.num_brokers()).map(|b| p.oracle_effective_capacity(b)).collect();
         let mut served = vec![0.0; p.num_brokers()];
         for batch in &ds.days[0] {
             let assignment = a.assign_batch(&p, &batch.requests);

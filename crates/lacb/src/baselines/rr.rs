@@ -43,9 +43,7 @@ impl Assigner for RandomizedRecommendation {
     }
 
     fn assign_batch(&mut self, _platform: &Platform, requests: &[Request]) -> Vec<Option<usize>> {
-        (0..requests.len())
-            .map(|_| Some(weighted_choice(&mut self.rng, &self.weights)))
-            .collect()
+        (0..requests.len()).map(|_| Some(weighted_choice(&mut self.rng, &self.weights))).collect()
     }
 
     fn end_day(&mut self, _platform: &Platform, _feedback: &DayFeedback) {}

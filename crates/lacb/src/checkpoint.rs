@@ -1,0 +1,611 @@
+//! Versioned checkpoint/restore for a running LACB serving pipeline.
+//!
+//! A checkpoint is taken at a day boundary (after `end_day`) and bundles
+//! everything needed to resume the horizon *bit-identically*:
+//!
+//! - the matcher's learned state ([`Lacb::write_state`]: estimator
+//!   weights, value table, capacity trajectory, RNG stream),
+//! - the platform's broker states at the boundary plus its day counter
+//!   and appeal-draw counter,
+//! - the run ledger and accumulators (daily utility, elapsed time),
+//! - the fault channel's state (delayed feedback awaiting delivery,
+//!   degradation counters).
+//!
+//! The on-disk format is the line-oriented `caam-ckpt v1` container:
+//! human-diffable, no serialisation dependencies, floats written with
+//! `{:e}` so they round-trip exactly. `load`/`restore` validate
+//! aggressively — version skew, truncation, dimension mismatches and
+//! non-finite learned values are all typed [`CheckpointError`]s rather
+//! than a silently corrupted resume. The seeded fault schedule itself is
+//! *stateless* (every draw is a pure hash of coordinates), so it needs
+//! no checkpointing: a restored run replays the same chaos.
+
+use crate::assigner::Assigner;
+use crate::lacb::{Lacb, LacbConfig};
+use crate::resilient::{ResilienceConfig, ResilientAssigner};
+use bandit::state;
+use platform_sim::{
+    BrokerLedger, BrokerState, Dataset, DayFeedback, FaultPlan, Platform, ResilienceStats,
+    RunMetrics, TrialTriple,
+};
+use std::fmt;
+use std::path::Path;
+use std::time::Instant;
+
+/// Format tag of the container; bump on incompatible layout changes.
+pub const FORMAT_VERSION: &str = "caam-ckpt v1";
+
+/// Why a checkpoint could not be written, read, or restored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// File I/O failed (path, OS error text).
+    Io(String),
+    /// The header names a different format version than this build
+    /// understands.
+    VersionSkew { found: String },
+    /// The payload is malformed: truncated, non-finite weights,
+    /// dimension mismatch against the live configuration, …
+    Invalid(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::VersionSkew { found } => {
+                write!(f, "checkpoint version skew: found {found:?}, expected {FORMAT_VERSION:?}")
+            }
+            CheckpointError::Invalid(e) => write!(f, "invalid checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<String> for CheckpointError {
+    fn from(e: String) -> Self {
+        CheckpointError::Invalid(e)
+    }
+}
+
+/// Run-loop accumulators carried across a restore so the resumed run's
+/// metrics cover the whole horizon, not just the tail.
+#[derive(Clone, Debug, Default)]
+pub struct RunProgress {
+    /// Next day index to execute.
+    pub next_day: usize,
+    /// Algorithm seconds spent before the checkpoint.
+    pub elapsed_secs: f64,
+    /// Per-day realised utility so far.
+    pub daily_utility: Vec<f64>,
+    /// Cumulative elapsed seconds per day so far.
+    pub daily_elapsed: Vec<f64>,
+    /// Requests failed on offline brokers so far.
+    pub requests_failed: u64,
+}
+
+/// Everything [`Checkpoint::restore`] hands back.
+pub struct Restored {
+    pub matcher: Lacb,
+    pub ledger: BrokerLedger,
+    pub progress: RunProgress,
+    pub pending_feedback: Option<DayFeedback>,
+    pub stats: ResilienceStats,
+}
+
+/// A serialised pipeline snapshot. Obtain one with [`Checkpoint::capture`]
+/// or [`Checkpoint::load`]; apply it with [`Checkpoint::restore`].
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    text: String,
+}
+
+impl Checkpoint {
+    /// Snapshot a pipeline at a day boundary.
+    pub fn capture(
+        matcher: &Lacb,
+        platform: &Platform,
+        ledger: &BrokerLedger,
+        progress: &RunProgress,
+        pending_feedback: Option<&DayFeedback>,
+        stats: &ResilienceStats,
+    ) -> Checkpoint {
+        let mut out = String::new();
+        out.push_str(FORMAT_VERSION);
+        out.push('\n');
+        state::push_kv(&mut out, "next-day", progress.next_day);
+        state::push_floats(&mut out, "elapsed", &[progress.elapsed_secs]);
+        state::push_floats(&mut out, "daily-utility", &progress.daily_utility);
+        state::push_floats(&mut out, "daily-elapsed", &progress.daily_elapsed);
+        state::push_kv(&mut out, "requests-failed", progress.requests_failed);
+        write_platform(&mut out, platform);
+        write_ledger(&mut out, ledger);
+        write_stats(&mut out, stats);
+        write_feedback(&mut out, pending_feedback);
+        matcher.write_state(&mut out);
+        Checkpoint { text: out }
+    }
+
+    /// The serialised form (what [`Checkpoint::save`] writes).
+    pub fn as_text(&self) -> &str {
+        &self.text
+    }
+
+    /// Parse a serialised checkpoint, checking the version header.
+    /// Payload validation happens in [`Checkpoint::restore`], which has
+    /// the live configuration to validate against.
+    pub fn from_text(text: &str) -> Result<Checkpoint, CheckpointError> {
+        let header = text.lines().next().unwrap_or("").trim_end();
+        if header != FORMAT_VERSION {
+            return Err(CheckpointError::VersionSkew { found: header.to_string() });
+        }
+        Ok(Checkpoint { text: text.to_string() })
+    }
+
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        std::fs::write(path, &self.text)
+            .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))
+    }
+
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+        Checkpoint::from_text(&text)
+    }
+
+    /// Rebuild the pipeline: reset `platform` to the checkpointed day
+    /// boundary and return the restored matcher, ledger, accumulators
+    /// and channel state.
+    pub fn restore(
+        &self,
+        cfg: LacbConfig,
+        platform: &mut Platform,
+    ) -> Result<Restored, CheckpointError> {
+        let mut lines = self.text.lines();
+        let header = lines.next().unwrap_or("").trim_end();
+        if header != FORMAT_VERSION {
+            return Err(CheckpointError::VersionSkew { found: header.to_string() });
+        }
+        let next_day: usize =
+            state::parse_one(state::expect_key(&mut lines, "next-day")?, "next day")?;
+        let elapsed = state::parse_floats(state::expect_key(&mut lines, "elapsed")?, "elapsed")?;
+        state::require_len(&elapsed, 1, "elapsed")?;
+        state::require_finite(&elapsed, "elapsed")?;
+        let daily_utility =
+            state::parse_floats(state::expect_key(&mut lines, "daily-utility")?, "daily utility")?;
+        let daily_elapsed =
+            state::parse_floats(state::expect_key(&mut lines, "daily-elapsed")?, "daily elapsed")?;
+        state::require_finite(&daily_utility, "daily utility")?;
+        state::require_finite(&daily_elapsed, "daily elapsed")?;
+        if daily_utility.len() != next_day || daily_elapsed.len() != next_day {
+            return Err(CheckpointError::Invalid(format!(
+                "accumulators cover {}/{} days but checkpoint is at day {next_day}",
+                daily_utility.len(),
+                daily_elapsed.len()
+            )));
+        }
+        let requests_failed: u64 =
+            state::parse_one(state::expect_key(&mut lines, "requests-failed")?, "failed count")?;
+        let (states, day_index, appeal_draws) = read_platform(&mut lines, platform.num_brokers())?;
+        if day_index != next_day {
+            return Err(CheckpointError::Invalid(format!(
+                "platform day {day_index} disagrees with checkpoint day {next_day}"
+            )));
+        }
+        let ledger = read_ledger(&mut lines, platform.num_brokers())?;
+        let stats = read_stats(&mut lines)?;
+        let pending_feedback = read_feedback(&mut lines)?;
+        let matcher = Lacb::read_state(&mut lines, cfg, platform.num_brokers())?;
+        platform.restore_day_boundary(states, day_index, appeal_draws);
+        Ok(Restored {
+            matcher,
+            ledger,
+            progress: RunProgress {
+                next_day,
+                elapsed_secs: elapsed[0],
+                daily_utility,
+                daily_elapsed,
+                requests_failed,
+            },
+            pending_feedback,
+            stats,
+        })
+    }
+}
+
+fn write_platform(out: &mut String, platform: &Platform) {
+    state::push_kv(out, "platform-day", platform.day_index());
+    state::push_kv(out, "appeal-draws", platform.appeal_draws());
+    state::push_kv(out, "brokers", platform.num_brokers());
+    for s in platform.states() {
+        state::push_floats(out, "broker", &[s.workload_today, s.realized_today, s.fatigue]);
+        state::push_floats(out, "recent-workloads", &s.recent_workloads);
+        state::push_floats(out, "recent-signups", &s.recent_signup_rates);
+    }
+}
+
+fn read_platform<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+    num_brokers: usize,
+) -> Result<(Vec<BrokerState>, usize, u64), CheckpointError> {
+    let day_index: usize =
+        state::parse_one(state::expect_key(lines, "platform-day")?, "platform day")?;
+    let appeal_draws: u64 =
+        state::parse_one(state::expect_key(lines, "appeal-draws")?, "appeal draws")?;
+    let count: usize = state::parse_one(state::expect_key(lines, "brokers")?, "broker count")?;
+    if count != num_brokers {
+        return Err(CheckpointError::Invalid(format!(
+            "checkpoint has {count} brokers, platform has {num_brokers}"
+        )));
+    }
+    let mut states = Vec::with_capacity(count);
+    for b in 0..count {
+        let head =
+            state::parse_floats(state::expect_key(lines, "broker")?, &format!("broker {b} state"))?;
+        state::require_len(&head, 3, &format!("broker {b} state"))?;
+        state::require_finite(&head, &format!("broker {b} state"))?;
+        let recent_workloads = state::parse_floats(
+            state::expect_key(lines, "recent-workloads")?,
+            &format!("broker {b} workloads"),
+        )?;
+        let recent_signup_rates = state::parse_floats(
+            state::expect_key(lines, "recent-signups")?,
+            &format!("broker {b} signups"),
+        )?;
+        state::require_finite(&recent_workloads, &format!("broker {b} workloads"))?;
+        state::require_finite(&recent_signup_rates, &format!("broker {b} signups"))?;
+        states.push(BrokerState {
+            workload_today: head[0],
+            realized_today: head[1],
+            fatigue: head[2],
+            recent_workloads,
+            recent_signup_rates,
+        });
+    }
+    Ok((states, day_index, appeal_draws))
+}
+
+fn write_ledger(out: &mut String, ledger: &BrokerLedger) {
+    let s = ledger.snapshot();
+    state::push_floats(out, "ledger-realized", &s.realized_utility);
+    state::push_floats(out, "ledger-predicted", &s.predicted_utility);
+    state::push_floats(out, "ledger-served", &s.requests_served);
+    state::push_floats(out, "ledger-daily-realized", &s.daily_realized);
+    state::push_floats(out, "ledger-daily-served", &s.daily_served);
+    state::push_floats(out, "ledger-peak", &s.peak_daily_workload);
+    state::push_floats(out, "ledger-workload-today", &s.workload_today);
+}
+
+fn read_ledger<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+    num_brokers: usize,
+) -> Result<BrokerLedger, CheckpointError> {
+    let mut snap = platform_sim::LedgerSnapshot::default();
+    for (key, slot) in [
+        ("ledger-realized", &mut snap.realized_utility),
+        ("ledger-predicted", &mut snap.predicted_utility),
+        ("ledger-served", &mut snap.requests_served),
+        ("ledger-daily-realized", &mut snap.daily_realized),
+        ("ledger-daily-served", &mut snap.daily_served),
+        ("ledger-peak", &mut snap.peak_daily_workload),
+        ("ledger-workload-today", &mut snap.workload_today),
+    ] {
+        let vals = state::parse_floats(state::expect_key(lines, key)?, key)?;
+        state::require_finite(&vals, key)?;
+        *slot = vals;
+    }
+    for (vals, what) in
+        [(&snap.realized_utility, "ledger realized"), (&snap.requests_served, "ledger served")]
+    {
+        state::require_len(vals, num_brokers, what)?;
+    }
+    BrokerLedger::from_snapshot(snap).map_err(CheckpointError::Invalid)
+}
+
+const STAT_KEYS: [&str; 10] = [
+    "primary-panics",
+    "primary-timeouts",
+    "invalid-primary-outputs",
+    "greedy-fallbacks",
+    "topk-patches",
+    "utilities-sanitized",
+    "feedback-retries",
+    "feedback-lost-days",
+    "feedback-delayed-days",
+    "requests-failed-stat",
+];
+
+fn stat_fields(stats: &mut ResilienceStats) -> [&mut u64; 10] {
+    [
+        &mut stats.primary_panics,
+        &mut stats.primary_timeouts,
+        &mut stats.invalid_primary_outputs,
+        &mut stats.greedy_fallbacks,
+        &mut stats.topk_patches,
+        &mut stats.utilities_sanitized,
+        &mut stats.feedback_retries,
+        &mut stats.feedback_lost_days,
+        &mut stats.feedback_delayed_days,
+        &mut stats.requests_failed,
+    ]
+}
+
+fn write_stats(out: &mut String, stats: &ResilienceStats) {
+    let mut copy = stats.clone();
+    for (key, field) in STAT_KEYS.iter().zip(stat_fields(&mut copy)) {
+        state::push_kv(out, key, *field);
+    }
+}
+
+fn read_stats<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+) -> Result<ResilienceStats, CheckpointError> {
+    let mut stats = ResilienceStats::default();
+    for (key, field) in STAT_KEYS.iter().zip(stat_fields(&mut stats)) {
+        *field = state::parse_one(state::expect_key(lines, key)?, key)?;
+    }
+    Ok(stats)
+}
+
+fn write_feedback(out: &mut String, fb: Option<&DayFeedback>) {
+    match fb {
+        None => state::push_kv(out, "pending-feedback", 0),
+        Some(fb) => {
+            state::push_kv(out, "pending-feedback", 1);
+            state::push_floats(out, "pending-realized", &[fb.realized]);
+            state::push_kv(out, "pending-trials", fb.trials.len());
+            for t in &fb.trials {
+                state::push_kv(out, "trial-broker", t.broker);
+                state::push_floats(out, "trial-values", &[t.workload, t.signup_rate]);
+                state::push_floats(out, "trial-context", &t.context);
+            }
+        }
+    }
+}
+
+fn read_feedback<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+) -> Result<Option<DayFeedback>, CheckpointError> {
+    let flag: u8 = state::parse_one(state::expect_key(lines, "pending-feedback")?, "pending flag")?;
+    if flag == 0 {
+        return Ok(None);
+    }
+    let realized =
+        state::parse_floats(state::expect_key(lines, "pending-realized")?, "pending realized")?;
+    state::require_len(&realized, 1, "pending realized")?;
+    state::require_finite(&realized, "pending realized")?;
+    let count: usize =
+        state::parse_one(state::expect_key(lines, "pending-trials")?, "trial count")?;
+    let mut trials = Vec::with_capacity(count);
+    for i in 0..count {
+        let broker: usize =
+            state::parse_one(state::expect_key(lines, "trial-broker")?, "trial broker")?;
+        let vals = state::parse_floats(
+            state::expect_key(lines, "trial-values")?,
+            &format!("trial {i} values"),
+        )?;
+        state::require_len(&vals, 2, &format!("trial {i} values"))?;
+        state::require_finite(&vals, &format!("trial {i} values"))?;
+        let context = state::parse_floats(
+            state::expect_key(lines, "trial-context")?,
+            &format!("trial {i} context"),
+        )?;
+        state::require_finite(&context, &format!("trial {i} context"))?;
+        trials.push(TrialTriple { broker, context, workload: vals[0], signup_rate: vals[1] });
+    }
+    Ok(Some(DayFeedback { trials, realized: realized[0] }))
+}
+
+/// Drive a resilient LACB run under a fault schedule up to and including
+/// `stop_after_day`, then capture a checkpoint at the boundary.
+pub fn run_chaos_until(
+    dataset: &Dataset,
+    cfg: LacbConfig,
+    rcfg: ResilienceConfig,
+    plan: FaultPlan,
+    stop_after_day: usize,
+) -> Result<Checkpoint, CheckpointError> {
+    let spiked = dataset.with_batch_spikes(&plan);
+    if stop_after_day + 1 >= spiked.days.len() {
+        return Err(CheckpointError::Invalid(format!(
+            "cannot checkpoint after day {stop_after_day} of a {}-day horizon",
+            spiked.days.len()
+        )));
+    }
+    let mut platform = Platform::from_dataset(&spiked);
+    platform.enable_faults(plan);
+    let mut assigner = ResilientAssigner::new(Lacb::new(cfg), rcfg);
+    let mut ledger = BrokerLedger::new(platform.num_brokers());
+    let mut progress = RunProgress::default();
+    for (d, day) in spiked.days.iter().take(stop_after_day + 1).enumerate() {
+        platform.begin_day();
+        let t0 = Instant::now();
+        assigner.begin_day(&platform, d);
+        progress.elapsed_secs += t0.elapsed().as_secs_f64();
+        for batch in day {
+            let t = Instant::now();
+            let assignment = assigner.assign_batch(&platform, &batch.requests);
+            progress.elapsed_secs += t.elapsed().as_secs_f64();
+            let outcome = platform.execute_batch(&batch.requests, &assignment);
+            progress.requests_failed += outcome.failed.len() as u64;
+            ledger.record_batch(&outcome);
+        }
+        let feedback = platform.end_day();
+        let t = Instant::now();
+        assigner.end_day(&platform, &feedback);
+        progress.elapsed_secs += t.elapsed().as_secs_f64();
+        ledger.end_day(feedback.realized);
+        progress.daily_utility.push(feedback.realized);
+        progress.daily_elapsed.push(progress.elapsed_secs);
+    }
+    progress.next_day = stop_after_day + 1;
+    Ok(Checkpoint::capture(
+        assigner.primary(),
+        &platform,
+        &ledger,
+        &progress,
+        assigner.pending_feedback(),
+        assigner.stats(),
+    ))
+}
+
+/// Restore a checkpoint and finish the horizon. The returned metrics
+/// span the *whole* run — pre-checkpoint days come from the restored
+/// accumulators — so they are directly comparable with an uninterrupted
+/// [`crate::resilient::run_chaos`].
+pub fn resume_chaos(
+    dataset: &Dataset,
+    ckpt: &Checkpoint,
+    cfg: LacbConfig,
+    rcfg: ResilienceConfig,
+    plan: FaultPlan,
+) -> Result<RunMetrics, CheckpointError> {
+    let spiked = dataset.with_batch_spikes(&plan);
+    let mut platform = Platform::from_dataset(&spiked);
+    platform.enable_faults(plan);
+    let restored = ckpt.restore(cfg, &mut platform)?;
+    let Restored { matcher, mut ledger, mut progress, pending_feedback, stats } = restored;
+    let mut assigner = ResilientAssigner::new(matcher, rcfg);
+    assigner.restore_channel(pending_feedback, stats);
+    for (d, day) in spiked.days.iter().enumerate().skip(progress.next_day) {
+        platform.begin_day();
+        let t0 = Instant::now();
+        assigner.begin_day(&platform, d);
+        progress.elapsed_secs += t0.elapsed().as_secs_f64();
+        for batch in day {
+            let t = Instant::now();
+            let assignment = assigner.assign_batch(&platform, &batch.requests);
+            progress.elapsed_secs += t.elapsed().as_secs_f64();
+            let outcome = platform.execute_batch(&batch.requests, &assignment);
+            progress.requests_failed += outcome.failed.len() as u64;
+            ledger.record_batch(&outcome);
+        }
+        let feedback = platform.end_day();
+        let t = Instant::now();
+        assigner.end_day(&platform, &feedback);
+        progress.elapsed_secs += t.elapsed().as_secs_f64();
+        ledger.end_day(feedback.realized);
+        progress.daily_utility.push(feedback.realized);
+        progress.daily_elapsed.push(progress.elapsed_secs);
+    }
+    let mut stats = assigner.resilience_stats().unwrap_or_default();
+    stats.requests_failed = progress.requests_failed;
+    Ok(RunMetrics {
+        algorithm: assigner.name(),
+        total_utility: ledger.total_realized(),
+        elapsed_secs: progress.elapsed_secs,
+        daily_utility: progress.daily_utility,
+        daily_elapsed: progress.daily_elapsed,
+        ledger,
+        resilience: Some(stats),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilient::run_chaos;
+    use crate::runner::RunConfig;
+    use platform_sim::{FaultConfig, SyntheticConfig};
+
+    fn dataset(seed: u64) -> Dataset {
+        Dataset::synthetic(&SyntheticConfig {
+            num_brokers: 30,
+            num_requests: 900,
+            days: 4,
+            imbalance: 0.2,
+            seed,
+        })
+    }
+
+    fn chaos_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(FaultConfig::scenario("broker-dropout+lost-feedback", seed).unwrap())
+    }
+
+    #[test]
+    fn checkpoint_restore_resume_matches_uninterrupted_run_exactly() {
+        let ds = dataset(41);
+        let plan = chaos_plan(17);
+        let cfg = LacbConfig::default();
+        let mut direct =
+            ResilientAssigner::new(Lacb::new(cfg.clone()), ResilienceConfig::default());
+        let uninterrupted = run_chaos(&ds, &mut direct, &RunConfig::default(), plan);
+
+        let ckpt = run_chaos_until(&ds, cfg.clone(), ResilienceConfig::default(), plan, 1).unwrap();
+        // Round-trip through text to prove the serialised form suffices.
+        let reloaded = Checkpoint::from_text(ckpt.as_text()).unwrap();
+        let resumed = resume_chaos(&ds, &reloaded, cfg, ResilienceConfig::default(), plan).unwrap();
+
+        assert_eq!(
+            uninterrupted.total_utility.to_bits(),
+            resumed.total_utility.to_bits(),
+            "restored run must match uninterrupted: {} vs {}",
+            uninterrupted.total_utility,
+            resumed.total_utility
+        );
+        assert_eq!(uninterrupted.daily_utility.len(), resumed.daily_utility.len());
+        for (a, b) in uninterrupted.daily_utility.iter().zip(&resumed.daily_utility) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let su = uninterrupted.resilience.unwrap();
+        let sr = resumed.resilience.unwrap();
+        assert_eq!(su, sr, "degradation counters must survive the restore");
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip() {
+        let ds = dataset(43);
+        let plan = chaos_plan(19);
+        let ckpt =
+            run_chaos_until(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, 0)
+                .unwrap();
+        let dir = std::env::temp_dir().join("caam-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ckpt");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.as_text(), ckpt.as_text());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let err = Checkpoint::from_text("caam-ckpt v0\nnext-day 1\n").unwrap_err();
+        assert_eq!(err, CheckpointError::VersionSkew { found: "caam-ckpt v0".into() });
+    }
+
+    #[test]
+    fn corrupted_payloads_are_rejected() {
+        let ds = dataset(47);
+        let plan = chaos_plan(23);
+        let cfg = LacbConfig::default();
+        let ckpt = run_chaos_until(&ds, cfg.clone(), ResilienceConfig::default(), plan, 0).unwrap();
+        let spiked = ds.with_batch_spikes(&plan);
+
+        // Truncation.
+        let cut: String = ckpt.as_text().lines().take(10).map(|l| format!("{l}\n")).collect();
+        let mut p = Platform::from_dataset(&spiked);
+        let err = Checkpoint::from_text(&cut).unwrap().restore(cfg.clone(), &mut p);
+        assert!(err.is_err(), "truncated checkpoint must fail");
+
+        // NaN in a learned value.
+        let line =
+            ckpt.as_text().lines().find(|l| l.starts_with("lacb-capacities")).unwrap().to_string();
+        let poisoned = ckpt.as_text().replace(&line, "lacb-capacities NaN");
+        let mut p = Platform::from_dataset(&spiked);
+        let err = Checkpoint::from_text(&poisoned).unwrap().restore(cfg.clone(), &mut p);
+        assert!(err.is_err(), "NaN capacities must fail");
+
+        // Broker-count mismatch: restore against a smaller platform.
+        let small = Dataset::synthetic(&SyntheticConfig {
+            num_brokers: 10,
+            num_requests: 100,
+            days: 2,
+            imbalance: 0.2,
+            seed: 1,
+        });
+        let mut p = Platform::from_dataset(&small);
+        let err = Checkpoint::from_text(ckpt.as_text()).unwrap().restore(cfg, &mut p);
+        assert!(err.is_err(), "broker-count mismatch must fail");
+    }
+}

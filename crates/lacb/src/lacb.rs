@@ -229,6 +229,117 @@ impl Lacb {
         }
     }
 
+    /// Serialise every piece of learned state — estimator, value table,
+    /// capacity trajectory, reach statistics and the RNG stream — as a
+    /// checkpoint block (see [`crate::checkpoint`]). Only valid at a
+    /// day boundary (between `end_day` and the next `begin_day`).
+    pub fn write_state(&self, out: &mut String) {
+        use bandit::state;
+        state::push_kv(out, "lacb-days", self.days_elapsed);
+        let s = self.rng.state();
+        state::push_kv(out, "lacb-rng", format_args!("{} {} {} {}", s[0], s[1], s[2], s[3]));
+        state::push_floats(out, "lacb-capacities", &self.capacities);
+        let reached: Vec<f64> =
+            self.reached_today.iter().map(|&r| if r { 1.0 } else { 0.0 }).collect();
+        state::push_floats(out, "lacb-reached", &reached);
+        let days_reached: Vec<f64> = self.days_reached.iter().map(|&d| d as f64).collect();
+        state::push_floats(out, "lacb-days-reached", &days_reached);
+        state::push_kv(out, "vf-updates", self.value_fn.updates());
+        state::push_floats(out, "vf-table", self.value_fn.table());
+        match &self.estimator {
+            None => state::push_kv(out, "estimator", "none"),
+            Some(EstimatorImpl::Tabular(e)) => {
+                state::push_kv(out, "estimator", "tabular");
+                e.write_state(out);
+            }
+            Some(EstimatorImpl::Layer(e)) => {
+                state::push_kv(out, "estimator", "layer");
+                e.write_state(out);
+            }
+        }
+    }
+
+    /// Rebuild a matcher from [`Lacb::write_state`] output so a restart
+    /// resumes mid-horizon without cold-starting. `cfg` is the live
+    /// algorithm configuration (not persisted); the checkpoint is
+    /// validated against it — estimator kind, broker count, arm count
+    /// and value-table size must all agree, and non-finite learned
+    /// values are rejected.
+    pub fn read_state<'a, I: Iterator<Item = &'a str>>(
+        lines: &mut I,
+        cfg: LacbConfig,
+        num_brokers: usize,
+    ) -> Result<Lacb, String> {
+        use bandit::state;
+        let days_elapsed: u64 =
+            state::parse_one(state::expect_key(lines, "lacb-days")?, "day counter")?;
+        let rng_line = state::expect_key(lines, "lacb-rng")?;
+        let rng_words: Vec<u64> = rng_line
+            .split_whitespace()
+            .map(|t| t.parse::<u64>().map_err(|_| format!("bad rng word {t:?}")))
+            .collect::<Result<_, _>>()?;
+        if rng_words.len() != 4 {
+            return Err(format!("rng state needs 4 words, got {}", rng_words.len()));
+        }
+        let capacities =
+            state::parse_floats(state::expect_key(lines, "lacb-capacities")?, "capacities")?;
+        let reached =
+            state::parse_floats(state::expect_key(lines, "lacb-reached")?, "reached flags")?;
+        let days_reached =
+            state::parse_floats(state::expect_key(lines, "lacb-days-reached")?, "reach counters")?;
+        for (vals, what) in [
+            (&capacities, "capacities"),
+            (&reached, "reached flags"),
+            (&days_reached, "reach counters"),
+        ] {
+            state::require_len(vals, num_brokers, what)?;
+            state::require_finite(vals, what)?;
+        }
+        let vf_updates: u64 =
+            state::parse_one(state::expect_key(lines, "vf-updates")?, "value updates")?;
+        let vf_table = state::parse_floats(state::expect_key(lines, "vf-table")?, "value table")?;
+        let estimator_kind = state::expect_key(lines, "estimator")?.trim().to_string();
+        let estimator = match (estimator_kind.as_str(), cfg.personalization) {
+            ("none", _) => None,
+            ("tabular", Personalization::Tabular) => {
+                let mut e = ShrinkageEstimator::read_state(
+                    lines,
+                    num_brokers,
+                    cfg.arms.clone(),
+                    cfg.bandit.clone(),
+                )?;
+                e.knee_margin = cfg.knee_margin;
+                e.plateau_tol = cfg.plateau_tol;
+                Some(EstimatorImpl::Tabular(e))
+            }
+            ("layer", Personalization::LayerTransfer) => {
+                Some(EstimatorImpl::Layer(PersonalizedEstimator::read_state(
+                    lines,
+                    num_brokers,
+                    cfg.arms.clone(),
+                    cfg.bandit.clone(),
+                )?))
+            }
+            (kind, _) => {
+                return Err(format!(
+                    "checkpoint estimator {kind:?} does not match configured personalization"
+                ))
+            }
+        };
+        let mut value_fn = ValueFunction::new(cfg.max_capacity_state, cfg.beta, cfg.gamma);
+        value_fn.restore(vf_table, vf_updates)?;
+        Ok(Lacb {
+            cfg,
+            estimator,
+            value_fn,
+            capacities,
+            reached_today: reached.iter().map(|&x| x != 0.0).collect(),
+            days_reached: days_reached.iter().map(|&x| x as u64).collect(),
+            days_elapsed,
+            rng: StdRng::from_state([rng_words[0], rng_words[1], rng_words[2], rng_words[3]]),
+        })
+    }
+
     fn ensure_initialized(&mut self, platform: &Platform) {
         if self.estimator.is_some() {
             return;
@@ -289,7 +400,11 @@ impl Lacb {
 
 impl Assigner for Lacb {
     fn name(&self) -> String {
-        if self.cfg.use_cbs { "LACB-Opt".to_string() } else { "LACB".to_string() }
+        if self.cfg.use_cbs {
+            "LACB-Opt".to_string()
+        } else {
+            "LACB".to_string()
+        }
     }
 
     fn begin_day(&mut self, platform: &Platform, _day: usize) {
@@ -310,12 +425,10 @@ impl Assigner for Lacb {
             // which differ only in the CBS pruning — follow identical
             // capacity trajectories, preserving the paper's
             // "LACB-Opt achieves the same utility as LACB" comparison.
-            let dither_today = self.cfg.dither
-                * (1.0 / (1.0 + 0.15 * self.days_elapsed as f64)).max(0.25);
+            let dither_today =
+                self.cfg.dither * (1.0 / (1.0 + 0.15 * self.days_elapsed as f64)).max(0.25);
             if dither_today > 0.0 {
-                let h = splitmix(
-                    self.cfg.seed ^ (b as u64) << 24 ^ self.days_elapsed << 1,
-                );
+                let h = splitmix(self.cfg.seed ^ (b as u64) << 24 ^ self.days_elapsed << 1);
                 let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
                 if unit < dither_today {
                     let arms = self.cfg.arms.values();
@@ -368,7 +481,7 @@ impl Assigner for Lacb {
             };
             let b = available[j];
             assignment[r] = Some(b);
-            let u = full.get(r, j);
+            let u = full.get(r, b);
             let cr = self.capacities[b] - platform.workload_today(b);
             self.value_fn.td_update(cr, u, cr - 1.0);
             if platform.workload_today(b) + 1.0 >= self.capacities[b] {
@@ -501,10 +614,7 @@ mod tests {
     fn capacity_frequency_tracks_saturation() {
         let (mut p, ds) = world(43);
         // Tiny capacities force saturation.
-        let cfg = LacbConfig {
-            arms: CandidateCapacities::new(vec![2.0]),
-            ..Default::default()
-        };
+        let cfg = LacbConfig { arms: CandidateCapacities::new(vec![2.0]), ..Default::default() };
         let mut a = Lacb::new(cfg);
         run_days(&mut p, &ds, &mut a);
         let any_frequent = (0..p.num_brokers()).any(|b| a.capacity_frequency(b) > 0.5);
@@ -560,9 +670,7 @@ mod tests {
         let mut a = Lacb::new(cfg);
         run_days(&mut p, &ds, &mut a);
         // After several days every assigned broker reached its cap daily.
-        let frequent = (0..p.num_brokers())
-            .filter(|&b| a.capacity_frequency(b) > 0.8)
-            .count();
+        let frequent = (0..p.num_brokers()).filter(|&b| a.capacity_frequency(b) > 0.8).count();
         assert!(frequent > 0, "saturation should make f_b > δ for some brokers");
         assert!(a.value_function().updates() > 0);
         // The value table learned something non-trivial.
@@ -591,6 +699,98 @@ mod tests {
             let fb = p.end_day();
             a.end_day(&p, &fb);
         }
+    }
+
+    /// Run `a` and a restored copy side by side over the remaining days;
+    /// both must produce bitwise-identical utility.
+    fn resume_matches(seed: u64, cfg: LacbConfig) {
+        let (mut p, ds) = world(seed);
+        let mut a = Lacb::new(cfg.clone());
+        // Train for one day, checkpoint at the boundary.
+        let mut total_a = 0.0;
+        for (d, day) in ds.days.iter().enumerate() {
+            p.begin_day();
+            a.begin_day(&p, d);
+            for batch in day {
+                let assignment = a.assign_batch(&p, &batch.requests);
+                total_a += p.execute_batch(&batch.requests, &assignment).realized;
+            }
+            let fb = p.end_day();
+            a.end_day(&p, &fb);
+            if d == 0 {
+                break;
+            }
+        }
+        let mut text = String::new();
+        a.write_state(&mut text);
+        let mut b = Lacb::read_state(&mut text.lines(), cfg, p.num_brokers())
+            .expect("checkpoint should restore");
+        // Resume both matchers on identical platform clones.
+        let mut pb = p.clone();
+        let mut total_b = total_a;
+        for (d, day) in ds.days.iter().enumerate().skip(1) {
+            p.begin_day();
+            pb.begin_day();
+            a.begin_day(&p, d);
+            b.begin_day(&pb, d);
+            for batch in day {
+                let asg_a = a.assign_batch(&p, &batch.requests);
+                let asg_b = b.assign_batch(&pb, &batch.requests);
+                assert_eq!(asg_a, asg_b, "restored matcher diverged on day {d}");
+                total_a += p.execute_batch(&batch.requests, &asg_a).realized;
+                total_b += pb.execute_batch(&batch.requests, &asg_b).realized;
+            }
+            let fa = p.end_day();
+            let fb = pb.end_day();
+            a.end_day(&p, &fa);
+            b.end_day(&pb, &fb);
+        }
+        assert_eq!(total_a.to_bits(), total_b.to_bits(), "resume must be bit-identical");
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_tabular() {
+        resume_matches(71, LacbConfig::default());
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_layer() {
+        resume_matches(
+            73,
+            LacbConfig {
+                personalization: Personalization::LayerTransfer,
+                personalize_after: 4,
+                ..LacbConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn read_state_rejects_estimator_kind_mismatch() {
+        let (mut p, ds) = world(31);
+        let mut a = Lacb::new(LacbConfig::default());
+        run_days(&mut p, &ds, &mut a);
+        let mut text = String::new();
+        a.write_state(&mut text);
+        let wrong =
+            LacbConfig { personalization: Personalization::LayerTransfer, ..LacbConfig::default() };
+        let err = Lacb::read_state(&mut text.lines(), wrong, p.num_brokers())
+            .err()
+            .expect("kind mismatch should fail");
+        assert!(err.contains("does not match"), "got: {err}");
+    }
+
+    #[test]
+    fn read_state_rejects_broker_count_mismatch() {
+        let (mut p, ds) = world(31);
+        let mut a = Lacb::new(LacbConfig::default());
+        run_days(&mut p, &ds, &mut a);
+        let mut text = String::new();
+        a.write_state(&mut text);
+        let err = Lacb::read_state(&mut text.lines(), LacbConfig::default(), p.num_brokers() + 1)
+            .err()
+            .expect("broker count mismatch should fail");
+        assert!(err.contains("expected"), "got: {err}");
     }
 
     #[test]

@@ -22,7 +22,9 @@
 
 pub mod assigner;
 pub mod baselines;
+pub mod checkpoint;
 pub mod lacb;
+pub mod resilient;
 pub mod runner;
 pub mod value_function;
 
@@ -34,7 +36,9 @@ pub use baselines::km::BatchKm;
 pub use baselines::oracle::OracleCapacity;
 pub use baselines::rr::RandomizedRecommendation;
 pub use baselines::top_k::TopK;
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use lacb::{tuned_bandit_config, Lacb, LacbConfig, Personalization};
 pub use platform_sim::RunMetrics;
+pub use resilient::{run_chaos, ResilienceConfig, ResilientAssigner};
 pub use runner::{run, RunConfig};
 pub use value_function::ValueFunction;

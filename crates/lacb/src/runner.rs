@@ -60,6 +60,7 @@ pub fn run(dataset: &Dataset, assigner: &mut dyn Assigner, cfg: &RunConfig) -> R
         daily_utility,
         daily_elapsed,
         ledger,
+        resilience: None,
     }
 }
 

@@ -61,7 +61,15 @@ impl ValueFunction {
 
     /// Eq. (14): one TD update for the transition `cr → cr'` with reward
     /// `u`.
+    ///
+    /// Non-finite rewards are dropped: one corrupted upstream utility
+    /// must not poison the whole table (a single NaN here would spread
+    /// through every bootstrap target and zero out the refinement
+    /// signal for the rest of the horizon).
     pub fn td_update(&mut self, cr: f64, reward: f64, cr_next: f64) {
+        if !reward.is_finite() {
+            return;
+        }
         let i = self.idx(cr);
         let target = reward + self.gamma * self.v[self.idx(cr_next)];
         self.v[i] += self.beta * (target - self.v[i]);
@@ -77,6 +85,25 @@ impl ValueFunction {
     /// Borrow the raw table (diagnostics, plots).
     pub fn table(&self) -> &[f64] {
         &self.v
+    }
+
+    /// Overwrite the learned table and update counter (checkpoint
+    /// restore). Rejects tables with a different state count or any
+    /// non-finite entry.
+    pub fn restore(&mut self, table: Vec<f64>, updates: u64) -> Result<(), String> {
+        if table.len() != self.v.len() {
+            return Err(format!(
+                "value table has {} states, expected {}",
+                table.len(),
+                self.v.len()
+            ));
+        }
+        if let Some(bad) = table.iter().find(|x| !x.is_finite()) {
+            return Err(format!("non-finite value {bad} in value table"));
+        }
+        self.v = table;
+        self.updates = updates;
+        Ok(())
     }
 }
 
@@ -148,5 +175,26 @@ mod tests {
     #[should_panic(expected = "beta must be in (0,1]")]
     fn invalid_beta_panics() {
         ValueFunction::new(5, 0.0, 0.9);
+    }
+
+    #[test]
+    fn non_finite_rewards_are_dropped() {
+        let mut v = ValueFunction::with_paper_defaults(5);
+        v.td_update(3.0, f64::NAN, 2.0);
+        v.td_update(3.0, f64::INFINITY, 2.0);
+        assert_eq!(v.updates(), 0);
+        assert_eq!(v.value(3.0), 0.0);
+        v.td_update(3.0, 0.5, 2.0);
+        assert_eq!(v.updates(), 1);
+    }
+
+    #[test]
+    fn restore_validates_shape_and_finiteness() {
+        let mut v = ValueFunction::with_paper_defaults(3);
+        assert!(v.restore(vec![0.0; 3], 1).is_err(), "wrong length");
+        assert!(v.restore(vec![0.0, 1.0, f64::NAN, 2.0], 1).is_err(), "NaN entry");
+        assert!(v.restore(vec![0.1, 0.2, 0.3, 0.4], 7).is_ok());
+        assert_eq!(v.updates(), 7);
+        assert_eq!(v.value(1.0), 0.2);
     }
 }

@@ -1,0 +1,118 @@
+//! Property tests of the fault-tolerance layer: the degradation ladder
+//! must fully serve every batch under *arbitrary* fault schedules, and
+//! checkpoint/restore must resume bit-identically wherever the cut lands.
+
+use lacb::resilient::{ResilienceConfig, ResilientAssigner};
+use lacb::{checkpoint, run_chaos, Assigner, Lacb, LacbConfig, RunConfig};
+use platform_sim::{Dataset, FaultConfig, FaultPlan, Platform, SyntheticConfig};
+use proptest::prelude::*;
+
+fn world(seed: u64, days: usize) -> Dataset {
+    Dataset::synthetic(&SyntheticConfig {
+        num_brokers: 15,
+        num_requests: 150 * days,
+        days,
+        imbalance: 0.3,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under any mix of dropout, corruption, channel loss and batch
+    /// spikes, the ladder serves every request of every batch as long
+    /// as one broker is reachable — and nothing it routes ever fails.
+    #[test]
+    fn any_fault_schedule_yields_full_assignment_every_batch(
+        data_seed in 0u64..200,
+        fault_seed in 0u64..1000,
+        dropout in 0.0f64..0.5,
+        mid_day in 0.0f64..0.5,
+        loss in 0.0f64..0.9,
+        delay in 0.0f64..0.5,
+        corruption in 0.0f64..0.6,
+        spike in 0.0f64..0.5,
+    ) {
+        let cfg = FaultConfig {
+            seed: fault_seed,
+            day_dropout: dropout,
+            mid_day_dropout: mid_day,
+            feedback_loss: loss,
+            feedback_delay: delay,
+            utility_corruption: corruption,
+            corruption_density: 0.1,
+            batch_spike: spike,
+            spike_span: 3,
+        };
+        let plan = FaultPlan::new(cfg);
+        let ds = world(data_seed, 2);
+        let spiked = ds.with_batch_spikes(&plan);
+        let mut platform = Platform::from_dataset(&spiked);
+        platform.enable_faults(plan);
+        let mut assigner =
+            ResilientAssigner::new(Lacb::new(LacbConfig::default()), ResilienceConfig::default());
+        for (d, day) in spiked.days.iter().enumerate() {
+            platform.begin_day();
+            assigner.begin_day(&platform, d);
+            for batch in day {
+                let assignment = assigner.assign_batch(&platform, &batch.requests);
+                prop_assert_eq!(assignment.len(), batch.requests.len());
+                if !platform.online_brokers().is_empty() {
+                    prop_assert!(
+                        assignment.iter().all(Option::is_some),
+                        "unassigned request with online brokers on day {} batch {}",
+                        d,
+                        platform.batch_index()
+                    );
+                }
+                let outcome = platform.execute_batch(&batch.requests, &assignment);
+                prop_assert!(
+                    outcome.failed.is_empty(),
+                    "ladder routed to an offline broker"
+                );
+            }
+            let feedback = platform.end_day();
+            assigner.end_day(&platform, &feedback);
+        }
+    }
+
+    /// A checkpoint taken after any day of the horizon, restored and
+    /// resumed, finishes with a total utility bitwise equal to the
+    /// uninterrupted run's.
+    #[test]
+    fn checkpoint_restore_resume_is_bit_identical(
+        data_seed in 0u64..200,
+        fault_seed in 0u64..1000,
+        cut_day in 0usize..2,
+    ) {
+        let ds = world(data_seed, 3);
+        let plan = FaultPlan::new(
+            FaultConfig::scenario("broker-dropout+lost-feedback", fault_seed).unwrap(),
+        );
+        let cfg = LacbConfig::default();
+        let mut direct =
+            ResilientAssigner::new(Lacb::new(cfg.clone()), ResilienceConfig::default());
+        let uninterrupted = run_chaos(&ds, &mut direct, &RunConfig::default(), plan);
+        let ckpt = checkpoint::run_chaos_until(
+            &ds,
+            cfg.clone(),
+            ResilienceConfig::default(),
+            plan,
+            cut_day,
+        )
+        .unwrap();
+        let reloaded = checkpoint::Checkpoint::from_text(ckpt.as_text()).unwrap();
+        let resumed =
+            checkpoint::resume_chaos(&ds, &reloaded, cfg, ResilienceConfig::default(), plan)
+                .unwrap();
+        prop_assert_eq!(
+            uninterrupted.total_utility.to_bits(),
+            resumed.total_utility.to_bits(),
+            "cut after day {}: {} vs {}",
+            cut_day,
+            uninterrupted.total_utility,
+            resumed.total_utility
+        );
+    }
+}

@@ -122,11 +122,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = Bᵀ B + I is SPD for any B.
-        Matrix::from_rows(&[
-            vec![4.0, 1.0, 0.5],
-            vec![1.0, 3.0, 0.2],
-            vec![0.5, 0.2, 2.0],
-        ])
+        Matrix::from_rows(&[vec![4.0, 1.0, 0.5], vec![1.0, 3.0, 0.2], vec![0.5, 0.2, 2.0]])
     }
 
     #[test]
@@ -166,10 +162,7 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
-        assert_eq!(
-            Cholesky::new(&a).unwrap_err(),
-            CholeskyError::NotPositiveDefinite
-        );
+        assert_eq!(Cholesky::new(&a).unwrap_err(), CholeskyError::NotPositiveDefinite);
     }
 
     #[test]

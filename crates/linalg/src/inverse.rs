@@ -53,12 +53,10 @@ impl InverseTracker {
     pub fn new(dim: usize, lambda: f64, mode: UcbCovariance) -> Self {
         assert!(lambda > 0.0, "lambda must be positive, got {lambda}");
         match mode {
-            UcbCovariance::Full => InverseTracker::Full {
-                inv: Matrix::scaled_identity(dim, 1.0 / lambda),
-            },
-            UcbCovariance::Diagonal => InverseTracker::Diagonal {
-                diag: vec![lambda; dim],
-            },
+            UcbCovariance::Full => {
+                InverseTracker::Full { inv: Matrix::scaled_identity(dim, 1.0 / lambda) }
+            }
+            UcbCovariance::Diagonal => InverseTracker::Diagonal { diag: vec![lambda; dim] },
         }
     }
 

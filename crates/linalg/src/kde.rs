@@ -134,8 +134,7 @@ impl GaussianKde2d {
         for i in 0..gx {
             let x = x_range.0 + (x_range.1 - x_range.0) * i as f64 / (gx - 1) as f64;
             for j in 0..gy {
-                let y =
-                    y_range.0 + (y_range.1 - y_range.0) * j as f64 / (gy - 1) as f64;
+                let y = y_range.0 + (y_range.1 - y_range.0) * j as f64 / (gy - 1) as f64;
                 let d = self.density(x, y);
                 if d > best_d {
                     best_d = d;
@@ -178,8 +177,7 @@ mod tests {
 
     #[test]
     fn mode_finds_cluster_center() {
-        let samples: Vec<f64> =
-            (0..50).map(|i| 10.0 + 0.01 * (i % 5) as f64).collect();
+        let samples: Vec<f64> = (0..50).map(|i| 10.0 + 0.01 * (i % 5) as f64).collect();
         let kde = GaussianKde1d::fit(&samples);
         let m = kde.mode(0.0, 20.0, 401);
         assert!((m - 10.0).abs() < 0.5, "mode = {m}");

@@ -98,8 +98,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<WelchResult> {
         return None;
     }
     let t = (ma - mb) / se2.sqrt();
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     let p = 2.0 * student_t_sf(t.abs(), df);
     Some(WelchResult { t, df, p_value: p })
 }
@@ -152,9 +151,7 @@ pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
-        + a * x.ln()
-        + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a
@@ -302,10 +299,7 @@ mod tests {
     fn ln_gamma_matches_factorials() {
         // Γ(n) = (n-1)!
         for (n, fact) in [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)] {
-            assert!(
-                (ln_gamma(n) - f64::ln(fact)).abs() < 1e-10,
-                "ln_gamma({n})"
-            );
+            assert!((ln_gamma(n) - f64::ln(fact)).abs() < 1e-10, "ln_gamma({n})");
         }
     }
 

@@ -66,11 +66,7 @@ pub fn auction_assignment(u: &UtilityMatrix, epsilon: f64) -> AssignmentResult {
         assigned[i] = Some(best_j);
     }
 
-    let total = assigned
-        .iter()
-        .enumerate()
-        .filter_map(|(i, s)| s.map(|j| u.get(i, j)))
-        .sum();
+    let total = assigned.iter().enumerate().filter_map(|(i, s)| s.map(|j| u.get(i, j))).sum();
     AssignmentResult { row_to_col: assigned, total }
 }
 

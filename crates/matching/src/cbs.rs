@@ -19,11 +19,7 @@ use rand::Rng;
 /// Indices of the `k` largest values of `utilities`, in no particular
 /// order, via random-pivot quickselect (Alg. 3). Returns all indices when
 /// `k >= utilities.len()` (Alg. 3 lines 1–3).
-pub fn top_k_indices<R: Rng + ?Sized>(
-    utilities: &[f64],
-    k: usize,
-    rng: &mut R,
-) -> Vec<usize> {
+pub fn top_k_indices<R: Rng + ?Sized>(utilities: &[f64], k: usize, rng: &mut R) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..utilities.len()).collect();
     if k >= idx.len() {
         return idx;
@@ -73,11 +69,7 @@ pub fn top_k_indices<R: Rng + ?Sized>(
 /// `⋃_{r ∈ R} Top^r_k` of per-request top-k broker indices, sorted and
 /// deduplicated. With `k = |R|` (Corollary 1) the union provably contains
 /// an optimal assignment of the full graph.
-pub fn candidate_union<R: Rng + ?Sized>(
-    u: &UtilityMatrix,
-    k: usize,
-    rng: &mut R,
-) -> Vec<usize> {
+pub fn candidate_union<R: Rng + ?Sized>(u: &UtilityMatrix, k: usize, rng: &mut R) -> Vec<usize> {
     let mut seen = vec![false; u.cols()];
     for r in 0..u.rows() {
         for b in top_k_indices(u.row(r), k, rng) {

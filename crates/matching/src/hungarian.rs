@@ -21,6 +21,101 @@
 
 use crate::graph::{AssignmentResult, UtilityMatrix};
 
+/// Typed failure modes of the assignment solvers.
+///
+/// The dual-potential update is numerically meaningless once a NaN or
+/// ±∞ enters the cost matrix (the `delta` minimum poisons every
+/// potential), so non-finite input is rejected up front instead of
+/// being caught by a `debug_assert!` deep in the augmenting loop —
+/// which release builds would skip, silently corrupting the matching.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MatchingError {
+    /// A utility entry was NaN or ±∞.
+    NonFiniteUtility {
+        /// Row (request index) of the offending entry.
+        row: usize,
+        /// Column (broker index) of the offending entry.
+        col: usize,
+    },
+    /// A balanced solve was asked for a tall matrix (`rows > cols`).
+    TooManyRows {
+        /// Rows of the instance.
+        rows: usize,
+        /// Columns of the instance.
+        cols: usize,
+    },
+}
+
+impl std::fmt::Display for MatchingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchingError::NonFiniteUtility { row, col } => {
+                write!(f, "non-finite utility at ({row}, {col})")
+            }
+            MatchingError::TooManyRows { rows, cols } => {
+                write!(f, "padded KM expects requests ≤ brokers ({rows} > {cols})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatchingError {}
+
+/// Replacement value for sanitised non-finite utilities: negative
+/// enough that a sanitised pair is only ever matched when no finite
+/// alternative exists, yet far from overflowing the dual potentials.
+pub const SANITIZED_UTILITY: f64 = -1.0e9;
+
+/// Replace every non-finite utility with [`SANITIZED_UTILITY`] in
+/// place; returns how many entries were rewritten. The degradation
+/// ladder calls this before matching so one corrupted upstream score
+/// cannot take down a batch.
+pub fn sanitize_utilities(u: &mut UtilityMatrix) -> usize {
+    let mut fixed = 0;
+    for r in 0..u.rows() {
+        for c in 0..u.cols() {
+            if !u.get(r, c).is_finite() {
+                u.set(r, c, SANITIZED_UTILITY);
+                fixed += 1;
+            }
+        }
+    }
+    fixed
+}
+
+fn first_non_finite(u: &UtilityMatrix) -> Option<(usize, usize)> {
+    for r in 0..u.rows() {
+        for c in 0..u.cols() {
+            if !u.get(r, c).is_finite() {
+                return Some((r, c));
+            }
+        }
+    }
+    None
+}
+
+/// Fallible form of [`max_weight_assignment`]: rejects non-finite
+/// utilities with a typed error instead of corrupting the solve.
+pub fn try_max_weight_assignment(u: &UtilityMatrix) -> Result<AssignmentResult, MatchingError> {
+    if let Some((row, col)) = first_non_finite(u) {
+        return Err(MatchingError::NonFiniteUtility { row, col });
+    }
+    Ok(max_weight_assignment_inner(u))
+}
+
+/// Fallible form of [`max_weight_assignment_padded`].
+pub fn try_max_weight_assignment_padded(
+    u: &UtilityMatrix,
+) -> Result<AssignmentResult, MatchingError> {
+    if u.rows() > u.cols() {
+        return Err(MatchingError::TooManyRows { rows: u.rows(), cols: u.cols() });
+    }
+    if let Some((row, col)) = first_non_finite(u) {
+        return Err(MatchingError::NonFiniteUtility { row, col });
+    }
+    Ok(max_weight_assignment_padded_inner(u))
+}
+
 /// Maximum-weight assignment on a rectangular instance.
 ///
 /// All `min(rows, cols)` requests on the smaller side are matched. If
@@ -40,6 +135,13 @@ use crate::graph::{AssignmentResult, UtilityMatrix};
 /// assert!((a.total - 1.3).abs() < 1e-12);
 /// ```
 pub fn max_weight_assignment(u: &UtilityMatrix) -> AssignmentResult {
+    match try_max_weight_assignment(u) {
+        Ok(a) => a,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn max_weight_assignment_inner(u: &UtilityMatrix) -> AssignmentResult {
     if u.rows() == 0 || u.cols() == 0 {
         return AssignmentResult::empty(u.rows());
     }
@@ -75,25 +177,22 @@ pub fn max_weight_assignment_padded(u: &UtilityMatrix) -> AssignmentResult {
         u.rows(),
         u.cols()
     );
+    match try_max_weight_assignment_padded(u) {
+        Ok(a) => a,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn max_weight_assignment_padded_inner(u: &UtilityMatrix) -> AssignmentResult {
     if u.cols() == 0 {
         return AssignmentResult::empty(u.rows());
     }
     let n = u.cols();
-    let padded = UtilityMatrix::from_fn(n, n, |r, c| {
-        if r < u.rows() {
-            u.get(r, c)
-        } else {
-            0.0
-        }
-    });
+    let padded = UtilityMatrix::from_fn(n, n, |r, c| if r < u.rows() { u.get(r, c) } else { 0.0 });
     let full = solve_rect(&padded);
     let mut row_to_col = full.row_to_col;
     row_to_col.truncate(u.rows());
-    let total = row_to_col
-        .iter()
-        .enumerate()
-        .filter_map(|(r, m)| m.map(|c| u.get(r, c)))
-        .sum();
+    let total = row_to_col.iter().enumerate().filter_map(|(r, m)| m.map(|c| u.get(r, c))).sum();
     AssignmentResult { row_to_col, total }
 }
 
@@ -273,11 +372,7 @@ mod tests {
             let u = UtilityMatrix::from_fn(n, m, |_, _| next() * 2.0 - 0.5);
             let a = max_weight_assignment(&u);
             let best = brute_force_assignment(&u);
-            assert!(
-                (a.total - best).abs() < 1e-9,
-                "{n}x{m}: solver {} vs brute {best}",
-                a.total
-            );
+            assert!((a.total - best).abs() < 1e-9, "{n}x{m}: solver {} vs brute {best}", a.total);
             a.validate(&u);
         }
     }
@@ -301,5 +396,51 @@ mod tests {
         let u = UtilityMatrix::from_fn(4, 9, |r, c| ((r + c) % 5) as f64);
         let a = max_weight_assignment(&u);
         assert_eq!(a.matched_count(), 4);
+    }
+
+    #[test]
+    fn try_rejects_nan_with_location() {
+        let mut u = UtilityMatrix::from_fn(3, 4, |r, c| (r + c) as f64);
+        u.set(1, 2, f64::NAN);
+        assert_eq!(
+            try_max_weight_assignment(&u),
+            Err(MatchingError::NonFiniteUtility { row: 1, col: 2 })
+        );
+        u.set(1, 2, f64::INFINITY);
+        assert!(try_max_weight_assignment(&u).is_err());
+        assert!(try_max_weight_assignment_padded(&u).is_err());
+    }
+
+    #[test]
+    fn try_padded_rejects_tall_as_error() {
+        assert_eq!(
+            try_max_weight_assignment_padded(&UtilityMatrix::zeros(3, 2)),
+            Err(MatchingError::TooManyRows { rows: 3, cols: 2 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite utility")]
+    fn infallible_wrapper_panics_on_nan_instead_of_corrupting() {
+        let mut u = UtilityMatrix::zeros(2, 2);
+        u.set(0, 0, f64::NAN);
+        max_weight_assignment(&u);
+    }
+
+    #[test]
+    fn sanitize_repairs_corrupted_matrix_for_solving() {
+        let mut u = UtilityMatrix::from_fn(3, 5, |r, c| ((r * 3 + c) % 7) as f64 * 0.2);
+        u.set(0, 1, f64::NAN);
+        u.set(2, 4, f64::NEG_INFINITY);
+        assert_eq!(sanitize_utilities(&mut u), 2);
+        assert_eq!(u.get(0, 1), SANITIZED_UTILITY);
+        // Sanitised matrix solves, and avoids the poisoned pairs while
+        // finite alternatives exist.
+        let a = try_max_weight_assignment(&u).unwrap();
+        assert_eq!(a.matched_count(), 3);
+        assert_ne!(a.row_to_col[0], Some(1));
+        assert_ne!(a.row_to_col[2], Some(4));
+        // Idempotent.
+        assert_eq!(sanitize_utilities(&mut u), 0);
     }
 }

@@ -28,4 +28,7 @@ pub mod hungarian;
 pub use auction::auction_assignment;
 pub use cbs::{candidate_union, top_k_indices};
 pub use graph::{AssignmentResult, UtilityMatrix};
-pub use hungarian::{max_weight_assignment, max_weight_assignment_padded};
+pub use hungarian::{
+    max_weight_assignment, max_weight_assignment_padded, sanitize_utilities,
+    try_max_weight_assignment, try_max_weight_assignment_padded, MatchingError, SANITIZED_UTILITY,
+};

@@ -104,10 +104,7 @@ mod tests {
         for act in [Activation::Sigmoid, Activation::Tanh, Activation::Identity] {
             for z in [-2.0, -0.5, 0.1, 1.7] {
                 let numeric = (act.apply(z + h) - act.apply(z - h)) / (2.0 * h);
-                assert!(
-                    (numeric - act.derivative(z)).abs() < 1e-6,
-                    "{act:?} at {z}"
-                );
+                assert!((numeric - act.derivative(z)).abs() < 1e-6, "{act:?} at {z}");
             }
         }
     }

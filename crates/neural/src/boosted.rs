@@ -146,9 +146,7 @@ impl Gbrt {
 
     /// Predict one row.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self.stumps.iter().map(|s| s.predict(x)).sum::<f64>()
+        self.base + self.learning_rate * self.stumps.iter().map(|s| s.predict(x)).sum::<f64>()
     }
 
     /// Number of fitted stumps.

@@ -61,8 +61,7 @@ mod tests {
         let samples: Vec<f64> = (0..20_000).map(|_| randn(&mut rng)).collect();
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
         let var: f64 =
-            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / samples.len() as f64;
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.03, "mean = {mean}");
         assert!((var - 1.0).abs() < 0.05, "var = {var}");
     }
@@ -70,8 +69,7 @@ mod tests {
     #[test]
     fn gaussian_shifts_and_scales() {
         let mut rng = StdRng::seed_from_u64(7);
-        let samples: Vec<f64> =
-            (0..20_000).map(|_| gaussian(&mut rng, 5.0, 0.5)).collect();
+        let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng, 5.0, 0.5)).collect();
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 5.0).abs() < 0.02, "mean = {mean}");
     }

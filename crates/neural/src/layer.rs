@@ -97,8 +97,7 @@ impl Dense {
 
     /// Number of parameters (weights plus biases when enabled).
     pub fn param_count(&self) -> usize {
-        self.weights.rows() * self.weights.cols()
-            + if self.use_bias { self.bias.len() } else { 0 }
+        self.weights.rows() * self.weights.cols() + if self.use_bias { self.bias.len() } else { 0 }
     }
 
     /// Borrow the weight matrix.

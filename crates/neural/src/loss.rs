@@ -9,23 +9,14 @@ pub fn mse(preds: &[f64], targets: &[f64]) -> f64 {
     if preds.is_empty() {
         return 0.0;
     }
-    preds
-        .iter()
-        .zip(targets)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum::<f64>()
-        / preds.len() as f64
+    preds.iter().zip(targets).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / preds.len() as f64
 }
 
 /// Sum-of-squares error `Σ (pred − target)²` — the un-normalised form in
 /// Eq. (6) of the paper.
 pub fn sse(preds: &[f64], targets: &[f64]) -> f64 {
     assert_eq!(preds.len(), targets.len(), "sse: length mismatch");
-    preds
-        .iter()
-        .zip(targets)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum()
+    preds.iter().zip(targets).map(|(p, t)| (p - t) * (p - t)).sum()
 }
 
 /// Eq. (6): `Σ (pred − target)² + λ‖θ‖²`.

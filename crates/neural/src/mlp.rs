@@ -77,14 +77,7 @@ impl MlpBuilder {
             layers.push(Dense::new(rng, fan_in, w, self.activation, self.init, self.use_bias));
             fan_in = w;
         }
-        layers.push(Dense::new(
-            rng,
-            fan_in,
-            1,
-            Activation::Identity,
-            self.init,
-            self.use_bias,
-        ));
+        layers.push(Dense::new(rng, fan_in, 1, Activation::Identity, self.init, self.use_bias));
         let frozen = vec![false; layers.len()];
         Mlp { layers, frozen }
     }
@@ -216,21 +209,13 @@ impl Mlp {
     /// `(∂L/∂x, flat trainable gradient)`.
     fn backward_from(&self, caches: &[LayerCache], d_out: f64) -> (Vec<f64>, Vec<f64>) {
         let n = self.layers.len();
-        let mut grads_w: Vec<Matrix> = self
-            .layers
-            .iter()
-            .map(|l| Matrix::zeros(l.fan_out(), l.fan_in()))
-            .collect();
+        let mut grads_w: Vec<Matrix> =
+            self.layers.iter().map(|l| Matrix::zeros(l.fan_out(), l.fan_in())).collect();
         let mut grads_b: Vec<Vec<f64>> =
             self.layers.iter().map(|l| vec![0.0; l.fan_out()]).collect();
         let mut d_post = vec![d_out];
         for i in (0..n).rev() {
-            d_post = self.layers[i].backward(
-                &caches[i],
-                &d_post,
-                &mut grads_w[i],
-                &mut grads_b[i],
-            );
+            d_post = self.layers[i].backward(&caches[i], &d_post, &mut grads_w[i], &mut grads_b[i]);
         }
         let mut flat = Vec::with_capacity(self.trainable_param_count());
         for i in 0..n {
@@ -238,9 +223,7 @@ impl Mlp {
                 continue;
             }
             flat.extend_from_slice(grads_w[i].data());
-            if self.layers[i].param_count()
-                > self.layers[i].fan_in() * self.layers[i].fan_out()
-            {
+            if self.layers[i].param_count() > self.layers[i].fan_in() * self.layers[i].fan_out() {
                 flat.extend_from_slice(&grads_b[i]);
             }
         }
@@ -349,10 +332,7 @@ impl Mlp {
 
     /// The `ξ` of Theorem 1: the largest per-layer operator-norm bound.
     pub fn xi(&self) -> f64 {
-        self.layers
-            .iter()
-            .map(Dense::operator_norm_bound)
-            .fold(0.0, f64::max)
+        self.layers.iter().map(Dense::operator_norm_bound).fold(0.0, f64::max)
     }
 
     /// Copy all parameters (frozen and trainable alike) from another
@@ -454,11 +434,8 @@ mod tests {
     #[test]
     fn loss_gradient_matches_finite_difference() {
         let m = net(7);
-        let inputs = vec![
-            vec![0.1, 0.2, 0.3, 0.4],
-            vec![-0.5, 0.5, 1.0, -1.0],
-            vec![0.0, 0.0, 1.0, 0.0],
-        ];
+        let inputs =
+            vec![vec![0.1, 0.2, 0.3, 0.4], vec![-0.5, 0.5, 1.0, -1.0], vec![0.0, 0.0, 1.0, 0.0]];
         let targets = vec![0.2, 0.8, 0.5];
         let lambda = 0.01;
         let (_, grad) = m.loss_gradient(&inputs, &targets, lambda);
@@ -521,10 +498,7 @@ mod tests {
             assert_eq!(before_all[k], after_all[k], "frozen param {k} moved");
         }
         // And the last layer did move.
-        assert!(before_all[n - 7..]
-            .iter()
-            .zip(&after_all[n - 7..])
-            .any(|(a, b)| a != b));
+        assert!(before_all[n - 7..].iter().zip(&after_all[n - 7..]).any(|(a, b)| a != b));
     }
 
     #[test]

@@ -87,9 +87,8 @@ pub fn from_text(text: &str) -> Result<Mlp, ParseError> {
     if lines.next().map(str::trim) != Some("caam-mlp v1") {
         return Err(ParseError::BadHeader);
     }
-    let count_line = lines
-        .next()
-        .ok_or_else(|| ParseError::Malformed("missing layer count".into()))?;
+    let count_line =
+        lines.next().ok_or_else(|| ParseError::Malformed("missing layer count".into()))?;
     let count: usize = count_line
         .trim()
         .strip_prefix("layers ")
@@ -108,12 +107,10 @@ pub fn from_text(text: &str) -> Result<Mlp, ParseError> {
         if f.len() != 6 || f[0] != "layer" {
             return Err(ParseError::Malformed(format!("bad layer header {head:?}")));
         }
-        let fan_in: usize = f[1]
-            .parse()
-            .map_err(|_| ParseError::Malformed(format!("bad fan_in {:?}", f[1])))?;
-        let fan_out: usize = f[2]
-            .parse()
-            .map_err(|_| ParseError::Malformed(format!("bad fan_out {:?}", f[2])))?;
+        let fan_in: usize =
+            f[1].parse().map_err(|_| ParseError::Malformed(format!("bad fan_in {:?}", f[1])))?;
+        let fan_out: usize =
+            f[2].parse().map_err(|_| ParseError::Malformed(format!("bad fan_out {:?}", f[2])))?;
         let act = parse_activation(f[3])?;
         let use_bias = f[4] == "1";
         frozen.push(f[5] == "1");
@@ -178,8 +175,7 @@ mod tests {
     #[test]
     fn rejects_truncated_file() {
         let text = to_text(&net(17));
-        let truncated: String =
-            text.lines().take(3).collect::<Vec<_>>().join("\n");
+        let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
         assert!(matches!(from_text(&truncated), Err(ParseError::Malformed(_))));
     }
 
@@ -192,10 +188,7 @@ mod tests {
         let mut params: Vec<&str> = lines[params_idx].split_whitespace().collect();
         params.pop();
         lines[params_idx] = params.join(" ");
-        assert!(matches!(
-            from_text(&lines.join("\n")),
-            Err(ParseError::Malformed(_))
-        ));
+        assert!(matches!(from_text(&lines.join("\n")), Err(ParseError::Malformed(_))));
     }
 
     #[test]

@@ -98,17 +98,15 @@ impl BrokerProfile {
             + 0.05 * (title as f64 / 4.0)
             + 0.25 * response_rate
             + 0.6 * star;
-        let quality = (0.25 + 0.65 * skill + normal_clamped(rng, 0.0, 0.08, -0.2, 0.2))
-            .clamp(0.05, 0.95);
+        let quality =
+            (0.25 + 0.65 * skill + normal_clamped(rng, 0.0, 0.08, -0.2, 0.2)).clamp(0.05, 0.95);
 
         // Capacity: experienced, responsive brokers sustain more daily
         // requests, plus idiosyncratic noise the context cannot explain.
-        let cap_signal = 0.45 * (working_years / 30.0)
-            + 0.25 * (title as f64 / 4.0)
-            + 0.30 * response_rate;
-        let true_capacity =
-            (12.0 + 45.0 * cap_signal + normal_clamped(rng, 0.0, 6.0, -10.0, 10.0))
-                .clamp(8.0, 70.0);
+        let cap_signal =
+            0.45 * (working_years / 30.0) + 0.25 * (title as f64 / 4.0) + 0.30 * response_rate;
+        let true_capacity = (12.0 + 45.0 * cap_signal + normal_clamped(rng, 0.0, 6.0, -10.0, 10.0))
+            .clamp(8.0, 70.0);
         let overload_decay = normal_clamped(rng, 0.08, 0.04, 0.02, 0.25);
         // Popularity: heavy-tailed and correlated with quality, mirroring
         // the platform's ranking feedback loop.
@@ -214,8 +212,7 @@ impl BrokerState {
         if self.recent_signup_rates.is_empty() {
             0.0
         } else {
-            self.recent_signup_rates.iter().sum::<f64>()
-                / self.recent_signup_rates.len() as f64
+            self.recent_signup_rates.iter().sum::<f64>() / self.recent_signup_rates.len() as f64
         }
     }
 }

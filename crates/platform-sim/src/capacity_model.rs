@@ -29,17 +29,9 @@ pub fn overload_factor(w: f64, effective_capacity: f64, decay: f64) -> f64 {
 
 /// The expected sign-up probability when `broker` serves a request of
 /// pair utility `u` as the next request of its day.
-pub fn realized_signup_probability(
-    u: f64,
-    profile: &BrokerProfile,
-    state: &BrokerState,
-) -> f64 {
+pub fn realized_signup_probability(u: f64, profile: &BrokerProfile, state: &BrokerState) -> f64 {
     let next_position = state.workload_today + 1.0;
-    u * overload_factor(
-        next_position,
-        state.effective_capacity(profile),
-        profile.overload_decay,
-    )
+    u * overload_factor(next_position, state.effective_capacity(profile), profile.overload_decay)
 }
 
 /// Expected daily sign-up *rate* when a broker of the given capacity and

@@ -21,13 +21,7 @@ pub struct SyntheticConfig {
 
 impl Default for SyntheticConfig {
     fn default() -> Self {
-        Self {
-            num_brokers: 2000,
-            num_requests: 50_000,
-            days: 14,
-            imbalance: 0.015,
-            seed: 7,
-        }
+        Self { num_brokers: 2000, num_requests: 50_000, days: 14, imbalance: 0.015, seed: 7 }
     }
 }
 

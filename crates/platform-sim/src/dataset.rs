@@ -44,10 +44,8 @@ impl Dataset {
     fn daily_quotas(total: usize, days: usize) -> Vec<usize> {
         let weights: Vec<f64> = (0..days).map(demand_factor).collect();
         let wsum: f64 = weights.iter().sum();
-        let mut quotas: Vec<usize> = weights
-            .iter()
-            .map(|w| (w / wsum * total as f64).floor() as usize)
-            .collect();
+        let mut quotas: Vec<usize> =
+            weights.iter().map(|w| (w / wsum * total as f64).floor() as usize).collect();
         let mut assigned: usize = quotas.iter().sum();
         let mut d = 0usize;
         while assigned < total {
@@ -142,11 +140,7 @@ impl Dataset {
 
     /// Total number of requests across the horizon.
     pub fn total_requests(&self) -> usize {
-        self.days
-            .iter()
-            .flat_map(|d| d.iter())
-            .map(|b| b.requests.len())
-            .sum()
+        self.days.iter().flat_map(|d| d.iter()).map(|b| b.requests.len()).sum()
     }
 
     /// Number of days.
@@ -162,6 +156,35 @@ impl Dataset {
             brokers: self.brokers.clone(),
             days: self.days.iter().take(days).cloned().collect(),
         }
+    }
+
+    /// Apply a fault plan's batch spikes: where the plan declares a
+    /// spike of span `k` at `(day, batch)`, the next `k − 1` batches'
+    /// requests are folded into that batch, modelling a demand surge
+    /// arriving in one interval. Total requests are preserved exactly;
+    /// only the batch structure changes — so a spiked run is directly
+    /// comparable to its fault-free twin on total utility.
+    pub fn with_batch_spikes(&self, plan: &crate::faults::FaultPlan) -> Dataset {
+        let days = self
+            .days
+            .iter()
+            .enumerate()
+            .map(|(d, batches)| {
+                let mut out: Vec<Batch> = Vec::with_capacity(batches.len());
+                let mut i = 0;
+                while i < batches.len() {
+                    let span = plan.batch_spike_span(d, i).min(batches.len() - i);
+                    let mut merged = batches[i].clone();
+                    for extra in &batches[i + 1..i + span] {
+                        merged.requests.extend(extra.requests.iter().cloned());
+                    }
+                    out.push(merged);
+                    i += span;
+                }
+                out
+            })
+            .collect();
+        Dataset { name: format!("{} [spiked]", self.name), brokers: self.brokers.clone(), days }
     }
 }
 
@@ -251,7 +274,13 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let cfg = SyntheticConfig { num_brokers: 30, num_requests: 100, days: 2, imbalance: 0.1, seed: 5 };
+        let cfg = SyntheticConfig {
+            num_brokers: 30,
+            num_requests: 100,
+            days: 2,
+            imbalance: 0.1,
+            seed: 5,
+        };
         let a = Dataset::synthetic(&cfg);
         let b = Dataset::synthetic(&cfg);
         assert_eq!(a.brokers[0].quality, b.brokers[0].quality);

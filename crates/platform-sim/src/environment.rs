@@ -9,6 +9,7 @@
 use crate::broker::{status_vector, BrokerProfile, BrokerState};
 use crate::capacity_model::realized_signup_probability;
 use crate::dataset::Dataset;
+use crate::faults::FaultPlan;
 use crate::request::Request;
 use crate::utility::UtilityModel;
 use matching::UtilityMatrix;
@@ -37,6 +38,9 @@ pub struct BatchOutcome {
     pub predicted: f64,
     /// `(request_index_in_batch, broker_id)` pairs actually served.
     pub assignments: Vec<(usize, usize)>,
+    /// Request indices whose assigned broker was offline (fault
+    /// injection): the service failed and contributed no utility.
+    pub failed: Vec<usize>,
     /// Realised utility per pair, aligned with `assignments`.
     pub pair_realized: Vec<f64>,
     /// Predicted utility per pair, aligned with `assignments`.
@@ -100,6 +104,13 @@ pub struct Platform {
     pending_appeals: Vec<Appeal>,
     /// Deterministic counter feeding the appeal coin-flips.
     appeal_draws: u64,
+    /// Seeded fault schedule, when chaos injection is enabled.
+    faults: Option<FaultPlan>,
+    /// Days completed so far (the fault plan's day coordinate).
+    day_index: usize,
+    /// Batches executed within the current day (the fault plan's batch
+    /// coordinate).
+    batch_index: usize,
 }
 
 impl Platform {
@@ -119,6 +130,9 @@ impl Platform {
             appeals: None,
             pending_appeals: Vec::new(),
             appeal_draws: 0,
+            faults: None,
+            day_index: 0,
+            batch_index: 0,
         }
     }
 
@@ -145,6 +159,43 @@ impl Platform {
     /// model.
     pub fn from_dataset(ds: &Dataset) -> Self {
         Self::new(ds.brokers.clone(), UtilityModel::default())
+    }
+
+    /// Enable seeded fault injection (disabled by default so the core
+    /// experiments stay deterministic and paper-comparable). From now
+    /// on broker outages hit [`Platform::execute_batch`] and utility
+    /// corruption hits [`Platform::utility_matrix`].
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The active fault plan, if chaos injection is enabled.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Days completed so far (the fault schedule's day coordinate).
+    pub fn day_index(&self) -> usize {
+        self.day_index
+    }
+
+    /// Batches executed within the current day so far.
+    pub fn batch_index(&self) -> usize {
+        self.batch_index
+    }
+
+    /// Is broker `b` reachable for the *next* batch? Always true when
+    /// fault injection is off.
+    pub fn broker_online(&self, b: usize) -> bool {
+        match &self.faults {
+            Some(plan) => !plan.broker_offline(self.day_index, self.batch_index, b),
+            None => true,
+        }
+    }
+
+    /// Brokers reachable for the next batch.
+    pub fn online_brokers(&self) -> Vec<usize> {
+        (0..self.brokers.len()).filter(|&b| self.broker_online(b)).collect()
     }
 
     /// Number of brokers.
@@ -188,12 +239,29 @@ impl Platform {
         }
         self.day_realized = 0.0;
         self.day_open = true;
+        self.batch_index = 0;
     }
 
     /// Predicted utility matrix `u_{r,b}` for a batch (`requests ×
     /// all brokers`) — the algorithm-visible input of Def. 2.
+    ///
+    /// Under fault injection this is where utility corruption lands:
+    /// the *observed* matrix may carry NaN/∞ entries while the ground
+    /// truth used by [`Platform::execute_batch`] stays clean — exactly
+    /// the upstream-feature-service failure mode.
     pub fn utility_matrix(&self, requests: &[Request]) -> UtilityMatrix {
-        self.utility.utility_matrix(requests, &self.brokers)
+        let mut m = self.utility.utility_matrix(requests, &self.brokers);
+        if let Some(plan) = &self.faults {
+            for r in 0..m.rows() {
+                for b in 0..m.cols() {
+                    if let Some(bad) = plan.corrupt_utility(self.day_index, self.batch_index, r, b)
+                    {
+                        m.set(r, b, bad);
+                    }
+                }
+            }
+        }
+        m
     }
 
     /// Execute one batch assignment: `assignment[r]` is the broker id
@@ -217,6 +285,12 @@ impl Platform {
         for (r, slot) in assignment.iter().enumerate() {
             let Some(b) = *slot else { continue };
             assert!(b < self.brokers.len(), "broker id {b} out of range");
+            // A request routed to a dropped-out broker fails outright:
+            // no service, no workload, no utility.
+            if !self.broker_online(b) {
+                out.failed.push(r);
+                continue;
+            }
             let u = self.utility.utility(&requests[r], &self.brokers[b]);
             let realized = realized_signup_probability(u, &self.brokers[b], &self.states[b]);
             // Client appeal (Sec. VI-B): a very poorly served client may
@@ -240,6 +314,7 @@ impl Platform {
             out.pair_predicted.push(u);
         }
         self.day_realized += out.realized;
+        self.batch_index += 1;
         out
     }
 
@@ -290,7 +365,40 @@ impl Platform {
             self.day_start_status[i] = status_vector(p, s);
         }
         self.day_open = false;
+        self.day_index += 1;
         fb
+    }
+
+    /// Draw counter of the appeal mechanism (checkpointed so restored
+    /// runs replay the same appeal coin stream).
+    pub fn appeal_draws(&self) -> u64 {
+        self.appeal_draws
+    }
+
+    /// Restore broker state at a day boundary (checkpoint restore).
+    /// Recomputes the start-of-day status vectors from the restored
+    /// states, exactly as [`Platform::end_day`] leaves them.
+    ///
+    /// # Panics
+    /// Panics if called mid-day or with a state count that does not
+    /// match the broker population.
+    pub fn restore_day_boundary(
+        &mut self,
+        states: Vec<BrokerState>,
+        day_index: usize,
+        appeal_draws: u64,
+    ) {
+        assert!(!self.day_open, "cannot restore into an open day");
+        assert_eq!(states.len(), self.brokers.len(), "broker state count mismatch");
+        self.states = states;
+        self.day_index = day_index;
+        self.appeal_draws = appeal_draws;
+        self.pending_appeals.clear();
+        self.day_realized = 0.0;
+        self.batch_index = 0;
+        for (i, (p, s)) in self.brokers.iter().zip(&self.states).enumerate() {
+            self.day_start_status[i] = status_vector(p, s);
+        }
     }
 
     /// Oracle access to a broker's fatigue-adjusted capacity today —
@@ -358,10 +466,7 @@ mod tests {
             total_real += out.realized;
         }
         // ~100 requests into a ≤70-capacity broker must degrade.
-        assert!(
-            total_real < 0.95 * total_pred,
-            "realized {total_real} vs predicted {total_pred}"
-        );
+        assert!(total_real < 0.95 * total_pred, "realized {total_real} vs predicted {total_pred}");
     }
 
     #[test]
@@ -369,8 +474,7 @@ mod tests {
         let (mut p, ds) = small_world();
         p.begin_day();
         let batch = &ds.days[0][0];
-        let assignment: Vec<Option<usize>> =
-            (0..batch.requests.len()).map(|_| Some(7)).collect();
+        let assignment: Vec<Option<usize>> = (0..batch.requests.len()).map(|_| Some(7)).collect();
         p.execute_batch(&batch.requests, &assignment);
         let fb = p.end_day();
         assert_eq!(fb.trials.len(), 1);

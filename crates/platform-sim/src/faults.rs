@@ -1,0 +1,380 @@
+//! Seeded fault injection for serving-layer chaos experiments.
+//!
+//! Production matching platforms fail in mundane ways: brokers log off
+//! mid-day, the feedback pipeline drops or delays a day's trials, an
+//! upstream feature service emits NaN utilities, a marketing push
+//! spikes a batch to several times its normal size. [`FaultPlan`]
+//! models these as *pure functions of a seed* — every query is a
+//! splitmix hash of `(seed, kind, day, batch, broker)`, so a plan
+//! carries no mutable state, two plans with the same config agree
+//! forever, and a checkpoint/restore cycle needs nothing beyond the
+//! config itself to replay the exact fault schedule.
+//!
+//! The plan is consulted from two sides:
+//! * [`crate::Platform`] (once faults are enabled) applies broker
+//!   outages and utility corruption to what algorithms observe and
+//!   execute.
+//! * The resilient runner applies feedback loss/delay when delivering
+//!   end-of-day trials, and batch spikes when shaping the dataset via
+//!   [`crate::Dataset::with_batch_spikes`].
+
+/// The kinds of fault the plan can inject. Used as the hash domain
+/// separator and for reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Broker offline for an entire day.
+    DayDropout,
+    /// Broker drops out partway through a day and stays down.
+    MidDayDropout,
+    /// End-of-day feedback delivery attempt fails.
+    FeedbackLoss,
+    /// End-of-day feedback arrives one day late.
+    FeedbackDelay,
+    /// Algorithm-visible utility entries corrupted to NaN/±∞/huge.
+    UtilityCorruption,
+    /// Several consecutive batches collapse into one oversized batch.
+    BatchSpike,
+}
+
+impl FaultKind {
+    fn tag(self) -> u64 {
+        match self {
+            FaultKind::DayDropout => 1,
+            FaultKind::MidDayDropout => 2,
+            FaultKind::FeedbackLoss => 3,
+            FaultKind::FeedbackDelay => 4,
+            FaultKind::UtilityCorruption => 5,
+            FaultKind::BatchSpike => 6,
+        }
+    }
+}
+
+/// Per-fault probabilities. All default to zero (no faults); build via
+/// a named [`FaultConfig::scenario`] or set fields directly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the fault schedule (independent of the dataset seed).
+    pub seed: u64,
+    /// Per-(broker, day) probability of a full-day outage.
+    pub day_dropout: f64,
+    /// Per-(broker, day) probability of a mid-day dropout; the drop
+    /// batch is drawn from the first [`MID_DAY_WINDOW`] batches.
+    pub mid_day_dropout: f64,
+    /// Per-(day, attempt) probability that a feedback delivery fails.
+    pub feedback_loss: f64,
+    /// Per-day probability that feedback is delayed to the next day.
+    pub feedback_delay: f64,
+    /// Per-batch probability that the utility matrix is corrupted.
+    pub utility_corruption: f64,
+    /// Fraction of entries corrupted within an affected batch.
+    pub corruption_density: f64,
+    /// Per-batch probability of a demand spike starting at that batch.
+    pub batch_spike: f64,
+    /// How many consecutive batches a spike merges (≥ 2 to have any
+    /// effect).
+    pub spike_span: usize,
+}
+
+/// Mid-day dropouts happen within the first this-many batches of a day.
+pub const MID_DAY_WINDOW: u64 = 12;
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            day_dropout: 0.0,
+            mid_day_dropout: 0.0,
+            feedback_loss: 0.0,
+            feedback_delay: 0.0,
+            utility_corruption: 0.0,
+            corruption_density: 0.0,
+            batch_spike: 0.0,
+            spike_span: 3,
+        }
+    }
+}
+
+/// Names accepted by [`FaultConfig::scenario`], for CLI help text.
+pub const SCENARIOS: &[&str] = &[
+    "none",
+    "broker-dropout",
+    "lost-feedback",
+    "broker-dropout+lost-feedback",
+    "utility-corruption",
+    "batch-spike",
+    "full-chaos",
+];
+
+impl FaultConfig {
+    /// A named fault scenario. Returns `None` for unknown names; see
+    /// [`SCENARIOS`] for the accepted set.
+    pub fn scenario(name: &str, seed: u64) -> Option<FaultConfig> {
+        let base = FaultConfig { seed, ..FaultConfig::default() };
+        Some(match name {
+            "none" => base,
+            "broker-dropout" => FaultConfig { day_dropout: 0.10, mid_day_dropout: 0.10, ..base },
+            "lost-feedback" => FaultConfig { feedback_loss: 0.35, feedback_delay: 0.20, ..base },
+            "broker-dropout+lost-feedback" => FaultConfig {
+                day_dropout: 0.10,
+                mid_day_dropout: 0.10,
+                feedback_loss: 0.35,
+                feedback_delay: 0.20,
+                ..base
+            },
+            "utility-corruption" => {
+                FaultConfig { utility_corruption: 0.30, corruption_density: 0.05, ..base }
+            }
+            "batch-spike" => FaultConfig { batch_spike: 0.15, spike_span: 3, ..base },
+            "full-chaos" => FaultConfig {
+                day_dropout: 0.08,
+                mid_day_dropout: 0.08,
+                feedback_loss: 0.30,
+                feedback_delay: 0.15,
+                utility_corruption: 0.20,
+                corruption_density: 0.05,
+                batch_spike: 0.10,
+                spike_span: 3,
+                ..base
+            },
+            _ => return None,
+        })
+    }
+
+    /// True if every fault probability is zero.
+    pub fn is_quiet(&self) -> bool {
+        self.day_dropout == 0.0
+            && self.mid_day_dropout == 0.0
+            && self.feedback_loss == 0.0
+            && self.feedback_delay == 0.0
+            && self.utility_corruption == 0.0
+            && self.batch_spike == 0.0
+    }
+}
+
+/// splitmix64 finaliser — the same mixer the platform uses for appeal
+/// coins, applied here to (seed, kind, day, batch, broker) tuples.
+fn mix(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A stateless, seeded fault schedule (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Wrap a config into a queryable plan.
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The underlying config.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    fn draw(&self, kind: FaultKind, day: u64, batch: u64, broker: u64) -> u64 {
+        let key = self.cfg.seed.wrapping_mul(0x2545F4914F6CDD1D)
+            ^ kind.tag() << 56
+            ^ day << 40
+            ^ batch << 20
+            ^ broker;
+        mix(key)
+    }
+
+    fn coin(&self, kind: FaultKind, day: u64, batch: u64, broker: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let h = self.draw(kind, day, batch, broker);
+        ((h >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// Is broker `b` offline at `(day, batch)`? Full-day outages cover
+    /// every batch; mid-day dropouts start at a batch drawn from
+    /// `1..=MID_DAY_WINDOW` and last through the end of the day.
+    pub fn broker_offline(&self, day: usize, batch: usize, b: usize) -> bool {
+        let (day, batch, b) = (day as u64, batch as u64, b as u64);
+        if self.coin(FaultKind::DayDropout, day, 0, b, self.cfg.day_dropout) {
+            return true;
+        }
+        if self.coin(FaultKind::MidDayDropout, day, 0, b, self.cfg.mid_day_dropout) {
+            let from = 1 + self.draw(FaultKind::MidDayDropout, day, 1, b) % MID_DAY_WINDOW;
+            return batch >= from;
+        }
+        false
+    }
+
+    /// Does the `attempt`-th delivery (0-based) of day `day`'s feedback
+    /// fail? Independent per attempt, so retries eventually succeed.
+    pub fn feedback_lost(&self, day: usize, attempt: usize) -> bool {
+        self.coin(FaultKind::FeedbackLoss, day as u64, attempt as u64, 0, self.cfg.feedback_loss)
+    }
+
+    /// Is day `day`'s feedback delayed by one day?
+    pub fn feedback_delayed(&self, day: usize) -> bool {
+        self.coin(FaultKind::FeedbackDelay, day as u64, 0, 0, self.cfg.feedback_delay)
+    }
+
+    /// Corrupted value for the algorithm-visible utility entry
+    /// `(request r, broker b)` of `(day, batch)`, or `None` if the
+    /// entry is clean. The corrupted value cycles through NaN, +∞, −∞
+    /// and an absurdly large finite score.
+    pub fn corrupt_utility(&self, day: usize, batch: usize, r: usize, b: usize) -> Option<f64> {
+        let (day, batch) = (day as u64, batch as u64);
+        if !self.coin(FaultKind::UtilityCorruption, day, batch, 0, self.cfg.utility_corruption) {
+            return None;
+        }
+        // Entry-level coin keyed by both indices folded into one word.
+        let cell = (r as u64) << 32 | (b as u64 & 0xFFFF_FFFF);
+        if !self.coin(
+            FaultKind::UtilityCorruption,
+            day,
+            batch,
+            cell | 1 << 63,
+            self.cfg.corruption_density,
+        ) {
+            return None;
+        }
+        let h = self.draw(FaultKind::UtilityCorruption, day, batch, cell);
+        Some(match h % 4 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            _ => 1.0e12,
+        })
+    }
+
+    /// Number of consecutive batches (including `batch` itself) that a
+    /// spike starting at `(day, batch)` merges. `1` means no spike.
+    pub fn batch_spike_span(&self, day: usize, batch: usize) -> usize {
+        if self.coin(FaultKind::BatchSpike, day as u64, batch as u64, 0, self.cfg.batch_spike) {
+            self.cfg.spike_span.max(1)
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(FaultConfig::scenario("full-chaos", seed).unwrap())
+    }
+
+    #[test]
+    fn plans_are_pure_functions_of_the_seed() {
+        let (a, b) = (plan(7), plan(7));
+        for day in 0..30 {
+            for broker in 0..50 {
+                for batch in 0..20 {
+                    assert_eq!(
+                        a.broker_offline(day, batch, broker),
+                        b.broker_offline(day, batch, broker)
+                    );
+                }
+            }
+            assert_eq!(a.feedback_lost(day, 0), b.feedback_lost(day, 0));
+            assert_eq!(a.batch_spike_span(day, 3), b.batch_spike_span(day, 3));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, b) = (plan(7), plan(8));
+        let mut differs = false;
+        for day in 0..50 {
+            for broker in 0..50 {
+                if a.broker_offline(day, 0, broker) != b.broker_offline(day, 0, broker) {
+                    differs = true;
+                }
+            }
+        }
+        assert!(differs, "two seeds produced identical dropout schedules");
+    }
+
+    #[test]
+    fn dropout_rate_tracks_probability() {
+        let p = FaultPlan::new(FaultConfig { seed: 3, day_dropout: 0.2, ..FaultConfig::default() });
+        let mut down = 0usize;
+        let total = 200 * 40;
+        for day in 0..200 {
+            for broker in 0..40 {
+                if p.broker_offline(day, 0, broker) {
+                    down += 1;
+                }
+            }
+        }
+        let rate = down as f64 / total as f64;
+        assert!((rate - 0.2).abs() < 0.03, "empirical dropout rate {rate}");
+    }
+
+    #[test]
+    fn mid_day_dropout_is_monotone_within_a_day() {
+        // Once a broker goes down mid-day it must stay down.
+        let p = FaultPlan::new(FaultConfig {
+            seed: 11,
+            mid_day_dropout: 0.5,
+            ..FaultConfig::default()
+        });
+        for day in 0..50 {
+            for broker in 0..20 {
+                let mut was_down = false;
+                for batch in 0..30 {
+                    let down = p.broker_offline(day, batch, broker);
+                    assert!(down || !was_down, "broker came back mid-day");
+                    was_down = down;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feedback_loss_is_per_attempt() {
+        let p =
+            FaultPlan::new(FaultConfig { seed: 5, feedback_loss: 0.5, ..FaultConfig::default() });
+        // With 50% loss per attempt, some day must succeed by attempt 20.
+        for day in 0..10 {
+            let ok = (0..20).any(|attempt| !p.feedback_lost(day, attempt));
+            assert!(ok, "day {day} lost all 20 attempts at p=0.5");
+        }
+    }
+
+    #[test]
+    fn corruption_yields_nonfinite_and_huge_values() {
+        let p = FaultPlan::new(FaultConfig {
+            seed: 9,
+            utility_corruption: 1.0,
+            corruption_density: 1.0,
+            ..FaultConfig::default()
+        });
+        let (mut nan, mut inf, mut huge) = (0, 0, 0);
+        for r in 0..20 {
+            for b in 0..20 {
+                match p.corrupt_utility(0, 0, r, b) {
+                    Some(v) if v.is_nan() => nan += 1,
+                    Some(v) if v.is_infinite() => inf += 1,
+                    Some(_) => huge += 1,
+                    None => panic!("density 1.0 must corrupt every entry"),
+                }
+            }
+        }
+        assert!(nan > 0 && inf > 0 && huge > 0, "nan={nan} inf={inf} huge={huge}");
+    }
+
+    #[test]
+    fn named_scenarios_resolve_and_unknown_rejects() {
+        for name in SCENARIOS {
+            assert!(FaultConfig::scenario(name, 1).is_some(), "scenario {name}");
+        }
+        assert!(FaultConfig::scenario("does-not-exist", 1).is_none());
+        assert!(FaultConfig::scenario("none", 1).unwrap().is_quiet());
+        assert!(!FaultConfig::scenario("full-chaos", 1).unwrap().is_quiet());
+    }
+}

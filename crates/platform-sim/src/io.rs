@@ -112,9 +112,38 @@ fn parse<T: std::str::FromStr>(field: &str, line: usize, what: &str) -> Result<T
     })
 }
 
+/// Semantic checks on a parsed broker row: external CSVs routinely
+/// carry NaNs from failed joins or negated sentinel values, and a
+/// negative capacity or duplicate id would corrupt every downstream
+/// ledger index rather than fail loudly here.
+fn validate_broker(
+    b: &BrokerProfile,
+    line: usize,
+    seen: &mut std::collections::HashSet<usize>,
+) -> Result<(), CsvError> {
+    let semantic = |message: String| CsvError::Parse { line, message };
+    if !b.quality.is_finite() || b.quality < 0.0 {
+        return Err(semantic(format!(
+            "broker {}: quality {} must be finite and ≥ 0",
+            b.id, b.quality
+        )));
+    }
+    if !b.true_capacity.is_finite() || b.true_capacity < 0.0 {
+        return Err(semantic(format!(
+            "broker {}: true_capacity {} must be finite and ≥ 0",
+            b.id, b.true_capacity
+        )));
+    }
+    if !seen.insert(b.id) {
+        return Err(semantic(format!("duplicate broker id {}", b.id)));
+    }
+    Ok(())
+}
+
 /// Parse a broker CSV produced by [`brokers_to_csv`].
 pub fn brokers_from_csv(csv: &str) -> Result<Vec<BrokerProfile>, CsvError> {
     let mut out = Vec::new();
+    let mut seen_ids = std::collections::HashSet::new();
     for (i, row) in csv.lines().enumerate() {
         if i == 0 {
             if row.trim() != BROKER_HEADER {
@@ -157,6 +186,7 @@ pub fn brokers_from_csv(csv: &str) -> Result<Vec<BrokerProfile>, CsvError> {
                 .map(|v| parse(v, line, "preference"))
                 .collect::<Result<Vec<f64>, _>>()?,
         });
+        validate_broker(out.last().expect("just pushed"), line, &mut seen_ids)?;
     }
     Ok(out)
 }
@@ -165,6 +195,7 @@ pub fn brokers_from_csv(csv: &str) -> Result<Vec<BrokerProfile>, CsvError> {
 /// day/batch structure.
 pub fn requests_from_csv(csv: &str) -> Result<Vec<Vec<Batch>>, CsvError> {
     let mut requests: Vec<Request> = Vec::new();
+    let mut lines_of: Vec<usize> = Vec::new();
     for (i, row) in csv.lines().enumerate() {
         if i == 0 {
             if row.trim() != REQUEST_HEADER {
@@ -197,17 +228,46 @@ pub fn requests_from_csv(csv: &str) -> Result<Vec<Vec<Batch>>, CsvError> {
                 .map(|v| parse(v, line, "attr"))
                 .collect::<Result<Vec<f64>, _>>()?,
         });
+        lines_of.push(line);
     }
     // Rebuild days/batches preserving encounter order within each cell.
+    // A day or batch index nobody uses means the file skipped an index
+    // (typically a truncated or mis-joined export); the runner would
+    // silently execute an empty interval, so reject it with the line of
+    // the first request past the gap.
     let num_days = requests.iter().map(|r| r.day + 1).max().unwrap_or(0);
     let mut days: Vec<Vec<Batch>> = Vec::with_capacity(num_days);
     for d in 0..num_days {
         let num_batches =
             requests.iter().filter(|r| r.day == d).map(|r| r.batch + 1).max().unwrap_or(0);
+        if num_batches == 0 {
+            let line = requests
+                .iter()
+                .zip(&lines_of)
+                .find(|(r, _)| r.day > d)
+                .map(|(_, l)| *l)
+                .unwrap_or(1);
+            return Err(CsvError::Parse {
+                line,
+                message: format!("day index gap: no requests for day {d}"),
+            });
+        }
         let mut batches: Vec<Batch> =
             (0..num_batches).map(|_| Batch { requests: Vec::new() }).collect();
         for r in requests.iter().filter(|r| r.day == d) {
             batches[r.batch].requests.push(r.clone());
+        }
+        if let Some(k) = batches.iter().position(|b| b.requests.is_empty()) {
+            let line = requests
+                .iter()
+                .zip(&lines_of)
+                .find(|(r, _)| r.day == d && r.batch > k)
+                .map(|(_, l)| *l)
+                .unwrap_or(1);
+            return Err(CsvError::Parse {
+                line,
+                message: format!("batch index gap: day {d} has no requests in batch {k}"),
+            });
         }
         days.push(batches);
     }
@@ -216,12 +276,8 @@ pub fn requests_from_csv(csv: &str) -> Result<Vec<Vec<Batch>>, CsvError> {
 
 /// Load a dataset previously written by [`save_dataset`].
 pub fn load_dataset(dir: &Path, name: &str) -> Result<Dataset, CsvError> {
-    let brokers = brokers_from_csv(&fs::read_to_string(
-        dir.join(format!("{name}.brokers.csv")),
-    )?)?;
-    let days = requests_from_csv(&fs::read_to_string(
-        dir.join(format!("{name}.requests.csv")),
-    )?)?;
+    let brokers = brokers_from_csv(&fs::read_to_string(dir.join(format!("{name}.brokers.csv")))?)?;
+    let days = requests_from_csv(&fs::read_to_string(dir.join(format!("{name}.requests.csv")))?)?;
     Ok(Dataset { name: name.to_string(), brokers, days })
 }
 
@@ -305,5 +361,75 @@ mod tests {
     fn wrong_width_rejected() {
         let csv = format!("{BROKER_HEADER}\n1,2,3\n");
         assert!(brokers_from_csv(&csv).is_err());
+    }
+
+    fn broker_row(id: usize, quality: &str, capacity: &str) -> String {
+        format!("{id},30,5,2,1,0.8,8,10,20,15,{quality},{capacity},0.08,1.2,0.5,0.5,0.5,0.5")
+    }
+
+    #[test]
+    fn non_finite_and_negative_latents_rejected() {
+        for (q, c) in [("NaN", "40"), ("inf", "40"), ("-0.1", "40"), ("0.5", "NaN"), ("0.5", "-3")]
+        {
+            let csv = format!("{BROKER_HEADER}\n{}\n", broker_row(0, q, c));
+            let err = brokers_from_csv(&csv).unwrap_err();
+            match err {
+                CsvError::Parse { line, message } => {
+                    assert_eq!(line, 2, "q={q} c={c}");
+                    assert!(
+                        message.contains("finite"),
+                        "q={q} c={c}: unexpected message {message:?}"
+                    );
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_broker_ids_rejected() {
+        let csv = format!(
+            "{BROKER_HEADER}\n{}\n{}\n",
+            broker_row(3, "0.5", "40"),
+            broker_row(3, "0.6", "30")
+        );
+        let err = brokers_from_csv(&csv).unwrap_err();
+        match err {
+            CsvError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("duplicate broker id 3"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn day_index_gap_rejected_with_line() {
+        // Requests on days 0 and 2 but none on day 1.
+        let csv =
+            format!("{REQUEST_HEADER}\n0,0,0,0.5,0.1,0.1,0.1,0.1\n1,2,0,0.5,0.1,0.1,0.1,0.1\n");
+        let err = requests_from_csv(&csv).unwrap_err();
+        match err {
+            CsvError::Parse { line, message } => {
+                assert_eq!(line, 3, "points at the first request past the gap");
+                assert!(message.contains("day index gap"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_index_gap_rejected_with_line() {
+        // Day 0 has batches 0 and 2 but no batch 1.
+        let csv =
+            format!("{REQUEST_HEADER}\n0,0,0,0.5,0.1,0.1,0.1,0.1\n1,0,2,0.5,0.1,0.1,0.1,0.1\n");
+        let err = requests_from_csv(&csv).unwrap_err();
+        match err {
+            CsvError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("batch index gap"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

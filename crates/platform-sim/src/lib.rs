@@ -31,6 +31,7 @@ pub mod capacity_model;
 pub mod config;
 pub mod dataset;
 pub mod environment;
+pub mod faults;
 pub mod io;
 pub mod metrics;
 pub mod request;
@@ -42,6 +43,7 @@ pub use capacity_model::overload_factor;
 pub use config::{CityId, RealWorldConfig, SyntheticConfig};
 pub use dataset::{Batch, Dataset};
 pub use environment::{Appeal, AppealConfig, BatchOutcome, DayFeedback, Platform, TrialTriple};
-pub use metrics::{gini, BrokerLedger, RunMetrics};
+pub use faults::{FaultConfig, FaultKind, FaultPlan, SCENARIOS};
+pub use metrics::{gini, BrokerLedger, LedgerSnapshot, ResilienceStats, RunMetrics};
 pub use request::Request;
 pub use utility::UtilityModel;

@@ -145,6 +145,68 @@ impl BrokerLedger {
     }
 }
 
+/// Owned copy of a [`BrokerLedger`]'s accumulators, for checkpointing.
+/// Field order mirrors the ledger; all per-broker vectors must share
+/// one length.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LedgerSnapshot {
+    /// Per-broker realised utility.
+    pub realized_utility: Vec<f64>,
+    /// Per-broker predicted utility.
+    pub predicted_utility: Vec<f64>,
+    /// Per-broker requests served.
+    pub requests_served: Vec<f64>,
+    /// Per-day realised totals.
+    pub daily_realized: Vec<f64>,
+    /// Per-day served counts.
+    pub daily_served: Vec<f64>,
+    /// Per-broker peak single-day workload.
+    pub peak_daily_workload: Vec<f64>,
+    /// Per-broker workload within the open day (zero at day boundary).
+    pub workload_today: Vec<f64>,
+}
+
+impl BrokerLedger {
+    /// Copy out every accumulator (checkpoint save).
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot {
+            realized_utility: self.realized_utility.clone(),
+            predicted_utility: self.predicted_utility.clone(),
+            requests_served: self.requests_served.clone(),
+            daily_realized: self.daily_realized.clone(),
+            daily_served: self.daily_served.clone(),
+            peak_daily_workload: self.peak_daily_workload.clone(),
+            workload_today: self.workload_today.clone(),
+        }
+    }
+
+    /// Rebuild a ledger from a snapshot (checkpoint restore). Rejects
+    /// snapshots whose per-broker vectors disagree on the population
+    /// size.
+    pub fn from_snapshot(s: LedgerSnapshot) -> Result<BrokerLedger, String> {
+        let n = s.realized_utility.len();
+        if s.predicted_utility.len() != n
+            || s.requests_served.len() != n
+            || s.peak_daily_workload.len() != n
+            || s.workload_today.len() != n
+        {
+            return Err("ledger snapshot has inconsistent broker counts".to_string());
+        }
+        if s.daily_realized.len() != s.daily_served.len() {
+            return Err("ledger snapshot has inconsistent day counts".to_string());
+        }
+        Ok(BrokerLedger {
+            realized_utility: s.realized_utility,
+            predicted_utility: s.predicted_utility,
+            requests_served: s.requests_served,
+            daily_realized: s.daily_realized,
+            daily_served: s.daily_served,
+            peak_daily_workload: s.peak_daily_workload,
+            workload_today: s.workload_today,
+        })
+    }
+}
+
 /// Jain's fairness index `(Σx)² / (n·Σx²)` of a non-negative
 /// distribution: 1 = perfectly even, `1/n` = all mass on one broker.
 /// The complement view of [`gini`], common in the fair-allocation
@@ -203,6 +265,55 @@ pub struct RunMetrics {
     pub daily_elapsed: Vec<f64>,
     /// The broker ledger of the run.
     pub ledger: BrokerLedger,
+    /// Degradation/fault accounting, populated by the resilient runner
+    /// (`None` for plain runs).
+    pub resilience: Option<ResilienceStats>,
+}
+
+/// Counters of every degradation event a fault-tolerant run absorbed.
+/// Zero everywhere means the primary policy served the whole horizon
+/// unassisted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Batches where the primary assigner panicked.
+    pub primary_panics: u64,
+    /// Batches where the primary assigner exceeded its time budget.
+    pub primary_timeouts: u64,
+    /// Batches where the primary returned an invalid assignment
+    /// (length/range/matching violation or an offline broker).
+    pub invalid_primary_outputs: u64,
+    /// Batches served by the greedy fallback rung.
+    pub greedy_fallbacks: u64,
+    /// Batches where the capacity-aware top-k patcher completed an
+    /// assignment the higher rungs left partial.
+    pub topk_patches: u64,
+    /// Non-finite utility entries sanitised before matching.
+    pub utilities_sanitized: u64,
+    /// Feedback delivery attempts that failed and were retried.
+    pub feedback_retries: u64,
+    /// Days whose feedback never arrived (delivered as an empty day).
+    pub feedback_lost_days: u64,
+    /// Days whose feedback arrived one day late.
+    pub feedback_delayed_days: u64,
+    /// Requests whose executed broker was offline (service failed).
+    pub requests_failed: u64,
+}
+
+impl ResilienceStats {
+    /// Total degradation events of any kind (the headline counter the
+    /// chaos report surfaces).
+    pub fn degradation_events(&self) -> u64 {
+        self.primary_panics
+            + self.primary_timeouts
+            + self.invalid_primary_outputs
+            + self.greedy_fallbacks
+            + self.topk_patches
+            + self.utilities_sanitized
+            + self.feedback_retries
+            + self.feedback_lost_days
+            + self.feedback_delayed_days
+            + self.requests_failed
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +328,7 @@ mod tests {
             assignments: pairs.to_vec(),
             pair_realized: pairs.iter().map(|_| realized / n).collect(),
             pair_predicted: pairs.iter().map(|_| predicted / n).collect(),
+            failed: Vec::new(),
         }
     }
 

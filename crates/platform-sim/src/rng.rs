@@ -19,13 +19,7 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
 
 /// `N(mean, std²)` clamped into `[lo, hi]` — used for bounded broker
 /// attributes (ages, rates, capacities).
-pub fn normal_clamped<R: Rng + ?Sized>(
-    rng: &mut R,
-    mean: f64,
-    std: f64,
-    lo: f64,
-    hi: f64,
-) -> f64 {
+pub fn normal_clamped<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
     normal(rng, mean, std).clamp(lo, hi)
 }
 

@@ -39,12 +39,7 @@ impl UtilityModel {
     /// Predicted sign-up probability `u_{r,b} ∈ [0, 1]`.
     pub fn utility(&self, request: &Request, broker: &BrokerProfile) -> f64 {
         // Cosine affinity in [0,1].
-        let dot: f64 = request
-            .attrs
-            .iter()
-            .zip(&broker.preference)
-            .map(|(a, b)| a * b)
-            .sum();
+        let dot: f64 = request.attrs.iter().zip(&broker.preference).map(|(a, b)| a * b).sum();
         let affinity = 0.5 * (dot + 1.0);
         let blended =
             broker.quality * (1.0 - self.affinity_weight + self.affinity_weight * affinity);
@@ -84,8 +79,7 @@ mod tests {
     fn setup() -> (Vec<Request>, Vec<BrokerProfile>) {
         let mut rng = StdRng::seed_from_u64(42);
         let brokers = BrokerProfile::generate(&mut rng, 40);
-        let requests: Vec<Request> =
-            (0..10).map(|i| Request::sample(&mut rng, i, 0, 0)).collect();
+        let requests: Vec<Request> = (0..10).map(|i| Request::sample(&mut rng, i, 0, 0)).collect();
         (requests, brokers)
     }
 

@@ -6,20 +6,13 @@
 //! Run with: `cargo run --release --example appeals_and_io`
 
 use caam::matching::max_weight_assignment;
-use caam::platform_sim::{
-    io, Appeal, AppealConfig, Dataset, Platform, Request, SyntheticConfig,
-};
+use caam::platform_sim::{io, Appeal, AppealConfig, Dataset, Platform, Request, SyntheticConfig};
 use std::path::Path;
 
 fn main() {
     // 1. Generate and round-trip the dataset through CSV.
-    let cfg = SyntheticConfig {
-        num_brokers: 30,
-        num_requests: 600,
-        days: 2,
-        imbalance: 0.3,
-        seed: 2024,
-    };
+    let cfg =
+        SyntheticConfig { num_brokers: 30, num_requests: 600, days: 2, imbalance: 0.3, seed: 2024 };
     let ds = Dataset::synthetic(&cfg);
     let dir = Path::new("results/example_dataset");
     io::save_dataset(&ds, dir, "demo").expect("save dataset");
@@ -44,8 +37,7 @@ fn main() {
         // rejected broker via the zeroed utility column.
         let appeals: Vec<Appeal> = platform.take_pending_appeals();
         if !appeals.is_empty() {
-            let requests: Vec<Request> =
-                appeals.iter().map(|a| a.request.clone()).collect();
+            let requests: Vec<Request> = appeals.iter().map(|a| a.request.clone()).collect();
             let u = platform.utility_matrix_with_appeals(&requests, &appeals);
             let assignment = max_weight_assignment(&u).row_to_col;
             // Sanity: never re-assign to the rejected broker.

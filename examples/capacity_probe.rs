@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example capacity_probe`
 
 use caam::bandit::{
-    theorem1_bound, CandidateCapacities, CapacityEstimator, LinUcb, NeuralUcb, NnUcb,
-    NnUcbConfig, RegretTracker,
+    theorem1_bound, CandidateCapacities, CapacityEstimator, LinUcb, NeuralUcb, NnUcb, NnUcbConfig,
+    RegretTracker,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,14 +27,15 @@ fn main() {
     // batches 16 observations per training flush (Alg. 1). To compare the
     // *policies* rather than the gradient-step budget, give the batched
     // variant proportionally more epochs per flush (6 × 16 ≈ 96).
-    let base =
-        NnUcbConfig { alpha: 0.1, lr: 0.05, train_epochs: 6, covariance: caam::linalg::UcbCovariance::Full, ..NnUcbConfig::default() };
-    let mut nn = NnUcb::new(
-        &mut rng,
-        1,
-        arms.clone(),
-        NnUcbConfig { train_epochs: 96, ..base.clone() },
-    );
+    let base = NnUcbConfig {
+        alpha: 0.1,
+        lr: 0.05,
+        train_epochs: 6,
+        covariance: caam::linalg::UcbCovariance::Full,
+        ..NnUcbConfig::default()
+    };
+    let mut nn =
+        NnUcb::new(&mut rng, 1, arms.clone(), NnUcbConfig { train_epochs: 96, ..base.clone() });
     let mut neural = NeuralUcb::new(&mut rng, 1, arms.clone(), base);
     let mut lin = LinUcb::new(1, arms.clone(), 0.1, 0.1);
 

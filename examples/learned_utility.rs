@@ -33,13 +33,8 @@ fn pair_features(r: &Request, b: &BrokerProfile) -> Vec<f64> {
 }
 
 fn main() {
-    let cfg = SyntheticConfig {
-        num_brokers: 60,
-        num_requests: 9000,
-        days: 6,
-        imbalance: 0.25,
-        seed: 31,
-    };
+    let cfg =
+        SyntheticConfig { num_brokers: 60, num_requests: 9000, days: 6, imbalance: 0.25, seed: 31 };
     let ds = Dataset::synthetic(&cfg);
     let mut platform = Platform::from_dataset(&ds);
     let mut policy = RandomizedRecommendation::new(9);
@@ -79,8 +74,7 @@ fn main() {
     // 3. Evaluate against the simulator's true utility on unseen day-5
     //    requests: correlation and top-3 recovery.
     let truth = platform.utility_model().clone();
-    let eval_reqs: Vec<&Request> =
-        ds.days[4].iter().flat_map(|b| b.requests.iter()).collect();
+    let eval_reqs: Vec<&Request> = ds.days[4].iter().flat_map(|b| b.requests.iter()).collect();
     let mut predicted = Vec::new();
     let mut actual = Vec::new();
     let mut top3_hits = 0usize;

@@ -35,9 +35,7 @@ fn main() {
     println!();
     println!(
         "{:>4} {:>12} {:>12} | estimated capacities of watched brokers",
-        "day",
-        "LACB util",
-        "Oracle util"
+        "day", "LACB util", "Oracle util"
     );
 
     for (d, day) in ds.days.iter().enumerate() {
@@ -78,9 +76,7 @@ fn main() {
     }
 
     let est = lacb.shrinkage().expect("tabular estimator is the default");
-    let with_evidence = (0..ds.brokers.len())
-        .filter(|&b| est.broker_trials(b) >= 2.0)
-        .count();
+    let with_evidence = (0..ds.brokers.len()).filter(|&b| est.broker_trials(b) >= 2.0).count();
     println!(
         "\n{with_evidence}/{} brokers accumulated enough trials for personalised estimates.",
         ds.brokers.len()

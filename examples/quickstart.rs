@@ -9,13 +9,8 @@ use caam::platform_sim::{Dataset, SyntheticConfig};
 fn main() {
     // A small but overload-prone world: 60 brokers, 3000 requests over
     // 5 days (≈10 requests per batch).
-    let cfg = SyntheticConfig {
-        num_brokers: 60,
-        num_requests: 3000,
-        days: 5,
-        imbalance: 0.17,
-        seed: 42,
-    };
+    let cfg =
+        SyntheticConfig { num_brokers: 60, num_requests: 3000, days: 5, imbalance: 0.17, seed: 42 };
     let dataset = Dataset::synthetic(&cfg);
     println!(
         "dataset: {} brokers, {} requests, {} days\n",
@@ -24,11 +19,8 @@ fn main() {
         dataset.num_days()
     );
 
-    let mut algos: Vec<Box<dyn Assigner>> = vec![
-        Box::new(TopK::new(1, 7)),
-        Box::new(TopK::new(3, 8)),
-        Box::new(Lacb::new_opt()),
-    ];
+    let mut algos: Vec<Box<dyn Assigner>> =
+        vec![Box::new(TopK::new(1, 7)), Box::new(TopK::new(3, 8)), Box::new(Lacb::new_opt())];
     println!("{:<10} {:>14} {:>10}", "algorithm", "total utility", "seconds");
     let mut results = Vec::new();
     for algo in &mut algos {

@@ -1,7 +1,7 @@
 //! Reproducibility: identical seeds must give bit-identical runs, and
 //! different seeds must actually change stochastic policies.
 
-use caam::lacb::{run, Assigner, Lacb, LacbConfig, RunConfig, TopK, RandomizedRecommendation};
+use caam::lacb::{run, Assigner, Lacb, LacbConfig, RandomizedRecommendation, RunConfig, TopK};
 use caam::platform_sim::{Dataset, SyntheticConfig};
 
 fn dataset(seed: u64) -> Dataset {
@@ -24,7 +24,10 @@ fn identical_seeds_identical_results() {
     for mk in [
         || Box::new(TopK::new(3, 5)) as Box<dyn Assigner>,
         || Box::new(RandomizedRecommendation::new(5)) as Box<dyn Assigner>,
-        || Box::new(Lacb::new(LacbConfig { seed: 5, ..LacbConfig::default() })) as Box<dyn Assigner>,
+        || {
+            Box::new(Lacb::new(LacbConfig { seed: 5, ..LacbConfig::default() }))
+                as Box<dyn Assigner>
+        },
     ] {
         let a = total(mk(), &ds);
         let b = total(mk(), &ds);

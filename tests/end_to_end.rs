@@ -1,7 +1,10 @@
 //! End-to-end integration: the full algorithm suite over a synthetic
 //! horizon, checking the paper's headline orderings (Sec. VII-D).
 
-use caam::lacb::{run, Assigner, BatchKm, CTopK, Lacb, LacbConfig, OracleCapacity, RunConfig, RandomizedRecommendation, TopK};
+use caam::lacb::{
+    run, Assigner, BatchKm, CTopK, Lacb, LacbConfig, OracleCapacity, RandomizedRecommendation,
+    RunConfig, TopK,
+};
 use caam::platform_sim::{Dataset, SyntheticConfig};
 use std::collections::HashMap;
 

@@ -29,10 +29,6 @@ fn sec2_top_brokers_exceed_city_average_and_knee() {
             c.city,
             c.top1_ratio
         );
-        assert!(
-            c.overloaded_count > 0,
-            "{}: no top broker crosses the capacity knee",
-            c.city
-        );
+        assert!(c.overloaded_count > 0, "{}: no top broker crosses the capacity knee", c.city);
     }
 }
