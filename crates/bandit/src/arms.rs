@@ -84,9 +84,16 @@ impl CandidateCapacities {
     /// (normalised) status features.
     pub fn encode(&self, context: &[f64], capacity: f64) -> Vec<f64> {
         let mut out = Vec::with_capacity(context.len() + 1);
+        self.encode_into(context, capacity, &mut out);
+        out
+    }
+
+    /// In-place [`Self::encode`]: clears and refills `out`, reusing its
+    /// capacity — the per-arm scoring loop calls this once per arm.
+    pub fn encode_into(&self, context: &[f64], capacity: f64, out: &mut Vec<f64>) {
+        out.clear();
         out.extend_from_slice(context);
         out.push(capacity / self.max_value);
-        out
     }
 
     /// Dimensionality of the encoded `[x; c]` vector for a context of the

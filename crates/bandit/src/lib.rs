@@ -46,7 +46,7 @@ pub use arms::CandidateCapacities;
 pub use epsilon_greedy::EpsilonGreedy;
 pub use linucb::LinUcb;
 pub use neural_ucb::NeuralUcb;
-pub use nn_ucb::{CapacitySelection, NnUcb, NnUcbConfig};
+pub use nn_ucb::{CapacitySelection, NnUcb, NnUcbConfig, NnUcbScratch};
 pub use personalized::PersonalizedEstimator;
 pub use regret::{theorem1_bound, RegretTracker};
 pub use shrinkage::ShrinkageEstimator;

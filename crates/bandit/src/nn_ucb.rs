@@ -4,8 +4,23 @@ use crate::arms::CandidateCapacities;
 use crate::state;
 use crate::traits::CapacityEstimator;
 use linalg::{InverseTracker, UcbCovariance};
-use neural::{Mlp, MlpBuilder};
+use neural::{Mlp, MlpBuilder, MlpScratch};
 use rand::Rng;
+
+/// Reusable buffers for one arm-scoring pass: the network scratch, the
+/// `[x; c]` encoding, the current gradient, and the per-arm prediction
+/// table the selection policies read. Build with [`NnUcb::scratch`];
+/// one scratch per thread makes parallel per-broker UCB evaluation
+/// allocation-free ([`NnUcb::estimate_with`] /
+/// [`ShrinkageEstimator::estimate_with`](crate::ShrinkageEstimator::estimate_with)).
+#[derive(Clone, Debug)]
+pub struct NnUcbScratch {
+    pub(crate) mlp: MlpScratch,
+    pub(crate) enc: Vec<f64>,
+    pub(crate) grad: Vec<f64>,
+    pub(crate) preds: Vec<f64>,
+    pub(crate) order: Vec<usize>,
+}
 
 /// Hyper-parameters of [`NnUcb`], defaulting to the paper's values
 /// (Sec. VII-A: `α = 0.001`, `λ = 0.001`, `batchSize = 16`, 3-layer MLP,
@@ -126,6 +141,10 @@ pub struct NnUcb {
     replay: std::collections::VecDeque<(Vec<f64>, f64, f64)>,
     trials: u64,
     cumulative_reward: f64,
+    /// Lazily-built scoring buffers for the `&mut self` entry points
+    /// (`choose`/`update`). Derived state: never serialised, and cloning
+    /// it merely clones warm buffers.
+    scratch_slot: Option<NnUcbScratch>,
 }
 
 impl NnUcb {
@@ -148,6 +167,7 @@ impl NnUcb {
             replay: std::collections::VecDeque::new(),
             trials: 0,
             cumulative_reward: 0.0,
+            scratch_slot: None,
         }
     }
 
@@ -166,6 +186,7 @@ impl NnUcb {
             replay: std::collections::VecDeque::new(),
             trials: 0,
             cumulative_reward: 0.0,
+            scratch_slot: None,
         }
     }
 
@@ -207,24 +228,54 @@ impl NnUcb {
         s + self.dinv.exploration_bonus(self.cfg.alpha, &g)
     }
 
+    /// Build reusable scoring buffers sized for this bandit's network.
+    pub fn scratch(&self) -> NnUcbScratch {
+        NnUcbScratch {
+            mlp: self.net.scratch(),
+            enc: Vec::new(),
+            grad: Vec::new(),
+            preds: Vec::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Allocation-free [`Self::predict`]: same value, buffers reused.
+    pub fn predict_with(&self, context: &[f64], capacity: f64, s: &mut NnUcbScratch) -> f64 {
+        self.arms.encode_into(context, capacity, &mut s.enc);
+        self.net.forward_into(&s.enc, &mut s.mlp)
+    }
+
+    /// Allocation-free [`Self::ucb`]: same value, buffers reused. Leaves
+    /// the arm's gradient in `s.grad`.
+    pub fn ucb_with(&self, context: &[f64], capacity: f64, s: &mut NnUcbScratch) -> f64 {
+        self.arms.encode_into(context, capacity, &mut s.enc);
+        let pred = self.net.forward_with_gradient_into(&s.enc, &mut s.mlp, &mut s.grad);
+        pred + self.dinv.exploration_bonus(self.cfg.alpha, &s.grad)
+    }
+
     /// Arm selection (Alg. 1 lines 6–10) under the configured
     /// [`CapacitySelection`] policy.
-    fn best_arm(&self, context: &[f64]) -> (usize, Vec<f64>) {
-        // Per-arm predictions, UCBs and gradients.
-        let mut preds = Vec::with_capacity(self.arms.len());
-        let mut grads: Vec<Vec<f64>> = Vec::with_capacity(self.arms.len());
+    ///
+    /// Two-phase to stay allocation-free: every arm is scored through one
+    /// reused gradient buffer (the UCB only needs each arm's gradient
+    /// transiently, for its exploration bonus), then the *chosen* arm's
+    /// gradient is recomputed into `s.grad` — skipped when the winner was
+    /// the last arm evaluated. This avoids retaining `|C|` gradient
+    /// vectors while producing bit-identical selections and gradients.
+    fn best_arm_with(&self, context: &[f64], s: &mut NnUcbScratch) -> usize {
+        let NnUcbScratch { mlp, enc, grad, preds, order } = s;
+        preds.clear();
         let mut max_ucb = f64::NEG_INFINITY;
         let mut argmax_ucb = 0usize;
         for (i, &c) in self.arms.values().iter().enumerate() {
-            let enc = self.arms.encode(context, c);
-            let (s, g) = self.net.forward_with_gradient(&enc);
-            let u = s + self.dinv.exploration_bonus(self.cfg.alpha, &g);
+            self.arms.encode_into(context, c, enc);
+            let pred = self.net.forward_with_gradient_into(enc, mlp, grad);
+            let u = pred + self.dinv.exploration_bonus(self.cfg.alpha, grad);
             if u > max_ucb {
                 max_ucb = u;
                 argmax_ucb = i;
             }
-            preds.push(s);
-            grads.push(g);
+            preds.push(pred);
         }
         // The plateau/marginal readings operate on the *predictions*, not
         // the UCBs: the exploration bonus is largest exactly on the
@@ -250,7 +301,8 @@ impl NnUcb {
             CapacitySelection::MarginalValue { tau } => {
                 // Order arms by capacity and compute marginal predicted
                 // daily value between consecutive arms.
-                let mut order: Vec<usize> = (0..preds.len()).collect();
+                order.clear();
+                order.extend(0..preds.len());
                 order
                     .sort_by(|&a, &b| self.arms.value(a).partial_cmp(&self.arms.value(b)).unwrap());
                 let max_pred = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -271,8 +323,20 @@ impl NnUcb {
                 best_idx
             }
         };
-        let grad = std::mem::take(&mut grads[best_idx]);
-        (best_idx, grad)
+        // Phase two: `grad` currently holds the *last* arm's gradient;
+        // recompute for the chosen arm unless it already matches.
+        if best_idx + 1 != self.arms.len() {
+            self.arms.encode_into(context, self.arms.value(best_idx), enc);
+            self.net.forward_with_gradient_into(enc, mlp, grad);
+        }
+        best_idx
+    }
+
+    /// Allocation-free [`CapacityEstimator::estimate`]: same value,
+    /// buffers reused — the entry point for parallel per-broker scoring
+    /// with one scratch per worker thread.
+    pub fn estimate_with(&self, context: &[f64], s: &mut NnUcbScratch) -> f64 {
+        self.arms.value(self.best_arm_with(context, s))
     }
 
     /// Train on the buffered trials (Alg. 1 lines 15–18): minimise
@@ -388,6 +452,7 @@ impl NnUcb {
             replay: replay_vec.into(),
             trials,
             cumulative_reward: cum[0],
+            scratch_slot: None,
         })
     }
 }
@@ -420,14 +485,16 @@ fn read_obs<'a, I: Iterator<Item = &'a str>>(
 
 impl CapacityEstimator for NnUcb {
     fn estimate(&self, context: &[f64]) -> f64 {
-        let (idx, _) = self.best_arm(context);
-        self.arms.value(idx)
+        let mut s = self.scratch();
+        self.estimate_with(context, &mut s)
     }
 
     fn choose(&mut self, context: &[f64]) -> f64 {
-        let (idx, grad) = self.best_arm(context);
+        let mut s = self.scratch_slot.take().unwrap_or_else(|| self.scratch());
+        let idx = self.best_arm_with(context, &mut s);
         // Alg. 1 line 12: D ← D + g gᵀ for the chosen arm.
-        self.dinv.rank1_update(&grad);
+        self.dinv.rank1_update(&s.grad);
+        self.scratch_slot = Some(s);
         self.arms.value(idx)
     }
 
@@ -439,9 +506,11 @@ impl CapacityEstimator for NnUcb {
         // can be imposed by the assignment layer). Without this, a
         // passively-fed bandit would keep its initial exploration bonus
         // forever and its argmax would be dominated by gradient norms.
-        let enc = self.arms.encode(context, workload);
-        let g = self.net.param_gradient(&enc);
-        self.dinv.rank1_update(&g);
+        let mut s = self.scratch_slot.take().unwrap_or_else(|| self.scratch());
+        self.arms.encode_into(context, workload, &mut s.enc);
+        self.net.forward_with_gradient_into(&s.enc, &mut s.mlp, &mut s.grad);
+        self.dinv.rank1_update(&s.grad);
+        self.scratch_slot = Some(s);
         self.buffer.push((context.to_vec(), workload, reward));
         if self.buffer.len() >= self.cfg.batch_size {
             self.flush_buffer();
@@ -648,5 +717,67 @@ mod tests {
         b.update(&[0.0, 0.0], 10.0, 0.2);
         b.update(&[0.0, 0.0], 10.0, 0.3);
         assert!((b.cumulative_reward() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_paths_match_allocating_paths_bitwise() {
+        let mut b = bandit(21);
+        for i in 0..40 {
+            b.update(&[0.2 + 0.01 * i as f64, 0.6], 10.0 + (i % 5) as f64 * 10.0, 0.2);
+        }
+        b.flush();
+        let mut s = b.scratch();
+        for ctx in [[0.1, 0.9], [0.5, 0.5], [0.8, 0.2]] {
+            for &c in b.arms().values() {
+                assert_eq!(b.predict(&ctx, c).to_bits(), b.predict_with(&ctx, c, &mut s).to_bits());
+                assert_eq!(b.ucb(&ctx, c).to_bits(), b.ucb_with(&ctx, c, &mut s).to_bits());
+                // `ucb_with` leaves the arm's gradient behind, bit-equal
+                // to the allocating gradient path.
+                let g = b.net.param_gradient(&b.arms.encode(&ctx, c));
+                assert_eq!(g.len(), s.grad.len());
+                for (a, w) in g.iter().zip(&s.grad) {
+                    assert_eq!(a.to_bits(), w.to_bits());
+                }
+            }
+            assert_eq!(b.estimate(&ctx).to_bits(), b.estimate_with(&ctx, &mut s).to_bits());
+        }
+    }
+
+    /// `choose` must commit the *chosen* arm's gradient to `D`, not the
+    /// last arm scored. MarginalValue typically selects an interior arm,
+    /// exercising the phase-two gradient recompute.
+    #[test]
+    fn choose_commits_the_chosen_arms_gradient() {
+        for selection in [
+            CapacitySelection::ArgmaxUcb,
+            CapacitySelection::KneePlateau { tolerance: 0.05 },
+            CapacitySelection::MarginalValue { tau: 0.3 },
+        ] {
+            let mut rng = StdRng::seed_from_u64(33);
+            let cfg = NnUcbConfig { selection, ..Default::default() };
+            let mut b = NnUcb::new(&mut rng, 2, arms(), cfg);
+            for i in 0..40 {
+                b.update(&[0.3, 0.7], 10.0 + (i % 5) as f64 * 10.0, true_reward(30.0) * 0.9);
+            }
+            b.flush();
+            let ctx = [0.3, 0.7];
+            let mut manual = b.clone();
+            let cap = b.choose(&ctx);
+            assert_eq!(cap, manual.estimate(&ctx), "choose and estimate must agree");
+            // Reproduce the covariance commit by hand on the clone.
+            let g = manual.net.param_gradient(&manual.arms.encode(&ctx, cap));
+            manual.dinv.rank1_update(&g);
+            match (&b.dinv, &manual.dinv) {
+                (
+                    InverseTracker::Diagonal { diag: got },
+                    InverseTracker::Diagonal { diag: want },
+                ) => {
+                    for (a, w) in got.iter().zip(want) {
+                        assert_eq!(a.to_bits(), w.to_bits(), "selection {selection:?}");
+                    }
+                }
+                _ => panic!("expected diagonal covariance in this test"),
+            }
+        }
     }
 }

@@ -21,7 +21,7 @@
 //! benches.
 
 use crate::arms::CandidateCapacities;
-use crate::nn_ucb::{NnUcb, NnUcbConfig};
+use crate::nn_ucb::{NnUcb, NnUcbConfig, NnUcbScratch};
 use crate::state;
 use crate::traits::CapacityEstimator;
 use rand::Rng;
@@ -109,6 +109,12 @@ impl ShrinkageEstimator {
         &self.base
     }
 
+    /// Build reusable scoring buffers sized for the base network — one
+    /// per worker thread for parallel per-broker estimation.
+    pub fn scratch(&self) -> NnUcbScratch {
+        self.base.scratch()
+    }
+
     /// Number of trials broker `b` has contributed.
     pub fn broker_trials(&self, b: usize) -> f64 {
         self.stats[b].total()
@@ -120,14 +126,23 @@ impl ShrinkageEstimator {
     /// tolerance), fall back to the median arm — an uninformative prior
     /// beats reading noise.
     pub fn base_knee(&self, context: &[f64]) -> f64 {
+        let mut s = self.base.scratch();
+        self.base_knee_with(context, &mut s)
+    }
+
+    /// Allocation-free [`Self::base_knee`]: same value, buffers reused.
+    pub fn base_knee_with(&self, context: &[f64], s: &mut NnUcbScratch) -> f64 {
         if self.base.trials() < self.warmup_trials {
             // Untrained curves are noise; start optimistic.
             return self.arm_quantile(0.75);
         }
-        let preds: Vec<f64> =
-            self.arms.values().iter().map(|&c| self.base.predict(context, c)).collect();
-        let max = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let min = preds.iter().cloned().fold(f64::INFINITY, f64::min);
+        s.preds.clear();
+        for &c in self.arms.values() {
+            let p = self.base.predict_with(context, c, s);
+            s.preds.push(p);
+        }
+        let max = s.preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = s.preds.iter().cloned().fold(f64::INFINITY, f64::min);
         if max - min < self.plateau_tol * max.abs() {
             // Uninformative curve: population median arm.
             return self.arm_quantile(0.5);
@@ -137,7 +152,7 @@ impl ShrinkageEstimator {
             .values()
             .iter()
             .enumerate()
-            .filter(|&(i, _)| preds[i] >= cutoff)
+            .filter(|&(i, _)| s.preds[i] >= cutoff)
             .map(|(_, &c)| c)
             .fold(f64::NEG_INFINITY, f64::max)
     }
@@ -179,7 +194,15 @@ impl ShrinkageEstimator {
     /// Personalised estimate for broker `b`: count-weighted blend of the
     /// broker's empirical knee and the contextual base knee.
     pub fn estimate(&self, b: usize, context: &[f64]) -> f64 {
-        let base = self.base_knee(context);
+        let mut s = self.base.scratch();
+        self.estimate_with(b, context, &mut s)
+    }
+
+    /// Allocation-free [`Self::estimate`]: same value, buffers reused.
+    /// `&self`-pure, so independent brokers can be estimated in parallel
+    /// with one scratch per worker thread.
+    pub fn estimate_with(&self, b: usize, context: &[f64], s: &mut NnUcbScratch) -> f64 {
+        let base = self.base_knee_with(context, s);
         let knee = match self.empirical_knee(b) {
             Some(emp) => {
                 let n = self.stats[b].total();

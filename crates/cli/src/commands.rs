@@ -32,7 +32,9 @@ pub const USAGE: &str = "usage:
                   batch-spike|full-chaos
                 [--algo …as in run] [--fault-seed N] [--raw]
                 [--deadline-ms MS] [--checkpoint-day D]
-                [--checkpoint-out FILE] [synthetic flags]";
+                [--checkpoint-out FILE] [synthetic flags]
+  caam bench-serve [--quick] [--threads 1,2,4,8] [--repeat N] [--out FILE]
+                [--baseline FILE] [--slack-ms X] [--seed N]";
 
 /// Route a raw argv to its subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -46,6 +48,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "compare" => cmd_compare(&args),
         "bandits" => cmd_bandits(&args),
         "chaos" => cmd_chaos(&args),
+        "bench-serve" => crate::bench_serve::cmd_bench_serve(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

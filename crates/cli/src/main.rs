@@ -9,6 +9,7 @@
 //! ```
 
 mod args;
+mod bench_serve;
 mod commands;
 
 fn main() {

@@ -26,7 +26,7 @@ use crate::resilient::{ResilienceConfig, ResilientAssigner};
 use bandit::state;
 use platform_sim::{
     BrokerLedger, BrokerState, Dataset, DayFeedback, FaultPlan, Platform, ResilienceStats,
-    RunMetrics, TrialTriple,
+    RunMetrics, StageTimings, TrialTriple,
 };
 use std::fmt;
 use std::path::Path;
@@ -498,6 +498,7 @@ pub fn resume_chaos(
         daily_elapsed: progress.daily_elapsed,
         ledger,
         resilience: Some(stats),
+        timings: StageTimings::default(),
     })
 }
 

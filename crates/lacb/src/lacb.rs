@@ -4,8 +4,8 @@
 use crate::assigner::Assigner;
 use crate::value_function::ValueFunction;
 use bandit::{CandidateCapacities, NnUcbConfig, PersonalizedEstimator, ShrinkageEstimator};
-use matching::cbs::candidate_union;
-use matching::hungarian::{max_weight_assignment, max_weight_assignment_padded};
+use matching::cbs::candidate_union_seeded;
+use matching::hungarian::KmSolver;
 use matching::UtilityMatrix;
 use platform_sim::{DayFeedback, Platform, Request, STATUS_DIM};
 use rand::rngs::StdRng;
@@ -56,6 +56,11 @@ pub struct LacbConfig {
     pub plateau_tol: f64,
     /// RNG seed (bandit init, CBS pivots).
     pub seed: u64,
+    /// Worker threads for per-broker capacity estimation and CBS
+    /// (`1` = fully inline). Results are bit-identical for every thread
+    /// count: per-broker estimation is a pure function mapped in order,
+    /// and CBS pivots derive from per-row seeds, not a shared stream.
+    pub n_threads: usize,
 }
 
 /// Personalisation mechanism for the capacity estimator.
@@ -89,13 +94,6 @@ enum EstimatorImpl {
 }
 
 impl EstimatorImpl {
-    fn choose(&mut self, broker: usize, context: &[f64]) -> f64 {
-        match self {
-            EstimatorImpl::Tabular(e) => e.estimate(broker, context),
-            EstimatorImpl::Layer(e) => e.choose(broker, context),
-        }
-    }
-
     fn update(&mut self, broker: usize, context: &[f64], workload: f64, reward: f64) {
         match self {
             EstimatorImpl::Tabular(e) => e.update(broker, context, workload, reward),
@@ -141,6 +139,7 @@ impl Default for LacbConfig {
             plateau_tol: 0.1,
             max_capacity_state: 80,
             seed: 1013,
+            n_threads: 1,
         }
     }
 }
@@ -166,6 +165,17 @@ pub struct Lacb {
     /// Completed days.
     days_elapsed: u64,
     rng: StdRng,
+    /// Reusable KM solver. Within a day its column duals warm-start
+    /// consecutive balanced batch solves; reset at every `begin_day` so
+    /// warm state never crosses a checkpoint boundary (it is derived
+    /// state and is not serialised).
+    solver: KmSolver,
+    /// Batch counter within the current day (CBS seed derivation).
+    batch_in_day: u64,
+    /// Utility-matrix buffers reused across batches.
+    full_buf: UtilityMatrix,
+    reduced_buf: UtilityMatrix,
+    pruned_buf: UtilityMatrix,
 }
 
 impl Lacb {
@@ -182,6 +192,11 @@ impl Lacb {
             days_reached: Vec::new(),
             days_elapsed: 0,
             rng,
+            solver: KmSolver::new(),
+            batch_in_day: 0,
+            full_buf: UtilityMatrix::zeros(0, 0),
+            reduced_buf: UtilityMatrix::zeros(0, 0),
+            pruned_buf: UtilityMatrix::zeros(0, 0),
         }
     }
 
@@ -337,6 +352,11 @@ impl Lacb {
             days_reached: days_reached.iter().map(|&x| x as u64).collect(),
             days_elapsed,
             rng: StdRng::from_state([rng_words[0], rng_words[1], rng_words[2], rng_words[3]]),
+            solver: KmSolver::new(),
+            batch_in_day: 0,
+            full_buf: UtilityMatrix::zeros(0, 0),
+            reduced_buf: UtilityMatrix::zeros(0, 0),
+            pruned_buf: UtilityMatrix::zeros(0, 0),
         })
     }
 
@@ -409,9 +429,34 @@ impl Assigner for Lacb {
 
     fn begin_day(&mut self, platform: &Platform, _day: usize) {
         self.ensure_initialized(platform);
-        let estimator = self.estimator.as_mut().expect("initialized above");
-        for b in 0..platform.num_brokers() {
-            let raw = estimator.choose(b, platform.day_start_status(b));
+        // Warm KM duals describe yesterday's utility landscape; drop
+        // them at the day boundary so a checkpoint-restored run (which
+        // starts with a cold solver) replays bit-identically.
+        self.solver.reset();
+        self.batch_in_day = 0;
+        let n = platform.num_brokers();
+        // Per-broker capacity estimation. The tabular estimator is
+        // `&self`-pure, so brokers are scored in parallel with one
+        // scratch per worker — a pure per-broker function mapped in
+        // order, so the result is identical for every thread count.
+        // Layer transfer mutates per-broker bandits and stays
+        // sequential.
+        let raws: Vec<f64> = match self.estimator.as_mut().expect("initialized above") {
+            EstimatorImpl::Tabular(e) => {
+                let e: &bandit::ShrinkageEstimator = e;
+                let brokers: Vec<usize> = (0..n).collect();
+                pool::map_chunked(
+                    self.cfg.n_threads,
+                    &brokers,
+                    || e.scratch(),
+                    |s, _i, &b| e.estimate_with(b, platform.day_start_status(b), s),
+                )
+            }
+            EstimatorImpl::Layer(e) => {
+                (0..n).map(|b| e.choose(b, platform.day_start_status(b))).collect()
+            }
+        };
+        for (b, raw) in raws.into_iter().enumerate() {
             let mut cap = if self.days_elapsed == 0 || self.cfg.capacity_smoothing <= 0.0 {
                 raw
             } else {
@@ -451,22 +496,38 @@ impl Assigner for Lacb {
         if available.is_empty() || requests.is_empty() {
             return vec![None; requests.len()];
         }
-        let full = platform.utility_matrix(requests);
-        let mut reduced = full.select_columns(&available);
+        // Reuse the matrix buffers across batches (zero steady-state
+        // allocation); they are moved out locally to keep the borrow
+        // checker happy around `refine_utilities`.
+        let mut full = std::mem::replace(&mut self.full_buf, UtilityMatrix::zeros(0, 0));
+        let mut reduced = std::mem::replace(&mut self.reduced_buf, UtilityMatrix::zeros(0, 0));
+        platform.utility_matrix_into(requests, &mut full);
+        reduced.select_columns_from(&full, &available);
         // Alg. 2 lines 5–6 / Eq. (15): value-function refinement.
         self.refine_utilities(&mut reduced, &available, platform);
 
         // Alg. 2 line 7: KM on refined utilities; LACB-Opt first prunes
-        // with CBS (Alg. 3) to Top^r_{|R|} candidates.
+        // with CBS (Alg. 3) to Top^r_{|R|} candidates. The CBS pivot
+        // stream is a pure hash of (seed, day, batch), so LACB-Opt's
+        // candidate sets are reproducible for any thread count. The
+        // balanced path warm-starts the KM solver from the previous
+        // batch's column duals whenever the available-broker count is
+        // unchanged (`KmSolver` falls back to cold automatically
+        // otherwise, and rectangular solves are always cold).
+        let batch_seed = splitmix(self.cfg.seed ^ (self.days_elapsed << 20) ^ self.batch_in_day);
+        self.batch_in_day += 1;
         let (result, col_map): (_, Option<Vec<usize>>) = if self.cfg.use_cbs {
             let k = requests.len();
-            let cols = candidate_union(&reduced, k, &mut self.rng);
-            let pruned = reduced.select_columns(&cols);
-            (max_weight_assignment(&pruned), Some(cols))
+            let cols = candidate_union_seeded(&reduced, k, batch_seed, self.cfg.n_threads);
+            let mut pruned = std::mem::replace(&mut self.pruned_buf, UtilityMatrix::zeros(0, 0));
+            pruned.select_columns_from(&reduced, &cols);
+            let result = self.solver.solve(&pruned);
+            self.pruned_buf = pruned;
+            (result, Some(cols))
         } else if reduced.rows() <= reduced.cols() {
-            (max_weight_assignment_padded(&reduced), None)
+            (self.solver.solve_padded(&reduced), None)
         } else {
-            (max_weight_assignment(&reduced), None)
+            (self.solver.solve(&reduced), None)
         };
 
         // Map back to broker ids; TD-update the value function per
@@ -488,6 +549,8 @@ impl Assigner for Lacb {
                 self.reached_today[b] = true;
             }
         }
+        self.full_buf = full;
+        self.reduced_buf = reduced;
         assignment
     }
 

@@ -34,6 +34,7 @@ use matching::hungarian::sanitize_utilities;
 use matching::UtilityMatrix;
 use platform_sim::{
     BrokerLedger, Dataset, DayFeedback, FaultPlan, Platform, Request, ResilienceStats, RunMetrics,
+    StageTimings,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -81,11 +82,29 @@ pub struct ResilientAssigner<A: Assigner> {
     /// Current day (set in `begin_day`; `end_day` runs after the
     /// platform has already advanced its own day counter).
     day: usize,
+    /// Sanitised utility matrix, reused across degraded batches.
+    clean_buf: UtilityMatrix,
+    /// Online-columns sub-matrix for the greedy rung, reused likewise.
+    sub_buf: UtilityMatrix,
+    /// Per-request broker ranking scratch for the top-k patcher.
+    ranked_buf: Vec<usize>,
+    /// Intra-batch load counters for the top-k patcher.
+    load_buf: Vec<u32>,
 }
 
 impl<A: Assigner> ResilientAssigner<A> {
     pub fn new(primary: A, cfg: ResilienceConfig) -> Self {
-        Self { primary, cfg, stats: ResilienceStats::default(), pending_feedback: None, day: 0 }
+        Self {
+            primary,
+            cfg,
+            stats: ResilienceStats::default(),
+            pending_feedback: None,
+            day: 0,
+            clean_buf: UtilityMatrix::zeros(0, 0),
+            sub_buf: UtilityMatrix::zeros(0, 0),
+            ranked_buf: Vec::new(),
+            load_buf: Vec::new(),
+        }
     }
 
     /// The wrapped policy.
@@ -125,12 +144,12 @@ impl<A: Assigner> ResilientAssigner<A> {
         true
     }
 
-    /// The sanitised algorithm-visible utility matrix, with the
-    /// sanitisation count folded into the stats.
-    fn clean_matrix(&mut self, platform: &Platform, requests: &[Request]) -> UtilityMatrix {
-        let mut m = platform.utility_matrix(requests);
-        self.stats.utilities_sanitized += sanitize_utilities(&mut m) as u64;
-        m
+    /// Refill the sanitised algorithm-visible utility matrix buffer,
+    /// with the sanitisation count folded into the stats. The buffer is
+    /// reused across batches — a degraded batch costs no allocation.
+    fn clean_matrix(&mut self, platform: &Platform, requests: &[Request]) {
+        platform.utility_matrix_into(requests, &mut self.clean_buf);
+        self.stats.utilities_sanitized += sanitize_utilities(&mut self.clean_buf) as u64;
     }
 
     /// Ladder stage 2: greedy matching restricted to online brokers.
@@ -144,9 +163,9 @@ impl<A: Assigner> ResilientAssigner<A> {
         if online.is_empty() {
             return vec![None; requests.len()];
         }
-        let m = self.clean_matrix(platform, requests);
-        let sub = UtilityMatrix::from_fn(requests.len(), online.len(), |r, j| m.get(r, online[j]));
-        let g = greedy_assignment(&sub, f64::NEG_INFINITY);
+        self.clean_matrix(platform, requests);
+        self.sub_buf.select_columns_from(&self.clean_buf, online);
+        let g = greedy_assignment(&self.sub_buf, f64::NEG_INFINITY);
         g.row_to_col.iter().map(|slot| slot.map(|j| online[j])).collect()
     }
 
@@ -164,12 +183,16 @@ impl<A: Assigner> ResilientAssigner<A> {
         if online.is_empty() || assignment.iter().all(|a| a.is_some()) {
             return;
         }
-        let m = self.clean_matrix(platform, requests);
-        let mut batch_load = vec![0u32; platform.num_brokers()];
+        self.clean_matrix(platform, requests);
+        let m = &self.clean_buf;
+        self.load_buf.clear();
+        self.load_buf.resize(platform.num_brokers(), 0);
         for b in assignment.iter().flatten() {
-            batch_load[*b] += 1;
+            self.load_buf[*b] += 1;
         }
-        let mut ranked = online.to_vec();
+        self.ranked_buf.clear();
+        self.ranked_buf.extend_from_slice(online);
+        let ranked = &mut self.ranked_buf;
         for (r, slot) in assignment.iter_mut().enumerate() {
             if slot.is_some() {
                 continue;
@@ -180,13 +203,13 @@ impl<A: Assigner> ResilientAssigner<A> {
                 .iter()
                 .copied()
                 .min_by(|&a, &b| {
-                    let la = platform.workload_today(a) + f64::from(batch_load[a]);
-                    let lb = platform.workload_today(b) + f64::from(batch_load[b]);
+                    let la = platform.workload_today(a) + f64::from(self.load_buf[a]);
+                    let lb = platform.workload_today(b) + f64::from(self.load_buf[b]);
                     la.total_cmp(&lb).then(a.cmp(&b))
                 })
                 .expect("top slice is non-empty");
             *slot = Some(best);
-            batch_load[best] += 1;
+            self.load_buf[best] += 1;
             self.stats.topk_patches += 1;
         }
     }
@@ -306,6 +329,7 @@ pub fn run_chaos(
     let mut elapsed = 0.0f64;
     let mut daily_utility = Vec::new();
     let mut daily_elapsed = Vec::new();
+    let mut timings = StageTimings::default();
     let mut requests_failed = 0u64;
 
     let days = match cfg.max_days {
@@ -316,11 +340,15 @@ pub fn run_chaos(
         platform.begin_day();
         let t0 = Instant::now();
         assigner.begin_day(&platform, d);
-        elapsed += t0.elapsed().as_secs_f64();
+        let dt = t0.elapsed().as_secs_f64();
+        elapsed += dt;
+        timings.begin_day_secs.push(dt);
         for batch in day {
             let t = Instant::now();
             let assignment = assigner.assign_batch(&platform, &batch.requests);
-            elapsed += t.elapsed().as_secs_f64();
+            let dt = t.elapsed().as_secs_f64();
+            elapsed += dt;
+            timings.assign_batch_secs.push(dt);
             let outcome = platform.execute_batch(&batch.requests, &assignment);
             requests_failed += outcome.failed.len() as u64;
             ledger.record_batch(&outcome);
@@ -328,7 +356,9 @@ pub fn run_chaos(
         let feedback = platform.end_day();
         let t = Instant::now();
         assigner.end_day(&platform, &feedback);
-        elapsed += t.elapsed().as_secs_f64();
+        let dt = t.elapsed().as_secs_f64();
+        elapsed += dt;
+        timings.end_day_secs.push(dt);
         ledger.end_day(feedback.realized);
         daily_utility.push(feedback.realized);
         daily_elapsed.push(elapsed);
@@ -344,6 +374,7 @@ pub fn run_chaos(
         daily_elapsed,
         ledger,
         resilience: Some(stats),
+        timings,
     }
 }
 

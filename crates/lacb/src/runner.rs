@@ -2,7 +2,7 @@
 //! collects the metrics the paper's figures report.
 
 use crate::assigner::Assigner;
-use platform_sim::{BrokerLedger, Dataset, Platform, RunMetrics};
+use platform_sim::{BrokerLedger, Dataset, Platform, RunMetrics, StageTimings};
 use std::time::Instant;
 
 /// Runner options.
@@ -23,6 +23,7 @@ pub fn run(dataset: &Dataset, assigner: &mut dyn Assigner, cfg: &RunConfig) -> R
     let mut elapsed = 0.0f64;
     let mut daily_utility = Vec::new();
     let mut daily_elapsed = Vec::new();
+    let mut timings = StageTimings::default();
 
     let days = match cfg.max_days {
         Some(d) => d.min(dataset.days.len()),
@@ -33,12 +34,16 @@ pub fn run(dataset: &Dataset, assigner: &mut dyn Assigner, cfg: &RunConfig) -> R
         platform.begin_day();
         let t0 = Instant::now();
         assigner.begin_day(&platform, d);
-        elapsed += t0.elapsed().as_secs_f64();
+        let dt = t0.elapsed().as_secs_f64();
+        elapsed += dt;
+        timings.begin_day_secs.push(dt);
 
         for batch in day {
             let t = Instant::now();
             let assignment = assigner.assign_batch(&platform, &batch.requests);
-            elapsed += t.elapsed().as_secs_f64();
+            let dt = t.elapsed().as_secs_f64();
+            elapsed += dt;
+            timings.assign_batch_secs.push(dt);
             let outcome = platform.execute_batch(&batch.requests, &assignment);
             ledger.record_batch(&outcome);
         }
@@ -46,7 +51,9 @@ pub fn run(dataset: &Dataset, assigner: &mut dyn Assigner, cfg: &RunConfig) -> R
         let feedback = platform.end_day();
         let t = Instant::now();
         assigner.end_day(&platform, &feedback);
-        elapsed += t.elapsed().as_secs_f64();
+        let dt = t.elapsed().as_secs_f64();
+        elapsed += dt;
+        timings.end_day_secs.push(dt);
 
         ledger.end_day(feedback.realized);
         daily_utility.push(feedback.realized);
@@ -61,6 +68,7 @@ pub fn run(dataset: &Dataset, assigner: &mut dyn Assigner, cfg: &RunConfig) -> R
         daily_elapsed,
         ledger,
         resilience: None,
+        timings,
     }
 }
 

@@ -77,6 +77,62 @@ proptest! {
         }
     }
 
+    /// Thread count is purely an implementation detail of the serving
+    /// loop: under arbitrary fault schedules, LACB and LACB-Opt produce
+    /// bit-identical totals and per-broker loads whether the per-broker
+    /// estimation and CBS run inline or on 2/4/8 workers.
+    #[test]
+    fn thread_count_never_changes_results(
+        data_seed in 0u64..200,
+        fault_seed in 0u64..1000,
+        dropout in 0.0f64..0.4,
+        corruption in 0.0f64..0.4,
+        spike in 0.0f64..0.4,
+        cbs_sel in 0u64..2,
+    ) {
+        let cfg = FaultConfig {
+            seed: fault_seed,
+            day_dropout: dropout,
+            mid_day_dropout: 0.0,
+            feedback_loss: 0.2,
+            feedback_delay: 0.1,
+            utility_corruption: corruption,
+            corruption_density: 0.1,
+            batch_spike: spike,
+            spike_span: 3,
+        };
+        let plan = FaultPlan::new(cfg);
+        let ds = world(data_seed, 2);
+        let use_cbs = cbs_sel == 1;
+        let base = LacbConfig { use_cbs, ..LacbConfig::default() };
+        let mut reference = ResilientAssigner::new(
+            Lacb::new(base.clone()),
+            ResilienceConfig::default(),
+        );
+        let want = run_chaos(&ds, &mut reference, &RunConfig::default(), plan);
+        for n_threads in [2usize, 4, 8] {
+            let mut assigner = ResilientAssigner::new(
+                Lacb::new(LacbConfig { n_threads, ..base.clone() }),
+                ResilienceConfig::default(),
+            );
+            let got = run_chaos(&ds, &mut assigner, &RunConfig::default(), plan);
+            prop_assert_eq!(
+                want.total_utility.to_bits(),
+                got.total_utility.to_bits(),
+                "{} threads diverged: {} vs {}",
+                n_threads,
+                want.total_utility,
+                got.total_utility
+            );
+            prop_assert_eq!(
+                want.ledger.per_broker_served(),
+                got.ledger.per_broker_served(),
+                "{} threads shifted per-broker load",
+                n_threads
+            );
+        }
+    }
+
     /// A checkpoint taken after any day of the horizon, restored and
     /// resumed, finishes with a total utility bitwise equal to the
     /// uninterrupted run's.

@@ -100,26 +100,44 @@ impl Matrix {
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
         let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// In-place matrix–vector product: `out = A x` without allocating.
+    ///
+    /// `out` must have length `rows`. Arithmetic order matches
+    /// [`Self::matvec`] exactly, so results are bit-identical.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec_into: output dimension mismatch");
         for (i, o) in out.iter_mut().enumerate() {
             *o = crate::vector::dot(self.row(i), x);
         }
-        out
     }
 
     /// Transposed matrix–vector product `Aᵀ x`.
     #[allow(clippy::needless_range_loop)] // index loops are the clear idiom in this kernel
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
         let mut out = vec![0.0; self.cols];
+        self.matvec_t_into(x, &mut out);
+        out
+    }
+
+    /// In-place transposed matrix–vector product: `out = Aᵀ x` without
+    /// allocating. `out` must have length `cols`; it is overwritten.
+    #[allow(clippy::needless_range_loop)] // index loops are the clear idiom in this kernel
+    pub fn matvec_t_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
+        assert_eq!(out.len(), self.cols, "matvec_t_into: output dimension mismatch");
+        out.fill(0.0);
         for i in 0..self.rows {
             let xi = x[i];
             for (o, a) in out.iter_mut().zip(self.row(i)) {
                 *o += xi * a;
             }
         }
-        out
     }
 
     /// Matrix product `A B`.
@@ -255,6 +273,19 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         let x = [1.0, -1.0];
         assert_eq!(a.matvec_t(&x), a.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn matvec_into_matches_allocating_variants() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let x = [0.5, -1.5, 2.0];
+        let mut out = vec![f64::NAN; 2]; // stale garbage must be overwritten
+        a.matvec_into(&x, &mut out);
+        assert_eq!(out, a.matvec(&x));
+        let y = [1.0, -1.0];
+        let mut out_t = vec![f64::NAN; 3];
+        a.matvec_t_into(&y, &mut out_t);
+        assert_eq!(out_t, a.matvec_t(&y));
     }
 
     #[test]

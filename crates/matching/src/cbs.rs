@@ -8,61 +8,105 @@
 //! union — shrinking Kuhn–Munkres from `O(|B|³)` to `O(|R|³ + |R||B|)`.
 //!
 //! Alg. 3 partitions around a pivot drawn uniformly from the utility
-//! values (`LC = {b : u ≥ p}`, `RC = {b : u < p}`) and recurses. We add
-//! the standard three-way partition (`>`, `=`, `<`) so that duplicate
-//! utilities cannot cause unbounded recursion — with two-way partitioning
-//! an all-equal value set puts everything in `LC` forever.
+//! values (`LC = {b : u ≥ p}`, `RC = {b : u < p}`) and recurses. Two
+//! hardening changes over the literal algorithm:
+//!
+//! * **Three-way partitioning** (`>`, `=`, `<`) so duplicate utilities
+//!   cannot cause unbounded iteration — with two-way partitioning an
+//!   all-equal value set puts everything in `LC` forever.
+//! * **Iterative, in-place selection** ([`top_k_into`]): the candidate
+//!   index set is permuted inside one reusable buffer (Dutch-flag
+//!   partition, loop instead of recursion), so the hot path performs no
+//!   allocation and is immune to pathological partition depth.
+//!
+//! For the parallel serving core, [`candidate_union_seeded`] derives an
+//! independent RNG per request row from `(seed, row)`, which makes the
+//! selected union a pure function of the inputs — bit-identical for any
+//! thread count.
 
 use crate::graph::UtilityMatrix;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Indices of the `k` largest values of `utilities`, in no particular
 /// order, via random-pivot quickselect (Alg. 3). Returns all indices when
 /// `k >= utilities.len()` (Alg. 3 lines 1–3).
 pub fn top_k_indices<R: Rng + ?Sized>(utilities: &[f64], k: usize, rng: &mut R) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..utilities.len()).collect();
+    let mut idx = Vec::new();
+    let mut out = Vec::new();
+    top_k_into(utilities, k, rng, &mut idx, &mut out);
+    out
+}
+
+/// Zero-alloc core of [`top_k_indices`]: writes the selected indices
+/// into `out`, using `idx` as the permutation scratch. Both buffers are
+/// cleared first and keep their capacity across calls.
+///
+/// Iterative in-place quickselect: each round three-way-partitions the
+/// active slice `idx[lo..hi]` around a random pivot value into
+/// `(> p | = p | < p)` and either narrows into the `>` region, finishes
+/// from the `=` region, or commits `>`/`=` and recurses into `<` — all
+/// by index arithmetic on the one buffer, so the worst case is bounded
+/// passes over a shrinking slice rather than recursion depth.
+pub fn top_k_into<R: Rng + ?Sized>(
+    utilities: &[f64],
+    k: usize,
+    rng: &mut R,
+    idx: &mut Vec<usize>,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    idx.clear();
+    idx.extend(0..utilities.len());
     if k >= idx.len() {
-        return idx;
+        out.extend_from_slice(idx);
+        return;
     }
-    let mut out = Vec::with_capacity(k);
+    let mut lo = 0usize;
+    let mut hi = idx.len();
     let mut need = k;
-    // Iterative quickselect over the current candidate set.
     while need > 0 {
-        debug_assert!(!idx.is_empty());
-        if idx.len() <= need {
-            out.extend_from_slice(&idx);
+        debug_assert!(lo < hi);
+        if hi - lo <= need {
+            out.extend_from_slice(&idx[lo..hi]);
             break;
         }
-        // Random pivot value drawn from the candidate utilities (Alg. 3 line 4).
-        let p = utilities[idx[rng.gen_range(0..idx.len())]];
-        let mut gt = Vec::new();
-        let mut eq = Vec::new();
-        let mut lt = Vec::new();
-        for &i in &idx {
-            let v = utilities[i];
+        // Random pivot value drawn from the active candidate utilities
+        // (Alg. 3 line 4).
+        let p = utilities[idx[lo + rng.gen_range(0..hi - lo)]];
+        // Dutch-flag partition of idx[lo..hi]:
+        //   [lo..lt) > p   [lt..gt) == p   [gt..hi) < p
+        let mut lt = lo;
+        let mut gt = hi;
+        let mut i = lo;
+        while i < gt {
+            let v = utilities[idx[i]];
             if v > p {
-                gt.push(i);
+                idx.swap(i, lt);
+                lt += 1;
+                i += 1;
             } else if v < p {
-                lt.push(i);
+                gt -= 1;
+                idx.swap(i, gt);
             } else {
-                eq.push(i);
+                i += 1;
             }
         }
-        if gt.len() >= need {
-            idx = gt;
-        } else if gt.len() + eq.len() >= need {
-            out.extend_from_slice(&gt);
-            out.extend_from_slice(&eq[..need - gt.len()]);
+        let n_gt = lt - lo;
+        let n_eq = gt - lt;
+        if n_gt >= need {
+            hi = lt; // answer lies entirely in the > region
+        } else if n_gt + n_eq >= need {
+            out.extend_from_slice(&idx[lo..lt]);
+            out.extend_from_slice(&idx[lt..lt + (need - n_gt)]);
             break;
         } else {
-            out.extend_from_slice(&gt);
-            out.extend_from_slice(&eq);
-            need -= gt.len() + eq.len();
-            idx = lt;
+            out.extend_from_slice(&idx[lo..gt]);
+            need -= n_gt + n_eq;
+            lo = gt;
         }
     }
     debug_assert_eq!(out.len(), k);
-    out
 }
 
 /// The CBS candidate set for a whole batch: the union
@@ -71,9 +115,56 @@ pub fn top_k_indices<R: Rng + ?Sized>(utilities: &[f64], k: usize, rng: &mut R) 
 /// an optimal assignment of the full graph.
 pub fn candidate_union<R: Rng + ?Sized>(u: &UtilityMatrix, k: usize, rng: &mut R) -> Vec<usize> {
     let mut seen = vec![false; u.cols()];
+    let mut idx = Vec::new();
+    let mut out = Vec::new();
     for r in 0..u.rows() {
-        for b in top_k_indices(u.row(r), k, rng) {
+        top_k_into(u.row(r), k, rng, &mut idx, &mut out);
+        for &b in &out {
             seen[b] = true;
+        }
+    }
+    (0..u.cols()).filter(|&b| seen[b]).collect()
+}
+
+/// SplitMix64 — derives statistically independent per-row seeds.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic parallel CBS union: like [`candidate_union`] but each
+/// request row `r` uses its own RNG seeded from `mix(seed ^ r)`, so the
+/// result is a pure function of `(u, k, seed)` — **bit-identical for
+/// every `n_threads`**, including 1. Rows are processed in contiguous
+/// chunks; per-chunk `seen` masks are OR-merged (set union commutes, so
+/// merge order cannot matter either).
+pub fn candidate_union_seeded(
+    u: &UtilityMatrix,
+    k: usize,
+    seed: u64,
+    n_threads: usize,
+) -> Vec<usize> {
+    let parts = n_threads.min(u.rows()).max(1);
+    let chunks: Vec<(usize, usize)> = pool::partition(u.rows(), parts).collect();
+    let masks: Vec<Vec<bool>> = pool::map(parts, &chunks, |_ci, &(lo, hi)| {
+        let mut seen = vec![false; u.cols()];
+        let mut idx = Vec::new();
+        let mut out = Vec::new();
+        for r in lo..hi {
+            let mut rng = StdRng::seed_from_u64(mix(seed ^ (r as u64)));
+            top_k_into(u.row(r), k, &mut rng, &mut idx, &mut out);
+            for &b in &out {
+                seen[b] = true;
+            }
+        }
+        seen
+    });
+    let mut seen = vec![false; u.cols()];
+    for m in &masks {
+        for (s, &v) in seen.iter_mut().zip(m) {
+            *s |= v;
         }
     }
     (0..u.cols()).filter(|&b| seen[b]).collect()
@@ -119,6 +210,46 @@ mod tests {
         let vals = vec![0.5; 100];
         let got = top_k_indices(&vals, 10, &mut rng);
         assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn degenerate_inputs_terminate_and_select_correctly() {
+        let mut rng = StdRng::seed_from_u64(41);
+        // Large all-equal input: the historical worst case for pivot
+        // selection (everything lands in LC under two-way partitioning).
+        let flat = vec![1.25; 10_000];
+        for k in [1usize, 17, 4999, 9999] {
+            let got = top_k_indices(&flat, k, &mut rng);
+            assert_eq!(got.len(), k);
+            assert_eq!(sorted(got.clone()).len(), k, "indices must be distinct");
+        }
+        // Sorted ascending / descending runs (adversarial for fixed-pivot
+        // schemes; random pivots must still terminate and be exact).
+        let asc: Vec<f64> = (0..2000).map(|i| i as f64).collect();
+        let desc: Vec<f64> = (0..2000).map(|i| -(i as f64)).collect();
+        let top = sorted(top_k_indices(&asc, 5, &mut rng));
+        assert_eq!(top, vec![1995, 1996, 1997, 1998, 1999]);
+        let top = sorted(top_k_indices(&desc, 5, &mut rng));
+        assert_eq!(top, vec![0, 1, 2, 3, 4]);
+        // Two distinct values with heavy duplication on both sides.
+        let bimodal: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let got = top_k_indices(&bimodal, 400, &mut rng);
+        assert_eq!(got.len(), 400);
+        assert!(got.iter().all(|&i| bimodal[i] == 1.0), "k < #duplicates of the max");
+    }
+
+    #[test]
+    fn top_k_into_reuses_buffers() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut idx = Vec::new();
+        let mut out = Vec::new();
+        let vals = [0.4, 0.8, 0.1, 0.9, 0.3, 0.7];
+        top_k_into(&vals, 2, &mut rng, &mut idx, &mut out);
+        assert_eq!(sorted(out.clone()), vec![1, 3]);
+        let cap_idx = idx.capacity();
+        top_k_into(&vals, 3, &mut rng, &mut idx, &mut out);
+        assert_eq!(sorted(out.clone()), vec![1, 3, 5]);
+        assert_eq!(idx.capacity(), cap_idx, "scratch must not reallocate on same-size input");
     }
 
     #[test]
@@ -177,5 +308,24 @@ mod tests {
         assert!(cols.windows(2).all(|w| w[0] < w[1]));
         assert!(cols.len() <= 9);
         assert!(!cols.is_empty());
+    }
+
+    #[test]
+    fn seeded_union_is_thread_count_invariant() {
+        let u = UtilityMatrix::from_fn(17, 60, |r, c| (((r * 31 + c * 17) % 97) as f64) * 0.01);
+        let base = candidate_union_seeded(&u, 6, 1013, 1);
+        assert!(base.windows(2).all(|w| w[0] < w[1]));
+        for threads in [2usize, 4, 8] {
+            assert_eq!(candidate_union_seeded(&u, 6, 1013, threads), base, "threads={threads}");
+        }
+        // Different seed may legitimately pick different pivots, but the
+        // union must still preserve the optimal value (Corollary 1 uses
+        // k = rows).
+        let full = max_weight_assignment(&u);
+        for seed in [0u64, 9, 77] {
+            let cols = candidate_union_seeded(&u, u.rows(), seed, 4);
+            let red = max_weight_assignment(&u.select_columns(&cols));
+            assert!((full.total - red.total).abs() < 1e-9, "seed={seed}");
+        }
     }
 }

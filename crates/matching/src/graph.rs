@@ -74,19 +74,37 @@ impl UtilityMatrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshape in place to `rows × cols`, reusing the existing
+    /// allocation; every entry is reset to `0.0`. The in-place
+    /// counterpart of [`UtilityMatrix::zeros`] for buffers that live
+    /// across batches.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// A new matrix restricted to the given column subset (in order).
     /// `cols[i]` becomes column `i` of the result — used by CBS to build
     /// the reduced graph over candidate brokers.
     pub fn select_columns(&self, cols: &[usize]) -> UtilityMatrix {
         let mut out = UtilityMatrix::zeros(self.rows, cols.len());
-        for r in 0..self.rows {
-            let src = self.row(r);
-            let dst = out.row_mut(r);
+        out.select_columns_from(self, cols);
+        out
+    }
+
+    /// In-place [`UtilityMatrix::select_columns`]: refill `self` with the
+    /// chosen columns of `src`, reusing the allocation.
+    pub fn select_columns_from(&mut self, src: &UtilityMatrix, cols: &[usize]) {
+        self.reset(src.rows, cols.len());
+        for r in 0..src.rows {
+            let from = src.row(r);
+            let dst = self.row_mut(r);
             for (i, &c) in cols.iter().enumerate() {
-                dst[i] = src[c];
+                dst[i] = from[c];
             }
         }
-        out
     }
 
     /// Transposed copy.

@@ -142,23 +142,7 @@ pub fn max_weight_assignment(u: &UtilityMatrix) -> AssignmentResult {
 }
 
 fn max_weight_assignment_inner(u: &UtilityMatrix) -> AssignmentResult {
-    if u.rows() == 0 || u.cols() == 0 {
-        return AssignmentResult::empty(u.rows());
-    }
-    if u.rows() <= u.cols() {
-        solve_rect(u)
-    } else {
-        // Transpose, solve, invert the mapping.
-        let t = u.transpose();
-        let at = solve_rect(&t);
-        let mut row_to_col = vec![None; u.rows()];
-        for (tc, m) in at.row_to_col.iter().enumerate() {
-            if let Some(tr) = *m {
-                row_to_col[tr] = Some(tc);
-            }
-        }
-        AssignmentResult { row_to_col, total: at.total }
-    }
+    KmSolver::new().solve(u)
 }
 
 /// The paper-faithful balanced Kuhn–Munkres: pad the request side with
@@ -184,96 +168,284 @@ pub fn max_weight_assignment_padded(u: &UtilityMatrix) -> AssignmentResult {
 }
 
 fn max_weight_assignment_padded_inner(u: &UtilityMatrix) -> AssignmentResult {
-    if u.cols() == 0 {
-        return AssignmentResult::empty(u.rows());
-    }
-    let n = u.cols();
-    let padded = UtilityMatrix::from_fn(n, n, |r, c| if r < u.rows() { u.get(r, c) } else { 0.0 });
-    let full = solve_rect(&padded);
-    let mut row_to_col = full.row_to_col;
-    row_to_col.truncate(u.rows());
-    let total = row_to_col.iter().enumerate().filter_map(|(r, m)| m.map(|c| u.get(r, c))).sum();
-    AssignmentResult { row_to_col, total }
+    KmSolver::new().solve_padded(u)
 }
 
-/// Core rectangular solver (`rows ≤ cols`), minimising `-utility`.
-#[allow(clippy::needless_range_loop)] // index loops are the clear idiom in this kernel
-fn solve_rect(u: &UtilityMatrix) -> AssignmentResult {
-    let n = u.rows();
-    let m = u.cols();
-    debug_assert!(n <= m);
-    const INF: f64 = f64::INFINITY;
+/// Reusable Kuhn–Munkres solver: owns all scratch arrays of the
+/// shortest-augmenting-path formulation so repeated per-batch solves
+/// allocate nothing, and carries *column dual potentials* across solves
+/// for warm starting.
+///
+/// # Warm-start contract
+///
+/// The augmenting loop only ever reads costs through the reduced form
+/// `c_ij − u_i − v_j`, so running it with initial column potentials `v⁰`
+/// is arithmetically identical to a cold run on the shifted cost matrix
+/// `c'_ij = c_ij − v⁰_j`. That shift is harmless **only when every
+/// column is matched** — in a balanced (square) instance every perfect
+/// matching pays `Σ_j v⁰_j` of shift, so the argmin is unchanged. In a
+/// rectangular instance only some columns are used and the shift biases
+/// column choice, producing a suboptimal matching for the original
+/// costs. Therefore:
+///
+/// * [`KmSolver::solve_padded`] (balanced, pads rows with zero utility)
+///   **is** warm-started from the previous padded solve whenever the
+///   column count matches — exactly the serving pattern, where batch
+///   `t+1` sees the same brokers whose "market prices" (duals) moved
+///   only slightly.
+/// * [`KmSolver::solve`] (rectangular) always starts cold and clears
+///   any stored duals.
+///
+/// Warm starting changes nothing about optimality and at most the
+/// tie-breaks of the returned matching; it shortens the augmenting-path
+/// searches (see [`KmSolver::last_ops`] for a deterministic work
+/// counter). Callers that checkpoint state must [`KmSolver::reset`] at
+/// checkpoint boundaries — the duals are derived acceleration state and
+/// are deliberately not serialised.
+#[derive(Clone, Debug)]
+pub struct KmSolver {
+    pot_u: Vec<f64>,
+    pot_v: Vec<f64>,
+    matched_row: Vec<usize>, // column -> row (0 = free); 1-based
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+    zero_row: Vec<f64>,
+    /// `Some(m)` when `pot_v[1..=m]` holds duals usable to warm-start the
+    /// next balanced solve over `m` columns.
+    warm_cols: Option<usize>,
+    /// Inner-relaxation steps of the most recent solve (a deterministic
+    /// proxy for work done; wall-clock-free way to compare warm vs cold).
+    last_ops: u64,
+}
 
-    // 1-based arrays in the classic formulation.
-    let mut pot_u = vec![0.0f64; n + 1];
-    let mut pot_v = vec![0.0f64; m + 1];
-    let mut matched_row = vec![0usize; m + 1]; // column -> row (0 = free)
-    let mut way = vec![0usize; m + 1];
+impl Default for KmSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
-    let mut minv = vec![0.0f64; m + 1];
-    let mut used = vec![false; m + 1];
-
-    for i in 1..=n {
-        matched_row[0] = i;
-        let mut j0 = 0usize;
-        minv.iter_mut().for_each(|v| *v = INF);
-        used.iter_mut().for_each(|v| *v = false);
-        loop {
-            used[j0] = true;
-            let i0 = matched_row[j0];
-            let mut delta = INF;
-            let mut j1 = 0usize;
-            let row = u.row(i0 - 1);
-            for j in 1..=m {
-                if used[j] {
-                    continue;
-                }
-                // cost = -utility
-                let cur = -row[j - 1] - pot_u[i0] - pot_v[j];
-                if cur < minv[j] {
-                    minv[j] = cur;
-                    way[j] = j0;
-                }
-                if minv[j] < delta {
-                    delta = minv[j];
-                    j1 = j;
-                }
-            }
-            debug_assert!(delta.is_finite(), "no augmenting path found");
-            for j in 0..=m {
-                if used[j] {
-                    pot_u[matched_row[j]] += delta;
-                    pot_v[j] -= delta;
-                } else {
-                    minv[j] -= delta;
-                }
-            }
-            j0 = j1;
-            if matched_row[j0] == 0 {
-                break;
-            }
-        }
-        // Unwind the alternating path.
-        loop {
-            let j1 = way[j0];
-            matched_row[j0] = matched_row[j1];
-            j0 = j1;
-            if j0 == 0 {
-                break;
-            }
+impl KmSolver {
+    /// A fresh, cold solver with empty scratch buffers.
+    pub fn new() -> Self {
+        Self {
+            pot_u: Vec::new(),
+            pot_v: Vec::new(),
+            matched_row: Vec::new(),
+            way: Vec::new(),
+            minv: Vec::new(),
+            used: Vec::new(),
+            zero_row: Vec::new(),
+            warm_cols: None,
+            last_ops: 0,
         }
     }
 
-    let mut row_to_col = vec![None; n];
-    let mut total = 0.0;
-    for j in 1..=m {
-        let i = matched_row[j];
-        if i != 0 {
-            row_to_col[i - 1] = Some(j - 1);
-            total += u.get(i - 1, j - 1);
+    /// Forget any stored warm-start potentials (buffers are kept).
+    pub fn reset(&mut self) {
+        self.warm_cols = None;
+    }
+
+    /// Whether the next [`Self::solve_padded`] call can warm-start.
+    pub fn is_warm(&self) -> bool {
+        self.warm_cols.is_some()
+    }
+
+    /// Relaxation steps performed by the most recent solve.
+    pub fn last_ops(&self) -> u64 {
+        self.last_ops
+    }
+
+    /// Column duals left by the last balanced solve (empty when cold).
+    pub fn column_potentials(&self) -> &[f64] {
+        match self.warm_cols {
+            Some(m) => &self.pot_v[1..=m],
+            None => &[],
         }
     }
-    AssignmentResult { row_to_col, total }
+
+    /// Seed column duals for the next balanced solve, e.g. gathered from
+    /// a broker-keyed store when the active column set changes between
+    /// batches.
+    pub fn load_column_potentials(&mut self, v: &[f64]) {
+        let m = v.len();
+        self.pot_v.clear();
+        self.pot_v.resize(m + 1, 0.0);
+        self.pot_v[1..=m].copy_from_slice(v);
+        self.warm_cols = Some(m);
+    }
+
+    /// Cold rectangular maximum-weight solve; drop-in equivalent of
+    /// [`max_weight_assignment`] minus the allocations. Clears warm
+    /// state (rectangular duals are not valid warm-start data — see the
+    /// type-level docs).
+    ///
+    /// # Panics
+    /// Panics on non-finite utilities, like [`max_weight_assignment`].
+    pub fn solve(&mut self, u: &UtilityMatrix) -> AssignmentResult {
+        if let Some((row, col)) = first_non_finite(u) {
+            panic!("{}", MatchingError::NonFiniteUtility { row, col });
+        }
+        self.warm_cols = None;
+        if u.rows() == 0 || u.cols() == 0 {
+            self.last_ops = 0;
+            return AssignmentResult::empty(u.rows());
+        }
+        if u.rows() <= u.cols() {
+            let a = self.run(u, u.rows());
+            self.warm_cols = None;
+            a
+        } else {
+            // Transpose, solve, invert the mapping.
+            let t = u.transpose();
+            let at = self.run(&t, t.rows());
+            self.warm_cols = None;
+            let mut row_to_col = vec![None; u.rows()];
+            for (tc, m) in at.row_to_col.iter().enumerate() {
+                if let Some(tr) = *m {
+                    row_to_col[tr] = Some(tc);
+                }
+            }
+            AssignmentResult { row_to_col, total: at.total }
+        }
+    }
+
+    /// Balanced (padded) maximum-weight solve; drop-in equivalent of
+    /// [`max_weight_assignment_padded`] minus the allocations, and
+    /// **warm-started** from the previous balanced solve when the column
+    /// count matches (or from [`Self::load_column_potentials`]).
+    ///
+    /// The dummy rows are never materialised: rows beyond `u.rows()` read
+    /// from a cached all-zero row, so the padded matrix itself is gone
+    /// too.
+    ///
+    /// # Panics
+    /// Panics if `rows > cols` or on non-finite utilities, like
+    /// [`max_weight_assignment_padded`].
+    pub fn solve_padded(&mut self, u: &UtilityMatrix) -> AssignmentResult {
+        assert!(
+            u.rows() <= u.cols(),
+            "padded KM expects requests ≤ brokers ({} > {})",
+            u.rows(),
+            u.cols()
+        );
+        if let Some((row, col)) = first_non_finite(u) {
+            panic!("{}", MatchingError::NonFiniteUtility { row, col });
+        }
+        if u.cols() == 0 {
+            self.last_ops = 0;
+            return AssignmentResult::empty(u.rows());
+        }
+        let a = self.run(u, u.cols());
+        self.warm_cols = Some(u.cols());
+        // Report only the real rows; dummy rows exist solely to balance.
+        let mut row_to_col = a.row_to_col;
+        row_to_col.truncate(u.rows());
+        let total = row_to_col.iter().enumerate().filter_map(|(r, m)| m.map(|c| u.get(r, c))).sum();
+        AssignmentResult { row_to_col, total }
+    }
+
+    /// Core shortest-augmenting-path loop over `n_rows` rows (rows past
+    /// `u.rows()` are zero-utility padding) and `u.cols()` columns,
+    /// minimising `-utility`. Expects `n_rows ≤ u.cols()`. Starts from
+    /// `pot_v` as-is when `warm_cols == Some(u.cols())`, zeros otherwise.
+    #[allow(clippy::needless_range_loop)] // index loops are the clear idiom in this kernel
+    fn run(&mut self, u: &UtilityMatrix, n_rows: usize) -> AssignmentResult {
+        let n = n_rows;
+        let m = u.cols();
+        let n_real = u.rows();
+        debug_assert!(n <= m);
+        const INF: f64 = f64::INFINITY;
+
+        // Resize scratch; 1-based arrays in the classic formulation.
+        let warm = self.warm_cols == Some(m);
+        if !warm {
+            self.pot_v.clear();
+            self.pot_v.resize(m + 1, 0.0);
+        }
+        self.pot_v[0] = 0.0; // virtual-column dual is never read; keep it tame
+        self.pot_u.clear();
+        self.pot_u.resize(n + 1, 0.0);
+        self.matched_row.clear();
+        self.matched_row.resize(m + 1, 0);
+        self.way.clear();
+        self.way.resize(m + 1, 0);
+        self.minv.resize(m + 1, 0.0);
+        self.used.resize(m + 1, false);
+        self.zero_row.clear();
+        self.zero_row.resize(m, 0.0);
+        let mut ops = 0u64;
+
+        // Split borrows: scratch fields are disjoint, and `zero_row` is
+        // only ever read.
+        let Self { pot_u, pot_v, matched_row, way, minv, used, zero_row, .. } = self;
+
+        for i in 1..=n {
+            matched_row[0] = i;
+            let mut j0 = 0usize;
+            minv.iter_mut().for_each(|v| *v = INF);
+            used.iter_mut().for_each(|v| *v = false);
+            loop {
+                ops += 1;
+                used[j0] = true;
+                let i0 = matched_row[j0];
+                let mut delta = INF;
+                let mut j1 = 0usize;
+                let row: &[f64] = if i0 - 1 < n_real { u.row(i0 - 1) } else { &zero_row[..] };
+                for j in 1..=m {
+                    if used[j] {
+                        continue;
+                    }
+                    // cost = -utility
+                    let cur = -row[j - 1] - pot_u[i0] - pot_v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+                debug_assert!(delta.is_finite(), "no augmenting path found");
+                for j in 0..=m {
+                    if used[j] {
+                        pot_u[matched_row[j]] += delta;
+                        pot_v[j] -= delta;
+                    } else {
+                        minv[j] -= delta;
+                    }
+                }
+                j0 = j1;
+                if matched_row[j0] == 0 {
+                    break;
+                }
+            }
+            // Unwind the alternating path.
+            loop {
+                let j1 = way[j0];
+                matched_row[j0] = matched_row[j1];
+                j0 = j1;
+                if j0 == 0 {
+                    break;
+                }
+            }
+        }
+        self.last_ops = ops;
+
+        let mut row_to_col = vec![None; n];
+        let mut total = 0.0;
+        for j in 1..=m {
+            let i = self.matched_row[j];
+            if i != 0 {
+                row_to_col[i - 1] = Some(j - 1);
+                if i - 1 < n_real {
+                    total += u.get(i - 1, j - 1);
+                }
+            }
+        }
+        AssignmentResult { row_to_col, total }
+    }
 }
 
 /// Exhaustive optimal assignment by enumeration — exponential, only for
@@ -425,6 +597,118 @@ mod tests {
         let mut u = UtilityMatrix::zeros(2, 2);
         u.set(0, 0, f64::NAN);
         max_weight_assignment(&u);
+    }
+
+    /// Deterministic LCG in [0,1) for reproducible random instances.
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64) / (u32::MAX as f64)
+        }
+    }
+
+    #[test]
+    fn km_solver_matches_free_functions() {
+        let mut next = lcg(77);
+        let mut solver = KmSolver::new();
+        for (n, m) in [(2, 2), (3, 5), (5, 5), (4, 7), (6, 3)] {
+            let u = UtilityMatrix::from_fn(n, m, |_, _| next() * 2.0 - 0.5);
+            let a = solver.solve(&u);
+            let b = max_weight_assignment(&u);
+            assert_eq!(a.row_to_col, b.row_to_col, "{n}x{m}");
+            assert_eq!(a.total.to_bits(), b.total.to_bits(), "{n}x{m}");
+            if n <= m {
+                let ap = solver.solve_padded(&u);
+                let bp = max_weight_assignment_padded(&u);
+                assert!((ap.total - bp.total).abs() < 1e-9, "{n}x{m} padded");
+                ap.validate(&u);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_padded_solve_stays_optimal_on_perturbed_sequence() {
+        // Serving pattern: successive batches over the same brokers with
+        // slightly perturbed utilities. The warm solver must stay exactly
+        // optimal (checked against brute force) at every step.
+        let mut next = lcg(2024);
+        let n = 4;
+        let m = 6;
+        let base = UtilityMatrix::from_fn(n, m, |_, _| next());
+        let mut warm = KmSolver::new();
+        for _batch in 0..12 {
+            let u = UtilityMatrix::from_fn(n, m, |r, c| base.get(r, c) + 0.05 * (next() - 0.5));
+            let got = warm.solve_padded(&u);
+            let best = brute_force_assignment(&u);
+            assert!(
+                (got.total - best).abs() < 1e-9,
+                "warm solve must stay optimal: {} vs {best}",
+                got.total
+            );
+            got.validate(&u);
+        }
+    }
+
+    #[test]
+    fn warm_padded_solve_does_less_work_than_cold() {
+        // A larger balanced instance where duals genuinely transfer: the
+        // same matrix modulo a small perturbation. `last_ops` is a
+        // deterministic work counter, so this cannot flake on timing.
+        let mut next = lcg(99);
+        let m = 40;
+        let base = UtilityMatrix::from_fn(m, m, |_, _| next());
+        let mut warm = KmSolver::new();
+        let mut warm_ops = 0u64;
+        let mut cold_ops = 0u64;
+        for batch in 0..8 {
+            let u = UtilityMatrix::from_fn(m, m, |r, c| base.get(r, c) + 0.01 * (next() - 0.5));
+            let w = warm.solve_padded(&u);
+            if batch > 0 {
+                warm_ops += warm.last_ops();
+                let mut cold = KmSolver::new();
+                let c = cold.solve_padded(&u);
+                cold_ops += cold.last_ops();
+                assert!((w.total - c.total).abs() < 1e-9, "warm and cold must agree on value");
+            }
+        }
+        assert!(
+            warm_ops * 3 < cold_ops * 2,
+            "warm start should cut relaxation work by ≥1.5x: warm {warm_ops} vs cold {cold_ops}"
+        );
+    }
+
+    #[test]
+    fn warm_state_resets_and_rect_solves_never_warm_start() {
+        let u = UtilityMatrix::from_fn(3, 3, |r, c| ((r * 3 + c) % 5) as f64);
+        let mut s = KmSolver::new();
+        s.solve_padded(&u);
+        assert!(s.is_warm());
+        assert_eq!(s.column_potentials().len(), 3);
+        s.reset();
+        assert!(!s.is_warm());
+        s.solve_padded(&u);
+        assert!(s.is_warm());
+        // A rectangular solve invalidates stored duals.
+        let rect = UtilityMatrix::from_fn(2, 4, |r, c| (r + c) as f64);
+        s.solve(&rect);
+        assert!(!s.is_warm());
+        assert!(s.column_potentials().is_empty());
+    }
+
+    #[test]
+    fn loaded_potentials_warm_start_a_changed_column_set() {
+        // Broker-keyed duals gathered for a different active set must
+        // still give optimal balanced solves (correctness is independent
+        // of the seed values).
+        let mut next = lcg(5);
+        let u = UtilityMatrix::from_fn(5, 5, |_, _| next() * 3.0 - 1.0);
+        let mut s = KmSolver::new();
+        s.load_column_potentials(&[0.7, -0.3, 0.0, 12.5, -4.0]);
+        assert!(s.is_warm());
+        let got = s.solve_padded(&u);
+        let best = brute_force_assignment(&u);
+        assert!((got.total - best).abs() < 1e-9);
     }
 
     #[test]

@@ -24,11 +24,14 @@ pub mod flow;
 pub mod graph;
 pub mod greedy;
 pub mod hungarian;
+pub mod parallel;
 
 pub use auction::auction_assignment;
-pub use cbs::{candidate_union, top_k_indices};
+pub use cbs::{candidate_union, candidate_union_seeded, top_k_indices, top_k_into};
 pub use graph::{AssignmentResult, UtilityMatrix};
 pub use hungarian::{
     max_weight_assignment, max_weight_assignment_padded, sanitize_utilities,
-    try_max_weight_assignment, try_max_weight_assignment_padded, MatchingError, SANITIZED_UTILITY,
+    try_max_weight_assignment, try_max_weight_assignment_padded, KmSolver, MatchingError,
+    SANITIZED_UTILITY,
 };
+pub use parallel::{solve_shards, solve_shards_padded};

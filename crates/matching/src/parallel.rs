@@ -1,0 +1,94 @@
+//! Parallel assignment over independent shards.
+//!
+//! Batches (and CBS shards of a batch) are independent maximum-weight
+//! assignment instances, so they parallelise trivially — the only real
+//! work is keeping the output *bit-identical* to the sequential loop:
+//!
+//! * shards are partitioned into contiguous chunks (`pool::partition`)
+//!   and results are reassembled in shard order;
+//! * each worker reuses one [`KmSolver`]'s scratch buffers across its
+//!   chunk, but the solver is **reset before every shard** — warm-start
+//!   state carried between unrelated instances would make tie-breaking
+//!   depend on the chunk layout, i.e. on `n_threads`.
+//!
+//! Warm starting therefore lives in the *sequential* per-batch stream
+//! inside an assigner (`lacb`), never across shards here.
+
+use crate::graph::{AssignmentResult, UtilityMatrix};
+use crate::hungarian::KmSolver;
+
+/// Solve independent rectangular instances concurrently.
+///
+/// Equivalent to `shards.iter().map(max_weight_assignment).collect()`
+/// bit-for-bit, for any `n_threads`.
+pub fn solve_shards(n_threads: usize, shards: &[UtilityMatrix]) -> Vec<AssignmentResult> {
+    pool::map_chunked(n_threads, shards, KmSolver::new, |solver, _i, u| {
+        solver.reset();
+        solver.solve(u)
+    })
+}
+
+/// Solve independent balanced (dummy-padded) instances concurrently.
+///
+/// Equivalent to `shards.iter().map(max_weight_assignment_padded)` —
+/// bit-identical for any `n_threads`; every solve starts cold (see the
+/// module docs for why).
+pub fn solve_shards_padded(n_threads: usize, shards: &[UtilityMatrix]) -> Vec<AssignmentResult> {
+    pool::map_chunked(n_threads, shards, KmSolver::new, |solver, _i, u| {
+        solver.reset();
+        solver.solve_padded(u)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::{max_weight_assignment, max_weight_assignment_padded};
+
+    fn shard_set() -> Vec<UtilityMatrix> {
+        let mut s = 314159u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64) / (u32::MAX as f64)
+        };
+        (0..23)
+            .map(|i| {
+                let rows = 1 + i % 5;
+                let cols = rows + i % 7;
+                UtilityMatrix::from_fn(rows, cols, |_, _| next() * 2.0 - 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_rect_matches_sequential_bitwise() {
+        let shards = shard_set();
+        let seq: Vec<AssignmentResult> = shards.iter().map(max_weight_assignment).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let par = solve_shards(threads, &shards);
+            assert_eq!(par.len(), seq.len());
+            for (p, s) in par.iter().zip(&seq) {
+                assert_eq!(p.row_to_col, s.row_to_col, "threads={threads}");
+                assert_eq!(p.total.to_bits(), s.total.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_padded_matches_sequential_bitwise() {
+        let shards = shard_set();
+        let seq: Vec<AssignmentResult> = shards.iter().map(max_weight_assignment_padded).collect();
+        for threads in [1usize, 3, 8] {
+            let par = solve_shards_padded(threads, &shards);
+            for (p, s) in par.iter().zip(&seq) {
+                assert_eq!(p.row_to_col, s.row_to_col, "threads={threads}");
+                assert_eq!(p.total.to_bits(), s.total.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_shard_list() {
+        assert!(solve_shards(4, &[]).is_empty());
+    }
+}

@@ -126,6 +126,25 @@ impl Dense {
         LayerCache { input: input.to_vec(), pre, post }
     }
 
+    /// In-place forward pass: like [`Self::forward`] but reusing the
+    /// buffers of an existing [`LayerCache`]. Bit-identical arithmetic,
+    /// zero allocation once the cache has warmed up.
+    pub fn forward_into(&self, input: &[f64], cache: &mut LayerCache) {
+        assert_eq!(input.len(), self.fan_in(), "forward: input dim mismatch");
+        cache.input.clear();
+        cache.input.extend_from_slice(input);
+        cache.pre.resize(self.fan_out(), 0.0);
+        self.weights.matvec_into(input, &mut cache.pre);
+        if self.use_bias {
+            for (p, b) in cache.pre.iter_mut().zip(&self.bias) {
+                *p += b;
+            }
+        }
+        cache.post.clear();
+        cache.post.extend_from_slice(&cache.pre);
+        self.activation.apply_slice(&mut cache.post);
+    }
+
     /// Backward pass.
     ///
     /// Given `d_post = ∂out/∂a` (gradient w.r.t. this layer's
@@ -163,6 +182,44 @@ impl Dense {
         }
         // ∂out/∂x = Wᵀ δ
         self.weights.matvec_t(&delta)
+    }
+
+    /// In-place backward pass: like [`Self::backward`] but writing
+    /// `δ` into `delta` and `∂out/∂input` into `d_input` (both reused
+    /// buffers) instead of allocating. Bit-identical arithmetic.
+    #[allow(clippy::needless_range_loop)] // index loops are the clear idiom in this kernel
+    pub fn backward_into(
+        &self,
+        cache: &LayerCache,
+        d_post: &[f64],
+        grad_w: &mut Matrix,
+        grad_b: &mut [f64],
+        delta: &mut Vec<f64>,
+        d_input: &mut Vec<f64>,
+    ) {
+        assert_eq!(d_post.len(), self.fan_out(), "backward: grad dim mismatch");
+        // δ = d_post ⊙ σ'(z)
+        delta.clear();
+        delta
+            .extend(d_post.iter().zip(&cache.pre).map(|(d, &z)| d * self.activation.derivative(z)));
+        // ∂out/∂W_ij = δ_i * x_j ; ∂out/∂b_i = δ_i
+        for i in 0..self.fan_out() {
+            let di = delta[i];
+            if di != 0.0 {
+                let row = grad_w.row_mut(i);
+                for (g, &xj) in row.iter_mut().zip(&cache.input) {
+                    *g += di * xj;
+                }
+            }
+        }
+        if self.use_bias {
+            for (g, d) in grad_b.iter_mut().zip(delta.iter()) {
+                *g += d;
+            }
+        }
+        // ∂out/∂x = Wᵀ δ
+        d_input.resize(self.fan_in(), 0.0);
+        self.weights.matvec_t_into(delta, d_input);
     }
 
     /// Copy parameters out into `dst` (weights row-major, then biases when

@@ -31,5 +31,5 @@ pub mod serialize;
 pub use activation::Activation;
 pub use boosted::{Gbrt, GbrtConfig, Stump};
 pub use layer::Dense;
-pub use mlp::{Mlp, MlpBuilder};
+pub use mlp::{Mlp, MlpBuilder, MlpScratch};
 pub use optimizer::{Adam, Optimizer, Sgd};

@@ -22,6 +22,25 @@ pub struct Mlp {
     frozen: Vec<bool>,
 }
 
+/// Reusable buffers for one fused forward+backward pass through an
+/// [`Mlp`]: per-layer forward caches, per-layer parameter-gradient
+/// accumulators, and the backprop ping-pong vectors. Build one with
+/// [`Mlp::scratch`], keep it alongside the network, and every
+/// [`Mlp::forward_with_gradient_into`] call is allocation-free.
+///
+/// A scratch is tied to the *architecture*, not the weights: it can be
+/// shared across networks of identical shape (e.g. the per-broker
+/// personalised copies) but not across different layer layouts.
+#[derive(Clone, Debug)]
+pub struct MlpScratch {
+    caches: Vec<LayerCache>,
+    grads_w: Vec<Matrix>,
+    grads_b: Vec<Vec<f64>>,
+    d_post: Vec<f64>,
+    d_next: Vec<f64>,
+    delta: Vec<f64>,
+}
+
 /// Builder for [`Mlp`], defaulting to the paper's 3-layer ReLU network.
 #[derive(Clone, Debug)]
 pub struct MlpBuilder {
@@ -174,15 +193,45 @@ impl Mlp {
         cur[0]
     }
 
-    fn forward_cached(&self, x: &[f64]) -> (f64, Vec<LayerCache>) {
-        let mut caches = Vec::with_capacity(self.layers.len());
-        let mut cur = x.to_vec();
-        for layer in &self.layers {
-            let c = layer.forward(&cur);
-            cur = c.post.clone();
-            caches.push(c);
+    /// Build a scratch buffer sized for this network; see [`MlpScratch`].
+    pub fn scratch(&self) -> MlpScratch {
+        MlpScratch {
+            caches: self
+                .layers
+                .iter()
+                .map(|l| LayerCache {
+                    input: Vec::with_capacity(l.fan_in()),
+                    pre: Vec::with_capacity(l.fan_out()),
+                    post: Vec::with_capacity(l.fan_out()),
+                })
+                .collect(),
+            grads_w: self.layers.iter().map(|l| Matrix::zeros(l.fan_out(), l.fan_in())).collect(),
+            grads_b: self.layers.iter().map(|l| vec![0.0; l.fan_out()]).collect(),
+            d_post: Vec::new(),
+            d_next: Vec::new(),
+            delta: Vec::new(),
         }
-        (cur[0], caches)
+    }
+
+    /// Allocation-free forward pass through `scratch`'s layer caches.
+    /// Bit-identical to [`Self::forward`].
+    pub fn forward_into(&self, x: &[f64], scratch: &mut MlpScratch) -> f64 {
+        self.forward_cached_into(x, scratch)
+    }
+
+    fn forward_cached_into(&self, x: &[f64], s: &mut MlpScratch) -> f64 {
+        debug_assert_eq!(s.caches.len(), self.layers.len(), "scratch/architecture mismatch");
+        for i in 0..self.layers.len() {
+            if i == 0 {
+                self.layers[0].forward_into(x, &mut s.caches[0]);
+            } else {
+                let (prev, rest) = s.caches.split_at_mut(i);
+                self.layers[i].forward_into(&prev[i - 1].post, &mut rest[0]);
+            }
+        }
+        let out = &s.caches[self.layers.len() - 1].post;
+        debug_assert_eq!(out.len(), 1);
+        out[0]
     }
 
     /// `g_θ(x) = ∇_θ S_θ(x)` over the **trainable** parameters, flattened
@@ -191,43 +240,71 @@ impl Mlp {
     /// This is the gradient vector that feeds the UCB exploration bonus of
     /// Eq. (5) and the covariance update of Alg. 1 line 12.
     pub fn param_gradient(&self, x: &[f64]) -> Vec<f64> {
-        let (_, caches) = self.forward_cached(x);
-        self.backward_from(&caches, 1.0).1
+        self.forward_with_gradient(x).1
     }
 
     /// Scalar prediction together with the trainable-parameter gradient —
     /// a single fused pass, saving the duplicate forward that separate
     /// `forward` + `param_gradient` calls would cost inside the bandit's
     /// per-arm loop.
+    ///
+    /// Allocates a fresh [`MlpScratch`] per call; hot paths should hold a
+    /// scratch and call [`Self::forward_with_gradient_into`] instead.
     pub fn forward_with_gradient(&self, x: &[f64]) -> (f64, Vec<f64>) {
-        let (out, caches) = self.forward_cached(x);
-        let (_, grad) = self.backward_from(&caches, 1.0);
+        let mut scratch = self.scratch();
+        let mut grad = Vec::new();
+        let out = self.forward_with_gradient_into(x, &mut scratch, &mut grad);
         (out, grad)
     }
 
-    /// Backprop from `d_out = ∂L/∂S_θ` through every layer; returns
-    /// `(∂L/∂x, flat trainable gradient)`.
-    fn backward_from(&self, caches: &[LayerCache], d_out: f64) -> (Vec<f64>, Vec<f64>) {
+    /// Zero-alloc fused pass: prediction plus the flat trainable gradient
+    /// written into `grad_out` (cleared first, capacity reused).
+    /// Bit-identical to [`Self::forward_with_gradient`].
+    pub fn forward_with_gradient_into(
+        &self,
+        x: &[f64],
+        scratch: &mut MlpScratch,
+        grad_out: &mut Vec<f64>,
+    ) -> f64 {
+        let out = self.forward_cached_into(x, scratch);
+        self.backward_into_flat(scratch, 1.0, grad_out);
+        out
+    }
+
+    /// Backprop from `d_out = ∂L/∂S_θ` through the cached forward pass in
+    /// `scratch`, writing the flat trainable gradient into `flat`.
+    fn backward_into_flat(&self, s: &mut MlpScratch, d_out: f64, flat: &mut Vec<f64>) {
         let n = self.layers.len();
-        let mut grads_w: Vec<Matrix> =
-            self.layers.iter().map(|l| Matrix::zeros(l.fan_out(), l.fan_in())).collect();
-        let mut grads_b: Vec<Vec<f64>> =
-            self.layers.iter().map(|l| vec![0.0; l.fan_out()]).collect();
-        let mut d_post = vec![d_out];
-        for i in (0..n).rev() {
-            d_post = self.layers[i].backward(&caches[i], &d_post, &mut grads_w[i], &mut grads_b[i]);
+        for gw in &mut s.grads_w {
+            gw.data_mut().fill(0.0);
         }
-        let mut flat = Vec::with_capacity(self.trainable_param_count());
+        for gb in &mut s.grads_b {
+            gb.fill(0.0);
+        }
+        s.d_post.clear();
+        s.d_post.push(d_out);
+        for i in (0..n).rev() {
+            self.layers[i].backward_into(
+                &s.caches[i],
+                &s.d_post,
+                &mut s.grads_w[i],
+                &mut s.grads_b[i],
+                &mut s.delta,
+                &mut s.d_next,
+            );
+            std::mem::swap(&mut s.d_post, &mut s.d_next);
+        }
+        flat.clear();
+        flat.reserve(self.trainable_param_count());
         for i in 0..n {
             if self.frozen[i] {
                 continue;
             }
-            flat.extend_from_slice(grads_w[i].data());
+            flat.extend_from_slice(s.grads_w[i].data());
             if self.layers[i].param_count() > self.layers[i].fan_in() * self.layers[i].fan_out() {
-                flat.extend_from_slice(&grads_b[i]);
+                flat.extend_from_slice(&s.grads_b[i]);
             }
         }
-        (d_post, flat)
     }
 
     /// Copy the trainable parameters into a flat vector (layout mirrors
@@ -281,10 +358,12 @@ impl Mlp {
         assert_eq!(inputs.len(), targets.len(), "batch size mismatch");
         let mut grad = vec![0.0; self.trainable_param_count()];
         let mut preds = Vec::with_capacity(inputs.len());
+        let mut scratch = self.scratch();
+        let mut g = Vec::new();
         for (x, &t) in inputs.iter().zip(targets) {
-            let (pred, caches) = self.forward_cached(x);
+            let pred = self.forward_cached_into(x, &mut scratch);
             preds.push(pred);
-            let (_, g) = self.backward_from(&caches, loss::dsq(pred, t));
+            self.backward_into_flat(&mut scratch, loss::dsq(pred, t), &mut g);
             linalg::vector::axpy(1.0, &g, &mut grad);
         }
         let params = self.trainable_params();
@@ -522,5 +601,35 @@ mod tests {
     #[test]
     fn xi_positive() {
         assert!(net(1).xi() > 0.0);
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_allocating_path() {
+        let m = net(23);
+        let mut scratch = m.scratch();
+        let mut grad = Vec::new();
+        // Reuse one scratch across many inputs: every result must match
+        // the allocating API bit for bit (stale buffer contents from the
+        // previous input must never leak through).
+        for trial in 0..10 {
+            let t = trial as f64 * 0.37;
+            let x = [t.sin(), -t, t * t - 1.0, 0.5 - t];
+            let out = m.forward_with_gradient_into(&x, &mut scratch, &mut grad);
+            let (out_ref, grad_ref) = m.forward_with_gradient(&x);
+            assert_eq!(out.to_bits(), out_ref.to_bits(), "trial {trial}");
+            assert_eq!(grad, grad_ref, "trial {trial}");
+            assert_eq!(m.forward_into(&x, &mut scratch).to_bits(), m.forward(&x).to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_respects_freezing() {
+        let mut m = net(29);
+        m.freeze_all_but_last();
+        let mut scratch = m.scratch();
+        let mut grad = Vec::new();
+        m.forward_with_gradient_into(&[0.1, 0.2, 0.3, 0.4], &mut scratch, &mut grad);
+        assert_eq!(grad.len(), 7);
+        assert_eq!(grad, m.param_gradient(&[0.1, 0.2, 0.3, 0.4]));
     }
 }

@@ -250,18 +250,25 @@ impl Platform {
     /// truth used by [`Platform::execute_batch`] stays clean — exactly
     /// the upstream-feature-service failure mode.
     pub fn utility_matrix(&self, requests: &[Request]) -> UtilityMatrix {
-        let mut m = self.utility.utility_matrix(requests, &self.brokers);
+        let mut m = UtilityMatrix::zeros(0, 0);
+        self.utility_matrix_into(requests, &mut m);
+        m
+    }
+
+    /// In-place [`Self::utility_matrix`]: refills `out`, reusing its
+    /// allocation across batches.
+    pub fn utility_matrix_into(&self, requests: &[Request], out: &mut UtilityMatrix) {
+        self.utility.utility_matrix_into(requests, &self.brokers, out);
         if let Some(plan) = &self.faults {
-            for r in 0..m.rows() {
-                for b in 0..m.cols() {
+            for r in 0..out.rows() {
+                for b in 0..out.cols() {
                     if let Some(bad) = plan.corrupt_utility(self.day_index, self.batch_index, r, b)
                     {
-                        m.set(r, b, bad);
+                        out.set(r, b, bad);
                     }
                 }
             }
         }
-        m
     }
 
     /// Execute one batch assignment: `assignment[r]` is the broker id

@@ -44,6 +44,8 @@ pub use config::{CityId, RealWorldConfig, SyntheticConfig};
 pub use dataset::{Batch, Dataset};
 pub use environment::{Appeal, AppealConfig, BatchOutcome, DayFeedback, Platform, TrialTriple};
 pub use faults::{FaultConfig, FaultKind, FaultPlan, SCENARIOS};
-pub use metrics::{gini, BrokerLedger, LedgerSnapshot, ResilienceStats, RunMetrics};
+pub use metrics::{
+    gini, percentile, BrokerLedger, LedgerSnapshot, ResilienceStats, RunMetrics, StageTimings,
+};
 pub use request::Request;
 pub use utility::UtilityModel;

@@ -248,6 +248,55 @@ pub fn gini(values: &[f64]) -> f64 {
     (n as f64 + 1.0 - 2.0 * weighted / total) / n as f64
 }
 
+/// Nearest-rank percentile of an unsorted sample (`p` in `[0, 100]`).
+/// Returns `0.0` on an empty sample.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Per-stage wall-clock counters of the serving loop, captured by the
+/// experiment runners. Batch-level vectors have one entry per request
+/// batch; day-level vectors one entry per day. These are the raw samples
+/// behind the `bench-serve` latency report (p50/p99 per-batch assignment
+/// latency, stage shares).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageTimings {
+    /// Seconds spent in `assign_batch` (candidate selection + scoring +
+    /// matching), one entry per batch.
+    pub assign_batch_secs: Vec<f64>,
+    /// Seconds spent in `begin_day` (per-broker capacity estimation),
+    /// one entry per day.
+    pub begin_day_secs: Vec<f64>,
+    /// Seconds spent in `end_day` (feedback ingestion and training),
+    /// one entry per day.
+    pub end_day_secs: Vec<f64>,
+}
+
+impl StageTimings {
+    /// Number of batch samples recorded.
+    pub fn batches(&self) -> usize {
+        self.assign_batch_secs.len()
+    }
+
+    /// Nearest-rank percentile of the per-batch assignment latency.
+    pub fn assign_percentile(&self, p: f64) -> f64 {
+        percentile(&self.assign_batch_secs, p)
+    }
+
+    /// Total seconds across every recorded stage.
+    pub fn total_secs(&self) -> f64 {
+        self.assign_batch_secs.iter().sum::<f64>()
+            + self.begin_day_secs.iter().sum::<f64>()
+            + self.end_day_secs.iter().sum::<f64>()
+    }
+}
+
 /// Aggregate results of one algorithm run — filled by the experiment
 /// runner in the `lacb` crate.
 #[derive(Clone, Debug)]
@@ -268,6 +317,8 @@ pub struct RunMetrics {
     /// Degradation/fault accounting, populated by the resilient runner
     /// (`None` for plain runs).
     pub resilience: Option<ResilienceStats>,
+    /// Per-stage wall-clock samples (see [`StageTimings`]).
+    pub timings: StageTimings,
 }
 
 /// Counters of every degradation event a fault-tolerant run absorbed.

@@ -49,9 +49,26 @@ impl UtilityModel {
 
     /// Dense utility matrix for one batch (`requests × brokers`).
     pub fn utility_matrix(&self, requests: &[Request], brokers: &[BrokerProfile]) -> UtilityMatrix {
-        UtilityMatrix::from_fn(requests.len(), brokers.len(), |r, b| {
-            self.utility(&requests[r], &brokers[b])
-        })
+        let mut out = UtilityMatrix::zeros(0, 0);
+        self.utility_matrix_into(requests, brokers, &mut out);
+        out
+    }
+
+    /// In-place [`Self::utility_matrix`]: refills `out`, reusing its
+    /// allocation — the serving loop calls this once per batch.
+    pub fn utility_matrix_into(
+        &self,
+        requests: &[Request],
+        brokers: &[BrokerProfile],
+        out: &mut UtilityMatrix,
+    ) {
+        out.reset(requests.len(), brokers.len());
+        for (r, req) in requests.iter().enumerate() {
+            let row = out.row_mut(r);
+            for (b, broker) in brokers.iter().enumerate() {
+                row[b] = self.utility(req, broker);
+            }
+        }
     }
 
     /// Deterministic pair noise in `[-noise_amp, +noise_amp]` from a

@@ -1,0 +1,260 @@
+//! A dependency-free scoped worker pool with *deterministic* work
+//! partitioning.
+//!
+//! The serving core parallelises three hot paths — per-broker capacity
+//! estimation, per-request CBS pruning, and independent Kuhn–Munkres
+//! solves — under one hard constraint: **parallel output must be
+//! bit-identical to sequential output**, so the checkpoint/chaos replay
+//! machinery keeps producing the same trajectories regardless of
+//! `n_threads`. Two design rules make that hold:
+//!
+//! 1. *Fixed partitioning.* Work is split into contiguous index chunks
+//!    by [`partition`], a pure function of `(len, parts)`. Which thread
+//!    executes a chunk is irrelevant because every item's result depends
+//!    only on its index, never on execution order.
+//! 2. *Ordered reduction.* [`map`]/[`map_chunked`] reassemble chunk
+//!    results by chunk index before flattening, so the output `Vec` is
+//!    identical to the sequential loop's output.
+//!
+//! Anything that needs randomness derives a per-item RNG from
+//! `(seed, index)` rather than sharing a sequential stream; see
+//! `matching::cbs::candidate_union_seeded`.
+//!
+//! With `n_threads <= 1` every entry point degenerates to an inline loop
+//! with zero thread or channel overhead, which is also the default
+//! configuration everywhere.
+
+use std::cell::Cell;
+use std::sync::mpsc::{channel, Sender};
+
+/// A boxed unit of work submitted to the pool.
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Handle passed to the closure given to [`scope`]; lets it submit jobs
+/// that borrow from the enclosing environment.
+///
+/// Jobs are dispatched round-robin over the workers. `Scope` is
+/// deliberately `!Sync` (it holds a `Cell`): jobs are submitted from the
+/// coordinating thread only, which keeps the dispatch order — and hence
+/// the round-robin assignment — deterministic.
+pub struct Scope<'env> {
+    txs: Vec<Sender<Job<'env>>>,
+    next: Cell<usize>,
+}
+
+impl<'env> Scope<'env> {
+    /// Number of worker threads backing this scope (1 when inline).
+    pub fn workers(&self) -> usize {
+        self.txs.len().max(1)
+    }
+
+    /// Submit a job. With no workers (inline mode) the job runs
+    /// immediately on the calling thread.
+    ///
+    /// # Panics
+    /// Panics if the receiving worker has already exited, which only
+    /// happens when a previously submitted job panicked.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
+        if self.txs.is_empty() {
+            job();
+            return;
+        }
+        let k = self.next.get();
+        self.next.set((k + 1) % self.txs.len());
+        self.txs[k].send(Box::new(job)).expect("pool: worker exited early (a job panicked)");
+    }
+}
+
+/// Run `f` with a scope backed by `n_threads` workers.
+///
+/// Workers are joined before `scope` returns (via `std::thread::scope`),
+/// so jobs may borrow any data that outlives the call. `n_threads <= 1`
+/// runs every job inline on the calling thread — same results, no
+/// threads spawned.
+///
+/// # Panics
+/// Propagates panics from worker jobs once all workers are joined.
+pub fn scope<'env, R>(n_threads: usize, f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    if n_threads <= 1 {
+        return f(&Scope { txs: Vec::new(), next: Cell::new(0) });
+    }
+    std::thread::scope(|ts| {
+        let mut txs = Vec::with_capacity(n_threads);
+        for _ in 0..n_threads {
+            let (tx, rx) = channel::<Job<'env>>();
+            txs.push(tx);
+            ts.spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            });
+        }
+        let s = Scope { txs, next: Cell::new(0) };
+        let out = f(&s);
+        drop(s); // close channels so workers drain and exit
+        out
+    })
+}
+
+/// Deterministic contiguous partition of `0..len` into `parts` chunks.
+///
+/// Chunk `k` is `[len*k/parts, len*(k+1)/parts)`; chunk sizes differ by
+/// at most one and the concatenation covers `0..len` exactly, in order.
+/// Pure function of its arguments — the cornerstone of the determinism
+/// contract.
+pub fn partition(len: usize, parts: usize) -> impl Iterator<Item = (usize, usize)> {
+    let parts = parts.max(1);
+    (0..parts).map(move |k| (len * k / parts, len * (k + 1) / parts))
+}
+
+/// Parallel, order-preserving map: `items.iter().enumerate().map(f)`
+/// split over `n_threads` workers.
+///
+/// Bit-identical to the sequential loop for any thread count, provided
+/// `f` is a pure function of `(index, item)`.
+pub fn map<T, R, F>(n_threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_chunked(n_threads, items, || (), move |_scratch, i, t| f(i, t))
+}
+
+/// Like [`map`] but with worker-local scratch state: `init` builds one
+/// `S` per chunk and `f` receives it mutably for every item in that
+/// chunk. This is how the hot paths stay zero-alloc when parallel —
+/// each worker reuses one scratch buffer across its whole chunk.
+///
+/// Determinism contract: `f`'s *result* must depend only on
+/// `(index, item)`; the scratch may carry buffers but not values that
+/// leak between items.
+pub fn map_chunked<T, R, S, FS, F>(n_threads: usize, items: &[T], init: FS, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let parts = n_threads.min(items.len()).max(1);
+    if parts <= 1 {
+        let mut state = init();
+        return items.iter().enumerate().map(|(i, t)| f(&mut state, i, t)).collect();
+    }
+    let (rtx, rrx) = channel::<(usize, Vec<R>)>();
+    let chunks: Vec<(usize, usize)> = partition(items.len(), parts).collect();
+    scope(parts, |s| {
+        for (ci, &(lo, hi)) in chunks.iter().enumerate() {
+            let rtx = rtx.clone();
+            let f = &f;
+            let init = &init;
+            s.spawn(move || {
+                let mut state = init();
+                let res: Vec<R> = items[lo..hi]
+                    .iter()
+                    .enumerate()
+                    .map(|(off, t)| f(&mut state, lo + off, t))
+                    .collect();
+                // A send can only fail if the coordinator bailed out,
+                // in which case the result is moot anyway.
+                let _ = rtx.send((ci, res));
+            });
+        }
+        drop(rtx);
+        // Ordered reduction: slot results by chunk index, then flatten.
+        let mut slots: Vec<Option<Vec<R>>> = (0..parts).map(|_| None).collect();
+        for _ in 0..parts {
+            let (ci, res) = rrx.recv().expect("pool: worker panicked before sending its chunk");
+            slots[ci] = Some(res);
+        }
+        slots.into_iter().flat_map(|c| c.expect("pool: chunk missing")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn partition_covers_exactly() {
+        for len in [0usize, 1, 2, 7, 8, 100, 101] {
+            for parts in [1usize, 2, 3, 4, 8, 13] {
+                let chunks: Vec<_> = partition(len, parts).collect();
+                assert_eq!(chunks.len(), parts);
+                let mut next = 0;
+                for &(lo, hi) in &chunks {
+                    assert_eq!(lo, next, "gap in partition({len},{parts})");
+                    assert!(hi >= lo);
+                    next = hi;
+                }
+                assert_eq!(next, len, "partition({len},{parts}) must cover 0..len");
+                let max = chunks.iter().map(|&(l, h)| h - l).max().unwrap_or(0);
+                let min = chunks.iter().map(|&(l, h)| h - l).min().unwrap_or(0);
+                assert!(max - min <= 1, "chunks should be balanced");
+            }
+        }
+    }
+
+    #[test]
+    fn scope_runs_all_jobs() {
+        for threads in [1usize, 2, 4] {
+            let counter = AtomicUsize::new(0);
+            scope(threads, |s| {
+                for _ in 0..37 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 37);
+        }
+    }
+
+    #[test]
+    fn map_matches_sequential_for_all_thread_counts() {
+        let items: Vec<u64> = (0..103).collect();
+        let f = |i: usize, &x: &u64| -> u64 { x.wrapping_mul(0x9e37_79b9).rotate_left(i as u32) };
+        let seq: Vec<u64> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        for threads in [1usize, 2, 3, 4, 8, 16] {
+            assert_eq!(map(threads, &items, f), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_empty_and_singleton() {
+        let empty: Vec<i32> = vec![];
+        assert!(map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(map(4, &[42], |_, &x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn map_chunked_reuses_state_within_chunk() {
+        // The scratch buffer is reused but results depend only on the item,
+        // so output is identical across thread counts.
+        let items: Vec<usize> = (0..64).collect();
+        let run = |threads| {
+            map_chunked(threads, &items, Vec::<f64>::new, |buf, _i, &x| {
+                buf.clear();
+                buf.extend((0..8).map(|j| (x * 8 + j) as f64));
+                buf.iter().sum::<f64>()
+            })
+        };
+        let seq = run(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run(threads), seq);
+        }
+    }
+
+    #[test]
+    fn scope_inline_mode_runs_immediately() {
+        let mut hits = 0;
+        scope(1, |s| {
+            // In inline mode jobs run synchronously, so a non-Sync borrow
+            // pattern like this is observable right after spawn.
+            let hits_ref = &mut hits;
+            s.spawn(move || *hits_ref += 1);
+        });
+        assert_eq!(hits, 1);
+    }
+}
