@@ -34,7 +34,10 @@ pub const USAGE: &str = "usage:
                 [--deadline-ms MS] [--checkpoint-day D]
                 [--checkpoint-out FILE] [synthetic flags]
   caam bench-serve [--quick] [--threads 1,2,4,8] [--repeat N] [--out FILE]
-                [--baseline FILE] [--slack-ms X] [--seed N]";
+                [--baseline FILE] [--slack-ms X] [--seed N]
+  caam crash-test [--points N] [--crash-seed N] [--scenario …as in chaos]
+                [--fault-seed N] [--dir DIR] [--keep-artifacts]
+                [synthetic flags]";
 
 /// Route a raw argv to its subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -48,6 +51,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "compare" => cmd_compare(&args),
         "bandits" => cmd_bandits(&args),
         "chaos" => cmd_chaos(&args),
+        "crash-test" => crate::crash_test::cmd_crash_test(&args),
         "bench-serve" => crate::bench_serve::cmd_bench_serve(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -242,6 +246,22 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             "  feedback retries {}  lost days {}  delayed days {}",
             stats.feedback_retries, stats.feedback_lost_days, stats.feedback_delayed_days
         );
+        // Summary line: one grep-able verdict for CI and operators.
+        // "recoveries" are degradations the ladder absorbed (a fallback
+        // or patch produced a valid assignment); "unserved" requests
+        // mean the ladder itself was exhausted.
+        let served: f64 = m.ledger.snapshot().requests_served.iter().sum();
+        let unserved =
+            (ds.total_requests() as f64 - served - stats.requests_failed as f64).max(0.0) as u64;
+        let recoveries = stats.greedy_fallbacks + stats.topk_patches;
+        println!(
+            "chaos summary: degradations={} recoveries={recoveries} failed={} unserved={unserved}",
+            stats.degradation_events(),
+            stats.requests_failed
+        );
+        if !args.has("raw") && unserved > 0 {
+            return Err(format!("degradation ladder exhausted: {unserved} requests left unserved"));
+        }
     }
 
     if let Some(day) = args.get("checkpoint-day") {

@@ -1,0 +1,241 @@
+//! `caam crash-test` — the crash-point recovery harness.
+//!
+//! Runs a fault-injected serving horizon once uninterrupted to get the
+//! reference metrics and learned state, then for each of `--points`
+//! seeded crash points: starts a fresh durable run, kills it at the
+//! crash point (panic mid-WAL-append, mid-checkpoint-write, …),
+//! recovers from whatever the crash left on disk, finishes the horizon,
+//! and asserts the final `RunMetrics` and learned matcher state are
+//! **bit-identical** to the uninterrupted run. Any divergence — or a
+//! crash point that fails to fire — is a hard error (non-zero exit).
+
+use crate::args::Args;
+use lacb::supervisor::{run_durable, DurableConfig, DurableOutcome};
+use lacb::{LacbConfig, ResilienceConfig, RunMetrics};
+use platform_sim::{
+    seeded_schedule, CrashPoint, Dataset, FaultConfig, FaultPlan, SyntheticConfig, SCENARIOS,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Compare every deterministic field of two runs bit for bit; wall-clock
+/// fields (`elapsed_secs`, `daily_elapsed`, timings) are excluded by
+/// construction. Returns the first mismatch as text.
+fn diff_runs(a: &RunMetrics, b: &RunMetrics) -> Option<String> {
+    if a.total_utility.to_bits() != b.total_utility.to_bits() {
+        return Some(format!("total utility {} vs {}", a.total_utility, b.total_utility));
+    }
+    if a.daily_utility.len() != b.daily_utility.len() {
+        return Some("daily utility length".into());
+    }
+    for (d, (x, y)) in a.daily_utility.iter().zip(&b.daily_utility).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Some(format!("day {d} utility {x} vs {y}"));
+        }
+    }
+    if a.resilience != b.resilience {
+        return Some(format!("resilience stats {:?} vs {:?}", a.resilience, b.resilience));
+    }
+    let (sa, sb) = (a.ledger.snapshot(), b.ledger.snapshot());
+    for (name, va, vb) in [
+        ("realized", &sa.realized_utility, &sb.realized_utility),
+        ("predicted", &sa.predicted_utility, &sb.predicted_utility),
+        ("served", &sa.requests_served, &sb.requests_served),
+        ("peak", &sa.peak_daily_workload, &sb.peak_daily_workload),
+    ] {
+        let same = va.len() == vb.len()
+            && va.iter().zip(vb.iter()).all(|(x, y)| x.to_bits() == y.to_bits());
+        if !same {
+            return Some(format!("ledger {name} vectors differ"));
+        }
+    }
+    None
+}
+
+/// Run `f`, expecting it to die on an injected crash. The panic hook is
+/// silenced for injected-crash payloads so the harness output stays
+/// readable; any *other* panic still prints normally.
+fn expect_injected_crash<T>(f: impl FnOnce() -> T) -> Result<String, String> {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.contains("injected crash"))
+            .unwrap_or(false);
+        if !injected {
+            eprintln!("{info}");
+        }
+    }));
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    std::panic::set_hook(default_hook);
+    match outcome {
+        Ok(_) => Err("run completed without crashing".into()),
+        Err(payload) => Ok(payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".into())),
+    }
+}
+
+pub fn cmd_crash_test(args: &Args) -> Result<(), String> {
+    let ds = Dataset::synthetic(&SyntheticConfig {
+        num_brokers: args.get_or("brokers", 24)?,
+        num_requests: args.get_or("requests", 360)?,
+        days: args.get_or("days", 3)?,
+        imbalance: args.get_or("sigma", 0.25)?,
+        seed: args.get_or("seed", 7)?,
+    });
+    let scenario = args.get("scenario").unwrap_or("broker-dropout+lost-feedback");
+    let fault_seed: u64 = args.get_or("fault-seed", 13)?;
+    let crash_seed: u64 = args.get_or("crash-seed", 29)?;
+    let points: usize = args.get_or("points", 12)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let keep_artifacts = args.has("keep-artifacts");
+    let root: PathBuf = match args.get("dir") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("caam-crash-test-{crash_seed}")),
+    };
+    let fault_cfg = FaultConfig::scenario(scenario, fault_seed).ok_or_else(|| {
+        format!("unknown --scenario {scenario:?}; known: {}", SCENARIOS.join(", "))
+    })?;
+    let plan = FaultPlan::new(fault_cfg);
+    let cfg = LacbConfig { seed, ..LacbConfig::opt() };
+    let rcfg = ResilienceConfig::default();
+
+    // Crash points are scheduled against the spiked horizon — the same
+    // batch structure the durable loop actually executes.
+    let spiked = ds.with_batch_spikes(&plan);
+    let batches: Vec<usize> = spiked.days.iter().map(|d| d.len()).collect();
+    let schedule = seeded_schedule(crash_seed, &batches, points);
+
+    println!("dataset    : {} ({} batches/day)", ds.name, batches[0]);
+    println!("scenario   : {scenario} (fault seed {fault_seed})");
+    println!("crash plan : {points} seeded points (crash seed {crash_seed})");
+
+    // Reference: the same durable loop, uninterrupted, in its own dir.
+    let ref_dir = root.join("reference");
+    std::fs::remove_dir_all(&ref_dir).ok();
+    let reference = run_durable(&ds, cfg.clone(), rcfg.clone(), plan, &DurableConfig::at(&ref_dir))
+        .map_err(|e| format!("reference run failed: {e}"))?;
+    println!(
+        "reference  : total utility {:.4}, {} days",
+        reference.metrics.total_utility,
+        reference.metrics.daily_utility.len()
+    );
+
+    let mut failures = 0usize;
+    for (i, point) in schedule.iter().enumerate() {
+        let dir = root.join(format!("point-{i:02}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut dcfg = DurableConfig::at(&dir);
+        dcfg.crash = Some(*point);
+        let crash =
+            expect_injected_crash(|| run_durable(&ds, cfg.clone(), rcfg.clone(), plan, &dcfg));
+        let verdict = match crash {
+            Err(why) => Err(why),
+            Ok(_) => {
+                dcfg.crash = None;
+                run_durable(&ds, cfg.clone(), rcfg.clone(), plan, &dcfg)
+                    .map_err(|e| format!("recovery failed: {e}"))
+                    .and_then(|out| check_recovery(&reference, &out))
+            }
+        };
+        match verdict {
+            Ok(detail) => {
+                println!("point {:>2}/{points} {:<28} OK  {detail}", i + 1, point.label());
+                if !keep_artifacts {
+                    std::fs::remove_dir_all(&dir).ok();
+                }
+            }
+            Err(why) => {
+                failures += 1;
+                println!("point {:>2}/{points} {:<28} FAIL {why}", i + 1, point.label());
+                println!("  artifacts kept at {}", dir.display());
+            }
+        }
+    }
+    if !keep_artifacts {
+        std::fs::remove_dir_all(&ref_dir).ok();
+        // Root dir may now be empty; remove it quietly if so.
+        std::fs::remove_dir(&root).ok();
+    }
+    let distinct_days = {
+        let mut days: Vec<usize> = schedule.iter().map(day_of).collect();
+        days.sort_unstable();
+        days.dedup();
+        days.len()
+    };
+    println!(
+        "crash-test : {}/{points} points recovered bit-identically across {distinct_days} days",
+        points - failures
+    );
+    if failures > 0 {
+        return Err(format!(
+            "{failures}/{points} crash points failed recovery; artifacts under {}",
+            root.display()
+        ));
+    }
+    Ok(())
+}
+
+fn day_of(p: &CrashPoint) -> usize {
+    match p {
+        CrashPoint::AfterBatch { day, .. }
+        | CrashPoint::DuringWalAppend { day, .. }
+        | CrashPoint::BeforeCheckpoint { day }
+        | CrashPoint::DuringCheckpointWrite { day }
+        | CrashPoint::BeforeCheckpointRename { day } => *day,
+    }
+}
+
+fn check_recovery(reference: &DurableOutcome, out: &DurableOutcome) -> Result<String, String> {
+    if let Some(diff) = diff_runs(&reference.metrics, &out.metrics) {
+        return Err(format!("metrics diverged: {diff}"));
+    }
+    if out.final_state != reference.final_state {
+        return Err("learned state diverged".into());
+    }
+    let from = match out.recovered_from {
+        Some(day) => format!("ckpt d{day}"),
+        None => "fresh".into(),
+    };
+    Ok(format!(
+        "(from {from}, replayed {} batches{})",
+        out.replayed_batches,
+        if out.wal_recovery.torn {
+            format!(", truncated {} torn bytes", out.wal_recovery.dropped_bytes)
+        } else {
+            String::new()
+        }
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn tiny_crash_test_passes_end_to_end() {
+        let dir = std::env::temp_dir().join("caam-crash-test-unit");
+        std::fs::remove_dir_all(&dir).ok();
+        let args = Args::parse(&argv(&format!(
+            "--brokers 12 --requests 120 --days 2 --sigma 0.3 --points 5 \
+             --crash-seed 5 --fault-seed 3 --dir {}",
+            dir.display()
+        )))
+        .unwrap();
+        cmd_crash_test(&args).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_scenario_is_rejected() {
+        let args = Args::parse(&argv("--scenario nope --points 1")).unwrap();
+        assert!(cmd_crash_test(&args).unwrap_err().contains("unknown --scenario"));
+    }
+}

@@ -11,6 +11,7 @@
 mod args;
 mod bench_serve;
 mod commands;
+mod crash_test;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();

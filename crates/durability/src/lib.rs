@@ -1,0 +1,41 @@
+//! Crash-consistency substrate for the serving pipeline.
+//!
+//! The serving loop learns per-broker state across batches; this crate
+//! supplies the three durability primitives that make any crash point
+//! recoverable (see DESIGN.md §10):
+//!
+//! * [`wal`] — a line-oriented, CRC32-checksummed **write-ahead log**.
+//!   Every record is appended *before* the state change it describes is
+//!   applied; a torn tail (a crash mid-append) is detected by checksum
+//!   and truncated on recovery.
+//! * [`container`] — the **`caam-ckpt v2`** checkpoint container:
+//!   per-section CRC32 checksums plus a whole-file footer checksum, so
+//!   a corrupted or truncated checkpoint is *detected* rather than
+//!   silently restored. [`container::atomic_write`] writes through a
+//!   tmp file and `rename`, so the previous good file is never torn by
+//!   a crash mid-write.
+//! * [`store`] — a **generation store** keeping the last few
+//!   checkpoints; restore walks newest→oldest until one verifies, so a
+//!   corrupt newest checkpoint degrades to the last known good one
+//!   instead of a cold start.
+//!
+//! The crate is dependency-free and knows nothing about the learner:
+//! payloads are opaque text, records carry only primitive serving
+//! coordinates (day, batch, assignment slots, f64 bit patterns). The
+//! `lacb` crate's supervisor composes these into the actual
+//! checkpoint-plus-replay recovery path.
+//!
+//! Crash injection for the recovery harness is built in:
+//! [`wal::Wal::append_torn`] and [`store::WriteCrash`] let a seeded
+//! test kill the process halfway through an append or a checkpoint
+//! write, which is exactly the state a real power cut leaves behind.
+
+pub mod container;
+pub mod crc32;
+pub mod store;
+pub mod wal;
+
+pub use container::{atomic_write, parse_v2, write_v2, ContainerError, V2_HEADER};
+pub use crc32::crc32;
+pub use store::{CheckpointStore, StoreError, WriteCrash};
+pub use wal::{Wal, WalError, WalRecord, WalRecovery, WAL_HEADER};

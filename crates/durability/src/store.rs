@@ -1,0 +1,214 @@
+//! Checkpoint generation store.
+//!
+//! Keeps the last few checkpoint files in a directory, named
+//! `ckpt-{day:06}.caam` so lexicographic order is generation order.
+//! Saves go through [`crate::container::atomic_write`]; restore walks
+//! generations newest→oldest and the caller tries each until one
+//! verifies, which is what turns "newest checkpoint is torn" into
+//! "fall back to last known good" instead of a cold start.
+//!
+//! [`WriteCrash`] is the seeded-crash hook for the recovery harness: it
+//! makes `save` die exactly where a power cut could — halfway through
+//! the tmp-file write, or after the write but before the rename.
+
+use crate::container::tmp_path;
+use std::fmt;
+use std::io::{ErrorKind, Write};
+use std::path::{Path, PathBuf};
+
+/// Where inside `save` an injected crash should fire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteCrash {
+    /// Panic after writing half the tmp-file bytes: recovery must
+    /// ignore the torn tmp file and keep the previous generation.
+    MidWrite,
+    /// Panic after the tmp file is complete but before the rename: the
+    /// new checkpoint never becomes visible, previous generation wins.
+    BeforeRename,
+}
+
+/// A failed store operation, preserving the OS error kind.
+#[derive(Clone, Debug)]
+pub struct StoreError {
+    pub path: String,
+    pub kind: ErrorKind,
+    pub detail: String,
+}
+
+impl StoreError {
+    fn from_io(path: &Path, err: std::io::Error) -> Self {
+        StoreError { path: path.display().to_string(), kind: err.kind(), detail: err.to_string() }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint store I/O on {}: {} ({:?})", self.path, self.detail, self.kind)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A directory of checkpoint generations.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a store at `dir`, retaining the newest
+    /// `keep` generations after each save. `keep` is clamped to ≥ 1.
+    pub fn open(dir: &Path, keep: usize) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::from_io(dir, e))?;
+        Ok(CheckpointStore { dir: dir.to_path_buf(), keep: keep.max(1) })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the generation file for `day`.
+    pub fn generation_path(&self, day: usize) -> PathBuf {
+        self.dir.join(format!("ckpt-{day:06}.caam"))
+    }
+
+    /// Atomically save `text` as the generation for `day`, then prune
+    /// old generations. `crash` injects a panic at a seeded crash point
+    /// (used only by the recovery harness); `None` is the normal path.
+    pub fn save(
+        &self,
+        day: usize,
+        text: &str,
+        crash: Option<WriteCrash>,
+    ) -> Result<(), StoreError> {
+        let path = self.generation_path(day);
+        let tmp = tmp_path(&path);
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| StoreError::from_io(&tmp, e))?;
+            if crash == Some(WriteCrash::MidWrite) {
+                let half = &text.as_bytes()[..text.len() / 2];
+                f.write_all(half).map_err(|e| StoreError::from_io(&tmp, e))?;
+                f.sync_data().map_err(|e| StoreError::from_io(&tmp, e))?;
+                panic!("injected crash: mid checkpoint write at {}", tmp.display());
+            }
+            f.write_all(text.as_bytes()).map_err(|e| StoreError::from_io(&tmp, e))?;
+            f.sync_data().map_err(|e| StoreError::from_io(&tmp, e))?;
+        }
+        if crash == Some(WriteCrash::BeforeRename) {
+            panic!("injected crash: before checkpoint rename at {}", tmp.display());
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| StoreError::from_io(&path, e))?;
+        self.prune();
+        Ok(())
+    }
+
+    /// All generations on disk, newest first, as `(day, path)`. Stale
+    /// `.tmp` files and foreign names are skipped — a torn tmp file
+    /// from a crashed save is invisible here.
+    pub fn generations(&self) -> Vec<(usize, PathBuf)> {
+        let mut out = Vec::new();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(day) = name
+                .strip_prefix("ckpt-")
+                .and_then(|r| r.strip_suffix(".caam"))
+                .and_then(|d| d.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            out.push((day, path));
+        }
+        out.sort_by_key(|g| std::cmp::Reverse(g.0));
+        out
+    }
+
+    /// Read a generation's text. Torn tmp files never reach here
+    /// because [`Self::generations`] filters them out.
+    pub fn read(&self, path: &Path) -> Result<String, StoreError> {
+        std::fs::read_to_string(path).map_err(|e| StoreError::from_io(path, e))
+    }
+
+    fn prune(&self) {
+        // Best-effort: a failed delete costs disk space, not safety.
+        for (_, path) in self.generations().into_iter().skip(self.keep) {
+            std::fs::remove_file(path).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("caam-store-tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn save_read_and_order() {
+        let dir = scratch("order");
+        let store = CheckpointStore::open(&dir, 8).unwrap();
+        store.save(0, "gen zero\n", None).unwrap();
+        store.save(2, "gen two\n", None).unwrap();
+        store.save(1, "gen one\n", None).unwrap();
+        let gens = store.generations();
+        assert_eq!(gens.iter().map(|g| g.0).collect::<Vec<_>>(), vec![2, 1, 0]);
+        assert_eq!(store.read(&gens[0].1).unwrap(), "gen two\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = scratch("prune");
+        let store = CheckpointStore::open(&dir, 2).unwrap();
+        for day in 0..5 {
+            store.save(day, &format!("day {day}\n"), None).unwrap();
+        }
+        let gens = store.generations();
+        assert_eq!(gens.iter().map(|g| g.0).collect::<Vec<_>>(), vec![4, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_write_crash_leaves_previous_generation_usable() {
+        let dir = scratch("midwrite");
+        let store = CheckpointStore::open(&dir, 8).unwrap();
+        store.save(0, "good generation\n", None).unwrap();
+        let crash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.save(1, "never fully written\n", Some(WriteCrash::MidWrite))
+        }));
+        assert!(crash.is_err());
+        // The torn tmp file exists on disk but is invisible to restore.
+        assert!(tmp_path(&store.generation_path(1)).exists());
+        let gens = store.generations();
+        assert_eq!(gens.iter().map(|g| g.0).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(store.read(&gens[0].1).unwrap(), "good generation\n");
+        // A retried save overwrites the stale tmp and succeeds.
+        store.save(1, "second attempt\n", None).unwrap();
+        assert_eq!(store.generations()[0].0, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn before_rename_crash_keeps_old_newest() {
+        let dir = scratch("rename");
+        let store = CheckpointStore::open(&dir, 8).unwrap();
+        store.save(3, "stable\n", None).unwrap();
+        let crash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.save(4, "complete but unrenamed\n", Some(WriteCrash::BeforeRename))
+        }));
+        assert!(crash.is_err());
+        assert_eq!(store.generations().iter().map(|g| g.0).collect::<Vec<_>>(), vec![3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,376 @@
+//! Batch-granular write-ahead log for the serving loop.
+//!
+//! One text line per record, each carrying its own CRC32 suffix
+//! (`<payload> #<crc:08x>`), so the log is human-diffable yet every
+//! record is individually verifiable. The protocol is *write-ahead*:
+//! the supervisor appends a record **before** applying the state change
+//! it describes, then the deterministic pipeline makes redo-by-replay
+//! exact — a record that never made it to disk is simply recomputed,
+//! bit-identically, from the same seeded state.
+//!
+//! Recovery ([`Wal::recover`]) scans the log front to back and stops at
+//! the first line that fails its checksum, fails to parse, or lacks a
+//! terminating newline: everything from there on is a torn tail left by
+//! a crash mid-append and is truncated away before the log is reopened
+//! for appending. Torn tails are *normal* after a crash, not
+//! corruption — the replayed state simply resumes one record earlier.
+
+use crate::crc32::crc32;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{ErrorKind, Write};
+use std::path::{Path, PathBuf};
+
+/// First line of every WAL file; bump on incompatible record changes.
+pub const WAL_HEADER: &str = "caam-wal v1";
+
+/// Why the WAL could not be created, appended, or recovered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalError {
+    /// File I/O failed; the OS [`ErrorKind`] is preserved for callers
+    /// that branch on it (e.g. `NotFound` vs `PermissionDenied`).
+    Io { path: String, kind: ErrorKind, detail: String },
+    /// The first line is not a WAL header this build understands.
+    Header { found: String },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { path, kind, detail } => {
+                write!(f, "wal I/O error at {path} ({kind:?}): {detail}")
+            }
+            WalError::Header { found } => {
+                write!(f, "wal header mismatch: found {found:?}, expected {WAL_HEADER:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn io_err(path: &Path, e: &std::io::Error) -> WalError {
+    WalError::Io { path: path.display().to_string(), kind: e.kind(), detail: e.to_string() }
+}
+
+/// One serving-loop event. Records carry only what replay verification
+/// needs: the coordinates, the chosen assignment, and the RNG draw
+/// counter so a restored run is provably on the same random stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A day opened.
+    DayStart { day: usize },
+    /// A batch assignment was chosen (logged *before* execution).
+    /// `draws` is the platform's appeal-draw counter at append time;
+    /// `assignment[r]` is the broker serving request `r`, if any.
+    Batch { day: usize, batch: usize, draws: u64, assignment: Vec<Option<usize>> },
+    /// A day closed (logged *before* the learner consumes the
+    /// feedback). `realized_bits` is the day's realised utility as f64
+    /// bits, so replay verification is exact rather than approximate.
+    DayEnd { day: usize, realized_bits: u64, trials: usize, draws: u64 },
+    /// A checkpoint for the boundary before `next_day` was durably
+    /// written; records before that day are no longer needed.
+    Checkpoint { next_day: usize },
+}
+
+impl WalRecord {
+    /// The day this record belongs to (checkpoint markers report the
+    /// boundary they cover).
+    pub fn day(&self) -> usize {
+        match self {
+            WalRecord::DayStart { day }
+            | WalRecord::Batch { day, .. }
+            | WalRecord::DayEnd { day, .. } => *day,
+            WalRecord::Checkpoint { next_day } => *next_day,
+        }
+    }
+
+    fn payload(&self) -> String {
+        match self {
+            WalRecord::DayStart { day } => format!("day-start {day}"),
+            WalRecord::Batch { day, batch, draws, assignment } => {
+                let mut s = format!("batch {day} {batch} {draws} {}", assignment.len());
+                for slot in assignment {
+                    match slot {
+                        Some(b) => {
+                            s.push(' ');
+                            s.push_str(&b.to_string());
+                        }
+                        None => s.push_str(" -"),
+                    }
+                }
+                s
+            }
+            WalRecord::DayEnd { day, realized_bits, trials, draws } => {
+                format!("day-end {day} {realized_bits:016x} {trials} {draws}")
+            }
+            WalRecord::Checkpoint { next_day } => format!("ckpt {next_day}"),
+        }
+    }
+
+    fn parse(payload: &str) -> Option<WalRecord> {
+        let mut toks = payload.split_whitespace();
+        let kind = toks.next()?;
+        let rec = match kind {
+            "day-start" => WalRecord::DayStart { day: toks.next()?.parse().ok()? },
+            "batch" => {
+                let day = toks.next()?.parse().ok()?;
+                let batch = toks.next()?.parse().ok()?;
+                let draws = toks.next()?.parse().ok()?;
+                let n: usize = toks.next()?.parse().ok()?;
+                let mut assignment = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let t = toks.next()?;
+                    assignment.push(if t == "-" { None } else { Some(t.parse().ok()?) });
+                }
+                WalRecord::Batch { day, batch, draws, assignment }
+            }
+            "day-end" => WalRecord::DayEnd {
+                day: toks.next()?.parse().ok()?,
+                realized_bits: u64::from_str_radix(toks.next()?, 16).ok()?,
+                trials: toks.next()?.parse().ok()?,
+                draws: toks.next()?.parse().ok()?,
+            },
+            "ckpt" => WalRecord::Checkpoint { next_day: toks.next()?.parse().ok()? },
+            _ => return None,
+        };
+        // Trailing garbage after a structurally valid record means the
+        // line is not what was written; reject it.
+        if toks.next().is_some() {
+            return None;
+        }
+        Some(rec)
+    }
+
+    fn encode(&self) -> String {
+        let payload = self.payload();
+        format!("{payload} #{:08x}\n", crc32(payload.as_bytes()))
+    }
+}
+
+/// What [`Wal::recover`] found on disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Valid records recovered.
+    pub records: usize,
+    /// Whether a torn tail was truncated away.
+    pub torn: bool,
+    /// Bytes discarded with the torn tail.
+    pub dropped_bytes: u64,
+}
+
+/// An append-only, checksummed write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Wal {
+    /// Create (or truncate) a WAL at `path` and write the header.
+    pub fn create(path: &Path) -> Result<Wal, WalError> {
+        let mut file = File::create(path).map_err(|e| io_err(path, &e))?;
+        file.write_all(WAL_HEADER.as_bytes()).map_err(|e| io_err(path, &e))?;
+        file.write_all(b"\n").map_err(|e| io_err(path, &e))?;
+        file.flush().map_err(|e| io_err(path, &e))?;
+        Ok(Wal { file, path: path.to_path_buf() })
+    }
+
+    /// Append one record (full line + flush).
+    pub fn append(&mut self, rec: &WalRecord) -> Result<(), WalError> {
+        let line = rec.encode();
+        self.file.write_all(line.as_bytes()).map_err(|e| io_err(&self.path, &e))?;
+        self.file.flush().map_err(|e| io_err(&self.path, &e))
+    }
+
+    /// Crash injection: write roughly half of the record's bytes — no
+    /// newline, checksum incomplete — then panic, leaving exactly the
+    /// torn tail a power cut mid-append produces. [`Wal::recover`] must
+    /// truncate it.
+    pub fn append_torn(&mut self, rec: &WalRecord) -> ! {
+        let line = rec.encode();
+        let cut = (line.len() / 2).max(1);
+        let _ = self.file.write_all(&line.as_bytes()[..cut]);
+        let _ = self.file.flush();
+        panic!("injected crash: torn WAL append at {}", self.path.display());
+    }
+
+    /// Recover a WAL after a crash: parse the valid prefix, truncate
+    /// any torn tail, and reopen for appending. A missing or empty file
+    /// is recreated fresh (a crash before the first append).
+    pub fn recover(path: &Path) -> Result<(Wal, Vec<WalRecord>, WalRecovery), WalError> {
+        let data = match std::fs::read(path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err(path, &e)),
+        };
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        let mut valid_end = 0usize;
+        let mut saw_header = false;
+        while pos < data.len() {
+            let Some(nl) = data[pos..].iter().position(|&b| b == b'\n') else { break };
+            let Ok(line) = std::str::from_utf8(&data[pos..pos + nl]) else { break };
+            if !saw_header {
+                if line != WAL_HEADER {
+                    return Err(WalError::Header { found: line.to_string() });
+                }
+                saw_header = true;
+            } else {
+                let Some((payload, crc_hex)) = line.rsplit_once(" #") else { break };
+                let Ok(crc) = u32::from_str_radix(crc_hex, 16) else { break };
+                if crc32(payload.as_bytes()) != crc {
+                    break;
+                }
+                let Some(rec) = WalRecord::parse(payload) else { break };
+                records.push(rec);
+            }
+            pos += nl + 1;
+            valid_end = pos;
+        }
+        let torn = valid_end < data.len();
+        let report = WalRecovery {
+            records: records.len(),
+            torn,
+            dropped_bytes: (data.len() - valid_end) as u64,
+        };
+        if !saw_header {
+            // Missing/empty/header-less-but-empty file: start fresh.
+            let wal = Wal::create(path)?;
+            return Ok((wal, records, report));
+        }
+        if torn {
+            let f = OpenOptions::new().write(true).open(path).map_err(|e| io_err(path, &e))?;
+            f.set_len(valid_end as u64).map_err(|e| io_err(path, &e))?;
+        }
+        let file = OpenOptions::new().append(true).open(path).map_err(|e| io_err(path, &e))?;
+        Ok((Wal { file, path: path.to_path_buf() }, records, report))
+    }
+
+    /// Where this log lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("caam-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::DayStart { day: 0 },
+            WalRecord::Batch {
+                day: 0,
+                batch: 0,
+                draws: 0,
+                assignment: vec![Some(3), None, Some(17)],
+            },
+            WalRecord::Batch { day: 0, batch: 1, draws: 2, assignment: vec![None, None] },
+            WalRecord::DayEnd { day: 0, realized_bits: 1.5f64.to_bits(), trials: 4, draws: 2 },
+            WalRecord::Checkpoint { next_day: 1 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_through_recover() {
+        let path = tmp("roundtrip.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        drop(wal);
+        let (_, records, report) = Wal::recover(&path).unwrap();
+        assert_eq!(records, sample_records());
+        assert!(!report.torn);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_append_is_truncated_and_log_stays_appendable() {
+        let path = tmp("torn.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(&sample_records()[0]).unwrap();
+        wal.append(&sample_records()[1]).unwrap();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            wal.append_torn(&sample_records()[2]);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("injected crash"), "{msg}");
+        // Recovery drops the torn tail, keeps the valid prefix.
+        let (mut wal, records, report) = Wal::recover(&path).unwrap();
+        assert_eq!(records, sample_records()[..2]);
+        assert!(report.torn);
+        assert!(report.dropped_bytes > 0);
+        // The reopened log accepts appends and a second recovery sees
+        // everything.
+        wal.append(&sample_records()[2]).unwrap();
+        drop(wal);
+        let (_, records, report) = Wal::recover(&path).unwrap();
+        assert_eq!(records, sample_records()[..3]);
+        assert!(!report.torn);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_byte_ends_the_valid_prefix() {
+        let path = tmp("flip.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the third record's line.
+        let third_line_start = String::from_utf8(bytes.clone())
+            .unwrap()
+            .lines()
+            .take(3)
+            .map(|l| l.len() + 1)
+            .sum::<usize>();
+        bytes[third_line_start + 6] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, records, report) = Wal::recover(&path).unwrap();
+        assert_eq!(records, sample_records()[..2], "prefix before the flip survives");
+        assert!(report.torn);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_recovers_fresh() {
+        let path = tmp("missing.wal");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, records, report) = Wal::recover(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(report.records, 0);
+        wal.append(&sample_records()[0]).unwrap();
+        drop(wal);
+        let (_, records, _) = Wal::recover(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_mismatch_is_rejected() {
+        let path = tmp("badheader.wal");
+        std::fs::write(&path, "caam-wal v9\n").unwrap();
+        let err = Wal::recover(&path).unwrap_err();
+        assert!(matches!(err, WalError::Header { .. }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_parse_rejects_trailing_garbage() {
+        assert!(WalRecord::parse("day-start 3 junk").is_none());
+        assert!(WalRecord::parse("batch 0 0 0 2 1").is_none(), "short assignment");
+        assert!(WalRecord::parse("day-end 0 zz 1 0").is_none(), "bad hex");
+    }
+}

@@ -11,12 +11,17 @@
 //! - the fault channel's state (delayed feedback awaiting delivery,
 //!   degradation counters).
 //!
-//! The on-disk format is the line-oriented `caam-ckpt v1` container:
+//! The on-disk format is the checksummed `caam-ckpt v2` container
+//! (see [`durability::container`]): the line-oriented v1 payload —
 //! human-diffable, no serialisation dependencies, floats written with
-//! `{:e}` so they round-trip exactly. `load`/`restore` validate
-//! aggressively — version skew, truncation, dimension mismatches and
-//! non-finite learned values are all typed [`CheckpointError`]s rather
-//! than a silently corrupted resume. The seeded fault schedule itself is
+//! `{:e}` so they round-trip exactly — split into named sections, each
+//! CRC32-checksummed, with a whole-file footer checksum. Writes go
+//! through a tmp file + `rename`, so a crash mid-save can never tear an
+//! existing checkpoint. Bare `caam-ckpt v1` files (pre-checksum) still
+//! load. `load`/`restore` validate aggressively — version skew,
+//! truncation, checksum mismatches, dimension mismatches and non-finite
+//! learned values are all typed [`CheckpointError`]s rather than a
+//! silently corrupted resume. The seeded fault schedule itself is
 //! *stateless* (every draw is a pure hash of coordinates), so it needs
 //! no checkpointing: a restored run replays the same chaos.
 
@@ -24,37 +29,56 @@ use crate::assigner::Assigner;
 use crate::lacb::{Lacb, LacbConfig};
 use crate::resilient::{ResilienceConfig, ResilientAssigner};
 use bandit::state;
+use durability::{atomic_write, parse_v2, write_v2, V2_HEADER};
 use platform_sim::{
     BrokerLedger, BrokerState, Dataset, DayFeedback, FaultPlan, Platform, ResilienceStats,
     RunMetrics, StageTimings, TrialTriple,
 };
 use std::fmt;
+use std::io::ErrorKind;
 use std::path::Path;
 use std::time::Instant;
 
-/// Format tag of the container; bump on incompatible layout changes.
+/// Legacy payload format tag; v1 files are still accepted on load.
 pub const FORMAT_VERSION: &str = "caam-ckpt v1";
 
 /// Why a checkpoint could not be written, read, or restored.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CheckpointError {
-    /// File I/O failed (path, OS error text).
-    Io(String),
+    /// File I/O failed. The OS [`ErrorKind`] is preserved so callers
+    /// can distinguish a missing file from a permission problem.
+    Io { path: String, kind: ErrorKind, detail: String },
     /// The header names a different format version than this build
     /// understands.
     VersionSkew { found: String },
+    /// The container failed checksum or structural verification:
+    /// truncation, bit rot, a torn write that escaped `rename`.
+    Corrupt(String),
     /// The payload is malformed: truncated, non-finite weights,
     /// dimension mismatch against the live configuration, …
     Invalid(String),
 }
 
+impl CheckpointError {
+    fn io(path: &Path, err: &std::io::Error) -> Self {
+        CheckpointError::Io {
+            path: path.display().to_string(),
+            kind: err.kind(),
+            detail: err.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
-            CheckpointError::VersionSkew { found } => {
-                write!(f, "checkpoint version skew: found {found:?}, expected {FORMAT_VERSION:?}")
+            CheckpointError::Io { path, kind, detail } => {
+                write!(f, "checkpoint I/O error on {path}: {detail} ({kind:?})")
             }
+            CheckpointError::VersionSkew { found } => {
+                write!(f, "checkpoint version skew: found {found:?}, expected {V2_HEADER:?} or {FORMAT_VERSION:?}")
+            }
+            CheckpointError::Corrupt(e) => write!(f, "corrupt checkpoint: {e}"),
             CheckpointError::Invalid(e) => write!(f, "invalid checkpoint: {e}"),
         }
     }
@@ -126,30 +150,74 @@ impl Checkpoint {
         Checkpoint { text: out }
     }
 
-    /// The serialised form (what [`Checkpoint::save`] writes).
+    /// The bare v1 payload (header + key-value lines). This is the
+    /// *logical* form; [`Checkpoint::save`] wraps it in the checksummed
+    /// v2 container on the way to disk.
     pub fn as_text(&self) -> &str {
         &self.text
     }
 
-    /// Parse a serialised checkpoint, checking the version header.
+    /// The checksummed `caam-ckpt v2` container form: the v1 payload
+    /// split into named sections, each with a CRC32, plus a whole-file
+    /// footer checksum. This is what [`Checkpoint::save`] writes.
+    pub fn to_v2_text(&self) -> String {
+        // Section boundaries are the first key of each logical group in
+        // the v1 payload; splitting here (rather than restructuring
+        // `capture`) keeps one serialisation path for both formats.
+        const MARKERS: [(&str, &str); 6] = [
+            ("next-day", "progress"),
+            ("platform-day", "platform"),
+            ("ledger-realized", "ledger"),
+            ("primary-panics", "stats"),
+            ("pending-feedback", "feedback"),
+            ("lacb-days", "matcher"),
+        ];
+        let mut sections: Vec<(&str, String)> = Vec::with_capacity(MARKERS.len());
+        for line in self.text.lines().skip(1) {
+            let key = line.split_whitespace().next().unwrap_or("");
+            if let Some((_, name)) = MARKERS.iter().find(|(k, _)| *k == key) {
+                sections.push((name, String::new()));
+            }
+            if let Some((_, body)) = sections.last_mut() {
+                body.push_str(line);
+                body.push('\n');
+            }
+        }
+        let borrowed: Vec<(&str, &str)> = sections.iter().map(|(n, b)| (*n, b.as_str())).collect();
+        write_v2(&borrowed)
+    }
+
+    /// Parse a serialised checkpoint in either format: the checksummed
+    /// v2 container (fully verified here) or a bare legacy v1 payload.
     /// Payload validation happens in [`Checkpoint::restore`], which has
     /// the live configuration to validate against.
     pub fn from_text(text: &str) -> Result<Checkpoint, CheckpointError> {
         let header = text.lines().next().unwrap_or("").trim_end();
+        if header == V2_HEADER {
+            let sections = parse_v2(text).map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+            let mut v1 = String::with_capacity(text.len());
+            v1.push_str(FORMAT_VERSION);
+            v1.push('\n');
+            for (_, body) in &sections {
+                v1.push_str(body);
+            }
+            return Ok(Checkpoint { text: v1 });
+        }
         if header != FORMAT_VERSION {
             return Err(CheckpointError::VersionSkew { found: header.to_string() });
         }
         Ok(Checkpoint { text: text.to_string() })
     }
 
+    /// Write the checkpoint as a v2 container, atomically: the bytes go
+    /// to a sibling `.tmp` file which is `rename`d over `path`, so a
+    /// crash mid-save leaves any previous checkpoint untouched.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        std::fs::write(path, &self.text)
-            .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))
+        atomic_write(path, self.to_v2_text().as_bytes()).map_err(|e| CheckpointError::io(path, &e))
     }
 
     pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+        let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::io(path, &e))?;
         Checkpoint::from_text(&text)
     }
 
@@ -573,6 +641,97 @@ mod tests {
     fn version_skew_is_rejected() {
         let err = Checkpoint::from_text("caam-ckpt v0\nnext-day 1\n").unwrap_err();
         assert_eq!(err, CheckpointError::VersionSkew { found: "caam-ckpt v0".into() });
+    }
+
+    #[test]
+    fn v2_container_roundtrips_to_the_same_payload() {
+        let ds = dataset(53);
+        let plan = chaos_plan(29);
+        let ckpt =
+            run_chaos_until(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, 0)
+                .unwrap();
+        let v2 = ckpt.to_v2_text();
+        assert!(v2.starts_with(durability::V2_HEADER));
+        // Every marker section must be present and the reassembled v1
+        // payload must match byte for byte.
+        for name in ["progress", "platform", "ledger", "stats", "feedback", "matcher"] {
+            assert!(v2.contains(&format!("section {name} ")), "missing section {name}");
+        }
+        let back = Checkpoint::from_text(&v2).unwrap();
+        assert_eq!(back.as_text(), ckpt.as_text());
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        let ds = dataset(59);
+        let plan = chaos_plan(31);
+        let cfg = LacbConfig::default();
+        let ckpt = run_chaos_until(&ds, cfg.clone(), ResilienceConfig::default(), plan, 0).unwrap();
+        let dir = std::env::temp_dir().join("caam-ckpt-v1-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.ckpt");
+        // A pre-v2 build wrote the bare payload with std::fs::write.
+        std::fs::write(&path, ckpt.as_text()).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.as_text(), ckpt.as_text());
+        let spiked = ds.with_batch_spikes(&plan);
+        let mut p = Platform::from_dataset(&spiked);
+        p.enable_faults(plan);
+        assert!(loaded.restore(cfg, &mut p).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_corruption_is_a_typed_corrupt_error() {
+        let ds = dataset(61);
+        let plan = chaos_plan(37);
+        let ckpt =
+            run_chaos_until(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, 0)
+                .unwrap();
+        let v2 = ckpt.to_v2_text();
+        // Flip one payload byte: checksums must catch it.
+        let mut bytes = v2.clone().into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let flipped = String::from_utf8(bytes).unwrap();
+        match Checkpoint::from_text(&flipped) {
+            Err(CheckpointError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Truncate at a line boundary: the footer check must catch it.
+        let cut: String = v2.lines().take(8).map(|l| format!("{l}\n")).collect();
+        assert!(matches!(Checkpoint::from_text(&cut), Err(CheckpointError::Corrupt(_))));
+    }
+
+    #[test]
+    fn io_errors_preserve_the_os_error_kind() {
+        let missing = Path::new("/definitely/not/here/ckpt.caam");
+        match Checkpoint::load(missing) {
+            Err(CheckpointError::Io { kind, path, .. }) => {
+                assert_eq!(kind, std::io::ErrorKind::NotFound);
+                assert!(path.contains("ckpt.caam"));
+            }
+            other => panic!("expected Io with NotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_is_atomic_over_an_existing_checkpoint() {
+        let ds = dataset(67);
+        let plan = chaos_plan(41);
+        let a = run_chaos_until(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, 0)
+            .unwrap();
+        let b = run_chaos_until(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, 1)
+            .unwrap();
+        let dir = std::env::temp_dir().join("caam-ckpt-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.ckpt");
+        a.save(&path).unwrap();
+        b.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap().as_text(), b.as_text());
+        // No stale tmp file left behind by the rename path.
+        assert!(!path.with_file_name("atomic.ckpt.tmp").exists());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

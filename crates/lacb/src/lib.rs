@@ -26,6 +26,7 @@ pub mod checkpoint;
 pub mod lacb;
 pub mod resilient;
 pub mod runner;
+pub mod supervisor;
 pub mod value_function;
 
 pub use assigner::Assigner;
@@ -41,4 +42,5 @@ pub use lacb::{tuned_bandit_config, Lacb, LacbConfig, Personalization};
 pub use platform_sim::RunMetrics;
 pub use resilient::{run_chaos, ResilienceConfig, ResilientAssigner};
 pub use runner::{run, RunConfig};
+pub use supervisor::{run_durable, DurableConfig, DurableOutcome, RecoveryError};
 pub use value_function::ValueFunction;

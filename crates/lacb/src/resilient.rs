@@ -53,6 +53,15 @@ pub struct ResilienceConfig {
     /// so simulations and tests stay fast; the retry *count* is still
     /// tracked.
     pub backoff_base: Duration,
+    /// Ceiling on a single backoff sleep. Exponential growth stops
+    /// here, so a generous retry count cannot escalate into
+    /// multi-minute stalls.
+    pub backoff_cap: Duration,
+    /// Total sleep budget across all retries of one day's delivery.
+    /// Once exhausted, remaining retries proceed without sleeping (the
+    /// day is then lost or delivered on the fault schedule's terms, but
+    /// the serving loop never blocks past the deadline).
+    pub retry_deadline: Duration,
     /// How many top-utility brokers the patcher weighs by load.
     pub patch_top_k: usize,
 }
@@ -63,9 +72,26 @@ impl Default for ResilienceConfig {
             batch_deadline: None,
             max_feedback_retries: 4,
             backoff_base: Duration::ZERO,
+            backoff_cap: Duration::from_secs(5),
+            retry_deadline: Duration::from_secs(30),
             patch_top_k: 5,
         }
     }
+}
+
+/// Sleep duration for the `attempt`-th retry (0-based): exponential in
+/// the attempt, saturating, clamped to `cap`, and truncated to what is
+/// left of `budget`. Pure so the bounds are unit-testable without
+/// sleeping.
+fn backoff_delay(base: Duration, cap: Duration, budget: Duration, attempt: usize) -> Duration {
+    if base.is_zero() || budget.is_zero() {
+        return Duration::ZERO;
+    }
+    // 2^10·base already exceeds any sane cap; saturating beyond that
+    // guards pathological configs rather than real schedules.
+    let exp = u32::try_from(attempt.min(10)).expect("capped at 10");
+    let raw = base.saturating_mul(1u32 << exp);
+    raw.min(cap).min(budget)
 }
 
 /// A fault-tolerant wrapper around any assignment policy. See the
@@ -225,11 +251,13 @@ impl<A: Assigner> ResilientAssigner<A> {
             return merged;
         }
         let mut attempt = 0usize;
+        let mut budget = self.cfg.retry_deadline;
         let mut delivered = !plan.feedback_lost(self.day, attempt);
         while !delivered && attempt < self.cfg.max_feedback_retries {
-            if !self.cfg.backoff_base.is_zero() {
-                let exp = u32::try_from(attempt.min(16)).expect("capped at 16");
-                std::thread::sleep(self.cfg.backoff_base * 2u32.pow(exp));
+            let delay = backoff_delay(self.cfg.backoff_base, self.cfg.backoff_cap, budget, attempt);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+                budget -= delay;
             }
             attempt += 1;
             self.stats.feedback_retries += 1;
@@ -384,6 +412,51 @@ mod tests {
     use crate::lacb::{Lacb, LacbConfig};
     use crate::runner::run;
     use platform_sim::{FaultConfig, SyntheticConfig};
+
+    #[test]
+    fn backoff_grows_then_hits_the_cap() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(100);
+        let budget = Duration::from_secs(60);
+        assert_eq!(backoff_delay(base, cap, budget, 0), Duration::from_millis(10));
+        assert_eq!(backoff_delay(base, cap, budget, 1), Duration::from_millis(20));
+        assert_eq!(backoff_delay(base, cap, budget, 3), Duration::from_millis(80));
+        // From attempt 4 on, the cap wins — growth stops.
+        assert_eq!(backoff_delay(base, cap, budget, 4), cap);
+        assert_eq!(backoff_delay(base, cap, budget, 63), cap);
+        assert_eq!(backoff_delay(base, cap, budget, usize::MAX), cap);
+    }
+
+    #[test]
+    fn backoff_never_exceeds_the_remaining_budget() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(5);
+        let budget = Duration::from_millis(25);
+        assert_eq!(backoff_delay(base, cap, budget, 2), Duration::from_millis(25));
+        assert_eq!(backoff_delay(base, cap, Duration::ZERO, 2), Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_saturates_on_pathological_bases() {
+        // A huge base times 2^10 must saturate, not panic or wrap.
+        let d = backoff_delay(Duration::MAX, Duration::from_secs(1), Duration::from_secs(9), 40);
+        assert_eq!(d, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn zero_base_disables_sleeping_entirely() {
+        for attempt in 0..20 {
+            assert_eq!(
+                backoff_delay(
+                    Duration::ZERO,
+                    Duration::from_secs(5),
+                    Duration::from_secs(30),
+                    attempt
+                ),
+                Duration::ZERO
+            );
+        }
+    }
 
     fn dataset(seed: u64) -> Dataset {
         Dataset::synthetic(&SyntheticConfig {

@@ -1,0 +1,513 @@
+//! Crash-consistent serving: the durable run loop and its recovery path.
+//!
+//! [`run_durable`] drives a resilient LACB run exactly like
+//! [`crate::resilient::run_chaos`], but makes every step recoverable:
+//!
+//! * each batch's assignment (and the appeal-draw counter proving RNG
+//!   position) is appended to a checksummed WAL **before** it is
+//!   executed against the platform;
+//! * each day boundary cuts a `caam-ckpt v2` checkpoint into a
+//!   generation store via an atomic tmp+rename write, then logs a
+//!   checkpoint mark in the WAL.
+//!
+//! On startup the same function *is* the recovery path: it truncates
+//! any torn WAL tail, restores the newest checkpoint that verifies
+//! (falling back generation by generation to the last known good, or to
+//! a fresh start when none exists), and **replays** the WAL tail. The
+//! pipeline is a pure function of its seeds, so replay means
+//! *recompute and verify*: each replayed batch is recomputed by the
+//! restored matcher and checked bit-for-bit against the logged record —
+//! a mismatch is a typed [`RecoveryError::Divergence`], never a silent
+//! drift. After the tail is consumed the loop continues live, so a
+//! recovered run finishes with metrics and learned state bit-identical
+//! to an uninterrupted one (the `caam crash-test` harness asserts
+//! exactly this across every seeded [`CrashPoint`]).
+//!
+//! Crash injection rides the same loop: a [`DurableConfig::crash`]
+//! point panics at the matching boundary (after a batch, halfway
+//! through a WAL append, before/halfway-through/after a checkpoint
+//! write), leaving on disk exactly what a power cut would.
+
+use crate::assigner::Assigner;
+use crate::checkpoint::{Checkpoint, CheckpointError, RunProgress};
+use crate::lacb::{Lacb, LacbConfig};
+use crate::resilient::{ResilienceConfig, ResilientAssigner};
+use durability::{CheckpointStore, StoreError, Wal, WalError, WalRecord, WalRecovery, WriteCrash};
+use platform_sim::{
+    BrokerLedger, CrashPoint, Dataset, FaultPlan, Platform, RunMetrics, StageTimings,
+};
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// File name of the serving WAL inside the durable directory.
+pub const WAL_FILE: &str = "serving.wal";
+
+/// Where and how a durable run persists its state.
+#[derive(Clone, Debug)]
+pub struct DurableConfig {
+    /// Directory holding the WAL and checkpoint generations.
+    pub dir: PathBuf,
+    /// Checkpoint generations to retain.
+    pub keep: usize,
+    /// Seeded crash point to inject (recovery harness only).
+    pub crash: Option<CrashPoint>,
+}
+
+impl DurableConfig {
+    /// A durable run rooted at `dir` with default retention and no
+    /// injected crash.
+    pub fn at(dir: &Path) -> Self {
+        DurableConfig { dir: dir.to_path_buf(), keep: 3, crash: None }
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+}
+
+/// Why a durable run could not start, recover, or stay consistent.
+#[derive(Clone, Debug)]
+pub enum RecoveryError {
+    /// The WAL itself could not be opened or appended.
+    Wal(WalError),
+    /// The checkpoint store could not be opened or written.
+    Store(StoreError),
+    /// A freshly captured checkpoint failed to serialise — fatal,
+    /// because continuing would silently widen the replay window.
+    Checkpoint(CheckpointError),
+    /// A replayed batch recomputed differently from its WAL record.
+    /// Deterministic replay makes this impossible unless state, code,
+    /// or log were corrupted in a way the checksums could not see.
+    Divergence { day: usize, batch: Option<usize>, detail: String },
+    /// The WAL references serving coordinates outside the dataset's
+    /// horizon (wrong WAL for this run?).
+    Horizon(String),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Wal(e) => write!(f, "WAL error: {e}"),
+            RecoveryError::Store(e) => write!(f, "checkpoint store error: {e}"),
+            RecoveryError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            RecoveryError::Divergence { day, batch: Some(b), detail } => {
+                write!(f, "replay divergence at day {day} batch {b}: {detail}")
+            }
+            RecoveryError::Divergence { day, batch: None, detail } => {
+                write!(f, "replay divergence at day {day} boundary: {detail}")
+            }
+            RecoveryError::Horizon(e) => write!(f, "WAL outside horizon: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<WalError> for RecoveryError {
+    fn from(e: WalError) -> Self {
+        RecoveryError::Wal(e)
+    }
+}
+
+impl From<StoreError> for RecoveryError {
+    fn from(e: StoreError) -> Self {
+        RecoveryError::Store(e)
+    }
+}
+
+/// What a completed durable run reports.
+#[derive(Clone, Debug)]
+pub struct DurableOutcome {
+    /// Whole-horizon metrics, directly comparable with
+    /// [`crate::resilient::run_chaos`].
+    pub metrics: RunMetrics,
+    /// The matcher's final learned state ([`Lacb::write_state`] text) —
+    /// the harness compares this bit-for-bit across crash/recover runs.
+    pub final_state: String,
+    /// Day boundary of the checkpoint the run restored from, or `None`
+    /// for a fresh start.
+    pub recovered_from: Option<usize>,
+    /// Checkpoint generations that existed but failed verification and
+    /// were skipped on the way to the last known good one.
+    pub generations_skipped: usize,
+    /// WAL records recomputed and verified against the log.
+    pub replayed_batches: usize,
+    /// What WAL recovery found on disk (torn tail, dropped bytes).
+    pub wal_recovery: WalRecovery,
+}
+
+/// Restore the newest checkpoint that verifies, falling back
+/// generation by generation. Returns the restored pipeline state (or
+/// `None` for a fresh start) plus how many generations were skipped.
+#[allow(clippy::type_complexity)]
+fn restore_last_good(
+    store: &CheckpointStore,
+    cfg: &LacbConfig,
+    platform: &mut Platform,
+) -> (Option<(usize, crate::checkpoint::Restored)>, usize) {
+    let mut skipped = 0;
+    for (day, path) in store.generations() {
+        let restored = store
+            .read(&path)
+            .map_err(|e| CheckpointError::Io {
+                path: path.display().to_string(),
+                kind: e.kind,
+                detail: e.detail,
+            })
+            .and_then(|text| Checkpoint::from_text(&text))
+            .and_then(|ckpt| ckpt.restore(cfg.clone(), platform));
+        match restored {
+            Ok(r) => return (Some((day, r)), skipped),
+            Err(_) => skipped += 1,
+        }
+    }
+    (None, skipped)
+}
+
+/// Run (or recover and finish) a durable resilient LACB run over the
+/// whole horizon. Idempotent: killed at any point — including the
+/// crash points [`DurableConfig::crash`] can inject — calling it again
+/// on the same directory completes the run with bit-identical results.
+pub fn run_durable(
+    dataset: &Dataset,
+    cfg: LacbConfig,
+    rcfg: ResilienceConfig,
+    plan: FaultPlan,
+    dcfg: &DurableConfig,
+) -> Result<DurableOutcome, RecoveryError> {
+    let spiked = dataset.with_batch_spikes(&plan);
+    let mut platform = Platform::from_dataset(&spiked);
+    platform.enable_faults(plan);
+
+    let store = CheckpointStore::open(&dcfg.dir, dcfg.keep)?;
+    let (mut wal, records, wal_recovery) = Wal::recover(&dcfg.wal_path())?;
+
+    let (restored, generations_skipped) = restore_last_good(&store, &cfg, &mut platform);
+    let (recovered_from, matcher, mut ledger, mut progress, pending, stats) = match restored {
+        Some((day, r)) => (Some(day), r.matcher, r.ledger, r.progress, r.pending_feedback, r.stats),
+        None => (
+            None,
+            Lacb::new(cfg),
+            BrokerLedger::new(platform.num_brokers()),
+            RunProgress::default(),
+            None,
+            Default::default(),
+        ),
+    };
+    let mut assigner = ResilientAssigner::new(matcher, rcfg);
+    assigner.restore_channel(pending, stats);
+
+    // The replay tail: records at or after the restored boundary.
+    // Checkpoint marks are bookkeeping, not state, so they are dropped.
+    let mut tail: VecDeque<WalRecord> = records
+        .into_iter()
+        .filter(|r| !matches!(r, WalRecord::Checkpoint { .. }) && r.day() >= progress.next_day)
+        .collect();
+    for r in &tail {
+        if r.day() >= spiked.days.len() {
+            return Err(RecoveryError::Horizon(format!(
+                "WAL record for day {} but horizon has {} days",
+                r.day(),
+                spiked.days.len()
+            )));
+        }
+    }
+    let mut replayed_batches = 0usize;
+
+    for (d, day) in spiked.days.iter().enumerate().skip(progress.next_day) {
+        platform.begin_day();
+        let t0 = Instant::now();
+        assigner.begin_day(&platform, d);
+        progress.elapsed_secs += t0.elapsed().as_secs_f64();
+        if matches!(tail.front(), Some(WalRecord::DayStart { day }) if *day == d) {
+            tail.pop_front();
+        } else {
+            wal.append(&WalRecord::DayStart { day: d })?;
+        }
+        for (b, batch) in day.iter().enumerate() {
+            let t = Instant::now();
+            let assignment = assigner.assign_batch(&platform, &batch.requests);
+            progress.elapsed_secs += t.elapsed().as_secs_f64();
+            let rec = WalRecord::Batch {
+                day: d,
+                batch: b,
+                draws: platform.appeal_draws(),
+                assignment: assignment.clone(),
+            };
+            let replaying = matches!(
+                tail.front(),
+                Some(WalRecord::Batch { day, batch, .. }) if *day == d && *batch == b
+            );
+            if replaying {
+                let logged = tail.pop_front().expect("front just matched");
+                if logged != rec {
+                    return Err(RecoveryError::Divergence {
+                        day: d,
+                        batch: Some(b),
+                        detail: format!("logged {logged:?} recomputed {rec:?}"),
+                    });
+                }
+                replayed_batches += 1;
+            } else {
+                if dcfg.crash == Some(CrashPoint::DuringWalAppend { day: d, batch: b }) {
+                    wal.append_torn(&rec);
+                }
+                wal.append(&rec)?;
+            }
+            let outcome = platform.execute_batch(&batch.requests, &assignment);
+            progress.requests_failed += outcome.failed.len() as u64;
+            ledger.record_batch(&outcome);
+            if !replaying && dcfg.crash == Some(CrashPoint::AfterBatch { day: d, batch: b }) {
+                panic!("injected crash: after batch {b} of day {d}");
+            }
+        }
+        let feedback = platform.end_day();
+        let rec = WalRecord::DayEnd {
+            day: d,
+            realized_bits: feedback.realized.to_bits(),
+            trials: feedback.trials.len(),
+            draws: platform.appeal_draws(),
+        };
+        match tail.front() {
+            Some(WalRecord::DayEnd { day, .. }) if *day == d => {
+                let logged = tail.pop_front().expect("front just matched");
+                if logged != rec {
+                    return Err(RecoveryError::Divergence {
+                        day: d,
+                        batch: None,
+                        detail: format!("logged {logged:?} recomputed {rec:?}"),
+                    });
+                }
+            }
+            _ => wal.append(&rec)?,
+        }
+        let t = Instant::now();
+        assigner.end_day(&platform, &feedback);
+        progress.elapsed_secs += t.elapsed().as_secs_f64();
+        ledger.end_day(feedback.realized);
+        progress.daily_utility.push(feedback.realized);
+        progress.daily_elapsed.push(progress.elapsed_secs);
+        progress.next_day = d + 1;
+
+        if dcfg.crash == Some(CrashPoint::BeforeCheckpoint { day: d }) {
+            panic!("injected crash: before checkpoint of day {d}");
+        }
+        let ckpt = Checkpoint::capture(
+            assigner.primary(),
+            &platform,
+            &ledger,
+            &progress,
+            assigner.pending_feedback(),
+            assigner.stats(),
+        );
+        let write_crash = match dcfg.crash {
+            Some(CrashPoint::DuringCheckpointWrite { day }) if day == d => {
+                Some(WriteCrash::MidWrite)
+            }
+            Some(CrashPoint::BeforeCheckpointRename { day }) if day == d => {
+                Some(WriteCrash::BeforeRename)
+            }
+            _ => None,
+        };
+        store.save(d + 1, &ckpt.to_v2_text(), write_crash)?;
+        wal.append(&WalRecord::Checkpoint { next_day: d + 1 })?;
+    }
+
+    let mut stats = assigner.resilience_stats().unwrap_or_default();
+    stats.requests_failed = progress.requests_failed;
+    let mut final_state = String::new();
+    assigner.primary().write_state(&mut final_state);
+    Ok(DurableOutcome {
+        metrics: RunMetrics {
+            algorithm: assigner.name(),
+            total_utility: ledger.total_realized(),
+            elapsed_secs: progress.elapsed_secs,
+            daily_utility: progress.daily_utility,
+            daily_elapsed: progress.daily_elapsed,
+            ledger,
+            resilience: Some(stats),
+            timings: StageTimings::default(),
+        },
+        final_state,
+        recovered_from,
+        generations_skipped,
+        replayed_batches,
+        wal_recovery,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilient::run_chaos;
+    use crate::runner::RunConfig;
+    use platform_sim::{seeded_schedule, FaultConfig, SyntheticConfig};
+
+    fn dataset(seed: u64) -> Dataset {
+        Dataset::synthetic(&SyntheticConfig {
+            num_brokers: 24,
+            num_requests: 480,
+            days: 3,
+            imbalance: 0.25,
+            seed,
+        })
+    }
+
+    fn chaos_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(FaultConfig::scenario("broker-dropout+lost-feedback", seed).unwrap())
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("caam-supervisor-tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn reference(ds: &Dataset, plan: FaultPlan) -> (RunMetrics, String) {
+        let mut r =
+            ResilientAssigner::new(Lacb::new(LacbConfig::default()), ResilienceConfig::default());
+        let m = run_chaos(ds, &mut r, &RunConfig::default(), plan);
+        let mut state = String::new();
+        r.primary().write_state(&mut state);
+        (m, state)
+    }
+
+    fn assert_bit_identical(a: &RunMetrics, b: &RunMetrics) {
+        assert_eq!(a.total_utility.to_bits(), b.total_utility.to_bits());
+        assert_eq!(a.daily_utility.len(), b.daily_utility.len());
+        for (x, y) in a.daily_utility.iter().zip(&b.daily_utility) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.resilience, b.resilience);
+        let (sa, sb) = (a.ledger.snapshot(), b.ledger.snapshot());
+        assert_eq!(sa.realized_utility, sb.realized_utility);
+        assert_eq!(sa.requests_served, sb.requests_served);
+    }
+
+    #[test]
+    fn uninterrupted_durable_run_matches_run_chaos() {
+        let ds = dataset(71);
+        let plan = chaos_plan(43);
+        let dir = scratch("uninterrupted");
+        let out = run_durable(
+            &ds,
+            LacbConfig::default(),
+            ResilienceConfig::default(),
+            plan,
+            &DurableConfig::at(&dir),
+        )
+        .unwrap();
+        let (reference_metrics, reference_state) = reference(&ds, plan);
+        assert_bit_identical(&out.metrics, &reference_metrics);
+        assert_eq!(out.final_state, reference_state);
+        assert_eq!(out.recovered_from, None);
+        assert_eq!(out.replayed_batches, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_crash_point_variant_recovers_bit_identically() {
+        let ds = dataset(73);
+        let plan = chaos_plan(47);
+        let (reference_metrics, reference_state) = reference(&ds, plan);
+        let batches: Vec<usize> = ds.days.iter().map(|d| d.len()).collect();
+        // 5 points = one per variant; the CLI harness scales this to 10+.
+        for (i, point) in seeded_schedule(97, &batches, 5).into_iter().enumerate() {
+            let dir = scratch(&format!("variant-{i}"));
+            let mut dcfg = DurableConfig::at(&dir);
+            dcfg.crash = Some(point);
+            let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_durable(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, &dcfg)
+            }));
+            assert!(crashed.is_err(), "crash point {point:?} did not fire");
+            dcfg.crash = None;
+            let out =
+                run_durable(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, &dcfg)
+                    .unwrap_or_else(|e| panic!("recovery after {point:?} failed: {e}"));
+            assert_bit_identical(&out.metrics, &reference_metrics);
+            assert_eq!(out.final_state, reference_state, "state diverged after {point:?}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_last_known_good() {
+        let ds = dataset(79);
+        let plan = chaos_plan(53);
+        let dir = scratch("fallback");
+        // Crash right before day 2's checkpoint: generations 1 and 2 exist.
+        let mut dcfg = DurableConfig::at(&dir);
+        dcfg.crash = Some(CrashPoint::BeforeCheckpoint { day: 2 });
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_durable(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, &dcfg)
+        }));
+        assert!(crashed.is_err());
+        // Vandalise the newest checkpoint: flip one byte in the middle.
+        let store = CheckpointStore::open(&dir, 3).unwrap();
+        let (newest_day, newest_path) = store.generations()[0].clone();
+        assert_eq!(newest_day, 2);
+        let mut bytes = std::fs::read(&newest_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&newest_path, &bytes).unwrap();
+        dcfg.crash = None;
+        let out = run_durable(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, &dcfg)
+            .unwrap();
+        assert_eq!(out.recovered_from, Some(1), "must fall back past the corrupt generation");
+        assert_eq!(out.generations_skipped, 1);
+        let (reference_metrics, reference_state) = reference(&ds, plan);
+        assert_bit_identical(&out.metrics, &reference_metrics);
+        assert_eq!(out.final_state, reference_state);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_checkpoints_corrupt_degrades_to_fresh_start_with_full_replay() {
+        let ds = dataset(83);
+        let plan = chaos_plan(59);
+        let dir = scratch("fresh-replay");
+        let mut dcfg = DurableConfig::at(&dir);
+        dcfg.crash = Some(CrashPoint::BeforeCheckpoint { day: 1 });
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_durable(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, &dcfg)
+        }));
+        assert!(crashed.is_err());
+        let store = CheckpointStore::open(&dir, 3).unwrap();
+        for (_, path) in store.generations() {
+            std::fs::write(&path, b"caam-ckpt v2\ngarbage\n").unwrap();
+        }
+        dcfg.crash = None;
+        let out = run_durable(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, &dcfg)
+            .unwrap();
+        assert_eq!(out.recovered_from, None, "all generations corrupt: fresh start");
+        assert!(out.replayed_batches > 0, "fresh start must still replay the WAL");
+        let (reference_metrics, reference_state) = reference(&ds, plan);
+        assert_bit_identical(&out.metrics, &reference_metrics);
+        assert_eq!(out.final_state, reference_state);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_wal_is_rejected_not_replayed() {
+        let ds = dataset(89);
+        let plan = chaos_plan(61);
+        let dir = scratch("foreign-wal");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A WAL from a longer horizon: day 7 does not exist here.
+        let mut wal = Wal::create(&dir.join(WAL_FILE)).unwrap();
+        wal.append(&WalRecord::DayStart { day: 7 }).unwrap();
+        drop(wal);
+        let err = run_durable(
+            &ds,
+            LacbConfig::default(),
+            ResilienceConfig::default(),
+            plan,
+            &DurableConfig::at(&dir),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoveryError::Horizon(_)), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

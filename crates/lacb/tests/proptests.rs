@@ -2,10 +2,12 @@
 //! must fully serve every batch under *arbitrary* fault schedules, and
 //! checkpoint/restore must resume bit-identically wherever the cut lands.
 
+use lacb::checkpoint::CheckpointError;
 use lacb::resilient::{ResilienceConfig, ResilientAssigner};
 use lacb::{checkpoint, run_chaos, Assigner, Lacb, LacbConfig, RunConfig};
 use platform_sim::{Dataset, FaultConfig, FaultPlan, Platform, SyntheticConfig};
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
 fn world(seed: u64, days: usize) -> Dataset {
     Dataset::synthetic(&SyntheticConfig {
@@ -15,6 +17,45 @@ fn world(seed: u64, days: usize) -> Dataset {
         imbalance: 0.3,
         seed,
     })
+}
+
+/// One real checkpoint, computed once and shared by the corruption
+/// properties: its legacy v1 payload, its checksummed v2 container, and
+/// the world it belongs to (so semantic validation in `restore` runs
+/// against the right platform).
+struct CkptFixture {
+    v1: String,
+    v2: String,
+    ds: Dataset,
+    plan: FaultPlan,
+}
+
+fn fixture() -> &'static CkptFixture {
+    static FIXTURE: OnceLock<CkptFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ds = world(5, 2);
+        let plan =
+            FaultPlan::new(FaultConfig::scenario("broker-dropout+lost-feedback", 11).unwrap());
+        let ckpt = checkpoint::run_chaos_until(
+            &ds,
+            LacbConfig::default(),
+            ResilienceConfig::default(),
+            plan,
+            0,
+        )
+        .unwrap();
+        CkptFixture { v1: ckpt.as_text().to_string(), v2: ckpt.to_v2_text(), ds, plan }
+    })
+}
+
+/// `from_text` + `restore` with every failure funnelled into a typed
+/// result — a panic anywhere in the pipeline fails the property.
+fn try_full_load(fx: &CkptFixture, text: &str) -> Result<(), CheckpointError> {
+    let ckpt = checkpoint::Checkpoint::from_text(text)?;
+    let spiked = fx.ds.with_batch_spikes(&fx.plan);
+    let mut platform = Platform::from_dataset(&spiked);
+    platform.enable_faults(fx.plan);
+    ckpt.restore(LacbConfig::default(), &mut platform).map(|_| ())
 }
 
 proptest! {
@@ -169,6 +210,111 @@ proptest! {
             cut_day,
             uninterrupted.total_utility,
             resumed.total_utility
+        );
+    }
+
+    /// Flipping any byte anywhere in a v2 checkpoint makes it fail with
+    /// a typed error — the checksums never let corruption load, and
+    /// nothing in the load path panics on the damaged input.
+    #[test]
+    fn v2_byte_flips_never_load_and_never_panic(
+        pos in 0usize..100_000,
+        mask in 1u8..=255,
+    ) {
+        let fx = fixture();
+        let mut bytes = fx.v2.clone().into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= mask;
+        if let Ok(text) = String::from_utf8(bytes) {
+            prop_assert!(
+                try_full_load(fx, &text).is_err(),
+                "flipped byte {} (mask {:#x}) silently loaded", pos, mask
+            );
+        }
+    }
+
+    /// Truncating a v2 checkpoint mid-line at any byte fails typed: the
+    /// footer checksum catches every prefix, and partially-written tmp
+    /// files (which are exactly such prefixes) can never restore.
+    #[test]
+    fn v2_truncation_at_any_byte_never_loads(cut in 1usize..100_000) {
+        let fx = fixture();
+        let cut = cut % (fx.v2.len() - 1);
+        if !fx.v2.is_char_boundary(cut) {
+            return Ok(());
+        }
+        let text = &fx.v2[..cut];
+        prop_assert!(try_full_load(fx, text).is_err(), "truncation at byte {} loaded", cut);
+    }
+
+    /// Legacy v1 payloads carry no checksums, so a flipped digit *may*
+    /// still parse — but the load path must never panic, and structural
+    /// damage must surface as a typed error, not UB.
+    #[test]
+    fn v1_byte_flips_never_panic(
+        pos in 0usize..100_000,
+        mask in 1u8..=255,
+    ) {
+        let fx = fixture();
+        let mut bytes = fx.v1.clone().into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= mask;
+        if let Ok(text) = String::from_utf8(bytes) {
+            let _ = try_full_load(fx, &text); // Ok or Err both fine; panicking is not
+        }
+    }
+
+    /// A corrupted *newest* generation must never win over an intact
+    /// older one: walking generations newest→oldest always lands on the
+    /// last known good checkpoint, whatever byte was damaged.
+    #[test]
+    fn corrupt_newest_generation_falls_back_to_last_known_good(
+        pos in 0usize..100_000,
+        mask in 1u8..=255,
+        case in 0u32..1_000_000,
+    ) {
+        let fx = fixture();
+        let dir = std::env::temp_dir()
+            .join("caam-proptest-fallback")
+            .join(format!("case-{case}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = durability::CheckpointStore::open(&dir, 4).unwrap();
+        store.save(1, &fx.v2, None).unwrap();
+        store.save(2, &fx.v2, None).unwrap();
+        // Vandalise the newest generation in place.
+        let (newest_day, newest_path) = store.generations()[0].clone();
+        prop_assert_eq!(newest_day, 2);
+        let mut bytes = std::fs::read(&newest_path).unwrap();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= mask;
+        std::fs::write(&newest_path, &bytes).unwrap();
+        // Walk newest→oldest exactly as recovery does.
+        let mut landed = None;
+        for (day, path) in store.generations() {
+            let text = store.read(&path).unwrap_or_default();
+            if checkpoint::Checkpoint::from_text(&text).is_ok() {
+                landed = Some(day);
+                break;
+            }
+        }
+        prop_assert_eq!(landed, Some(1), "fallback skipped the intact generation");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Exhaustive companion to the byte-level properties: cut a real v2
+/// checkpoint at *every* line boundary; no prefix may load, and every
+/// failure is a typed error (the loop itself proves nothing panics).
+#[test]
+fn v2_truncation_at_every_line_is_rejected() {
+    let fx = fixture();
+    let lines: Vec<&str> = fx.v2.lines().collect();
+    for cut in 0..lines.len() {
+        let text: String = lines[..cut].iter().map(|l| format!("{l}\n")).collect();
+        assert!(
+            try_full_load(fx, &text).is_err(),
+            "truncation at line {cut}/{} loaded",
+            lines.len()
         );
     }
 }

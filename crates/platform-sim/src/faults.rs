@@ -260,6 +260,93 @@ impl FaultPlan {
     }
 }
 
+/// A seeded place for the crash-test supervisor to kill the process.
+///
+/// Each variant names a distinct window in the serving loop where a
+/// real crash (OOM kill, power cut, deploy restart) could land, and the
+/// recovery path it exercises differs for each:
+///
+/// * [`CrashPoint::AfterBatch`] — the batch was executed and its WAL
+///   record is durable; recovery must *replay* it, not re-execute
+///   against fresh randomness.
+/// * [`CrashPoint::DuringWalAppend`] — the append itself is torn;
+///   recovery must truncate the half-written record and re-execute the
+///   batch live.
+/// * [`CrashPoint::BeforeCheckpoint`] — the day completed (feedback
+///   applied, `day-end` logged) but no checkpoint was cut; recovery
+///   restores an older boundary and replays the whole day.
+/// * [`CrashPoint::DuringCheckpointWrite`] — the checkpoint tmp file is
+///   torn mid-write; restore must skip it and fall back.
+/// * [`CrashPoint::BeforeCheckpointRename`] — the tmp file is complete
+///   but never renamed; same fallback, different artifact on disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash after batch `(day, batch)` is applied and logged.
+    AfterBatch { day: usize, batch: usize },
+    /// Crash halfway through appending batch `(day, batch)`'s WAL record.
+    DuringWalAppend { day: usize, batch: usize },
+    /// Crash after day `day` completes, before its checkpoint starts.
+    BeforeCheckpoint { day: usize },
+    /// Crash halfway through writing day `day`'s checkpoint tmp file.
+    DuringCheckpointWrite { day: usize },
+    /// Crash after day `day`'s checkpoint tmp file is written, before rename.
+    BeforeCheckpointRename { day: usize },
+}
+
+impl CrashPoint {
+    /// Short label for harness output.
+    pub fn label(&self) -> String {
+        match self {
+            CrashPoint::AfterBatch { day, batch } => format!("after-batch d{day} b{batch}"),
+            CrashPoint::DuringWalAppend { day, batch } => {
+                format!("during-wal-append d{day} b{batch}")
+            }
+            CrashPoint::BeforeCheckpoint { day } => format!("before-checkpoint d{day}"),
+            CrashPoint::DuringCheckpointWrite { day } => format!("during-checkpoint-write d{day}"),
+            CrashPoint::BeforeCheckpointRename { day } => {
+                format!("before-checkpoint-rename d{day}")
+            }
+        }
+    }
+}
+
+/// Derive `n` distinct seeded crash points for a horizon whose day `d`
+/// has `batches_per_day[d]` batches. Pure function of the seed: the
+/// harness and a human re-running it always agree on the schedule.
+///
+/// The five [`CrashPoint`] variants are cycled so any `n ≥ 5` covers
+/// every recovery path, including crashes during a checkpoint write and
+/// during a WAL append; days and batches are drawn by splitmix hash.
+pub fn seeded_schedule(seed: u64, batches_per_day: &[usize], n: usize) -> Vec<CrashPoint> {
+    assert!(!batches_per_day.is_empty(), "horizon must have at least one day");
+    let days = batches_per_day.len() as u64;
+    let mut points: Vec<CrashPoint> = Vec::with_capacity(n);
+    for i in 0..n {
+        // Re-salt until this draw lands on a point not already chosen,
+        // so the schedule always holds `n` *distinct* crash points.
+        let mut salt = 0u64;
+        loop {
+            let h = mix(seed.wrapping_mul(0x9E3779B97F4A7C15) ^ (i as u64) << 32 ^ salt);
+            let day = (h % days) as usize;
+            let batches = batches_per_day[day].max(1) as u64;
+            let batch = (mix(h) % batches) as usize;
+            let point = match i % 5 {
+                0 => CrashPoint::AfterBatch { day, batch },
+                1 => CrashPoint::DuringWalAppend { day, batch },
+                2 => CrashPoint::BeforeCheckpoint { day },
+                3 => CrashPoint::DuringCheckpointWrite { day },
+                _ => CrashPoint::BeforeCheckpointRename { day },
+            };
+            if !points.contains(&point) {
+                points.push(point);
+                break;
+            }
+            salt += 1;
+        }
+    }
+    points
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +453,47 @@ mod tests {
             }
         }
         assert!(nan > 0 && inf > 0 && huge > 0, "nan={nan} inf={inf} huge={huge}");
+    }
+
+    #[test]
+    fn crash_schedule_is_deterministic_and_distinct() {
+        let batches = vec![10, 10, 8];
+        let a = seeded_schedule(29, &batches, 12);
+        let b = seeded_schedule(29, &batches, 12);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        for (i, p) in a.iter().enumerate() {
+            assert!(!a[..i].contains(p), "duplicate crash point {p:?}");
+        }
+        assert_ne!(a, seeded_schedule(30, &batches, 12));
+    }
+
+    #[test]
+    fn crash_schedule_covers_every_variant() {
+        let pts = seeded_schedule(7, &[6, 6], 10);
+        let has = |f: fn(&CrashPoint) -> bool| pts.iter().any(f);
+        assert!(has(|p| matches!(p, CrashPoint::AfterBatch { .. })));
+        assert!(has(|p| matches!(p, CrashPoint::DuringWalAppend { .. })));
+        assert!(has(|p| matches!(p, CrashPoint::BeforeCheckpoint { .. })));
+        assert!(has(|p| matches!(p, CrashPoint::DuringCheckpointWrite { .. })));
+        assert!(has(|p| matches!(p, CrashPoint::BeforeCheckpointRename { .. })));
+    }
+
+    #[test]
+    fn crash_schedule_stays_inside_the_horizon() {
+        let batches = vec![4, 9, 2, 7];
+        for p in seeded_schedule(41, &batches, 20) {
+            match p {
+                CrashPoint::AfterBatch { day, batch }
+                | CrashPoint::DuringWalAppend { day, batch } => {
+                    assert!(day < batches.len());
+                    assert!(batch < batches[day]);
+                }
+                CrashPoint::BeforeCheckpoint { day }
+                | CrashPoint::DuringCheckpointWrite { day }
+                | CrashPoint::BeforeCheckpointRename { day } => assert!(day < batches.len()),
+            }
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use capacity_model::overload_factor;
 pub use config::{CityId, RealWorldConfig, SyntheticConfig};
 pub use dataset::{Batch, Dataset};
 pub use environment::{Appeal, AppealConfig, BatchOutcome, DayFeedback, Platform, TrialTriple};
-pub use faults::{FaultConfig, FaultKind, FaultPlan, SCENARIOS};
+pub use faults::{seeded_schedule, CrashPoint, FaultConfig, FaultKind, FaultPlan, SCENARIOS};
 pub use metrics::{
     gini, percentile, BrokerLedger, LedgerSnapshot, ResilienceStats, RunMetrics, StageTimings,
 };
