@@ -1,0 +1,269 @@
+//! Per-component circuit breaker.
+//!
+//! Classic three-state machine driven by the serving loop's batch
+//! tick counter instead of wall-clock time:
+//!
+//! ```text
+//! Closed --trip_after consecutive failures--> Open
+//! Open   --cooldown_ticks elapsed-----------> HalfOpen
+//! HalfOpen --half_open_probes successes-----> Closed
+//! HalfOpen --any failure--------------------> Open (cooldown restarts)
+//! ```
+//!
+//! A "failure" is whatever deterministic proxy the caller feeds in —
+//! a solver ops-budget miss, a validation failure, a WAL append
+//! error. While a breaker is Open the caller routes around the
+//! protected component (e.g. the `ResilientAssigner` greedy ladder
+//! instead of the KM solver).
+
+/// Breaker tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures in Closed before tripping.
+    pub trip_after: u32,
+    /// Ticks to hold Open before probing.
+    pub cooldown_ticks: u64,
+    /// Consecutive half-open successes required to close.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { trip_after: 3, cooldown_ticks: 8, half_open_probes: 2 }
+    }
+}
+
+/// Discriminant of the breaker state, for metrics and serialization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerStateKind {
+    /// Normal operation; failures are being counted.
+    Closed,
+    /// Tripped; the protected component is bypassed.
+    Open,
+    /// Cooldown elapsed; probing with limited traffic.
+    HalfOpen,
+}
+
+impl BreakerStateKind {
+    /// Stable label for logs and checkpoints.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerStateKind::Closed => "closed",
+            BreakerStateKind::Open => "open",
+            BreakerStateKind::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// A state change, reported to the caller for metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// Tick at which the transition happened.
+    pub tick: u64,
+    /// State before.
+    pub from: BreakerStateKind,
+    /// State after.
+    pub to: BreakerStateKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { until_tick: u64 },
+    HalfOpen { successes: u32 },
+}
+
+/// Plain-field snapshot of a [`CircuitBreaker`] for checkpointing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// Current state discriminant.
+    pub kind: BreakerStateKind,
+    /// Closed: consecutive failures. HalfOpen: probe successes.
+    /// Open: unused (0).
+    pub counter: u32,
+    /// Open: tick at which cooldown ends. Otherwise 0.
+    pub until_tick: u64,
+    /// Lifetime trip count.
+    pub trips: u64,
+}
+
+/// Circuit breaker; see module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: State,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// New breaker in Closed.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self { cfg, state: State::Closed { consecutive_failures: 0 }, trips: 0 }
+    }
+
+    /// Current state discriminant.
+    pub fn kind(&self) -> BreakerStateKind {
+        match self.state {
+            State::Closed { .. } => BreakerStateKind::Closed,
+            State::Open { .. } => BreakerStateKind::Open,
+            State::HalfOpen { .. } => BreakerStateKind::HalfOpen,
+        }
+    }
+
+    /// Lifetime trip count.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Advance to `now_tick`: moves Open → HalfOpen once the cooldown
+    /// has elapsed. Returns the transition if one happened.
+    pub fn poll(&mut self, now_tick: u64) -> Option<BreakerTransition> {
+        if let State::Open { until_tick } = self.state {
+            if now_tick >= until_tick {
+                self.state = State::HalfOpen { successes: 0 };
+                return Some(BreakerTransition {
+                    tick: now_tick,
+                    from: BreakerStateKind::Open,
+                    to: BreakerStateKind::HalfOpen,
+                });
+            }
+        }
+        None
+    }
+
+    /// True when the protected component may be used this tick.
+    pub fn allows(&self) -> bool {
+        !matches!(self.state, State::Open { .. })
+    }
+
+    /// Record a successful use of the protected component.
+    pub fn on_success(&mut self, now_tick: u64) -> Option<BreakerTransition> {
+        match &mut self.state {
+            State::Closed { consecutive_failures } => {
+                *consecutive_failures = 0;
+                None
+            }
+            State::Open { .. } => None,
+            State::HalfOpen { successes } => {
+                *successes += 1;
+                if *successes >= self.cfg.half_open_probes {
+                    self.state = State::Closed { consecutive_failures: 0 };
+                    Some(BreakerTransition {
+                        tick: now_tick,
+                        from: BreakerStateKind::HalfOpen,
+                        to: BreakerStateKind::Closed,
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Record a failed use of the protected component.
+    pub fn on_failure(&mut self, now_tick: u64) -> Option<BreakerTransition> {
+        let from = self.kind();
+        match &mut self.state {
+            State::Closed { consecutive_failures } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.cfg.trip_after {
+                    self.trip(now_tick, from)
+                } else {
+                    None
+                }
+            }
+            State::Open { .. } => None,
+            State::HalfOpen { .. } => self.trip(now_tick, from),
+        }
+    }
+
+    fn trip(&mut self, now_tick: u64, from: BreakerStateKind) -> Option<BreakerTransition> {
+        self.trips += 1;
+        self.state = State::Open { until_tick: now_tick + self.cfg.cooldown_ticks };
+        Some(BreakerTransition { tick: now_tick, from, to: BreakerStateKind::Open })
+    }
+
+    /// Capture checkpoint state.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        let (kind, counter, until_tick) = match self.state {
+            State::Closed { consecutive_failures } => {
+                (BreakerStateKind::Closed, consecutive_failures, 0)
+            }
+            State::Open { until_tick } => (BreakerStateKind::Open, 0, until_tick),
+            State::HalfOpen { successes } => (BreakerStateKind::HalfOpen, successes, 0),
+        };
+        BreakerSnapshot { kind, counter, until_tick, trips: self.trips }
+    }
+
+    /// Rebuild from a snapshot under the given config.
+    pub fn from_snapshot(cfg: BreakerConfig, s: &BreakerSnapshot) -> Self {
+        let state = match s.kind {
+            BreakerStateKind::Closed => State::Closed { consecutive_failures: s.counter },
+            BreakerStateKind::Open => State::Open { until_tick: s.until_tick },
+            BreakerStateKind::HalfOpen => State::HalfOpen { successes: s.counter },
+        };
+        Self { cfg, state, trips: s.trips }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig { trip_after: 2, cooldown_ticks: 3, half_open_probes: 2 }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = CircuitBreaker::new(cfg());
+        assert!(b.on_failure(0).is_none());
+        assert!(b.on_success(1).is_none());
+        assert!(b.on_failure(2).is_none());
+        let t = b.on_failure(3).expect("second consecutive failure trips");
+        assert_eq!(t.to, BreakerStateKind::Open);
+        assert!(!b.allows());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn cooldown_then_half_open_then_close() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_failure(0);
+        b.on_failure(1);
+        assert!(b.poll(2).is_none());
+        let t = b.poll(4).expect("cooldown over");
+        assert_eq!(t.to, BreakerStateKind::HalfOpen);
+        assert!(b.allows());
+        assert!(b.on_success(5).is_none());
+        let t = b.on_success(6).expect("probe quota met");
+        assert_eq!(t.to, BreakerStateKind::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_failure(0);
+        b.on_failure(1);
+        b.poll(4);
+        let t = b.on_failure(5).expect("half-open failure trips");
+        assert_eq!(t.from, BreakerStateKind::HalfOpen);
+        assert_eq!(t.to, BreakerStateKind::Open);
+        assert_eq!(b.trips(), 2);
+        assert!(b.poll(7).is_none());
+        assert!(b.poll(8).is_some());
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_state() {
+        let mut b = CircuitBreaker::new(cfg());
+        for step in 0..6u64 {
+            let s = b.snapshot();
+            let r = CircuitBreaker::from_snapshot(cfg(), &s);
+            assert_eq!(r, b);
+            assert_eq!(r.snapshot(), s);
+            b.on_failure(step);
+            b.poll(step + 3);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Brownout ladder: degrade match *quality* before availability.
+//!
+//! Three levels, escalating under sustained queue pressure and
+//! de-escalating with hysteresis once pressure clears:
+//!
+//! - `Normal` — full CBS candidate sets, balanced KM.
+//! - `ReducedCbs` — CBS candidate sets shrunk, KM retained.
+//! - `GreedyOnly` — greedy matching, no KM solve.
+//!
+//! Pressure is the integer queue depth (plus a breaker-open override
+//! that forces at least `ReducedCbs`). Escalation requires the depth
+//! to sit above the enter threshold for `sustain_ticks` consecutive
+//! ticks; recovery requires it below the exit threshold for
+//! `recover_ticks` — so a single spiky batch cannot flap the ladder.
+
+/// Brownout tuning knobs. Thresholds are queue depths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BrownoutConfig {
+    /// Depth at or above which pressure counts toward `ReducedCbs`.
+    pub enter_reduced: usize,
+    /// Depth at or above which pressure counts toward `GreedyOnly`.
+    pub enter_greedy: usize,
+    /// Depth at or below which recovery counts (one level at a time).
+    pub exit_below: usize,
+    /// Consecutive pressured ticks before escalating one level.
+    pub sustain_ticks: u32,
+    /// Consecutive calm ticks before de-escalating one level.
+    pub recover_ticks: u32,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        Self {
+            enter_reduced: 32,
+            enter_greedy: 96,
+            exit_below: 8,
+            sustain_ticks: 2,
+            recover_ticks: 3,
+        }
+    }
+}
+
+/// Quality level the matcher should run at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BrownoutLevel {
+    /// Full quality.
+    Normal,
+    /// Shrunk CBS candidate sets.
+    ReducedCbs,
+    /// Greedy matching only.
+    GreedyOnly,
+}
+
+impl BrownoutLevel {
+    /// Stable label for logs and checkpoints.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BrownoutLevel::Normal => "normal",
+            BrownoutLevel::ReducedCbs => "reduced-cbs",
+            BrownoutLevel::GreedyOnly => "greedy-only",
+        }
+    }
+
+    fn escalate(self) -> Self {
+        match self {
+            BrownoutLevel::Normal => BrownoutLevel::ReducedCbs,
+            _ => BrownoutLevel::GreedyOnly,
+        }
+    }
+
+    fn recover(self) -> Self {
+        match self {
+            BrownoutLevel::GreedyOnly => BrownoutLevel::ReducedCbs,
+            _ => BrownoutLevel::Normal,
+        }
+    }
+}
+
+/// Plain-field snapshot of a [`BrownoutController`] for checkpointing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BrownoutSnapshot {
+    /// Current level.
+    pub level: BrownoutLevel,
+    /// Consecutive pressured ticks so far.
+    pub pressured_ticks: u32,
+    /// Consecutive calm ticks so far.
+    pub calm_ticks: u32,
+    /// Lifetime escalation count.
+    pub escalations: u64,
+}
+
+/// Hysteresis controller; see module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BrownoutController {
+    cfg: BrownoutConfig,
+    level: BrownoutLevel,
+    pressured_ticks: u32,
+    calm_ticks: u32,
+    escalations: u64,
+}
+
+impl BrownoutController {
+    /// New controller at `Normal`.
+    pub fn new(cfg: BrownoutConfig) -> Self {
+        Self {
+            cfg,
+            level: BrownoutLevel::Normal,
+            pressured_ticks: 0,
+            calm_ticks: 0,
+            escalations: 0,
+        }
+    }
+
+    /// Current level.
+    pub fn level(&self) -> BrownoutLevel {
+        self.level
+    }
+
+    /// Lifetime escalation count.
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    /// Feed one tick of queue depth; returns the level to use for
+    /// this tick's matching. `breaker_open` forces at least
+    /// `ReducedCbs` immediately (a tripped solver breaker must not
+    /// wait out the sustain window).
+    pub fn observe(&mut self, queue_depth: usize, breaker_open: bool) -> BrownoutLevel {
+        let enter = match self.level {
+            BrownoutLevel::Normal => self.cfg.enter_reduced,
+            _ => self.cfg.enter_greedy,
+        };
+        if queue_depth >= enter && self.level < BrownoutLevel::GreedyOnly {
+            self.calm_ticks = 0;
+            self.pressured_ticks += 1;
+            if self.pressured_ticks >= self.cfg.sustain_ticks {
+                self.level = self.level.escalate();
+                self.escalations += 1;
+                self.pressured_ticks = 0;
+            }
+        } else if queue_depth <= self.cfg.exit_below && self.level > BrownoutLevel::Normal {
+            self.pressured_ticks = 0;
+            self.calm_ticks += 1;
+            if self.calm_ticks >= self.cfg.recover_ticks {
+                self.level = self.level.recover();
+                self.calm_ticks = 0;
+            }
+        } else {
+            self.pressured_ticks = 0;
+            self.calm_ticks = 0;
+        }
+        if breaker_open && self.level == BrownoutLevel::Normal {
+            BrownoutLevel::ReducedCbs
+        } else {
+            self.level
+        }
+    }
+
+    /// Capture checkpoint state.
+    pub fn snapshot(&self) -> BrownoutSnapshot {
+        BrownoutSnapshot {
+            level: self.level,
+            pressured_ticks: self.pressured_ticks,
+            calm_ticks: self.calm_ticks,
+            escalations: self.escalations,
+        }
+    }
+
+    /// Rebuild from a snapshot under the given config.
+    pub fn from_snapshot(cfg: BrownoutConfig, s: &BrownoutSnapshot) -> Self {
+        Self {
+            cfg,
+            level: s.level,
+            pressured_ticks: s.pressured_ticks,
+            calm_ticks: s.calm_ticks,
+            escalations: s.escalations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BrownoutConfig {
+        BrownoutConfig {
+            enter_reduced: 10,
+            enter_greedy: 20,
+            exit_below: 2,
+            sustain_ticks: 2,
+            recover_ticks: 2,
+        }
+    }
+
+    #[test]
+    fn escalates_only_after_sustained_pressure() {
+        let mut c = BrownoutController::new(cfg());
+        assert_eq!(c.observe(15, false), BrownoutLevel::Normal);
+        assert_eq!(c.observe(5, false), BrownoutLevel::Normal);
+        assert_eq!(c.observe(15, false), BrownoutLevel::Normal);
+        assert_eq!(c.observe(15, false), BrownoutLevel::ReducedCbs);
+        assert_eq!(c.escalations(), 1);
+    }
+
+    #[test]
+    fn climbs_to_greedy_and_recovers_one_level_at_a_time() {
+        let mut c = BrownoutController::new(cfg());
+        for _ in 0..2 {
+            c.observe(25, false);
+        }
+        assert_eq!(c.level(), BrownoutLevel::ReducedCbs);
+        for _ in 0..2 {
+            c.observe(25, false);
+        }
+        assert_eq!(c.level(), BrownoutLevel::GreedyOnly);
+        for _ in 0..2 {
+            c.observe(1, false);
+        }
+        assert_eq!(c.level(), BrownoutLevel::ReducedCbs);
+        for _ in 0..2 {
+            c.observe(1, false);
+        }
+        assert_eq!(c.level(), BrownoutLevel::Normal);
+    }
+
+    #[test]
+    fn open_breaker_forces_reduced_without_latching() {
+        let mut c = BrownoutController::new(cfg());
+        assert_eq!(c.observe(0, true), BrownoutLevel::ReducedCbs);
+        assert_eq!(c.level(), BrownoutLevel::Normal);
+        assert_eq!(c.observe(0, false), BrownoutLevel::Normal);
+    }
+
+    #[test]
+    fn mid_band_depth_resets_both_counters() {
+        let mut c = BrownoutController::new(cfg());
+        c.observe(15, false);
+        c.observe(5, false);
+        c.observe(15, false);
+        assert_eq!(c.level(), BrownoutLevel::Normal);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut c = BrownoutController::new(cfg());
+        for depth in [15, 15, 25, 25, 1] {
+            c.observe(depth, false);
+            let s = c.snapshot();
+            let r = BrownoutController::from_snapshot(cfg(), &s);
+            assert_eq!(r, c);
+            assert_eq!(r.snapshot(), s);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Overload protection for the serving loop.
+//!
+//! This crate is dependency-free and fully deterministic: every
+//! decision is a pure function of integer ticks and the values fed in
+//! by the caller. There is no wall-clock anywhere — "time" is the
+//! serving loop's batch tick counter, and "latency" is a deterministic
+//! work proxy (solver relaxation ops), so overload behaviour is
+//! bit-identical across runs and thread counts.
+//!
+//! Components:
+//!
+//! - [`TokenBucket`] — rate-limits how many queued requests may be
+//!   drained into the matcher per tick.
+//! - [`AdmissionQueue`] — bounded, deadline-aware priority queue.
+//!   When full or above its watermark it sheds the *lowest-priority*
+//!   entries first; the caller prices priority with the paper's
+//!   refined marginal utility `u + γV(cr') − V(cr)`.
+//! - [`CircuitBreaker`] — per-component Closed/Open/HalfOpen state
+//!   machine tripping on consecutive failures (deadline-budget misses
+//!   or errors) with cooldown and half-open probing.
+//! - [`BrownoutController`] — hysteresis ladder that degrades match
+//!   *quality* (shrunk CBS candidate sets, then greedy matching)
+//!   before availability degrades, and restores it when pressure
+//!   clears.
+//! - [`SpikeDetector`] — EWMA of offered traffic flagging batch
+//!   spikes.
+//!
+//! All components expose plain snapshot structs so a host crate can
+//! serialize them into its own checkpoint format and restore them
+//! bit-identically.
+
+pub mod breaker;
+pub mod brownout;
+pub mod queue;
+pub mod spike;
+pub mod token_bucket;
+
+pub use breaker::{
+    BreakerConfig, BreakerSnapshot, BreakerStateKind, BreakerTransition, CircuitBreaker,
+};
+pub use brownout::{BrownoutConfig, BrownoutController, BrownoutLevel, BrownoutSnapshot};
+pub use queue::{AdmissionQueue, OfferOutcome, QueueEntry, QueueSnapshot};
+pub use spike::{SpikeDetector, SpikeSnapshot};
+pub use token_bucket::{TokenBucket, TokenBucketSnapshot};

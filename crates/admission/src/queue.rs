@@ -1,0 +1,229 @@
+//! Bounded, deadline-aware priority admission queue.
+//!
+//! Entries carry a caller-assigned priority (the refined marginal
+//! utility `u + γV(cr') − V(cr)` in the serving loop) and an absolute
+//! deadline tick. The queue sheds lowest-priority-first in three
+//! situations: an offer to a full queue evicts the minimum if the
+//! newcomer beats it, `expire` drops entries past their deadline, and
+//! `shed_to_watermark` trims back to the watermark after a spike.
+//!
+//! Ordering is total and deterministic: priority descending with the
+//! request id (ascending) breaking ties, so identical inputs produce
+//! identical shed sets on every run and thread count.
+
+use std::cmp::Ordering;
+
+/// One queued request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueueEntry {
+    /// Global request id.
+    pub id: u64,
+    /// Caller-assigned priority; higher is served first.
+    pub priority: f64,
+    /// Tick at which the entry was enqueued.
+    pub enqueued_tick: u64,
+    /// Absolute tick after which the entry is stale and expired.
+    pub deadline_tick: u64,
+}
+
+impl QueueEntry {
+    /// Higher priority first; ties broken by lower id first.
+    fn rank(&self, other: &Self) -> Ordering {
+        other.priority.total_cmp(&self.priority).then(self.id.cmp(&other.id))
+    }
+}
+
+/// Result of offering an entry to the queue.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OfferOutcome {
+    /// Entry was enqueued; queue had room.
+    Enqueued,
+    /// Queue was full; the newcomer displaced this lower-priority
+    /// entry, which is now shed.
+    Displaced(QueueEntry),
+    /// Queue was full and the newcomer ranked below everything
+    /// queued; it was rejected.
+    RejectedFull,
+}
+
+/// Plain-field snapshot of an [`AdmissionQueue`] for checkpointing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueSnapshot {
+    /// Hard bound on queued entries.
+    pub capacity: usize,
+    /// Shedding watermark.
+    pub watermark: usize,
+    /// Entries in serve order (highest priority first).
+    pub entries: Vec<QueueEntry>,
+}
+
+/// Bounded priority queue; see module docs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    watermark: usize,
+    /// Kept sorted in serve order (rank ascending == priority
+    /// descending) after every mutation.
+    entries: Vec<QueueEntry>,
+}
+
+impl AdmissionQueue {
+    /// New empty queue. `watermark` is clamped to `capacity`.
+    pub fn new(capacity: usize, watermark: usize) -> Self {
+        Self { capacity, watermark: watermark.min(capacity), entries: Vec::new() }
+    }
+
+    /// Queued entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Shedding watermark.
+    pub fn watermark(&self) -> usize {
+        self.watermark
+    }
+
+    /// Offer one entry. Displaces the worst queued entry when full
+    /// and the newcomer outranks it.
+    pub fn offer(&mut self, entry: QueueEntry) -> OfferOutcome {
+        if self.entries.len() < self.capacity {
+            self.insert(entry);
+            return OfferOutcome::Enqueued;
+        }
+        match self.entries.last() {
+            Some(worst) if entry.rank(worst) == Ordering::Less => {
+                let shed = self.entries.pop().expect("non-empty: capacity > 0");
+                self.insert(entry);
+                OfferOutcome::Displaced(shed)
+            }
+            _ => OfferOutcome::RejectedFull,
+        }
+    }
+
+    /// Remove and return every entry whose deadline has passed.
+    pub fn expire(&mut self, now_tick: u64) -> Vec<QueueEntry> {
+        let mut expired = Vec::new();
+        self.entries.retain(|e| {
+            if e.deadline_tick < now_tick {
+                expired.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        expired
+    }
+
+    /// Shed lowest-priority entries until the queue is back at its
+    /// watermark; returns the shed entries (worst first).
+    pub fn shed_to_watermark(&mut self) -> Vec<QueueEntry> {
+        let mut shed = Vec::new();
+        while self.entries.len() > self.watermark {
+            shed.push(self.entries.pop().expect("len > watermark >= 0"));
+        }
+        shed
+    }
+
+    /// Dequeue up to `n` entries in serve order (highest priority
+    /// first).
+    pub fn drain_front(&mut self, n: usize) -> Vec<QueueEntry> {
+        let take = n.min(self.entries.len());
+        self.entries.drain(..take).collect()
+    }
+
+    /// Capture checkpoint state.
+    pub fn snapshot(&self) -> QueueSnapshot {
+        QueueSnapshot {
+            capacity: self.capacity,
+            watermark: self.watermark,
+            entries: self.entries.clone(),
+        }
+    }
+
+    /// Rebuild from a snapshot; entries are re-ranked defensively.
+    pub fn from_snapshot(s: &QueueSnapshot) -> Self {
+        let mut q = Self {
+            capacity: s.capacity,
+            watermark: s.watermark.min(s.capacity),
+            entries: s.entries.clone(),
+        };
+        q.entries.sort_by(QueueEntry::rank);
+        q.entries.truncate(q.capacity);
+        q
+    }
+
+    fn insert(&mut self, entry: QueueEntry) {
+        let at = self.entries.partition_point(|e| e.rank(&entry) != Ordering::Greater);
+        self.entries.insert(at, entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: u64, priority: f64, deadline: u64) -> QueueEntry {
+        QueueEntry { id, priority, enqueued_tick: 0, deadline_tick: deadline }
+    }
+
+    #[test]
+    fn serves_highest_priority_first_with_id_tiebreak() {
+        let mut q = AdmissionQueue::new(8, 8);
+        q.offer(e(3, 1.0, 10));
+        q.offer(e(1, 2.0, 10));
+        q.offer(e(2, 2.0, 10));
+        let order: Vec<u64> = q.drain_front(3).iter().map(|x| x.id).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn full_queue_displaces_only_lower_priority() {
+        let mut q = AdmissionQueue::new(2, 2);
+        q.offer(e(1, 5.0, 10));
+        q.offer(e(2, 1.0, 10));
+        match q.offer(e(3, 3.0, 10)) {
+            OfferOutcome::Displaced(shed) => assert_eq!(shed.id, 2),
+            other => panic!("expected displacement, got {other:?}"),
+        }
+        assert_eq!(q.offer(e(4, 0.5, 10)), OfferOutcome::RejectedFull);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn expire_removes_past_deadline_only() {
+        let mut q = AdmissionQueue::new(8, 8);
+        q.offer(e(1, 1.0, 4));
+        q.offer(e(2, 2.0, 5));
+        q.offer(e(3, 3.0, 6));
+        let expired: Vec<u64> = q.expire(5).iter().map(|x| x.id).collect();
+        assert_eq!(expired, vec![1]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn watermark_shed_drops_worst_first() {
+        let mut q = AdmissionQueue::new(8, 2);
+        for (id, p) in [(1u64, 4.0), (2, 3.0), (3, 2.0), (4, 1.0)] {
+            q.offer(e(id, p, 10));
+        }
+        let shed: Vec<u64> = q.shed_to_watermark().iter().map(|x| x.id).collect();
+        assert_eq!(shed, vec![4, 3]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let mut q = AdmissionQueue::new(4, 3);
+        q.offer(e(5, 1.25, 9));
+        q.offer(e(7, -0.5, 11));
+        let s = q.snapshot();
+        let r = AdmissionQueue::from_snapshot(&s);
+        assert_eq!(r, q);
+        assert_eq!(r.snapshot(), s);
+    }
+}

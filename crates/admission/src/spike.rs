@@ -1,0 +1,130 @@
+//! EWMA spike detector over offered traffic.
+//!
+//! Maintains an exponentially weighted moving average of the offered
+//! request count per tick and flags a spike whenever the current
+//! offer exceeds `ratio` times the established baseline. Pure f64
+//! arithmetic in a fixed order — deterministic across runs and
+//! thread counts.
+
+/// Plain-field snapshot of a [`SpikeDetector`] for checkpointing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpikeSnapshot {
+    /// Current EWMA baseline.
+    pub ewma: f64,
+    /// Ticks observed so far.
+    pub observations: u64,
+    /// Lifetime spike count.
+    pub spikes: u64,
+}
+
+/// EWMA spike detector; see module docs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpikeDetector {
+    alpha: f64,
+    ratio: f64,
+    warmup: u64,
+    ewma: f64,
+    observations: u64,
+    spikes: u64,
+}
+
+impl SpikeDetector {
+    /// `alpha` is the EWMA smoothing factor in `(0, 1]`, `ratio` the
+    /// spike multiple, `warmup` the ticks before spikes may fire.
+    pub fn new(alpha: f64, ratio: f64, warmup: u64) -> Self {
+        Self { alpha, ratio, warmup, ewma: 0.0, observations: 0, spikes: 0 }
+    }
+
+    /// Feed one tick's offered count; returns true when it spikes
+    /// above the baseline. The spiking observation still updates the
+    /// EWMA, so a sustained plateau stops counting as a spike once
+    /// the baseline catches up.
+    pub fn observe(&mut self, offered: usize) -> bool {
+        let x = offered as f64;
+        let spiking =
+            self.observations >= self.warmup && self.ewma > 0.0 && x > self.ratio * self.ewma;
+        if self.observations == 0 {
+            self.ewma = x;
+        } else {
+            self.ewma = self.alpha * x + (1.0 - self.alpha) * self.ewma;
+        }
+        self.observations += 1;
+        if spiking {
+            self.spikes += 1;
+        }
+        spiking
+    }
+
+    /// Current EWMA baseline.
+    pub fn baseline(&self) -> f64 {
+        self.ewma
+    }
+
+    /// Lifetime spike count.
+    pub fn spikes(&self) -> u64 {
+        self.spikes
+    }
+
+    /// Capture checkpoint state.
+    pub fn snapshot(&self) -> SpikeSnapshot {
+        SpikeSnapshot { ewma: self.ewma, observations: self.observations, spikes: self.spikes }
+    }
+
+    /// Rebuild from a snapshot with the given tuning.
+    pub fn from_snapshot(alpha: f64, ratio: f64, warmup: u64, s: &SpikeSnapshot) -> Self {
+        Self { alpha, ratio, warmup, ewma: s.ewma, observations: s.observations, spikes: s.spikes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_traffic_never_spikes() {
+        let mut d = SpikeDetector::new(0.3, 2.0, 2);
+        for _ in 0..20 {
+            assert!(!d.observe(10));
+        }
+        assert_eq!(d.spikes(), 0);
+        assert!((d.baseline() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_burst_after_warmup() {
+        let mut d = SpikeDetector::new(0.3, 2.0, 2);
+        assert!(!d.observe(10));
+        // Above 2x the baseline, but still inside the warmup window.
+        assert!(!d.observe(30));
+        // Baseline is now 0.3*30 + 0.7*10 = 16; 40 > 32 spikes.
+        assert!(d.observe(40));
+        assert_eq!(d.spikes(), 1);
+    }
+
+    #[test]
+    fn sustained_plateau_stops_spiking_once_baseline_adapts() {
+        let mut d = SpikeDetector::new(0.5, 2.0, 1);
+        d.observe(10);
+        d.observe(10);
+        let mut flagged = 0;
+        for _ in 0..12 {
+            if d.observe(40) {
+                flagged += 1;
+            }
+        }
+        assert!(flagged >= 1);
+        assert!(!d.observe(40), "baseline caught up");
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut d = SpikeDetector::new(0.3, 2.0, 2);
+        for x in [10, 10, 50, 12] {
+            d.observe(x);
+        }
+        let s = d.snapshot();
+        let r = SpikeDetector::from_snapshot(0.3, 2.0, 2, &s);
+        assert_eq!(r, d);
+        assert_eq!(r.snapshot(), s);
+    }
+}

@@ -1,0 +1,100 @@
+//! Deterministic token-bucket rate limiter.
+//!
+//! Tokens are integer units of "requests the matcher may accept this
+//! tick". The bucket refills by a fixed amount at every tick and is
+//! capped at `capacity`, so a long quiet period buys at most one
+//! burst of `capacity` admissions.
+
+/// Plain-field snapshot of a [`TokenBucket`] for checkpointing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TokenBucketSnapshot {
+    /// Maximum token count.
+    pub capacity: u64,
+    /// Tokens added per tick.
+    pub refill_per_tick: u64,
+    /// Current token count.
+    pub tokens: u64,
+}
+
+/// Integer token bucket; see module docs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TokenBucket {
+    capacity: u64,
+    refill_per_tick: u64,
+    tokens: u64,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full.
+    pub fn new(capacity: u64, refill_per_tick: u64) -> Self {
+        Self { capacity, refill_per_tick, tokens: capacity }
+    }
+
+    /// Advance one tick: refill up to capacity.
+    pub fn tick(&mut self) {
+        self.tokens = (self.tokens + self.refill_per_tick).min(self.capacity);
+    }
+
+    /// Tokens currently available.
+    pub fn available(&self) -> u64 {
+        self.tokens
+    }
+
+    /// Consume up to `want` tokens; returns how many were granted.
+    pub fn take_up_to(&mut self, want: u64) -> u64 {
+        let granted = want.min(self.tokens);
+        self.tokens -= granted;
+        granted
+    }
+
+    /// Capture checkpoint state.
+    pub fn snapshot(&self) -> TokenBucketSnapshot {
+        TokenBucketSnapshot {
+            capacity: self.capacity,
+            refill_per_tick: self.refill_per_tick,
+            tokens: self.tokens,
+        }
+    }
+
+    /// Rebuild from a snapshot.
+    pub fn from_snapshot(s: &TokenBucketSnapshot) -> Self {
+        Self {
+            capacity: s.capacity,
+            refill_per_tick: s.refill_per_tick,
+            tokens: s.tokens.min(s.capacity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_caps_at_capacity() {
+        let mut b = TokenBucket::new(10, 4);
+        assert_eq!(b.available(), 10);
+        b.tick();
+        assert_eq!(b.available(), 10);
+    }
+
+    #[test]
+    fn take_up_to_grants_partial() {
+        let mut b = TokenBucket::new(5, 2);
+        assert_eq!(b.take_up_to(3), 3);
+        assert_eq!(b.take_up_to(10), 2);
+        assert_eq!(b.take_up_to(1), 0);
+        b.tick();
+        assert_eq!(b.available(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut b = TokenBucket::new(7, 3);
+        b.take_up_to(5);
+        let s = b.snapshot();
+        let r = TokenBucket::from_snapshot(&s);
+        assert_eq!(r, b);
+        assert_eq!(r.snapshot(), s);
+    }
+}

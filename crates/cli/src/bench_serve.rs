@@ -9,10 +9,11 @@
 //! baseline.
 
 use crate::args::Args;
-use lacb::{run, Lacb, LacbConfig, RunConfig};
+use lacb::overload::run_overload;
+use lacb::{run, Lacb, LacbConfig, OverloadConfig, ResilienceConfig, RunConfig};
 use matching::hungarian::KmSolver;
 use matching::UtilityMatrix;
-use platform_sim::{Dataset, StageTimings, SyntheticConfig};
+use platform_sim::{percentile, ramp_dataset, Dataset, FaultPlan, StageTimings, SyntheticConfig};
 use std::time::Instant;
 
 /// One thread-count measurement of the serving loop.
@@ -106,6 +107,74 @@ fn bench_warm_km(size: usize, batches: usize) -> WarmKm {
     WarmKm { size, batches, cold_ops, warm_ops, cold_secs, warm_secs }
 }
 
+/// Overload-protection measurement: the serving loop under a 1x→4x
+/// traffic ramp, reporting how much it sheds, how often breakers trip,
+/// and the p99 per-batch latency *during the 4x spike* — the number an
+/// operator sizing the admission queue actually cares about.
+struct OverloadBench {
+    multiplier: u32,
+    offered: u64,
+    served: u64,
+    shed_rate: f64,
+    breaker_trips: u64,
+    brownout_escalations: u64,
+    p99_spike_ms: f64,
+}
+
+fn bench_overload(
+    cfg: &SyntheticConfig,
+    seed: u64,
+    repeat: usize,
+) -> Result<OverloadBench, String> {
+    const SPIKE: u32 = 4;
+    let base = Dataset::synthetic(cfg);
+    let ramp = ramp_dataset(&base, &[1, SPIKE], seed ^ 0x4A);
+    let ocfg = OverloadConfig::sized_for(&base);
+    let mut utility_bits = 0u64;
+    let mut stats = None;
+    let mut p99_spike = f64::INFINITY;
+    for rep in 0..repeat {
+        let out = run_overload(
+            &ramp.dataset,
+            LacbConfig { seed, ..LacbConfig::opt() },
+            ResilienceConfig::default(),
+            &ocfg,
+            FaultPlan::new(platform_sim::FaultConfig::default()),
+        );
+        if rep == 0 {
+            utility_bits = out.metrics.total_utility.to_bits();
+        } else if out.metrics.total_utility.to_bits() != utility_bits {
+            return Err("overload run is not reproducible across repetitions".into());
+        }
+        // Batch timings are flat across the horizon; keep only the
+        // batches of spike-stage days for the latency figure.
+        let mut spike_secs = Vec::new();
+        let mut at = 0usize;
+        for (d, day) in ramp.dataset.days.iter().enumerate() {
+            let n = day.len();
+            if ramp.multiplier_of_day(d) == SPIKE {
+                spike_secs.extend_from_slice(&out.metrics.timings.assign_batch_secs[at..at + n]);
+            }
+            at += n;
+        }
+        p99_spike = p99_spike.min(percentile(&spike_secs, 99.0));
+        stats = out.metrics.overload;
+    }
+    let ov = stats.ok_or("overload run carried no overload stats")?;
+    if !ov.accounting_balanced() {
+        return Err("overload shed accounting does not balance".into());
+    }
+    Ok(OverloadBench {
+        multiplier: SPIKE,
+        offered: ov.offered,
+        served: ov.served,
+        shed_rate: if ov.offered > 0 { ov.shed_total() as f64 / ov.offered as f64 } else { 0.0 },
+        breaker_trips: ov.breaker_trips,
+        brownout_escalations: ov.brownout_escalations,
+        p99_spike_ms: fmt_ms(p99_spike),
+    })
+}
+
 fn run_serving(ds: &Dataset, n_threads: usize, seed: u64) -> (f64, StageTimings) {
     let cfg = LacbConfig { seed, n_threads, ..LacbConfig::opt() };
     let mut lacb = Lacb::new(cfg);
@@ -124,6 +193,7 @@ fn emit_json(
     repeat: usize,
     samples: &[ThreadSample],
     warm: &WarmKm,
+    ov: &OverloadBench,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -163,7 +233,7 @@ fn emit_json(
     out.push_str(&format!(
         "  \"warm_km\": {{\"size\": {}, \"batches\": {}, \"cold_ops\": {}, \"warm_ops\": {}, \
          \"ops_speedup\": {:.3}, \"cold_secs\": {:.6}, \"warm_secs\": {:.6}, \
-         \"secs_speedup\": {:.3}}}\n",
+         \"secs_speedup\": {:.3}}},\n",
         warm.size,
         warm.batches,
         warm.cold_ops,
@@ -172,6 +242,19 @@ fn emit_json(
         warm.cold_secs,
         warm.warm_secs,
         secs_ratio
+    ));
+    out.push_str(&format!(
+        "  \"overload_{}x\": {{\"offered\": {}, \"served\": {}, \"shed_rate\": {:.4}, \
+         \"breaker_trips\": {}, \"brownout_escalations\": {}, \
+         \"p99_under_{}x_spike_ms\": {:.4}}}\n",
+        ov.multiplier,
+        ov.offered,
+        ov.served,
+        ov.shed_rate,
+        ov.breaker_trips,
+        ov.brownout_escalations,
+        ov.multiplier,
+        ov.p99_spike_ms
     ));
     out.push_str("}\n");
     out
@@ -311,7 +394,19 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), String> {
         ));
     }
 
-    let report = emit_json("fig8-synthetic", &cfg, quick, repeat, &samples, &warm);
+    let ov = bench_overload(&cfg, seed, repeat)?;
+    println!(
+        "overload {}x spike: shed {:.1}% of {} offered, {} breaker trips, \
+         {} brownout escalations, p99 {:.3}ms under spike",
+        ov.multiplier,
+        ov.shed_rate * 100.0,
+        ov.offered,
+        ov.breaker_trips,
+        ov.brownout_escalations,
+        ov.p99_spike_ms
+    );
+
+    let report = emit_json("fig8-synthetic", &cfg, quick, repeat, &samples, &warm, &ov);
     if let Some(path) = args.get("out") {
         std::fs::write(path, &report).map_err(|e| format!("writing {path}: {e}"))?;
         println!("report written: {path}");
@@ -372,6 +467,8 @@ mod tests {
         cmd_bench_serve(&args).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
         assert!(text.contains("\"warm_km\""));
+        assert!(text.contains("\"overload_4x\""));
+        assert!(text.contains("\"p99_under_4x_spike_ms\""));
         assert!(text.contains("\"quick\": true"));
         assert!(baseline_p99(&text, 1).is_some());
         let _ = std::fs::remove_file(&out);

@@ -12,7 +12,6 @@ use lacb::{
 };
 use platform_sim::{
     io as ds_io, CityId, Dataset, FaultConfig, FaultPlan, RealWorldConfig, SyntheticConfig,
-    SCENARIOS,
 };
 use std::path::Path;
 use std::time::Duration;
@@ -37,6 +36,10 @@ pub const USAGE: &str = "usage:
                 [--baseline FILE] [--slack-ms X] [--seed N]
   caam crash-test [--points N] [--crash-seed N] [--scenario …as in chaos]
                 [--fault-seed N] [--dir DIR] [--keep-artifacts]
+                [synthetic flags]
+  caam overload [--quick] [--stages 1,2,4,8,16] [--threads 1,2,4,8]
+                [--goodput-floor 0.6] [--ramp-seed N] [--out FILE]
+                [--scenario …as in chaos] [--fault-seed N]
                 [synthetic flags]";
 
 /// Route a raw argv to its subcommand.
@@ -53,6 +56,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "chaos" => cmd_chaos(&args),
         "crash-test" => crate::crash_test::cmd_crash_test(&args),
         "bench-serve" => crate::bench_serve::cmd_bench_serve(&args),
+        "overload" => crate::overload::cmd_overload(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -198,9 +202,8 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     let algo_name = args.get("algo").unwrap_or("lacb-opt");
     let ctopk: f64 = args.get_or("ctopk-capacity", 40.0)?;
     let seed: u64 = args.get_or("seed", 7)?;
-    let fault_cfg = FaultConfig::scenario(scenario, fault_seed).ok_or_else(|| {
-        format!("unknown --scenario {scenario:?}; known: {}", SCENARIOS.join(", "))
-    })?;
+    let fault_cfg =
+        FaultConfig::scenario(scenario, fault_seed).map_err(|e| format!("--scenario: {e}"))?;
     let plan = FaultPlan::new(fault_cfg);
 
     let mut baseline = make_algo(algo_name, ds.brokers.len(), ctopk, seed)?;
@@ -424,7 +427,9 @@ mod tests {
     fn chaos_rejects_unknown_scenario() {
         let args =
             Args::parse(&argv("--scenario nope --brokers 10 --requests 40 --days 1")).unwrap();
-        assert!(cmd_chaos(&args).unwrap_err().contains("unknown --scenario"));
+        let err = cmd_chaos(&args).unwrap_err();
+        assert!(err.contains("unknown fault scenario"), "{err}");
+        assert!(err.contains("full-chaos"), "error lists valid names: {err}");
     }
 
     #[test]

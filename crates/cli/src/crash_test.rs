@@ -12,9 +12,7 @@
 use crate::args::Args;
 use lacb::supervisor::{run_durable, DurableConfig, DurableOutcome};
 use lacb::{LacbConfig, ResilienceConfig, RunMetrics};
-use platform_sim::{
-    seeded_schedule, CrashPoint, Dataset, FaultConfig, FaultPlan, SyntheticConfig, SCENARIOS,
-};
+use platform_sim::{seeded_schedule, CrashPoint, Dataset, FaultConfig, FaultPlan, SyntheticConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
@@ -96,9 +94,8 @@ pub fn cmd_crash_test(args: &Args) -> Result<(), String> {
         Some(d) => PathBuf::from(d),
         None => std::env::temp_dir().join(format!("caam-crash-test-{crash_seed}")),
     };
-    let fault_cfg = FaultConfig::scenario(scenario, fault_seed).ok_or_else(|| {
-        format!("unknown --scenario {scenario:?}; known: {}", SCENARIOS.join(", "))
-    })?;
+    let fault_cfg =
+        FaultConfig::scenario(scenario, fault_seed).map_err(|e| format!("--scenario: {e}"))?;
     let plan = FaultPlan::new(fault_cfg);
     let cfg = LacbConfig { seed, ..LacbConfig::opt() };
     let rcfg = ResilienceConfig::default();
@@ -182,6 +179,7 @@ pub fn cmd_crash_test(args: &Args) -> Result<(), String> {
 fn day_of(p: &CrashPoint) -> usize {
     match p {
         CrashPoint::AfterBatch { day, .. }
+        | CrashPoint::AfterAdmission { day, .. }
         | CrashPoint::DuringWalAppend { day, .. }
         | CrashPoint::BeforeCheckpoint { day }
         | CrashPoint::DuringCheckpointWrite { day }
@@ -236,6 +234,8 @@ mod tests {
     #[test]
     fn unknown_scenario_is_rejected() {
         let args = Args::parse(&argv("--scenario nope --points 1")).unwrap();
-        assert!(cmd_crash_test(&args).unwrap_err().contains("unknown --scenario"));
+        let err = cmd_crash_test(&args).unwrap_err();
+        assert!(err.contains("unknown fault scenario"), "{err}");
+        assert!(err.contains("full-chaos"), "error lists valid names: {err}");
     }
 }

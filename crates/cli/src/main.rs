@@ -12,6 +12,7 @@ mod args;
 mod bench_serve;
 mod commands;
 mod crash_test;
+mod overload;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -71,6 +71,14 @@ pub enum WalRecord {
     /// A checkpoint for the boundary before `next_day` was durably
     /// written; records before that day are no longer needed.
     Checkpoint { next_day: usize },
+    /// The admission decision for batch `(day, batch)` of an
+    /// overload-protected run (logged *before* the admitted sub-batch
+    /// is matched and applied): the request ids drained from the
+    /// admission queue this tick. Recovery re-derives the decision and
+    /// verifies it against this record, so a crash between queue drain
+    /// and batch apply can neither lose nor double-assign an admitted
+    /// request.
+    Admission { day: usize, batch: usize, admitted: Vec<usize> },
 }
 
 impl WalRecord {
@@ -80,6 +88,7 @@ impl WalRecord {
         match self {
             WalRecord::DayStart { day }
             | WalRecord::Batch { day, .. }
+            | WalRecord::Admission { day, .. }
             | WalRecord::DayEnd { day, .. } => *day,
             WalRecord::Checkpoint { next_day } => *next_day,
         }
@@ -105,6 +114,14 @@ impl WalRecord {
                 format!("day-end {day} {realized_bits:016x} {trials} {draws}")
             }
             WalRecord::Checkpoint { next_day } => format!("ckpt {next_day}"),
+            WalRecord::Admission { day, batch, admitted } => {
+                let mut s = format!("admission {day} {batch} {}", admitted.len());
+                for id in admitted {
+                    s.push(' ');
+                    s.push_str(&id.to_string());
+                }
+                s
+            }
         }
     }
 
@@ -132,6 +149,16 @@ impl WalRecord {
                 draws: toks.next()?.parse().ok()?,
             },
             "ckpt" => WalRecord::Checkpoint { next_day: toks.next()?.parse().ok()? },
+            "admission" => {
+                let day = toks.next()?.parse().ok()?;
+                let batch = toks.next()?.parse().ok()?;
+                let n: usize = toks.next()?.parse().ok()?;
+                let mut admitted = Vec::with_capacity(n);
+                for _ in 0..n {
+                    admitted.push(toks.next()?.parse().ok()?);
+                }
+                WalRecord::Admission { day, batch, admitted }
+            }
             _ => return None,
         };
         // Trailing garbage after a structurally valid record means the
@@ -274,6 +301,8 @@ mod tests {
                 assignment: vec![Some(3), None, Some(17)],
             },
             WalRecord::Batch { day: 0, batch: 1, draws: 2, assignment: vec![None, None] },
+            WalRecord::Admission { day: 0, batch: 2, admitted: vec![9, 4, 11] },
+            WalRecord::Admission { day: 0, batch: 3, admitted: Vec::new() },
             WalRecord::DayEnd { day: 0, realized_bits: 1.5f64.to_bits(), trials: 4, draws: 2 },
             WalRecord::Checkpoint { next_day: 1 },
         ]

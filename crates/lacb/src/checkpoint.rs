@@ -27,12 +27,14 @@
 
 use crate::assigner::Assigner;
 use crate::lacb::{Lacb, LacbConfig};
+use crate::overload::OverloadSnapshot;
 use crate::resilient::{ResilienceConfig, ResilientAssigner};
+use admission::{BreakerSnapshot, BreakerStateKind, BreakerTransition, BrownoutLevel, QueueEntry};
 use bandit::state;
 use durability::{atomic_write, parse_v2, write_v2, V2_HEADER};
 use platform_sim::{
-    BrokerLedger, BrokerState, Dataset, DayFeedback, FaultPlan, Platform, ResilienceStats,
-    RunMetrics, StageTimings, TrialTriple,
+    BreakerComponent, BreakerEvent, BrokerLedger, BrokerState, Dataset, DayFeedback, FaultPlan,
+    OverloadStats, Platform, ResilienceStats, RunMetrics, StageTimings, TrialTriple,
 };
 use std::fmt;
 use std::io::ErrorKind;
@@ -115,6 +117,10 @@ pub struct Restored {
     pub progress: RunProgress,
     pub pending_feedback: Option<DayFeedback>,
     pub stats: ResilienceStats,
+    /// Overload-controller snapshot, when the checkpoint was cut by an
+    /// overload-protected run (absent in plain durable checkpoints and
+    /// every pre-overload file).
+    pub overload: Option<OverloadSnapshot>,
 }
 
 /// A serialised pipeline snapshot. Obtain one with [`Checkpoint::capture`]
@@ -134,6 +140,31 @@ impl Checkpoint {
         pending_feedback: Option<&DayFeedback>,
         stats: &ResilienceStats,
     ) -> Checkpoint {
+        Self::capture_with_overload(
+            matcher,
+            platform,
+            ledger,
+            progress,
+            pending_feedback,
+            stats,
+            None,
+        )
+    }
+
+    /// Snapshot an overload-protected pipeline: [`Checkpoint::capture`]
+    /// plus the admission/breaker/brownout controller state, so a
+    /// restored run resumes shedding and probing exactly where the
+    /// crashed one stopped.
+    #[allow(clippy::too_many_arguments)]
+    pub fn capture_with_overload(
+        matcher: &Lacb,
+        platform: &Platform,
+        ledger: &BrokerLedger,
+        progress: &RunProgress,
+        pending_feedback: Option<&DayFeedback>,
+        stats: &ResilienceStats,
+        overload: Option<&OverloadSnapshot>,
+    ) -> Checkpoint {
         let mut out = String::new();
         out.push_str(FORMAT_VERSION);
         out.push('\n');
@@ -147,6 +178,9 @@ impl Checkpoint {
         write_stats(&mut out, stats);
         write_feedback(&mut out, pending_feedback);
         matcher.write_state(&mut out);
+        if let Some(ov) = overload {
+            write_overload(&mut out, ov);
+        }
         Checkpoint { text: out }
     }
 
@@ -164,13 +198,14 @@ impl Checkpoint {
         // Section boundaries are the first key of each logical group in
         // the v1 payload; splitting here (rather than restructuring
         // `capture`) keeps one serialisation path for both formats.
-        const MARKERS: [(&str, &str); 6] = [
+        const MARKERS: [(&str, &str); 7] = [
             ("next-day", "progress"),
             ("platform-day", "platform"),
             ("ledger-realized", "ledger"),
             ("primary-panics", "stats"),
             ("pending-feedback", "feedback"),
             ("lacb-days", "matcher"),
+            ("overload-present", "overload"),
         ];
         let mut sections: Vec<(&str, String)> = Vec::with_capacity(MARKERS.len());
         for line in self.text.lines().skip(1) {
@@ -264,6 +299,7 @@ impl Checkpoint {
         let stats = read_stats(&mut lines)?;
         let pending_feedback = read_feedback(&mut lines)?;
         let matcher = Lacb::read_state(&mut lines, cfg, platform.num_brokers())?;
+        let overload = read_overload(&mut lines)?;
         platform.restore_day_boundary(states, day_index, appeal_draws);
         Ok(Restored {
             matcher,
@@ -277,6 +313,7 @@ impl Checkpoint {
             },
             pending_feedback,
             stats,
+            overload,
         })
     }
 }
@@ -464,6 +501,285 @@ fn read_feedback<'a, I: Iterator<Item = &'a str>>(
     Ok(Some(DayFeedback { trials, realized: realized[0] }))
 }
 
+fn push_u64s(out: &mut String, key: &str, vals: &[u64]) {
+    out.push_str(key);
+    for v in vals {
+        out.push(' ');
+        out.push_str(&v.to_string());
+    }
+    out.push('\n');
+}
+
+fn parse_u64s(rest: &str, n: usize, what: &str) -> Result<Vec<u64>, CheckpointError> {
+    let vals: Result<Vec<u64>, _> = rest.split_whitespace().map(str::parse).collect();
+    let vals = vals.map_err(|e| CheckpointError::Invalid(format!("{what}: bad integer: {e}")))?;
+    if vals.len() != n {
+        return Err(CheckpointError::Invalid(format!(
+            "{what}: expected {n} integers, got {}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}
+
+fn encode_kind(k: BreakerStateKind) -> u64 {
+    match k {
+        BreakerStateKind::Closed => 0,
+        BreakerStateKind::Open => 1,
+        BreakerStateKind::HalfOpen => 2,
+    }
+}
+
+fn decode_kind(v: u64) -> Result<BreakerStateKind, CheckpointError> {
+    match v {
+        0 => Ok(BreakerStateKind::Closed),
+        1 => Ok(BreakerStateKind::Open),
+        2 => Ok(BreakerStateKind::HalfOpen),
+        other => Err(CheckpointError::Invalid(format!("unknown breaker state {other}"))),
+    }
+}
+
+fn encode_level(l: BrownoutLevel) -> u64 {
+    match l {
+        BrownoutLevel::Normal => 0,
+        BrownoutLevel::ReducedCbs => 1,
+        BrownoutLevel::GreedyOnly => 2,
+    }
+}
+
+fn decode_level(v: u64) -> Result<BrownoutLevel, CheckpointError> {
+    match v {
+        0 => Ok(BrownoutLevel::Normal),
+        1 => Ok(BrownoutLevel::ReducedCbs),
+        2 => Ok(BrownoutLevel::GreedyOnly),
+        other => Err(CheckpointError::Invalid(format!("unknown brownout level {other}"))),
+    }
+}
+
+fn encode_component(c: BreakerComponent) -> u64 {
+    match c {
+        BreakerComponent::Solver => 0,
+        BreakerComponent::Bandit => 1,
+        BreakerComponent::Wal => 2,
+    }
+}
+
+fn decode_component(v: u64) -> Result<BreakerComponent, CheckpointError> {
+    match v {
+        0 => Ok(BreakerComponent::Solver),
+        1 => Ok(BreakerComponent::Bandit),
+        2 => Ok(BreakerComponent::Wal),
+        other => Err(CheckpointError::Invalid(format!("unknown breaker component {other}"))),
+    }
+}
+
+fn write_breaker(out: &mut String, s: &BreakerSnapshot) {
+    push_u64s(
+        out,
+        "overload-breaker",
+        &[encode_kind(s.kind), u64::from(s.counter), s.until_tick, s.trips],
+    );
+}
+
+fn read_breaker<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+    what: &str,
+) -> Result<BreakerSnapshot, CheckpointError> {
+    let v = parse_u64s(state::expect_key(lines, "overload-breaker")?, 4, what)?;
+    Ok(BreakerSnapshot {
+        kind: decode_kind(v[0])?,
+        counter: u32::try_from(v[1])
+            .map_err(|_| CheckpointError::Invalid(format!("{what}: counter overflow")))?,
+        until_tick: v[2],
+        trips: v[3],
+    })
+}
+
+/// Serialise the overload controller. Floats (queue priorities, the
+/// spike EWMA) travel as raw bit patterns so the round-trip is exact.
+fn write_overload(out: &mut String, ov: &OverloadSnapshot) {
+    state::push_kv(out, "overload-present", 1);
+    state::push_kv(out, "overload-tick", ov.tick);
+    push_u64s(
+        out,
+        "overload-bucket",
+        &[ov.bucket.capacity, ov.bucket.refill_per_tick, ov.bucket.tokens],
+    );
+    push_u64s(
+        out,
+        "overload-queue",
+        &[ov.queue.capacity as u64, ov.queue.watermark as u64, ov.queue.entries.len() as u64],
+    );
+    for e in &ov.queue.entries {
+        push_u64s(
+            out,
+            "overload-entry",
+            &[e.id, e.priority.to_bits(), e.enqueued_tick, e.deadline_tick],
+        );
+    }
+    push_u64s(
+        out,
+        "overload-spike",
+        &[ov.spike.ewma.to_bits(), ov.spike.observations, ov.spike.spikes],
+    );
+    write_breaker(out, &ov.solver_breaker);
+    write_breaker(out, &ov.bandit_breaker);
+    write_breaker(out, &ov.wal_breaker);
+    push_u64s(
+        out,
+        "overload-brownout",
+        &[
+            encode_level(ov.brownout.level),
+            u64::from(ov.brownout.pressured_ticks),
+            u64::from(ov.brownout.calm_ticks),
+            ov.brownout.escalations,
+        ],
+    );
+    let s = &ov.stats;
+    push_u64s(
+        out,
+        "overload-counters",
+        &[
+            s.offered,
+            s.admitted,
+            s.served,
+            s.shed_queue_full,
+            s.shed_deadline,
+            s.shed_watermark,
+            s.leftover_queued,
+            s.spikes_detected,
+            s.breaker_trips,
+            s.brownout_escalations,
+            s.reduced_cbs_batches,
+            s.greedy_batches,
+        ],
+    );
+    let mut daily = vec![s.daily_served.len() as u64];
+    daily.extend_from_slice(&s.daily_served);
+    push_u64s(out, "overload-daily-served", &daily);
+    state::push_kv(out, "overload-events", s.breaker_events.len());
+    for e in &s.breaker_events {
+        push_u64s(
+            out,
+            "overload-event",
+            &[
+                encode_component(e.component),
+                e.transition.tick,
+                encode_kind(e.transition.from),
+                encode_kind(e.transition.to),
+            ],
+        );
+    }
+}
+
+/// Parse the overload section, if present. Checkpoints cut by plain
+/// durable runs (and every pre-overload file) simply end after the
+/// matcher state, in which case this returns `None`.
+fn read_overload<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+) -> Result<Option<OverloadSnapshot>, CheckpointError> {
+    let Some(line) = lines.next() else { return Ok(None) };
+    let rest = line.strip_prefix("overload-present ").ok_or_else(|| {
+        CheckpointError::Invalid(format!("expected overload-present, found {line:?}"))
+    })?;
+    if parse_u64s(rest, 1, "overload present flag")?[0] == 0 {
+        return Ok(None);
+    }
+    let tick: u64 = state::parse_one(state::expect_key(lines, "overload-tick")?, "overload tick")?;
+    let b = parse_u64s(state::expect_key(lines, "overload-bucket")?, 3, "token bucket")?;
+    let bucket =
+        admission::TokenBucketSnapshot { capacity: b[0], refill_per_tick: b[1], tokens: b[2] };
+    let q = parse_u64s(state::expect_key(lines, "overload-queue")?, 3, "admission queue")?;
+    let mut entries = Vec::with_capacity(q[2] as usize);
+    for i in 0..q[2] {
+        let e = parse_u64s(
+            state::expect_key(lines, "overload-entry")?,
+            4,
+            &format!("queue entry {i}"),
+        )?;
+        let priority = f64::from_bits(e[1]);
+        if !priority.is_finite() {
+            return Err(CheckpointError::Invalid(format!("queue entry {i}: non-finite priority")));
+        }
+        entries.push(QueueEntry { id: e[0], priority, enqueued_tick: e[2], deadline_tick: e[3] });
+    }
+    let queue =
+        admission::QueueSnapshot { capacity: q[0] as usize, watermark: q[1] as usize, entries };
+    let sp = parse_u64s(state::expect_key(lines, "overload-spike")?, 3, "spike detector")?;
+    let ewma = f64::from_bits(sp[0]);
+    if !ewma.is_finite() {
+        return Err(CheckpointError::Invalid("spike detector: non-finite EWMA".into()));
+    }
+    let spike = admission::SpikeSnapshot { ewma, observations: sp[1], spikes: sp[2] };
+    let solver_breaker = read_breaker(lines, "solver breaker")?;
+    let bandit_breaker = read_breaker(lines, "bandit breaker")?;
+    let wal_breaker = read_breaker(lines, "wal breaker")?;
+    let br = parse_u64s(state::expect_key(lines, "overload-brownout")?, 4, "brownout")?;
+    let brownout = admission::BrownoutSnapshot {
+        level: decode_level(br[0])?,
+        pressured_ticks: u32::try_from(br[1])
+            .map_err(|_| CheckpointError::Invalid("brownout: pressured overflow".into()))?,
+        calm_ticks: u32::try_from(br[2])
+            .map_err(|_| CheckpointError::Invalid("brownout: calm overflow".into()))?,
+        escalations: br[3],
+    };
+    let c = parse_u64s(state::expect_key(lines, "overload-counters")?, 12, "overload counters")?;
+    let daily_rest = state::expect_key(lines, "overload-daily-served")?;
+    let daily_all: Result<Vec<u64>, _> = daily_rest.split_whitespace().map(str::parse).collect();
+    let daily_all = daily_all
+        .map_err(|e| CheckpointError::Invalid(format!("daily served: bad integer: {e}")))?;
+    let (daily_n, daily_served) = match daily_all.split_first() {
+        Some((n, rest)) if *n as usize == rest.len() => (*n, rest.to_vec()),
+        _ => return Err(CheckpointError::Invalid("daily served: length mismatch".into())),
+    };
+    let _ = daily_n;
+    let n_events: usize =
+        state::parse_one(state::expect_key(lines, "overload-events")?, "event count")?;
+    let mut breaker_events = Vec::with_capacity(n_events);
+    for i in 0..n_events {
+        let e = parse_u64s(
+            state::expect_key(lines, "overload-event")?,
+            4,
+            &format!("breaker event {i}"),
+        )?;
+        breaker_events.push(BreakerEvent {
+            component: decode_component(e[0])?,
+            transition: BreakerTransition {
+                tick: e[1],
+                from: decode_kind(e[2])?,
+                to: decode_kind(e[3])?,
+            },
+        });
+    }
+    let stats = OverloadStats {
+        offered: c[0],
+        admitted: c[1],
+        served: c[2],
+        shed_queue_full: c[3],
+        shed_deadline: c[4],
+        shed_watermark: c[5],
+        leftover_queued: c[6],
+        spikes_detected: c[7],
+        breaker_trips: c[8],
+        brownout_escalations: c[9],
+        reduced_cbs_batches: c[10],
+        greedy_batches: c[11],
+        breaker_events,
+        daily_served,
+    };
+    Ok(Some(OverloadSnapshot {
+        tick,
+        bucket,
+        queue,
+        spike,
+        solver_breaker,
+        bandit_breaker,
+        wal_breaker,
+        brownout,
+        stats,
+    }))
+}
+
 /// Drive a resilient LACB run under a fault schedule up to and including
 /// `stop_after_day`, then capture a checkpoint at the boundary.
 pub fn run_chaos_until(
@@ -532,7 +848,7 @@ pub fn resume_chaos(
     let mut platform = Platform::from_dataset(&spiked);
     platform.enable_faults(plan);
     let restored = ckpt.restore(cfg, &mut platform)?;
-    let Restored { matcher, mut ledger, mut progress, pending_feedback, stats } = restored;
+    let Restored { matcher, mut ledger, mut progress, pending_feedback, stats, .. } = restored;
     let mut assigner = ResilientAssigner::new(matcher, rcfg);
     assigner.restore_channel(pending_feedback, stats);
     for (d, day) in spiked.days.iter().enumerate().skip(progress.next_day) {
@@ -566,6 +882,7 @@ pub fn resume_chaos(
         daily_elapsed: progress.daily_elapsed,
         ledger,
         resilience: Some(stats),
+        overload: None,
         timings: StageTimings::default(),
     })
 }

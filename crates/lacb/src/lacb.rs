@@ -5,8 +5,9 @@ use crate::assigner::Assigner;
 use crate::value_function::ValueFunction;
 use bandit::{CandidateCapacities, NnUcbConfig, PersonalizedEstimator, ShrinkageEstimator};
 use matching::cbs::candidate_union_seeded;
+use matching::greedy::greedy_assignment;
 use matching::hungarian::KmSolver;
-use matching::UtilityMatrix;
+use matching::{MatchMode, UtilityMatrix};
 use platform_sim::{DayFeedback, Platform, Request, STATUS_DIM};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -172,6 +173,15 @@ pub struct Lacb {
     solver: KmSolver,
     /// Batch counter within the current day (CBS seed derivation).
     batch_in_day: u64,
+    /// Brownout quality level for subsequent batches. Derived state
+    /// set by the overload controller each tick (never serialised;
+    /// `begin_day` resets it to `Full`).
+    match_mode: MatchMode,
+    /// Deterministic work proxy of the most recent `assign_batch`: KM
+    /// relaxation ops, or 0 for greedy/empty batches. The overload
+    /// loop's solver breaker compares it against an ops budget in
+    /// place of wall-clock deadlines.
+    last_ops: u64,
     /// Utility-matrix buffers reused across batches.
     full_buf: UtilityMatrix,
     reduced_buf: UtilityMatrix,
@@ -194,6 +204,8 @@ impl Lacb {
             rng,
             solver: KmSolver::new(),
             batch_in_day: 0,
+            match_mode: MatchMode::Full,
+            last_ops: 0,
             full_buf: UtilityMatrix::zeros(0, 0),
             reduced_buf: UtilityMatrix::zeros(0, 0),
             pruned_buf: UtilityMatrix::zeros(0, 0),
@@ -224,6 +236,51 @@ impl Lacb {
     /// The learned capacity-aware value function.
     pub fn value_function(&self) -> &ValueFunction {
         &self.value_fn
+    }
+
+    /// The brownout quality level subsequent batches are matched at.
+    pub fn match_mode(&self) -> MatchMode {
+        self.match_mode
+    }
+
+    /// Set the brownout quality level (derived state, reset to `Full`
+    /// at every `begin_day`; the overload controller re-asserts it
+    /// each tick).
+    pub fn set_match_mode(&mut self, mode: MatchMode) {
+        self.match_mode = mode;
+    }
+
+    /// Deterministic work proxy of the most recent `assign_batch`: KM
+    /// relaxation ops (0 for greedy or empty batches). Serves as the
+    /// breaker's "latency" signal — pure, so runs stay bit-identical.
+    pub fn last_solve_ops(&self) -> u64 {
+        self.last_ops
+    }
+
+    /// Refined marginal utility of each request — the shedding
+    /// priority: `max_b [u(r, b) + (γV(cr−1) − V(cr))]` over today's
+    /// available brokers. Requests the paper's matcher values most
+    /// (high utility against brokers with headroom) rank highest, so
+    /// the watermark shed drops exactly the lowest-value traffic.
+    /// Returns 0.0 for every request when no broker has headroom.
+    pub fn shed_priorities(&mut self, platform: &Platform, requests: &[Request]) -> Vec<f64> {
+        let available: Vec<usize> = (0..platform.num_brokers())
+            .filter(|&b| platform.workload_today(b) < self.capacities[b])
+            .collect();
+        if available.is_empty() || requests.is_empty() {
+            return vec![0.0; requests.len()];
+        }
+        let mut full = std::mem::replace(&mut self.full_buf, UtilityMatrix::zeros(0, 0));
+        let mut reduced = std::mem::replace(&mut self.reduced_buf, UtilityMatrix::zeros(0, 0));
+        platform.utility_matrix_into(requests, &mut full);
+        reduced.select_columns_from(&full, &available);
+        self.refine_utilities(&mut reduced, &available, platform);
+        let prios = (0..reduced.rows())
+            .map(|r| reduced.row(r).iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+            .collect();
+        self.full_buf = full;
+        self.reduced_buf = reduced;
+        prios
     }
 
     /// The layer-transfer estimator, when that personalisation mode is
@@ -354,6 +411,8 @@ impl Lacb {
             rng: StdRng::from_state([rng_words[0], rng_words[1], rng_words[2], rng_words[3]]),
             solver: KmSolver::new(),
             batch_in_day: 0,
+            match_mode: MatchMode::Full,
+            last_ops: 0,
             full_buf: UtilityMatrix::zeros(0, 0),
             reduced_buf: UtilityMatrix::zeros(0, 0),
             pruned_buf: UtilityMatrix::zeros(0, 0),
@@ -434,6 +493,7 @@ impl Assigner for Lacb {
         // starts with a cold solver) replays bit-identically.
         self.solver.reset();
         self.batch_in_day = 0;
+        self.match_mode = MatchMode::Full;
         let n = platform.num_brokers();
         // Per-broker capacity estimation. The tabular estimator is
         // `&self`-pure, so brokers are scored in parallel with one
@@ -516,18 +576,36 @@ impl Assigner for Lacb {
         // otherwise, and rectangular solves are always cold).
         let batch_seed = splitmix(self.cfg.seed ^ (self.days_elapsed << 20) ^ self.batch_in_day);
         self.batch_in_day += 1;
-        let (result, col_map): (_, Option<Vec<usize>>) = if self.cfg.use_cbs {
-            let k = requests.len();
-            let cols = candidate_union_seeded(&reduced, k, batch_seed, self.cfg.n_threads);
-            let mut pruned = std::mem::replace(&mut self.pruned_buf, UtilityMatrix::zeros(0, 0));
-            pruned.select_columns_from(&reduced, &cols);
-            let result = self.solver.solve(&pruned);
-            self.pruned_buf = pruned;
-            (result, Some(cols))
-        } else if reduced.rows() <= reduced.cols() {
-            (self.solver.solve_padded(&reduced), None)
-        } else {
-            (self.solver.solve(&reduced), None)
+        let (result, col_map): (_, Option<Vec<usize>>) = match self.match_mode {
+            // Brownout floor: deterministic greedy edge-picking on the
+            // refined matrix, no KM solve at all.
+            MatchMode::Greedy => {
+                self.last_ops = 0;
+                (greedy_assignment(&reduced, f64::NEG_INFINITY), None)
+            }
+            mode => {
+                // `ShrunkCandidates` forces the CBS path (with a
+                // shrunk budget) even for plain LACB — pruning is
+                // exactly how this level sheds solver work.
+                let use_cbs =
+                    self.cfg.use_cbs || matches!(mode, MatchMode::ShrunkCandidates { .. });
+                let out = if use_cbs {
+                    let k = mode.candidate_budget(requests.len());
+                    let cols = candidate_union_seeded(&reduced, k, batch_seed, self.cfg.n_threads);
+                    let mut pruned =
+                        std::mem::replace(&mut self.pruned_buf, UtilityMatrix::zeros(0, 0));
+                    pruned.select_columns_from(&reduced, &cols);
+                    let result = self.solver.solve(&pruned);
+                    self.pruned_buf = pruned;
+                    (result, Some(cols))
+                } else if reduced.rows() <= reduced.cols() {
+                    (self.solver.solve_padded(&reduced), None)
+                } else {
+                    (self.solver.solve(&reduced), None)
+                };
+                self.last_ops = self.solver.last_ops();
+                out
+            }
         };
 
         // Map back to broker ids; TD-update the value function per
@@ -854,6 +932,56 @@ mod tests {
             .err()
             .expect("broker count mismatch should fail");
         assert!(err.contains("expected"), "got: {err}");
+    }
+
+    #[test]
+    fn brownout_modes_still_produce_valid_matchings() {
+        let (mut p, ds) = world(83);
+        let mut a = Lacb::new_opt();
+        p.begin_day();
+        a.begin_day(&p, 0);
+        assert_eq!(a.match_mode(), MatchMode::Full);
+        let reqs = &ds.days[0][0].requests;
+        for mode in [MatchMode::Full, MatchMode::ShrunkCandidates { divisor: 4 }, MatchMode::Greedy]
+        {
+            a.set_match_mode(mode);
+            let assignment = a.assign_batch(&p, reqs);
+            assert_is_matching(&assignment);
+            assert!(assignment.iter().any(|s| s.is_some()), "{:?} assigned nothing", mode);
+        }
+        // Greedy skips the KM solver entirely.
+        a.set_match_mode(MatchMode::Greedy);
+        a.assign_batch(&p, reqs);
+        assert_eq!(a.last_solve_ops(), 0);
+        a.set_match_mode(MatchMode::Full);
+        a.assign_batch(&p, reqs);
+        assert!(a.last_solve_ops() > 0, "KM path reports its relaxation ops");
+        // The day boundary restores full quality.
+        let fb = p.end_day();
+        a.end_day(&p, &fb);
+        p.begin_day();
+        a.begin_day(&p, 1);
+        assert_eq!(a.match_mode(), MatchMode::Full);
+    }
+
+    #[test]
+    fn shed_priorities_are_finite_and_ranked_by_utility() {
+        let (mut p, ds) = world(89);
+        let mut a = Lacb::new(LacbConfig::default());
+        p.begin_day();
+        a.begin_day(&p, 0);
+        let reqs = &ds.days[0][0].requests;
+        let prios = a.shed_priorities(&p, reqs);
+        assert_eq!(prios.len(), reqs.len());
+        assert!(prios.iter().all(|x| x.is_finite()));
+        // The priority is the best refined utility the request could
+        // realise, so it is bounded by the max raw utility plus the
+        // largest refinement (zero on day 0).
+        let u = p.utility_matrix(reqs);
+        for (r, &prio) in prios.iter().enumerate() {
+            let best = (0..p.num_brokers()).map(|b| u.get(r, b)).fold(f64::NEG_INFINITY, f64::max);
+            assert!(prio <= best + 1e-9, "request {r}: {prio} > {best}");
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod assigner;
 pub mod baselines;
 pub mod checkpoint;
 pub mod lacb;
+pub mod overload;
 pub mod resilient;
 pub mod runner;
 pub mod supervisor;
@@ -39,8 +40,13 @@ pub use baselines::rr::RandomizedRecommendation;
 pub use baselines::top_k::TopK;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use lacb::{tuned_bandit_config, Lacb, LacbConfig, Personalization};
+pub use overload::{
+    run_overload, OverloadConfig, OverloadOutcome, OverloadSnapshot, OverloadState,
+};
 pub use platform_sim::RunMetrics;
 pub use resilient::{run_chaos, ResilienceConfig, ResilientAssigner};
 pub use runner::{run, RunConfig};
-pub use supervisor::{run_durable, DurableConfig, DurableOutcome, RecoveryError};
+pub use supervisor::{
+    run_durable, run_overload_durable, DurableConfig, DurableOutcome, RecoveryError,
+};
 pub use value_function::ValueFunction;

@@ -138,6 +138,12 @@ impl<A: Assigner> ResilientAssigner<A> {
         &self.primary
     }
 
+    /// Mutable access to the wrapped policy — the overload controller
+    /// uses it to set brownout match modes and read work proxies.
+    pub fn primary_mut(&mut self) -> &mut A {
+        &mut self.primary
+    }
+
     /// Degradation counters accumulated so far.
     pub fn stats(&self) -> &ResilienceStats {
         &self.stats
@@ -402,6 +408,7 @@ pub fn run_chaos(
         daily_elapsed,
         ledger,
         resilience: Some(stats),
+        overload: None,
         timings,
     }
 }

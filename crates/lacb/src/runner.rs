@@ -68,6 +68,7 @@ pub fn run(dataset: &Dataset, assigner: &mut dyn Assigner, cfg: &RunConfig) -> R
         daily_elapsed,
         ledger,
         resilience: None,
+        overload: None,
         timings,
     }
 }

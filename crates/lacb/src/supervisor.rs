@@ -31,10 +31,12 @@
 use crate::assigner::Assigner;
 use crate::checkpoint::{Checkpoint, CheckpointError, RunProgress};
 use crate::lacb::{Lacb, LacbConfig};
+use crate::overload::{OverloadConfig, OverloadState};
 use crate::resilient::{ResilienceConfig, ResilientAssigner};
 use durability::{CheckpointStore, StoreError, Wal, WalError, WalRecord, WalRecovery, WriteCrash};
 use platform_sim::{
-    BrokerLedger, CrashPoint, Dataset, FaultPlan, Platform, RunMetrics, StageTimings,
+    BrokerLedger, CrashPoint, Dataset, FaultPlan, Platform, ResilienceStats, RunMetrics,
+    StageTimings,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -193,7 +195,7 @@ pub fn run_durable(
             BrokerLedger::new(platform.num_brokers()),
             RunProgress::default(),
             None,
-            Default::default(),
+            ResilienceStats::default(),
         ),
     };
     let mut assigner = ResilientAssigner::new(matcher, rcfg);
@@ -328,6 +330,267 @@ pub fn run_durable(
             daily_elapsed: progress.daily_elapsed,
             ledger,
             resilience: Some(stats),
+            overload: None,
+            timings: StageTimings::default(),
+        },
+        final_state,
+        recovered_from,
+        generations_skipped,
+        replayed_batches,
+        wal_recovery,
+    })
+}
+
+/// Append a WAL record while feeding the WAL circuit breaker: a
+/// successful append is a success signal, an I/O failure trips the
+/// breaker's failure counter *before* the error propagates (so a
+/// recovered run restored from the last checkpoint still sees the
+/// breaker history it had accumulated up to that boundary).
+fn append_tracked(
+    wal: &mut Wal,
+    ov: &mut OverloadState,
+    rec: &WalRecord,
+) -> Result<(), RecoveryError> {
+    match wal.append(rec) {
+        Ok(()) => {
+            ov.observe_wal(true);
+            Ok(())
+        }
+        Err(e) => {
+            ov.observe_wal(false);
+            Err(e.into())
+        }
+    }
+}
+
+/// Run (or recover and finish) an *overload-protected* durable run:
+/// [`run_durable`]'s crash consistency with the admission/shedding/
+/// breaker pipeline of [`crate::overload::run_overload`] in front of
+/// the matcher.
+///
+/// Two extra guarantees over the plain durable loop:
+///
+/// * each tick's admission decision (the drained request ids) is
+///   logged as a [`WalRecord::Admission`] **before** the batch is
+///   matched or executed, so a crash between admission and apply —
+///   [`CrashPoint::AfterAdmission`] injects exactly that window —
+///   can never lose or double-assign an admitted request: recovery
+///   recomputes the deterministic admission and verifies it against
+///   the log, then re-executes the batch that never applied;
+/// * the whole overload-controller state (queue, token bucket,
+///   breakers, brownout ladder, spike EWMA, accounting) rides the
+///   day-boundary checkpoint and is restored bit-identically.
+pub fn run_overload_durable(
+    dataset: &Dataset,
+    cfg: LacbConfig,
+    rcfg: ResilienceConfig,
+    ocfg: &OverloadConfig,
+    plan: FaultPlan,
+    dcfg: &DurableConfig,
+) -> Result<DurableOutcome, RecoveryError> {
+    let spiked = dataset.with_batch_spikes(&plan);
+    let mut platform = Platform::from_dataset(&spiked);
+    platform.enable_faults(plan);
+
+    let store = CheckpointStore::open(&dcfg.dir, dcfg.keep)?;
+    let (mut wal, records, wal_recovery) = Wal::recover(&dcfg.wal_path())?;
+
+    let (restored, generations_skipped) = restore_last_good(&store, &cfg, &mut platform);
+    let (recovered_from, matcher, mut ledger, mut progress, pending, stats, mut ov) = match restored
+    {
+        Some((day, r)) => {
+            let ov = match &r.overload {
+                Some(snap) => OverloadState::from_snapshot(ocfg.clone(), snap),
+                None => OverloadState::new(ocfg.clone()),
+            };
+            (Some(day), r.matcher, r.ledger, r.progress, r.pending_feedback, r.stats, ov)
+        }
+        None => (
+            None,
+            Lacb::new(cfg),
+            BrokerLedger::new(platform.num_brokers()),
+            RunProgress::default(),
+            None,
+            ResilienceStats::default(),
+            OverloadState::new(ocfg.clone()),
+        ),
+    };
+    let mut assigner = ResilientAssigner::new(matcher, rcfg);
+    assigner.restore_channel(pending, stats);
+
+    let mut tail: VecDeque<WalRecord> = records
+        .into_iter()
+        .filter(|r| !matches!(r, WalRecord::Checkpoint { .. }) && r.day() >= progress.next_day)
+        .collect();
+    for r in &tail {
+        if r.day() >= spiked.days.len() {
+            return Err(RecoveryError::Horizon(format!(
+                "WAL record for day {} but horizon has {} days",
+                r.day(),
+                spiked.days.len()
+            )));
+        }
+    }
+    let mut replayed_batches = 0usize;
+
+    for (d, day) in spiked.days.iter().enumerate().skip(progress.next_day) {
+        platform.begin_day();
+        let t0 = Instant::now();
+        assigner.begin_day(&platform, d);
+        progress.elapsed_secs += t0.elapsed().as_secs_f64();
+        if matches!(tail.front(), Some(WalRecord::DayStart { day }) if *day == d) {
+            tail.pop_front();
+        } else {
+            append_tracked(&mut wal, &mut ov, &WalRecord::DayStart { day: d })?;
+        }
+        for (b, batch) in day.iter().enumerate() {
+            let t = Instant::now();
+            let admitted = ov.admit(assigner.primary_mut(), &platform, &batch.requests);
+            let adm_rec = WalRecord::Admission {
+                day: d,
+                batch: b,
+                admitted: admitted.iter().map(|r| r.id).collect(),
+            };
+            let replaying_admission = matches!(
+                tail.front(),
+                Some(WalRecord::Admission { day, batch, .. }) if *day == d && *batch == b
+            );
+            if replaying_admission {
+                let logged = tail.pop_front().expect("front just matched");
+                if logged != adm_rec {
+                    return Err(RecoveryError::Divergence {
+                        day: d,
+                        batch: Some(b),
+                        detail: format!("admission logged {logged:?} recomputed {adm_rec:?}"),
+                    });
+                }
+            } else {
+                append_tracked(&mut wal, &mut ov, &adm_rec)?;
+                if dcfg.crash == Some(CrashPoint::AfterAdmission { day: d, batch: b }) {
+                    panic!("injected crash: after admission of batch {b} day {d}");
+                }
+            }
+            ov.plan_quality(assigner.primary_mut());
+            progress.elapsed_secs += t.elapsed().as_secs_f64();
+            if admitted.is_empty() {
+                continue;
+            }
+            let t = Instant::now();
+            let before = assigner.stats().primary_panics
+                + assigner.stats().primary_timeouts
+                + assigner.stats().invalid_primary_outputs;
+            let assignment = assigner.assign_batch(&platform, &admitted);
+            let after = assigner.stats().primary_panics
+                + assigner.stats().primary_timeouts
+                + assigner.stats().invalid_primary_outputs;
+            ov.observe_solve(assigner.primary(), after > before);
+            progress.elapsed_secs += t.elapsed().as_secs_f64();
+            let rec = WalRecord::Batch {
+                day: d,
+                batch: b,
+                draws: platform.appeal_draws(),
+                assignment: assignment.clone(),
+            };
+            let replaying = matches!(
+                tail.front(),
+                Some(WalRecord::Batch { day, batch, .. }) if *day == d && *batch == b
+            );
+            if replaying {
+                let logged = tail.pop_front().expect("front just matched");
+                if logged != rec {
+                    return Err(RecoveryError::Divergence {
+                        day: d,
+                        batch: Some(b),
+                        detail: format!("logged {logged:?} recomputed {rec:?}"),
+                    });
+                }
+                replayed_batches += 1;
+            } else {
+                if dcfg.crash == Some(CrashPoint::DuringWalAppend { day: d, batch: b }) {
+                    wal.append_torn(&rec);
+                }
+                append_tracked(&mut wal, &mut ov, &rec)?;
+            }
+            let outcome = platform.execute_batch(&admitted, &assignment);
+            progress.requests_failed += outcome.failed.len() as u64;
+            ov.record_served(&outcome);
+            ledger.record_batch(&outcome);
+            if !replaying && dcfg.crash == Some(CrashPoint::AfterBatch { day: d, batch: b }) {
+                panic!("injected crash: after batch {b} of day {d}");
+            }
+        }
+        let feedback = platform.end_day();
+        let rec = WalRecord::DayEnd {
+            day: d,
+            realized_bits: feedback.realized.to_bits(),
+            trials: feedback.trials.len(),
+            draws: platform.appeal_draws(),
+        };
+        match tail.front() {
+            Some(WalRecord::DayEnd { day, .. }) if *day == d => {
+                let logged = tail.pop_front().expect("front just matched");
+                if logged != rec {
+                    return Err(RecoveryError::Divergence {
+                        day: d,
+                        batch: None,
+                        detail: format!("logged {logged:?} recomputed {rec:?}"),
+                    });
+                }
+            }
+            _ => append_tracked(&mut wal, &mut ov, &rec)?,
+        }
+        let t = Instant::now();
+        let fb_before = assigner.stats().feedback_retries + assigner.stats().feedback_lost_days;
+        assigner.end_day(&platform, &feedback);
+        let fb_after = assigner.stats().feedback_retries + assigner.stats().feedback_lost_days;
+        ov.observe_feedback(fb_after > fb_before);
+        ov.end_day();
+        progress.elapsed_secs += t.elapsed().as_secs_f64();
+        ledger.end_day(feedback.realized);
+        progress.daily_utility.push(feedback.realized);
+        progress.daily_elapsed.push(progress.elapsed_secs);
+        progress.next_day = d + 1;
+
+        if dcfg.crash == Some(CrashPoint::BeforeCheckpoint { day: d }) {
+            panic!("injected crash: before checkpoint of day {d}");
+        }
+        let ov_snap = ov.snapshot();
+        let ckpt = Checkpoint::capture_with_overload(
+            assigner.primary(),
+            &platform,
+            &ledger,
+            &progress,
+            assigner.pending_feedback(),
+            assigner.stats(),
+            Some(&ov_snap),
+        );
+        let write_crash = match dcfg.crash {
+            Some(CrashPoint::DuringCheckpointWrite { day }) if day == d => {
+                Some(WriteCrash::MidWrite)
+            }
+            Some(CrashPoint::BeforeCheckpointRename { day }) if day == d => {
+                Some(WriteCrash::BeforeRename)
+            }
+            _ => None,
+        };
+        store.save(d + 1, &ckpt.to_v2_text(), write_crash)?;
+        append_tracked(&mut wal, &mut ov, &WalRecord::Checkpoint { next_day: d + 1 })?;
+    }
+
+    let mut stats = assigner.resilience_stats().unwrap_or_default();
+    stats.requests_failed = progress.requests_failed;
+    let mut final_state = String::new();
+    assigner.primary().write_state(&mut final_state);
+    Ok(DurableOutcome {
+        metrics: RunMetrics {
+            algorithm: format!("Overload({})", assigner.name()),
+            total_utility: ledger.total_realized(),
+            elapsed_secs: progress.elapsed_secs,
+            daily_utility: progress.daily_utility,
+            daily_elapsed: progress.daily_elapsed,
+            ledger,
+            resilience: Some(stats),
+            overload: Some(ov.stats().clone()),
             timings: StageTimings::default(),
         },
         final_state,
@@ -487,6 +750,136 @@ mod tests {
         assert_bit_identical(&out.metrics, &reference_metrics);
         assert_eq!(out.final_state, reference_state);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn overload_reference(
+        ds: &Dataset,
+        ocfg: &OverloadConfig,
+        plan: FaultPlan,
+    ) -> crate::overload::OverloadOutcome {
+        crate::overload::run_overload(
+            ds,
+            LacbConfig::default(),
+            ResilienceConfig::default(),
+            ocfg,
+            plan,
+        )
+    }
+
+    #[test]
+    fn uninterrupted_overload_durable_matches_in_memory_overload() {
+        let base = dataset(101);
+        let ramp = platform_sim::ramp_dataset(&base, &[1, 8], 5);
+        let ocfg = OverloadConfig::sized_for(&base);
+        let plan = chaos_plan(63);
+        let dir = scratch("overload-uninterrupted");
+        let out = run_overload_durable(
+            &ramp.dataset,
+            LacbConfig::default(),
+            ResilienceConfig::default(),
+            &ocfg,
+            plan,
+            &DurableConfig::at(&dir),
+        )
+        .unwrap();
+        let reference = overload_reference(&ramp.dataset, &ocfg, plan);
+        assert_eq!(out.metrics.total_utility.to_bits(), reference.metrics.total_utility.to_bits());
+        assert_eq!(out.final_state, reference.final_state);
+        assert_eq!(out.metrics.overload, reference.metrics.overload);
+        assert_eq!(out.recovered_from, None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_between_admission_and_apply_loses_no_admitted_request() {
+        let base = dataset(103);
+        let ramp = platform_sim::ramp_dataset(&base, &[1, 8], 9);
+        let ocfg = OverloadConfig::sized_for(&base);
+        let plan = chaos_plan(67);
+        let reference = overload_reference(&ramp.dataset, &ocfg, plan);
+        let spiked = ramp.dataset.with_batch_spikes(&plan);
+        for (i, day) in (0..spiked.days.len()).enumerate() {
+            let batch = spiked.days[day].len() - 1;
+            let dir = scratch(&format!("overload-after-admission-{i}"));
+            let mut dcfg = DurableConfig::at(&dir);
+            dcfg.crash = Some(CrashPoint::AfterAdmission { day, batch });
+            let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_overload_durable(
+                    &ramp.dataset,
+                    LacbConfig::default(),
+                    ResilienceConfig::default(),
+                    &ocfg,
+                    plan,
+                    &dcfg,
+                )
+            }));
+            assert!(crashed.is_err(), "AfterAdmission d{day} b{batch} did not fire");
+            dcfg.crash = None;
+            let out = run_overload_durable(
+                &ramp.dataset,
+                LacbConfig::default(),
+                ResilienceConfig::default(),
+                &ocfg,
+                plan,
+                &dcfg,
+            )
+            .unwrap_or_else(|e| panic!("recovery after AfterAdmission d{day} failed: {e}"));
+            // Bit-identical accounting proves no admitted request was
+            // lost or double-assigned across the crash window.
+            assert_eq!(out.metrics.overload, reference.metrics.overload);
+            assert_eq!(
+                out.metrics.total_utility.to_bits(),
+                reference.metrics.total_utility.to_bits()
+            );
+            assert_eq!(out.final_state, reference.final_state);
+            let ov = out.metrics.overload.as_ref().unwrap();
+            assert!(ov.accounting_balanced());
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn overload_durable_recovers_from_every_seeded_crash_variant() {
+        let base = dataset(107);
+        let ramp = platform_sim::ramp_dataset(&base, &[1, 16], 13);
+        let ocfg = OverloadConfig::sized_for(&base);
+        let plan = chaos_plan(71);
+        let reference = overload_reference(&ramp.dataset, &ocfg, plan);
+        let spiked = ramp.dataset.with_batch_spikes(&plan);
+        let batches: Vec<usize> = spiked.days.iter().map(|d| d.len()).collect();
+        for (i, point) in seeded_schedule(113, &batches, 5).into_iter().enumerate() {
+            let dir = scratch(&format!("overload-variant-{i}"));
+            let mut dcfg = DurableConfig::at(&dir);
+            dcfg.crash = Some(point);
+            let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_overload_durable(
+                    &ramp.dataset,
+                    LacbConfig::default(),
+                    ResilienceConfig::default(),
+                    &ocfg,
+                    plan,
+                    &dcfg,
+                )
+            }));
+            assert!(crashed.is_err(), "crash point {point:?} did not fire");
+            dcfg.crash = None;
+            let out = run_overload_durable(
+                &ramp.dataset,
+                LacbConfig::default(),
+                ResilienceConfig::default(),
+                &ocfg,
+                plan,
+                &dcfg,
+            )
+            .unwrap_or_else(|e| panic!("recovery after {point:?} failed: {e}"));
+            assert_eq!(out.metrics.overload, reference.metrics.overload);
+            assert_eq!(
+                out.metrics.total_utility.to_bits(),
+                reference.metrics.total_utility.to_bits()
+            );
+            assert_eq!(out.final_state, reference.final_state, "state diverged after {point:?}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

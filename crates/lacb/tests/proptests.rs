@@ -1,11 +1,20 @@
 //! Property tests of the fault-tolerance layer: the degradation ladder
-//! must fully serve every batch under *arbitrary* fault schedules, and
-//! checkpoint/restore must resume bit-identically wherever the cut lands.
+//! must fully serve every batch under *arbitrary* fault schedules,
+//! checkpoint/restore must resume bit-identically wherever the cut
+//! lands, and the overload controller's WAL protocol must lose no
+//! admitted request however the crash interleaves with the admission
+//! pipeline.
 
 use lacb::checkpoint::CheckpointError;
 use lacb::resilient::{ResilienceConfig, ResilientAssigner};
-use lacb::{checkpoint, run_chaos, Assigner, Lacb, LacbConfig, RunConfig};
-use platform_sim::{Dataset, FaultConfig, FaultPlan, Platform, SyntheticConfig};
+use lacb::{
+    checkpoint, run_chaos, run_overload, run_overload_durable, Assigner, DurableConfig, Lacb,
+    LacbConfig, OverloadConfig, OverloadSnapshot, RunConfig,
+};
+use platform_sim::{
+    ramp_dataset, BreakerComponent, BreakerEvent, CrashPoint, Dataset, FaultConfig, FaultPlan,
+    OverloadStats, Platform, SyntheticConfig,
+};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -299,6 +308,262 @@ proptest! {
         }
         prop_assert_eq!(landed, Some(1), "fallback skipped the intact generation");
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overload-layer properties.
+
+fn arb_breaker() -> impl Strategy<Value = admission::BreakerSnapshot> {
+    (0u64..3, 0u32..u32::MAX, 0u64..u64::MAX, 0u64..u64::MAX).prop_map(
+        |(k, counter, until, trips)| admission::BreakerSnapshot {
+            kind: match k {
+                0 => admission::BreakerStateKind::Closed,
+                1 => admission::BreakerStateKind::Open,
+                _ => admission::BreakerStateKind::HalfOpen,
+            },
+            counter,
+            until_tick: until,
+            trips,
+        },
+    )
+}
+
+fn arb_queue() -> impl Strategy<Value = admission::QueueSnapshot> {
+    (
+        1usize..64,
+        collection::vec((0u64..u64::MAX, -1e12f64..1e12, 0u64..u64::MAX, 0u64..u64::MAX), 0..16),
+    )
+        .prop_map(|(capacity, raw)| admission::QueueSnapshot {
+            capacity,
+            watermark: capacity.saturating_sub(1).max(1),
+            entries: raw
+                .into_iter()
+                .map(|(id, priority, enq, dead)| admission::QueueEntry {
+                    id,
+                    priority,
+                    enqueued_tick: enq,
+                    deadline_tick: dead,
+                })
+                .collect(),
+        })
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<BreakerEvent>> {
+    collection::vec((0u64..3, 0u64..u64::MAX, 0u64..3, 0u64..3), 0..8).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(c, tick, from, to)| {
+                let kind = |k: u64| match k {
+                    0 => admission::BreakerStateKind::Closed,
+                    1 => admission::BreakerStateKind::Open,
+                    _ => admission::BreakerStateKind::HalfOpen,
+                };
+                BreakerEvent {
+                    component: match c {
+                        0 => BreakerComponent::Solver,
+                        1 => BreakerComponent::Bandit,
+                        _ => BreakerComponent::Wal,
+                    },
+                    transition: admission::BreakerTransition {
+                        tick,
+                        from: kind(from),
+                        to: kind(to),
+                    },
+                }
+            })
+            .collect()
+    })
+}
+
+fn arb_overload_snapshot() -> impl Strategy<Value = OverloadSnapshot> {
+    (
+        (
+            0u64..u64::MAX,
+            (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+            arb_queue(),
+            (0.0f64..1e9, 0u64..u64::MAX, 0u64..u64::MAX),
+        ),
+        (arb_breaker(), arb_breaker(), arb_breaker()),
+        (0u64..3, 0u32..u32::MAX, 0u32..u32::MAX, 0u64..u64::MAX),
+        (collection::vec(0u64..u64::MAX, 12), collection::vec(0u64..u64::MAX, 0..6), arb_events()),
+    )
+        .prop_map(
+            |(
+                (tick, (cap, refill, tokens), queue, (ewma, obs, spikes)),
+                (solver_breaker, bandit_breaker, wal_breaker),
+                (level, pressured, calm, escalations),
+                (c, daily_served, breaker_events),
+            )| {
+                OverloadSnapshot {
+                    tick,
+                    bucket: admission::TokenBucketSnapshot {
+                        capacity: cap,
+                        refill_per_tick: refill,
+                        tokens: tokens.min(cap),
+                    },
+                    queue,
+                    spike: admission::SpikeSnapshot { ewma, observations: obs, spikes },
+                    solver_breaker,
+                    bandit_breaker,
+                    wal_breaker,
+                    brownout: admission::BrownoutSnapshot {
+                        level: match level {
+                            0 => admission::BrownoutLevel::Normal,
+                            1 => admission::BrownoutLevel::ReducedCbs,
+                            _ => admission::BrownoutLevel::GreedyOnly,
+                        },
+                        pressured_ticks: pressured,
+                        calm_ticks: calm,
+                        escalations,
+                    },
+                    stats: OverloadStats {
+                        offered: c[0],
+                        admitted: c[1],
+                        served: c[2],
+                        shed_queue_full: c[3],
+                        shed_deadline: c[4],
+                        shed_watermark: c[5],
+                        leftover_queued: c[6],
+                        spikes_detected: c[7],
+                        breaker_trips: c[8],
+                        brownout_escalations: c[9],
+                        reduced_cbs_batches: c[10],
+                        greedy_batches: c[11],
+                        breaker_events,
+                        daily_served,
+                    },
+                }
+            },
+        )
+}
+
+/// Serialise an arbitrary overload snapshot into a real checkpoint
+/// (with one executed day of context around it) and load it back.
+fn overload_checkpoint_roundtrip(ov: &OverloadSnapshot) -> Option<OverloadSnapshot> {
+    let fx = fixture();
+    let spiked = fx.ds.with_batch_spikes(&fx.plan);
+    let mut platform = Platform::from_dataset(&spiked);
+    platform.enable_faults(fx.plan);
+    let mut assigner =
+        ResilientAssigner::new(Lacb::new(LacbConfig::default()), ResilienceConfig::default());
+    let mut ledger = platform_sim::BrokerLedger::new(platform.num_brokers());
+    platform.begin_day();
+    assigner.begin_day(&platform, 0);
+    for batch in &spiked.days[0] {
+        let assignment = assigner.assign_batch(&platform, &batch.requests);
+        let outcome = platform.execute_batch(&batch.requests, &assignment);
+        ledger.record_batch(&outcome);
+    }
+    let feedback = platform.end_day();
+    assigner.end_day(&platform, &feedback);
+    ledger.end_day(feedback.realized);
+    let progress = checkpoint::RunProgress {
+        next_day: 1,
+        elapsed_secs: 0.0,
+        daily_utility: vec![feedback.realized],
+        daily_elapsed: vec![0.0],
+        requests_failed: 0,
+    };
+    let ckpt = checkpoint::Checkpoint::capture_with_overload(
+        assigner.primary(),
+        &platform,
+        &ledger,
+        &progress,
+        assigner.pending_feedback(),
+        assigner.stats(),
+        Some(ov),
+    );
+    let reloaded = checkpoint::Checkpoint::from_text(ckpt.as_text()).expect("own text parses");
+    let mut platform2 = Platform::from_dataset(&spiked);
+    platform2.enable_faults(fx.plan);
+    reloaded
+        .restore(LacbConfig::default(), &mut platform2)
+        .expect("own checkpoint restores")
+        .overload
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A crash injected exactly between the admission-queue drain (the
+    /// `Admission` WAL record) and the batch apply, at *any* batch
+    /// coordinate of the ramp, recovers to a run bit-identical to the
+    /// uninterrupted one: no admitted request is lost or double-
+    /// assigned, and the shedding/breaker accounting matches exactly.
+    #[test]
+    fn crash_between_admission_and_apply_recovers_anywhere(
+        data_seed in 0u64..100,
+        fault_seed in 0u64..1000,
+        day_sel in 0usize..2,
+        batch_sel in 0usize..1000,
+        case in 0u32..1_000_000,
+    ) {
+        let base = world(data_seed, 2);
+        let ramp = ramp_dataset(&base, &[1, 8], fault_seed ^ 0xA5);
+        let ocfg = OverloadConfig::sized_for(&base);
+        let plan = FaultPlan::new(
+            FaultConfig::scenario("broker-dropout+lost-feedback", fault_seed).unwrap(),
+        );
+        let reference = run_overload(
+            &ramp.dataset,
+            LacbConfig::default(),
+            ResilienceConfig::default(),
+            &ocfg,
+            plan,
+        );
+        let spiked = ramp.dataset.with_batch_spikes(&plan);
+        let day = day_sel % spiked.days.len();
+        let batch = batch_sel % spiked.days[day].len();
+        let dir = std::env::temp_dir()
+            .join("caam-proptest-overload-crash")
+            .join(format!("case-{case}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut dcfg = DurableConfig::at(&dir);
+        dcfg.crash = Some(CrashPoint::AfterAdmission { day, batch });
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_overload_durable(
+                &ramp.dataset,
+                LacbConfig::default(),
+                ResilienceConfig::default(),
+                &ocfg,
+                plan,
+                &dcfg,
+            )
+        }));
+        prop_assert!(crashed.is_err(), "crash at day {} batch {} did not fire", day, batch);
+        dcfg.crash = None;
+        let out = run_overload_durable(
+            &ramp.dataset,
+            LacbConfig::default(),
+            ResilienceConfig::default(),
+            &ocfg,
+            plan,
+            &dcfg,
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        let out = out.map_err(|e| {
+            proptest::test_runner::TestCaseError::fail(format!("recovery after day {day} batch {batch} failed: {e}"))
+        })?;
+        prop_assert_eq!(
+            out.metrics.total_utility.to_bits(),
+            reference.metrics.total_utility.to_bits(),
+            "utility diverged after crash at day {} batch {}", day, batch
+        );
+        prop_assert_eq!(&out.final_state, &reference.final_state);
+        prop_assert_eq!(&out.metrics.overload, &reference.metrics.overload);
+        let ov = out.metrics.overload.as_ref().unwrap();
+        prop_assert!(ov.accounting_balanced(), "accounting identity broken after recovery");
+    }
+
+    /// Any overload-controller state — arbitrary queue contents,
+    /// breaker states mid-cooldown, brownout levels, counters — writes
+    /// into a checkpoint and reads back bit-identically.
+    #[test]
+    fn overload_snapshot_roundtrips_through_checkpoint_text(
+        ov in arb_overload_snapshot(),
+    ) {
+        let restored = overload_checkpoint_roundtrip(&ov);
+        prop_assert_eq!(restored, Some(ov));
     }
 }
 

@@ -1,0 +1,54 @@
+//! Brownout hooks: quality levels a matcher can degrade through.
+//!
+//! The overload controller (in the `admission` crate, wired by
+//! `lacb`) decides *when* to degrade; this module defines *what* the
+//! matcher does at each level, so the policy lives next to the
+//! algorithms it modulates.
+
+/// How the assignment for one batch should be computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchMode {
+    /// Full quality: CBS pruning at the configured candidate budget,
+    /// balanced KM solve.
+    Full,
+    /// CBS candidate sets shrunk by `divisor` (≥ 2): the KM solve is
+    /// retained but runs on a much sparser bipartite graph.
+    ShrunkCandidates { divisor: u32 },
+    /// Greedy edge-picking only — no KM solve at all.
+    Greedy,
+}
+
+impl MatchMode {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MatchMode::Full => "full",
+            MatchMode::ShrunkCandidates { .. } => "shrunk-candidates",
+            MatchMode::Greedy => "greedy",
+        }
+    }
+
+    /// The CBS candidate budget to use at this level, given the
+    /// full-quality budget. Never shrinks below 1.
+    pub fn candidate_budget(&self, full_k: usize) -> usize {
+        match self {
+            MatchMode::Full | MatchMode::Greedy => full_k.max(1),
+            MatchMode::ShrunkCandidates { divisor } => (full_k / (*divisor).max(2) as usize).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_shrinks_only_in_shrunk_mode() {
+        assert_eq!(MatchMode::Full.candidate_budget(40), 40);
+        assert_eq!(MatchMode::Greedy.candidate_budget(40), 40);
+        assert_eq!(MatchMode::ShrunkCandidates { divisor: 4 }.candidate_budget(40), 10);
+        assert_eq!(MatchMode::ShrunkCandidates { divisor: 4 }.candidate_budget(3), 1);
+        // A divisor below 2 is clamped up — "shrunk" must shrink.
+        assert_eq!(MatchMode::ShrunkCandidates { divisor: 0 }.candidate_budget(40), 20);
+    }
+}

@@ -19,6 +19,7 @@
 //!   LACB to LACB-Opt.
 
 pub mod auction;
+pub mod brownout;
 pub mod cbs;
 pub mod flow;
 pub mod graph;
@@ -27,6 +28,7 @@ pub mod hungarian;
 pub mod parallel;
 
 pub use auction::auction_assignment;
+pub use brownout::MatchMode;
 pub use cbs::{candidate_union, candidate_union_seeded, top_k_indices, top_k_into};
 pub use graph::{AssignmentResult, UtilityMatrix};
 pub use hungarian::{

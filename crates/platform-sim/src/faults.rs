@@ -105,12 +105,34 @@ pub const SCENARIOS: &[&str] = &[
     "full-chaos",
 ];
 
+/// Error returned by [`FaultConfig::scenario`] for an unknown name.
+/// The display message lists every accepted scenario so a mistyped
+/// CLI flag is self-correcting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown fault scenario {:?}; known scenarios: {}",
+            self.name,
+            SCENARIOS.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 impl FaultConfig {
-    /// A named fault scenario. Returns `None` for unknown names; see
-    /// [`SCENARIOS`] for the accepted set.
-    pub fn scenario(name: &str, seed: u64) -> Option<FaultConfig> {
+    /// A named fault scenario. Returns a [`ScenarioError`] listing the
+    /// accepted names (see [`SCENARIOS`]) for unknown ones.
+    pub fn scenario(name: &str, seed: u64) -> Result<FaultConfig, ScenarioError> {
         let base = FaultConfig { seed, ..FaultConfig::default() };
-        Some(match name {
+        Ok(match name {
             "none" => base,
             "broker-dropout" => FaultConfig { day_dropout: 0.10, mid_day_dropout: 0.10, ..base },
             "lost-feedback" => FaultConfig { feedback_loss: 0.35, feedback_delay: 0.20, ..base },
@@ -136,7 +158,7 @@ impl FaultConfig {
                 spike_span: 3,
                 ..base
             },
-            _ => return None,
+            _ => return Err(ScenarioError { name: name.to_string() }),
         })
     }
 
@@ -279,10 +301,20 @@ impl FaultPlan {
 ///   torn mid-write; restore must skip it and fall back.
 /// * [`CrashPoint::BeforeCheckpointRename`] — the tmp file is complete
 ///   but never renamed; same fallback, different artifact on disk.
+/// * [`CrashPoint::AfterAdmission`] — the admission decision for batch
+///   `(day, batch)` is WAL-logged but the batch itself was never
+///   applied; recovery must honor the logged admission verbatim so no
+///   admitted request is silently lost or double-assigned. Only the
+///   overload-durable loop has this window, so [`seeded_schedule`]
+///   does not cycle it (a plain `caam crash-test` run would report it
+///   as never firing).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CrashPoint {
     /// Crash after batch `(day, batch)` is applied and logged.
     AfterBatch { day: usize, batch: usize },
+    /// Crash after batch `(day, batch)`'s admission record is logged,
+    /// before the admitted sub-batch is applied.
+    AfterAdmission { day: usize, batch: usize },
     /// Crash halfway through appending batch `(day, batch)`'s WAL record.
     DuringWalAppend { day: usize, batch: usize },
     /// Crash after day `day` completes, before its checkpoint starts.
@@ -298,6 +330,9 @@ impl CrashPoint {
     pub fn label(&self) -> String {
         match self {
             CrashPoint::AfterBatch { day, batch } => format!("after-batch d{day} b{batch}"),
+            CrashPoint::AfterAdmission { day, batch } => {
+                format!("after-admission d{day} b{batch}")
+            }
             CrashPoint::DuringWalAppend { day, batch } => {
                 format!("during-wal-append d{day} b{batch}")
             }
@@ -485,6 +520,7 @@ mod tests {
         for p in seeded_schedule(41, &batches, 20) {
             match p {
                 CrashPoint::AfterBatch { day, batch }
+                | CrashPoint::AfterAdmission { day, batch }
                 | CrashPoint::DuringWalAppend { day, batch } => {
                     assert!(day < batches.len());
                     assert!(batch < batches[day]);
@@ -498,10 +534,14 @@ mod tests {
 
     #[test]
     fn named_scenarios_resolve_and_unknown_rejects() {
+        let err = FaultConfig::scenario("does-not-exist", 1).unwrap_err();
+        assert_eq!(err.name, "does-not-exist");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown fault scenario"), "{msg}");
+        assert!(msg.contains("full-chaos"), "message lists valid names: {msg}");
         for name in SCENARIOS {
-            assert!(FaultConfig::scenario(name, 1).is_some(), "scenario {name}");
+            assert!(FaultConfig::scenario(name, 1).is_ok(), "scenario {name}");
         }
-        assert!(FaultConfig::scenario("does-not-exist", 1).is_none());
         assert!(FaultConfig::scenario("none", 1).unwrap().is_quiet());
         assert!(!FaultConfig::scenario("full-chaos", 1).unwrap().is_quiet());
     }

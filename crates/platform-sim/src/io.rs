@@ -116,6 +116,24 @@ fn parse<T: std::str::FromStr>(field: &str, line: usize, what: &str) -> Result<T
 /// carry NaNs from failed joins or negated sentinel values, and a
 /// negative capacity or duplicate id would corrupt every downstream
 /// ledger index rather than fail loudly here.
+fn validate_request(
+    r: &Request,
+    line: usize,
+    seen: &mut std::collections::HashSet<usize>,
+) -> Result<(), CsvError> {
+    let semantic = |message: String| CsvError::Parse { line, message };
+    if !r.intent.is_finite() {
+        return Err(semantic(format!("request {}: intent {} must be finite", r.id, r.intent)));
+    }
+    if let Some(bad) = r.attrs.iter().find(|a| !a.is_finite()) {
+        return Err(semantic(format!("request {}: attr {} must be finite", r.id, bad)));
+    }
+    if !seen.insert(r.id) {
+        return Err(semantic(format!("duplicate request id {}", r.id)));
+    }
+    Ok(())
+}
+
 fn validate_broker(
     b: &BrokerProfile,
     line: usize,
@@ -196,6 +214,7 @@ pub fn brokers_from_csv(csv: &str) -> Result<Vec<BrokerProfile>, CsvError> {
 pub fn requests_from_csv(csv: &str) -> Result<Vec<Vec<Batch>>, CsvError> {
     let mut requests: Vec<Request> = Vec::new();
     let mut lines_of: Vec<usize> = Vec::new();
+    let mut seen_ids = std::collections::HashSet::new();
     for (i, row) in csv.lines().enumerate() {
         if i == 0 {
             if row.trim() != REQUEST_HEADER {
@@ -218,7 +237,7 @@ pub fn requests_from_csv(csv: &str) -> Result<Vec<Vec<Batch>>, CsvError> {
             });
         }
         let line = i + 1;
-        requests.push(Request {
+        let request = Request {
             id: parse(f[0], line, "id")?,
             day: parse(f[1], line, "day")?,
             batch: parse(f[2], line, "batch")?,
@@ -227,7 +246,9 @@ pub fn requests_from_csv(csv: &str) -> Result<Vec<Vec<Batch>>, CsvError> {
                 .iter()
                 .map(|v| parse(v, line, "attr"))
                 .collect::<Result<Vec<f64>, _>>()?,
-        });
+        };
+        validate_request(&request, line, &mut seen_ids)?;
+        requests.push(request);
         lines_of.push(line);
     }
     // Rebuild days/batches preserving encounter order within each cell.
@@ -430,6 +451,43 @@ mod tests {
                 assert!(message.contains("batch index gap"), "{message}");
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_request_id_rejected_with_line() {
+        let csv =
+            format!("{REQUEST_HEADER}\n7,0,0,0.5,0.1,0.1,0.1,0.1\n7,0,0,0.6,0.2,0.2,0.2,0.2\n");
+        let err = requests_from_csv(&csv).unwrap_err();
+        match err {
+            CsvError::Parse { line, message } => {
+                assert_eq!(line, 3, "points at the second occurrence");
+                assert!(message.contains("duplicate request id 7"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_request_features_rejected() {
+        for (row, what) in [
+            ("0,0,0,NaN,0.1,0.1,0.1,0.1", "intent"),
+            ("0,0,0,inf,0.1,0.1,0.1,0.1", "intent"),
+            ("0,0,0,0.5,0.1,NaN,0.1,0.1", "attr"),
+            ("0,0,0,0.5,0.1,0.1,-inf,0.1", "attr"),
+        ] {
+            let csv = format!("{REQUEST_HEADER}\n{row}\n");
+            let err = requests_from_csv(&csv).unwrap_err();
+            match err {
+                CsvError::Parse { line, message } => {
+                    assert_eq!(line, 2);
+                    assert!(
+                        message.contains(what) && message.contains("finite"),
+                        "{row}: {message}"
+                    );
+                }
+                other => panic!("unexpected {other:?}"),
+            }
         }
     }
 }

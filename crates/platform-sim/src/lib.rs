@@ -36,6 +36,7 @@ pub mod io;
 pub mod metrics;
 pub mod request;
 pub mod rng;
+pub mod traffic;
 pub mod utility;
 
 pub use broker::{BrokerProfile, BrokerState, STATUS_DIM};
@@ -43,9 +44,13 @@ pub use capacity_model::overload_factor;
 pub use config::{CityId, RealWorldConfig, SyntheticConfig};
 pub use dataset::{Batch, Dataset};
 pub use environment::{Appeal, AppealConfig, BatchOutcome, DayFeedback, Platform, TrialTriple};
-pub use faults::{seeded_schedule, CrashPoint, FaultConfig, FaultKind, FaultPlan, SCENARIOS};
+pub use faults::{
+    seeded_schedule, CrashPoint, FaultConfig, FaultKind, FaultPlan, ScenarioError, SCENARIOS,
+};
 pub use metrics::{
-    gini, percentile, BrokerLedger, LedgerSnapshot, ResilienceStats, RunMetrics, StageTimings,
+    gini, percentile, BreakerComponent, BreakerEvent, BrokerLedger, LedgerSnapshot, OverloadStats,
+    ResilienceStats, RunMetrics, StageTimings,
 };
 pub use request::Request;
+pub use traffic::{ramp_dataset, TrafficRamp};
 pub use utility::UtilityModel;

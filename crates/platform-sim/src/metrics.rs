@@ -317,6 +317,9 @@ pub struct RunMetrics {
     /// Degradation/fault accounting, populated by the resilient runner
     /// (`None` for plain runs).
     pub resilience: Option<ResilienceStats>,
+    /// Overload-protection accounting, populated by the overload
+    /// serving loop (`None` for runs without admission control).
+    pub overload: Option<OverloadStats>,
     /// Per-stage wall-clock samples (see [`StageTimings`]).
     pub timings: StageTimings,
 }
@@ -364,6 +367,88 @@ impl ResilienceStats {
             + self.feedback_lost_days
             + self.feedback_delayed_days
             + self.requests_failed
+    }
+}
+
+/// Which serving component a circuit breaker protects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerComponent {
+    /// The balanced-KM solve path.
+    Solver,
+    /// The bandit score/update path.
+    Bandit,
+    /// The WAL append path.
+    Wal,
+}
+
+impl BreakerComponent {
+    /// Stable label for reports and checkpoints.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerComponent::Solver => "solver",
+            BreakerComponent::Bandit => "bandit",
+            BreakerComponent::Wal => "wal",
+        }
+    }
+}
+
+/// One circuit-breaker state change, tagged with its component.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerEvent {
+    /// Component whose breaker changed state.
+    pub component: BreakerComponent,
+    /// The transition itself (tick, from, to).
+    pub transition: admission::BreakerTransition,
+}
+
+/// Counters of every admission/shedding/brownout decision an
+/// overload-protected run made. The invariant the `caam overload`
+/// gate checks is [`OverloadStats::accounting_balanced`]: every
+/// offered request is admitted, shed (with a reason), or still
+/// queued — none vanish.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Requests offered to the admission layer.
+    pub offered: u64,
+    /// Requests drained from the queue into the matcher.
+    pub admitted: u64,
+    /// Admitted requests that completed service (realized feedback).
+    pub served: u64,
+    /// Requests shed because the queue was full at offer time.
+    pub shed_queue_full: u64,
+    /// Requests shed because their deadline expired while queued.
+    pub shed_deadline: u64,
+    /// Requests shed by the watermark (lowest refined utility first).
+    pub shed_watermark: u64,
+    /// Requests still queued when the run ended.
+    pub leftover_queued: u64,
+    /// Traffic spikes flagged by the EWMA detector.
+    pub spikes_detected: u64,
+    /// Circuit-breaker trips across all components.
+    pub breaker_trips: u64,
+    /// Brownout ladder escalations.
+    pub brownout_escalations: u64,
+    /// Batches matched under `ReducedCbs` brownout.
+    pub reduced_cbs_batches: u64,
+    /// Batches matched under `GreedyOnly` brownout.
+    pub greedy_batches: u64,
+    /// Every breaker state change, in tick order.
+    pub breaker_events: Vec<BreakerEvent>,
+    /// Requests served per day — the goodput curve the degradation
+    /// gate checks against the pre-spike level.
+    pub daily_served: Vec<u64>,
+}
+
+impl OverloadStats {
+    /// Requests shed for any reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline + self.shed_watermark
+    }
+
+    /// True when every offered request is accounted for: admitted,
+    /// shed with a recorded reason, or still queued.
+    pub fn accounting_balanced(&self) -> bool {
+        self.offered == self.admitted + self.shed_total() + self.leftover_queued
     }
 }
 

@@ -1,0 +1,201 @@
+//! Seeded traffic ramps for overload testing.
+//!
+//! A ramp takes a base dataset and a staircase of integer multipliers
+//! (`[1, 2, 4, 8, 16]` for the default `caam overload` run), splits the
+//! horizon into contiguous equal-length stages, and inflates every
+//! batch in stage `s` to `multipliers[s]` times its base offered load.
+//! Extra requests are jittered clones of the stage's own requests with
+//! fresh globally-unique ids, so the inflated traffic keeps the base
+//! distribution's shape while every request stays individually
+//! accountable — the overload gate checks that each one is served,
+//! shed with a reason, or still queued.
+//!
+//! Everything is a pure function of `(base dataset, multipliers,
+//! seed)`: the jitter comes from a splitmix64 hash of the clone's
+//! coordinates, never from a stateful RNG, so two processes (or two
+//! thread counts) derive bit-identical ramps.
+
+use crate::dataset::{Batch, Dataset};
+use crate::request::Request;
+
+/// splitmix64 finaliser, same mixer the fault plans use.
+fn mix(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[-1, 1)` from a hash word.
+fn unit_signed(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// A ramped dataset plus the stage layout the harness reports against.
+#[derive(Clone, Debug)]
+pub struct TrafficRamp {
+    /// The inflated dataset.
+    pub dataset: Dataset,
+    /// Stage index for every day of the horizon.
+    pub stage_of_day: Vec<usize>,
+    /// The multiplier staircase, one entry per stage.
+    pub multipliers: Vec<u32>,
+}
+
+impl TrafficRamp {
+    /// Offered-load multiplier in effect on `day`.
+    pub fn multiplier_of_day(&self, day: usize) -> u32 {
+        self.multipliers[self.stage_of_day[day]]
+    }
+}
+
+/// Build a seeded traffic ramp over `base`; see module docs.
+///
+/// # Panics
+/// Panics if `multipliers` is empty, contains a zero, or the base
+/// dataset has fewer days than stages.
+pub fn ramp_dataset(base: &Dataset, multipliers: &[u32], seed: u64) -> TrafficRamp {
+    assert!(!multipliers.is_empty(), "ramp needs at least one stage");
+    assert!(multipliers.iter().all(|&m| m > 0), "multipliers must be positive");
+    let days = base.num_days();
+    assert!(days >= multipliers.len(), "horizon shorter than the ramp ({days} days)");
+
+    // Fresh clone ids start past every base id.
+    let mut next_id =
+        base.days.iter().flatten().flat_map(|b| &b.requests).map(|r| r.id + 1).max().unwrap_or(0);
+
+    let stage_of_day: Vec<usize> = (0..days).map(|d| d * multipliers.len() / days).collect();
+    let ramped_days = base
+        .days
+        .iter()
+        .enumerate()
+        .map(|(d, batches)| {
+            let mult = multipliers[stage_of_day[d]];
+            batches
+                .iter()
+                .map(|batch| {
+                    let mut requests = batch.requests.clone();
+                    for copy in 1..mult {
+                        for r in &batch.requests {
+                            requests.push(jittered_clone(r, next_id, copy as u64, seed));
+                            next_id += 1;
+                        }
+                    }
+                    Batch { requests }
+                })
+                .collect()
+        })
+        .collect();
+    TrafficRamp {
+        dataset: Dataset {
+            name: format!("{} [ramp x{}]", base.name, multipliers.last().unwrap()),
+            brokers: base.brokers.clone(),
+            days: ramped_days,
+        },
+        stage_of_day,
+        multipliers: multipliers.to_vec(),
+    }
+}
+
+/// A perturbed copy of `r` with a fresh id: attributes are nudged and
+/// re-normalised, intent stays inside `[0.5, 1]`.
+fn jittered_clone(r: &Request, id: usize, copy: u64, seed: u64) -> Request {
+    let h = mix(seed ^ (r.id as u64) << 16 ^ copy << 4);
+    let mut attrs: Vec<f64> = r
+        .attrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| a + 0.05 * unit_signed(mix(h ^ (i as u64 + 1))))
+        .collect();
+    let norm = attrs.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-9 {
+        for a in &mut attrs {
+            *a /= norm;
+        }
+    } else {
+        attrs.clone_from(&r.attrs);
+    }
+    let intent = (r.intent + 0.05 * unit_signed(mix(h ^ 0x5EED))).clamp(0.5, 1.0);
+    Request { id, day: r.day, batch: r.batch, attrs, intent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SyntheticConfig;
+
+    fn base() -> Dataset {
+        Dataset::synthetic(&SyntheticConfig {
+            num_brokers: 12,
+            num_requests: 300,
+            days: 10,
+            imbalance: 0.05,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn stage_layout_is_contiguous_and_covers_horizon() {
+        let ramp = ramp_dataset(&base(), &[1, 2, 4, 8, 16], 9);
+        assert_eq!(ramp.stage_of_day.len(), 10);
+        assert_eq!(ramp.stage_of_day, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]);
+        assert_eq!(ramp.multiplier_of_day(0), 1);
+        assert_eq!(ramp.multiplier_of_day(9), 16);
+    }
+
+    #[test]
+    fn load_scales_by_the_stage_multiplier() {
+        let b = base();
+        let ramp = ramp_dataset(&b, &[1, 2, 4, 8, 16], 9);
+        for (d, batches) in ramp.dataset.days.iter().enumerate() {
+            let mult = ramp.multiplier_of_day(d) as usize;
+            for (i, batch) in batches.iter().enumerate() {
+                assert_eq!(batch.requests.len(), b.days[d][i].requests.len() * mult);
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_globally_unique_and_requests_well_formed() {
+        let ramp = ramp_dataset(&base(), &[1, 4, 16], 9);
+        let mut seen = std::collections::HashSet::new();
+        for (d, batches) in ramp.dataset.days.iter().enumerate() {
+            for (i, batch) in batches.iter().enumerate() {
+                for r in &batch.requests {
+                    assert!(seen.insert(r.id), "duplicate id {}", r.id);
+                    assert_eq!((r.day, r.batch), (d, i));
+                    assert!((0.5..=1.0).contains(&r.intent));
+                    let norm: f64 = r.attrs.iter().map(|x| x * x).sum::<f64>().sqrt();
+                    assert!((norm - 1.0).abs() < 1e-9, "norm {norm}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ramp_is_a_pure_function_of_the_seed() {
+        let b = base();
+        let a = ramp_dataset(&b, &[1, 2, 4], 7);
+        let c = ramp_dataset(&b, &[1, 2, 4], 7);
+        for (da, dc) in a.dataset.days.iter().zip(&c.dataset.days) {
+            for (ba, bc) in da.iter().zip(dc) {
+                for (ra, rc) in ba.requests.iter().zip(&bc.requests) {
+                    assert_eq!(ra.id, rc.id);
+                    assert_eq!(ra.intent.to_bits(), rc.intent.to_bits());
+                    for (x, y) in ra.attrs.iter().zip(&rc.attrs) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+            }
+        }
+        let d = ramp_dataset(&b, &[1, 2, 4], 8);
+        let differs =
+            a.dataset.days.iter().flatten().zip(d.dataset.days.iter().flatten()).any(|(x, y)| {
+                x.requests
+                    .iter()
+                    .zip(&y.requests)
+                    .any(|(p, q)| p.intent.to_bits() != q.intent.to_bits())
+            });
+        assert!(differs, "different seeds produced identical jitter");
+    }
+}
