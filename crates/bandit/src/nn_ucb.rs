@@ -216,6 +216,30 @@ impl NnUcb {
         self.cumulative_reward
     }
 
+    /// The covariance tracker `D⁻¹` — read side of the bandit-state
+    /// invariant audit (finiteness / positive-definiteness checks).
+    pub fn covariance(&self) -> &InverseTracker {
+        &self.dinv
+    }
+
+    /// Mutable covariance tracker, for the seeded state-corruption
+    /// injectors.
+    pub fn covariance_mut(&mut self) -> &mut InverseTracker {
+        &mut self.dinv
+    }
+
+    /// Discard the learned covariance and restart from the `λI` prior —
+    /// the repair action for a covariance that lost finiteness or
+    /// positive definiteness. Exploration widens again and re-shrinks
+    /// as gradients accumulate; the network weights are untouched.
+    pub fn reset_covariance(&mut self) {
+        self.dinv = InverseTracker::new(
+            self.net.trainable_param_count(),
+            self.cfg.lambda,
+            self.cfg.covariance,
+        );
+    }
+
     /// Predicted reward `S_θ(x, c)` without the exploration bonus.
     pub fn predict(&self, context: &[f64], capacity: f64) -> f64 {
         self.net.forward(&self.arms.encode(context, capacity))

@@ -109,6 +109,53 @@ impl ShrinkageEstimator {
         &self.base
     }
 
+    /// Mutable access to the shared base bandit (covariance repair and
+    /// the state-corruption harness).
+    pub fn base_mut(&mut self) -> &mut NnUcb {
+        &mut self.base
+    }
+
+    /// Broker `b`'s per-arm `(sum, count)` statistics — read side of
+    /// the bandit-state invariant audit.
+    pub fn arm_stats(&self, b: usize) -> (&[f64], &[f64]) {
+        (&self.stats[b].sum, &self.stats[b].count)
+    }
+
+    /// Mutable view of broker `b`'s per-arm `(sum, count)` statistics,
+    /// for the seeded state-corruption injectors.
+    pub fn arm_stats_mut(&mut self, b: usize) -> (&mut [f64], &mut [f64]) {
+        let st = &mut self.stats[b];
+        (&mut st.sum, &mut st.count)
+    }
+
+    /// Selectively overwrite broker `b`'s statistics from `donor`'s
+    /// (per-broker checkpoint repair). The donor must use the same arm
+    /// set size.
+    pub fn copy_broker_stats(
+        &mut self,
+        donor: &ShrinkageEstimator,
+        b: usize,
+    ) -> Result<(), String> {
+        if donor.arms.len() != self.arms.len() {
+            return Err(format!(
+                "donor has {} arms, estimator expects {}",
+                donor.arms.len(),
+                self.arms.len()
+            ));
+        }
+        if b >= self.stats.len() || b >= donor.stats.len() {
+            return Err(format!("broker {b} out of range"));
+        }
+        self.stats[b] = donor.stats[b].clone();
+        Ok(())
+    }
+
+    /// Reset broker `b`'s statistics to the empty prior
+    /// (re-initialization repair when no good checkpoint exists).
+    pub fn reset_broker_stats(&mut self, b: usize) {
+        self.stats[b] = ArmStats::new(self.arms.len());
+    }
+
     /// Build reusable scoring buffers sized for the base network — one
     /// per worker thread for parallel per-broker estimation.
     pub fn scratch(&self) -> NnUcbScratch {

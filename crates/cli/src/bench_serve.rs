@@ -9,6 +9,7 @@
 //! baseline.
 
 use crate::args::Args;
+use crate::commands::CliError;
 use lacb::overload::run_overload;
 use lacb::{run, Lacb, LacbConfig, OverloadConfig, ResilienceConfig, RunConfig};
 use matching::hungarian::KmSolver;
@@ -68,7 +69,7 @@ fn perturbed_sequence(n: usize, batches: usize, seed: u64) -> Vec<UtilityMatrix>
         .collect()
 }
 
-fn bench_warm_km(size: usize, batches: usize) -> WarmKm {
+fn bench_warm_km(size: usize, batches: usize) -> Result<WarmKm, String> {
     let seq = perturbed_sequence(size, batches, 0xB5);
     let mut solver = KmSolver::new();
 
@@ -100,11 +101,10 @@ fn bench_warm_km(size: usize, batches: usize) -> WarmKm {
     }
     let warm_secs = t0.elapsed().as_secs_f64();
 
-    assert!(
-        (cold_total - warm_total).abs() < 1e-6 * cold_total.abs().max(1.0),
-        "warm KM changed the optimum: cold {cold_total} vs warm {warm_total}"
-    );
-    WarmKm { size, batches, cold_ops, warm_ops, cold_secs, warm_secs }
+    if (cold_total - warm_total).abs() >= 1e-6 * cold_total.abs().max(1.0) {
+        return Err(format!("warm KM changed the optimum: cold {cold_total} vs warm {warm_total}"));
+    }
+    Ok(WarmKm { size, batches, cold_ops, warm_ops, cold_secs, warm_secs })
 }
 
 /// Overload-protection measurement: the serving loop under a 1x→4x
@@ -278,7 +278,7 @@ fn baseline_p99(text: &str, n_threads: usize) -> Option<f64> {
     None
 }
 
-pub fn cmd_bench_serve(args: &Args) -> Result<(), String> {
+pub fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
     let quick = args.has("quick");
     let seed: u64 = args.get_or("seed", 7)?;
     // The fig-8 synthetic preset (DESIGN.md §6 defaults); `--quick`
@@ -295,7 +295,9 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), String> {
         .map(|t| t.trim().parse::<usize>().map_err(|_| format!("invalid thread count {t:?}")))
         .collect::<Result<_, _>>()?;
     if threads.is_empty() || threads[0] != 1 {
-        return Err("--threads must start with 1 (the bit-identity reference)".into());
+        return Err(CliError::Usage(
+            "--threads must start with 1 (the bit-identity reference)".into(),
+        ));
     }
 
     let ds = Dataset::synthetic(&cfg);
@@ -310,7 +312,7 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), String> {
 
     let repeat: usize = args.get_or("repeat", 3)?;
     if repeat == 0 {
-        return Err("--repeat must be at least 1".into());
+        return Err(CliError::Usage("--repeat must be at least 1".into()));
     }
 
     let mut samples = Vec::new();
@@ -330,7 +332,9 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), String> {
             if rep == 0 {
                 utility = u;
             } else if u.to_bits() != utility.to_bits() {
-                return Err(format!("{n}-thread run is not reproducible across repetitions"));
+                return Err(CliError::Gate(format!(
+                    "{n}-thread run is not reproducible across repetitions"
+                )));
             }
             assign_secs = assign_secs.min(timings.assign_batch_secs.iter().sum());
             p50 = p50.min(timings.assign_percentile(50.0));
@@ -364,17 +368,17 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), String> {
             if sample.bit_identical_to_1 { "bit-identical" } else { "DIVERGED" }
         );
         if !sample.bit_identical_to_1 {
-            return Err(format!(
+            return Err(CliError::Gate(format!(
                 "{n}-thread run diverged from the single-thread reference: {} vs {}",
                 sample.total_utility,
                 f64::from_bits(reference_bits)
-            ));
+            )));
         }
         samples.push(sample);
     }
 
     let (wn, wb) = if quick { (40, 30) } else { (80, 60) };
-    let warm = bench_warm_km(wn, wb);
+    let warm = bench_warm_km(wn, wb).map_err(CliError::Gate)?;
     let ops_speedup = warm.cold_ops as f64 / warm.warm_ops.max(1) as f64;
     println!(
         "warm-start KM ({}x{} × {} batches): cold {} ops / warm {} ops = {:.2}x \
@@ -389,12 +393,12 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), String> {
         warm.warm_secs
     );
     if ops_speedup < 1.5 {
-        return Err(format!(
+        return Err(CliError::Gate(format!(
             "warm-start KM speedup {ops_speedup:.2}x below the 1.5x floor on the perturbed-batch sequence"
-        ));
+        )));
     }
 
-    let ov = bench_overload(&cfg, seed, repeat)?;
+    let ov = bench_overload(&cfg, seed, repeat).map_err(CliError::Gate)?;
     println!(
         "overload {}x spike: shed {:.1}% of {} offered, {} breaker trips, \
          {} brownout escalations, p99 {:.3}ms under spike",
@@ -419,10 +423,10 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), String> {
             std::fs::read_to_string(path).map_err(|e| format!("reading baseline {path}: {e}"))?;
         let base_quick = text.contains("\"quick\": true");
         if base_quick != quick {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "baseline {path} was measured with quick={base_quick} but this run has \
                  quick={quick}; p99 latencies of different world sizes are not comparable"
-            ));
+            )));
         }
         let base = baseline_p99(&text, 1)
             .ok_or_else(|| format!("baseline {path} has no 1-thread p99_batch_ms"))?;
@@ -439,10 +443,10 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), String> {
              (limit {limit:.4}ms = max(1.2x, +{slack_ms}ms))"
         );
         if now > limit {
-            return Err(format!(
+            return Err(CliError::Gate(format!(
                 "p99 per-batch latency regressed >20%: {now:.4}ms vs baseline {base:.4}ms \
                  (limit {limit:.4}ms)"
-            ));
+            )));
         }
     }
     Ok(())
@@ -499,10 +503,10 @@ mod tests {
         run(&generous).unwrap();
         let strict = dir.join("caam_bench_baseline_strict.json");
         std::fs::write(&strict, entry(1e-9, true)).unwrap();
-        assert!(run(&strict).unwrap_err().contains("regressed"));
+        assert!(run(&strict).unwrap_err().to_string().contains("regressed"));
         let mismatched = dir.join("caam_bench_baseline_full.json");
         std::fs::write(&mismatched, entry(1e9, false)).unwrap();
-        assert!(run(&mismatched).unwrap_err().contains("not comparable"));
+        assert!(run(&mismatched).unwrap_err().to_string().contains("not comparable"));
         for p in [generous, strict, mismatched] {
             let _ = std::fs::remove_file(p);
         }
@@ -511,7 +515,7 @@ mod tests {
     #[test]
     fn threads_must_start_at_one() {
         let args = Args::parse(&argv("--quick --threads 2,4")).unwrap();
-        assert!(cmd_bench_serve(&args).unwrap_err().contains("start with 1"));
+        assert!(cmd_bench_serve(&args).unwrap_err().to_string().contains("start with 1"));
     }
 
     #[test]

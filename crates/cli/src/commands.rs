@@ -16,6 +16,34 @@ use platform_sim::{
 use std::path::Path;
 use std::time::Duration;
 
+/// Typed CLI failure. `Usage` (exit 1) means the invocation itself was
+/// wrong — bad flags, unknown names, unreadable inputs — and the usage
+/// text is shown. `Gate` (exit 2) means the invocation was fine but a
+/// harness gate tripped: a recovery diverged, a latency floor was
+/// breached, an audit violation escaped repair. CI distinguishes the
+/// two: exit 1 is a broken pipeline definition, exit 2 a real finding.
+#[derive(Clone, Debug)]
+pub enum CliError {
+    /// Invalid invocation; exits 1 and prints [`USAGE`].
+    Usage(String),
+    /// A harness gate failed; exits 2.
+    Gate(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(e) | CliError::Gate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(e: String) -> Self {
+        CliError::Usage(e)
+    }
+}
+
 /// Usage text shown on errors.
 pub const USAGE: &str = "usage:
   caam generate --kind synthetic|city-a|city-b|city-c --out DIR --name NAME
@@ -40,12 +68,19 @@ pub const USAGE: &str = "usage:
   caam overload [--quick] [--stages 1,2,4,8,16] [--threads 1,2,4,8]
                 [--goodput-floor 0.6] [--ramp-seed N] [--out FILE]
                 [--scenario …as in chaos] [--fault-seed N]
-                [synthetic flags]";
+                [synthetic flags]
+  caam soak     [--quick] [--scenario soak|state-corruption|…as in chaos]
+                [--stages 1,4] [--crash-points N] [--crash-seed N]
+                [--fault-seed N] [--ramp-seed N] [--goodput-floor 0.4]
+                [--dir DIR] [--out FILE] [--keep-artifacts]
+                [synthetic flags]
+
+exit codes: 0 ok, 1 usage error, 2 gate failure";
 
 /// Route a raw argv to its subcommand.
-pub fn dispatch(argv: &[String]) -> Result<(), String> {
+pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
-        return Err("no subcommand".into());
+        return Err(CliError::Usage("no subcommand".into()));
     };
     let args = Args::parse(rest)?;
     match cmd.as_str() {
@@ -57,11 +92,12 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "crash-test" => crate::crash_test::cmd_crash_test(&args),
         "bench-serve" => crate::bench_serve::cmd_bench_serve(&args),
         "overload" => crate::overload::cmd_overload(&args),
+        "soak" => crate::soak::cmd_soak(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }
 
@@ -88,7 +124,7 @@ fn dataset_from(args: &Args) -> Result<Dataset, String> {
     Ok(Dataset::synthetic(&synthetic_from(args)?))
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
+fn cmd_generate(args: &Args) -> Result<(), CliError> {
     let out = args.require("out")?;
     let name = args.require("name")?.to_string();
     let kind = args.get("kind").unwrap_or("synthetic");
@@ -103,7 +139,7 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
             let scale: f64 = args.get_or("scale", 0.05)?;
             Dataset::real_world(&RealWorldConfig::scaled(city, scale))
         }
-        other => return Err(format!("unknown --kind {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown --kind {other:?}"))),
     };
     ds_io::save_dataset(&ds, Path::new(out), &name).map_err(|e| e.to_string())?;
     println!(
@@ -138,7 +174,7 @@ fn make_algo(
     })
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+fn cmd_run(args: &Args) -> Result<(), CliError> {
     let ds = dataset_from(args)?;
     let algo_name = args.get("algo").unwrap_or("lacb-opt");
     let ctopk: f64 = args.get_or("ctopk-capacity", 40.0)?;
@@ -161,7 +197,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compare(args: &Args) -> Result<(), String> {
+fn cmd_compare(args: &Args) -> Result<(), CliError> {
     let ds = dataset_from(args)?;
     let ctopk: f64 = args.get_or("ctopk-capacity", 40.0)?;
     let seed: u64 = args.get_or("seed", 7)?;
@@ -195,7 +231,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 /// (resilient LACB) pipeline after day `D`, restores it, finishes the
 /// horizon, and verifies the total utility matches the uninterrupted
 /// run bit for bit.
-fn cmd_chaos(args: &Args) -> Result<(), String> {
+fn cmd_chaos(args: &Args) -> Result<(), CliError> {
     let ds = dataset_from(args)?;
     let scenario = args.get("scenario").unwrap_or("broker-dropout+lost-feedback");
     let fault_seed: u64 = args.get_or("fault-seed", 13)?;
@@ -263,7 +299,9 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             stats.requests_failed
         );
         if !args.has("raw") && unserved > 0 {
-            return Err(format!("degradation ladder exhausted: {unserved} requests left unserved"));
+            return Err(CliError::Gate(format!(
+                "degradation ladder exhausted: {unserved} requests left unserved"
+            )));
         }
     }
 
@@ -273,9 +311,9 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             "lacb" => LacbConfig { seed, ..LacbConfig::default() },
             "lacb-opt" => LacbConfig { seed, ..LacbConfig::opt() },
             other => {
-                return Err(format!(
+                return Err(CliError::Usage(format!(
                     "--checkpoint-day needs --algo lacb or lacb-opt, got {other:?}"
-                ))
+                )))
             }
         };
         // A deadline would make the two runs diverge on wall-clock
@@ -301,7 +339,9 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             if exact { "bit-identical" } else { "MISMATCH" }
         );
         if !exact {
-            return Err("checkpoint resume diverged from the uninterrupted run".into());
+            return Err(CliError::Gate(
+                "checkpoint resume diverged from the uninterrupted run".into(),
+            ));
         }
     }
     Ok(())
@@ -309,7 +349,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
 
 /// Bandit shoot-out on a simulated non-linear capacity-reward surface —
 /// exercises every policy in the `bandit` crate side by side.
-fn cmd_bandits(args: &Args) -> Result<(), String> {
+fn cmd_bandits(args: &Args) -> Result<(), CliError> {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -428,6 +468,8 @@ mod tests {
         let args =
             Args::parse(&argv("--scenario nope --brokers 10 --requests 40 --days 1")).unwrap();
         let err = cmd_chaos(&args).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "scenario typo is a usage error: {err:?}");
+        let err = err.to_string();
         assert!(err.contains("unknown fault scenario"), "{err}");
         assert!(err.contains("full-chaos"), "error lists valid names: {err}");
     }
@@ -453,6 +495,6 @@ mod tests {
              --checkpoint-day 0",
         ))
         .unwrap();
-        assert!(cmd_chaos(&args).unwrap_err().contains("needs --algo lacb"));
+        assert!(cmd_chaos(&args).unwrap_err().to_string().contains("needs --algo lacb"));
     }
 }

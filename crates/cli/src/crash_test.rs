@@ -10,6 +10,7 @@
 //! crash point that fails to fire — is a hard error (non-zero exit).
 
 use crate::args::Args;
+use crate::commands::CliError;
 use lacb::supervisor::{run_durable, DurableConfig, DurableOutcome};
 use lacb::{LacbConfig, ResilienceConfig, RunMetrics};
 use platform_sim::{seeded_schedule, CrashPoint, Dataset, FaultConfig, FaultPlan, SyntheticConfig};
@@ -19,7 +20,7 @@ use std::path::PathBuf;
 /// Compare every deterministic field of two runs bit for bit; wall-clock
 /// fields (`elapsed_secs`, `daily_elapsed`, timings) are excluded by
 /// construction. Returns the first mismatch as text.
-fn diff_runs(a: &RunMetrics, b: &RunMetrics) -> Option<String> {
+pub(crate) fn diff_runs(a: &RunMetrics, b: &RunMetrics) -> Option<String> {
     if a.total_utility.to_bits() != b.total_utility.to_bits() {
         return Some(format!("total utility {} vs {}", a.total_utility, b.total_utility));
     }
@@ -50,18 +51,22 @@ fn diff_runs(a: &RunMetrics, b: &RunMetrics) -> Option<String> {
     None
 }
 
-/// Run `f`, expecting it to die on an injected crash. The panic hook is
-/// silenced for injected-crash payloads so the harness output stays
+/// Panic payloads the harnesses deliberately provoke: crash-point
+/// kills, and solver panics on injected corruption (absorbed by the
+/// resilience ladder). Both hooks silence these so harness output stays
 /// readable; any *other* panic still prints normally.
-fn expect_injected_crash<T>(f: impl FnOnce() -> T) -> Result<String, String> {
+pub(crate) fn absorbed_by_design(text: &str) -> bool {
+    text.contains("injected crash") || text.contains("non-finite utility")
+}
+
+/// Run `f`, expecting it to die on an injected crash. The panic hook is
+/// silenced for [`absorbed_by_design`] payloads while `f` runs.
+pub(crate) fn expect_injected_crash<T>(f: impl FnOnce() -> T) -> Result<String, String> {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|info| {
-        let injected = info
-            .payload()
-            .downcast_ref::<String>()
-            .map(|s| s.contains("injected crash"))
-            .unwrap_or(false);
-        if !injected {
+        let quiet =
+            info.payload().downcast_ref::<String>().map(|s| absorbed_by_design(s)).unwrap_or(false);
+        if !quiet {
             eprintln!("{info}");
         }
     }));
@@ -76,7 +81,7 @@ fn expect_injected_crash<T>(f: impl FnOnce() -> T) -> Result<String, String> {
     }
 }
 
-pub fn cmd_crash_test(args: &Args) -> Result<(), String> {
+pub fn cmd_crash_test(args: &Args) -> Result<(), CliError> {
     let ds = Dataset::synthetic(&SyntheticConfig {
         num_brokers: args.get_or("brokers", 24)?,
         num_requests: args.get_or("requests", 360)?,
@@ -114,7 +119,7 @@ pub fn cmd_crash_test(args: &Args) -> Result<(), String> {
     let ref_dir = root.join("reference");
     std::fs::remove_dir_all(&ref_dir).ok();
     let reference = run_durable(&ds, cfg.clone(), rcfg.clone(), plan, &DurableConfig::at(&ref_dir))
-        .map_err(|e| format!("reference run failed: {e}"))?;
+        .map_err(|e| CliError::Gate(format!("reference run failed: {e}")))?;
     println!(
         "reference  : total utility {:.4}, {} days",
         reference.metrics.total_utility,
@@ -168,10 +173,10 @@ pub fn cmd_crash_test(args: &Args) -> Result<(), String> {
         points - failures
     );
     if failures > 0 {
-        return Err(format!(
+        return Err(CliError::Gate(format!(
             "{failures}/{points} crash points failed recovery; artifacts under {}",
             root.display()
-        ));
+        )));
     }
     Ok(())
 }
@@ -234,7 +239,7 @@ mod tests {
     #[test]
     fn unknown_scenario_is_rejected() {
         let args = Args::parse(&argv("--scenario nope --points 1")).unwrap();
-        let err = cmd_crash_test(&args).unwrap_err();
+        let err = cmd_crash_test(&args).unwrap_err().to_string();
         assert!(err.contains("unknown fault scenario"), "{err}");
         assert!(err.contains("full-chaos"), "error lists valid names: {err}");
     }

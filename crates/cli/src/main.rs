@@ -6,23 +6,34 @@
 //! caam run --algo lacb-opt [--dataset data/demo | synthetic flags]
 //! caam compare [--fast-only] [synthetic flags]
 //! caam bandits [--rounds N]
+//! caam soak [--quick] [--crash-points N]
 //! ```
+//!
+//! Exit codes are typed: 0 success, 1 usage error (bad flags or inputs,
+//! usage text printed), 2 gate failure (a harness verdict — recovery
+//! divergence, latency regression, audit violation escaping repair).
 
 mod args;
 mod bench_serve;
 mod commands;
 mod crash_test;
 mod overload;
+mod soak;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match commands::dispatch(&argv) {
-        Ok(()) => {}
-        Err(e) => {
+    let code = match commands::dispatch(&argv) {
+        Ok(()) => 0,
+        Err(commands::CliError::Usage(e)) => {
             eprintln!("error: {e}");
             eprintln!();
             eprintln!("{}", commands::USAGE);
-            std::process::exit(2);
+            1
         }
-    }
+        Err(commands::CliError::Gate(e)) => {
+            eprintln!("gate failure: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
 }

@@ -17,6 +17,7 @@
 //! uploads as an artifact when the gate trips.
 
 use crate::args::Args;
+use crate::commands::CliError;
 use lacb::overload::{run_overload, OverloadConfig, OverloadOutcome};
 use lacb::{LacbConfig, ResilienceConfig};
 use platform_sim::{ramp_dataset, Dataset, FaultConfig, FaultPlan, OverloadStats, SyntheticConfig};
@@ -57,7 +58,7 @@ fn run_one(
     })
 }
 
-pub fn cmd_overload(args: &Args) -> Result<(), String> {
+pub fn cmd_overload(args: &Args) -> Result<(), CliError> {
     let quick = args.has("quick");
     let base = Dataset::synthetic(&SyntheticConfig {
         num_brokers: args.get_or("brokers", 24)?,
@@ -80,11 +81,11 @@ pub fn cmd_overload(args: &Args) -> Result<(), String> {
     let scenario = args.get("scenario").unwrap_or("none");
     let fault_seed: u64 = args.get_or("fault-seed", 13)?;
     if base.days.len() < stages.len() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "--days {} must cover --stages {} (one stage needs at least one day)",
             base.days.len(),
             stages.len()
-        ));
+        )));
     }
 
     let plan = FaultPlan::new(
@@ -142,9 +143,13 @@ pub fn cmd_overload(args: &Args) -> Result<(), String> {
         }
     }
     let Some(reference) = reference else {
-        return Err(panic_detail.unwrap_or_else(|| "no run completed".into()));
+        return Err(CliError::Gate(panic_detail.unwrap_or_else(|| "no run completed".into())));
     };
-    let ov = reference.metrics.overload.clone().ok_or("run carried no overload stats")?;
+    let ov = reference
+        .metrics
+        .overload
+        .clone()
+        .ok_or_else(|| CliError::Gate("run carried no overload stats".into()))?;
 
     // Goodput curve: baseline is the mean served over the first-stage
     // days; no day may fall below the floor.
@@ -239,7 +244,7 @@ pub fn cmd_overload(args: &Args) -> Result<(), String> {
         println!("report     : {path}");
     }
     if failures > 0 {
-        return Err(format!("{failures}/{} overload gates failed", gates.len()));
+        return Err(CliError::Gate(format!("{failures}/{} overload gates failed", gates.len())));
     }
     Ok(())
 }
@@ -329,14 +334,14 @@ mod tests {
             "--quick --requests 240 --days 3 --stages 1,8 --threads 1 --goodput-floor 1000",
         ))
         .unwrap();
-        let err = cmd_overload(&args).unwrap_err();
+        let err = cmd_overload(&args).unwrap_err().to_string();
         assert!(err.contains("gates failed"), "got {err}");
     }
 
     #[test]
     fn stage_count_beyond_days_is_rejected() {
         let args = Args::parse(&argv("--days 2 --stages 1,2,4,8,16 --threads 1")).unwrap();
-        let err = cmd_overload(&args).unwrap_err();
+        let err = cmd_overload(&args).unwrap_err().to_string();
         assert!(err.contains("--days"), "got {err}");
     }
 }

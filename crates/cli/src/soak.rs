@@ -1,0 +1,511 @@
+//! `caam soak` — the combined self-healing soak harness.
+//!
+//! Composes every fault family the repo can inject — broker chaos
+//! (dropout, lost feedback, batch spikes), a traffic ramp, seeded state
+//! corruption (exponent bit-flips, NaN/overflow writes), duplicated
+//! batch delivery, and process crash points — over one long seeded run
+//! of the overload-protected durable serving loop with runtime
+//! invariant audits on, then gates on the self-healing contract:
+//!
+//! * **audits ran** — nonzero cheap per-batch checks and day-boundary
+//!   deep audits;
+//! * **zero violations escaped repair** — every detected violation is
+//!   paired with a repair and no broker is still quarantined at the
+//!   end of the horizon;
+//! * **detection liveness** — when the schedule injected NaN or
+//!   overflow writes, the auditor must have caught something.
+//!   In-range bit-flips may be legally invisible: they land on
+//!   representable values the next learning update absorbs;
+//! * **goodput held** — shed accounting balances exactly and
+//!   served/offered stays above the floor despite the combined load;
+//! * **crash recovery** — every seeded crash point recovers
+//!   bit-identically to the uninterrupted reference (utility, learned
+//!   state, overload accounting) with its own audits fully repaired;
+//! * **zero panics escape** — injected solver panics absorbed by the
+//!   degradation ladder are the designed behaviour; a panic with any
+//!   other payload reaching the harness is a failure.
+//!
+//! `--out FILE` writes a machine-readable JSON report; any gate
+//! failure is exit code 2.
+
+use crate::args::Args;
+use crate::commands::CliError;
+use crate::crash_test::{diff_runs, expect_injected_crash};
+use lacb::supervisor::{run_overload_durable, DurableConfig, DurableOutcome};
+use lacb::{LacbConfig, OverloadConfig, ResilienceConfig};
+use platform_sim::{
+    ramp_dataset, seeded_schedule, AuditReport, Dataset, FaultConfig, FaultPlan, InvariantKind,
+    StateFaultKind, SyntheticConfig,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// One gate check: name, verdict, human detail.
+struct Gate {
+    name: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+/// Census of what the seeded fault schedule will inject over the
+/// spiked horizon — computed up front (the plan is pure) so the
+/// detection-liveness gate knows what the auditor was up against.
+#[derive(Default)]
+struct InjectionCensus {
+    bit_flips: usize,
+    nan_writes: usize,
+    overflow_writes: usize,
+    batch_replays: usize,
+}
+
+fn census(plan: &FaultPlan, spiked: &Dataset, num_brokers: usize) -> InjectionCensus {
+    let mut c = InjectionCensus::default();
+    for (d, day) in spiked.days.iter().enumerate() {
+        for b in 0..day.len() {
+            if let Some(fault) = plan.state_fault(d, b, num_brokers) {
+                match fault.kind {
+                    StateFaultKind::BitFlip { .. } => c.bit_flips += 1,
+                    StateFaultKind::NanWrite => c.nan_writes += 1,
+                    StateFaultKind::OverflowWrite => c.overflow_writes += 1,
+                }
+            }
+            if plan.batch_replayed(d, b) {
+                c.batch_replays += 1;
+            }
+        }
+    }
+    c
+}
+
+fn violation_histogram(report: &AuditReport) -> Vec<(&'static str, usize)> {
+    let kinds = [
+        InvariantKind::Matching,
+        InvariantKind::Conservation,
+        InvariantKind::DualCertificate,
+        InvariantKind::ValueBound,
+        InvariantKind::BanditState,
+    ];
+    kinds
+        .iter()
+        .map(|k| (k.label(), report.violations.iter().filter(|v| &v.invariant == k).count()))
+        .filter(|(_, n)| *n > 0)
+        .collect()
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Scoped panic-hook guard. While alive, panics the soak *expects* —
+/// solver panics on injected corruption (absorbed by the resilience
+/// ladder) and injected crash points — are not echoed to stderr, so a
+/// full-schedule run prints gates instead of dozens of backtraces. Any
+/// other panic still prints and will fail the zero-escaped-panics gate.
+struct QuietPanics;
+
+impl QuietPanics {
+    fn install() -> Self {
+        let _ = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|info| {
+            let text = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !crate::crash_test::absorbed_by_design(text) {
+                eprintln!("{info}");
+            }
+        }));
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        // Dropping the taken hook reinstates the default one.
+        let _ = std::panic::take_hook();
+    }
+}
+
+pub fn cmd_soak(args: &Args) -> Result<(), CliError> {
+    let quick = args.has("quick");
+    let base = Dataset::synthetic(&SyntheticConfig {
+        num_brokers: args.get_or("brokers", 18)?,
+        num_requests: args.get_or("requests", if quick { 240 } else { 540 })?,
+        days: args.get_or("days", if quick { 3 } else { 6 })?,
+        imbalance: args.get_or("sigma", 0.25)?,
+        seed: args.get_or("seed", 7)?,
+    });
+    let scenario = args.get("scenario").unwrap_or("soak");
+    let fault_seed: u64 = args.get_or("fault-seed", 13)?;
+    let ramp_seed: u64 = args.get_or("ramp-seed", 97)?;
+    let crash_seed: u64 = args.get_or("crash-seed", 29)?;
+    let crash_points: usize = args.get_or("crash-points", if quick { 3 } else { 6 })?;
+    // The default schedule rides a 4x ramp with every fault family on;
+    // ~47% of offered traffic surviving is the healthy operating point,
+    // so the default floor sits just under it with margin for noise.
+    let goodput_floor: f64 = args.get_or("goodput-floor", 0.4)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let keep_artifacts = args.has("keep-artifacts");
+    let stages: Vec<u32> = args
+        .get("stages")
+        .unwrap_or("1,4")
+        .split(',')
+        .map(|s| s.trim().parse::<u32>().map_err(|_| format!("bad --stages entry {s:?}")))
+        .collect::<Result<_, _>>()?;
+    if stages.is_empty() || base.days.len() < stages.len() {
+        return Err(CliError::Usage(format!(
+            "--days {} must cover --stages {:?} (one stage needs at least one day)",
+            base.days.len(),
+            stages
+        )));
+    }
+    let root: PathBuf = match args.get("dir") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("caam-soak-{fault_seed}-{crash_seed}")),
+    };
+    let fault_cfg =
+        FaultConfig::scenario(scenario, fault_seed).map_err(|e| format!("--scenario: {e}"))?;
+    let plan = FaultPlan::new(fault_cfg);
+    let ramp = ramp_dataset(&base, &stages, ramp_seed);
+    let ocfg = OverloadConfig::sized_for(&base);
+    let cfg = LacbConfig { seed, ..LacbConfig::opt() };
+    let rcfg = ResilienceConfig::default();
+    let num_brokers = base.brokers.len();
+
+    let spiked = ramp.dataset.with_batch_spikes(&plan);
+    let inj = census(&plan, &spiked, num_brokers);
+
+    println!("dataset    : {} ({} days, ramp x{stages:?})", ramp.dataset.name, spiked.days.len());
+    println!("scenario   : {scenario} (fault seed {fault_seed})");
+    println!(
+        "injections : {} bit-flips, {} NaN writes, {} overflow writes, {} replayed batches",
+        inj.bit_flips, inj.nan_writes, inj.overflow_writes, inj.batch_replays
+    );
+
+    // Silence absorbed-by-design panics (solver panics on injected
+    // corruption, injected crash points) for the rest of the soak so
+    // the report stays readable; anything else still prints. The guard
+    // restores the default hook when the command returns.
+    let _quiet = QuietPanics::install();
+
+    // Reference: the full fault schedule, uninterrupted, audits on.
+    let ref_dir = root.join("reference");
+    std::fs::remove_dir_all(&ref_dir).ok();
+    let run_at = |dcfg: &DurableConfig| {
+        run_overload_durable(&ramp.dataset, cfg.clone(), rcfg.clone(), &ocfg, plan, dcfg)
+    };
+    let reference: DurableOutcome =
+        match catch_unwind(AssertUnwindSafe(|| run_at(&DurableConfig::at(&ref_dir)))) {
+            Ok(Ok(out)) => out,
+            Ok(Err(e)) => return Err(CliError::Gate(format!("reference soak run failed: {e}"))),
+            Err(payload) => {
+                return Err(CliError::Gate(format!(
+                    "reference soak run panicked: {}",
+                    panic_text(payload)
+                )))
+            }
+        };
+    let audit = reference
+        .metrics
+        .audit
+        .clone()
+        .ok_or_else(|| CliError::Gate("soak run carried no audit report".into()))?;
+    let ov = reference
+        .metrics
+        .overload
+        .clone()
+        .ok_or_else(|| CliError::Gate("soak run carried no overload stats".into()))?;
+    println!(
+        "reference  : utility {:.4}, {} checks, {} deep audits, {} violations, {} repairs",
+        reference.metrics.total_utility,
+        audit.checks,
+        audit.deep_audits,
+        audit.violations.len(),
+        audit.repairs.len()
+    );
+    for (label, n) in violation_histogram(&audit) {
+        println!("  caught   : {n} x {label}");
+    }
+
+    // Crash soak: the same schedule killed at each seeded point must
+    // come back bit-identical to the uninterrupted reference.
+    let batches: Vec<usize> = spiked.days.iter().map(|d| d.len()).collect();
+    let schedule = seeded_schedule(crash_seed, &batches, crash_points);
+    let mut crash_failures: Vec<String> = Vec::new();
+    let mut escaped_panics: Vec<String> = Vec::new();
+    for (i, point) in schedule.iter().enumerate() {
+        let dir = root.join(format!("point-{i:02}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut dcfg = DurableConfig::at(&dir);
+        dcfg.crash = Some(*point);
+        let verdict = match expect_injected_crash(|| run_at(&dcfg)) {
+            Err(why) => Err(why),
+            Ok(payload) => {
+                if !payload.contains("injected crash") {
+                    escaped_panics.push(format!("{}: {payload}", point.label()));
+                }
+                dcfg.crash = None;
+                match run_at(&dcfg) {
+                    Err(e) => Err(format!("recovery failed: {e}")),
+                    Ok(out) => check_crash_recovery(&reference, &out),
+                }
+            }
+        };
+        match verdict {
+            Ok(()) => {
+                println!("crash {:>2}/{crash_points} {:<28} OK", i + 1, point.label());
+                if !keep_artifacts {
+                    std::fs::remove_dir_all(&dir).ok();
+                }
+            }
+            Err(why) => {
+                println!("crash {:>2}/{crash_points} {:<28} FAIL {why}", i + 1, point.label());
+                crash_failures.push(format!("{}: {why}", point.label()));
+            }
+        }
+    }
+
+    let goodput = if ov.offered > 0 { ov.served as f64 / ov.offered as f64 } else { 0.0 };
+    let primary_panics = reference.metrics.resilience.as_ref().map_or(0, |s| s.primary_panics);
+    let gates = [
+        Gate {
+            name: "audits-ran",
+            pass: audit.checks > 0 && audit.deep_audits > 0,
+            detail: format!("{} cheap checks, {} deep audits", audit.checks, audit.deep_audits),
+        },
+        Gate {
+            name: "self-healing",
+            pass: audit.fully_repaired(),
+            detail: format!(
+                "{} violations, {} repairs, {} brokers quarantined at end",
+                audit.violations.len(),
+                audit.repairs.len(),
+                audit.quarantined_at_end.len()
+            ),
+        },
+        Gate {
+            name: "detection-liveness",
+            pass: inj.nan_writes + inj.overflow_writes == 0 || !audit.violations.is_empty(),
+            detail: format!(
+                "{} NaN/overflow injections scheduled, {} violations detected",
+                inj.nan_writes + inj.overflow_writes,
+                audit.violations.len()
+            ),
+        },
+        Gate {
+            name: "goodput",
+            pass: ov.accounting_balanced() && goodput >= goodput_floor,
+            detail: format!(
+                "served {}/{} offered = {:.1}% (floor {:.0}%), accounting {}",
+                ov.served,
+                ov.offered,
+                goodput * 100.0,
+                goodput_floor * 100.0,
+                if ov.accounting_balanced() { "balanced" } else { "UNBALANCED" }
+            ),
+        },
+        Gate {
+            name: "crash-recovery",
+            pass: crash_failures.is_empty(),
+            detail: match crash_failures.first() {
+                None => format!("{crash_points}/{crash_points} points bit-identical"),
+                Some(first) => {
+                    format!("{}/{crash_points} points failed; first: {first}", crash_failures.len())
+                }
+            },
+        },
+        Gate {
+            name: "zero-escaped-panics",
+            pass: escaped_panics.is_empty(),
+            detail: match escaped_panics.first() {
+                None => format!(
+                    "none escaped ({primary_panics} injected panics absorbed by the ladder)"
+                ),
+                Some(first) => format!("{} escaped; first: {first}", escaped_panics.len()),
+            },
+        },
+    ];
+
+    let mut failures = 0usize;
+    for g in &gates {
+        if !g.pass {
+            failures += 1;
+        }
+        println!("gate {:<19} {}  {}", g.name, if g.pass { "PASS" } else { "FAIL" }, g.detail);
+    }
+    let verdict = if failures == 0 { "PASS" } else { "FAIL" };
+    println!(
+        "soak summary: {verdict} ({}/{} gates), {} violations / {} repairs, goodput {:.1}%, {} crash points",
+        gates.len() - failures,
+        gates.len(),
+        audit.violations.len(),
+        audit.repairs.len(),
+        goodput * 100.0,
+        crash_points
+    );
+
+    if let Some(path) = args.get("out") {
+        let report = render_json(
+            scenario,
+            &stages,
+            &inj,
+            &audit,
+            goodput,
+            &gates,
+            crash_points,
+            &crash_failures,
+            verdict,
+        );
+        std::fs::write(path, report).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("report     : {path}");
+    }
+    if !keep_artifacts {
+        std::fs::remove_dir_all(&ref_dir).ok();
+        std::fs::remove_dir(&root).ok();
+    }
+    if failures > 0 {
+        return Err(CliError::Gate(format!("{failures}/{} soak gates failed", gates.len())));
+    }
+    Ok(())
+}
+
+/// A recovered run must match the uninterrupted reference bit for bit —
+/// metrics, learned state, overload accounting — and its own audit
+/// trail must be fully repaired.
+fn check_crash_recovery(reference: &DurableOutcome, out: &DurableOutcome) -> Result<(), String> {
+    if let Some(diff) = diff_runs(&reference.metrics, &out.metrics) {
+        return Err(format!("metrics diverged: {diff}"));
+    }
+    if out.final_state != reference.final_state {
+        return Err("learned state diverged".into());
+    }
+    if out.metrics.overload != reference.metrics.overload {
+        return Err("overload accounting diverged".into());
+    }
+    match &out.metrics.audit {
+        None => Err("recovered run carried no audit report".into()),
+        Some(a) if !a.fully_repaired() => {
+            Err(format!("recovered run left {} brokers quarantined", a.quarantined_at_end.len()))
+        }
+        Some(_) => Ok(()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scenario: &str,
+    stages: &[u32],
+    inj: &InjectionCensus,
+    audit: &AuditReport,
+    goodput: f64,
+    gates: &[Gate],
+    crash_points: usize,
+    crash_failures: &[String],
+    verdict: &str,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
+    out.push_str(&format!("  \"stages\": {stages:?},\n"));
+    out.push_str(&format!(
+        "  \"injections\": {{\"bit_flips\": {}, \"nan_writes\": {}, \"overflow_writes\": {}, \
+         \"batch_replays\": {}}},\n",
+        inj.bit_flips, inj.nan_writes, inj.overflow_writes, inj.batch_replays
+    ));
+    out.push_str(&format!(
+        "  \"audit\": {{\"checks\": {}, \"deep_audits\": {}, \"violations\": {}, \"repairs\": {}, \
+         \"quarantined_at_end\": {}, \"by_invariant\": {{",
+        audit.checks,
+        audit.deep_audits,
+        audit.violations.len(),
+        audit.repairs.len(),
+        audit.quarantined_at_end.len()
+    ));
+    let hist = violation_histogram(audit);
+    for (i, (label, n)) in hist.iter().enumerate() {
+        out.push_str(&format!("\"{label}\": {n}{}", if i + 1 == hist.len() { "" } else { ", " }));
+    }
+    out.push_str("}},\n");
+    out.push_str(&format!("  \"goodput\": {goodput:.4},\n"));
+    out.push_str(&format!(
+        "  \"crash\": {{\"points\": {crash_points}, \"recovered\": {}}},\n",
+        crash_points - crash_failures.len()
+    ));
+    out.push_str("  \"gates\": [\n");
+    for (i, g) in gates.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"pass\": {}, \"detail\": \"{}\"}}{}\n",
+            g.name,
+            g.pass,
+            g.detail.replace('\\', "\\\\").replace('"', "\\\""),
+            if i + 1 == gates.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"verdict\": \"{verdict}\"\n"));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn quick_soak_passes_all_gates_and_writes_a_report() {
+        let dir = std::env::temp_dir().join("caam-soak-cli-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = dir.join("soak.json");
+        let args = Args::parse(&argv(&format!(
+            "--quick --brokers 12 --requests 150 --days 2 --stages 1,2 --crash-points 2 \
+             --dir {} --out {}",
+            dir.join("work").display(),
+            report.display()
+        )))
+        .unwrap();
+        cmd_soak(&args).expect("quick soak must pass every gate");
+        let text = std::fs::read_to_string(&report).unwrap();
+        assert!(text.contains("\"verdict\": \"PASS\""), "report:\n{text}");
+        assert!(text.contains("\"name\": \"self-healing\", \"pass\": true"), "report:\n{text}");
+        assert!(text.contains("\"name\": \"crash-recovery\", \"pass\": true"), "report:\n{text}");
+        // The default soak scenario schedules real corruption; the
+        // auditor must have seen it.
+        assert!(text.contains("\"nan_writes\""), "report:\n{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn impossible_goodput_floor_is_a_gate_failure() {
+        let dir = std::env::temp_dir().join("caam-soak-floor-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let args = Args::parse(&argv(&format!(
+            "--quick --brokers 12 --requests 150 --days 2 --stages 1,2 --crash-points 1 \
+             --goodput-floor 2.0 --dir {}",
+            dir.display()
+        )))
+        .unwrap();
+        let err = cmd_soak(&args).unwrap_err();
+        assert!(matches!(err, CliError::Gate(_)), "got {err:?}");
+        assert!(err.to_string().contains("soak gates failed"), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_usage_error() {
+        let args = Args::parse(&argv("--scenario nope")).unwrap();
+        let err = cmd_soak(&args).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "got {err:?}");
+        assert!(err.to_string().contains("unknown fault scenario"), "got {err}");
+    }
+}

@@ -35,7 +35,9 @@ pub mod crc32;
 pub mod store;
 pub mod wal;
 
-pub use container::{atomic_write, parse_v2, write_v2, ContainerError, V2_HEADER};
+pub use container::{
+    atomic_write, parse_v2, parse_v2_section, write_v2, ContainerError, V2_HEADER,
+};
 pub use crc32::crc32;
 pub use store::{CheckpointStore, StoreError, WriteCrash};
 pub use wal::{Wal, WalError, WalRecord, WalRecovery, WAL_HEADER};

@@ -1,6 +1,6 @@
 //! The broker-matching policy interface.
 
-use platform_sim::{DayFeedback, Platform, Request, ResilienceStats};
+use platform_sim::{AuditReport, DayFeedback, Platform, Request, ResilienceStats, StateFault};
 
 /// A batched broker-matching policy (the "assignment algorithms" of
 /// Sec. VII-A).
@@ -41,6 +41,21 @@ pub trait Assigner: Send {
     fn resilience_stats(&self) -> Option<ResilienceStats> {
         None
     }
+
+    /// Drain the runtime invariant-audit report, for policies that
+    /// self-audit (see [`crate::audit`]). Plain policies report `None`.
+    fn take_audit_report(&mut self) -> Option<AuditReport> {
+        None
+    }
+
+    /// Repair any audit-quarantined per-broker state in place (the
+    /// serving loops call this between batches; no-op for policies
+    /// without an auditor).
+    fn repair_quarantined_brokers(&mut self) {}
+
+    /// Apply one seeded state-corruption fault (chaos/soak harnesses).
+    /// No-op for policies without corruptible learned state.
+    fn inject_state_fault(&mut self, _fault: &StateFault) {}
 }
 
 /// Boxed policies are policies too, so dynamic callers (the CLI) can
@@ -60,6 +75,15 @@ impl Assigner for Box<dyn Assigner> {
     }
     fn resilience_stats(&self) -> Option<ResilienceStats> {
         (**self).resilience_stats()
+    }
+    fn take_audit_report(&mut self) -> Option<AuditReport> {
+        (**self).take_audit_report()
+    }
+    fn repair_quarantined_brokers(&mut self) {
+        (**self).repair_quarantined_brokers();
+    }
+    fn inject_state_fault(&mut self, fault: &StateFault) {
+        (**self).inject_state_fault(fault);
     }
 }
 

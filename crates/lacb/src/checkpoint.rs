@@ -806,18 +806,28 @@ pub fn run_chaos_until(
         let t0 = Instant::now();
         assigner.begin_day(&platform, d);
         progress.elapsed_secs += t0.elapsed().as_secs_f64();
-        for batch in day {
+        for (b, batch) in day.iter().enumerate() {
             let t = Instant::now();
             let assignment = assigner.assign_batch(&platform, &batch.requests);
             progress.elapsed_secs += t.elapsed().as_secs_f64();
             let outcome = platform.execute_batch(&batch.requests, &assignment);
             progress.requests_failed += outcome.failed.len() as u64;
             ledger.record_batch(&outcome);
+            // Mirror run_chaos batch-for-batch so a checkpointed prefix
+            // is bit-identical to the uninterrupted run.
+            if let Some(fault) = plan.state_fault(d, b, platform.num_brokers()) {
+                assigner.inject_state_fault(&fault);
+            }
+            if plan.batch_replayed(d, b) {
+                let _ = assigner.assign_batch(&platform, &batch.requests);
+            }
+            assigner.repair_quarantined_brokers();
         }
         let feedback = platform.end_day();
         let t = Instant::now();
         assigner.end_day(&platform, &feedback);
         progress.elapsed_secs += t.elapsed().as_secs_f64();
+        assigner.repair_quarantined_brokers();
         ledger.end_day(feedback.realized);
         progress.daily_utility.push(feedback.realized);
         progress.daily_elapsed.push(progress.elapsed_secs);
@@ -856,18 +866,27 @@ pub fn resume_chaos(
         let t0 = Instant::now();
         assigner.begin_day(&platform, d);
         progress.elapsed_secs += t0.elapsed().as_secs_f64();
-        for batch in day {
+        for (b, batch) in day.iter().enumerate() {
             let t = Instant::now();
             let assignment = assigner.assign_batch(&platform, &batch.requests);
             progress.elapsed_secs += t.elapsed().as_secs_f64();
             let outcome = platform.execute_batch(&batch.requests, &assignment);
             progress.requests_failed += outcome.failed.len() as u64;
             ledger.record_batch(&outcome);
+            // Mirror run_chaos batch-for-batch (see run_chaos_until).
+            if let Some(fault) = plan.state_fault(d, b, platform.num_brokers()) {
+                assigner.inject_state_fault(&fault);
+            }
+            if plan.batch_replayed(d, b) {
+                let _ = assigner.assign_batch(&platform, &batch.requests);
+            }
+            assigner.repair_quarantined_brokers();
         }
         let feedback = platform.end_day();
         let t = Instant::now();
         assigner.end_day(&platform, &feedback);
         progress.elapsed_secs += t.elapsed().as_secs_f64();
+        assigner.repair_quarantined_brokers();
         ledger.end_day(feedback.realized);
         progress.daily_utility.push(feedback.realized);
         progress.daily_elapsed.push(progress.elapsed_secs);
@@ -884,6 +903,7 @@ pub fn resume_chaos(
         resilience: Some(stats),
         overload: None,
         timings: StageTimings::default(),
+        audit: assigner.take_audit_report(),
     })
 }
 

@@ -2,13 +2,18 @@
 //! (Secs. V–VI, Alg. 2).
 
 use crate::assigner::Assigner;
+use crate::audit::{self, AuditConfig, Auditor};
 use crate::value_function::ValueFunction;
 use bandit::{CandidateCapacities, NnUcbConfig, PersonalizedEstimator, ShrinkageEstimator};
+use linalg::InverseTracker;
 use matching::cbs::candidate_union_seeded;
 use matching::greedy::greedy_assignment;
-use matching::hungarian::KmSolver;
+use matching::hungarian::{CertifyMode, KmSolver};
 use matching::{MatchMode, UtilityMatrix};
-use platform_sim::{DayFeedback, Platform, Request, STATUS_DIM};
+use platform_sim::{
+    AuditReport, DayFeedback, InvariantKind, Platform, RepairKind, Request, StateFault,
+    StateFaultKind, StateTarget, STATUS_DIM,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,6 +67,10 @@ pub struct LacbConfig {
     /// count: per-broker estimation is a pure function mapped in order,
     /// and CBS pivots derive from per-row seeds, not a shared stream.
     pub n_threads: usize,
+    /// Runtime invariant audits (per-batch certificates, day-boundary
+    /// deep audits, broker quarantine). On by default — the per-batch
+    /// cost is far below the solve itself.
+    pub audit: AuditConfig,
 }
 
 /// Personalisation mechanism for the capacity estimator.
@@ -141,6 +150,7 @@ impl Default for LacbConfig {
             max_capacity_state: 80,
             seed: 1013,
             n_threads: 1,
+            audit: AuditConfig::default(),
         }
     }
 }
@@ -186,6 +196,8 @@ pub struct Lacb {
     full_buf: UtilityMatrix,
     reduced_buf: UtilityMatrix,
     pruned_buf: UtilityMatrix,
+    /// Runtime invariant audits and per-broker quarantine (§12).
+    auditor: Auditor,
 }
 
 impl Lacb {
@@ -193,6 +205,7 @@ impl Lacb {
     pub fn new(cfg: LacbConfig) -> Self {
         let value_fn = ValueFunction::new(cfg.max_capacity_state, cfg.beta, cfg.gamma);
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let auditor = Auditor::new(cfg.audit.clone());
         Self {
             cfg,
             estimator: None,
@@ -209,6 +222,7 @@ impl Lacb {
             full_buf: UtilityMatrix::zeros(0, 0),
             reduced_buf: UtilityMatrix::zeros(0, 0),
             pruned_buf: UtilityMatrix::zeros(0, 0),
+            auditor,
         }
     }
 
@@ -265,7 +279,9 @@ impl Lacb {
     /// Returns 0.0 for every request when no broker has headroom.
     pub fn shed_priorities(&mut self, platform: &Platform, requests: &[Request]) -> Vec<f64> {
         let available: Vec<usize> = (0..platform.num_brokers())
-            .filter(|&b| platform.workload_today(b) < self.capacities[b])
+            .filter(|&b| {
+                !self.auditor.is_quarantined(b) && platform.workload_today(b) < self.capacities[b]
+            })
             .collect();
         if available.is_empty() || requests.is_empty() {
             return vec![0.0; requests.len()];
@@ -318,6 +334,9 @@ impl Lacb {
         state::push_floats(out, "lacb-days-reached", &days_reached);
         state::push_kv(out, "vf-updates", self.value_fn.updates());
         state::push_floats(out, "vf-table", self.value_fn.table());
+        // The auditor's reward scale feeds the V(cr) bound; persisting
+        // it keeps detection thresholds bit-identical across recovery.
+        state::push_floats(out, "lacb-max-reward", &[self.auditor.max_reward()]);
         match &self.estimator {
             None => state::push_kv(out, "estimator", "none"),
             Some(EstimatorImpl::Tabular(e)) => {
@@ -370,6 +389,12 @@ impl Lacb {
         let vf_updates: u64 =
             state::parse_one(state::expect_key(lines, "vf-updates")?, "value updates")?;
         let vf_table = state::parse_floats(state::expect_key(lines, "vf-table")?, "value table")?;
+        let max_reward = state::parse_floats(
+            state::expect_key(lines, "lacb-max-reward")?,
+            "audit reward scale",
+        )?;
+        state::require_len(&max_reward, 1, "audit reward scale")?;
+        state::require_finite(&max_reward, "audit reward scale")?;
         let estimator_kind = state::expect_key(lines, "estimator")?.trim().to_string();
         let estimator = match (estimator_kind.as_str(), cfg.personalization) {
             ("none", _) => None,
@@ -400,6 +425,8 @@ impl Lacb {
         };
         let mut value_fn = ValueFunction::new(cfg.max_capacity_state, cfg.beta, cfg.gamma);
         value_fn.restore(vf_table, vf_updates)?;
+        let mut auditor = Auditor::new(cfg.audit.clone());
+        auditor.set_max_reward(max_reward[0]);
         Ok(Lacb {
             cfg,
             estimator,
@@ -416,6 +443,7 @@ impl Lacb {
             full_buf: UtilityMatrix::zeros(0, 0),
             reduced_buf: UtilityMatrix::zeros(0, 0),
             pruned_buf: UtilityMatrix::zeros(0, 0),
+            auditor,
         })
     }
 
@@ -475,6 +503,332 @@ impl Lacb {
             }
         }
     }
+
+    /// The legal range of a deployed capacity: the arm span plus the
+    /// knee margin (smoothing and dither interpolate but never escape
+    /// it).
+    fn arm_bounds(&self) -> (f64, f64) {
+        let vals = self.cfg.arms.values();
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi + self.cfg.knee_margin)
+    }
+
+    /// Broker-scoped capacity-range certificate; violators are
+    /// quarantined for selective repair.
+    fn check_capacities(&mut self, day: usize, batch: usize) {
+        let tol = self.auditor.tol();
+        let (lo, hi) = self.arm_bounds();
+        for b in 0..self.capacities.len() {
+            if self.auditor.is_quarantined(b) {
+                continue;
+            }
+            let cap = self.capacities[b];
+            if audit::capacity_out_of_bounds(cap, lo, hi, tol) {
+                self.auditor.record_violation(
+                    InvariantKind::BanditState,
+                    day,
+                    batch,
+                    Some(b),
+                    format!("capacity {cap:e} outside [{lo}, {hi}]"),
+                );
+                self.auditor.quarantine(b);
+            }
+        }
+    }
+
+    /// Unscoped `V(cr)` horizon-bound certificate; a violation resets
+    /// the table to the cold-start prior (it relearns from feedback)
+    /// and escalates the next batch to the greedy floor.
+    fn check_value_table(&mut self, day: usize, batch: usize) {
+        let tol = self.auditor.tol();
+        let bound = audit::value_bound(self.auditor.max_reward(), self.cfg.gamma);
+        if let Some((i, v)) = audit::table_violation(self.value_fn.table(), bound, tol) {
+            self.auditor.record_violation(
+                InvariantKind::ValueBound,
+                day,
+                batch,
+                None,
+                format!("V({i}) = {v:e} escapes horizon bound {bound:e}"),
+            );
+            self.value_fn.reset();
+            self.auditor.record_repair(day, batch, None, RepairKind::ValueReset);
+            self.auditor.escalate(day, batch);
+        }
+    }
+
+    /// LP-duality certificate of the most recent KM solve. A failed
+    /// certificate discards the warm-start duals *before* they can
+    /// steer the next solve, then escalates to the greedy floor.
+    fn check_dual_certificate(&mut self, day: usize, batch: usize, mode: CertifyMode) {
+        let tol = self.auditor.tol();
+        let verdict = self.auditor.solved_matrix().and_then(|m| self.solver.certify(m, mode));
+        if let Some(cert) = verdict {
+            if !cert.holds(tol) {
+                self.auditor.record_violation(
+                    InvariantKind::DualCertificate,
+                    day,
+                    batch,
+                    None,
+                    format!(
+                        "feasibility gap {:e}, slackness gap {:e} over {} cells",
+                        cert.feasibility_gap, cert.slackness_gap, cert.cells_checked
+                    ),
+                );
+                self.solver.reset();
+                self.auditor.forget_solve();
+                self.auditor.record_repair(day, batch, None, RepairKind::SolverReset);
+                self.auditor.escalate(day, batch);
+            }
+        }
+    }
+
+    /// The cheap per-batch certificates, run *before* the solve so
+    /// corrupted shared state (warm duals, value table) is repaired
+    /// before it can poison this batch's assignment. The sampled
+    /// certificate row is the batch counter — deterministic, so a
+    /// crash-recovery replay audits identically.
+    fn pre_solve_audit(&mut self, batch: usize) {
+        let day = self.days_elapsed as usize;
+        self.auditor.bump_checks();
+        self.check_capacities(day, batch);
+        self.check_value_table(day, batch);
+        self.check_dual_certificate(day, batch, CertifyMode::Sampled { row: batch });
+    }
+
+    /// Post-solve certificates over the assignment just produced:
+    /// matching validity (unscoped — the solver is reset) and residual
+    /// capacity conservation (broker-scoped — quarantine).
+    fn post_solve_audit(
+        &mut self,
+        platform: &Platform,
+        assignment: &[Option<usize>],
+        batch: usize,
+    ) {
+        let day = self.days_elapsed as usize;
+        let n = platform.num_brokers();
+        let mut used = vec![false; n];
+        let mut valid = true;
+        for &b in assignment.iter().flatten() {
+            if b >= n || used[b] {
+                valid = false;
+                break;
+            }
+            used[b] = true;
+        }
+        if !valid {
+            self.auditor.record_violation(
+                InvariantKind::Matching,
+                day,
+                batch,
+                None,
+                "assignment is not a matching (duplicate or out-of-range broker)".to_string(),
+            );
+            self.solver.reset();
+            self.auditor.forget_solve();
+            self.auditor.record_repair(day, batch, None, RepairKind::SolverReset);
+            self.auditor.escalate(day, batch);
+        }
+        for &b in assignment.iter().flatten() {
+            // `partial_cmp != Less` rather than `>=`: a NaN capacity must
+            // trip the check, not sail through a false comparison.
+            if b < n
+                && !self.auditor.is_quarantined(b)
+                && platform.workload_today(b).partial_cmp(&self.capacities[b])
+                    != Some(std::cmp::Ordering::Less)
+            {
+                self.auditor.record_violation(
+                    InvariantKind::Conservation,
+                    day,
+                    batch,
+                    Some(b),
+                    format!(
+                        "broker {b} assigned at workload {} with capacity {}",
+                        platform.workload_today(b),
+                        self.capacities[b]
+                    ),
+                );
+                self.auditor.quarantine(b);
+            }
+        }
+    }
+
+    /// Day-boundary deep audit: everything the per-batch pass checks,
+    /// plus per-broker arm statistics, covariance positivity, and the
+    /// full-matrix dual certificate.
+    fn deep_audit(&mut self) {
+        let day = (self.days_elapsed as usize).saturating_sub(1);
+        let batch = self.batch_in_day as usize;
+        self.auditor.bump_deep();
+        self.check_capacities(day, batch);
+        self.check_value_table(day, batch);
+        let mut arm_bad: Vec<(usize, String)> = Vec::new();
+        let mut cov_bad: Option<String> = None;
+        if let Some(EstimatorImpl::Tabular(e)) = &self.estimator {
+            for b in 0..self.capacities.len() {
+                if self.auditor.is_quarantined(b) {
+                    continue;
+                }
+                let (sums, counts) = e.arm_stats(b);
+                if let Some(detail) = audit::arm_stats_violation(sums, counts) {
+                    arm_bad.push((b, detail));
+                }
+            }
+            cov_bad = audit::covariance_violation(e.base().covariance());
+        }
+        for (b, detail) in arm_bad {
+            self.auditor.record_violation(InvariantKind::BanditState, day, batch, Some(b), detail);
+            self.auditor.quarantine(b);
+        }
+        if let Some(detail) = cov_bad {
+            self.auditor.record_violation(InvariantKind::BanditState, day, batch, None, detail);
+            if let Some(EstimatorImpl::Tabular(e)) = &mut self.estimator {
+                e.base_mut().reset_covariance();
+            }
+            self.auditor.record_repair(day, batch, None, RepairKind::CovarianceReset);
+            self.auditor.escalate(day, batch);
+        }
+        self.check_dual_certificate(day, batch, CertifyMode::Full);
+    }
+
+    /// Whether any broker is currently quarantined (repair pending).
+    pub fn has_quarantined_brokers(&self) -> bool {
+        self.auditor.has_quarantined()
+    }
+
+    /// Brokers currently quarantined, ascending.
+    pub fn quarantined_brokers(&self) -> Vec<usize> {
+        self.auditor.quarantined_brokers()
+    }
+
+    /// The runtime auditor (report and quarantine inspection).
+    pub fn auditor(&self) -> &Auditor {
+        &self.auditor
+    }
+
+    /// Apply one seeded state-corruption fault from the chaos plan.
+    /// Targets reduce their lane modulo the live extent, so the same
+    /// plan is meaningful for any problem size; faults against absent
+    /// state (layer-transfer arm stats, a never-solved KM) are no-ops.
+    pub fn apply_state_fault(&mut self, fault: &StateFault) {
+        fn corrupt(x: &mut f64, kind: StateFaultKind) {
+            match kind {
+                StateFaultKind::BitFlip { bit } => *x = f64::from_bits(x.to_bits() ^ (1u64 << bit)),
+                StateFaultKind::NanWrite => *x = f64::NAN,
+                StateFaultKind::OverflowWrite => *x = 1e308,
+            }
+        }
+        let n = self.capacities.len();
+        if n == 0 {
+            return;
+        }
+        match fault.target {
+            StateTarget::Capacity => corrupt(&mut self.capacities[fault.broker % n], fault.kind),
+            StateTarget::ArmStats => {
+                if let Some(EstimatorImpl::Tabular(e)) = self.estimator.as_mut() {
+                    let (sums, _) = e.arm_stats_mut(fault.broker % n);
+                    if !sums.is_empty() {
+                        let i = (fault.lane as usize) % sums.len();
+                        corrupt(&mut sums[i], fault.kind);
+                    }
+                }
+            }
+            StateTarget::ValueTable => {
+                let table = self.value_fn.table_mut();
+                if !table.is_empty() {
+                    let i = (fault.lane as usize) % table.len();
+                    corrupt(&mut table[i], fault.kind);
+                }
+            }
+            StateTarget::Covariance => {
+                if let Some(EstimatorImpl::Tabular(e)) = self.estimator.as_mut() {
+                    match e.base_mut().covariance_mut() {
+                        InverseTracker::Diagonal { diag } => {
+                            if !diag.is_empty() {
+                                let i = (fault.lane as usize) % diag.len();
+                                corrupt(&mut diag[i], fault.kind);
+                            }
+                        }
+                        InverseTracker::Full { inv } => {
+                            let data = inv.data_mut();
+                            if !data.is_empty() {
+                                let i = (fault.lane as usize) % data.len();
+                                corrupt(&mut data[i], fault.kind);
+                            }
+                        }
+                    }
+                }
+            }
+            StateTarget::Duals => {
+                let pot = self.solver.column_potentials_raw_mut();
+                // Index 0 is the virtual-column sentinel; leave it.
+                if pot.len() > 1 {
+                    let i = 1 + (fault.lane as usize) % (pot.len() - 1);
+                    corrupt(&mut pot[i], fault.kind);
+                }
+            }
+        }
+    }
+
+    /// Selectively restore every quarantined broker's learned state
+    /// from `donor` (a matcher parsed out of the newest good checkpoint
+    /// section) and release the quarantine. Brokers the donor cannot
+    /// cover fall back to re-initialization.
+    pub fn repair_from_donor(&mut self, donor: &Lacb, generation: usize) {
+        let day = self.days_elapsed as usize;
+        let batch = self.batch_in_day as usize;
+        for b in self.auditor.quarantined_brokers() {
+            let stats_ok = match (self.estimator.as_mut(), donor.estimator.as_ref()) {
+                (Some(EstimatorImpl::Tabular(e)), Some(EstimatorImpl::Tabular(d))) => {
+                    e.copy_broker_stats(d, b).is_ok()
+                }
+                // Layer transfer has no per-broker copy; reinitialize.
+                (Some(EstimatorImpl::Layer(_)), _) => false,
+                _ => false,
+            };
+            if stats_ok && b < donor.capacities.len() && donor.capacities[b].is_finite() {
+                self.capacities[b] = donor.capacities[b];
+                self.days_reached[b] = donor.days_reached[b];
+                self.reached_today[b] = false;
+                self.auditor.record_repair(
+                    day,
+                    batch,
+                    Some(b),
+                    RepairKind::CheckpointRestore { generation },
+                );
+                self.auditor.release(b);
+            } else {
+                self.reinit_broker(b, day, batch);
+            }
+        }
+    }
+
+    /// Re-initialize every quarantined broker to priors (the repair of
+    /// last resort when no good checkpoint section exists) and release
+    /// the quarantine.
+    pub fn repair_quarantined(&mut self) {
+        let day = self.days_elapsed as usize;
+        let batch = self.batch_in_day as usize;
+        for b in self.auditor.quarantined_brokers() {
+            self.reinit_broker(b, day, batch);
+        }
+    }
+
+    /// Reset one broker's learned state to priors: fresh arm
+    /// statistics, capacity snapped onto the nearest legal arm.
+    fn reinit_broker(&mut self, b: usize, day: usize, batch: usize) {
+        if let Some(EstimatorImpl::Tabular(e)) = self.estimator.as_mut() {
+            e.reset_broker_stats(b);
+        }
+        let arms = self.cfg.arms.values();
+        let (lo, hi) = self.arm_bounds();
+        let cap = self.capacities[b];
+        self.capacities[b] =
+            if cap.is_finite() { arms[self.cfg.arms.nearest(cap.clamp(lo, hi))] } else { arms[0] };
+        self.reached_today[b] = false;
+        self.auditor.record_repair(day, batch, Some(b), RepairKind::Reinitialize);
+        self.auditor.release(b);
+    }
 }
 
 impl Assigner for Lacb {
@@ -492,6 +846,12 @@ impl Assigner for Lacb {
         // them at the day boundary so a checkpoint-restored run (which
         // starts with a cold solver) replays bit-identically.
         self.solver.reset();
+        self.auditor.forget_solve();
+        // An escalation raised by yesterday's deep audit must not leak
+        // into today: the boundary re-derives every piece of shared
+        // solver state, and a checkpoint-restored run (fresh auditor)
+        // would otherwise replay this day differently than a live one.
+        self.auditor.clear_escalation();
         self.batch_in_day = 0;
         self.match_mode = MatchMode::Full;
         let n = platform.num_brokers();
@@ -549,9 +909,22 @@ impl Assigner for Lacb {
     }
 
     fn assign_batch(&mut self, platform: &Platform, requests: &[Request]) -> Vec<Option<usize>> {
-        // Alg. 2 line 4: available brokers B+ = {b | w_b < c_b}.
+        let audit_on = self.auditor.enabled();
+        let audit_batch = self.batch_in_day as usize;
+        if audit_on {
+            self.auditor.ensure_brokers(platform.num_brokers());
+            self.pre_solve_audit(audit_batch);
+        }
+        // A shared-state repair this batch (or earlier) downgrades one
+        // batch to the greedy floor, which consumes no learned solver
+        // state.
+        let greedy_override = audit_on && self.auditor.take_pending_greedy();
+        // Alg. 2 line 4: available brokers B+ = {b | w_b < c_b}, minus
+        // any broker quarantined by the auditor (repair pending).
         let available: Vec<usize> = (0..platform.num_brokers())
-            .filter(|&b| platform.workload_today(b) < self.capacities[b])
+            .filter(|&b| {
+                !self.auditor.is_quarantined(b) && platform.workload_today(b) < self.capacities[b]
+            })
             .collect();
         if available.is_empty() || requests.is_empty() {
             return vec![None; requests.len()];
@@ -576,7 +949,8 @@ impl Assigner for Lacb {
         // otherwise, and rectangular solves are always cold).
         let batch_seed = splitmix(self.cfg.seed ^ (self.days_elapsed << 20) ^ self.batch_in_day);
         self.batch_in_day += 1;
-        let (result, col_map): (_, Option<Vec<usize>>) = match self.match_mode {
+        let effective_mode = if greedy_override { MatchMode::Greedy } else { self.match_mode };
+        let (result, col_map): (_, Option<Vec<usize>>) = match effective_mode {
             // Brownout floor: deterministic greedy edge-picking on the
             // refined matrix, no KM solve at all.
             MatchMode::Greedy => {
@@ -596,12 +970,24 @@ impl Assigner for Lacb {
                         std::mem::replace(&mut self.pruned_buf, UtilityMatrix::zeros(0, 0));
                     pruned.select_columns_from(&reduced, &cols);
                     let result = self.solver.solve(&pruned);
+                    if audit_on {
+                        // Retain the solved matrix — the next audit pass
+                        // certifies this solve's duals against it (the
+                        // live buffers are clobbered between batches).
+                        self.auditor.note_solve(&pruned);
+                    }
                     self.pruned_buf = pruned;
                     (result, Some(cols))
-                } else if reduced.rows() <= reduced.cols() {
-                    (self.solver.solve_padded(&reduced), None)
                 } else {
-                    (self.solver.solve(&reduced), None)
+                    let result = if reduced.rows() <= reduced.cols() {
+                        self.solver.solve_padded(&reduced)
+                    } else {
+                        self.solver.solve(&reduced)
+                    };
+                    if audit_on {
+                        self.auditor.note_solve(&reduced);
+                    }
+                    (result, None)
                 };
                 self.last_ops = self.solver.last_ops();
                 out
@@ -622,6 +1008,12 @@ impl Assigner for Lacb {
             assignment[r] = Some(b);
             let u = full.get(r, b);
             let cr = self.capacities[b] - platform.workload_today(b);
+            if audit_on {
+                // Fold the reward into the audit's dynamic V(cr) bound
+                // *before* the TD update consumes it, so a legitimately
+                // large utility never reads as a bound escape.
+                self.auditor.observe_reward(u);
+            }
             self.value_fn.td_update(cr, u, cr - 1.0);
             if platform.workload_today(b) + 1.0 >= self.capacities[b] {
                 self.reached_today[b] = true;
@@ -629,6 +1021,9 @@ impl Assigner for Lacb {
         }
         self.full_buf = full;
         self.reduced_buf = reduced;
+        if audit_on {
+            self.post_solve_audit(platform, &assignment, audit_batch);
+        }
         assignment
     }
 
@@ -646,6 +1041,28 @@ impl Assigner for Lacb {
                 estimator.update(t.broker, &t.context, t.workload, t.signup_rate);
             }
         }
+        // Deep audit after the feedback lands: damage it surfaces is
+        // quarantined before the next begin_day re-estimates from it.
+        if self.auditor.enabled() && self.auditor.deep_enabled() {
+            self.auditor.ensure_brokers(self.capacities.len());
+            self.deep_audit();
+        }
+    }
+
+    fn take_audit_report(&mut self) -> Option<AuditReport> {
+        if self.auditor.enabled() {
+            Some(self.auditor.take_report())
+        } else {
+            None
+        }
+    }
+
+    fn repair_quarantined_brokers(&mut self) {
+        self.repair_quarantined();
+    }
+
+    fn inject_state_fault(&mut self, fault: &StateFault) {
+        self.apply_state_fault(fault);
     }
 }
 

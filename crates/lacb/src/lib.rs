@@ -21,6 +21,7 @@
 //! | [`OracleCapacity`] | — (upper reference) | ground-truth effective capacity | per-batch KM |
 
 pub mod assigner;
+pub mod audit;
 pub mod baselines;
 pub mod checkpoint;
 pub mod lacb;
@@ -31,6 +32,7 @@ pub mod supervisor;
 pub mod value_function;
 
 pub use assigner::Assigner;
+pub use audit::{AuditConfig, Auditor};
 pub use baselines::an::AssignmentNeuralUcb;
 pub use baselines::ctop_k::CTopK;
 pub use baselines::greedy::GreedyMatch;

@@ -463,7 +463,7 @@ pub fn run_overload(
         let begin_secs = t0.elapsed().as_secs_f64();
         elapsed += begin_secs;
         timings.begin_day_secs.push(begin_secs);
-        for batch in day {
+        for (batch_idx, batch) in day.iter().enumerate() {
             let t = Instant::now();
             let admitted = ov.admit(assigner.primary_mut(), &platform, &batch.requests);
             ov.plan_quality(assigner.primary_mut());
@@ -480,6 +480,17 @@ pub fn run_overload(
             let batch_secs = t.elapsed().as_secs_f64();
             elapsed += batch_secs;
             timings.assign_batch_secs.push(batch_secs);
+            // State corruption and duplicated delivery land after
+            // execution; the matcher's audits repair between batches.
+            if let Some(fault) = plan.state_fault(d, batch_idx, platform.num_brokers()) {
+                assigner.inject_state_fault(&fault);
+            }
+            if plan.batch_replayed(d, batch_idx) && !admitted.is_empty() {
+                // Duplicate delivery of the admitted set; output
+                // discarded — the original execution already happened.
+                let _ = assigner.assign_batch(&platform, &admitted);
+            }
+            assigner.repair_quarantined_brokers();
         }
         let feedback = platform.end_day();
         let t = Instant::now();
@@ -490,6 +501,7 @@ pub fn run_overload(
         let end_secs = t.elapsed().as_secs_f64();
         elapsed += end_secs;
         timings.end_day_secs.push(end_secs);
+        assigner.repair_quarantined_brokers();
         ledger.end_day(feedback.realized);
         daily_utility.push(feedback.realized);
         daily_elapsed.push(elapsed);
@@ -510,6 +522,7 @@ pub fn run_overload(
             resilience: Some(stats),
             overload: Some(ov.stats().clone()),
             timings,
+            audit: assigner.take_audit_report(),
         },
         final_state,
     }

@@ -33,8 +33,8 @@ use matching::greedy::greedy_assignment;
 use matching::hungarian::sanitize_utilities;
 use matching::UtilityMatrix;
 use platform_sim::{
-    BrokerLedger, Dataset, DayFeedback, FaultPlan, Platform, Request, ResilienceStats, RunMetrics,
-    StageTimings,
+    AuditReport, BrokerLedger, Dataset, DayFeedback, FaultPlan, Platform, Request, ResilienceStats,
+    RunMetrics, StageTimings, StateFault,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -342,6 +342,18 @@ impl<A: Assigner> Assigner for ResilientAssigner<A> {
     fn resilience_stats(&self) -> Option<ResilienceStats> {
         Some(self.stats.clone())
     }
+
+    fn take_audit_report(&mut self) -> Option<AuditReport> {
+        self.primary.take_audit_report()
+    }
+
+    fn repair_quarantined_brokers(&mut self) {
+        self.primary.repair_quarantined_brokers();
+    }
+
+    fn inject_state_fault(&mut self, fault: &StateFault) {
+        self.primary.inject_state_fault(fault);
+    }
 }
 
 /// Run one algorithm over one dataset under a seeded fault schedule:
@@ -377,7 +389,7 @@ pub fn run_chaos(
         let dt = t0.elapsed().as_secs_f64();
         elapsed += dt;
         timings.begin_day_secs.push(dt);
-        for batch in day {
+        for (b, batch) in day.iter().enumerate() {
             let t = Instant::now();
             let assignment = assigner.assign_batch(&platform, &batch.requests);
             let dt = t.elapsed().as_secs_f64();
@@ -386,6 +398,19 @@ pub fn run_chaos(
             let outcome = platform.execute_batch(&batch.requests, &assignment);
             requests_failed += outcome.failed.len() as u64;
             ledger.record_batch(&outcome);
+            // Seeded state corruption and duplicated batch delivery land
+            // after execution — the assigner's own audits must catch and
+            // repair them before the next batch is matched.
+            if let Some(fault) = plan.state_fault(d, b, platform.num_brokers()) {
+                assigner.inject_state_fault(&fault);
+            }
+            if plan.batch_replayed(d, b) {
+                // The replayed batch re-enters the matcher (mutating its
+                // learned state twice); its output is discarded because
+                // the platform already executed the original delivery.
+                let _ = assigner.assign_batch(&platform, &batch.requests);
+            }
+            assigner.repair_quarantined_brokers();
         }
         let feedback = platform.end_day();
         let t = Instant::now();
@@ -393,6 +418,8 @@ pub fn run_chaos(
         let dt = t.elapsed().as_secs_f64();
         elapsed += dt;
         timings.end_day_secs.push(dt);
+        // Deep-audit quarantines must not cross the day boundary.
+        assigner.repair_quarantined_brokers();
         ledger.end_day(feedback.realized);
         daily_utility.push(feedback.realized);
         daily_elapsed.push(elapsed);
@@ -410,6 +437,7 @@ pub fn run_chaos(
         resilience: Some(stats),
         overload: None,
         timings,
+        audit: assigner.take_audit_report(),
     }
 }
 

@@ -55,6 +55,10 @@ pub fn run(dataset: &Dataset, assigner: &mut dyn Assigner, cfg: &RunConfig) -> R
         elapsed += dt;
         timings.end_day_secs.push(dt);
 
+        // Self-auditing policies may have quarantined broker state; on
+        // the fault-free path there is no checkpoint store, so repair is
+        // re-initialization. A healthy run makes this a no-op.
+        assigner.repair_quarantined_brokers();
         ledger.end_day(feedback.realized);
         daily_utility.push(feedback.realized);
         daily_elapsed.push(elapsed);
@@ -70,6 +74,7 @@ pub fn run(dataset: &Dataset, assigner: &mut dyn Assigner, cfg: &RunConfig) -> R
         resilience: None,
         overload: None,
         timings,
+        audit: assigner.take_audit_report(),
     }
 }
 

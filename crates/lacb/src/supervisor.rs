@@ -33,7 +33,10 @@ use crate::checkpoint::{Checkpoint, CheckpointError, RunProgress};
 use crate::lacb::{Lacb, LacbConfig};
 use crate::overload::{OverloadConfig, OverloadState};
 use crate::resilient::{ResilienceConfig, ResilientAssigner};
-use durability::{CheckpointStore, StoreError, Wal, WalError, WalRecord, WalRecovery, WriteCrash};
+use durability::{
+    parse_v2_section, CheckpointStore, StoreError, Wal, WalError, WalRecord, WalRecovery,
+    WriteCrash,
+};
 use platform_sim::{
     BrokerLedger, CrashPoint, Dataset, FaultPlan, Platform, ResilienceStats, RunMetrics,
     StageTimings,
@@ -168,6 +171,59 @@ fn restore_last_good(
     (None, skipped)
 }
 
+/// Load the newest checkpoint generation (at most `max_generation`)
+/// whose matcher section verifies, parsed into a standalone [`Lacb`]
+/// donor for per-broker quarantine repair.
+///
+/// Verification is section-granular ([`parse_v2_section`]): a
+/// checkpoint torn in an unrelated section still donates its matcher
+/// state. The `max_generation` cap (the current day) makes donor
+/// selection identical in the live run and in crash-recovery replay —
+/// a torn next-generation file left by a mid-checkpoint crash can
+/// never be chosen during replay when the live run could not see it.
+fn load_repair_donor(
+    store: &CheckpointStore,
+    cfg: &LacbConfig,
+    num_brokers: usize,
+    max_generation: usize,
+) -> Option<(usize, Lacb)> {
+    for (day, path) in store.generations() {
+        if day > max_generation {
+            continue;
+        }
+        let donor = store
+            .read(&path)
+            .ok()
+            .and_then(|text| parse_v2_section(&text, "matcher").ok())
+            .and_then(|section| {
+                Lacb::read_state(&mut section.lines(), cfg.clone(), num_brokers).ok()
+            });
+        if let Some(donor) = donor {
+            return Some((day, donor));
+        }
+    }
+    None
+}
+
+/// Repair any audit-quarantined brokers: selective per-broker restore
+/// from the newest good checkpoint generation when one exists, falling
+/// back to re-initialization. No-op on a healthy matcher.
+fn repair_via_store(
+    assigner: &mut ResilientAssigner<Lacb>,
+    store: &CheckpointStore,
+    cfg: &LacbConfig,
+    num_brokers: usize,
+    current_day: usize,
+) {
+    if !assigner.primary().has_quarantined_brokers() {
+        return;
+    }
+    match load_repair_donor(store, cfg, num_brokers, current_day) {
+        Some((generation, donor)) => assigner.primary_mut().repair_from_donor(&donor, generation),
+        None => assigner.repair_quarantined_brokers(),
+    }
+}
+
 /// Run (or recover and finish) a durable resilient LACB run over the
 /// whole horizon. Idempotent: killed at any point — including the
 /// crash points [`DurableConfig::crash`] can inject — calling it again
@@ -187,6 +243,7 @@ pub fn run_durable(
     let (mut wal, records, wal_recovery) = Wal::recover(&dcfg.wal_path())?;
 
     let (restored, generations_skipped) = restore_last_good(&store, &cfg, &mut platform);
+    let donor_cfg = cfg.clone();
     let (recovered_from, matcher, mut ledger, mut progress, pending, stats) = match restored {
         Some((day, r)) => (Some(day), r.matcher, r.ledger, r.progress, r.pending_feedback, r.stats),
         None => (
@@ -264,6 +321,18 @@ pub fn run_durable(
             if !replaying && dcfg.crash == Some(CrashPoint::AfterBatch { day: d, batch: b }) {
                 panic!("injected crash: after batch {b} of day {d}");
             }
+            // State corruption and duplicated delivery land after the
+            // batch is logged and executed (same placement as
+            // `run_chaos`, and after the crash point so recovery replay
+            // applies each fault exactly once). Repair immediately:
+            // per-broker restore from the newest good generation.
+            if let Some(fault) = plan.state_fault(d, b, platform.num_brokers()) {
+                assigner.inject_state_fault(&fault);
+            }
+            if plan.batch_replayed(d, b) {
+                let _ = assigner.assign_batch(&platform, &batch.requests);
+            }
+            repair_via_store(&mut assigner, &store, &donor_cfg, platform.num_brokers(), d);
         }
         let feedback = platform.end_day();
         let rec = WalRecord::DayEnd {
@@ -288,6 +357,9 @@ pub fn run_durable(
         let t = Instant::now();
         assigner.end_day(&platform, &feedback);
         progress.elapsed_secs += t.elapsed().as_secs_f64();
+        // Deep-audit quarantines must be repaired before the day's
+        // checkpoint is captured, so checkpoints stay quarantine-free.
+        repair_via_store(&mut assigner, &store, &donor_cfg, platform.num_brokers(), d);
         ledger.end_day(feedback.realized);
         progress.daily_utility.push(feedback.realized);
         progress.daily_elapsed.push(progress.elapsed_secs);
@@ -332,6 +404,7 @@ pub fn run_durable(
             resilience: Some(stats),
             overload: None,
             timings: StageTimings::default(),
+            audit: assigner.take_audit_report(),
         },
         final_state,
         recovered_from,
@@ -396,6 +469,7 @@ pub fn run_overload_durable(
     let (mut wal, records, wal_recovery) = Wal::recover(&dcfg.wal_path())?;
 
     let (restored, generations_skipped) = restore_last_good(&store, &cfg, &mut platform);
+    let donor_cfg = cfg.clone();
     let (recovered_from, matcher, mut ledger, mut progress, pending, stats, mut ov) = match restored
     {
         Some((day, r)) => {
@@ -472,52 +546,61 @@ pub fn run_overload_durable(
             }
             ov.plan_quality(assigner.primary_mut());
             progress.elapsed_secs += t.elapsed().as_secs_f64();
-            if admitted.is_empty() {
-                continue;
-            }
-            let t = Instant::now();
-            let before = assigner.stats().primary_panics
-                + assigner.stats().primary_timeouts
-                + assigner.stats().invalid_primary_outputs;
-            let assignment = assigner.assign_batch(&platform, &admitted);
-            let after = assigner.stats().primary_panics
-                + assigner.stats().primary_timeouts
-                + assigner.stats().invalid_primary_outputs;
-            ov.observe_solve(assigner.primary(), after > before);
-            progress.elapsed_secs += t.elapsed().as_secs_f64();
-            let rec = WalRecord::Batch {
-                day: d,
-                batch: b,
-                draws: platform.appeal_draws(),
-                assignment: assignment.clone(),
-            };
-            let replaying = matches!(
-                tail.front(),
-                Some(WalRecord::Batch { day, batch, .. }) if *day == d && *batch == b
-            );
-            if replaying {
-                let logged = tail.pop_front().expect("front just matched");
-                if logged != rec {
-                    return Err(RecoveryError::Divergence {
-                        day: d,
-                        batch: Some(b),
-                        detail: format!("logged {logged:?} recomputed {rec:?}"),
-                    });
+            if !admitted.is_empty() {
+                let t = Instant::now();
+                let before = assigner.stats().primary_panics
+                    + assigner.stats().primary_timeouts
+                    + assigner.stats().invalid_primary_outputs;
+                let assignment = assigner.assign_batch(&platform, &admitted);
+                let after = assigner.stats().primary_panics
+                    + assigner.stats().primary_timeouts
+                    + assigner.stats().invalid_primary_outputs;
+                ov.observe_solve(assigner.primary(), after > before);
+                progress.elapsed_secs += t.elapsed().as_secs_f64();
+                let rec = WalRecord::Batch {
+                    day: d,
+                    batch: b,
+                    draws: platform.appeal_draws(),
+                    assignment: assignment.clone(),
+                };
+                let replaying = matches!(
+                    tail.front(),
+                    Some(WalRecord::Batch { day, batch, .. }) if *day == d && *batch == b
+                );
+                if replaying {
+                    let logged = tail.pop_front().expect("front just matched");
+                    if logged != rec {
+                        return Err(RecoveryError::Divergence {
+                            day: d,
+                            batch: Some(b),
+                            detail: format!("logged {logged:?} recomputed {rec:?}"),
+                        });
+                    }
+                    replayed_batches += 1;
+                } else {
+                    if dcfg.crash == Some(CrashPoint::DuringWalAppend { day: d, batch: b }) {
+                        wal.append_torn(&rec);
+                    }
+                    append_tracked(&mut wal, &mut ov, &rec)?;
                 }
-                replayed_batches += 1;
-            } else {
-                if dcfg.crash == Some(CrashPoint::DuringWalAppend { day: d, batch: b }) {
-                    wal.append_torn(&rec);
+                let outcome = platform.execute_batch(&admitted, &assignment);
+                progress.requests_failed += outcome.failed.len() as u64;
+                ov.record_served(&outcome);
+                ledger.record_batch(&outcome);
+                if !replaying && dcfg.crash == Some(CrashPoint::AfterBatch { day: d, batch: b }) {
+                    panic!("injected crash: after batch {b} of day {d}");
                 }
-                append_tracked(&mut wal, &mut ov, &rec)?;
             }
-            let outcome = platform.execute_batch(&admitted, &assignment);
-            progress.requests_failed += outcome.failed.len() as u64;
-            ov.record_served(&outcome);
-            ledger.record_batch(&outcome);
-            if !replaying && dcfg.crash == Some(CrashPoint::AfterBatch { day: d, batch: b }) {
-                panic!("injected crash: after batch {b} of day {d}");
+            // Same per-batch fault and repair placement as
+            // `run_overload` — state corruption lands even on ticks
+            // where admission drained nothing.
+            if let Some(fault) = plan.state_fault(d, b, platform.num_brokers()) {
+                assigner.inject_state_fault(&fault);
             }
+            if plan.batch_replayed(d, b) && !admitted.is_empty() {
+                let _ = assigner.assign_batch(&platform, &admitted);
+            }
+            repair_via_store(&mut assigner, &store, &donor_cfg, platform.num_brokers(), d);
         }
         let feedback = platform.end_day();
         let rec = WalRecord::DayEnd {
@@ -546,6 +629,8 @@ pub fn run_overload_durable(
         ov.observe_feedback(fb_after > fb_before);
         ov.end_day();
         progress.elapsed_secs += t.elapsed().as_secs_f64();
+        // Repair deep-audit quarantines before the checkpoint capture.
+        repair_via_store(&mut assigner, &store, &donor_cfg, platform.num_brokers(), d);
         ledger.end_day(feedback.realized);
         progress.daily_utility.push(feedback.realized);
         progress.daily_elapsed.push(progress.elapsed_secs);
@@ -592,6 +677,7 @@ pub fn run_overload_durable(
             resilience: Some(stats),
             overload: Some(ov.stats().clone()),
             timings: StageTimings::default(),
+            audit: assigner.take_audit_report(),
         },
         final_state,
         recovered_from,

@@ -87,6 +87,22 @@ impl ValueFunction {
         &self.v
     }
 
+    /// Mutable raw table — exists solely for the seeded
+    /// state-corruption injectors of the audit harness; production code
+    /// mutates only through [`Self::td_update`] / [`Self::restore`].
+    pub fn table_mut(&mut self) -> &mut [f64] {
+        &mut self.v
+    }
+
+    /// Zero the table and counter — the repair action when no good
+    /// checkpoint section is available. `V ≡ 0` is the cold-start
+    /// prior: refinement falls back to plain utility matching and the
+    /// table relearns from subsequent feedback.
+    pub fn reset(&mut self) {
+        self.v.iter_mut().for_each(|x| *x = 0.0);
+        self.updates = 0;
+    }
+
     /// Overwrite the learned table and update counter (checkpoint
     /// restore). Rejects tables with a different state count or any
     /// non-finite entry.

@@ -94,6 +94,8 @@ proptest! {
             corruption_density: 0.1,
             batch_spike: spike,
             spike_span: 3,
+            state_corruption: 0.0,
+            batch_replay: 0.0,
         };
         let plan = FaultPlan::new(cfg);
         let ds = world(data_seed, 2);
@@ -150,6 +152,8 @@ proptest! {
             corruption_density: 0.1,
             batch_spike: spike,
             spike_span: 3,
+            state_corruption: 0.0,
+            batch_replay: 0.0,
         };
         let plan = FaultPlan::new(cfg);
         let ds = world(data_seed, 2);

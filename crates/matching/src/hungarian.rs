@@ -21,6 +21,82 @@
 
 use crate::graph::{AssignmentResult, UtilityMatrix};
 
+/// Shape of the most recent [`KmSolver`] solve, retained so
+/// [`KmSolver::certify`] can re-derive the cost matrix the stored dual
+/// potentials refer to (including dummy padding rows and the transposed
+/// orientation of tall rectangular solves).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolveShape {
+    /// Rows of the solved instance, including dummy padding rows.
+    pub n_rows: usize,
+    /// Columns of the solved instance (solver orientation).
+    pub cols: usize,
+    /// Real (non-dummy) rows of the caller's matrix, in solver
+    /// orientation.
+    pub n_real: usize,
+    /// Whether the caller's matrix was transposed before solving.
+    pub transposed: bool,
+}
+
+/// How much of the cost matrix [`KmSolver::certify`] scans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertifyMode {
+    /// Complementary slackness on every matched pair plus the dual
+    /// feasibility of one full row — `O(n + m)`. The row is taken
+    /// modulo the solve's row count, so callers can simply rotate a
+    /// counter.
+    Sampled {
+        /// Which row's feasibility to spot-check (wrapped into range).
+        row: usize,
+    },
+    /// Every `(i, j)` cell — `O(n·m)`; intended for periodic deep
+    /// audits, not the per-batch hot path.
+    Full,
+}
+
+/// LP-duality certificate for the most recent [`KmSolver`] solve.
+///
+/// The shortest-augmenting-path KM maintains potentials with
+/// `pot_u[i] + pot_v[j] ≤ cost(i,j)` for all pairs (dual feasibility)
+/// and equality on matched pairs (complementary slackness); together
+/// these prove the matching optimal. Both gaps are reported as
+/// max-violations: a healthy solve keeps them at (floating-point) zero,
+/// while corrupted duals, a tampered matrix, or an invalid matching
+/// drive them positive or non-finite.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KmCertificate {
+    /// `max(0, pot_u[i] + pot_v[j] − cost(i,j))` over checked cells;
+    /// NaN if any checked quantity is NaN.
+    pub feasibility_gap: f64,
+    /// `max |pot_u[i] + pot_v[j] − cost(i,j)|` over matched pairs; NaN
+    /// if any checked quantity is NaN.
+    pub slackness_gap: f64,
+    /// Number of cells inspected.
+    pub cells_checked: usize,
+    /// Whether the full matrix was scanned (deep audit) or sampled.
+    pub full: bool,
+}
+
+impl KmCertificate {
+    /// Whether both gaps are finite and within `tol`.
+    pub fn holds(&self, tol: f64) -> bool {
+        self.feasibility_gap.is_finite()
+            && self.slackness_gap.is_finite()
+            && self.feasibility_gap <= tol
+            && self.slackness_gap <= tol
+    }
+}
+
+/// NaN-propagating running maximum: unlike `f64::max`, a NaN candidate
+/// sticks, so corrupted state cannot hide behind a finite earlier gap.
+fn max_propagating(acc: f64, x: f64) -> f64 {
+    if x > acc || x.is_nan() {
+        x
+    } else {
+        acc
+    }
+}
+
 /// Typed failure modes of the assignment solvers.
 ///
 /// The dual-potential update is numerically meaningless once a NaN or
@@ -217,6 +293,10 @@ pub struct KmSolver {
     /// Inner-relaxation steps of the most recent solve (a deterministic
     /// proxy for work done; wall-clock-free way to compare warm vs cold).
     last_ops: u64,
+    /// Shape of the most recent solve, or `None` when no certifiable
+    /// solve has run (fresh solver, empty instance, or externally
+    /// loaded potentials).
+    last_shape: Option<SolveShape>,
 }
 
 impl Default for KmSolver {
@@ -238,6 +318,7 @@ impl KmSolver {
             zero_row: Vec::new(),
             warm_cols: None,
             last_ops: 0,
+            last_shape: None,
         }
     }
 
@@ -273,6 +354,84 @@ impl KmSolver {
         self.pot_v.resize(m + 1, 0.0);
         self.pot_v[1..=m].copy_from_slice(v);
         self.warm_cols = Some(m);
+        // Externally seeded duals no longer certify the last solve.
+        self.last_shape = None;
+    }
+
+    /// Shape of the most recent solve, if one is certifiable.
+    pub fn last_shape(&self) -> Option<SolveShape> {
+        self.last_shape
+    }
+
+    /// Mutable view of the raw column-potential array (1-based; index 0
+    /// is the virtual-column sentinel). Exists solely for the seeded
+    /// state-corruption injectors of the audit harness — unlike
+    /// [`Self::load_column_potentials`] it deliberately keeps the solve
+    /// certifiable, so a corrupted dual is *detectable* by
+    /// [`Self::certify`] rather than silently excused.
+    pub fn column_potentials_raw_mut(&mut self) -> &mut [f64] {
+        &mut self.pot_v
+    }
+
+    /// Check the LP-duality certificate of the most recent solve against
+    /// the utility matrix it was run on (in the *caller's* orientation —
+    /// transposed tall solves are handled internally). Returns `None`
+    /// when there is no certifiable solve or `u`'s dimensions do not
+    /// match the recorded shape.
+    ///
+    /// Cost: `O(matched + cols)` for [`CertifyMode::Sampled`],
+    /// `O(rows·cols)` for [`CertifyMode::Full`]. Allocates nothing.
+    pub fn certify(&self, u: &UtilityMatrix, mode: CertifyMode) -> Option<KmCertificate> {
+        let shape = self.last_shape?;
+        let (ur, uc) = if shape.transposed { (u.cols(), u.rows()) } else { (u.rows(), u.cols()) };
+        if ur != shape.n_real || uc != shape.cols {
+            return None;
+        }
+        // cost(i, j) over 1-based solver coordinates; dummy padding rows
+        // carry zero utility exactly as `run` read them.
+        let cost = |i: usize, j: usize| -> f64 {
+            if i > shape.n_real {
+                0.0
+            } else if shape.transposed {
+                -u.get(j - 1, i - 1)
+            } else {
+                -u.get(i - 1, j - 1)
+            }
+        };
+        let mut feasibility_gap = 0.0f64;
+        let mut slackness_gap = 0.0f64;
+        let mut cells = 0usize;
+        // Complementary slackness: equality on every matched pair.
+        for j in 1..=shape.cols {
+            let i = self.matched_row[j];
+            if i != 0 {
+                let gap = (self.pot_u[i] + self.pot_v[j] - cost(i, j)).abs();
+                slackness_gap = max_propagating(slackness_gap, gap);
+                cells += 1;
+            }
+        }
+        // Dual feasibility: pot_u[i] + pot_v[j] ≤ cost(i, j).
+        let check_row = |i: usize, feas: &mut f64, cells: &mut usize| {
+            for j in 1..=shape.cols {
+                let gap = self.pot_u[i] + self.pot_v[j] - cost(i, j);
+                *feas = max_propagating(*feas, gap);
+                *cells += 1;
+            }
+        };
+        let full = matches!(mode, CertifyMode::Full);
+        match mode {
+            CertifyMode::Full => {
+                for i in 1..=shape.n_rows {
+                    check_row(i, &mut feasibility_gap, &mut cells);
+                }
+            }
+            CertifyMode::Sampled { row } => {
+                if shape.n_rows > 0 {
+                    check_row(1 + row % shape.n_rows, &mut feasibility_gap, &mut cells);
+                }
+            }
+        }
+        Some(KmCertificate { feasibility_gap, slackness_gap, cells_checked: cells, full })
     }
 
     /// Cold rectangular maximum-weight solve; drop-in equivalent of
@@ -289,17 +448,30 @@ impl KmSolver {
         self.warm_cols = None;
         if u.rows() == 0 || u.cols() == 0 {
             self.last_ops = 0;
+            self.last_shape = None;
             return AssignmentResult::empty(u.rows());
         }
         if u.rows() <= u.cols() {
             let a = self.run(u, u.rows());
             self.warm_cols = None;
+            self.last_shape = Some(SolveShape {
+                n_rows: u.rows(),
+                cols: u.cols(),
+                n_real: u.rows(),
+                transposed: false,
+            });
             a
         } else {
             // Transpose, solve, invert the mapping.
             let t = u.transpose();
             let at = self.run(&t, t.rows());
             self.warm_cols = None;
+            self.last_shape = Some(SolveShape {
+                n_rows: t.rows(),
+                cols: t.cols(),
+                n_real: t.rows(),
+                transposed: true,
+            });
             let mut row_to_col = vec![None; u.rows()];
             for (tc, m) in at.row_to_col.iter().enumerate() {
                 if let Some(tr) = *m {
@@ -334,10 +506,17 @@ impl KmSolver {
         }
         if u.cols() == 0 {
             self.last_ops = 0;
+            self.last_shape = None;
             return AssignmentResult::empty(u.rows());
         }
         let a = self.run(u, u.cols());
         self.warm_cols = Some(u.cols());
+        self.last_shape = Some(SolveShape {
+            n_rows: u.cols(),
+            cols: u.cols(),
+            n_real: u.rows(),
+            transposed: false,
+        });
         // Report only the real rows; dummy rows exist solely to balance.
         let mut row_to_col = a.row_to_col;
         row_to_col.truncate(u.rows());
@@ -709,6 +888,94 @@ mod tests {
         let got = s.solve_padded(&u);
         let best = brute_force_assignment(&u);
         assert!((got.total - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn certificate_holds_on_every_solver_shape() {
+        let mut next = lcg(31);
+        let mut solver = KmSolver::new();
+        // Rectangular wide, square, tall (transposed internally), padded.
+        for (n, m) in [(3, 5), (4, 4), (6, 3), (2, 7)] {
+            let u = UtilityMatrix::from_fn(n, m, |_, _| next() * 2.0 - 0.5);
+            solver.solve(&u);
+            let c = solver.certify(&u, CertifyMode::Full).expect("certifiable");
+            assert!(c.holds(1e-9), "{n}x{m} rect: {c:?}");
+            assert!(c.full);
+            let s = solver.certify(&u, CertifyMode::Sampled { row: 42 }).unwrap();
+            assert!(s.holds(1e-9), "{n}x{m} rect sampled: {s:?}");
+            assert!(!s.full);
+            assert!(s.cells_checked < c.cells_checked);
+            if n <= m {
+                solver.solve_padded(&u);
+                let p = solver.certify(&u, CertifyMode::Full).unwrap();
+                assert!(p.holds(1e-9), "{n}x{m} padded: {p:?}");
+                // Warm resolve stays certifiable too.
+                solver.solve_padded(&u);
+                let w = solver.certify(&u, CertifyMode::Full).unwrap();
+                assert!(w.holds(1e-9), "{n}x{m} warm padded: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_detects_tampered_duals() {
+        let mut next = lcg(64);
+        let u = UtilityMatrix::from_fn(4, 6, |_, _| next());
+        let mut solver = KmSolver::new();
+        solver.solve_padded(&u);
+        assert!(solver.certify(&u, CertifyMode::Full).unwrap().holds(1e-9));
+        solver.pot_v[2] += 0.5; // break feasibility and matched-pair slackness
+        let c = solver.certify(&u, CertifyMode::Full).unwrap();
+        assert!(!c.holds(1e-9), "tampered duals must fail: {c:?}");
+        solver.pot_v[2] = f64::NAN;
+        let c = solver.certify(&u, CertifyMode::Full).unwrap();
+        assert!(!c.holds(1e-9), "NaN duals must fail: {c:?}");
+        assert!(c.slackness_gap.is_nan() || c.feasibility_gap.is_nan());
+    }
+
+    #[test]
+    fn certificate_detects_matrix_drift() {
+        // The duals certify the matrix that was solved; presenting a
+        // different matrix of the same shape must break the certificate
+        // whenever the change affects an optimal cell.
+        let u = UtilityMatrix::from_vec(2, 2, vec![0.25, 0.40, 0.45, 0.50]);
+        let mut solver = KmSolver::new();
+        solver.solve_padded(&u);
+        let mut drifted = u.clone();
+        drifted.set(0, 1, 5.0);
+        let c = solver.certify(&drifted, CertifyMode::Full).unwrap();
+        assert!(!c.holds(1e-9), "drifted matrix must fail: {c:?}");
+    }
+
+    #[test]
+    fn certify_refuses_mismatched_shapes_and_cold_solvers() {
+        let solver = KmSolver::new();
+        let u = UtilityMatrix::zeros(2, 3);
+        assert!(solver.certify(&u, CertifyMode::Full).is_none(), "cold solver");
+        let mut solver = KmSolver::new();
+        solver.solve(&u);
+        assert!(solver.certify(&UtilityMatrix::zeros(2, 4), CertifyMode::Full).is_none());
+        solver.load_column_potentials(&[0.0, 0.0, 0.0]);
+        assert!(solver.certify(&u, CertifyMode::Full).is_none(), "loaded duals");
+        let empty = UtilityMatrix::zeros(0, 3);
+        solver.solve(&empty);
+        assert!(solver.certify(&empty, CertifyMode::Full).is_none(), "empty solve");
+    }
+
+    #[test]
+    fn sampled_rows_rotate_through_the_instance() {
+        let mut next = lcg(9);
+        let u = UtilityMatrix::from_fn(3, 3, |_, _| next());
+        let mut solver = KmSolver::new();
+        solver.solve(&u);
+        for row in 0..10 {
+            let c = solver.certify(&u, CertifyMode::Sampled { row }).unwrap();
+            assert!(c.holds(1e-9), "sampled row {row}: {c:?}");
+        }
+        assert_eq!(
+            solver.last_shape(),
+            Some(SolveShape { n_rows: 3, cols: 3, n_real: 3, transposed: false })
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub use cbs::{candidate_union, candidate_union_seeded, top_k_indices, top_k_into
 pub use graph::{AssignmentResult, UtilityMatrix};
 pub use hungarian::{
     max_weight_assignment, max_weight_assignment_padded, sanitize_utilities,
-    try_max_weight_assignment, try_max_weight_assignment_padded, KmSolver, MatchingError,
-    SANITIZED_UTILITY,
+    try_max_weight_assignment, try_max_weight_assignment_padded, CertifyMode, KmCertificate,
+    KmSolver, MatchingError, SolveShape, SANITIZED_UTILITY,
 };
 pub use parallel::{solve_shards, solve_shards_padded};

@@ -34,6 +34,14 @@ pub enum FaultKind {
     UtilityCorruption,
     /// Several consecutive batches collapse into one oversized batch.
     BatchSpike,
+    /// A learned-state word is damaged in place (bit flip in the
+    /// sign/exponent range, NaN write, or overflow write) — the silent
+    /// corruption the invariant auditor exists to catch.
+    StateCorruption,
+    /// A batch is delivered twice: the duplicate is re-presented to the
+    /// assigner after the original was executed (at-least-once delivery
+    /// semantics upstream).
+    BatchReplay,
 }
 
 impl FaultKind {
@@ -45,6 +53,65 @@ impl FaultKind {
             FaultKind::FeedbackDelay => 4,
             FaultKind::UtilityCorruption => 5,
             FaultKind::BatchSpike => 6,
+            FaultKind::StateCorruption => 7,
+            FaultKind::BatchReplay => 8,
+        }
+    }
+}
+
+/// Which piece of learned state a [`StateFault`] damages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StateTarget {
+    /// One broker's learned capacity estimate (broker-scoped).
+    Capacity,
+    /// One broker's per-arm reward statistics (broker-scoped).
+    ArmStats,
+    /// One entry of the shared value table `V(cr)` (unscoped).
+    ValueTable,
+    /// One lane of the bandit covariance state (unscoped).
+    Covariance,
+    /// The matcher's warm-start dual potentials (unscoped).
+    Duals,
+}
+
+/// How a [`StateFault`] damages its target word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StateFaultKind {
+    /// XOR one high-order bit of the f64 — `bit` is in `52..=63`
+    /// (sign/exponent), so the damage is large enough for an invariant
+    /// to see rather than vanishing into mantissa noise.
+    BitFlip {
+        /// Which bit to flip.
+        bit: u32,
+    },
+    /// Overwrite the word with NaN.
+    NanWrite,
+    /// Overwrite the word with an absurd overflow-scale magnitude.
+    OverflowWrite,
+}
+
+/// One seeded state-corruption event: what to damage, how, and where.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StateFault {
+    /// The state family hit.
+    pub target: StateTarget,
+    /// The damage applied.
+    pub kind: StateFaultKind,
+    /// Broker hit by a broker-scoped target (meaningless but stable
+    /// for unscoped targets).
+    pub broker: usize,
+    /// Secondary index selecting the exact word (arm, table entry,
+    /// covariance lane…); consumers reduce it modulo their extent.
+    pub lane: u64,
+}
+
+impl StateFault {
+    /// `Some(broker)` when the fault damages exactly one broker's
+    /// state, `None` for shared (unscoped) state.
+    pub fn scoped_broker(&self) -> Option<usize> {
+        match self.target {
+            StateTarget::Capacity | StateTarget::ArmStats => Some(self.broker),
+            _ => None,
         }
     }
 }
@@ -73,6 +140,12 @@ pub struct FaultConfig {
     /// How many consecutive batches a spike merges (≥ 2 to have any
     /// effect).
     pub spike_span: usize,
+    /// Per-batch probability that one learned-state word is damaged
+    /// after the batch is applied (bit flip / NaN / overflow write).
+    pub state_corruption: f64,
+    /// Per-batch probability that the batch is delivered a second time
+    /// after execution (duplicate/replayed delivery).
+    pub batch_replay: f64,
 }
 
 /// Mid-day dropouts happen within the first this-many batches of a day.
@@ -90,6 +163,8 @@ impl Default for FaultConfig {
             corruption_density: 0.0,
             batch_spike: 0.0,
             spike_span: 3,
+            state_corruption: 0.0,
+            batch_replay: 0.0,
         }
     }
 }
@@ -103,6 +178,8 @@ pub const SCENARIOS: &[&str] = &[
     "utility-corruption",
     "batch-spike",
     "full-chaos",
+    "state-corruption",
+    "soak",
 ];
 
 /// Error returned by [`FaultConfig::scenario`] for an unknown name.
@@ -158,6 +235,23 @@ impl FaultConfig {
                 spike_span: 3,
                 ..base
             },
+            "state-corruption" => {
+                FaultConfig { state_corruption: 0.25, batch_replay: 0.10, ..base }
+            }
+            // Every fault family at once — the soak harness default.
+            "soak" => FaultConfig {
+                day_dropout: 0.08,
+                mid_day_dropout: 0.08,
+                feedback_loss: 0.30,
+                feedback_delay: 0.15,
+                utility_corruption: 0.20,
+                corruption_density: 0.05,
+                batch_spike: 0.10,
+                spike_span: 3,
+                state_corruption: 0.20,
+                batch_replay: 0.08,
+                ..base
+            },
             _ => return Err(ScenarioError { name: name.to_string() }),
         })
     }
@@ -170,6 +264,8 @@ impl FaultConfig {
             && self.feedback_delay == 0.0
             && self.utility_corruption == 0.0
             && self.batch_spike == 0.0
+            && self.state_corruption == 0.0
+            && self.batch_replay == 0.0
     }
 }
 
@@ -269,6 +365,45 @@ impl FaultPlan {
             2 => f64::NEG_INFINITY,
             _ => 1.0e12,
         })
+    }
+
+    /// The state-corruption event for `(day, batch)`, if one fires.
+    /// Applied by the serving loop *after* the batch commits, so the
+    /// audits of the following batch are what must catch it. Pure
+    /// function of the seed: a recovery replay re-derives the identical
+    /// damage, which is what keeps bit-identical recovery meaningful
+    /// under corruption.
+    pub fn state_fault(&self, day: usize, batch: usize, num_brokers: usize) -> Option<StateFault> {
+        if num_brokers == 0 {
+            return None;
+        }
+        let (day, batch) = (day as u64, batch as u64);
+        if !self.coin(FaultKind::StateCorruption, day, batch, 0, self.cfg.state_corruption) {
+            return None;
+        }
+        let h = self.draw(FaultKind::StateCorruption, day, batch, 1);
+        let target = match h % 5 {
+            0 => StateTarget::Capacity,
+            1 => StateTarget::ArmStats,
+            2 => StateTarget::ValueTable,
+            3 => StateTarget::Covariance,
+            _ => StateTarget::Duals,
+        };
+        let hk = self.draw(FaultKind::StateCorruption, day, batch, 2);
+        let kind = match hk % 3 {
+            0 => StateFaultKind::BitFlip { bit: 52 + ((hk >> 8) % 12) as u32 },
+            1 => StateFaultKind::NanWrite,
+            _ => StateFaultKind::OverflowWrite,
+        };
+        let broker =
+            (self.draw(FaultKind::StateCorruption, day, batch, 3) % num_brokers as u64) as usize;
+        let lane = self.draw(FaultKind::StateCorruption, day, batch, 4);
+        Some(StateFault { target, kind, broker, lane })
+    }
+
+    /// Is batch `(day, batch)` delivered a second time after execution?
+    pub fn batch_replayed(&self, day: usize, batch: usize) -> bool {
+        self.coin(FaultKind::BatchReplay, day as u64, batch as u64, 0, self.cfg.batch_replay)
     }
 
     /// Number of consecutive batches (including `batch` itself) that a
@@ -530,6 +665,92 @@ mod tests {
                 | CrashPoint::BeforeCheckpointRename { day } => assert!(day < batches.len()),
             }
         }
+    }
+
+    #[test]
+    fn state_faults_are_pure_and_cover_targets_and_kinds() {
+        let p =
+            FaultPlan::new(FaultConfig { seed: 17, state_corruption: 1.0, ..Default::default() });
+        let q =
+            FaultPlan::new(FaultConfig { seed: 17, state_corruption: 1.0, ..Default::default() });
+        let mut targets = std::collections::HashSet::new();
+        let mut kinds = std::collections::HashSet::new();
+        for day in 0..20 {
+            for batch in 0..20 {
+                let f = p.state_fault(day, batch, 12).expect("p=1 must fire");
+                assert_eq!(Some(f), q.state_fault(day, batch, 12), "plans must agree");
+                assert!(f.broker < 12);
+                if let StateFaultKind::BitFlip { bit } = f.kind {
+                    assert!((52..=63).contains(&bit), "bit {bit} outside sign/exponent range");
+                }
+                targets.insert(format!("{:?}", f.target));
+                kinds.insert(match f.kind {
+                    StateFaultKind::BitFlip { .. } => "flip",
+                    StateFaultKind::NanWrite => "nan",
+                    StateFaultKind::OverflowWrite => "overflow",
+                });
+            }
+        }
+        assert_eq!(targets.len(), 5, "all five targets drawn: {targets:?}");
+        assert_eq!(kinds.len(), 3, "all three kinds drawn: {kinds:?}");
+    }
+
+    #[test]
+    fn state_fault_scoping_matches_target() {
+        let p =
+            FaultPlan::new(FaultConfig { seed: 3, state_corruption: 1.0, ..Default::default() });
+        for day in 0..30 {
+            let f = p.state_fault(day, 0, 8).unwrap();
+            match f.target {
+                StateTarget::Capacity | StateTarget::ArmStats => {
+                    assert_eq!(f.scoped_broker(), Some(f.broker))
+                }
+                _ => assert_eq!(f.scoped_broker(), None),
+            }
+        }
+    }
+
+    #[test]
+    fn state_faults_and_replay_are_off_by_default() {
+        let p = FaultPlan::new(FaultConfig { seed: 99, ..Default::default() });
+        for day in 0..50 {
+            for batch in 0..10 {
+                assert_eq!(p.state_fault(day, batch, 20), None);
+                assert!(!p.batch_replayed(day, batch));
+            }
+        }
+        assert_eq!(p.state_fault(0, 0, 0), None, "no brokers, no fault");
+    }
+
+    #[test]
+    fn batch_replay_rate_tracks_probability() {
+        let p = FaultPlan::new(FaultConfig { seed: 4, batch_replay: 0.3, ..Default::default() });
+        let mut hits = 0usize;
+        let total = 200 * 20;
+        for day in 0..200 {
+            for batch in 0..20 {
+                if p.batch_replayed(day, batch) {
+                    hits += 1;
+                }
+            }
+        }
+        let rate = hits as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.03, "empirical replay rate {rate}");
+    }
+
+    #[test]
+    fn soak_scenario_enables_every_family() {
+        let cfg = FaultConfig::scenario("soak", 1).unwrap();
+        assert!(cfg.day_dropout > 0.0);
+        assert!(cfg.feedback_loss > 0.0);
+        assert!(cfg.utility_corruption > 0.0);
+        assert!(cfg.batch_spike > 0.0);
+        assert!(cfg.state_corruption > 0.0);
+        assert!(cfg.batch_replay > 0.0);
+        assert!(!cfg.is_quiet());
+        let state_only = FaultConfig::scenario("state-corruption", 1).unwrap();
+        assert!(state_only.state_corruption > 0.0 && state_only.day_dropout == 0.0);
+        assert!(!state_only.is_quiet(), "state corruption alone is not quiet");
     }
 
     #[test]

@@ -45,11 +45,13 @@ pub use config::{CityId, RealWorldConfig, SyntheticConfig};
 pub use dataset::{Batch, Dataset};
 pub use environment::{Appeal, AppealConfig, BatchOutcome, DayFeedback, Platform, TrialTriple};
 pub use faults::{
-    seeded_schedule, CrashPoint, FaultConfig, FaultKind, FaultPlan, ScenarioError, SCENARIOS,
+    seeded_schedule, CrashPoint, FaultConfig, FaultKind, FaultPlan, ScenarioError, StateFault,
+    StateFaultKind, StateTarget, SCENARIOS,
 };
 pub use metrics::{
-    gini, percentile, BreakerComponent, BreakerEvent, BrokerLedger, LedgerSnapshot, OverloadStats,
-    ResilienceStats, RunMetrics, StageTimings,
+    gini, percentile, AuditReport, AuditViolation, BreakerComponent, BreakerEvent, BrokerLedger,
+    InvariantKind, LedgerSnapshot, OverloadStats, RepairAction, RepairKind, ResilienceStats,
+    RunMetrics, StageTimings,
 };
 pub use request::Request;
 pub use traffic::{ramp_dataset, TrafficRamp};

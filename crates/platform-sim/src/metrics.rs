@@ -322,6 +322,153 @@ pub struct RunMetrics {
     pub overload: Option<OverloadStats>,
     /// Per-stage wall-clock samples (see [`StageTimings`]).
     pub timings: StageTimings,
+    /// Invariant-audit accounting, populated when the serving loop ran
+    /// with runtime audits enabled (`None` otherwise).
+    pub audit: Option<AuditReport>,
+}
+
+/// Which runtime invariant an audit found violated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// The returned assignment was not a valid matching (duplicate
+    /// broker, out-of-range index, or over-capacity placement).
+    Matching,
+    /// Residual-capacity conservation broke: a broker's recorded load
+    /// and capacity estimate disagree with what was actually served.
+    Conservation,
+    /// The KM dual certificate failed (dual infeasibility or
+    /// complementary-slackness gap on the last solve).
+    DualCertificate,
+    /// `V(cr)` escaped the discounted max-utility horizon bound or
+    /// went non-finite.
+    ValueBound,
+    /// Bandit state went non-finite or the covariance lost positive
+    /// definiteness.
+    BanditState,
+}
+
+impl InvariantKind {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InvariantKind::Matching => "matching",
+            InvariantKind::Conservation => "conservation",
+            InvariantKind::DualCertificate => "dual-certificate",
+            InvariantKind::ValueBound => "value-bound",
+            InvariantKind::BanditState => "bandit-state",
+        }
+    }
+}
+
+/// One audit failure: which invariant, where, and its blast radius.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditViolation {
+    /// The invariant that failed.
+    pub invariant: InvariantKind,
+    /// Day the violation was detected.
+    pub day: usize,
+    /// Batch within the day (day-boundary deep audits report the last
+    /// batch index).
+    pub batch: usize,
+    /// `Some(b)` when the damage is scoped to one broker's learned
+    /// state, `None` when it taints shared state.
+    pub broker: Option<usize>,
+    /// Human-readable diagnosis (bounded; no payload data).
+    pub detail: String,
+}
+
+/// How a detected violation was repaired.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairKind {
+    /// The broker's learned state was selectively restored from the
+    /// newest good checkpoint generation.
+    CheckpointRestore {
+        /// Generation (day) the section was restored from.
+        generation: usize,
+    },
+    /// No good checkpoint section was available; the broker's state
+    /// was re-initialized to priors.
+    Reinitialize,
+    /// Shared matcher duals were discarded (derived state; next solve
+    /// runs cold).
+    SolverReset,
+    /// The bandit covariance was reset to its `λI` prior.
+    CovarianceReset,
+    /// The shared value table was restored from checkpoint or zeroed.
+    ValueReset,
+    /// The violation escalated to the resilient degradation ladder
+    /// (one-shot greedy demotion of the next batch).
+    LadderEscalation,
+}
+
+impl RepairKind {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RepairKind::CheckpointRestore { .. } => "checkpoint-restore",
+            RepairKind::Reinitialize => "reinitialize",
+            RepairKind::SolverReset => "solver-reset",
+            RepairKind::CovarianceReset => "covariance-reset",
+            RepairKind::ValueReset => "value-reset",
+            RepairKind::LadderEscalation => "ladder-escalation",
+        }
+    }
+}
+
+/// One repair action taken in response to a violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RepairAction {
+    /// Day the repair ran.
+    pub day: usize,
+    /// Batch within the day.
+    pub batch: usize,
+    /// Broker repaired (`None` for shared-state repairs).
+    pub broker: Option<usize>,
+    /// What was done.
+    pub kind: RepairKind,
+}
+
+/// Invariant-audit accounting for one run: every violation detected,
+/// every repair taken, and the cheap-check volume (so a "zero
+/// violations" report distinguishes "audited and clean" from "never
+/// audited").
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AuditReport {
+    /// Per-batch cheap certificate checks executed.
+    pub checks: u64,
+    /// Periodic deep audits executed (day boundaries).
+    pub deep_audits: u64,
+    /// Every violation detected, in detection order.
+    pub violations: Vec<AuditViolation>,
+    /// Every repair taken, in order.
+    pub repairs: Vec<RepairAction>,
+    /// Brokers currently quarantined (repair pending) when the run
+    /// ended — the soak gate requires this to be empty.
+    pub quarantined_at_end: Vec<usize>,
+}
+
+impl AuditReport {
+    /// Violations that damaged exactly one broker's state.
+    pub fn broker_scoped_violations(&self) -> usize {
+        self.violations.iter().filter(|v| v.broker.is_some()).count()
+    }
+
+    /// True when every detected violation has a recorded repair and no
+    /// broker is still quarantined — the "zero violations escaping
+    /// repair" soak gate.
+    pub fn fully_repaired(&self) -> bool {
+        self.quarantined_at_end.is_empty() && self.repairs.len() >= self.violations.len()
+    }
+
+    /// Merge another report (e.g. a post-recovery continuation) into
+    /// this one.
+    pub fn absorb(&mut self, other: AuditReport) {
+        self.checks += other.checks;
+        self.deep_audits += other.deep_audits;
+        self.violations.extend(other.violations);
+        self.repairs.extend(other.repairs);
+        self.quarantined_at_end = other.quarantined_at_end;
+    }
 }
 
 /// Counters of every degradation event a fault-tolerant run absorbed.
@@ -545,6 +692,38 @@ mod tests {
         let skew = gini(&[1.0, 1.0, 1.0, 5.0]);
         let very = gini(&[0.1, 0.1, 0.1, 7.7]);
         assert!(even < skew && skew < very);
+    }
+
+    #[test]
+    fn audit_report_repair_accounting() {
+        let mut r = AuditReport::default();
+        assert!(r.fully_repaired(), "empty report is trivially repaired");
+        r.checks = 10;
+        r.violations.push(AuditViolation {
+            invariant: InvariantKind::BanditState,
+            day: 1,
+            batch: 3,
+            broker: Some(4),
+            detail: "nan in arm stats".to_string(),
+        });
+        assert!(!r.fully_repaired(), "unrepaired violation must gate");
+        r.repairs.push(RepairAction {
+            day: 1,
+            batch: 3,
+            broker: Some(4),
+            kind: RepairKind::CheckpointRestore { generation: 1 },
+        });
+        assert!(r.fully_repaired());
+        assert_eq!(r.broker_scoped_violations(), 1);
+        r.quarantined_at_end.push(4);
+        assert!(!r.fully_repaired(), "lingering quarantine must gate");
+        let mut a = AuditReport { checks: 5, deep_audits: 1, ..Default::default() };
+        a.absorb(r.clone());
+        assert_eq!(a.checks, 15);
+        assert_eq!(a.violations.len(), 1);
+        assert_eq!(a.quarantined_at_end, vec![4]);
+        assert_eq!(InvariantKind::DualCertificate.label(), "dual-certificate");
+        assert_eq!(RepairKind::SolverReset.label(), "solver-reset");
     }
 
     #[test]
