@@ -1,0 +1,75 @@
+//! Parallel-runtime micro-benchmarks: per-round dispatch overhead of the
+//! persistent worker pool vs. a forced-inline round, and the adaptive
+//! cutoff's round-size decision (DESIGN.md §13).
+//!
+//! These quantify the constant factor that made the spawn-per-call pool
+//! a slowdown: a round's *dispatch* cost must sit far below the work it
+//! fans out. On a single-core machine all rounds drain inline through
+//! the coordinator, so the two shapes converge — which is itself the
+//! property being benchmarked.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Per-item busywork with a size knob; pure, so chunking can't change
+/// the result and criterion measures only dispatch + compute.
+fn work(x: u64, iters: u64) -> u64 {
+    let mut acc = x;
+    for _ in 0..iters {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+    acc
+}
+
+fn bench_pool_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_round_dispatch");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    // Tiny and meaty rounds: the cutoff should make the tiny one run
+    // inline (no wake), while the meaty one amortizes its dispatch.
+    for (label, len, iters) in [("tiny", 64usize, 20u64), ("meaty", 4_096, 400)] {
+        let items: Vec<u64> = (0..len as u64).collect();
+        let wpi = iters; // ~1 work unit per busywork iteration
+        for n_threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("adaptive_{label}"), n_threads),
+                &items,
+                |b, items| {
+                    b.iter(|| {
+                        black_box(pool::map_chunked_adaptive(
+                            n_threads,
+                            items,
+                            wpi,
+                            || (),
+                            |_, _, &x| work(x, iters),
+                        ))
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("always_split_{label}"), n_threads),
+                &items,
+                |b, items| {
+                    // Cutoff 0 forces the queued path even for tiny
+                    // rounds — the regression shape this PR removes.
+                    b.iter(|| {
+                        black_box(pool::map_chunked_adaptive_with(
+                            0,
+                            n_threads,
+                            items,
+                            wpi,
+                            || (),
+                            |_, _, &x| work(x, iters),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_dispatch);
+criterion_main!(benches);

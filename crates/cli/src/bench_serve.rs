@@ -1,12 +1,26 @@
 //! `caam bench-serve` — the serving-throughput harness.
 //!
 //! Benchmarks the full LACB-Opt serving core (per-broker capacity
-//! estimation, CBS candidate selection, warm-started KM assignment) on
-//! the fig-8 synthetic preset across a thread ladder, plus a warm-vs-cold
-//! KM microbenchmark, and emits the results as `BENCH_serving.json`.
-//! With `--baseline FILE` the run fails when the single-thread p99
-//! per-batch latency regresses by more than 20% against the committed
-//! baseline.
+//! estimation, CBS candidate selection, warm-started KM assignment) at
+//! two scales — the fig-8 synthetic preset and a Table IV-like
+//! power-law **city** preset — across a thread ladder, plus a
+//! warm-vs-cold KM microbenchmark and an overload-spike section, and
+//! emits the results as `BENCH_serving.json`.
+//!
+//! Honesty rules of the ladder:
+//! * `hardware_threads` is reported from `available_parallelism()`, and
+//!   rungs above it are *skipped* (run once for bit-identity, no timing)
+//!   with an explicit `"skipped"` marker — a 1-core runner can attest
+//!   determinism but not speedups.
+//! * Every rung carries a per-stage breakdown (bandit scoring, CBS
+//!   selection, KM solve, pool sync) so a regression names its stage.
+//!
+//! Gates: with `--baseline FILE` the run fails when the single-thread
+//! p99 per-batch latency regresses by more than 20% against the
+//! committed baseline; independently, when the machine has the threads
+//! for it, the city-preset 2-thread rung must reach `--speedup-floor`
+//! (default 0.9) of the 1-thread throughput, so a parallel-runtime
+//! regression fails loudly instead of being committed as a slowdown.
 
 use crate::args::Args;
 use crate::commands::CliError;
@@ -14,10 +28,15 @@ use lacb::overload::run_overload;
 use lacb::{run, Lacb, LacbConfig, OverloadConfig, ResilienceConfig, RunConfig};
 use matching::hungarian::KmSolver;
 use matching::UtilityMatrix;
-use platform_sim::{percentile, ramp_dataset, Dataset, FaultPlan, StageTimings, SyntheticConfig};
+use platform_sim::{
+    percentile, ramp_dataset, CityId, Dataset, FaultPlan, RealWorldConfig, StageBreakdown,
+    StageTimings, SyntheticConfig,
+};
 use std::time::Instant;
 
-/// One thread-count measurement of the serving loop.
+/// One thread-count measurement of the serving loop. A rung above the
+/// machine's parallelism is `skipped`: it still proves bit-identity (one
+/// repetition) but publishes no latency or speedup figures.
 struct ThreadSample {
     n_threads: usize,
     total_utility: f64,
@@ -27,6 +46,16 @@ struct ThreadSample {
     begin_day_secs: f64,
     throughput_req_per_s: f64,
     bit_identical_to_1: bool,
+    skipped: bool,
+    stages: StageBreakdown,
+}
+
+/// One benchmarked world: a preset label, its JSON `world` descriptor,
+/// and the thread-ladder samples measured on it.
+struct LadderSection {
+    name: &'static str,
+    world_json: String,
+    samples: Vec<ThreadSample>,
 }
 
 /// Warm-vs-cold KM microbenchmark result. `ops` counts augmenting-path
@@ -186,36 +215,120 @@ fn fmt_ms(secs: f64) -> f64 {
     secs * 1e3
 }
 
-fn emit_json(
-    preset: &str,
-    cfg: &SyntheticConfig,
-    quick: bool,
+/// Measure the thread ladder on one dataset. Rungs above `hw` run a
+/// single repetition purely to verify bit-identity and are marked
+/// skipped; timed rungs take the best of `repeat` repetitions (per-batch
+/// wall times are max-order statistics of a noisy scheduler — a real
+/// code regression shifts the minimum too, OS jitter does not).
+fn run_ladder(
+    label: &str,
+    ds: &Dataset,
+    threads: &[usize],
+    seed: u64,
     repeat: usize,
-    samples: &[ThreadSample],
-    warm: &WarmKm,
-    ov: &OverloadBench,
-) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"preset\": \"{preset}\",\n"));
-    out.push_str(&format!("  \"quick\": {quick},\n"));
-    out.push_str(&format!("  \"repeat\": {repeat},\n"));
-    out.push_str(&format!(
-        "  \"world\": {{\"brokers\": {}, \"requests\": {}, \"days\": {}, \"sigma\": {}, \"seed\": {}}},\n",
-        cfg.num_brokers, cfg.num_requests, cfg.days, cfg.imbalance, cfg.seed
-    ));
-    out.push_str(&format!(
-        "  \"hardware_threads\": {},\n",
-        std::thread::available_parallelism().map_or(1, usize::from)
-    ));
-    out.push_str("  \"threads\": [\n");
-    let base_assign = samples.first().map_or(0.0, |s| s.assign_secs);
-    for (i, s) in samples.iter().enumerate() {
+    hw: usize,
+) -> Result<Vec<ThreadSample>, CliError> {
+    let total_requests = ds.total_requests();
+    let mut samples: Vec<ThreadSample> = Vec::new();
+    let mut reference_bits = 0u64;
+    for &n in threads {
+        let skipped = n > hw;
+        let reps = if skipped { 1 } else { repeat };
+        let mut utility = 0.0f64;
+        let mut assign_secs = f64::INFINITY;
+        let mut p50 = f64::INFINITY;
+        let mut p99 = f64::INFINITY;
+        let mut begin_day_secs = f64::INFINITY;
+        let mut stages = StageBreakdown::default();
+        for rep in 0..reps {
+            let (u, timings) = run_serving(ds, n, seed);
+            if rep == 0 {
+                utility = u;
+            } else if u.to_bits() != utility.to_bits() {
+                return Err(CliError::Gate(format!(
+                    "{label}: {n}-thread run is not reproducible across repetitions"
+                )));
+            }
+            let total_assign: f64 = timings.assign_batch_secs.iter().sum();
+            if total_assign < assign_secs {
+                stages = timings.breakdown;
+            }
+            assign_secs = assign_secs.min(total_assign);
+            p50 = p50.min(timings.assign_percentile(50.0));
+            p99 = p99.min(timings.assign_percentile(99.0));
+            begin_day_secs = begin_day_secs.min(timings.begin_day_secs.iter().sum());
+        }
+        if n == 1 {
+            reference_bits = utility.to_bits();
+        }
+        let sample = ThreadSample {
+            n_threads: n,
+            total_utility: utility,
+            assign_secs,
+            p50_batch_ms: fmt_ms(p50),
+            p99_batch_ms: fmt_ms(p99),
+            begin_day_secs,
+            throughput_req_per_s: if assign_secs > 0.0 {
+                total_requests as f64 / assign_secs
+            } else {
+                0.0
+            },
+            bit_identical_to_1: utility.to_bits() == reference_bits,
+            skipped,
+            stages,
+        };
+        if skipped {
+            println!(
+                "  [{label}] {n} thread(s): skipped (exceeds {hw} hardware threads) — \
+                 bit-identity {}",
+                if sample.bit_identical_to_1 { "ok" } else { "DIVERGED" }
+            );
+        } else {
+            println!(
+                "  [{label}] {} thread(s): assign {:.3}s  p50 {:.3}ms  p99 {:.3}ms  \
+                 {:.0} req/s  {}",
+                sample.n_threads,
+                sample.assign_secs,
+                sample.p50_batch_ms,
+                sample.p99_batch_ms,
+                sample.throughput_req_per_s,
+                if sample.bit_identical_to_1 { "bit-identical" } else { "DIVERGED" }
+            );
+        }
+        if !sample.bit_identical_to_1 {
+            return Err(CliError::Gate(format!(
+                "{label}: {n}-thread run diverged from the single-thread reference: {} vs {}",
+                sample.total_utility,
+                f64::from_bits(reference_bits)
+            )));
+        }
+        samples.push(sample);
+    }
+    Ok(samples)
+}
+
+fn emit_ladder_json(out: &mut String, section: &LadderSection, hw: usize) {
+    out.push_str(&format!("  \"{}\": {{\n", section.name));
+    out.push_str(&format!("    \"world\": {},\n", section.world_json));
+    out.push_str("    \"threads\": [\n");
+    let base_assign = section.samples.iter().find(|s| !s.skipped).map_or(0.0, |s| s.assign_secs);
+    for (i, s) in section.samples.iter().enumerate() {
+        let sep = if i + 1 == section.samples.len() { "" } else { "," };
+        if s.skipped {
+            out.push_str(&format!(
+                "      {{\"n_threads\": {}, \"skipped\": \"exceeds hardware_threads ({hw})\", \
+                 \"bit_identical_to_1\": {}}}{sep}\n",
+                s.n_threads, s.bit_identical_to_1
+            ));
+            continue;
+        }
         let speedup = if s.assign_secs > 0.0 { base_assign / s.assign_secs } else { 1.0 };
         out.push_str(&format!(
-            "    {{\"n_threads\": {}, \"assign_secs\": {:.6}, \"p50_batch_ms\": {:.4}, \
+            "      {{\"n_threads\": {}, \"assign_secs\": {:.6}, \"p50_batch_ms\": {:.4}, \
              \"p99_batch_ms\": {:.4}, \"begin_day_secs\": {:.6}, \"throughput_req_per_s\": {:.1}, \
-             \"speedup_vs_1\": {:.3}, \"bit_identical_to_1\": {}}}{}\n",
+             \"speedup_vs_1\": {:.3}, \"bit_identical_to_1\": {}, \"stages\": \
+             {{\"bandit_score_ms\": {:.3}, \"cbs_select_ms\": {:.3}, \"km_solve_ms\": {:.3}, \
+             \"pool_sync_ms\": {:.3}, \"parallel_rounds\": {}, \"inline_rounds\": {}}}}}{sep}\n",
             s.n_threads,
             s.assign_secs,
             s.p50_batch_ms,
@@ -224,10 +337,34 @@ fn emit_json(
             s.throughput_req_per_s,
             speedup,
             s.bit_identical_to_1,
-            if i + 1 == samples.len() { "" } else { "," }
+            fmt_ms(s.stages.bandit_score_secs),
+            fmt_ms(s.stages.cbs_select_secs),
+            fmt_ms(s.stages.km_solve_secs),
+            fmt_ms(s.stages.pool_sync_secs),
+            s.stages.parallel_rounds,
+            s.stages.inline_rounds,
         ));
     }
-    out.push_str("  ],\n");
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
+}
+
+fn emit_json(
+    quick: bool,
+    repeat: usize,
+    hw: usize,
+    sections: &[LadderSection],
+    warm: &WarmKm,
+    ov: &OverloadBench,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"repeat\": {repeat},\n"));
+    out.push_str(&format!("  \"hardware_threads\": {hw},\n"));
+    for section in sections {
+        emit_ladder_json(&mut out, section, hw);
+    }
     let ops_ratio = warm.cold_ops as f64 / warm.warm_ops.max(1) as f64;
     let secs_ratio = if warm.warm_secs > 0.0 { warm.cold_secs / warm.warm_secs } else { 1.0 };
     out.push_str(&format!(
@@ -260,12 +397,16 @@ fn emit_json(
     out
 }
 
-/// Pull the `p99_batch_ms` of a given thread count out of a previously
-/// emitted report. One JSON object per line in the `threads` array, so a
-/// line scan suffices — no JSON dependency needed.
-fn baseline_p99(text: &str, n_threads: usize) -> Option<f64> {
+/// Pull the `p99_batch_ms` of a given thread count out of a named ladder
+/// section (`"fig8"` / `"city"`) of a previously emitted report. One
+/// JSON object per line in each `threads` array, so a line scan scoped
+/// to the section suffices — no JSON dependency needed. Skipped rungs
+/// have no p99 and return `None`.
+fn baseline_p99(text: &str, section: &str, n_threads: usize) -> Option<f64> {
+    let marker = format!("\"{section}\":");
+    let rest = &text[text.find(&marker)?..];
     let tag = format!("\"n_threads\": {n_threads},");
-    for line in text.lines() {
+    for line in rest.lines() {
         let line = line.trim();
         if line.starts_with('{') && line.contains(&tag) {
             let key = "\"p99_batch_ms\": ";
@@ -274,6 +415,9 @@ fn baseline_p99(text: &str, n_threads: usize) -> Option<f64> {
             let end = rest.find([',', '}'])?;
             return rest[..end].trim().parse().ok();
         }
+        if line.starts_with(']') {
+            break; // end of this section's threads array
+        }
     }
     None
 }
@@ -281,13 +425,30 @@ fn baseline_p99(text: &str, n_threads: usize) -> Option<f64> {
 pub fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
     let quick = args.has("quick");
     let seed: u64 = args.get_or("seed", 7)?;
+    let preset = args.get("preset").unwrap_or("both");
+    if !matches!(preset, "fig8" | "city" | "both") {
+        return Err(CliError::Usage(format!(
+            "--preset must be fig8, city or both (got {preset:?})"
+        )));
+    }
     // The fig-8 synthetic preset (DESIGN.md §6 defaults); `--quick`
     // shrinks it to a smoke-test size for CI.
-    let cfg = if quick {
+    let fig8_cfg = if quick {
         SyntheticConfig { num_brokers: 40, num_requests: 400, days: 2, imbalance: 0.2, seed }
     } else {
         SyntheticConfig { num_brokers: 100, num_requests: 1200, days: 5, imbalance: 0.12, seed }
     };
+    // The city preset: the power-law `realworld` generator at a
+    // `--scale` fraction of Table IV's city B (8155 brokers / 387,339
+    // requests / 21 days). The default full scale (0.25 ≈ 2k brokers)
+    // keeps a full ladder under a couple of minutes; `--quick` drops to
+    // 0.06, the smallest scale whose begin_day still crosses the
+    // parallel cutoff so CI exercises the pool.
+    let scale: f64 = args.get_or("scale", if quick { 0.06 } else { 0.25 })?;
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(CliError::Usage(format!("--scale must be in (0, 1] (got {scale})")));
+    }
+    let city_cfg = RealWorldConfig { seed, ..RealWorldConfig::scaled(CityId::B, scale) };
     let threads: Vec<usize> = args
         .get("threads")
         .unwrap_or("1,2,4,8")
@@ -299,82 +460,83 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
             "--threads must start with 1 (the bit-identity reference)".into(),
         ));
     }
-
-    let ds = Dataset::synthetic(&cfg);
-    let total_requests = ds.total_requests();
-    println!(
-        "serving benchmark: {} brokers, {} requests, {} days (LACB-Opt{})",
-        cfg.num_brokers,
-        total_requests,
-        cfg.days,
-        if quick { ", --quick" } else { "" }
-    );
-
     let repeat: usize = args.get_or("repeat", 3)?;
     if repeat == 0 {
         return Err(CliError::Usage("--repeat must be at least 1".into()));
     }
+    let hw = pool::hardware_threads();
 
-    let mut samples = Vec::new();
-    let mut reference_bits = 0u64;
-    for &n in &threads {
-        // Best-of-`repeat`: per-batch wall times are the max-order
-        // statistics of a noisy scheduler, so each latency figure is the
-        // minimum over repetitions — a real code regression shifts the
-        // minimum too, OS jitter does not. Utility must not vary at all.
-        let mut utility = 0.0f64;
-        let mut assign_secs = f64::INFINITY;
-        let mut p50 = f64::INFINITY;
-        let mut p99 = f64::INFINITY;
-        let mut begin_day_secs = f64::INFINITY;
-        for rep in 0..repeat {
-            let (u, timings) = run_serving(&ds, n, seed);
-            if rep == 0 {
-                utility = u;
-            } else if u.to_bits() != utility.to_bits() {
+    let mut sections: Vec<LadderSection> = Vec::new();
+    if preset != "city" {
+        let ds = Dataset::synthetic(&fig8_cfg);
+        println!(
+            "serving benchmark [fig8]: {} brokers, {} requests, {} days on {} hardware \
+             thread(s) (LACB-Opt{})",
+            fig8_cfg.num_brokers,
+            ds.total_requests(),
+            fig8_cfg.days,
+            hw,
+            if quick { ", --quick" } else { "" }
+        );
+        let samples = run_ladder("fig8", &ds, &threads, seed, repeat, hw)?;
+        sections.push(LadderSection {
+            name: "fig8",
+            world_json: format!(
+                "{{\"brokers\": {}, \"requests\": {}, \"days\": {}, \"sigma\": {}, \"seed\": {}}}",
+                fig8_cfg.num_brokers,
+                fig8_cfg.num_requests,
+                fig8_cfg.days,
+                fig8_cfg.imbalance,
+                fig8_cfg.seed
+            ),
+            samples,
+        });
+    }
+    if preset != "fig8" {
+        let ds = Dataset::real_world(&city_cfg);
+        println!(
+            "serving benchmark [city]: city B × {scale} = {} brokers, {} requests, {} days \
+             on {} hardware thread(s)",
+            city_cfg.num_brokers(),
+            ds.total_requests(),
+            city_cfg.days(),
+            hw
+        );
+        let samples = run_ladder("city", &ds, &threads, seed, repeat, hw)?;
+        sections.push(LadderSection {
+            name: "city",
+            world_json: format!(
+                "{{\"city\": \"B\", \"scale\": {scale}, \"brokers\": {}, \"requests\": {}, \
+                 \"days\": {}, \"seed\": {}}}",
+                city_cfg.num_brokers(),
+                city_cfg.num_requests(),
+                city_cfg.days(),
+                city_cfg.seed
+            ),
+            samples,
+        });
+    }
+
+    // Parallel-regression gate: on the city preset (where per-batch work
+    // is big enough that threads must help), 2 threads may not run the
+    // ladder slower than `--speedup-floor` × the 1-thread throughput.
+    // Vacuous when the machine lacks a second hardware thread (the rung
+    // is skipped) or the city preset was not requested.
+    let floor: f64 = args.get_or("speedup-floor", 0.9)?;
+    if let Some(city) = sections.iter().find(|s| s.name == "city") {
+        let base = city.samples.iter().find(|s| s.n_threads == 1 && !s.skipped);
+        let two = city.samples.iter().find(|s| s.n_threads == 2 && !s.skipped);
+        if let (Some(base), Some(two)) = (base, two) {
+            let speedup =
+                if two.assign_secs > 0.0 { base.assign_secs / two.assign_secs } else { 1.0 };
+            println!("speedup gate [city]: 2 threads at {speedup:.3}x vs floor {floor}");
+            if speedup < floor {
                 return Err(CliError::Gate(format!(
-                    "{n}-thread run is not reproducible across repetitions"
+                    "parallel serving regressed: city-preset speedup_vs_1 at 2 threads is \
+                     {speedup:.3}, below the {floor} floor"
                 )));
             }
-            assign_secs = assign_secs.min(timings.assign_batch_secs.iter().sum());
-            p50 = p50.min(timings.assign_percentile(50.0));
-            p99 = p99.min(timings.assign_percentile(99.0));
-            begin_day_secs = begin_day_secs.min(timings.begin_day_secs.iter().sum());
         }
-        if n == 1 {
-            reference_bits = utility.to_bits();
-        }
-        let sample = ThreadSample {
-            n_threads: n,
-            total_utility: utility,
-            assign_secs,
-            p50_batch_ms: fmt_ms(p50),
-            p99_batch_ms: fmt_ms(p99),
-            begin_day_secs,
-            throughput_req_per_s: if assign_secs > 0.0 {
-                total_requests as f64 / assign_secs
-            } else {
-                0.0
-            },
-            bit_identical_to_1: utility.to_bits() == reference_bits,
-        };
-        println!(
-            "  {} thread(s): assign {:.3}s  p50 {:.3}ms  p99 {:.3}ms  {:.0} req/s  {}",
-            sample.n_threads,
-            sample.assign_secs,
-            sample.p50_batch_ms,
-            sample.p99_batch_ms,
-            sample.throughput_req_per_s,
-            if sample.bit_identical_to_1 { "bit-identical" } else { "DIVERGED" }
-        );
-        if !sample.bit_identical_to_1 {
-            return Err(CliError::Gate(format!(
-                "{n}-thread run diverged from the single-thread reference: {} vs {}",
-                sample.total_utility,
-                f64::from_bits(reference_bits)
-            )));
-        }
-        samples.push(sample);
     }
 
     let (wn, wb) = if quick { (40, 30) } else { (80, 60) };
@@ -398,7 +560,7 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
         )));
     }
 
-    let ov = bench_overload(&cfg, seed, repeat).map_err(CliError::Gate)?;
+    let ov = bench_overload(&fig8_cfg, seed, repeat).map_err(CliError::Gate)?;
     println!(
         "overload {}x spike: shed {:.1}% of {} offered, {} breaker trips, \
          {} brownout escalations, p99 {:.3}ms under spike",
@@ -410,7 +572,7 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
         ov.p99_spike_ms
     );
 
-    let report = emit_json("fig8-synthetic", &cfg, quick, repeat, &samples, &warm, &ov);
+    let report = emit_json(quick, repeat, hw, &sections, &warm, &ov);
     if let Some(path) = args.get("out") {
         std::fs::write(path, &report).map_err(|e| format!("writing {path}: {e}"))?;
         println!("report written: {path}");
@@ -428,9 +590,14 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
                  quick={quick}; p99 latencies of different world sizes are not comparable"
             )));
         }
-        let base = baseline_p99(&text, 1)
-            .ok_or_else(|| format!("baseline {path} has no 1-thread p99_batch_ms"))?;
-        let now = samples[0].p99_batch_ms;
+        // Gate on the first section this invocation measured (fig8
+        // unless `--preset city`), against the same section of the
+        // baseline.
+        let section = sections.first().expect("at least one preset always runs");
+        let base = baseline_p99(&text, section.name, 1).ok_or_else(|| {
+            format!("baseline {path} has no 1-thread p99_batch_ms in section {:?}", section.name)
+        })?;
+        let now = section.samples[0].p99_batch_ms;
         // >20% relative regression, with an absolute noise floor: batches
         // complete in tens of microseconds, where the p99 is scheduler
         // jitter, not code. A real serving regression (a lost warm start,
@@ -439,8 +606,9 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
         let slack_ms: f64 = args.get_or("slack-ms", 0.25)?;
         let limit = (base * 1.2).max(base + slack_ms);
         println!(
-            "p99 regression gate: current {now:.4}ms vs baseline {base:.4}ms \
-             (limit {limit:.4}ms = max(1.2x, +{slack_ms}ms))"
+            "p99 regression gate [{}]: current {now:.4}ms vs baseline {base:.4}ms \
+             (limit {limit:.4}ms = max(1.2x, +{slack_ms}ms))",
+            section.name
         );
         if now > limit {
             return Err(CliError::Gate(format!(
@@ -470,11 +638,38 @@ mod tests {
         .unwrap();
         cmd_bench_serve(&args).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"fig8\":"));
+        assert!(text.contains("\"city\":"));
+        assert!(text.contains("\"hardware_threads\""));
+        assert!(text.contains("\"stages\""));
         assert!(text.contains("\"warm_km\""));
         assert!(text.contains("\"overload_4x\""));
         assert!(text.contains("\"p99_under_4x_spike_ms\""));
         assert!(text.contains("\"quick\": true"));
-        assert!(baseline_p99(&text, 1).is_some());
+        assert!(baseline_p99(&text, "fig8", 1).is_some());
+        assert!(baseline_p99(&text, "city", 1).is_some());
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn rungs_above_hardware_threads_are_skipped_with_marker() {
+        let out = std::env::temp_dir().join("caam_bench_serve_skip_test.json");
+        let over = pool::hardware_threads() + 1;
+        let args = Args::parse(&argv(&format!(
+            "--quick --preset fig8 --threads 1,{over} --repeat 1 --out {}",
+            out.display()
+        )))
+        .unwrap();
+        cmd_bench_serve(&args).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(
+            text.contains("\"skipped\": \"exceeds hardware_threads"),
+            "over-hardware rung must carry a skip marker:\n{text}"
+        );
+        // The skipped rung still attests bit-identity but publishes no
+        // latency figure.
+        assert!(baseline_p99(&text, "fig8", over).is_none());
+        assert!(text.contains("\"bit_identical_to_1\": true"));
         let _ = std::fs::remove_file(&out);
     }
 
@@ -486,7 +681,7 @@ mod tests {
         let dir = std::env::temp_dir();
         let run = |baseline: &std::path::Path| {
             let args = Args::parse(&argv(&format!(
-                "--quick --threads 1 --repeat 1 --slack-ms 0 --baseline {}",
+                "--quick --preset fig8 --threads 1 --repeat 1 --slack-ms 0 --baseline {}",
                 baseline.display()
             )))
             .unwrap();
@@ -494,8 +689,8 @@ mod tests {
         };
         let entry = |p99: f64, quick: bool| {
             format!(
-                "{{\n  \"quick\": {quick},\n  \"threads\": [\n    {{\"n_threads\": 1, \
-                 \"p99_batch_ms\": {p99}}}\n  ]\n}}\n"
+                "{{\n  \"quick\": {quick},\n  \"fig8\": {{\n    \"threads\": [\n      \
+                 {{\"n_threads\": 1, \"p99_batch_ms\": {p99}}}\n    ]\n  }}\n}}\n"
             )
         };
         let generous = dir.join("caam_bench_baseline_generous.json");
@@ -519,12 +714,24 @@ mod tests {
     }
 
     #[test]
-    fn baseline_parser_reads_emitted_format() {
-        let text = "{\n  \"threads\": [\n    {\"n_threads\": 1, \"assign_secs\": 0.5, \
-                    \"p99_batch_ms\": 12.3456, \"x\": 1},\n    {\"n_threads\": 2, \
-                    \"p99_batch_ms\": 6.1}\n  ]\n}\n";
-        assert_eq!(baseline_p99(text, 1), Some(12.3456));
-        assert_eq!(baseline_p99(text, 2), Some(6.1));
-        assert_eq!(baseline_p99(text, 8), None);
+    fn preset_and_scale_are_validated() {
+        let args = Args::parse(&argv("--quick --preset nope")).unwrap();
+        assert!(cmd_bench_serve(&args).unwrap_err().to_string().contains("--preset"));
+        let args = Args::parse(&argv("--quick --scale 1.5")).unwrap();
+        assert!(cmd_bench_serve(&args).unwrap_err().to_string().contains("--scale"));
+    }
+
+    #[test]
+    fn baseline_parser_reads_emitted_format_per_section() {
+        let text = "{\n  \"fig8\": {\n    \"threads\": [\n      {\"n_threads\": 1, \
+                    \"assign_secs\": 0.5, \"p99_batch_ms\": 12.3456, \"x\": 1},\n      \
+                    {\"n_threads\": 4, \"skipped\": \"exceeds hardware_threads (2)\", \
+                    \"bit_identical_to_1\": true}\n    ]\n  },\n  \"city\": {\n    \
+                    \"threads\": [\n      {\"n_threads\": 1, \"p99_batch_ms\": 6.1}\n    ]\n  }\n}\n";
+        assert_eq!(baseline_p99(text, "fig8", 1), Some(12.3456));
+        assert_eq!(baseline_p99(text, "city", 1), Some(6.1));
+        assert_eq!(baseline_p99(text, "fig8", 4), None, "skipped rung has no p99");
+        assert_eq!(baseline_p99(text, "fig8", 8), None);
+        assert_eq!(baseline_p99(text, "nope", 1), None);
     }
 }

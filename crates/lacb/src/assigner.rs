@@ -1,6 +1,8 @@
 //! The broker-matching policy interface.
 
-use platform_sim::{AuditReport, DayFeedback, Platform, Request, ResilienceStats, StateFault};
+use platform_sim::{
+    AuditReport, DayFeedback, Platform, Request, ResilienceStats, StageBreakdown, StateFault,
+};
 
 /// A batched broker-matching policy (the "assignment algorithms" of
 /// Sec. VII-A).
@@ -56,6 +58,14 @@ pub trait Assigner: Send {
     /// Apply one seeded state-corruption fault (chaos/soak harnesses).
     /// No-op for policies without corruptible learned state.
     fn inject_state_fault(&mut self, _fault: &StateFault) {}
+
+    /// Drain the cumulative sub-stage timing breakdown (bandit scoring,
+    /// CBS selection, KM solve), for policies that record one. The
+    /// serving loops fold it into `RunMetrics::timings`. Plain policies
+    /// report `None`.
+    fn take_stage_breakdown(&mut self) -> Option<StageBreakdown> {
+        None
+    }
 }
 
 /// Boxed policies are policies too, so dynamic callers (the CLI) can
@@ -84,6 +94,9 @@ impl Assigner for Box<dyn Assigner> {
     }
     fn inject_state_fault(&mut self, fault: &StateFault) {
         (**self).inject_state_fault(fault);
+    }
+    fn take_stage_breakdown(&mut self) -> Option<StageBreakdown> {
+        (**self).take_stage_breakdown()
     }
 }
 

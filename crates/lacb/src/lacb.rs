@@ -6,16 +6,23 @@ use crate::audit::{self, AuditConfig, Auditor};
 use crate::value_function::ValueFunction;
 use bandit::{CandidateCapacities, NnUcbConfig, PersonalizedEstimator, ShrinkageEstimator};
 use linalg::InverseTracker;
-use matching::cbs::candidate_union_seeded;
+use matching::cbs::candidate_union_seeded_with;
 use matching::greedy::greedy_assignment;
 use matching::hungarian::{CertifyMode, KmSolver};
 use matching::{MatchMode, UtilityMatrix};
 use platform_sim::{
-    AuditReport, DayFeedback, InvariantKind, Platform, RepairKind, Request, StateFault,
-    StateFaultKind, StateTarget, STATUS_DIM,
+    AuditReport, DayFeedback, InvariantKind, Platform, RepairKind, Request, StageBreakdown,
+    StateFault, StateFaultKind, StateTarget, STATUS_DIM,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
+
+/// Estimated work units (≈ ns) to score one broker's capacity in
+/// `begin_day` (tabular path): one shrinkage estimate per candidate
+/// arm over the status context. Feeds the adaptive sequential cutoff;
+/// the scored values never depend on it.
+pub const SCORE_WORK_PER_BROKER: u64 = 500;
 
 /// Configuration of [`Lacb`], defaulting to the paper's hyper-parameters
 /// (Sec. VII-A): `β = 0.25`, `γ = 0.9`, `δ = 0.8`, NN-enhanced UCB with
@@ -67,6 +74,14 @@ pub struct LacbConfig {
     /// count: per-broker estimation is a pure function mapped in order,
     /// and CBS pivots derive from per-row seeds, not a shared stream.
     pub n_threads: usize,
+    /// Sequential cutoff for the adaptive parallelism decision, in
+    /// `pool` work units (≈ ns of estimated work per chunk): batches
+    /// whose stages fall below it run inline even when `n_threads > 1`,
+    /// so small worlds never pay pool-wake overhead. Purely a
+    /// scheduling knob — results are bit-identical for every value.
+    /// `0` forces full splitting, `u64::MAX` forces inline; the default
+    /// is `pool::SEQ_CUTOFF_WORK`.
+    pub parallel_cutoff: u64,
     /// Runtime invariant audits (per-batch certificates, day-boundary
     /// deep audits, broker quarantine). On by default — the per-batch
     /// cost is far below the solve itself.
@@ -150,6 +165,7 @@ impl Default for LacbConfig {
             max_capacity_state: 80,
             seed: 1013,
             n_threads: 1,
+            parallel_cutoff: pool::SEQ_CUTOFF_WORK,
             audit: AuditConfig::default(),
         }
     }
@@ -198,6 +214,10 @@ pub struct Lacb {
     pruned_buf: UtilityMatrix,
     /// Runtime invariant audits and per-broker quarantine (§12).
     auditor: Auditor,
+    /// Cumulative sub-stage timing telemetry since the last
+    /// `take_stage_breakdown` (derived state; never serialised and
+    /// never read back into decisions).
+    breakdown: StageBreakdown,
 }
 
 impl Lacb {
@@ -223,6 +243,7 @@ impl Lacb {
             reduced_buf: UtilityMatrix::zeros(0, 0),
             pruned_buf: UtilityMatrix::zeros(0, 0),
             auditor,
+            breakdown: StageBreakdown::default(),
         }
     }
 
@@ -444,6 +465,7 @@ impl Lacb {
             reduced_buf: UtilityMatrix::zeros(0, 0),
             pruned_buf: UtilityMatrix::zeros(0, 0),
             auditor,
+            breakdown: StageBreakdown::default(),
         })
     }
 
@@ -861,13 +883,16 @@ impl Assigner for Lacb {
         // order, so the result is identical for every thread count.
         // Layer transfer mutates per-broker bandits and stays
         // sequential.
+        let t_score = Instant::now();
         let raws: Vec<f64> = match self.estimator.as_mut().expect("initialized above") {
             EstimatorImpl::Tabular(e) => {
                 let e: &bandit::ShrinkageEstimator = e;
                 let brokers: Vec<usize> = (0..n).collect();
-                pool::map_chunked(
+                pool::map_chunked_adaptive_with(
+                    self.cfg.parallel_cutoff,
                     self.cfg.n_threads,
                     &brokers,
+                    SCORE_WORK_PER_BROKER,
                     || e.scratch(),
                     |s, _i, &b| e.estimate_with(b, platform.day_start_status(b), s),
                 )
@@ -876,6 +901,7 @@ impl Assigner for Lacb {
                 (0..n).map(|b| e.choose(b, platform.day_start_status(b))).collect()
             }
         };
+        self.breakdown.bandit_score_secs += t_score.elapsed().as_secs_f64();
         for (b, raw) in raws.into_iter().enumerate() {
             let mut cap = if self.days_elapsed == 0 || self.cfg.capacity_smoothing <= 0.0 {
                 raw
@@ -955,7 +981,10 @@ impl Assigner for Lacb {
             // refined matrix, no KM solve at all.
             MatchMode::Greedy => {
                 self.last_ops = 0;
-                (greedy_assignment(&reduced, f64::NEG_INFINITY), None)
+                let t = Instant::now();
+                let out = (greedy_assignment(&reduced, f64::NEG_INFINITY), None);
+                self.breakdown.km_solve_secs += t.elapsed().as_secs_f64();
+                out
             }
             mode => {
                 // `ShrunkCandidates` forces the CBS path (with a
@@ -965,11 +994,21 @@ impl Assigner for Lacb {
                     self.cfg.use_cbs || matches!(mode, MatchMode::ShrunkCandidates { .. });
                 let out = if use_cbs {
                     let k = mode.candidate_budget(requests.len());
-                    let cols = candidate_union_seeded(&reduced, k, batch_seed, self.cfg.n_threads);
+                    let t_cbs = Instant::now();
+                    let cols = candidate_union_seeded_with(
+                        &reduced,
+                        k,
+                        batch_seed,
+                        self.cfg.n_threads,
+                        self.cfg.parallel_cutoff,
+                    );
+                    self.breakdown.cbs_select_secs += t_cbs.elapsed().as_secs_f64();
                     let mut pruned =
                         std::mem::replace(&mut self.pruned_buf, UtilityMatrix::zeros(0, 0));
                     pruned.select_columns_from(&reduced, &cols);
+                    let t_km = Instant::now();
                     let result = self.solver.solve(&pruned);
+                    self.breakdown.km_solve_secs += t_km.elapsed().as_secs_f64();
                     if audit_on {
                         // Retain the solved matrix — the next audit pass
                         // certifies this solve's duals against it (the
@@ -979,11 +1018,13 @@ impl Assigner for Lacb {
                     self.pruned_buf = pruned;
                     (result, Some(cols))
                 } else {
+                    let t_km = Instant::now();
                     let result = if reduced.rows() <= reduced.cols() {
                         self.solver.solve_padded(&reduced)
                     } else {
                         self.solver.solve(&reduced)
                     };
+                    self.breakdown.km_solve_secs += t_km.elapsed().as_secs_f64();
                     if audit_on {
                         self.auditor.note_solve(&reduced);
                     }
@@ -1063,6 +1104,10 @@ impl Assigner for Lacb {
 
     fn inject_state_fault(&mut self, fault: &StateFault) {
         self.apply_state_fault(fault);
+    }
+
+    fn take_stage_breakdown(&mut self) -> Option<StageBreakdown> {
+        Some(std::mem::take(&mut self.breakdown))
     }
 }
 

@@ -455,6 +455,7 @@ pub fn run_overload(
     let mut daily_elapsed = Vec::new();
     let mut requests_failed = 0u64;
     let mut timings = StageTimings::default();
+    let pool_before = pool::stats();
 
     for (d, day) in spiked.days.iter().enumerate() {
         platform.begin_day();
@@ -509,6 +510,13 @@ pub fn run_overload(
 
     let mut stats = assigner.resilience_stats().unwrap_or_default();
     stats.requests_failed = requests_failed;
+    if let Some(b) = assigner.take_stage_breakdown() {
+        timings.breakdown.absorb(&b);
+    }
+    let ps = pool::stats();
+    timings.breakdown.pool_sync_secs += (ps.sync_nanos - pool_before.sync_nanos) as f64 * 1e-9;
+    timings.breakdown.parallel_rounds += ps.parallel_rounds - pool_before.parallel_rounds;
+    timings.breakdown.inline_rounds += ps.inline_rounds - pool_before.inline_rounds;
     let mut final_state = String::new();
     assigner.primary().write_state(&mut final_state);
     OverloadOutcome {

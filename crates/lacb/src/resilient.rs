@@ -354,6 +354,10 @@ impl<A: Assigner> Assigner for ResilientAssigner<A> {
     fn inject_state_fault(&mut self, fault: &StateFault) {
         self.primary.inject_state_fault(fault);
     }
+
+    fn take_stage_breakdown(&mut self) -> Option<platform_sim::StageBreakdown> {
+        self.primary.take_stage_breakdown()
+    }
 }
 
 /// Run one algorithm over one dataset under a seeded fault schedule:

@@ -24,6 +24,7 @@ pub fn run(dataset: &Dataset, assigner: &mut dyn Assigner, cfg: &RunConfig) -> R
     let mut daily_utility = Vec::new();
     let mut daily_elapsed = Vec::new();
     let mut timings = StageTimings::default();
+    let pool_before = pool::stats();
 
     let days = match cfg.max_days {
         Some(d) => d.min(dataset.days.len()),
@@ -63,6 +64,18 @@ pub fn run(dataset: &Dataset, assigner: &mut dyn Assigner, cfg: &RunConfig) -> R
         daily_utility.push(feedback.realized);
         daily_elapsed.push(elapsed);
     }
+
+    if let Some(b) = assigner.take_stage_breakdown() {
+        timings.breakdown.absorb(&b);
+    }
+    // Attribute this run's pool activity (rounds dispatched, wake/park
+    // bookkeeping time) via counter deltas. Other threads sharing the
+    // pool would bleed into the delta, but experiment runs are
+    // single-coordinator so in practice it is exact.
+    let ps = pool::stats();
+    timings.breakdown.pool_sync_secs += (ps.sync_nanos - pool_before.sync_nanos) as f64 * 1e-9;
+    timings.breakdown.parallel_rounds += ps.parallel_rounds - pool_before.parallel_rounds;
+    timings.breakdown.inline_rounds += ps.inline_rounds - pool_before.inline_rounds;
 
     RunMetrics {
         algorithm: assigner.name(),

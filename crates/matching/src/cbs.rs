@@ -146,7 +146,46 @@ pub fn candidate_union_seeded(
     seed: u64,
     n_threads: usize,
 ) -> Vec<usize> {
-    let parts = n_threads.min(u.rows()).max(1);
+    candidate_union_seeded_with(u, k, seed, n_threads, pool::SEQ_CUTOFF_WORK)
+}
+
+/// Estimated work units (≈ ns) to quickselect one request row: a few
+/// partition passes over `cols` values plus fixed RNG/bookkeeping cost.
+/// Feeds the adaptive sequential cutoff; results never depend on it.
+pub fn row_select_work(cols: usize) -> u64 {
+    4 * cols as u64 + 300
+}
+
+/// [`candidate_union_seeded`] with an explicit sequential-cutoff
+/// override (see `pool::adaptive_parallelism_with`). The cutoff only
+/// moves the inline-vs-parallel decision — the returned candidate set is
+/// bit-identical for every `(n_threads, cutoff)` because per-row seeds
+/// depend on `r` alone and mask union is commutative.
+pub fn candidate_union_seeded_with(
+    u: &UtilityMatrix,
+    k: usize,
+    seed: u64,
+    n_threads: usize,
+    cutoff: u64,
+) -> Vec<usize> {
+    let parts =
+        pool::adaptive_parallelism_with(cutoff, n_threads, u.rows(), row_select_work(u.cols()));
+    if parts <= 1 {
+        if n_threads > 1 && u.rows() > 1 {
+            pool::record_inline_round();
+        }
+        let mut seen = vec![false; u.cols()];
+        let mut idx = Vec::new();
+        let mut out = Vec::new();
+        for r in 0..u.rows() {
+            let mut rng = StdRng::seed_from_u64(mix(seed ^ (r as u64)));
+            top_k_into(u.row(r), k, &mut rng, &mut idx, &mut out);
+            for &b in &out {
+                seen[b] = true;
+            }
+        }
+        return (0..u.cols()).filter(|&b| seen[b]).collect();
+    }
     let chunks: Vec<(usize, usize)> = pool::partition(u.rows(), parts).collect();
     let masks: Vec<Vec<bool>> = pool::map(parts, &chunks, |_ci, &(lo, hi)| {
         let mut seen = vec![false; u.cols()];

@@ -17,15 +17,34 @@
 use crate::graph::{AssignmentResult, UtilityMatrix};
 use crate::hungarian::KmSolver;
 
+/// Average estimated work units (≈ ns) per shard: KM relaxation is
+/// O(rows² · cols) with a small constant. Feeds the adaptive sequential
+/// cutoff so a handful of tiny shards runs inline instead of paying a
+/// pool wake; a pure function of the shard shapes, so scheduling stays
+/// deterministic.
+fn avg_shard_work(shards: &[UtilityMatrix]) -> u64 {
+    if shards.is_empty() {
+        return 0;
+    }
+    let total: u64 = shards.iter().map(|u| 2 * (u.rows() * u.rows() * u.cols()) as u64).sum();
+    total / shards.len() as u64
+}
+
 /// Solve independent rectangular instances concurrently.
 ///
 /// Equivalent to `shards.iter().map(max_weight_assignment).collect()`
 /// bit-for-bit, for any `n_threads`.
 pub fn solve_shards(n_threads: usize, shards: &[UtilityMatrix]) -> Vec<AssignmentResult> {
-    pool::map_chunked(n_threads, shards, KmSolver::new, |solver, _i, u| {
-        solver.reset();
-        solver.solve(u)
-    })
+    pool::map_chunked_adaptive(
+        n_threads,
+        shards,
+        avg_shard_work(shards),
+        KmSolver::new,
+        |solver, _i, u| {
+            solver.reset();
+            solver.solve(u)
+        },
+    )
 }
 
 /// Solve independent balanced (dummy-padded) instances concurrently.
@@ -34,10 +53,16 @@ pub fn solve_shards(n_threads: usize, shards: &[UtilityMatrix]) -> Vec<Assignmen
 /// bit-identical for any `n_threads`; every solve starts cold (see the
 /// module docs for why).
 pub fn solve_shards_padded(n_threads: usize, shards: &[UtilityMatrix]) -> Vec<AssignmentResult> {
-    pool::map_chunked(n_threads, shards, KmSolver::new, |solver, _i, u| {
-        solver.reset();
-        solver.solve_padded(u)
-    })
+    pool::map_chunked_adaptive(
+        n_threads,
+        shards,
+        avg_shard_work(shards),
+        KmSolver::new,
+        |solver, _i, u| {
+            solver.reset();
+            solver.solve_padded(u)
+        },
+    )
 }
 
 #[cfg(test)]

@@ -51,7 +51,7 @@ pub use faults::{
 pub use metrics::{
     gini, percentile, AuditReport, AuditViolation, BreakerComponent, BreakerEvent, BrokerLedger,
     InvariantKind, LedgerSnapshot, OverloadStats, RepairAction, RepairKind, ResilienceStats,
-    RunMetrics, StageTimings,
+    RunMetrics, StageBreakdown, StageTimings,
 };
 pub use request::Request;
 pub use traffic::{ramp_dataset, TrafficRamp};

@@ -260,6 +260,44 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// Cumulative sub-stage breakdown of one run: where the serving time
+/// actually went, one level below [`StageTimings`]' per-call samples.
+/// The assigner accumulates the compute stages (bandit scoring, CBS
+/// selection, KM solve); the runner fills the pool counters from the
+/// worker-pool telemetry deltas around the run. Pure telemetry — the
+/// clock reads feed no scheduling decision, so capturing them cannot
+/// perturb determinism.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Seconds scoring per-broker capacities in `begin_day`.
+    pub bandit_score_secs: f64,
+    /// Seconds computing CBS candidate unions in `assign_batch`.
+    pub cbs_select_secs: f64,
+    /// Seconds inside KM/greedy solves in `assign_batch`.
+    pub km_solve_secs: f64,
+    /// Seconds of worker-pool coordination overhead (dispatch, wake,
+    /// park, join bookkeeping) attributed to this run.
+    pub pool_sync_secs: f64,
+    /// Rounds dispatched to the worker pool during the run.
+    pub parallel_rounds: u64,
+    /// Rounds the adaptive sequential cutoff kept inline despite a
+    /// multi-thread configuration.
+    pub inline_rounds: u64,
+}
+
+impl StageBreakdown {
+    /// Merge another breakdown into this one (stage sums and round
+    /// counts are additive).
+    pub fn absorb(&mut self, other: &StageBreakdown) {
+        self.bandit_score_secs += other.bandit_score_secs;
+        self.cbs_select_secs += other.cbs_select_secs;
+        self.km_solve_secs += other.km_solve_secs;
+        self.pool_sync_secs += other.pool_sync_secs;
+        self.parallel_rounds += other.parallel_rounds;
+        self.inline_rounds += other.inline_rounds;
+    }
+}
+
 /// Per-stage wall-clock counters of the serving loop, captured by the
 /// experiment runners. Batch-level vectors have one entry per request
 /// batch; day-level vectors one entry per day. These are the raw samples
@@ -276,6 +314,8 @@ pub struct StageTimings {
     /// Seconds spent in `end_day` (feedback ingestion and training),
     /// one entry per day.
     pub end_day_secs: Vec<f64>,
+    /// Cumulative sub-stage breakdown (see [`StageBreakdown`]).
+    pub breakdown: StageBreakdown,
 }
 
 impl StageTimings {

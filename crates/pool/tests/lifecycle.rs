@@ -1,0 +1,117 @@
+//! Lifecycle/stress coverage for the persistent pool: workers are
+//! spawned once, parked when idle, reused across many batches, and
+//! joined cleanly on drop — the properties that make `n_threads > 1`
+//! an amortised cost instead of a per-batch one.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// The spawn/live counters are process-global, so tests that assert on
+/// their deltas must not interleave with each other's pool activity.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn counter_guard() -> MutexGuard<'static, ()> {
+    COUNTER_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Poll `cond` for up to two seconds. Worker park/exit is asynchronous
+/// (a worker decrements counters after its last job), so assertions on
+/// idle/live counts need a grace window.
+fn eventually(mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() > deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn owned_pool_spawns_once_parks_idle_and_joins_on_drop() {
+    let _g = counter_guard();
+    let before = pool::stats();
+    let p = pool::WorkerPool::new(3);
+    assert_eq!(p.workers(), 3);
+    assert_eq!(pool::stats().spawned_threads - before.spawned_threads, 3);
+
+    let items: Vec<u64> = (0..256).collect();
+    let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(31)).collect();
+
+    // Many batches: zero additional spawns after construction.
+    for round in 0..200 {
+        let out = pool::map_chunked_on(Some(&p), 4, &items, || (), |_, _, &x| x.wrapping_mul(31));
+        assert_eq!(out, expect, "round {round}");
+    }
+    assert_eq!(
+        pool::stats().spawned_threads - before.spawned_threads,
+        3,
+        "no new threads after warm-up"
+    );
+
+    // Between batches every worker parks on the condvar.
+    assert!(eventually(|| p.idle_workers() == 3), "workers must park when idle");
+
+    // Drop joins all workers without leaks or hangs.
+    let live_before_drop = pool::stats().live_threads;
+    drop(p);
+    assert!(
+        eventually(|| pool::stats().live_threads == live_before_drop - 3),
+        "drop must join all 3 workers"
+    );
+}
+
+#[test]
+fn global_pool_stops_spawning_after_warmup() {
+    let _g = counter_guard();
+    // Warm the global pool to its hard cap: worker count is bounded by
+    // available_parallelism() - 1 regardless of the requested width, so
+    // after one wide round no later request can grow it further.
+    let items: Vec<u64> = (0..128).collect();
+    let warm = pool::map_chunked(64, &items, || (), |_, i, &x| x + i as u64);
+    let after_warmup = pool::stats().spawned_threads;
+
+    for _ in 0..300 {
+        let out = pool::map_chunked(64, &items, || (), |_, i, &x| x + i as u64);
+        assert_eq!(out, warm);
+    }
+    assert_eq!(
+        pool::stats().spawned_threads,
+        after_warmup,
+        "steady-state batches must not spawn threads"
+    );
+}
+
+#[test]
+fn scope_reuses_pool_across_batches() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let _g = counter_guard();
+    let hits = AtomicU64::new(0);
+    // Warm up to the cap once, then measure.
+    pool::scope(64, |s| s.spawn(|| ()));
+    let after_warmup = pool::stats().spawned_threads;
+    for _ in 0..100 {
+        pool::scope(8, |s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }
+    assert_eq!(hits.load(Ordering::Relaxed), 800);
+    assert_eq!(pool::stats().spawned_threads, after_warmup, "scope must reuse pooled workers");
+}
+
+#[test]
+fn zero_worker_pool_runs_everything_on_the_coordinator() {
+    let p = pool::WorkerPool::new(0);
+    let items: Vec<u32> = (0..33).collect();
+    let out = pool::map_chunked_on(Some(&p), 4, &items, || (), |_, i, &x| x as u64 + i as u64);
+    let seq: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x as u64 + i as u64).collect();
+    assert_eq!(out, seq);
+    assert_eq!(p.workers(), 0);
+}

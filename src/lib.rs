@@ -49,6 +49,7 @@ pub use linalg;
 pub use matching;
 pub use neural;
 pub use platform_sim;
+pub use pool;
 
 /// Crate version, for embedding in experiment reports.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
