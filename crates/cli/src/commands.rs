@@ -65,6 +65,10 @@ pub const USAGE: &str = "usage:
   caam crash-test [--points N] [--crash-seed N] [--scenario …as in chaos]
                 [--fault-seed N] [--dir DIR] [--keep-artifacts]
                 [synthetic flags]
+  caam failover [--points N] [--kill-seed N] [--net none|lossy|partition|net-chaos]
+                [--net-seed N] [--goodput-floor 0.9]
+                [--scenario …as in chaos] [--fault-seed N]
+                [--dir DIR] [--keep-artifacts] [synthetic flags]
   caam overload [--quick] [--stages 1,2,4,8,16] [--threads 1,2,4,8]
                 [--goodput-floor 0.6] [--ramp-seed N] [--out FILE]
                 [--scenario …as in chaos] [--fault-seed N]
@@ -90,6 +94,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "bandits" => cmd_bandits(&args),
         "chaos" => cmd_chaos(&args),
         "crash-test" => crate::crash_test::cmd_crash_test(&args),
+        "failover" => crate::failover::cmd_failover(&args),
         "bench-serve" => crate::bench_serve::cmd_bench_serve(&args),
         "overload" => crate::overload::cmd_overload(&args),
         "soak" => crate::soak::cmd_soak(&args),

@@ -17,6 +17,7 @@ mod args;
 mod bench_serve;
 mod commands;
 mod crash_test;
+mod failover;
 mod overload;
 mod soak;
 

@@ -36,7 +36,7 @@ pub mod store;
 pub mod wal;
 
 pub use container::{
-    atomic_write, parse_v2, parse_v2_section, write_v2, ContainerError, V2_HEADER,
+    atomic_write, parse_v2, parse_v2_section, tmp_path, write_v2, ContainerError, V2_HEADER,
 };
 pub use crc32::crc32;
 pub use store::{CheckpointStore, StoreError, WriteCrash};

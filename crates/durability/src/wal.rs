@@ -94,7 +94,11 @@ impl WalRecord {
         }
     }
 
-    fn payload(&self) -> String {
+    /// Canonical space-separated payload text of this record, without
+    /// the checksum suffix. Public because the replication frame format
+    /// embeds record payloads verbatim inside its own epoch/seq framing
+    /// (`crates/replica`), checksumming the whole frame instead.
+    pub fn payload(&self) -> String {
         match self {
             WalRecord::DayStart { day } => format!("day-start {day}"),
             WalRecord::Batch { day, batch, draws, assignment } => {
@@ -125,7 +129,11 @@ impl WalRecord {
         }
     }
 
-    fn parse(payload: &str) -> Option<WalRecord> {
+    /// Parse a payload produced by [`WalRecord::payload`]. Rejects
+    /// structurally invalid text and trailing garbage with `None`;
+    /// checksum verification is the caller's job (the WAL line CRC or
+    /// the replication frame CRC).
+    pub fn parse(payload: &str) -> Option<WalRecord> {
         let mut toks = payload.split_whitespace();
         let kind = toks.next()?;
         let rec = match kind {
@@ -240,6 +248,16 @@ impl Wal {
             let Ok(line) = std::str::from_utf8(&data[pos..pos + nl]) else { break };
             if !saw_header {
                 if line != WAL_HEADER {
+                    // A strict prefix of the header is a torn first
+                    // line (a crash during `create`, or out-of-order
+                    // block persistence that kept the newline but lost
+                    // header bytes): recover clean-empty, like the
+                    // no-newline torn case below. Anything else — a
+                    // complete but different header such as a future
+                    // format version — is a hard mismatch.
+                    if WAL_HEADER.starts_with(line) {
+                        break;
+                    }
                     return Err(WalError::Header { found: line.to_string() });
                 }
                 saw_header = true;
@@ -272,6 +290,55 @@ impl Wal {
         }
         let file = OpenOptions::new().append(true).open(path).map_err(|e| io_err(path, &e))?;
         Ok((Wal { file, path: path.to_path_buf() }, records, report))
+    }
+
+    /// Drop every record belonging to a day before `day`, rewriting the
+    /// log atomically (tmp + rename) and reopening it for appending.
+    /// Returns the number of records pruned.
+    ///
+    /// This is the replication watermark prune: once the follower has
+    /// acked everything up to a checkpointed day boundary, the primary
+    /// no longer needs those records for its own recovery *or* for
+    /// re-shipping, so the log stops growing with the horizon.
+    /// Checkpoint markers report the boundary they cover (see
+    /// [`WalRecord::day`]), so the marker for `day` itself survives.
+    pub fn prune_to_watermark(&mut self, day: usize) -> Result<usize, WalError> {
+        let path = self.path.clone();
+        let data = std::fs::read(&path).map_err(|e| io_err(&path, &e))?;
+        let text = std::str::from_utf8(&data).map_err(|e| WalError::Io {
+            path: path.display().to_string(),
+            kind: ErrorKind::InvalidData,
+            detail: e.to_string(),
+        })?;
+        let mut kept = String::with_capacity(data.len());
+        kept.push_str(WAL_HEADER);
+        kept.push('\n');
+        let mut pruned = 0usize;
+        for line in text.lines().skip(1) {
+            let rec = line
+                .rsplit_once(" #")
+                .and_then(|(payload, _)| WalRecord::parse(payload))
+                .ok_or_else(|| WalError::Io {
+                    path: path.display().to_string(),
+                    kind: ErrorKind::InvalidData,
+                    detail: format!("prune on an unrecovered log: bad line {line:?}"),
+                })?;
+            if rec.day() < day {
+                pruned += 1;
+            } else {
+                kept.push_str(line);
+                kept.push('\n');
+            }
+        }
+        let tmp = path.with_extension("wal.tmp");
+        {
+            let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, &e))?;
+            f.write_all(kept.as_bytes()).map_err(|e| io_err(&tmp, &e))?;
+            f.sync_all().map_err(|e| io_err(&tmp, &e))?;
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, &e))?;
+        self.file = OpenOptions::new().append(true).open(&path).map_err(|e| io_err(&path, &e))?;
+        Ok(pruned)
     }
 
     /// Where this log lives.
@@ -384,6 +451,101 @@ mod tests {
         drop(wal);
         let (_, records, _) = Wal::recover(&path).unwrap();
         assert_eq!(records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_length_file_recovers_clean_empty() {
+        let path = tmp("zerolen.wal");
+        std::fs::write(&path, b"").unwrap();
+        let (mut wal, records, report) = Wal::recover(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(report, WalRecovery { records: 0, torn: false, dropped_bytes: 0 });
+        // The recreated log is immediately appendable and recoverable.
+        wal.append(&sample_records()[0]).unwrap();
+        drop(wal);
+        let (_, records, _) = Wal::recover(&path).unwrap();
+        assert_eq!(records, sample_records()[..1]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_first_line_without_newline_recovers_clean_empty() {
+        let path = tmp("tornfirst.wal");
+        // A crash during `create` persisted only a header prefix.
+        std::fs::write(&path, b"caam-wa").unwrap();
+        let (mut wal, records, report) = Wal::recover(&path).unwrap();
+        assert!(records.is_empty());
+        assert!(report.torn);
+        assert_eq!(report.dropped_bytes, 7);
+        wal.append(&sample_records()[0]).unwrap();
+        drop(wal);
+        let (_, records, _) = Wal::recover(&path).unwrap();
+        assert_eq!(records, sample_records()[..1]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_first_line_with_newline_recovers_clean_empty() {
+        // Out-of-order block persistence can keep the newline while
+        // losing header bytes: the first line is then a *complete* line
+        // that is a strict prefix of the header. This must be treated
+        // as torn (clean-empty recovery), not as a header mismatch.
+        for torn in ["\n", "caam-wal\n", "caam-wal v\n"] {
+            let path = tmp("tornheaderline.wal");
+            std::fs::write(&path, torn).unwrap();
+            let (mut wal, records, report) =
+                Wal::recover(&path).unwrap_or_else(|e| panic!("{torn:?}: {e}"));
+            assert!(records.is_empty(), "{torn:?}");
+            assert!(report.torn, "{torn:?}");
+            wal.append(&sample_records()[0]).unwrap();
+            drop(wal);
+            let (_, records, _) = Wal::recover(&path).unwrap();
+            assert_eq!(records, sample_records()[..1]);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn prune_to_watermark_drops_acked_days_and_stays_appendable() {
+        let path = tmp("prune.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        let day0: Vec<WalRecord> = sample_records();
+        for r in &day0 {
+            wal.append(r).unwrap();
+        }
+        let day1 = vec![
+            WalRecord::DayStart { day: 1 },
+            WalRecord::Batch { day: 1, batch: 0, draws: 9, assignment: vec![Some(1)] },
+        ];
+        for r in &day1 {
+            wal.append(r).unwrap();
+        }
+        // Everything of day 0 is acked and checkpointed: prune it. The
+        // checkpoint marker for boundary 1 covers day 1, so it stays.
+        let pruned = wal.prune_to_watermark(1).unwrap();
+        assert_eq!(pruned, day0.len() - 1, "all day-0 records except the ckpt marker go");
+        wal.append(&WalRecord::DayEnd { day: 1, realized_bits: 7, trials: 1, draws: 9 }).unwrap();
+        drop(wal);
+        let (_, records, report) = Wal::recover(&path).unwrap();
+        assert!(!report.torn);
+        assert_eq!(records[0], WalRecord::Checkpoint { next_day: 1 });
+        assert_eq!(records[1..3], day1[..]);
+        assert_eq!(records[3], WalRecord::DayEnd { day: 1, realized_bits: 7, trials: 1, draws: 9 });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prune_to_watermark_zero_is_a_no_op() {
+        let path = tmp("prunenoop.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        assert_eq!(wal.prune_to_watermark(0).unwrap(), 0);
+        drop(wal);
+        let (_, records, _) = Wal::recover(&path).unwrap();
+        assert_eq!(records, sample_records());
         std::fs::remove_file(&path).ok();
     }
 

@@ -121,6 +121,11 @@ pub struct Restored {
     /// overload-protected run (absent in plain durable checkpoints and
     /// every pre-overload file).
     pub overload: Option<OverloadSnapshot>,
+    /// Replication fencing epoch, when the checkpoint was cut by a
+    /// replicated run (absent in single-node checkpoints). A node
+    /// restoring this checkpoint must serve under an epoch at least
+    /// this high or its frames will be fenced off.
+    pub epoch: Option<u64>,
 }
 
 /// A serialised pipeline snapshot. Obtain one with [`Checkpoint::capture`]
@@ -184,6 +189,14 @@ impl Checkpoint {
         Checkpoint { text: out }
     }
 
+    /// Stamp a replication fencing epoch onto the checkpoint (replicated
+    /// runs only). The epoch rides as a trailing optional section, so
+    /// single-node tooling keeps reading these files unchanged.
+    pub fn with_epoch(mut self, epoch: u64) -> Checkpoint {
+        state::push_kv(&mut self.text, "replication-epoch", epoch);
+        self
+    }
+
     /// The bare v1 payload (header + key-value lines). This is the
     /// *logical* form; [`Checkpoint::save`] wraps it in the checksummed
     /// v2 container on the way to disk.
@@ -198,7 +211,7 @@ impl Checkpoint {
         // Section boundaries are the first key of each logical group in
         // the v1 payload; splitting here (rather than restructuring
         // `capture`) keeps one serialisation path for both formats.
-        const MARKERS: [(&str, &str); 7] = [
+        const MARKERS: [(&str, &str); 8] = [
             ("next-day", "progress"),
             ("platform-day", "platform"),
             ("ledger-realized", "ledger"),
@@ -206,6 +219,7 @@ impl Checkpoint {
             ("pending-feedback", "feedback"),
             ("lacb-days", "matcher"),
             ("overload-present", "overload"),
+            ("replication-epoch", "epoch"),
         ];
         let mut sections: Vec<(&str, String)> = Vec::with_capacity(MARKERS.len());
         for line in self.text.lines().skip(1) {
@@ -264,7 +278,7 @@ impl Checkpoint {
         cfg: LacbConfig,
         platform: &mut Platform,
     ) -> Result<Restored, CheckpointError> {
-        let mut lines = self.text.lines();
+        let mut lines = self.text.lines().peekable();
         let header = lines.next().unwrap_or("").trim_end();
         if header != FORMAT_VERSION {
             return Err(CheckpointError::VersionSkew { found: header.to_string() });
@@ -299,7 +313,14 @@ impl Checkpoint {
         let stats = read_stats(&mut lines)?;
         let pending_feedback = read_feedback(&mut lines)?;
         let matcher = Lacb::read_state(&mut lines, cfg, platform.num_brokers())?;
-        let overload = read_overload(&mut lines)?;
+        // Optional trailing sections: overload snapshot, then the
+        // replication epoch. Either may be absent independently.
+        let overload = if lines.peek().is_some_and(|l| l.starts_with("overload-present")) {
+            read_overload(&mut lines)?
+        } else {
+            None
+        };
+        let epoch = read_epoch(&mut lines)?;
         platform.restore_day_boundary(states, day_index, appeal_draws);
         Ok(Restored {
             matcher,
@@ -314,6 +335,7 @@ impl Checkpoint {
             pending_feedback,
             stats,
             overload,
+            epoch,
         })
     }
 }
@@ -672,6 +694,19 @@ fn write_overload(out: &mut String, ov: &OverloadSnapshot) {
     }
 }
 
+/// Parse the trailing replication-epoch section, if present. Single-node
+/// checkpoints simply end before it, in which case this returns `None`;
+/// any other trailing line is rejected as corruption.
+fn read_epoch<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+) -> Result<Option<u64>, CheckpointError> {
+    let Some(line) = lines.next() else { return Ok(None) };
+    let rest = line.strip_prefix("replication-epoch ").ok_or_else(|| {
+        CheckpointError::Invalid(format!("expected replication-epoch, found {line:?}"))
+    })?;
+    Ok(Some(state::parse_one(rest, "replication epoch")?))
+}
+
 /// Parse the overload section, if present. Checkpoints cut by plain
 /// durable runs (and every pre-overload file) simply end after the
 /// matcher state, in which case this returns `None`.
@@ -904,6 +939,7 @@ pub fn resume_chaos(
         overload: None,
         timings: StageTimings::default(),
         audit: assigner.take_audit_report(),
+        replication: None,
     })
 }
 

@@ -26,6 +26,7 @@ pub mod baselines;
 pub mod checkpoint;
 pub mod lacb;
 pub mod overload;
+pub mod replication;
 pub mod resilient;
 pub mod runner;
 pub mod supervisor;
@@ -46,6 +47,9 @@ pub use overload::{
     run_overload, OverloadConfig, OverloadOutcome, OverloadSnapshot, OverloadState,
 };
 pub use platform_sim::RunMetrics;
+pub use replication::{
+    run_replicated, ReplicatedOutcome, ReplicationConfig, ReplicationError, REPLICA_WAL_FILE,
+};
 pub use resilient::{run_chaos, ResilienceConfig, ResilientAssigner};
 pub use runner::{run, RunConfig};
 pub use supervisor::{

@@ -531,6 +531,7 @@ pub fn run_overload(
             overload: Some(ov.stats().clone()),
             timings,
             audit: assigner.take_audit_report(),
+            replication: None,
         },
         final_state,
     }

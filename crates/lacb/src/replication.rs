@@ -1,0 +1,852 @@
+//! Replicated serving: deterministic WAL shipping over a simulated
+//! network, epoch-fenced failover, and bit-identical takeover.
+//!
+//! [`run_replicated`] drives a resilient LACB run exactly like
+//! [`crate::resilient::run_chaos`], but with a warm follower on the
+//! other end of a [`replica::SimLink`]:
+//!
+//! * the **primary** executes the serving loop, appends each
+//!   batch-granular record to its on-disk WAL, and ships the same
+//!   record as a checksummed, sequence-numbered, epoch-tagged
+//!   [`replica::Frame`] — one link tick per serving step;
+//! * the **follower** admits frames idempotently (duplicates dropped,
+//!   gaps buffered, torn or damaged frames rejected by CRC) and applies
+//!   each record with the same *recompute-and-verify* replay as
+//!   [`crate::supervisor`]: the record is recomputed by the follower's
+//!   own deterministic pipeline and compared bit-for-bit — a mismatch
+//!   is a typed [`ReplicationError::Divergence`], never silent drift;
+//! * the follower acks its applied watermark every tick; the primary
+//!   prunes its frame outbox and its on-disk WAL
+//!   ([`durability::Wal::prune_to_watermark`]) up to the acked day at
+//!   each checkpoint boundary;
+//! * a [`replica::FailureDetector`] counts silent link ticks; when the
+//!   primary goes quiet past the threshold — because a seeded
+//!   [`KillPoint`] killed it, or a seeded network partition made it
+//!   *look* dead — the follower promotes itself under a bumped epoch.
+//!   Every frame still carrying the old epoch is fenced off (counted in
+//!   [`ReplicationStats::stale_epoch_rejected`]), so a deposed primary
+//!   can never split-brain the learned state.
+//!
+//! Takeover is **bit-identical**: the follower's replayed state at its
+//! watermark equals the clean single-node state at that boundary (the
+//! pipeline is a pure function of its seeds), and its post-promotion
+//! execution re-derives everything the dead primary did but never got
+//! acked. The `caam failover` harness asserts final metrics and matcher
+//! state equal to an uninterrupted [`crate::resilient::run_chaos`] run,
+//! for every seeded kill point and network-fault scenario.
+
+use crate::assigner::Assigner;
+use crate::checkpoint::{Checkpoint, RunProgress};
+use crate::lacb::{Lacb, LacbConfig};
+use crate::resilient::{ResilienceConfig, ResilientAssigner};
+use durability::{tmp_path, CheckpointStore, StoreError, Wal, WalError, WalRecord};
+use platform_sim::{
+    BrokerLedger, Dataset, FaultPlan, KillPoint, NetDelivery, NetFaultPlan, Platform,
+    ReplicationStats, RunMetrics, StageTimings,
+};
+use replica::{
+    AckChannel, Admitted, Delivery, FailureDetector, Follower, FramePayload, Primary, SimLink,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// File name of the primary's WAL inside the replication directory.
+pub const REPLICA_WAL_FILE: &str = "primary.wal";
+
+/// Safety valve on the protocol loops that wait for network
+/// convergence; hitting it is a protocol bug, not a slow link.
+const CONVERGENCE_GUARD_TICKS: u64 = 100_000;
+
+/// Knobs of a replicated run.
+#[derive(Clone, Debug)]
+pub struct ReplicationConfig {
+    /// Directory holding the primary's WAL and checkpoint generations.
+    pub dir: PathBuf,
+    /// Checkpoint generations to retain.
+    pub keep: usize,
+    /// Consecutive silent link ticks before the follower promotes.
+    pub heartbeat_timeout: u64,
+    /// Ticks without ack progress before the outbox is retransmitted.
+    pub retransmit_after: u64,
+    /// Seeded primary kill point (failover harness only).
+    pub kill: Option<KillPoint>,
+}
+
+impl ReplicationConfig {
+    /// A replicated run rooted at `dir` with default timeouts and no
+    /// injected kill.
+    pub fn at(dir: &Path) -> Self {
+        ReplicationConfig {
+            dir: dir.to_path_buf(),
+            keep: 3,
+            heartbeat_timeout: 6,
+            retransmit_after: 2,
+            kill: None,
+        }
+    }
+}
+
+/// Why a replicated run failed.
+#[derive(Clone, Debug)]
+pub enum ReplicationError {
+    /// The primary's WAL could not be written or pruned.
+    Wal(WalError),
+    /// The primary's checkpoint store failed.
+    Store(StoreError),
+    /// A shipped record recomputed differently on the follower.
+    /// Deterministic replay makes this impossible unless state, code,
+    /// or wire were corrupted in a way the checksums could not see.
+    Divergence { day: usize, batch: Option<usize>, detail: String },
+    /// The protocol itself misbehaved (convergence guard exhausted,
+    /// or an unshippable record reached the wire).
+    Protocol(String),
+}
+
+impl fmt::Display for ReplicationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicationError::Wal(e) => write!(f, "WAL error: {e}"),
+            ReplicationError::Store(e) => write!(f, "checkpoint store error: {e}"),
+            ReplicationError::Divergence { day, batch: Some(b), detail } => {
+                write!(f, "replication divergence at day {day} batch {b}: {detail}")
+            }
+            ReplicationError::Divergence { day, batch: None, detail } => {
+                write!(f, "replication divergence at day {day} boundary: {detail}")
+            }
+            ReplicationError::Protocol(e) => write!(f, "replication protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicationError {}
+
+impl From<WalError> for ReplicationError {
+    fn from(e: WalError) -> Self {
+        ReplicationError::Wal(e)
+    }
+}
+
+impl From<StoreError> for ReplicationError {
+    fn from(e: StoreError) -> Self {
+        ReplicationError::Store(e)
+    }
+}
+
+/// What a completed replicated run reports.
+#[derive(Clone, Debug)]
+pub struct ReplicatedOutcome {
+    /// The surviving node's whole-horizon metrics, directly comparable
+    /// with [`crate::resilient::run_chaos`]; `metrics.replication`
+    /// carries the protocol counters.
+    pub metrics: RunMetrics,
+    /// The surviving node's final learned state — the failover harness
+    /// compares this bit-for-bit against a clean single-node run.
+    pub final_state: String,
+    /// Whether the follower took over.
+    pub promoted: bool,
+    /// The follower's `(day, batch)` position at the moment it
+    /// promoted (its verified watermark), if it did.
+    pub promoted_at: Option<(usize, usize)>,
+    /// Protocol counters (also threaded into `metrics.replication`).
+    pub replication: ReplicationStats,
+    /// For runs the primary survived: whether the follower's replayed
+    /// state converged bit-identically to the primary's. `None` when
+    /// the follower was promoted (it *is* the surviving state then).
+    pub follower_converged: Option<bool>,
+    /// WAL records pruned below acked watermarks over the run.
+    pub wal_pruned: u64,
+}
+
+/// The next serving unit a pipeline will execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Unit {
+    DayStart(usize),
+    Batch(usize, usize),
+    DayEnd(usize),
+    Done,
+}
+
+/// One deterministic serving pipeline (platform + assigner + ledger),
+/// advanced one WAL-record-sized unit at a time. The primary drives one
+/// directly; the follower drives an identical twin by verified replay —
+/// and, after promotion, directly.
+struct Engine<'a> {
+    spiked: &'a Dataset,
+    plan: FaultPlan,
+    platform: Platform,
+    assigner: ResilientAssigner<Lacb>,
+    ledger: BrokerLedger,
+    daily_utility: Vec<f64>,
+    daily_elapsed: Vec<f64>,
+    elapsed: f64,
+    requests_failed: u64,
+    next_day: usize,
+    next_batch: usize,
+    day_open: bool,
+}
+
+impl<'a> Engine<'a> {
+    fn new(spiked: &'a Dataset, cfg: LacbConfig, rcfg: ResilienceConfig, plan: FaultPlan) -> Self {
+        let mut platform = Platform::from_dataset(spiked);
+        platform.enable_faults(plan);
+        let num_brokers = platform.num_brokers();
+        Engine {
+            spiked,
+            plan,
+            platform,
+            assigner: ResilientAssigner::new(Lacb::new(cfg), rcfg),
+            ledger: BrokerLedger::new(num_brokers),
+            daily_utility: Vec::new(),
+            daily_elapsed: Vec::new(),
+            elapsed: 0.0,
+            requests_failed: 0,
+            next_day: 0,
+            next_batch: 0,
+            day_open: false,
+        }
+    }
+
+    fn peek(&self) -> Unit {
+        if !self.day_open {
+            if self.next_day >= self.spiked.days.len() {
+                return Unit::Done;
+            }
+            return Unit::DayStart(self.next_day);
+        }
+        if self.next_batch < self.spiked.days[self.next_day].len() {
+            Unit::Batch(self.next_day, self.next_batch)
+        } else {
+            Unit::DayEnd(self.next_day)
+        }
+    }
+
+    /// Execute the next serving unit; returns the WAL record it
+    /// produced, or `None` when the horizon is complete. The per-batch
+    /// body — fault injection, duplicated delivery, quarantine repair —
+    /// mirrors [`crate::resilient::run_chaos`] exactly, so a replicated
+    /// run's state is bit-identical to a single-node one.
+    fn step(&mut self) -> Option<WalRecord> {
+        let spiked = self.spiked;
+        match self.peek() {
+            Unit::Done => None,
+            Unit::DayStart(d) => {
+                self.platform.begin_day();
+                let t = Instant::now();
+                self.assigner.begin_day(&self.platform, d);
+                self.elapsed += t.elapsed().as_secs_f64();
+                self.day_open = true;
+                self.next_batch = 0;
+                Some(WalRecord::DayStart { day: d })
+            }
+            Unit::Batch(d, b) => {
+                let requests = &spiked.days[d][b].requests;
+                let t = Instant::now();
+                let assignment = self.assigner.assign_batch(&self.platform, requests);
+                self.elapsed += t.elapsed().as_secs_f64();
+                let rec = WalRecord::Batch {
+                    day: d,
+                    batch: b,
+                    draws: self.platform.appeal_draws(),
+                    assignment: assignment.clone(),
+                };
+                let outcome = self.platform.execute_batch(requests, &assignment);
+                self.requests_failed += outcome.failed.len() as u64;
+                self.ledger.record_batch(&outcome);
+                if let Some(fault) = self.plan.state_fault(d, b, self.platform.num_brokers()) {
+                    self.assigner.inject_state_fault(&fault);
+                }
+                if self.plan.batch_replayed(d, b) {
+                    let _ = self.assigner.assign_batch(&self.platform, requests);
+                }
+                self.assigner.repair_quarantined_brokers();
+                self.next_batch += 1;
+                Some(rec)
+            }
+            Unit::DayEnd(d) => {
+                let feedback = self.platform.end_day();
+                let rec = WalRecord::DayEnd {
+                    day: d,
+                    realized_bits: feedback.realized.to_bits(),
+                    trials: feedback.trials.len(),
+                    draws: self.platform.appeal_draws(),
+                };
+                let t = Instant::now();
+                self.assigner.end_day(&self.platform, &feedback);
+                self.elapsed += t.elapsed().as_secs_f64();
+                self.assigner.repair_quarantined_brokers();
+                self.ledger.end_day(feedback.realized);
+                self.daily_utility.push(feedback.realized);
+                self.daily_elapsed.push(self.elapsed);
+                self.day_open = false;
+                self.next_day = d + 1;
+                Some(rec)
+            }
+        }
+    }
+
+    /// Recompute-and-verify replay of one shipped record: the record
+    /// must land at this engine's exact position, and re-executing the
+    /// unit must reproduce it bit-for-bit.
+    fn verify_apply(&mut self, rec: &WalRecord) -> Result<(), ReplicationError> {
+        let unit = self.peek();
+        let in_position = match (rec, unit) {
+            (WalRecord::DayStart { day }, Unit::DayStart(d)) => *day == d,
+            (WalRecord::Batch { day, batch, .. }, Unit::Batch(d, b)) => *day == d && *batch == b,
+            (WalRecord::DayEnd { day, .. }, Unit::DayEnd(d)) => *day == d,
+            _ => false,
+        };
+        if !in_position {
+            return Err(ReplicationError::Divergence {
+                day: rec.day(),
+                batch: None,
+                detail: format!("record {rec:?} arrived at pipeline position {unit:?}"),
+            });
+        }
+        let recomputed = self.step().expect("position matched, engine not done");
+        if recomputed != *rec {
+            let batch = match rec {
+                WalRecord::Batch { batch, .. } => Some(*batch),
+                _ => None,
+            };
+            return Err(ReplicationError::Divergence {
+                day: rec.day(),
+                batch,
+                detail: format!("shipped {rec:?} recomputed {recomputed:?}"),
+            });
+        }
+        Ok(())
+    }
+
+    fn run_to_end(&mut self) {
+        while self.step().is_some() {}
+    }
+
+    fn progress(&self) -> RunProgress {
+        RunProgress {
+            next_day: self.next_day,
+            elapsed_secs: self.elapsed,
+            daily_utility: self.daily_utility.clone(),
+            daily_elapsed: self.daily_elapsed.clone(),
+            requests_failed: self.requests_failed,
+        }
+    }
+
+    fn finish(mut self, replication: ReplicationStats) -> (RunMetrics, String) {
+        let mut stats = self.assigner.resilience_stats().unwrap_or_default();
+        stats.requests_failed = self.requests_failed;
+        let mut final_state = String::new();
+        self.assigner.primary().write_state(&mut final_state);
+        let metrics = RunMetrics {
+            algorithm: self.assigner.name(),
+            total_utility: self.ledger.total_realized(),
+            elapsed_secs: self.elapsed,
+            daily_utility: self.daily_utility,
+            daily_elapsed: self.daily_elapsed,
+            ledger: self.ledger,
+            resilience: Some(stats),
+            overload: None,
+            timings: StageTimings::default(),
+            audit: self.assigner.take_audit_report(),
+            replication: Some(replication),
+        };
+        (metrics, final_state)
+    }
+}
+
+/// Translate a seeded [`NetDelivery`] verdict into the link's dialect.
+fn verdict(net: &NetFaultPlan, epoch: u64, seq: u64, attempt: u64) -> Delivery {
+    match net.delivery(epoch, seq, attempt) {
+        NetDelivery::Deliver { delay } => Delivery::Deliver { delay },
+        NetDelivery::DeliverTwice { first, second } => Delivery::DeliverTwice { first, second },
+        NetDelivery::DeliverCorrupt { delay, byte, mask } => {
+            Delivery::DeliverCorrupt { delay, byte, mask }
+        }
+        NetDelivery::Drop => Delivery::Drop,
+    }
+}
+
+/// One network round: tick the link, admit and verify-apply at the
+/// follower, ack the watermark, deliver acks to the primary, advance
+/// the failure detector, and promote on suspicion.
+#[allow(clippy::too_many_arguments)]
+fn exchange(
+    link: &mut SimLink,
+    acks: &mut AckChannel,
+    follower: &mut Follower,
+    engine_f: &mut Engine<'_>,
+    detector: &mut FailureDetector,
+    primary: &mut Primary,
+    primary_alive: &mut bool,
+    promoted: &mut bool,
+    promoted_at: &mut Option<(usize, usize)>,
+) -> Result<(), ReplicationError> {
+    let mut saw_traffic = false;
+    for bytes in link.tick() {
+        match follower.admit_bytes(&bytes) {
+            Admitted::Apply(recs) => {
+                saw_traffic = true;
+                for rec in recs {
+                    engine_f.verify_apply(&rec)?;
+                }
+            }
+            Admitted::Heartbeat => saw_traffic = true,
+            Admitted::Ignored => {}
+        }
+    }
+    if !*promoted {
+        acks.send(follower.epoch(), follower.watermark());
+    }
+    for (epoch, watermark) in acks.tick() {
+        if *primary_alive {
+            primary.ack(epoch, watermark);
+            if primary.deposed() {
+                *primary_alive = false;
+            }
+        }
+    }
+    if !*promoted && detector.tick(saw_traffic) {
+        follower.promote();
+        *promoted = true;
+        *promoted_at = Some((engine_f.next_day, engine_f.next_batch));
+    }
+    Ok(())
+}
+
+/// Run a primary/follower replicated serving pair over the whole
+/// horizon under seeded platform faults (`plan`), seeded network faults
+/// (`net`), and an optional seeded primary kill. See module docs for
+/// the protocol; see [`ReplicatedOutcome`] for what comes back.
+pub fn run_replicated(
+    dataset: &Dataset,
+    cfg: LacbConfig,
+    rcfg: ResilienceConfig,
+    plan: FaultPlan,
+    net: NetFaultPlan,
+    repl: &ReplicationConfig,
+) -> Result<ReplicatedOutcome, ReplicationError> {
+    let spiked = dataset.with_batch_spikes(&plan);
+    let store = CheckpointStore::open(&repl.dir, repl.keep)?;
+    // The replicated primary starts a fresh log; composing replication
+    // with single-node crash recovery is `supervisor`'s job.
+    let (mut wal, _, _) = Wal::recover(&repl.dir.join(REPLICA_WAL_FILE))?;
+
+    let mut engine_p = Engine::new(&spiked, cfg.clone(), rcfg.clone(), plan);
+    let mut engine_f = Engine::new(&spiked, cfg, rcfg, plan);
+    let mut primary = Primary::new(0);
+    let mut follower = Follower::new(0);
+    let mut detector = FailureDetector::new(repl.heartbeat_timeout);
+    let mut link = SimLink::new();
+    let mut acks = AckChannel::new();
+    let mut attempts: HashMap<u64, u64> = HashMap::new();
+    // Heartbeat fault draws use a disjoint attempt domain so they never
+    // collide with record retransmission attempts.
+    let mut hb_attempt: u64 = 1 << 40;
+    let mut primary_alive = true;
+    let mut promoted = false;
+    let mut promoted_at: Option<(usize, usize)> = None;
+    let mut wal_pruned: u64 = 0;
+    let mut stall_ticks: u64 = 0;
+    let mut last_acked: u64 = 0;
+
+    // Phase 1: the primary serves, one unit per link tick.
+    while primary_alive && !promoted && engine_p.peek() != Unit::Done {
+        let partitioned = net.partitioned(primary.epoch(), link.now());
+        if let (Some(KillPoint::BeforeDayEnd { day }), Unit::DayEnd(d)) =
+            (repl.kill, engine_p.peek())
+        {
+            if d == day {
+                primary_alive = false;
+            }
+        }
+        if primary_alive {
+            let rec = engine_p.step().expect("peeked not done");
+            wal.append(&rec)?;
+            let frame = primary.ship(rec.clone());
+            let line = frame.encode();
+            let mid_frame_kill = match (repl.kill, &rec) {
+                (
+                    Some(KillPoint::MidFrame { day, batch }),
+                    WalRecord::Batch { day: rd, batch: rb, .. },
+                ) => day == *rd && batch == *rb,
+                _ => false,
+            };
+            if mid_frame_kill {
+                // The primary dies halfway through the send: the wire
+                // carries a torn prefix the follower's CRC must reject.
+                link.send_raw(line.as_bytes()[..line.len() / 2].to_vec());
+                primary_alive = false;
+            } else if !partitioned {
+                let attempt = attempts.entry(frame.seq).or_insert(0);
+                link.send(&line, verdict(&net, primary.epoch(), frame.seq, *attempt));
+                *attempt += 1;
+            }
+            if let (
+                Some(KillPoint::AfterBatch { day, batch }),
+                WalRecord::Batch { day: rd, batch: rb, .. },
+            ) = (repl.kill, &rec)
+            {
+                if day == *rd && batch == *rb {
+                    primary_alive = false;
+                }
+            }
+            if primary_alive {
+                if let WalRecord::DayEnd { day: d, .. } = rec {
+                    let ckpt = Checkpoint::capture(
+                        engine_p.assigner.primary(),
+                        &engine_p.platform,
+                        &engine_p.ledger,
+                        &engine_p.progress(),
+                        engine_p.assigner.pending_feedback(),
+                        engine_p.assigner.stats(),
+                    )
+                    .with_epoch(primary.epoch());
+                    let text = ckpt.to_v2_text();
+                    if repl.kill == Some(KillPoint::MidCheckpoint { day: d }) {
+                        // Dying mid-write leaves a torn tmp that the
+                        // atomic rename never promoted — invisible to
+                        // every reader, exactly like a crashed save.
+                        let tmp = tmp_path(&store.generation_path(d + 1));
+                        std::fs::write(&tmp, &text.as_bytes()[..text.len() / 2]).map_err(|e| {
+                            ReplicationError::Protocol(format!("torn tmp write failed: {e}"))
+                        })?;
+                        primary_alive = false;
+                    } else {
+                        store.save(d + 1, &text, None)?;
+                        wal.append(&WalRecord::Checkpoint { next_day: d + 1 })?;
+                        // Prune the WAL below the acked watermark: keep
+                        // from the first unacked record's day (or drop
+                        // everything when fully acked).
+                        let prune_day = match primary.retransmit().first().map(|f| &f.payload) {
+                            Some(FramePayload::Record(r)) => r.day(),
+                            _ => d + 1,
+                        };
+                        wal_pruned += wal.prune_to_watermark(prune_day)? as u64;
+                        if repl.kill == Some(KillPoint::AfterCheckpoint { day: d }) {
+                            primary_alive = false;
+                        }
+                    }
+                }
+            }
+            if primary_alive && !partitioned {
+                let hb = primary.heartbeat();
+                link.send(&hb.encode(), verdict(&net, primary.epoch(), hb.seq, hb_attempt));
+                hb_attempt += 1;
+            }
+            if primary_alive && !partitioned && stall_ticks >= repl.retransmit_after {
+                for f in primary.retransmit() {
+                    let attempt = attempts.entry(f.seq).or_insert(0);
+                    link.send(&f.encode(), verdict(&net, primary.epoch(), f.seq, *attempt));
+                    *attempt += 1;
+                }
+            }
+        }
+        exchange(
+            &mut link,
+            &mut acks,
+            &mut follower,
+            &mut engine_f,
+            &mut detector,
+            &mut primary,
+            &mut primary_alive,
+            &mut promoted,
+            &mut promoted_at,
+        )?;
+        if primary.acked() > last_acked {
+            last_acked = primary.acked();
+            stall_ticks = 0;
+        } else {
+            stall_ticks += 1;
+        }
+    }
+
+    // Phase 2a: the primary finished serving — keep heartbeating and
+    // retransmitting until the follower's watermark catches up.
+    if primary_alive && !promoted {
+        let mut guard = 0u64;
+        while primary_alive && !promoted && follower.watermark() < primary.next_seq() {
+            if !net.partitioned(primary.epoch(), link.now()) {
+                let hb = primary.heartbeat();
+                link.send(&hb.encode(), verdict(&net, primary.epoch(), hb.seq, hb_attempt));
+                hb_attempt += 1;
+                for f in primary.retransmit() {
+                    let attempt = attempts.entry(f.seq).or_insert(0);
+                    link.send(&f.encode(), verdict(&net, primary.epoch(), f.seq, *attempt));
+                    *attempt += 1;
+                }
+            }
+            exchange(
+                &mut link,
+                &mut acks,
+                &mut follower,
+                &mut engine_f,
+                &mut detector,
+                &mut primary,
+                &mut primary_alive,
+                &mut promoted,
+                &mut promoted_at,
+            )?;
+            guard += 1;
+            if guard > CONVERGENCE_GUARD_TICKS {
+                return Err(ReplicationError::Protocol(format!(
+                    "tail sync stalled: follower watermark {} vs primary seq {}",
+                    follower.watermark(),
+                    primary.next_seq()
+                )));
+            }
+        }
+    }
+
+    // Phase 2b: the primary is dead — tick silence (and the in-flight
+    // tail) until the failure detector fires and the follower promotes.
+    if !primary_alive && !promoted {
+        let mut guard = 0u64;
+        while !promoted {
+            exchange(
+                &mut link,
+                &mut acks,
+                &mut follower,
+                &mut engine_f,
+                &mut detector,
+                &mut primary,
+                &mut primary_alive,
+                &mut promoted,
+                &mut promoted_at,
+            )?;
+            guard += 1;
+            if guard > CONVERGENCE_GUARD_TICKS {
+                return Err(ReplicationError::Protocol(
+                    "failure detector never fired after primary death".into(),
+                ));
+            }
+        }
+    }
+
+    // Phase 3: after a takeover, the wire still holds the old primary's
+    // unacked transmissions. Replaying them proves the fence: every
+    // old-epoch frame must be rejected, none may move the watermark.
+    if promoted {
+        for f in primary.retransmit() {
+            let _ = follower.admit(f);
+        }
+        let _ = follower.admit(primary.heartbeat());
+        for bytes in link.drain() {
+            let _ = follower.admit_bytes(&bytes);
+        }
+        engine_f.run_to_end();
+    }
+
+    let follower_converged = if promoted {
+        None
+    } else {
+        let mut follower_state = String::new();
+        engine_f.assigner.primary().write_state(&mut follower_state);
+        let mut primary_state = String::new();
+        engine_p.assigner.primary().write_state(&mut primary_state);
+        Some(follower_state == primary_state && follower.watermark() == primary.next_seq())
+    };
+
+    let replication = ReplicationStats {
+        epoch: if promoted { follower.epoch() } else { primary.epoch() },
+        promotions: follower.stats().promotions,
+        frames_shipped: link.stats().sent,
+        frames_applied: follower.stats().frames_applied,
+        frames_dropped: link.stats().dropped,
+        duplicates_dropped: follower.stats().duplicates_dropped,
+        reordered_buffered: follower.stats().reordered_buffered,
+        corrupt_rejected: follower.stats().corrupt_rejected,
+        stale_epoch_rejected: follower.stats().stale_epoch_rejected,
+        heartbeats_missed: detector.total_missed(),
+        acked_watermark: primary.acked(),
+        pruned_records: wal_pruned,
+        max_lag: primary.max_lag(),
+    };
+
+    let (metrics, final_state) = if promoted {
+        engine_f.finish(replication.clone())
+    } else {
+        engine_p.finish(replication.clone())
+    };
+    Ok(ReplicatedOutcome {
+        metrics,
+        final_state,
+        promoted,
+        promoted_at,
+        replication,
+        follower_converged,
+        wal_pruned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilient::run_chaos;
+    use crate::runner::RunConfig;
+    use durability::parse_v2_section;
+    use platform_sim::{
+        seeded_kill_schedule, FaultConfig, NetFaultConfig, ResilienceStats, SyntheticConfig,
+    };
+
+    fn dataset(seed: u64) -> Dataset {
+        Dataset::synthetic(&SyntheticConfig {
+            num_brokers: 24,
+            num_requests: 480,
+            days: 3,
+            imbalance: 0.25,
+            seed,
+        })
+    }
+
+    fn chaos_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(FaultConfig::scenario("broker-dropout+lost-feedback", seed).unwrap())
+    }
+
+    fn quiet_net(seed: u64) -> NetFaultPlan {
+        NetFaultPlan::new(NetFaultConfig { seed, ..NetFaultConfig::default() })
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("caam-replication-tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn reference(ds: &Dataset, plan: FaultPlan) -> (RunMetrics, String) {
+        let mut r =
+            ResilientAssigner::new(Lacb::new(LacbConfig::default()), ResilienceConfig::default());
+        let m = run_chaos(ds, &mut r, &RunConfig::default(), plan);
+        let mut state = String::new();
+        r.primary().write_state(&mut state);
+        (m, state)
+    }
+
+    fn assert_bit_identical(a: &RunMetrics, b: &RunMetrics) {
+        assert_eq!(a.total_utility.to_bits(), b.total_utility.to_bits());
+        assert_eq!(a.daily_utility.len(), b.daily_utility.len());
+        for (x, y) in a.daily_utility.iter().zip(&b.daily_utility) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // requests_failed rides ResilienceStats; compare them whole.
+        let zero = ResilienceStats::default();
+        assert_eq!(a.resilience.as_ref().unwrap_or(&zero), b.resilience.as_ref().unwrap_or(&zero));
+        let (sa, sb) = (a.ledger.snapshot(), b.ledger.snapshot());
+        assert_eq!(sa.realized_utility, sb.realized_utility);
+        assert_eq!(sa.requests_served, sb.requests_served);
+    }
+
+    #[test]
+    fn clean_replicated_run_matches_run_chaos_and_converges() {
+        let ds = dataset(211);
+        let plan = chaos_plan(131);
+        let dir = scratch("clean");
+        let out = run_replicated(
+            &ds,
+            LacbConfig::default(),
+            ResilienceConfig::default(),
+            plan,
+            quiet_net(1),
+            &ReplicationConfig::at(&dir),
+        )
+        .unwrap();
+        let (reference_metrics, reference_state) = reference(&ds, plan);
+        assert!(!out.promoted);
+        assert_eq!(out.follower_converged, Some(true));
+        assert_bit_identical(&out.metrics, &reference_metrics);
+        assert_eq!(out.final_state, reference_state);
+        let repl = &out.replication;
+        assert_eq!(repl.promotions, 0);
+        assert_eq!(repl.stale_epoch_rejected, 0);
+        assert_eq!(repl.corrupt_rejected, 0);
+        assert!(repl.frames_applied > 0);
+        assert!(repl.acked_watermark > 0, "acks must flow back");
+        assert!(out.wal_pruned > 0, "acked prefix must be pruned");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_kill_point_variant_fails_over_bit_identically() {
+        let ds = dataset(223);
+        let plan = chaos_plan(137);
+        let (reference_metrics, reference_state) = reference(&ds, plan);
+        let spiked = ds.with_batch_spikes(&plan);
+        let batches: Vec<usize> = spiked.days.iter().map(|d| d.len()).collect();
+        // 5 points = one per kill variant; the CLI harness scales this.
+        for (i, point) in seeded_kill_schedule(191, &batches, 5).into_iter().enumerate() {
+            let dir = scratch(&format!("kill-{i}"));
+            let mut repl = ReplicationConfig::at(&dir);
+            repl.kill = Some(point);
+            let out = run_replicated(
+                &ds,
+                LacbConfig::default(),
+                ResilienceConfig::default(),
+                plan,
+                quiet_net(2),
+                &repl,
+            )
+            .unwrap_or_else(|e| panic!("failover after {} failed: {e}", point.label()));
+            assert!(out.promoted, "kill {} must promote the follower", point.label());
+            assert!(
+                out.replication.stale_epoch_rejected > 0,
+                "kill {} must fence stale frames",
+                point.label()
+            );
+            assert_bit_identical(&out.metrics, &reference_metrics);
+            assert_eq!(out.final_state, reference_state, "state diverged after {}", point.label());
+            if matches!(point, KillPoint::MidFrame { .. }) {
+                assert!(out.replication.corrupt_rejected > 0, "torn frame must be CRC-rejected");
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn lossy_link_converges_bit_identically_without_promotion() {
+        let ds = dataset(227);
+        let plan = chaos_plan(139);
+        let dir = scratch("lossy");
+        let net = NetFaultPlan::new(NetFaultConfig::scenario("lossy", 7).unwrap());
+        let out = run_replicated(
+            &ds,
+            LacbConfig::default(),
+            ResilienceConfig::default(),
+            plan,
+            net,
+            &ReplicationConfig::at(&dir),
+        )
+        .unwrap();
+        let (reference_metrics, reference_state) = reference(&ds, plan);
+        assert_eq!(out.follower_converged, Some(true), "lossy link must still converge");
+        assert_bit_identical(&out.metrics, &reference_metrics);
+        assert_eq!(out.final_state, reference_state);
+        let repl = &out.replication;
+        assert!(
+            repl.frames_dropped + repl.duplicates_dropped + repl.corrupt_rejected > 0,
+            "lossy scenario must actually exercise the fault families: {repl:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replicated_checkpoints_carry_the_fencing_epoch() {
+        let ds = dataset(229);
+        let plan = chaos_plan(149);
+        let dir = scratch("epoch-section");
+        run_replicated(
+            &ds,
+            LacbConfig::default(),
+            ResilienceConfig::default(),
+            plan,
+            quiet_net(3),
+            &ReplicationConfig::at(&dir),
+        )
+        .unwrap();
+        let store = CheckpointStore::open(&dir, 3).unwrap();
+        let (_, newest) = store.generations()[0].clone();
+        let text = store.read(&newest).unwrap();
+        let section = parse_v2_section(&text, "epoch").unwrap();
+        assert_eq!(section.trim(), "replication-epoch 0");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -442,6 +442,7 @@ pub fn run_chaos(
         overload: None,
         timings,
         audit: assigner.take_audit_report(),
+        replication: None,
     }
 }
 

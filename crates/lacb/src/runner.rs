@@ -88,6 +88,7 @@ pub fn run(dataset: &Dataset, assigner: &mut dyn Assigner, cfg: &RunConfig) -> R
         overload: None,
         timings,
         audit: assigner.take_audit_report(),
+        replication: None,
     }
 }
 

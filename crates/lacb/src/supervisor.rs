@@ -405,6 +405,7 @@ pub fn run_durable(
             overload: None,
             timings: StageTimings::default(),
             audit: assigner.take_audit_report(),
+            replication: None,
         },
         final_state,
         recovered_from,
@@ -678,6 +679,7 @@ pub fn run_overload_durable(
             overload: Some(ov.stats().clone()),
             timings: StageTimings::default(),
             audit: assigner.take_audit_report(),
+            replication: None,
         },
         final_state,
         recovered_from,

@@ -269,14 +269,7 @@ impl FaultConfig {
     }
 }
 
-/// splitmix64 finaliser — the same mixer the platform uses for appeal
-/// coins, applied here to (seed, kind, day, batch, broker) tuples.
-fn mix(z: u64) -> u64 {
-    let mut z = z.wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
+use crate::rng::splitmix64 as mix;
 
 /// A stateless, seeded fault schedule (see module docs).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -415,6 +408,351 @@ impl FaultPlan {
             1
         }
     }
+}
+
+/// The kinds of damage the replication link can do to one frame. Used
+/// as the hash domain separator of [`NetFaultPlan`] draws.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// Frame silently lost.
+    Drop,
+    /// Frame delivered late (later frames may overtake it — reorder).
+    Delay,
+    /// Frame delivered twice, the copies at different times.
+    Duplicate,
+    /// Frame payload damaged in flight (a byte XORed).
+    Corrupt,
+    /// A contiguous window of sequence numbers all lost (link
+    /// partition).
+    Partition,
+}
+
+impl NetFaultKind {
+    fn tag(self) -> u64 {
+        match self {
+            NetFaultKind::Drop => 9,
+            NetFaultKind::Delay => 10,
+            NetFaultKind::Duplicate => 11,
+            NetFaultKind::Corrupt => 12,
+            NetFaultKind::Partition => 13,
+        }
+    }
+}
+
+/// What the simulated network does with one frame — the pure-function
+/// verdict of [`NetFaultPlan::delivery`] for an `(epoch, seq)` pair.
+/// Delays are in link ticks (one tick per serving batch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetDelivery {
+    /// Delivered after `delay` ticks (`0` = next tick, in order).
+    Deliver {
+        /// Extra ticks in flight; a positive delay lets later frames
+        /// overtake this one (reorder).
+        delay: u64,
+    },
+    /// Delivered twice: once after `first` ticks, again after `second`.
+    DeliverTwice {
+        /// Ticks in flight of the first copy.
+        first: u64,
+        /// Ticks in flight of the duplicate (≥ `first`).
+        second: u64,
+    },
+    /// Delivered after `delay` ticks with one payload byte XORed by
+    /// `mask` (non-zero, so the checksum must catch it).
+    DeliverCorrupt {
+        /// Ticks in flight.
+        delay: u64,
+        /// Damaged byte index; consumers reduce it modulo frame length.
+        byte: u64,
+        /// XOR mask applied to that byte (never zero).
+        mask: u8,
+    },
+    /// Silently lost.
+    Drop,
+}
+
+/// Per-frame probabilities of the replication-link fault model. All
+/// default to zero (a perfect link); build via a named
+/// [`NetFaultConfig::scenario`] or set fields directly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetFaultConfig {
+    /// Seed of the link schedule (independent of dataset/fault seeds).
+    pub seed: u64,
+    /// Per-frame probability of silent loss.
+    pub drop: f64,
+    /// Per-frame probability of a delayed (reorderable) delivery.
+    pub delay: f64,
+    /// Maximum extra ticks a delayed frame spends in flight (≥ 1 to
+    /// have any effect).
+    pub max_delay: u64,
+    /// Per-frame probability of duplicate delivery.
+    pub duplicate: f64,
+    /// Per-frame probability of in-flight payload corruption.
+    pub corrupt: f64,
+    /// Per-window probability that a partition eats the window's first
+    /// `partition_span` sequence numbers.
+    pub partition: f64,
+    /// Length of a partition window in sequence numbers (0 disables
+    /// partitions entirely).
+    pub partition_every: u64,
+    /// How many consecutive sequence numbers a firing partition drops.
+    pub partition_span: u64,
+}
+
+impl Default for NetFaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop: 0.0,
+            delay: 0.0,
+            max_delay: 3,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            partition: 0.0,
+            partition_every: 0,
+            partition_span: 4,
+        }
+    }
+}
+
+/// Names accepted by [`NetFaultConfig::scenario`], for CLI help text.
+pub const NET_SCENARIOS: &[&str] = &["none", "lossy", "partition", "net-chaos"];
+
+impl NetFaultConfig {
+    /// A named link-fault scenario. Returns a [`ScenarioError`] listing
+    /// the accepted names (see [`NET_SCENARIOS`]) for unknown ones.
+    pub fn scenario(name: &str, seed: u64) -> Result<NetFaultConfig, ScenarioError> {
+        let base = NetFaultConfig { seed, ..NetFaultConfig::default() };
+        Ok(match name {
+            "none" => base,
+            "lossy" => NetFaultConfig {
+                drop: 0.05,
+                delay: 0.20,
+                max_delay: 3,
+                duplicate: 0.08,
+                corrupt: 0.04,
+                ..base
+            },
+            "partition" => NetFaultConfig {
+                delay: 0.10,
+                partition: 0.30,
+                partition_every: 16,
+                partition_span: 5,
+                ..base
+            },
+            "net-chaos" => NetFaultConfig {
+                drop: 0.05,
+                delay: 0.20,
+                max_delay: 4,
+                duplicate: 0.08,
+                corrupt: 0.05,
+                partition: 0.20,
+                partition_every: 24,
+                partition_span: 4,
+                ..base
+            },
+            _ => return Err(ScenarioError { name: name.to_string() }),
+        })
+    }
+
+    /// True if every link-fault probability is zero.
+    pub fn is_quiet(&self) -> bool {
+        self.drop == 0.0
+            && self.delay == 0.0
+            && self.duplicate == 0.0
+            && self.corrupt == 0.0
+            && (self.partition == 0.0 || self.partition_every == 0)
+    }
+}
+
+/// A stateless, seeded replication-link fault schedule. Exactly like
+/// [`FaultPlan`], every verdict is a pure splitmix hash — here of
+/// `(seed, kind, epoch, seq)` — so the primary, the follower, and a
+/// human replaying the harness all agree on what the wire did, and a
+/// resumed run re-derives the identical delivery history.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetFaultPlan {
+    cfg: NetFaultConfig,
+}
+
+impl NetFaultPlan {
+    /// Wrap a config into a queryable plan.
+    pub fn new(cfg: NetFaultConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The underlying config.
+    pub fn config(&self) -> &NetFaultConfig {
+        &self.cfg
+    }
+
+    fn draw(&self, kind: NetFaultKind, epoch: u64, seq: u64, salt: u64) -> u64 {
+        let key = self.cfg.seed.wrapping_mul(0x2545F4914F6CDD1D)
+            ^ kind.tag() << 56
+            ^ epoch << 44
+            ^ seq << 8
+            ^ salt;
+        mix(key)
+    }
+
+    fn coin(&self, kind: NetFaultKind, epoch: u64, seq: u64, salt: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let h = self.draw(kind, epoch, seq, salt);
+        ((h >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// Is the wire partitioned at link tick `tick`? Windows tile the
+    /// tick axis per epoch; a firing window eats its first
+    /// `partition_span` ticks, so a partition is a *contiguous outage
+    /// in time* — every frame sent during it (first transmissions and
+    /// retransmissions alike) is lost, exactly like a cable cut, and
+    /// the outage heals on its own once the window passes.
+    pub fn partitioned(&self, epoch: u64, tick: u64) -> bool {
+        if self.cfg.partition <= 0.0 || self.cfg.partition_every == 0 {
+            return false;
+        }
+        let window = tick / self.cfg.partition_every;
+        self.coin(NetFaultKind::Partition, epoch, window, 0, self.cfg.partition)
+            && tick % self.cfg.partition_every < self.cfg.partition_span
+    }
+
+    /// The link's verdict for the `attempt`-th transmission (0-based)
+    /// of frame `(epoch, seq)`. Pure function of the seed; attempts
+    /// draw independently, so a retransmitted frame eventually gets
+    /// through any sub-certain loss rate. Partitions are a separate,
+    /// tick-keyed condition ([`NetFaultPlan::partitioned`]) the sender
+    /// checks first. seq 0 attempt 0 (the first `day-start`) is always
+    /// delivered clean — a link that eats the very first frame is
+    /// indistinguishable from a dead follower and tests nothing about
+    /// replication.
+    pub fn delivery(&self, epoch: u64, seq: u64, attempt: u64) -> NetDelivery {
+        if seq == 0 && attempt == 0 {
+            return NetDelivery::Deliver { delay: 0 };
+        }
+        let salt = |k: u64| (attempt << 3) | k;
+        if self.coin(NetFaultKind::Drop, epoch, seq, salt(0), self.cfg.drop) {
+            return NetDelivery::Drop;
+        }
+        if self.coin(NetFaultKind::Corrupt, epoch, seq, salt(0), self.cfg.corrupt) {
+            let h = self.draw(NetFaultKind::Corrupt, epoch, seq, salt(1));
+            let delay = h % (self.cfg.max_delay.max(1) + 1);
+            let byte = self.draw(NetFaultKind::Corrupt, epoch, seq, salt(2));
+            let mask = ((self.draw(NetFaultKind::Corrupt, epoch, seq, salt(3)) % 255) + 1) as u8;
+            return NetDelivery::DeliverCorrupt { delay, byte, mask };
+        }
+        if self.coin(NetFaultKind::Duplicate, epoch, seq, salt(0), self.cfg.duplicate) {
+            let h = self.draw(NetFaultKind::Duplicate, epoch, seq, salt(1));
+            let first = h % (self.cfg.max_delay.max(1) + 1);
+            let second = first + 1 + (self.draw(NetFaultKind::Duplicate, epoch, seq, salt(2)) % 3);
+            return NetDelivery::DeliverTwice { first, second };
+        }
+        if self.coin(NetFaultKind::Delay, epoch, seq, salt(0), self.cfg.delay) {
+            let h = self.draw(NetFaultKind::Delay, epoch, seq, salt(1));
+            return NetDelivery::Deliver { delay: 1 + h % self.cfg.max_delay.max(1) };
+        }
+        NetDelivery::Deliver { delay: 0 }
+    }
+}
+
+/// A seeded place for the failover harness to kill the *primary* while
+/// a follower is replicating. Each variant names a distinct window in
+/// the primary's shipping loop, and what the follower sees differs for
+/// each:
+///
+/// * [`KillPoint::AfterBatch`] — the batch's frame was shipped whole;
+///   the follower's watermark can reach it before takeover.
+/// * [`KillPoint::MidFrame`] — the primary dies halfway through
+///   writing the frame onto the wire; the follower receives a torn
+///   line whose checksum must reject it.
+/// * [`KillPoint::BeforeDayEnd`] — every batch of the day shipped but
+///   the `day-end` record did not; the follower takes over mid-day.
+/// * [`KillPoint::MidCheckpoint`] — the primary dies inside its
+///   end-of-day checkpoint write: `day-end` shipped, the checkpoint
+///   marker did not, and a torn checkpoint tmp file is left on the
+///   primary's disk.
+/// * [`KillPoint::AfterCheckpoint`] — the cleanest boundary: the
+///   checkpoint marker shipped and the primary died between days.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillPoint {
+    /// Die right after shipping batch `(day, batch)`'s frame.
+    AfterBatch {
+        /// Day of the last shipped batch.
+        day: usize,
+        /// Batch index of the last shipped batch.
+        batch: usize,
+    },
+    /// Die halfway through shipping batch `(day, batch)`'s frame.
+    MidFrame {
+        /// Day of the torn frame.
+        day: usize,
+        /// Batch index of the torn frame.
+        batch: usize,
+    },
+    /// Die after day `day`'s last batch, before shipping `day-end`.
+    BeforeDayEnd {
+        /// The day left without its `day-end` record.
+        day: usize,
+    },
+    /// Die during day `day`'s end-of-day checkpoint write.
+    MidCheckpoint {
+        /// The day whose checkpoint is torn.
+        day: usize,
+    },
+    /// Die right after day `day`'s checkpoint marker is shipped.
+    AfterCheckpoint {
+        /// The last completed day.
+        day: usize,
+    },
+}
+
+impl KillPoint {
+    /// Short label for harness output.
+    pub fn label(&self) -> String {
+        match self {
+            KillPoint::AfterBatch { day, batch } => format!("after-batch d{day} b{batch}"),
+            KillPoint::MidFrame { day, batch } => format!("mid-frame d{day} b{batch}"),
+            KillPoint::BeforeDayEnd { day } => format!("before-day-end d{day}"),
+            KillPoint::MidCheckpoint { day } => format!("mid-checkpoint d{day}"),
+            KillPoint::AfterCheckpoint { day } => format!("after-checkpoint d{day}"),
+        }
+    }
+}
+
+/// Derive `n` distinct seeded kill points for a horizon whose day `d`
+/// has `batches_per_day[d]` batches. Pure function of the seed, cycling
+/// all five [`KillPoint`] variants exactly like [`seeded_schedule`]
+/// cycles crash points, so any `n ≥ 5` exercises every takeover window
+/// including mid-frame and mid-checkpoint.
+pub fn seeded_kill_schedule(seed: u64, batches_per_day: &[usize], n: usize) -> Vec<KillPoint> {
+    assert!(!batches_per_day.is_empty(), "horizon must have at least one day");
+    let days = batches_per_day.len() as u64;
+    let mut points: Vec<KillPoint> = Vec::with_capacity(n);
+    for i in 0..n {
+        // Re-salt until this draw lands on a point not already chosen,
+        // so the schedule always holds `n` *distinct* kill points.
+        let mut salt = 0u64;
+        loop {
+            let h = mix(seed.wrapping_mul(0xA24BAED4963EE407) ^ (i as u64) << 32 ^ salt);
+            let day = (h % days) as usize;
+            let batches = batches_per_day[day].max(1) as u64;
+            let batch = (mix(h) % batches) as usize;
+            let point = match i % 5 {
+                0 => KillPoint::AfterBatch { day, batch },
+                1 => KillPoint::MidFrame { day, batch },
+                2 => KillPoint::BeforeDayEnd { day },
+                3 => KillPoint::MidCheckpoint { day },
+                _ => KillPoint::AfterCheckpoint { day },
+            };
+            if !points.contains(&point) {
+                points.push(point);
+                break;
+            }
+            salt += 1;
+        }
+    }
+    points
 }
 
 /// A seeded place for the crash-test supervisor to kill the process.
@@ -751,6 +1089,132 @@ mod tests {
         let state_only = FaultConfig::scenario("state-corruption", 1).unwrap();
         assert!(state_only.state_corruption > 0.0 && state_only.day_dropout == 0.0);
         assert!(!state_only.is_quiet(), "state corruption alone is not quiet");
+    }
+
+    #[test]
+    fn net_plan_is_a_pure_function_of_the_seed() {
+        let cfg = NetFaultConfig::scenario("net-chaos", 21).unwrap();
+        let (a, b) = (NetFaultPlan::new(cfg), NetFaultPlan::new(cfg));
+        for epoch in 0..3u64 {
+            for seq in 0..500u64 {
+                assert_eq!(a.delivery(epoch, seq, 0), b.delivery(epoch, seq, 0));
+                assert_eq!(a.delivery(epoch, seq, 1), b.delivery(epoch, seq, 1));
+            }
+        }
+        let c = NetFaultPlan::new(NetFaultConfig::scenario("net-chaos", 22).unwrap());
+        let differs = (1..500u64).any(|s| a.delivery(0, s, 0) != c.delivery(0, s, 0));
+        assert!(differs, "two seeds produced identical link schedules");
+    }
+
+    #[test]
+    fn retransmission_attempts_draw_independently() {
+        // Even at 90% loss, some retransmission of every frame gets
+        // through within a bounded number of attempts — the property
+        // that keeps a gap from stalling replication forever.
+        let p = NetFaultPlan::new(NetFaultConfig { seed: 3, drop: 0.9, ..Default::default() });
+        for seq in 1..200u64 {
+            let delivered = (0..100).any(|a| p.delivery(0, seq, a) != NetDelivery::Drop);
+            assert!(delivered, "seq {seq} lost on all 100 attempts at p=0.9");
+        }
+    }
+
+    #[test]
+    fn net_plan_draws_every_fault_family() {
+        let p = NetFaultPlan::new(NetFaultConfig::scenario("net-chaos", 5).unwrap());
+        let (mut drops, mut delays, mut dups, mut corrupts, mut clean) = (0, 0, 0, 0, 0);
+        for seq in 0..2000u64 {
+            match p.delivery(0, seq, 0) {
+                NetDelivery::Drop => drops += 1,
+                NetDelivery::Deliver { delay: 0 } => clean += 1,
+                NetDelivery::Deliver { .. } => delays += 1,
+                NetDelivery::DeliverTwice { first, second } => {
+                    assert!(second > first, "duplicate must land after the original");
+                    dups += 1;
+                }
+                NetDelivery::DeliverCorrupt { mask, .. } => {
+                    assert_ne!(mask, 0, "a zero mask would not damage the frame");
+                    corrupts += 1;
+                }
+            }
+        }
+        assert!(drops > 0 && delays > 0 && dups > 0 && corrupts > 0, "all families must fire");
+        assert!(clean > 1000, "most frames still arrive clean: {clean}");
+    }
+
+    #[test]
+    fn partitions_are_contiguous_seq_windows() {
+        let p = NetFaultPlan::new(NetFaultConfig {
+            seed: 13,
+            partition: 0.5,
+            partition_every: 10,
+            partition_span: 4,
+            ..NetFaultConfig::default()
+        });
+        let mut fired = 0;
+        for window in 0..200u64 {
+            let base = window * 10;
+            let in_window: Vec<bool> = (0..10).map(|i| p.partitioned(0, base + i)).collect();
+            if in_window.iter().any(|&x| x) {
+                fired += 1;
+                assert_eq!(
+                    in_window,
+                    vec![true, true, true, true, false, false, false, false, false, false],
+                    "a partition eats exactly the window's first span of ticks"
+                );
+            }
+        }
+        assert!(fired > 50, "a 50% partition rate over 200 windows fired only {fired} times");
+    }
+
+    #[test]
+    fn seq_zero_always_arrives_clean() {
+        let p = NetFaultPlan::new(NetFaultConfig {
+            seed: 7,
+            drop: 1.0,
+            corrupt: 1.0,
+            ..NetFaultConfig::default()
+        });
+        for epoch in 0..5 {
+            assert_eq!(p.delivery(epoch, 0, 0), NetDelivery::Deliver { delay: 0 });
+        }
+    }
+
+    #[test]
+    fn net_scenarios_resolve_and_unknown_rejects() {
+        for name in NET_SCENARIOS {
+            assert!(NetFaultConfig::scenario(name, 1).is_ok(), "scenario {name}");
+        }
+        assert!(NetFaultConfig::scenario("none", 1).unwrap().is_quiet());
+        assert!(!NetFaultConfig::scenario("lossy", 1).unwrap().is_quiet());
+        assert!(NetFaultConfig::scenario("definitely-not", 1).is_err());
+    }
+
+    #[test]
+    fn kill_schedule_is_deterministic_distinct_and_covers_variants() {
+        let batches = vec![8, 8, 6];
+        let a = seeded_kill_schedule(17, &batches, 10);
+        assert_eq!(a, seeded_kill_schedule(17, &batches, 10));
+        assert_eq!(a.len(), 10);
+        for (i, p) in a.iter().enumerate() {
+            assert!(!a[..i].contains(p), "duplicate kill point {p:?}");
+        }
+        assert_ne!(a, seeded_kill_schedule(18, &batches, 10));
+        let has = |f: fn(&KillPoint) -> bool| a.iter().any(f);
+        assert!(has(|p| matches!(p, KillPoint::AfterBatch { .. })));
+        assert!(has(|p| matches!(p, KillPoint::MidFrame { .. })));
+        assert!(has(|p| matches!(p, KillPoint::BeforeDayEnd { .. })));
+        assert!(has(|p| matches!(p, KillPoint::MidCheckpoint { .. })));
+        assert!(has(|p| matches!(p, KillPoint::AfterCheckpoint { .. })));
+        for p in &a {
+            match p {
+                KillPoint::AfterBatch { day, batch } | KillPoint::MidFrame { day, batch } => {
+                    assert!(*day < batches.len() && *batch < batches[*day]);
+                }
+                KillPoint::BeforeDayEnd { day }
+                | KillPoint::MidCheckpoint { day }
+                | KillPoint::AfterCheckpoint { day } => assert!(*day < batches.len()),
+            }
+        }
     }
 
     #[test]

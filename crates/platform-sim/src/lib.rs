@@ -45,14 +45,16 @@ pub use config::{CityId, RealWorldConfig, SyntheticConfig};
 pub use dataset::{Batch, Dataset};
 pub use environment::{Appeal, AppealConfig, BatchOutcome, DayFeedback, Platform, TrialTriple};
 pub use faults::{
-    seeded_schedule, CrashPoint, FaultConfig, FaultKind, FaultPlan, ScenarioError, StateFault,
-    StateFaultKind, StateTarget, SCENARIOS,
+    seeded_kill_schedule, seeded_schedule, CrashPoint, FaultConfig, FaultKind, FaultPlan,
+    KillPoint, NetDelivery, NetFaultConfig, NetFaultKind, NetFaultPlan, ScenarioError, StateFault,
+    StateFaultKind, StateTarget, NET_SCENARIOS, SCENARIOS,
 };
 pub use metrics::{
     gini, percentile, AuditReport, AuditViolation, BreakerComponent, BreakerEvent, BrokerLedger,
-    InvariantKind, LedgerSnapshot, OverloadStats, RepairAction, RepairKind, ResilienceStats,
-    RunMetrics, StageBreakdown, StageTimings,
+    InvariantKind, LedgerSnapshot, OverloadStats, RepairAction, RepairKind, ReplicationStats,
+    ResilienceStats, RunMetrics, StageBreakdown, StageTimings,
 };
 pub use request::Request;
+pub use rng::splitmix64;
 pub use traffic::{ramp_dataset, TrafficRamp};
 pub use utility::UtilityModel;

@@ -365,6 +365,47 @@ pub struct RunMetrics {
     /// Invariant-audit accounting, populated when the serving loop ran
     /// with runtime audits enabled (`None` otherwise).
     pub audit: Option<AuditReport>,
+    /// Replication-protocol accounting, populated by the replicated
+    /// serving loop (`None` for single-node runs).
+    pub replication: Option<ReplicationStats>,
+}
+
+/// Replication-protocol counters of one replicated run: what the link
+/// did to the frame stream, what the follower's fencing rejected, and
+/// where the epoch/watermark ended up. Filled by the replicated serving
+/// loop in the `lacb` crate and surfaced through
+/// [`RunMetrics::replication`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Epoch serving when the run ended (0 = the original primary
+    /// never failed over).
+    pub epoch: u64,
+    /// Follower promotions executed (0 or 1 in the two-node harness).
+    pub promotions: u64,
+    /// Frames the primary put on the wire (records + heartbeats).
+    pub frames_shipped: u64,
+    /// Record frames the follower verified and applied.
+    pub frames_applied: u64,
+    /// Frames the link silently dropped (including partition windows).
+    pub frames_dropped: u64,
+    /// Duplicate frames the follower discarded by sequence number.
+    pub duplicates_dropped: u64,
+    /// Out-of-order frames the follower buffered until the gap filled.
+    pub reordered_buffered: u64,
+    /// Frames rejected because their checksum did not verify (link
+    /// corruption or a torn mid-frame kill).
+    pub corrupt_rejected: u64,
+    /// Frames rejected by epoch fencing (a stale primary's writes).
+    pub stale_epoch_rejected: u64,
+    /// Heartbeat ticks the failure detector counted as missed.
+    pub heartbeats_missed: u64,
+    /// Highest contiguously-applied sequence the follower acked.
+    pub acked_watermark: u64,
+    /// WAL records the primary pruned on watermark advance.
+    pub pruned_records: u64,
+    /// Maximum replication lag observed (shipped seq − acked
+    /// watermark).
+    pub max_lag: u64,
 }
 
 /// Which runtime invariant an audit found violated.

@@ -17,14 +17,7 @@
 
 use crate::dataset::{Batch, Dataset};
 use crate::request::Request;
-
-/// splitmix64 finaliser, same mixer the fault plans use.
-fn mix(z: u64) -> u64 {
-    let mut z = z.wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
+use crate::rng::splitmix64 as mix;
 
 /// Uniform in `[-1, 1)` from a hash word.
 fn unit_signed(h: u64) -> f64 {

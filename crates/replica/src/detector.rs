@@ -1,0 +1,92 @@
+//! Deterministic failure detection: missed-heartbeat counting.
+//!
+//! The follower calls [`FailureDetector::tick`] once per link tick with
+//! whether any live-epoch traffic (record or heartbeat) arrived that
+//! tick. After `threshold` consecutive silent ticks the detector
+//! reports suspicion and the follower promotes itself under a bumped
+//! epoch. There is no wall clock anywhere: given the same delivery
+//! history, two runs suspect at exactly the same tick.
+//!
+//! A network partition looks identical to a dead primary — that is
+//! fundamental, not a bug. Promotion on a false suspicion is safe
+//! because the epoch fence makes the old primary's frames
+//! unacceptable the moment the follower promotes: the system loses a
+//! primary, never gains two.
+
+/// Missed-heartbeat failure detector over integer link ticks.
+#[derive(Clone, Debug)]
+pub struct FailureDetector {
+    threshold: u64,
+    misses: u64,
+    total_missed: u64,
+}
+
+impl FailureDetector {
+    /// A detector that suspects after `threshold` consecutive silent
+    /// ticks. A threshold of 0 is clamped to 1 (a detector that can
+    /// never wait would suspect a healthy primary between two batches).
+    pub fn new(threshold: u64) -> FailureDetector {
+        FailureDetector { threshold: threshold.max(1), misses: 0, total_missed: 0 }
+    }
+
+    /// Advance one tick. `saw_traffic` is whether any live-epoch frame
+    /// arrived this tick; returns true when the primary is now
+    /// suspected (and keeps returning true until traffic resumes).
+    pub fn tick(&mut self, saw_traffic: bool) -> bool {
+        if saw_traffic {
+            self.misses = 0;
+        } else {
+            self.misses += 1;
+            self.total_missed += 1;
+        }
+        self.misses >= self.threshold
+    }
+
+    /// Consecutive silent ticks so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Silent ticks over the detector's whole life (for metrics).
+    pub fn total_missed(&self) -> u64 {
+        self.total_missed
+    }
+
+    /// The configured suspicion threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suspects_after_threshold_consecutive_misses() {
+        let mut d = FailureDetector::new(3);
+        assert!(!d.tick(false));
+        assert!(!d.tick(false));
+        assert!(d.tick(false));
+        assert!(d.tick(false), "stays suspected while silence continues");
+        assert_eq!(d.misses(), 4);
+    }
+
+    #[test]
+    fn traffic_resets_the_count() {
+        let mut d = FailureDetector::new(2);
+        assert!(!d.tick(false));
+        assert!(!d.tick(true));
+        assert!(!d.tick(false));
+        assert!(d.tick(false));
+        assert_eq!(d.total_missed(), 3);
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped() {
+        let mut d = FailureDetector::new(0);
+        assert_eq!(d.threshold(), 1);
+        assert!(!d.tick(true));
+        assert!(d.tick(false));
+    }
+}

@@ -1,0 +1,236 @@
+//! The replication wire format: one checksummed line per frame.
+//!
+//! A frame is a WAL record (or a heartbeat) wrapped in epoch/sequence
+//! framing:
+//!
+//! ```text
+//! frame <epoch> <seq> rec <record payload> #<crc:08x>
+//! frame <epoch> <seq> hb #<crc:08x>
+//! ```
+//!
+//! The CRC32 covers everything before the ` #` suffix — the same
+//! line-granular integrity discipline as the on-disk WAL
+//! ([`durability::WAL_HEADER`] format), and the same checksum function
+//! ([`durability::crc32`]). A frame truncated mid-line by a dying
+//! primary, or a frame with a byte damaged in flight, fails
+//! [`Frame::decode`] with a typed error instead of corrupting the
+//! follower.
+
+use durability::crc32;
+use durability::WalRecord;
+use std::fmt;
+
+/// Leading token of every frame line.
+pub const FRAME_TAG: &str = "frame";
+
+/// What a frame carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FramePayload {
+    /// Liveness only; `seq` reports the primary's last shipped record
+    /// sequence so an idle follower still learns the primary's
+    /// position.
+    Heartbeat,
+    /// One batch-granular WAL record to apply.
+    Record(WalRecord),
+}
+
+/// One replication frame: epoch-fenced, sequence-numbered, checksummed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The sender's fencing epoch; monotonically increasing across
+    /// promotions. Receivers reject frames from an epoch below theirs.
+    pub epoch: u64,
+    /// Record sequence number (records count from 0; heartbeats carry
+    /// the last shipped record sequence without consuming one).
+    pub seq: u64,
+    /// The cargo.
+    pub payload: FramePayload,
+}
+
+/// Why a frame line failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line is structurally broken: wrong tag, missing fields,
+    /// invalid UTF-8, no checksum suffix, or unparsable record payload.
+    Malformed {
+        /// Bounded diagnostic (no payload data beyond a short prefix).
+        detail: String,
+    },
+    /// The line parsed but its CRC32 does not match — damage in flight
+    /// or a mid-frame crash of the sender.
+    Checksum {
+        /// CRC carried by the line.
+        want: u32,
+        /// CRC of the received bytes.
+        got: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
+            FrameError::Checksum { want, got } => {
+                write!(f, "frame checksum mismatch: line says {want:08x}, bytes hash {got:08x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn malformed(detail: impl Into<String>) -> FrameError {
+    let mut detail = detail.into();
+    detail.truncate(120);
+    FrameError::Malformed { detail }
+}
+
+impl Frame {
+    /// A record frame.
+    pub fn record(epoch: u64, seq: u64, rec: WalRecord) -> Frame {
+        Frame { epoch, seq, payload: FramePayload::Record(rec) }
+    }
+
+    /// A heartbeat frame carrying the primary's last shipped sequence.
+    pub fn heartbeat(epoch: u64, seq: u64) -> Frame {
+        Frame { epoch, seq, payload: FramePayload::Heartbeat }
+    }
+
+    /// Encode to one newline-free line, checksum suffix included.
+    pub fn encode(&self) -> String {
+        let body = match &self.payload {
+            FramePayload::Heartbeat => format!("{FRAME_TAG} {} {} hb", self.epoch, self.seq),
+            FramePayload::Record(rec) => {
+                format!("{FRAME_TAG} {} {} rec {}", self.epoch, self.seq, rec.payload())
+            }
+        };
+        format!("{body} #{:08x}", crc32(body.as_bytes()))
+    }
+
+    /// Decode a received line. Every failure mode of the wire — torn
+    /// tail, flipped byte, invalid UTF-8, trailing garbage — maps to a
+    /// typed [`FrameError`]; a successful decode is byte-for-byte
+    /// authenticated by the CRC.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+        let line = std::str::from_utf8(bytes).map_err(|e| malformed(format!("not UTF-8: {e}")))?;
+        let (body, crc_hex) =
+            line.rsplit_once(" #").ok_or_else(|| malformed("missing checksum suffix"))?;
+        let want = u32::from_str_radix(crc_hex, 16)
+            .map_err(|_| malformed(format!("bad checksum field {crc_hex:?}")))?;
+        let got = crc32(body.as_bytes());
+        if want != got {
+            return Err(FrameError::Checksum { want, got });
+        }
+        let rest = body
+            .strip_prefix(FRAME_TAG)
+            .and_then(|r| r.strip_prefix(' '))
+            .ok_or_else(|| malformed(format!("missing {FRAME_TAG:?} tag in {body:?}")))?;
+        let mut toks = rest.splitn(4, ' ');
+        let epoch: u64 = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| malformed("missing/invalid epoch"))?;
+        let seq: u64 = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| malformed("missing/invalid seq"))?;
+        match toks.next() {
+            Some("hb") => match toks.next() {
+                None => Ok(Frame::heartbeat(epoch, seq)),
+                Some(junk) => Err(malformed(format!("trailing garbage after hb: {junk:?}"))),
+            },
+            Some("rec") => {
+                let payload = toks.next().ok_or_else(|| malformed("rec frame without payload"))?;
+                let rec = WalRecord::parse(payload)
+                    .ok_or_else(|| malformed(format!("unparsable record payload {payload:?}")))?;
+                Ok(Frame::record(epoch, seq, rec))
+            }
+            other => Err(malformed(format!("unknown frame kind {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Frame> {
+        vec![
+            Frame::record(0, 0, WalRecord::DayStart { day: 0 }),
+            Frame::record(
+                0,
+                1,
+                WalRecord::Batch {
+                    day: 0,
+                    batch: 0,
+                    draws: 7,
+                    assignment: vec![Some(3), None, Some(17)],
+                },
+            ),
+            Frame::record(
+                2,
+                9,
+                WalRecord::DayEnd { day: 1, realized_bits: 1.5f64.to_bits(), trials: 3, draws: 9 },
+            ),
+            Frame::record(1, 4, WalRecord::Checkpoint { next_day: 2 }),
+            Frame::record(0, 5, WalRecord::Admission { day: 0, batch: 2, admitted: vec![4, 11] }),
+            Frame::heartbeat(3, 42),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_record_kind() {
+        for f in sample() {
+            let line = f.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(Frame::decode(line.as_bytes()).unwrap(), f, "{line}");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let line = sample()[1].encode();
+        let bytes = line.as_bytes();
+        for i in 0..bytes.len() {
+            for mask in [0x01u8, 0x40, 0x80] {
+                let mut damaged = bytes.to_vec();
+                damaged[i] ^= mask;
+                assert!(
+                    Frame::decode(&damaged).is_err(),
+                    "flip at {i} mask {mask:#x} accepted: {:?}",
+                    String::from_utf8_lossy(&damaged)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let line = sample()[1].encode();
+        for cut in 0..line.len() {
+            assert!(Frame::decode(line.as_bytes()[..cut].as_ref()).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn checksum_error_is_typed() {
+        let line = sample()[0].encode();
+        let mut damaged = line.into_bytes();
+        // Flip a payload byte without touching structure tokens.
+        let idx = damaged.len() - 12;
+        damaged[idx] ^= 0x04;
+        match Frame::decode(&damaged) {
+            Err(FrameError::Checksum { want, got }) => assert_ne!(want, got),
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let f = Frame::heartbeat(1, 2);
+        let body = format!("{FRAME_TAG} 1 2 hb junk");
+        let line = format!("{body} #{:08x}", durability::crc32(body.as_bytes()));
+        assert!(matches!(Frame::decode(line.as_bytes()), Err(FrameError::Malformed { .. })));
+        assert!(Frame::decode(f.encode().as_bytes()).is_ok());
+    }
+}

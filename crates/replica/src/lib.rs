@@ -1,0 +1,41 @@
+//! Primary/follower replication substrate for the serving loop.
+//!
+//! A dead primary should mean a *failover*, not an outage: this crate
+//! provides the wire protocol and the protocol state machines that let
+//! a warm follower track a serving primary batch by batch and take over
+//! mid-day with zero learned-state loss.
+//!
+//! * [`Frame`] — the unit shipped over the wire: one checksummed,
+//!   sequence-numbered, epoch-tagged line carrying either a
+//!   [`durability::WalRecord`] or a heartbeat. The frame CRC reuses
+//!   [`durability::crc32`], so a torn or bit-flipped frame is rejected
+//!   exactly like a torn WAL line.
+//! * [`SimLink`] — an in-process simulated network with a deterministic
+//!   integer-tick clock: frames are queued with a delivery verdict
+//!   (deliver after n ticks / duplicate / corrupt a byte / drop) and
+//!   come out sorted by `(due tick, arrival order)`, so delays produce
+//!   real reorderings and two runs with the same verdicts agree.
+//! * [`Primary`] / [`Follower`] — the protocol endpoints. The primary
+//!   assigns sequence numbers, keeps unacked frames in an outbox for
+//!   retransmission, and prunes it on acked watermarks; the follower
+//!   admits frames idempotently (duplicates dropped by seq, gaps
+//!   buffered until filled) and rejects frames from a stale epoch, so
+//!   a partitioned old primary can never split-brain the learned state.
+//! * [`FailureDetector`] — missed-heartbeat counting over link ticks,
+//!   no wall clock anywhere; promotion under a bumped epoch is a pure
+//!   function of the delivery history.
+//!
+//! The crate is dependency-free beyond `durability` and knows nothing
+//! about matching or simulators: what "applying" a record means (the
+//! recompute-and-verify replay of `lacb::supervisor`) is the consumer's
+//! business.
+
+pub mod detector;
+pub mod frame;
+pub mod link;
+pub mod node;
+
+pub use detector::FailureDetector;
+pub use frame::{Frame, FrameError, FramePayload};
+pub use link::{AckChannel, Delivery, LinkStats, SimLink};
+pub use node::{Admitted, Follower, FollowerStats, Primary};

@@ -1,0 +1,269 @@
+//! An in-process simulated network link with a deterministic clock.
+//!
+//! The link knows nothing about probabilities: every `send` comes with
+//! a [`Delivery`] verdict the caller computed (in the harness, from the
+//! seeded `platform_sim` network-fault plan), so the link itself is a
+//! pure queue. Time is an integer tick counter advanced by the caller
+//! (one tick per serving batch in the replicated loop); frames come out
+//! ordered by `(due tick, arrival order)`, which is what turns a delay
+//! verdict into a real reordering.
+
+use std::collections::VecDeque;
+
+/// What the caller decided the wire does with one frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver after `delay` extra ticks (0 = on the next tick).
+    Deliver {
+        /// Extra ticks in flight.
+        delay: u64,
+    },
+    /// Deliver twice, the copies `first` and `second` ticks out.
+    DeliverTwice {
+        /// Ticks in flight of the first copy.
+        first: u64,
+        /// Ticks in flight of the duplicate.
+        second: u64,
+    },
+    /// Deliver after `delay` ticks with one byte XORed by `mask`.
+    DeliverCorrupt {
+        /// Ticks in flight.
+        delay: u64,
+        /// Damaged byte index (reduced modulo the frame length).
+        byte: u64,
+        /// XOR mask (a zero mask would deliver the frame intact).
+        mask: u8,
+    },
+    /// Silently lost.
+    Drop,
+}
+
+/// Wire-level accounting of one link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames handed to `send`.
+    pub sent: u64,
+    /// Frames (including duplicate copies) delivered to the receiver.
+    pub delivered: u64,
+    /// Frames dropped by verdict.
+    pub dropped: u64,
+    /// Extra copies injected by duplicate verdicts.
+    pub duplicated: u64,
+    /// Frames delivered with a damaged byte.
+    pub corrupted: u64,
+    /// Frames delivered with a positive delay.
+    pub delayed: u64,
+}
+
+/// One direction of a simulated network connection. See module docs.
+#[derive(Clone, Debug, Default)]
+pub struct SimLink {
+    now: u64,
+    arrivals: u64,
+    /// `(due tick, arrival order, bytes)` — kept unsorted; `tick`
+    /// extracts due frames in deterministic order.
+    in_flight: Vec<(u64, u64, Vec<u8>)>,
+    stats: LinkStats,
+}
+
+impl SimLink {
+    /// A fresh link at tick 0 with nothing in flight.
+    pub fn new() -> SimLink {
+        SimLink::default()
+    }
+
+    /// The link's current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Wire accounting so far.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// Frames still in flight (sent, not yet due).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    fn enqueue(&mut self, due: u64, bytes: Vec<u8>) {
+        self.arrivals += 1;
+        self.in_flight.push((due, self.arrivals, bytes));
+    }
+
+    /// Put one encoded frame line on the wire under `verdict`.
+    pub fn send(&mut self, line: &str, verdict: Delivery) {
+        self.stats.sent += 1;
+        match verdict {
+            Delivery::Deliver { delay } => {
+                if delay > 0 {
+                    self.stats.delayed += 1;
+                }
+                self.enqueue(self.now + 1 + delay, line.as_bytes().to_vec());
+            }
+            Delivery::DeliverTwice { first, second } => {
+                self.stats.duplicated += 1;
+                self.enqueue(self.now + 1 + first, line.as_bytes().to_vec());
+                self.enqueue(self.now + 1 + second, line.as_bytes().to_vec());
+            }
+            Delivery::DeliverCorrupt { delay, byte, mask } => {
+                self.stats.corrupted += 1;
+                let mut bytes = line.as_bytes().to_vec();
+                if !bytes.is_empty() {
+                    let idx = (byte % bytes.len() as u64) as usize;
+                    bytes[idx] ^= mask;
+                }
+                self.enqueue(self.now + 1 + delay, bytes);
+            }
+            Delivery::Drop => self.stats.dropped += 1,
+        }
+    }
+
+    /// Put raw bytes on the wire for delivery next tick — the torn
+    /// half-frame a primary dying mid-send leaves behind.
+    pub fn send_raw(&mut self, bytes: Vec<u8>) {
+        self.stats.sent += 1;
+        self.enqueue(self.now + 1, bytes);
+    }
+
+    /// Advance the clock one tick and return everything now due, in
+    /// `(due tick, arrival order)` order — the deterministic receive
+    /// schedule.
+    pub fn tick(&mut self) -> Vec<Vec<u8>> {
+        self.now += 1;
+        self.take_due(self.now)
+    }
+
+    /// Deliver everything still in flight regardless of due time (the
+    /// wire draining after the sender stopped), advancing the clock
+    /// past the last due tick.
+    pub fn drain(&mut self) -> Vec<Vec<u8>> {
+        let horizon = self.in_flight.iter().map(|(due, _, _)| *due).max().unwrap_or(self.now);
+        self.now = self.now.max(horizon);
+        self.take_due(u64::MAX)
+    }
+
+    fn take_due(&mut self, cutoff: u64) -> Vec<Vec<u8>> {
+        let mut due: Vec<(u64, u64, Vec<u8>)> = Vec::new();
+        let mut rest = Vec::with_capacity(self.in_flight.len());
+        for item in self.in_flight.drain(..) {
+            if item.0 <= cutoff {
+                due.push(item);
+            } else {
+                rest.push(item);
+            }
+        }
+        self.in_flight = rest;
+        due.sort_by_key(|(tick, order, _)| (*tick, *order));
+        self.stats.delivered += due.len() as u64;
+        due.into_iter().map(|(_, _, bytes)| bytes).collect()
+    }
+}
+
+/// FIFO helper for the ack channel (follower → primary). Acks are tiny
+/// and loss on them only delays pruning, so the harness ships them
+/// reliably with a one-tick delay; the type exists to keep even that
+/// direction off any shared mutable state.
+#[derive(Clone, Debug, Default)]
+pub struct AckChannel {
+    queue: VecDeque<(u64, u64)>,
+    now: u64,
+}
+
+impl AckChannel {
+    /// A fresh channel at tick 0.
+    pub fn new() -> AckChannel {
+        AckChannel::default()
+    }
+
+    /// Send `(epoch, watermark)` for delivery next tick.
+    pub fn send(&mut self, epoch: u64, watermark: u64) {
+        self.queue.push_back((self.now + 1, epoch));
+        // Encode both halves in order; popping pairs keeps them glued.
+        self.queue.push_back((self.now + 1, watermark));
+    }
+
+    /// Advance one tick and return the acks now due.
+    pub fn tick(&mut self) -> Vec<(u64, u64)> {
+        self.now += 1;
+        let mut out = Vec::new();
+        while self.queue.len() >= 2 && self.queue[0].0 <= self.now {
+            let (_, epoch) = self.queue.pop_front().expect("len checked");
+            let (_, watermark) = self.queue.pop_front().expect("len checked");
+            out.push((epoch, watermark));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_arrive_in_order_without_faults() {
+        let mut link = SimLink::new();
+        for i in 0..5 {
+            link.send(&format!("f{i}"), Delivery::Deliver { delay: 0 });
+        }
+        let got = link.tick();
+        let texts: Vec<String> =
+            got.iter().map(|b| String::from_utf8(b.clone()).unwrap()).collect();
+        assert_eq!(texts, vec!["f0", "f1", "f2", "f3", "f4"]);
+        assert!(link.tick().is_empty());
+        assert_eq!(link.stats().delivered, 5);
+    }
+
+    #[test]
+    fn delay_produces_a_real_reordering() {
+        let mut link = SimLink::new();
+        link.send("slow", Delivery::Deliver { delay: 2 });
+        link.send("fast", Delivery::Deliver { delay: 0 });
+        let t1: Vec<String> =
+            link.tick().iter().map(|b| String::from_utf8(b.clone()).unwrap()).collect();
+        assert_eq!(t1, vec!["fast"]);
+        assert!(link.tick().is_empty());
+        let t3: Vec<String> =
+            link.tick().iter().map(|b| String::from_utf8(b.clone()).unwrap()).collect();
+        assert_eq!(t3, vec!["slow"]);
+        assert_eq!(link.stats().delayed, 1);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice_and_corrupt_damages_the_byte() {
+        let mut link = SimLink::new();
+        link.send("dup", Delivery::DeliverTwice { first: 0, second: 1 });
+        link.send("corrupt", Delivery::DeliverCorrupt { delay: 0, byte: 9, mask: 0x20 });
+        let t1 = link.tick();
+        assert_eq!(t1.len(), 2);
+        assert_eq!(t1[0], b"dup");
+        // byte 9 % 7 = 2: 'r' ^ 0x20 = 'R'.
+        assert_eq!(t1[1], b"coRrupt");
+        assert_eq!(link.tick(), vec![b"dup".to_vec()]);
+        assert_eq!(link.stats().duplicated, 1);
+        assert_eq!(link.stats().corrupted, 1);
+        assert_eq!(link.stats().delivered, 3);
+    }
+
+    #[test]
+    fn drop_never_arrives_and_drain_flushes_the_rest() {
+        let mut link = SimLink::new();
+        link.send("gone", Delivery::Drop);
+        link.send("late", Delivery::Deliver { delay: 50 });
+        assert!(link.tick().is_empty());
+        assert_eq!(link.drain(), vec![b"late".to_vec()]);
+        assert_eq!(link.in_flight(), 0);
+        assert_eq!(link.stats().dropped, 1);
+        assert!(link.now() >= 51);
+    }
+
+    #[test]
+    fn ack_channel_delivers_next_tick_in_order() {
+        let mut acks = AckChannel::new();
+        acks.send(0, 3);
+        acks.send(0, 7);
+        assert_eq!(acks.tick(), vec![(0, 3), (0, 7)]);
+        assert!(acks.tick().is_empty());
+    }
+}

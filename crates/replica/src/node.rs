@@ -1,0 +1,349 @@
+//! The protocol endpoints: [`Primary`] (sequencing + outbox) and
+//! [`Follower`] (idempotent admission + epoch fencing).
+//!
+//! Neither endpoint touches the network or a clock. The primary turns
+//! WAL records into sequence-numbered frames and remembers the unacked
+//! tail for retransmission; the follower turns a stream of possibly
+//! duplicated, reordered, corrupted, or stale-epoch frames back into
+//! the exact in-order record sequence the primary shipped — or rejects
+//! them. What "applying" a record means (the recompute-and-verify
+//! replay of `lacb::supervisor`) is the caller's business.
+
+use crate::frame::{Frame, FrameError, FramePayload};
+use durability::WalRecord;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Sending side: assigns sequence numbers and keeps the unacked tail.
+#[derive(Clone, Debug)]
+pub struct Primary {
+    epoch: u64,
+    next_seq: u64,
+    acked: u64,
+    outbox: VecDeque<Frame>,
+    deposed: bool,
+    max_lag: u64,
+}
+
+impl Primary {
+    /// A primary serving under `epoch` with nothing shipped yet.
+    pub fn new(epoch: u64) -> Primary {
+        Primary {
+            epoch,
+            next_seq: 0,
+            acked: 0,
+            outbox: VecDeque::new(),
+            deposed: false,
+            max_lag: 0,
+        }
+    }
+
+    /// The fencing epoch this primary stamps on frames.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Next record sequence to be assigned (= records shipped so far).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Highest acked watermark seen (all seqs below it are applied).
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Unacked records currently retained for retransmission.
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Worst shipped-minus-acked gap observed over the run.
+    pub fn max_lag(&self) -> u64 {
+        self.max_lag
+    }
+
+    /// Whether an ack from a higher epoch has fenced this primary off.
+    pub fn deposed(&self) -> bool {
+        self.deposed
+    }
+
+    /// Wrap one WAL record in the next sequence number and retain it in
+    /// the outbox until acked. Returns the frame to put on the wire.
+    pub fn ship(&mut self, rec: WalRecord) -> Frame {
+        let frame = Frame::record(self.epoch, self.next_seq, rec);
+        self.next_seq += 1;
+        self.outbox.push_back(frame.clone());
+        self.max_lag = self.max_lag.max(self.next_seq - self.acked);
+        frame
+    }
+
+    /// A liveness frame carrying the primary's position (`next_seq`)
+    /// without consuming a sequence number.
+    pub fn heartbeat(&self) -> Frame {
+        Frame::heartbeat(self.epoch, self.next_seq)
+    }
+
+    /// Process an ack `(epoch, watermark)` from the follower: prune the
+    /// outbox below the watermark and return how many records were
+    /// pruned. An ack stamped with a *higher* epoch proves a promotion
+    /// happened on the other side — the primary marks itself deposed
+    /// and must stop shipping (the fence would reject it anyway).
+    pub fn ack(&mut self, epoch: u64, watermark: u64) -> usize {
+        if epoch > self.epoch {
+            self.deposed = true;
+        }
+        if watermark <= self.acked {
+            return 0;
+        }
+        self.acked = watermark;
+        let before = self.outbox.len();
+        while self.outbox.front().is_some_and(|f| f.seq < watermark) {
+            self.outbox.pop_front();
+        }
+        before - self.outbox.len()
+    }
+
+    /// Clone the unacked tail for retransmission, oldest first.
+    pub fn retransmit(&self) -> Vec<Frame> {
+        self.outbox.iter().cloned().collect()
+    }
+}
+
+/// What the follower decided about one incoming frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Admitted {
+    /// In-order records now ready to apply (the admitted frame plus any
+    /// buffered successors it unblocked), in sequence order.
+    Apply(Vec<WalRecord>),
+    /// A live-epoch heartbeat: liveness signal, nothing to apply.
+    Heartbeat,
+    /// Nothing to do: duplicate, buffered out-of-order frame, stale
+    /// epoch, or undecodable bytes. The stats say which.
+    Ignored,
+}
+
+/// Admission accounting on the follower.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FollowerStats {
+    /// Records handed back for application, in order.
+    pub frames_applied: u64,
+    /// Already-applied or already-buffered sequences dropped.
+    pub duplicates_dropped: u64,
+    /// Ahead-of-watermark frames parked until the gap filled.
+    pub reordered_buffered: u64,
+    /// Frames that failed [`Frame::decode`] (torn or damaged bytes).
+    pub corrupt_rejected: u64,
+    /// Frames fenced off for carrying an epoch below the follower's.
+    pub stale_epoch_rejected: u64,
+    /// Live-epoch heartbeats admitted.
+    pub heartbeats_seen: u64,
+    /// Times this follower promoted itself.
+    pub promotions: u64,
+}
+
+/// Receiving side: reassembles the primary's record sequence and
+/// enforces the epoch fence.
+#[derive(Clone, Debug)]
+pub struct Follower {
+    epoch: u64,
+    next_seq: u64,
+    buffer: BTreeMap<u64, WalRecord>,
+    stats: FollowerStats,
+}
+
+impl Follower {
+    /// A follower tracking a primary at `epoch`, expecting seq 0.
+    pub fn new(epoch: u64) -> Follower {
+        Follower { epoch, next_seq: 0, buffer: BTreeMap::new(), stats: FollowerStats::default() }
+    }
+
+    /// The follower's fencing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Next sequence expected = count of records applied; this is the
+    /// watermark acked back to the primary.
+    pub fn watermark(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Out-of-order records parked waiting for a gap to fill.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Admission accounting so far.
+    pub fn stats(&self) -> &FollowerStats {
+        &self.stats
+    }
+
+    /// Decode raw wire bytes and admit the frame. Undecodable bytes
+    /// (torn mid-frame sends, in-flight corruption) are counted and
+    /// ignored — the primary's outbox retransmission covers the loss.
+    pub fn admit_bytes(&mut self, bytes: &[u8]) -> Admitted {
+        match Frame::decode(bytes) {
+            Ok(frame) => self.admit(frame),
+            Err(FrameError::Checksum { .. }) | Err(FrameError::Malformed { .. }) => {
+                self.stats.corrupt_rejected += 1;
+                Admitted::Ignored
+            }
+        }
+    }
+
+    /// Admit one decoded frame. Idempotent and order-insensitive: any
+    /// delivery schedule of the same frame set yields the same applied
+    /// record sequence.
+    pub fn admit(&mut self, frame: Frame) -> Admitted {
+        if frame.epoch < self.epoch {
+            self.stats.stale_epoch_rejected += 1;
+            return Admitted::Ignored;
+        }
+        // A higher epoch is a newer legitimate primary; adopt its fence.
+        self.epoch = frame.epoch;
+        match frame.payload {
+            FramePayload::Heartbeat => {
+                self.stats.heartbeats_seen += 1;
+                Admitted::Heartbeat
+            }
+            FramePayload::Record(rec) => {
+                if frame.seq < self.next_seq || self.buffer.contains_key(&frame.seq) {
+                    self.stats.duplicates_dropped += 1;
+                    return Admitted::Ignored;
+                }
+                if frame.seq > self.next_seq {
+                    self.stats.reordered_buffered += 1;
+                    self.buffer.insert(frame.seq, rec);
+                    return Admitted::Ignored;
+                }
+                let mut ready = vec![rec];
+                self.next_seq += 1;
+                while let Some(next) = self.buffer.remove(&self.next_seq) {
+                    ready.push(next);
+                    self.next_seq += 1;
+                }
+                self.stats.frames_applied += ready.len() as u64;
+                Admitted::Apply(ready)
+            }
+        }
+    }
+
+    /// Take over: bump the epoch past the old primary's and drop any
+    /// gapped buffer (those records are re-derived by the new primary's
+    /// own deterministic execution from the watermark). Returns the new
+    /// epoch; every frame stamped with the old one is now fenced off.
+    pub fn promote(&mut self) -> u64 {
+        self.epoch += 1;
+        self.buffer.clear();
+        self.stats.promotions += 1;
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(day: usize, batch: usize) -> WalRecord {
+        WalRecord::Batch { day, batch, draws: 1, assignment: vec![Some(batch)] }
+    }
+
+    #[test]
+    fn in_order_stream_applies_every_record() {
+        let mut p = Primary::new(0);
+        let mut f = Follower::new(0);
+        for b in 0..4 {
+            let frame = p.ship(rec(0, b));
+            match f.admit(frame) {
+                Admitted::Apply(recs) => assert_eq!(recs, vec![rec(0, b)]),
+                other => panic!("expected apply, got {other:?}"),
+            }
+        }
+        assert_eq!(f.watermark(), 4);
+        assert_eq!(f.stats().frames_applied, 4);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_and_gaps_are_buffered_until_filled() {
+        let mut p = Primary::new(0);
+        let frames: Vec<Frame> = (0..3).map(|b| p.ship(rec(0, b))).collect();
+        let mut f = Follower::new(0);
+        assert_eq!(f.admit(frames[2].clone()), Admitted::Ignored);
+        assert_eq!(f.admit(frames[2].clone()), Admitted::Ignored, "buffered dup");
+        assert_eq!(f.admit(frames[0].clone()), Admitted::Apply(vec![rec(0, 0)]));
+        assert_eq!(f.admit(frames[0].clone()), Admitted::Ignored, "applied dup");
+        assert_eq!(f.admit(frames[1].clone()), Admitted::Apply(vec![rec(0, 1), rec(0, 2)]));
+        assert_eq!(f.watermark(), 3);
+        assert_eq!(f.stats().duplicates_dropped, 2);
+        assert_eq!(f.stats().reordered_buffered, 1);
+        assert_eq!(f.buffered(), 0);
+    }
+
+    #[test]
+    fn stale_epoch_frames_are_fenced_after_promotion() {
+        let mut p = Primary::new(0);
+        let f0 = p.ship(rec(0, 0));
+        let mut f = Follower::new(0);
+        assert!(matches!(f.admit(f0), Admitted::Apply(_)));
+        let new_epoch = f.promote();
+        assert_eq!(new_epoch, 1);
+        let stale = p.ship(rec(0, 1));
+        assert_eq!(f.admit(stale), Admitted::Ignored);
+        assert_eq!(f.admit(p.heartbeat()), Admitted::Ignored);
+        assert_eq!(f.stats().stale_epoch_rejected, 2);
+        assert_eq!(f.watermark(), 1, "fenced frames never move the watermark");
+    }
+
+    #[test]
+    fn corrupt_bytes_are_counted_not_applied() {
+        let mut p = Primary::new(0);
+        let line = p.ship(rec(0, 0)).encode();
+        let mut f = Follower::new(0);
+        assert_eq!(f.admit_bytes(&line.as_bytes()[..line.len() / 2]), Admitted::Ignored);
+        assert_eq!(f.admit_bytes(b"\xff\xfe not a frame"), Admitted::Ignored);
+        assert_eq!(f.stats().corrupt_rejected, 2);
+        assert!(matches!(f.admit_bytes(line.as_bytes()), Admitted::Apply(_)));
+    }
+
+    #[test]
+    fn acks_prune_the_outbox_and_track_lag() {
+        let mut p = Primary::new(0);
+        for b in 0..5 {
+            p.ship(rec(0, b));
+        }
+        assert_eq!(p.outbox_len(), 5);
+        assert_eq!(p.max_lag(), 5);
+        assert_eq!(p.ack(0, 3), 3);
+        assert_eq!(p.outbox_len(), 2);
+        assert_eq!(p.ack(0, 2), 0, "regressive ack is a no-op");
+        assert_eq!(p.acked(), 3);
+        let tail: Vec<u64> = p.retransmit().iter().map(|f| f.seq).collect();
+        assert_eq!(tail, vec![3, 4]);
+        assert!(!p.deposed());
+    }
+
+    #[test]
+    fn higher_epoch_ack_deposes_the_primary() {
+        let mut p = Primary::new(0);
+        p.ship(rec(0, 0));
+        p.ack(1, 1);
+        assert!(p.deposed());
+        assert_eq!(p.outbox_len(), 0);
+    }
+
+    #[test]
+    fn heartbeats_do_not_consume_sequence_numbers() {
+        let mut p = Primary::new(0);
+        let hb0 = p.heartbeat();
+        p.ship(rec(0, 0));
+        let hb1 = p.heartbeat();
+        assert_eq!(hb0.seq, 0);
+        assert_eq!(hb1.seq, 1);
+        assert_eq!(p.next_seq(), 1);
+        let mut f = Follower::new(0);
+        assert_eq!(f.admit(hb1), Admitted::Heartbeat);
+        assert_eq!(f.stats().heartbeats_seen, 1);
+        assert_eq!(f.watermark(), 0);
+    }
+}
