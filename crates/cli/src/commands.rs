@@ -78,6 +78,13 @@ pub const USAGE: &str = "usage:
                 [--fault-seed N] [--ramp-seed N] [--goodput-floor 0.4]
                 [--dir DIR] [--out FILE] [--keep-artifacts]
                 [synthetic flags]
+  caam storage-chaos [--quick] [--seeds 20]
+                [--storage-scenario none|enospc|flaky-disk|bit-rot|
+                  disk-gone|storage-chaos]
+                [--storage-seed N] [--crash-points N] [--crash-seed N]
+                [--scenario …corruption-free, as in chaos] [--fault-seed N]
+                [--dir DIR] [--out FILE] [--keep-artifacts]
+                [synthetic flags]
 
 exit codes: 0 ok, 1 usage error, 2 gate failure";
 
@@ -98,6 +105,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "bench-serve" => crate::bench_serve::cmd_bench_serve(&args),
         "overload" => crate::overload::cmd_overload(&args),
         "soak" => crate::soak::cmd_soak(&args),
+        "storage-chaos" => crate::storage_chaos::cmd_storage_chaos(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -20,6 +20,7 @@ mod crash_test;
 mod failover;
 mod overload;
 mod soak;
+mod storage_chaos;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -21,6 +21,10 @@
 //! * **crash recovery** — every seeded crash point recovers
 //!   bit-identically to the uninterrupted reference (utility, learned
 //!   state, overload accounting) with its own audits fully repaired;
+//! * **storage faults held** — a side leg runs the durable loop on an
+//!   injected flaky disk (ENOSPC, EIO, torn writes, failed renames):
+//!   serving must stay bit-identical to a clean-disk reference with
+//!   exact degraded-mode replay-buffer accounting;
 //! * **zero panics escape** — injected solver panics absorbed by the
 //!   degradation ladder are the designed behaviour; a panic with any
 //!   other payload reaching the harness is a failure.
@@ -31,14 +35,15 @@
 use crate::args::Args;
 use crate::commands::CliError;
 use crate::crash_test::{diff_runs, expect_injected_crash};
-use lacb::supervisor::{run_overload_durable, DurableConfig, DurableOutcome};
-use lacb::{LacbConfig, OverloadConfig, ResilienceConfig};
+use lacb::supervisor::{run_durable, run_overload_durable, DurableConfig, DurableOutcome};
+use lacb::{LacbConfig, OverloadConfig, ResilienceConfig, StorageConfig};
 use platform_sim::{
-    ramp_dataset, seeded_schedule, AuditReport, Dataset, FaultConfig, FaultPlan, InvariantKind,
-    StateFaultKind, SyntheticConfig,
+    ramp_dataset, seeded_schedule, AuditReport, Dataset, FaultConfig, FaultPlan, FaultVfs,
+    InvariantKind, StateFaultKind, StorageFaultConfig, SyntheticConfig,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// One gate check: name, verdict, human detail.
 struct Gate {
@@ -92,7 +97,7 @@ fn violation_histogram(report: &AuditReport) -> Vec<(&'static str, usize)> {
         .collect()
 }
 
-fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     payload
         .downcast_ref::<String>()
         .cloned()
@@ -105,10 +110,10 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 /// ladder) and injected crash points — are not echoed to stderr, so a
 /// full-schedule run prints gates instead of dozens of backtraces. Any
 /// other panic still prints and will fail the zero-escaped-panics gate.
-struct QuietPanics;
+pub(crate) struct QuietPanics;
 
 impl QuietPanics {
-    fn install() -> Self {
+    pub(crate) fn install() -> Self {
         let _ = std::panic::take_hook();
         std::panic::set_hook(Box::new(|info| {
             let text = info
@@ -271,6 +276,13 @@ pub fn cmd_soak(args: &Args) -> Result<(), CliError> {
         }
     }
 
+    // Storage-fault leg: the durable loop on an injected flaky disk
+    // must keep serving bit-identically with exact degraded-mode
+    // accounting. The soak's own schedule can include state corruption
+    // (whose repair reads the store), so this leg runs a corruption-free
+    // plan — the disk is the fault under test here.
+    let storage_leg = run_storage_leg(&base, &cfg, &rcfg, fault_seed, &root, keep_artifacts);
+
     let goodput = if ov.offered > 0 { ov.served as f64 / ov.offered as f64 } else { 0.0 };
     let primary_panics = reference.metrics.resilience.as_ref().map_or(0, |s| s.primary_panics);
     let gates = [
@@ -318,6 +330,14 @@ pub fn cmd_soak(args: &Args) -> Result<(), CliError> {
                 Some(first) => {
                     format!("{}/{crash_points} points failed; first: {first}", crash_failures.len())
                 }
+            },
+        },
+        Gate {
+            name: "storage-faults",
+            pass: storage_leg.is_ok(),
+            detail: match &storage_leg {
+                Ok(detail) => detail.clone(),
+                Err(why) => why.clone(),
             },
         },
         Gate {
@@ -373,6 +393,66 @@ pub fn cmd_soak(args: &Args) -> Result<(), CliError> {
         return Err(CliError::Gate(format!("{failures}/{} soak gates failed", gates.len())));
     }
     Ok(())
+}
+
+/// The storage leg of the soak: one clean-disk reference and one run on
+/// a seeded flaky disk (the `storage-chaos` scenario), gating on exact
+/// replay-buffer accounting and bit-identical serving. `Ok` carries the
+/// human detail for the gate line, `Err` the first failure.
+fn run_storage_leg(
+    base: &Dataset,
+    cfg: &LacbConfig,
+    rcfg: &ResilienceConfig,
+    fault_seed: u64,
+    root: &Path,
+    keep_artifacts: bool,
+) -> Result<String, String> {
+    let plan = FaultPlan::new(
+        FaultConfig::scenario("broker-dropout+lost-feedback", fault_seed)
+            .expect("built-in scenario"),
+    );
+    let ref_dir = root.join("storage-reference");
+    let faulty_dir = root.join("storage-faulty");
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&faulty_dir).ok();
+    let reference =
+        run_durable(base, cfg.clone(), rcfg.clone(), plan, &DurableConfig::at(&ref_dir))
+            .map_err(|e| format!("clean-disk reference failed: {e}"))?;
+    let scfg = StorageFaultConfig::scenario("storage-chaos", fault_seed.wrapping_add(0xA5))
+        .expect("built-in scenario");
+    let fvfs = Arc::new(FaultVfs::new(scfg));
+    let dcfg = DurableConfig::at(&faulty_dir)
+        .with_vfs(fvfs.clone())
+        .with_storage(StorageConfig::default());
+    let out = run_durable(base, cfg.clone(), rcfg.clone(), plan, &dcfg)
+        .map_err(|e| format!("faulty-disk run aborted with a typed error: {e}"))?;
+    let stats = out.metrics.storage.clone().ok_or("faulty-disk run carried no storage stats")?;
+    if !stats.accounting_balanced() {
+        return Err(format!(
+            "replay-buffer accounting unbalanced: {} total != {} final + {} dropped + {} covered",
+            stats.buffered_total,
+            stats.buffered_final,
+            stats.dropped_overflow,
+            stats.covered_by_resync
+        ));
+    }
+    if let Some(diff) = diff_runs(&reference.metrics, &out.metrics) {
+        return Err(format!("serving diverged under storage faults: {diff}"));
+    }
+    if out.final_state != reference.final_state {
+        return Err("learned state diverged under storage faults".into());
+    }
+    if !keep_artifacts {
+        std::fs::remove_dir_all(&ref_dir).ok();
+        std::fs::remove_dir_all(&faulty_dir).ok();
+    }
+    Ok(format!(
+        "{} vfs faults injected, {} reached the guard, {} resyncs, final {}",
+        fvfs.census().total(),
+        stats.faults,
+        stats.resyncs_completed,
+        stats.final_mode.label()
+    ))
 }
 
 /// A recovered run must match the uninterrupted reference bit for bit —
@@ -479,6 +559,7 @@ mod tests {
         assert!(text.contains("\"verdict\": \"PASS\""), "report:\n{text}");
         assert!(text.contains("\"name\": \"self-healing\", \"pass\": true"), "report:\n{text}");
         assert!(text.contains("\"name\": \"crash-recovery\", \"pass\": true"), "report:\n{text}");
+        assert!(text.contains("\"name\": \"storage-faults\", \"pass\": true"), "report:\n{text}");
         // The default soak scenario schedules real corruption; the
         // auditor must have seen it.
         assert!(text.contains("\"nan_writes\""), "report:\n{text}");

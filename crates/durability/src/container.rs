@@ -26,8 +26,8 @@
 //! worst a stale `.tmp` that readers ignore.
 
 use crate::crc32::crc32;
+use crate::vfs::{StdVfs, StorageError, Vfs};
 use std::fmt;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Header line of the checksummed container.
@@ -207,13 +207,16 @@ pub fn parse_v2_section(text: &str, want: &str) -> Result<String, ContainerError
 /// `<name>.tmp`, then `rename` over the target. A crash at any point
 /// leaves either the old file or the new file, never a torn mix.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    atomic_write_with(&StdVfs, path, bytes).map_err(|e| e.to_io())
+}
+
+/// [`atomic_write`] on an explicit filesystem, with the typed
+/// [`StorageError`] preserved for fault-aware callers.
+pub fn atomic_write_with(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
     let tmp = tmp_path(path);
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_data()?;
-    }
-    std::fs::rename(&tmp, path)
+    vfs.write(&tmp, bytes)?;
+    vfs.fsync(&tmp)?;
+    vfs.rename(&tmp, path)
 }
 
 /// The sibling tmp path `atomic_write` stages through.

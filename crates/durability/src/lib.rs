@@ -18,6 +18,11 @@
 //!   checkpoints; restore walks newest→oldest until one verifies, so a
 //!   corrupt newest checkpoint degrades to the last known good one
 //!   instead of a cold start.
+//! * [`vfs`] — the **injectable filesystem** all of the above do their
+//!   I/O through: [`vfs::StdVfs`] is the production passthrough, and a
+//!   fault-injecting implementation (`platform_sim::FaultVfs`) can make
+//!   any write, fsync, rename, or read fail with a typed
+//!   [`vfs::StorageError`] at any operation index.
 //!
 //! The crate is dependency-free and knows nothing about the learner:
 //! payloads are opaque text, records carry only primitive serving
@@ -33,11 +38,14 @@
 pub mod container;
 pub mod crc32;
 pub mod store;
+pub mod vfs;
 pub mod wal;
 
 pub use container::{
-    atomic_write, parse_v2, parse_v2_section, tmp_path, write_v2, ContainerError, V2_HEADER,
+    atomic_write, atomic_write_with, parse_v2, parse_v2_section, tmp_path, write_v2,
+    ContainerError, V2_HEADER,
 };
 pub use crc32::crc32;
-pub use store::{CheckpointStore, StoreError, WriteCrash};
+pub use store::{CheckpointStore, SaveReport, StoreError, SweepReport, WriteCrash};
+pub use vfs::{StdVfs, StorageError, Vfs, VfsOp};
 pub use wal::{Wal, WalError, WalRecord, WalRecovery, WAL_HEADER};

@@ -2,19 +2,27 @@
 //!
 //! Keeps the last few checkpoint files in a directory, named
 //! `ckpt-{day:06}.caam` so lexicographic order is generation order.
-//! Saves go through [`crate::container::atomic_write`]; restore walks
-//! generations newest→oldest and the caller tries each until one
-//! verifies, which is what turns "newest checkpoint is torn" into
+//! Saves go through the atomic tmp+fsync+rename sequence; restore
+//! walks generations newest→oldest and the caller tries each until
+//! one verifies, which is what turns "newest checkpoint is torn" into
 //! "fall back to last known good" instead of a cold start.
+//!
+//! All I/O goes through an injectable [`Vfs`]; [`CheckpointStore::open`]
+//! defaults to [`StdVfs`] and `open_with` takes an explicit filesystem
+//! so the storage chaos harness can fail any save, prune, or read.
+//! Opening a store sweeps orphaned `*.tmp` files left by saves that
+//! crashed between write and rename ([`CheckpointStore::sweep_orphans`]).
 //!
 //! [`WriteCrash`] is the seeded-crash hook for the recovery harness: it
 //! makes `save` die exactly where a power cut could — halfway through
 //! the tmp-file write, or after the write but before the rename.
 
 use crate::container::tmp_path;
+use crate::vfs::{StdVfs, StorageError, Vfs, VfsOp};
 use std::fmt;
-use std::io::{ErrorKind, Write};
+use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Where inside `save` an injected crash should fire.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,8 +44,12 @@ pub struct StoreError {
 }
 
 impl StoreError {
-    fn from_io(path: &Path, err: std::io::Error) -> Self {
-        StoreError { path: path.display().to_string(), kind: err.kind(), detail: err.to_string() }
+    fn from_storage(e: StorageError) -> Self {
+        StoreError {
+            path: e.path.clone(),
+            kind: e.kind,
+            detail: format!("{}: {}", e.op.label(), e.detail),
+        }
     }
 }
 
@@ -49,9 +61,39 @@ impl fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+impl From<StorageError> for StoreError {
+    fn from(e: StorageError) -> Self {
+        StoreError::from_storage(e)
+    }
+}
+
+/// What a successful [`CheckpointStore::save`] did beyond the save
+/// itself. Prune failures are non-fatal — a generation that refuses to
+/// delete costs disk space, not safety — but they are *reported*, not
+/// silently swallowed, so operators see a disk that has started
+/// refusing deletes.
+#[derive(Clone, Debug, Default)]
+pub struct SaveReport {
+    /// Old generations successfully deleted by the post-save prune.
+    pub pruned: usize,
+    /// Typed, non-fatal prune failures (one per generation that could
+    /// not be removed).
+    pub warnings: Vec<StoreError>,
+}
+
+/// What [`CheckpointStore::sweep_orphans`] found and removed.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Orphaned `*.tmp` files removed.
+    pub removed: usize,
+    /// Typed, non-fatal removal failures.
+    pub warnings: Vec<StoreError>,
+}
+
 /// A directory of checkpoint generations.
 #[derive(Clone, Debug)]
 pub struct CheckpointStore {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     keep: usize,
 }
@@ -59,9 +101,19 @@ pub struct CheckpointStore {
 impl CheckpointStore {
     /// Open (creating if needed) a store at `dir`, retaining the newest
     /// `keep` generations after each save. `keep` is clamped to ≥ 1.
+    /// Orphaned `*.tmp` files from crashed saves are swept best-effort.
     pub fn open(dir: &Path, keep: usize) -> Result<Self, StoreError> {
-        std::fs::create_dir_all(dir).map_err(|e| StoreError::from_io(dir, e))?;
-        Ok(CheckpointStore { dir: dir.to_path_buf(), keep: keep.max(1) })
+        CheckpointStore::open_with(Arc::new(StdVfs), dir, keep)
+    }
+
+    /// [`CheckpointStore::open`] on an explicit filesystem.
+    pub fn open_with(vfs: Arc<dyn Vfs>, dir: &Path, keep: usize) -> Result<Self, StoreError> {
+        vfs.create_dir_all(dir)?;
+        let store = CheckpointStore { vfs, dir: dir.to_path_buf(), keep: keep.max(1) };
+        // Best-effort: sweep failures must not block opening (the disk
+        // may be refusing deletes but still serving reads).
+        let _ = store.sweep_orphans();
+        Ok(store)
     }
 
     /// The directory this store lives in.
@@ -74,34 +126,55 @@ impl CheckpointStore {
         self.dir.join(format!("ckpt-{day:06}.caam"))
     }
 
+    /// Remove orphaned `*.tmp` files left behind when a past save
+    /// crashed between the tmp write and the rename. Called on open;
+    /// callable any time the store is quiescent (never concurrently
+    /// with an in-flight save, whose tmp file would look orphaned).
+    pub fn sweep_orphans(&self) -> SweepReport {
+        let mut report = SweepReport::default();
+        let Ok(entries) = self.vfs.list(&self.dir) else {
+            return report;
+        };
+        for path in entries {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if !name.ends_with(".tmp") {
+                continue;
+            }
+            match self.vfs.remove(&path) {
+                Ok(()) => report.removed += 1,
+                Err(e) => report.warnings.push(e.into()),
+            }
+        }
+        report
+    }
+
     /// Atomically save `text` as the generation for `day`, then prune
     /// old generations. `crash` injects a panic at a seeded crash point
     /// (used only by the recovery harness); `None` is the normal path.
+    /// The returned [`SaveReport`] carries non-fatal prune warnings.
     pub fn save(
         &self,
         day: usize,
         text: &str,
         crash: Option<WriteCrash>,
-    ) -> Result<(), StoreError> {
+    ) -> Result<SaveReport, StoreError> {
         let path = self.generation_path(day);
         let tmp = tmp_path(&path);
-        {
-            let mut f = std::fs::File::create(&tmp).map_err(|e| StoreError::from_io(&tmp, e))?;
-            if crash == Some(WriteCrash::MidWrite) {
-                let half = &text.as_bytes()[..text.len() / 2];
-                f.write_all(half).map_err(|e| StoreError::from_io(&tmp, e))?;
-                f.sync_data().map_err(|e| StoreError::from_io(&tmp, e))?;
-                panic!("injected crash: mid checkpoint write at {}", tmp.display());
-            }
-            f.write_all(text.as_bytes()).map_err(|e| StoreError::from_io(&tmp, e))?;
-            f.sync_data().map_err(|e| StoreError::from_io(&tmp, e))?;
+        if crash == Some(WriteCrash::MidWrite) {
+            let half = &text.as_bytes()[..text.len() / 2];
+            self.vfs.write(&tmp, half).map_err(StoreError::from_storage)?;
+            let _ = self.vfs.fsync(&tmp);
+            panic!("injected crash: mid checkpoint write at {}", tmp.display());
         }
+        self.vfs.write(&tmp, text.as_bytes()).map_err(StoreError::from_storage)?;
+        self.vfs.fsync(&tmp).map_err(StoreError::from_storage)?;
         if crash == Some(WriteCrash::BeforeRename) {
             panic!("injected crash: before checkpoint rename at {}", tmp.display());
         }
-        std::fs::rename(&tmp, &path).map_err(|e| StoreError::from_io(&path, e))?;
-        self.prune();
-        Ok(())
+        self.vfs.rename(&tmp, &path).map_err(StoreError::from_storage)?;
+        Ok(self.prune())
     }
 
     /// All generations on disk, newest first, as `(day, path)`. Stale
@@ -109,11 +182,10 @@ impl CheckpointStore {
     /// from a crashed save is invisible here.
     pub fn generations(&self) -> Vec<(usize, PathBuf)> {
         let mut out = Vec::new();
-        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+        let Ok(entries) = self.vfs.list(&self.dir) else {
             return out;
         };
-        for entry in entries.flatten() {
-            let path = entry.path();
+        for path in entries {
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
                 continue;
             };
@@ -133,14 +205,25 @@ impl CheckpointStore {
     /// Read a generation's text. Torn tmp files never reach here
     /// because [`Self::generations`] filters them out.
     pub fn read(&self, path: &Path) -> Result<String, StoreError> {
-        std::fs::read_to_string(path).map_err(|e| StoreError::from_io(path, e))
+        let bytes = self.vfs.read(path).map_err(StoreError::from_storage)?;
+        String::from_utf8(bytes).map_err(|e| StoreError {
+            path: path.display().to_string(),
+            kind: ErrorKind::InvalidData,
+            detail: format!("{}: {}", VfsOp::Read.label(), e),
+        })
     }
 
-    fn prune(&self) {
-        // Best-effort: a failed delete costs disk space, not safety.
+    fn prune(&self) -> SaveReport {
+        // Non-fatal: a failed delete costs disk space, not safety —
+        // but it is reported, never silently dropped.
+        let mut report = SaveReport::default();
         for (_, path) in self.generations().into_iter().skip(self.keep) {
-            std::fs::remove_file(path).ok();
+            match self.vfs.remove(&path) {
+                Ok(()) => report.pruned += 1,
+                Err(e) => report.warnings.push(e.into()),
+            }
         }
+        report
     }
 }
 
@@ -168,11 +251,13 @@ mod tests {
     }
 
     #[test]
-    fn prune_keeps_newest() {
+    fn prune_keeps_newest_and_reports_counts() {
         let dir = scratch("prune");
         let store = CheckpointStore::open(&dir, 2).unwrap();
         for day in 0..5 {
-            store.save(day, &format!("day {day}\n"), None).unwrap();
+            let report = store.save(day, &format!("day {day}\n"), None).unwrap();
+            assert!(report.warnings.is_empty());
+            assert_eq!(report.pruned, usize::from(day >= 2));
         }
         let gens = store.generations();
         assert_eq!(gens.iter().map(|g| g.0).collect::<Vec<_>>(), vec![4, 3]);
@@ -209,6 +294,98 @@ mod tests {
         }));
         assert!(crash.is_err());
         assert_eq!(store.generations().iter().map(|g| g.0).collect::<Vec<_>>(), vec![3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_sweeps_orphaned_tmp_files() {
+        let dir = scratch("sweep");
+        let store = CheckpointStore::open(&dir, 8).unwrap();
+        store.save(0, "stable\n", None).unwrap();
+        let crash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.save(1, "torn by a crash\n", Some(WriteCrash::MidWrite))
+        }));
+        assert!(crash.is_err());
+        let orphan = tmp_path(&store.generation_path(1));
+        assert!(orphan.exists(), "crash left an orphaned tmp file");
+        drop(store);
+        // Reopening the store after the "restart" removes the orphan
+        // and keeps every real generation.
+        let store = CheckpointStore::open(&dir, 8).unwrap();
+        assert!(!orphan.exists(), "open swept the orphaned tmp file");
+        let gens = store.generations();
+        assert_eq!(gens.iter().map(|g| g.0).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(store.read(&gens[0].1).unwrap(), "stable\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_reports_removed_count() {
+        let dir = scratch("sweepcount");
+        let store = CheckpointStore::open(&dir, 8).unwrap();
+        std::fs::write(dir.join("ckpt-000007.caam.tmp"), "torn").unwrap();
+        std::fs::write(dir.join("stray.tmp"), "torn").unwrap();
+        std::fs::write(dir.join("not-an-orphan.txt"), "keep").unwrap();
+        let report = store.sweep_orphans();
+        assert_eq!(report.removed, 2);
+        assert!(report.warnings.is_empty());
+        assert!(dir.join("not-an-orphan.txt").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A filesystem that refuses deletes: prune failures must surface
+    /// as typed warnings in the save report, not vanish.
+    #[derive(Debug)]
+    struct NoDeleteVfs(StdVfs);
+
+    impl Vfs for NoDeleteVfs {
+        fn read(&self, path: &Path) -> Result<Vec<u8>, StorageError> {
+            self.0.read(path)
+        }
+        fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+            self.0.write(path, bytes)
+        }
+        fn append(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+            self.0.append(path, bytes)
+        }
+        fn fsync(&self, path: &Path) -> Result<(), StorageError> {
+            self.0.fsync(path)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> Result<(), StorageError> {
+            self.0.rename(from, to)
+        }
+        fn remove(&self, path: &Path) -> Result<(), StorageError> {
+            Err(StorageError::injected(
+                VfsOp::Remove,
+                path,
+                ErrorKind::PermissionDenied,
+                "deletes disabled",
+            ))
+        }
+        fn list(&self, dir: &Path) -> Result<Vec<PathBuf>, StorageError> {
+            self.0.list(dir)
+        }
+        fn truncate(&self, path: &Path, len: u64) -> Result<(), StorageError> {
+            self.0.truncate(path, len)
+        }
+        fn create_dir_all(&self, dir: &Path) -> Result<(), StorageError> {
+            self.0.create_dir_all(dir)
+        }
+    }
+
+    #[test]
+    fn failed_prune_surfaces_typed_warnings() {
+        let dir = scratch("prunewarn");
+        let store = CheckpointStore::open_with(Arc::new(NoDeleteVfs(StdVfs)), &dir, 1).unwrap();
+        store.save(0, "gen zero\n", None).unwrap();
+        let report = store.save(1, "gen one\n", None).unwrap();
+        assert_eq!(report.pruned, 0);
+        assert_eq!(report.warnings.len(), 1);
+        assert_eq!(report.warnings[0].kind, ErrorKind::PermissionDenied);
+        assert!(report.warnings[0].detail.contains("remove"), "{}", report.warnings[0].detail);
+        // The undeleted generation is still present — space cost, not
+        // a safety cost.
+        assert_eq!(store.generations().len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

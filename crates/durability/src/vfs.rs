@@ -1,0 +1,279 @@
+//! Injectable virtual filesystem for every durability operation.
+//!
+//! Real deployments lose disks in mundane, partial ways: `ENOSPC` in
+//! the middle of a checkpoint, `EIO` on an append, an fsync that
+//! fails after the write "succeeded", a rename that never lands, a
+//! read that comes back with a flipped bit. The WAL, the checkpoint
+//! container, and the generation store therefore never touch
+//! `std::fs` directly — they go through a [`Vfs`], so a seeded fault
+//! injector (`platform_sim::FaultVfs`) can interpose any of those
+//! failures at any operation index while [`StdVfs`] remains a
+//! zero-cost passthrough in production.
+//!
+//! Every failure is a typed [`StorageError`] preserving the OS
+//! [`ErrorKind`], the operation ([`VfsOp`]) and whether the fault was
+//! injected, so callers can branch (`StorageFull` vs `NotFound`) and
+//! harnesses can audit exactly which faults fired.
+
+use std::fmt;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+
+/// The filesystem operation a [`StorageError`] failed in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VfsOp {
+    /// Whole-file read.
+    Read,
+    /// Create/truncate + write of a whole file.
+    Write,
+    /// Open-for-append + write of a record.
+    Append,
+    /// Flush file contents to stable storage.
+    Fsync,
+    /// Atomic rename onto a sibling path.
+    Rename,
+    /// File deletion.
+    Remove,
+    /// Directory listing.
+    List,
+    /// Shrink a file to a byte length (torn-tail truncation).
+    Truncate,
+    /// Recursive directory creation.
+    CreateDir,
+}
+
+impl VfsOp {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VfsOp::Read => "read",
+            VfsOp::Write => "write",
+            VfsOp::Append => "append",
+            VfsOp::Fsync => "fsync",
+            VfsOp::Rename => "rename",
+            VfsOp::Remove => "remove",
+            VfsOp::List => "list",
+            VfsOp::Truncate => "truncate",
+            VfsOp::CreateDir => "create-dir",
+        }
+    }
+}
+
+/// A failed storage operation, preserving the OS [`ErrorKind`] so
+/// callers can branch on it and harnesses can assert on it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageError {
+    /// Which operation failed.
+    pub op: VfsOp,
+    /// The path the operation targeted.
+    pub path: String,
+    /// OS error kind (`StorageFull` for ENOSPC, `NotFound`, …).
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub detail: String,
+    /// True when a fault injector produced this error rather than the
+    /// real filesystem.
+    pub injected: bool,
+}
+
+impl StorageError {
+    /// Wrap a real OS error.
+    pub fn from_io(op: VfsOp, path: &Path, e: &std::io::Error) -> Self {
+        StorageError {
+            op,
+            path: path.display().to_string(),
+            kind: e.kind(),
+            detail: e.to_string(),
+            injected: false,
+        }
+    }
+
+    /// Build an injected fault (used by fault-injecting [`Vfs`] impls).
+    pub fn injected(op: VfsOp, path: &Path, kind: ErrorKind, detail: &str) -> Self {
+        StorageError {
+            op,
+            path: path.display().to_string(),
+            kind,
+            detail: detail.to_string(),
+            injected: true,
+        }
+    }
+
+    /// Convert back into a `std::io::Error` (kind preserved).
+    pub fn to_io(&self) -> std::io::Error {
+        std::io::Error::new(self.kind, self.detail.clone())
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = if self.injected { " [injected]" } else { "" };
+        write!(
+            f,
+            "storage {} failed at {} ({:?}){tag}: {}",
+            self.op.label(),
+            self.path,
+            self.kind,
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// The filesystem surface the durability layer is allowed to use.
+///
+/// Implementations must be `Send + Sync` (the serving loop may be
+/// driven from a pool coordinator) and `Debug` (configs embed them).
+/// Semantics mirror `std::fs`; [`StdVfs`] is the passthrough.
+pub trait Vfs: fmt::Debug + Send + Sync {
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> Result<Vec<u8>, StorageError>;
+    /// Create (or truncate) `path` and write all of `bytes`.
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError>;
+    /// Open `path` for appending (creating it if missing) and write
+    /// all of `bytes`, flushed to the OS before returning.
+    fn append(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError>;
+    /// Flush `path`'s data to stable storage (`sync_data`).
+    fn fsync(&self, path: &Path) -> Result<(), StorageError>;
+    /// Atomically rename `from` onto `to`.
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), StorageError>;
+    /// Delete a file.
+    fn remove(&self, path: &Path) -> Result<(), StorageError>;
+    /// List the entries of a directory (files and subdirectories).
+    fn list(&self, dir: &Path) -> Result<Vec<PathBuf>, StorageError>;
+    /// Truncate `path` to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> Result<(), StorageError>;
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> Result<(), StorageError>;
+}
+
+/// The production passthrough: every [`Vfs`] method is the matching
+/// `std::fs` call. This is the **only** place in the crate that talks
+/// to the real filesystem.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StdVfs;
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &Path) -> Result<Vec<u8>, StorageError> {
+        std::fs::read(path).map_err(|e| StorageError::from_io(VfsOp::Read, path, &e))
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        std::fs::write(path, bytes).map_err(|e| StorageError::from_io(VfsOp::Write, path, &e))
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        use std::io::Write as _;
+        let op = |e: std::io::Error| StorageError::from_io(VfsOp::Append, path, &e);
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path).map_err(op)?;
+        f.write_all(bytes).map_err(op)?;
+        f.flush().map_err(op)
+    }
+
+    fn fsync(&self, path: &Path) -> Result<(), StorageError> {
+        let op = |e: std::io::Error| StorageError::from_io(VfsOp::Fsync, path, &e);
+        let f = std::fs::OpenOptions::new().write(true).open(path).map_err(op)?;
+        f.sync_data().map_err(op)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), StorageError> {
+        std::fs::rename(from, to).map_err(|e| StorageError::from_io(VfsOp::Rename, to, &e))
+    }
+
+    fn remove(&self, path: &Path) -> Result<(), StorageError> {
+        std::fs::remove_file(path).map_err(|e| StorageError::from_io(VfsOp::Remove, path, &e))
+    }
+
+    fn list(&self, dir: &Path) -> Result<Vec<PathBuf>, StorageError> {
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| StorageError::from_io(VfsOp::List, dir, &e))?;
+        let mut out = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| StorageError::from_io(VfsOp::List, dir, &e))?;
+            out.push(entry.path());
+        }
+        Ok(out)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> Result<(), StorageError> {
+        let op = |e: std::io::Error| StorageError::from_io(VfsOp::Truncate, path, &e);
+        let f = std::fs::OpenOptions::new().write(true).open(path).map_err(op)?;
+        f.set_len(len).map_err(op)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> Result<(), StorageError> {
+        std::fs::create_dir_all(dir).map_err(|e| StorageError::from_io(VfsOp::CreateDir, dir, &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("caam-vfs-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn std_vfs_roundtrips_and_appends() {
+        let path = scratch("roundtrip.txt");
+        let vfs = StdVfs;
+        vfs.write(&path, b"alpha\n").unwrap();
+        vfs.append(&path, b"beta\n").unwrap();
+        vfs.fsync(&path).unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"alpha\nbeta\n");
+        vfs.truncate(&path, 6).unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"alpha\n");
+        vfs.remove(&path).unwrap();
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn std_vfs_errors_preserve_kind() {
+        let vfs = StdVfs;
+        let missing = scratch("definitely-not-here.txt");
+        std::fs::remove_file(&missing).ok();
+        let err = vfs.read(&missing).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::NotFound);
+        assert_eq!(err.op, VfsOp::Read);
+        assert!(!err.injected);
+        assert!(err.to_io().kind() == ErrorKind::NotFound);
+        let msg = err.to_string();
+        assert!(msg.contains("read"), "{msg}");
+        assert!(!msg.contains("[injected]"), "{msg}");
+    }
+
+    #[test]
+    fn std_vfs_rename_and_list() {
+        let dir = std::env::temp_dir().join("caam-vfs-tests").join("listdir");
+        std::fs::remove_dir_all(&dir).ok();
+        let vfs = StdVfs;
+        vfs.create_dir_all(&dir).unwrap();
+        vfs.write(&dir.join("a.tmp"), b"x").unwrap();
+        vfs.rename(&dir.join("a.tmp"), &dir.join("a.txt")).unwrap();
+        let names: Vec<String> = vfs
+            .list(&dir)
+            .unwrap()
+            .into_iter()
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect();
+        assert_eq!(names, vec!["a.txt".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_errors_are_marked() {
+        let e = StorageError::injected(
+            VfsOp::Write,
+            Path::new("/x/y"),
+            ErrorKind::StorageFull,
+            "injected ENOSPC",
+        );
+        assert!(e.injected);
+        assert_eq!(e.kind, ErrorKind::StorageFull);
+        assert!(e.to_string().contains("[injected]"));
+    }
+}

@@ -14,12 +14,18 @@
 //! a crash mid-append and is truncated away before the log is reopened
 //! for appending. Torn tails are *normal* after a crash, not
 //! corruption — the replayed state simply resumes one record earlier.
+//!
+//! All file I/O goes through an injectable [`Vfs`], so the storage
+//! chaos harness can make any append, truncate, or rename fail at any
+//! operation index. [`Wal::create`]/[`Wal::recover`] default to
+//! [`StdVfs`]; `_with` variants take an explicit filesystem.
 
 use crate::crc32::crc32;
+use crate::vfs::{StdVfs, StorageError, Vfs};
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{ErrorKind, Write};
+use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// First line of every WAL file; bump on incompatible record changes.
 pub const WAL_HEADER: &str = "caam-wal v1";
@@ -49,8 +55,14 @@ impl fmt::Display for WalError {
 
 impl std::error::Error for WalError {}
 
-fn io_err(path: &Path, e: &std::io::Error) -> WalError {
-    WalError::Io { path: path.display().to_string(), kind: e.kind(), detail: e.to_string() }
+impl From<StorageError> for WalError {
+    fn from(e: StorageError) -> Self {
+        WalError::Io {
+            path: e.path.clone(),
+            kind: e.kind,
+            detail: format!("{}: {}", e.op.label(), e.detail),
+        }
+    }
 }
 
 /// One serving-loop event. Records carry only what replay verification
@@ -197,25 +209,30 @@ pub struct WalRecovery {
 /// An append-only, checksummed write-ahead log.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
 }
 
 impl Wal {
     /// Create (or truncate) a WAL at `path` and write the header.
     pub fn create(path: &Path) -> Result<Wal, WalError> {
-        let mut file = File::create(path).map_err(|e| io_err(path, &e))?;
-        file.write_all(WAL_HEADER.as_bytes()).map_err(|e| io_err(path, &e))?;
-        file.write_all(b"\n").map_err(|e| io_err(path, &e))?;
-        file.flush().map_err(|e| io_err(path, &e))?;
-        Ok(Wal { file, path: path.to_path_buf() })
+        Wal::create_with(Arc::new(StdVfs), path)
     }
 
-    /// Append one record (full line + flush).
+    /// [`Wal::create`] on an explicit filesystem.
+    pub fn create_with(vfs: Arc<dyn Vfs>, path: &Path) -> Result<Wal, WalError> {
+        let mut header = String::with_capacity(WAL_HEADER.len() + 1);
+        header.push_str(WAL_HEADER);
+        header.push('\n');
+        vfs.write(path, header.as_bytes())?;
+        Ok(Wal { vfs, path: path.to_path_buf() })
+    }
+
+    /// Append one record (full line, flushed to the OS).
     pub fn append(&mut self, rec: &WalRecord) -> Result<(), WalError> {
         let line = rec.encode();
-        self.file.write_all(line.as_bytes()).map_err(|e| io_err(&self.path, &e))?;
-        self.file.flush().map_err(|e| io_err(&self.path, &e))
+        self.vfs.append(&self.path, line.as_bytes())?;
+        Ok(())
     }
 
     /// Crash injection: write roughly half of the record's bytes — no
@@ -225,8 +242,7 @@ impl Wal {
     pub fn append_torn(&mut self, rec: &WalRecord) -> ! {
         let line = rec.encode();
         let cut = (line.len() / 2).max(1);
-        let _ = self.file.write_all(&line.as_bytes()[..cut]);
-        let _ = self.file.flush();
+        let _ = self.vfs.append(&self.path, &line.as_bytes()[..cut]);
         panic!("injected crash: torn WAL append at {}", self.path.display());
     }
 
@@ -234,10 +250,18 @@ impl Wal {
     /// any torn tail, and reopen for appending. A missing or empty file
     /// is recreated fresh (a crash before the first append).
     pub fn recover(path: &Path) -> Result<(Wal, Vec<WalRecord>, WalRecovery), WalError> {
-        let data = match std::fs::read(path) {
+        Wal::recover_with(Arc::new(StdVfs), path)
+    }
+
+    /// [`Wal::recover`] on an explicit filesystem.
+    pub fn recover_with(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+    ) -> Result<(Wal, Vec<WalRecord>, WalRecovery), WalError> {
+        let data = match vfs.read(path) {
             Ok(d) => d,
-            Err(e) if e.kind() == ErrorKind::NotFound => Vec::new(),
-            Err(e) => return Err(io_err(path, &e)),
+            Err(e) if e.kind == ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
         };
         let mut records = Vec::new();
         let mut pos = 0usize;
@@ -281,20 +305,18 @@ impl Wal {
         };
         if !saw_header {
             // Missing/empty/header-less-but-empty file: start fresh.
-            let wal = Wal::create(path)?;
+            let wal = Wal::create_with(vfs, path)?;
             return Ok((wal, records, report));
         }
         if torn {
-            let f = OpenOptions::new().write(true).open(path).map_err(|e| io_err(path, &e))?;
-            f.set_len(valid_end as u64).map_err(|e| io_err(path, &e))?;
+            vfs.truncate(path, valid_end as u64)?;
         }
-        let file = OpenOptions::new().append(true).open(path).map_err(|e| io_err(path, &e))?;
-        Ok((Wal { file, path: path.to_path_buf() }, records, report))
+        Ok((Wal { vfs, path: path.to_path_buf() }, records, report))
     }
 
     /// Drop every record belonging to a day before `day`, rewriting the
-    /// log atomically (tmp + rename) and reopening it for appending.
-    /// Returns the number of records pruned.
+    /// log atomically (tmp + rename). Returns the number of records
+    /// pruned.
     ///
     /// This is the replication watermark prune: once the follower has
     /// acked everything up to a checkpointed day boundary, the primary
@@ -304,7 +326,7 @@ impl Wal {
     /// [`WalRecord::day`]), so the marker for `day` itself survives.
     pub fn prune_to_watermark(&mut self, day: usize) -> Result<usize, WalError> {
         let path = self.path.clone();
-        let data = std::fs::read(&path).map_err(|e| io_err(&path, &e))?;
+        let data = self.vfs.read(&path)?;
         let text = std::str::from_utf8(&data).map_err(|e| WalError::Io {
             path: path.display().to_string(),
             kind: ErrorKind::InvalidData,
@@ -331,13 +353,9 @@ impl Wal {
             }
         }
         let tmp = path.with_extension("wal.tmp");
-        {
-            let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, &e))?;
-            f.write_all(kept.as_bytes()).map_err(|e| io_err(&tmp, &e))?;
-            f.sync_all().map_err(|e| io_err(&tmp, &e))?;
-        }
-        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, &e))?;
-        self.file = OpenOptions::new().append(true).open(&path).map_err(|e| io_err(&path, &e))?;
+        self.vfs.write(&tmp, kept.as_bytes())?;
+        self.vfs.fsync(&tmp)?;
+        self.vfs.rename(&tmp, &path)?;
         Ok(pruned)
     }
 
@@ -563,5 +581,23 @@ mod tests {
         assert!(WalRecord::parse("day-start 3 junk").is_none());
         assert!(WalRecord::parse("batch 0 0 0 2 1").is_none(), "short assignment");
         assert!(WalRecord::parse("day-end 0 zz 1 0").is_none(), "bad hex");
+    }
+
+    #[test]
+    fn storage_errors_convert_to_wal_errors() {
+        let e = StorageError::injected(
+            crate::vfs::VfsOp::Append,
+            Path::new("/dev/null/x.wal"),
+            ErrorKind::StorageFull,
+            "injected ENOSPC",
+        );
+        let w: WalError = e.into();
+        match w {
+            WalError::Io { kind, detail, .. } => {
+                assert_eq!(kind, ErrorKind::StorageFull);
+                assert!(detail.contains("append"), "{detail}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

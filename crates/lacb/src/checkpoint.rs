@@ -940,6 +940,7 @@ pub fn resume_chaos(
         timings: StageTimings::default(),
         audit: assigner.take_audit_report(),
         replication: None,
+        storage: None,
     })
 }
 

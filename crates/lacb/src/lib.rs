@@ -29,6 +29,7 @@ pub mod overload;
 pub mod replication;
 pub mod resilient;
 pub mod runner;
+pub mod storage;
 pub mod supervisor;
 pub mod value_function;
 
@@ -52,6 +53,7 @@ pub use replication::{
 };
 pub use resilient::{run_chaos, ResilienceConfig, ResilientAssigner};
 pub use runner::{run, RunConfig};
+pub use storage::{FaultSite, StorageConfig, StorageGuard};
 pub use supervisor::{
     run_durable, run_overload_durable, DurableConfig, DurableOutcome, RecoveryError,
 };

@@ -532,6 +532,7 @@ pub fn run_overload(
             timings,
             audit: assigner.take_audit_report(),
             replication: None,
+            storage: None,
         },
         final_state,
     }

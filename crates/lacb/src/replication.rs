@@ -39,7 +39,7 @@ use crate::assigner::Assigner;
 use crate::checkpoint::{Checkpoint, RunProgress};
 use crate::lacb::{Lacb, LacbConfig};
 use crate::resilient::{ResilienceConfig, ResilientAssigner};
-use durability::{tmp_path, CheckpointStore, StoreError, Wal, WalError, WalRecord};
+use durability::{tmp_path, CheckpointStore, StdVfs, StoreError, Vfs, Wal, WalError, WalRecord};
 use platform_sim::{
     BrokerLedger, Dataset, FaultPlan, KillPoint, NetDelivery, NetFaultPlan, Platform,
     ReplicationStats, RunMetrics, StageTimings,
@@ -50,6 +50,7 @@ use replica::{
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// File name of the primary's WAL inside the replication directory.
@@ -72,11 +73,18 @@ pub struct ReplicationConfig {
     pub retransmit_after: u64,
     /// Seeded primary kill point (failover harness only).
     pub kill: Option<KillPoint>,
+    /// Filesystem the primary's WAL and checkpoint store go through.
+    pub vfs: Arc<dyn Vfs>,
+    /// When set, primary-side storage faults are absorbed instead of
+    /// aborting: the failing handle is latched off, the fault is
+    /// counted in [`ReplicationStats`], and shipping continues — the
+    /// follower's acked watermark is the durability story then.
+    pub tolerate_storage_faults: bool,
 }
 
 impl ReplicationConfig {
-    /// A replicated run rooted at `dir` with default timeouts and no
-    /// injected kill.
+    /// A replicated run rooted at `dir` with default timeouts, no
+    /// injected kill, the real filesystem, and storage faults fatal.
     pub fn at(dir: &Path) -> Self {
         ReplicationConfig {
             dir: dir.to_path_buf(),
@@ -84,7 +92,21 @@ impl ReplicationConfig {
             heartbeat_timeout: 6,
             retransmit_after: 2,
             kill: None,
+            vfs: Arc::new(StdVfs),
+            tolerate_storage_faults: false,
         }
+    }
+
+    /// Route the primary's durability I/O through `vfs`.
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
+    }
+
+    /// Absorb primary-side storage faults instead of aborting.
+    pub fn tolerant(mut self) -> Self {
+        self.tolerate_storage_faults = true;
+        self
     }
 }
 
@@ -350,6 +372,7 @@ impl<'a> Engine<'a> {
             timings: StageTimings::default(),
             audit: self.assigner.take_audit_report(),
             replication: Some(replication),
+            storage: None,
         };
         (metrics, final_state)
     }
@@ -427,10 +450,31 @@ pub fn run_replicated(
     repl: &ReplicationConfig,
 ) -> Result<ReplicatedOutcome, ReplicationError> {
     let spiked = dataset.with_batch_spikes(&plan);
-    let store = CheckpointStore::open(&repl.dir, repl.keep)?;
+    let mut primary_storage_faults: u64 = 0;
+    let mut checkpoints_skipped: u64 = 0;
+    let mut prunes_skipped: u64 = 0;
+    let store = match CheckpointStore::open_with(repl.vfs.clone(), &repl.dir, repl.keep) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            if !repl.tolerate_storage_faults {
+                return Err(e.into());
+            }
+            primary_storage_faults += 1;
+            None
+        }
+    };
     // The replicated primary starts a fresh log; composing replication
     // with single-node crash recovery is `supervisor`'s job.
-    let (mut wal, _, _) = Wal::recover(&repl.dir.join(REPLICA_WAL_FILE))?;
+    let mut wal = match Wal::recover_with(repl.vfs.clone(), &repl.dir.join(REPLICA_WAL_FILE)) {
+        Ok((w, _, _)) => Some(w),
+        Err(e) => {
+            if !repl.tolerate_storage_faults {
+                return Err(e.into());
+            }
+            primary_storage_faults += 1;
+            None
+        }
+    };
 
     let mut engine_p = Engine::new(&spiked, cfg.clone(), rcfg.clone(), plan);
     let mut engine_f = Engine::new(&spiked, cfg, rcfg, plan);
@@ -462,7 +506,17 @@ pub fn run_replicated(
         }
         if primary_alive {
             let rec = engine_p.step().expect("peeked not done");
-            wal.append(&rec)?;
+            if let Some(w) = wal.as_mut() {
+                if let Err(e) = w.append(&rec) {
+                    if !repl.tolerate_storage_faults {
+                        return Err(e.into());
+                    }
+                    // Latch the WAL off; the follower's acked watermark
+                    // is the durability story from here on.
+                    primary_storage_faults += 1;
+                    wal = None;
+                }
+            }
             let frame = primary.ship(rec.clone());
             let line = frame.encode();
             let mid_frame_kill = match (repl.kill, &rec) {
@@ -507,22 +561,58 @@ pub fn run_replicated(
                         // Dying mid-write leaves a torn tmp that the
                         // atomic rename never promoted — invisible to
                         // every reader, exactly like a crashed save.
-                        let tmp = tmp_path(&store.generation_path(d + 1));
+                        let healthy = store.as_ref().expect("kill harness runs on a healthy disk");
+                        let tmp = tmp_path(&healthy.generation_path(d + 1));
                         std::fs::write(&tmp, &text.as_bytes()[..text.len() / 2]).map_err(|e| {
                             ReplicationError::Protocol(format!("torn tmp write failed: {e}"))
                         })?;
                         primary_alive = false;
                     } else {
-                        store.save(d + 1, &text, None)?;
-                        wal.append(&WalRecord::Checkpoint { next_day: d + 1 })?;
+                        match store.as_ref().map(|s| s.save(d + 1, &text, None)) {
+                            Some(Ok(_)) => {
+                                if let Some(w) = wal.as_mut() {
+                                    if let Err(e) =
+                                        w.append(&WalRecord::Checkpoint { next_day: d + 1 })
+                                    {
+                                        if !repl.tolerate_storage_faults {
+                                            return Err(e.into());
+                                        }
+                                        primary_storage_faults += 1;
+                                        wal = None;
+                                    }
+                                }
+                            }
+                            Some(Err(e)) => {
+                                if !repl.tolerate_storage_faults {
+                                    return Err(e.into());
+                                }
+                                primary_storage_faults += 1;
+                                checkpoints_skipped += 1;
+                            }
+                            None => checkpoints_skipped += 1,
+                        }
                         // Prune the WAL below the acked watermark: keep
                         // from the first unacked record's day (or drop
-                        // everything when fully acked).
+                        // everything when fully acked). A degraded WAL
+                        // has nothing safe to prune — count the skip.
                         let prune_day = match primary.retransmit().first().map(|f| &f.payload) {
                             Some(FramePayload::Record(r)) => r.day(),
                             _ => d + 1,
                         };
-                        wal_pruned += wal.prune_to_watermark(prune_day)? as u64;
+                        match wal.as_mut() {
+                            Some(w) => match w.prune_to_watermark(prune_day) {
+                                Ok(n) => wal_pruned += n as u64,
+                                Err(e) => {
+                                    if !repl.tolerate_storage_faults {
+                                        return Err(e.into());
+                                    }
+                                    primary_storage_faults += 1;
+                                    prunes_skipped += 1;
+                                    wal = None;
+                                }
+                            },
+                            None => prunes_skipped += 1,
+                        }
                         if repl.kill == Some(KillPoint::AfterCheckpoint { day: d }) {
                             primary_alive = false;
                         }
@@ -661,6 +751,9 @@ pub fn run_replicated(
         acked_watermark: primary.acked(),
         pruned_records: wal_pruned,
         max_lag: primary.max_lag(),
+        primary_storage_faults,
+        checkpoints_skipped,
+        prunes_skipped,
     };
 
     let (metrics, final_state) = if promoted {
@@ -825,6 +918,46 @@ mod tests {
             repl.frames_dropped + repl.duplicates_dropped + repl.corrupt_rejected > 0,
             "lossy scenario must actually exercise the fault families: {repl:?}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn primary_storage_faults_latch_and_shipping_still_converges() {
+        let ds = dataset(233);
+        let plan = chaos_plan(151);
+        let dir = scratch("storage-tolerant");
+        // A disk that fails every operation: the primary runs fully
+        // diskless, yet the follower still converges bit-identically —
+        // the acked watermark is the durability story.
+        let dead = platform_sim::StorageFaultConfig {
+            seed: 11,
+            disk_gone: 1.0,
+            disk_gone_every: 1,
+            disk_gone_span: 1,
+            ..platform_sim::StorageFaultConfig::default()
+        };
+        let repl = ReplicationConfig::at(&dir)
+            .with_vfs(Arc::new(platform_sim::FaultVfs::new(dead)))
+            .tolerant();
+        let out = run_replicated(
+            &ds,
+            LacbConfig::default(),
+            ResilienceConfig::default(),
+            plan,
+            quiet_net(5),
+            &repl,
+        )
+        .unwrap();
+        let (reference_metrics, reference_state) = reference(&ds, plan);
+        assert!(!out.promoted);
+        assert_eq!(out.follower_converged, Some(true));
+        assert_bit_identical(&out.metrics, &reference_metrics);
+        assert_eq!(out.final_state, reference_state);
+        let stats = &out.replication;
+        assert!(stats.primary_storage_faults > 0, "{stats:?}");
+        assert!(stats.checkpoints_skipped > 0, "{stats:?}");
+        assert!(stats.prunes_skipped > 0, "{stats:?}");
+        assert_eq!(out.wal_pruned, 0, "a dead disk has nothing to prune");
         std::fs::remove_dir_all(&dir).ok();
     }
 

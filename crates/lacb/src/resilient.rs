@@ -443,6 +443,7 @@ pub fn run_chaos(
         timings,
         audit: assigner.take_audit_report(),
         replication: None,
+        storage: None,
     }
 }
 

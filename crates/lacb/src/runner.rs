@@ -89,6 +89,7 @@ pub fn run(dataset: &Dataset, assigner: &mut dyn Assigner, cfg: &RunConfig) -> R
         timings,
         audit: assigner.take_audit_report(),
         replication: None,
+        storage: None,
     }
 }
 

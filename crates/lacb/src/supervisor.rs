@@ -33,17 +33,19 @@ use crate::checkpoint::{Checkpoint, CheckpointError, RunProgress};
 use crate::lacb::{Lacb, LacbConfig};
 use crate::overload::{OverloadConfig, OverloadState};
 use crate::resilient::{ResilienceConfig, ResilientAssigner};
+use crate::storage::{FaultSite, StorageConfig, StorageGuard};
 use durability::{
-    parse_v2_section, CheckpointStore, StoreError, Wal, WalError, WalRecord, WalRecovery,
-    WriteCrash,
+    parse_v2_section, CheckpointStore, StdVfs, StoreError, Vfs, Wal, WalError, WalRecord,
+    WalRecovery, WriteCrash,
 };
 use platform_sim::{
     BrokerLedger, CrashPoint, Dataset, FaultPlan, Platform, ResilienceStats, RunMetrics,
-    StageTimings,
+    StageTimings, StorageMode,
 };
 use std::collections::VecDeque;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// File name of the serving WAL inside the durable directory.
@@ -58,13 +60,41 @@ pub struct DurableConfig {
     pub keep: usize,
     /// Seeded crash point to inject (recovery harness only).
     pub crash: Option<CrashPoint>,
+    /// Filesystem all durability I/O goes through. [`StdVfs`] in
+    /// production; the storage chaos harness injects a
+    /// `platform_sim::FaultVfs`.
+    pub vfs: Arc<dyn Vfs>,
+    /// Storage-fault tolerance. `None` (the default) keeps the legacy
+    /// contract: any storage failure aborts the run with a typed
+    /// [`RecoveryError`]. `Some` enables the degraded-mode machine
+    /// ([`StorageGuard`]): faults trip the WAL/checkpoint breaker and
+    /// the loop keeps serving diskless.
+    pub storage: Option<StorageConfig>,
 }
 
 impl DurableConfig {
-    /// A durable run rooted at `dir` with default retention and no
-    /// injected crash.
+    /// A durable run rooted at `dir` with default retention, no
+    /// injected crash, the real filesystem, and storage faults fatal.
     pub fn at(dir: &Path) -> Self {
-        DurableConfig { dir: dir.to_path_buf(), keep: 3, crash: None }
+        DurableConfig {
+            dir: dir.to_path_buf(),
+            keep: 3,
+            crash: None,
+            vfs: Arc::new(StdVfs),
+            storage: None,
+        }
+    }
+
+    /// Route all durability I/O through `vfs`.
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
+    }
+
+    /// Enable the degraded-mode state machine.
+    pub fn with_storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = Some(storage);
+        self
     }
 
     fn wal_path(&self) -> PathBuf {
@@ -148,10 +178,14 @@ pub struct DurableOutcome {
 /// `None` for a fresh start) plus how many generations were skipped.
 #[allow(clippy::type_complexity)]
 fn restore_last_good(
-    store: &CheckpointStore,
+    store: Option<&CheckpointStore>,
     cfg: &LacbConfig,
     platform: &mut Platform,
 ) -> (Option<(usize, crate::checkpoint::Restored)>, usize) {
+    let Some(store) = store else {
+        // The store never opened (degraded from birth): fresh start.
+        return (None, 0);
+    };
     let mut skipped = 0;
     for (day, path) in store.generations() {
         let restored = store
@@ -210,7 +244,7 @@ fn load_repair_donor(
 /// back to re-initialization. No-op on a healthy matcher.
 fn repair_via_store(
     assigner: &mut ResilientAssigner<Lacb>,
-    store: &CheckpointStore,
+    store: Option<&CheckpointStore>,
     cfg: &LacbConfig,
     num_brokers: usize,
     current_day: usize,
@@ -218,9 +252,222 @@ fn repair_via_store(
     if !assigner.primary().has_quarantined_brokers() {
         return;
     }
-    match load_repair_donor(store, cfg, num_brokers, current_day) {
+    match store.and_then(|s| load_repair_donor(s, cfg, num_brokers, current_day)) {
         Some((generation, donor)) => assigner.primary_mut().repair_from_donor(&donor, generation),
         None => assigner.repair_quarantined_brokers(),
+    }
+}
+
+/// Did an append land on disk or in the degraded replay buffer?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Logged {
+    Disk,
+    Buffered,
+}
+
+/// The durable loop's view of its storage: the checkpoint store, the
+/// WAL, and (when [`DurableConfig::storage`] is set) the degraded-mode
+/// [`StorageGuard`] that absorbs their failures.
+///
+/// Without a guard every method keeps the legacy contract — the first
+/// storage failure is a typed [`RecoveryError`]. With a guard a failing
+/// component handle is dropped (`store`/`wal` become `None`), the fault
+/// trips the guard's breaker, and appends flow into the bounded replay
+/// buffer until a day-boundary resync writes a fresh full checkpoint
+/// plus a fresh WAL and re-arms both handles. Degraded paths never
+/// touch the matcher, the platform, or the ledger, so a degraded run's
+/// serving results stay bit-identical to a fault-free run.
+struct DiskState {
+    vfs: Arc<dyn Vfs>,
+    dir: PathBuf,
+    keep: usize,
+    wal_path: PathBuf,
+    store: Option<CheckpointStore>,
+    wal: Option<Wal>,
+    guard: Option<StorageGuard>,
+}
+
+impl DiskState {
+    /// Open the store and recover the WAL through the configured VFS.
+    /// With a guard, startup failures degrade instead of aborting: the
+    /// run starts diskless and resyncs once the disk heals. Recovered
+    /// WAL records are kept for replay even when the handles degrade.
+    fn open(dcfg: &DurableConfig) -> Result<(Self, Vec<WalRecord>, WalRecovery), RecoveryError> {
+        let mut guard = dcfg.storage.map(StorageGuard::new);
+        let store = match CheckpointStore::open_with(dcfg.vfs.clone(), &dcfg.dir, dcfg.keep) {
+            Ok(s) => Some(s),
+            Err(e) => match guard.as_mut() {
+                Some(g) => {
+                    g.storage_fault(FaultSite::Startup, &e.to_string());
+                    None
+                }
+                None => return Err(e.into()),
+            },
+        };
+        let (wal, records, recovery) = match Wal::recover_with(dcfg.vfs.clone(), &dcfg.wal_path()) {
+            Ok((w, records, recovery)) => (Some(w), records, recovery),
+            Err(e) => match guard.as_mut() {
+                Some(g) => {
+                    g.storage_fault(FaultSite::Startup, &e.to_string());
+                    (None, Vec::new(), WalRecovery::default())
+                }
+                None => return Err(e.into()),
+            },
+        };
+        // A store that failed to open cannot host the next checkpoint,
+        // so even a healthy WAL must stop accepting appends: drop the
+        // handle and run degraded from birth.
+        let wal = if guard.as_ref().is_some_and(|g| !g.durable()) { None } else { wal };
+        Ok((
+            DiskState {
+                vfs: dcfg.vfs.clone(),
+                dir: dcfg.dir.clone(),
+                keep: dcfg.keep,
+                wal_path: dcfg.wal_path(),
+                store,
+                wal,
+                guard,
+            },
+            records,
+            recovery,
+        ))
+    }
+
+    /// Advance the guard's integer clock by one batch.
+    fn tick(&mut self) {
+        if let Some(g) = self.guard.as_mut() {
+            g.advance_tick();
+        }
+    }
+
+    /// Append a record: to the WAL while Durable, to the bounded replay
+    /// buffer while degraded. Only the guard-less legacy path can fail.
+    fn append(&mut self, rec: &WalRecord) -> Result<Logged, RecoveryError> {
+        if self.guard.is_none() {
+            let wal = self.wal.as_mut().expect("legacy path always holds a WAL");
+            wal.append(rec)?;
+            return Ok(Logged::Disk);
+        }
+        if self.guard.as_ref().is_some_and(|g| g.durable()) {
+            let outcome = self.wal.as_mut().expect("durable mode holds a WAL").append(rec);
+            match outcome {
+                Ok(()) => return Ok(Logged::Disk),
+                Err(e) => {
+                    self.wal = None;
+                    let g = self.guard.as_mut().expect("guard checked above");
+                    g.storage_fault(FaultSite::WalAppend, &e.to_string());
+                }
+            }
+        }
+        let g = self.guard.as_mut().expect("guard checked above");
+        g.buffer_record(rec.clone());
+        Ok(Logged::Buffered)
+    }
+
+    /// Day-boundary persistence; `boundary` is the next day to run
+    /// (`d + 1`). While Durable: save the checkpoint and log the WAL
+    /// marker (failures degrade). While Degraded: attempt a resync iff
+    /// the breaker's cooldown has elapsed. Returns how the checkpoint
+    /// marker was logged, or `None` when the boundary stayed diskless.
+    fn checkpoint(
+        &mut self,
+        boundary: usize,
+        text: &str,
+        write_crash: Option<WriteCrash>,
+    ) -> Result<Option<Logged>, RecoveryError> {
+        if self.guard.is_none() {
+            let store = self.store.as_ref().expect("legacy path always holds a store");
+            store.save(boundary, text, write_crash)?;
+            let wal = self.wal.as_mut().expect("legacy path always holds a WAL");
+            wal.append(&WalRecord::Checkpoint { next_day: boundary })?;
+            return Ok(Some(Logged::Disk));
+        }
+        match self.guard.as_ref().expect("guard checked above").mode() {
+            StorageMode::Durable => {
+                let store = self.store.as_ref().expect("durable mode holds a store");
+                match store.save(boundary, text, write_crash) {
+                    Ok(report) => {
+                        self.guard
+                            .as_mut()
+                            .expect("guard checked above")
+                            .note_prune_warnings(report.warnings.len());
+                        Ok(Some(self.append(&WalRecord::Checkpoint { next_day: boundary })?))
+                    }
+                    Err(e) => {
+                        self.guard
+                            .as_mut()
+                            .expect("guard checked above")
+                            .storage_fault(FaultSite::CheckpointSave, &e.to_string());
+                        Ok(None)
+                    }
+                }
+            }
+            StorageMode::Degraded => {
+                if self.guard.as_mut().expect("guard checked above").wants_resync() {
+                    self.guard.as_mut().expect("guard checked above").begin_resync();
+                    self.try_resync(boundary, text, write_crash);
+                }
+                Ok(None)
+            }
+            StorageMode::Resyncing => {
+                unreachable!("a resync attempt completes or fails within its day boundary")
+            }
+        }
+    }
+
+    /// One resync attempt: make sure the store is open, write a fresh
+    /// full checkpoint, then start a fresh WAL whose first record is
+    /// the checkpoint marker. Any failure returns to Degraded and
+    /// restarts the cooldown. Stale WAL content left by a failure here
+    /// is harmless: recovery drops records before the restored
+    /// checkpoint's boundary.
+    fn try_resync(&mut self, boundary: usize, text: &str, write_crash: Option<WriteCrash>) {
+        if self.store.is_none() {
+            match CheckpointStore::open_with(self.vfs.clone(), &self.dir, self.keep) {
+                Ok(s) => self.store = Some(s),
+                Err(e) => {
+                    self.guard
+                        .as_mut()
+                        .expect("resync runs under a guard")
+                        .resync_failed(&e.to_string());
+                    return;
+                }
+            }
+        }
+        let saved = self.store.as_ref().expect("opened above").save(boundary, text, write_crash);
+        let report = match saved {
+            Ok(r) => r,
+            Err(e) => {
+                self.guard
+                    .as_mut()
+                    .expect("resync runs under a guard")
+                    .resync_failed(&e.to_string());
+                return;
+            }
+        };
+        let fresh = Wal::create_with(self.vfs.clone(), &self.wal_path)
+            .and_then(|mut w| w.append(&WalRecord::Checkpoint { next_day: boundary }).map(|()| w));
+        match fresh {
+            Ok(w) => {
+                self.wal = Some(w);
+                let g = self.guard.as_mut().expect("resync runs under a guard");
+                g.note_prune_warnings(report.warnings.len());
+                g.resync_complete();
+            }
+            Err(e) => {
+                self.wal = None;
+                self.guard
+                    .as_mut()
+                    .expect("resync runs under a guard")
+                    .resync_failed(&e.to_string());
+            }
+        }
+    }
+
+    /// Consume the guard into its final accounting (`None` when storage
+    /// fault tolerance was not enabled).
+    fn finish(mut self) -> Option<platform_sim::StorageStats> {
+        self.guard.take().map(StorageGuard::finish)
     }
 }
 
@@ -239,10 +486,10 @@ pub fn run_durable(
     let mut platform = Platform::from_dataset(&spiked);
     platform.enable_faults(plan);
 
-    let store = CheckpointStore::open(&dcfg.dir, dcfg.keep)?;
-    let (mut wal, records, wal_recovery) = Wal::recover(&dcfg.wal_path())?;
+    let (mut disk, records, wal_recovery) = DiskState::open(dcfg)?;
 
-    let (restored, generations_skipped) = restore_last_good(&store, &cfg, &mut platform);
+    let (restored, generations_skipped) =
+        restore_last_good(disk.store.as_ref(), &cfg, &mut platform);
     let donor_cfg = cfg.clone();
     let (recovered_from, matcher, mut ledger, mut progress, pending, stats) = match restored {
         Some((day, r)) => (Some(day), r.matcher, r.ledger, r.progress, r.pending_feedback, r.stats),
@@ -283,9 +530,10 @@ pub fn run_durable(
         if matches!(tail.front(), Some(WalRecord::DayStart { day }) if *day == d) {
             tail.pop_front();
         } else {
-            wal.append(&WalRecord::DayStart { day: d })?;
+            disk.append(&WalRecord::DayStart { day: d })?;
         }
         for (b, batch) in day.iter().enumerate() {
+            disk.tick();
             let t = Instant::now();
             let assignment = assigner.assign_batch(&platform, &batch.requests);
             progress.elapsed_secs += t.elapsed().as_secs_f64();
@@ -311,9 +559,13 @@ pub fn run_durable(
                 replayed_batches += 1;
             } else {
                 if dcfg.crash == Some(CrashPoint::DuringWalAppend { day: d, batch: b }) {
-                    wal.append_torn(&rec);
+                    // A degraded run holds no WAL: the torn-append crash
+                    // window simply does not exist then.
+                    if let Some(w) = disk.wal.as_mut() {
+                        w.append_torn(&rec);
+                    }
                 }
-                wal.append(&rec)?;
+                disk.append(&rec)?;
             }
             let outcome = platform.execute_batch(&batch.requests, &assignment);
             progress.requests_failed += outcome.failed.len() as u64;
@@ -332,7 +584,13 @@ pub fn run_durable(
             if plan.batch_replayed(d, b) {
                 let _ = assigner.assign_batch(&platform, &batch.requests);
             }
-            repair_via_store(&mut assigner, &store, &donor_cfg, platform.num_brokers(), d);
+            repair_via_store(
+                &mut assigner,
+                disk.store.as_ref(),
+                &donor_cfg,
+                platform.num_brokers(),
+                d,
+            );
         }
         let feedback = platform.end_day();
         let rec = WalRecord::DayEnd {
@@ -352,14 +610,16 @@ pub fn run_durable(
                     });
                 }
             }
-            _ => wal.append(&rec)?,
+            _ => {
+                disk.append(&rec)?;
+            }
         }
         let t = Instant::now();
         assigner.end_day(&platform, &feedback);
         progress.elapsed_secs += t.elapsed().as_secs_f64();
         // Deep-audit quarantines must be repaired before the day's
         // checkpoint is captured, so checkpoints stay quarantine-free.
-        repair_via_store(&mut assigner, &store, &donor_cfg, platform.num_brokers(), d);
+        repair_via_store(&mut assigner, disk.store.as_ref(), &donor_cfg, platform.num_brokers(), d);
         ledger.end_day(feedback.realized);
         progress.daily_utility.push(feedback.realized);
         progress.daily_elapsed.push(progress.elapsed_secs);
@@ -385,8 +645,7 @@ pub fn run_durable(
             }
             _ => None,
         };
-        store.save(d + 1, &ckpt.to_v2_text(), write_crash)?;
-        wal.append(&WalRecord::Checkpoint { next_day: d + 1 })?;
+        disk.checkpoint(d + 1, &ckpt.to_v2_text(), write_crash)?;
     }
 
     let mut stats = assigner.resilience_stats().unwrap_or_default();
@@ -406,6 +665,7 @@ pub fn run_durable(
             timings: StageTimings::default(),
             audit: assigner.take_audit_report(),
             replication: None,
+            storage: disk.finish(),
         },
         final_state,
         recovered_from,
@@ -415,24 +675,27 @@ pub fn run_durable(
     })
 }
 
-/// Append a WAL record while feeding the WAL circuit breaker: a
-/// successful append is a success signal, an I/O failure trips the
-/// breaker's failure counter *before* the error propagates (so a
-/// recovered run restored from the last checkpoint still sees the
-/// breaker history it had accumulated up to that boundary).
+/// Append a WAL record while feeding the WAL circuit breaker: an
+/// append that landed on disk is a success signal; one that fell into
+/// the degraded replay buffer — or failed outright on the legacy path,
+/// observed *before* the error propagates — is a failure signal.
 fn append_tracked(
-    wal: &mut Wal,
+    disk: &mut DiskState,
     ov: &mut OverloadState,
     rec: &WalRecord,
 ) -> Result<(), RecoveryError> {
-    match wal.append(rec) {
-        Ok(()) => {
+    match disk.append(rec) {
+        Ok(Logged::Disk) => {
             ov.observe_wal(true);
+            Ok(())
+        }
+        Ok(Logged::Buffered) => {
+            ov.observe_wal(false);
             Ok(())
         }
         Err(e) => {
             ov.observe_wal(false);
-            Err(e.into())
+            Err(e)
         }
     }
 }
@@ -466,10 +729,10 @@ pub fn run_overload_durable(
     let mut platform = Platform::from_dataset(&spiked);
     platform.enable_faults(plan);
 
-    let store = CheckpointStore::open(&dcfg.dir, dcfg.keep)?;
-    let (mut wal, records, wal_recovery) = Wal::recover(&dcfg.wal_path())?;
+    let (mut disk, records, wal_recovery) = DiskState::open(dcfg)?;
 
-    let (restored, generations_skipped) = restore_last_good(&store, &cfg, &mut platform);
+    let (restored, generations_skipped) =
+        restore_last_good(disk.store.as_ref(), &cfg, &mut platform);
     let donor_cfg = cfg.clone();
     let (recovered_from, matcher, mut ledger, mut progress, pending, stats, mut ov) = match restored
     {
@@ -516,9 +779,10 @@ pub fn run_overload_durable(
         if matches!(tail.front(), Some(WalRecord::DayStart { day }) if *day == d) {
             tail.pop_front();
         } else {
-            append_tracked(&mut wal, &mut ov, &WalRecord::DayStart { day: d })?;
+            append_tracked(&mut disk, &mut ov, &WalRecord::DayStart { day: d })?;
         }
         for (b, batch) in day.iter().enumerate() {
+            disk.tick();
             let t = Instant::now();
             let admitted = ov.admit(assigner.primary_mut(), &platform, &batch.requests);
             let adm_rec = WalRecord::Admission {
@@ -540,7 +804,7 @@ pub fn run_overload_durable(
                     });
                 }
             } else {
-                append_tracked(&mut wal, &mut ov, &adm_rec)?;
+                append_tracked(&mut disk, &mut ov, &adm_rec)?;
                 if dcfg.crash == Some(CrashPoint::AfterAdmission { day: d, batch: b }) {
                     panic!("injected crash: after admission of batch {b} day {d}");
                 }
@@ -580,9 +844,11 @@ pub fn run_overload_durable(
                     replayed_batches += 1;
                 } else {
                     if dcfg.crash == Some(CrashPoint::DuringWalAppend { day: d, batch: b }) {
-                        wal.append_torn(&rec);
+                        if let Some(w) = disk.wal.as_mut() {
+                            w.append_torn(&rec);
+                        }
                     }
-                    append_tracked(&mut wal, &mut ov, &rec)?;
+                    append_tracked(&mut disk, &mut ov, &rec)?;
                 }
                 let outcome = platform.execute_batch(&admitted, &assignment);
                 progress.requests_failed += outcome.failed.len() as u64;
@@ -601,7 +867,13 @@ pub fn run_overload_durable(
             if plan.batch_replayed(d, b) && !admitted.is_empty() {
                 let _ = assigner.assign_batch(&platform, &admitted);
             }
-            repair_via_store(&mut assigner, &store, &donor_cfg, platform.num_brokers(), d);
+            repair_via_store(
+                &mut assigner,
+                disk.store.as_ref(),
+                &donor_cfg,
+                platform.num_brokers(),
+                d,
+            );
         }
         let feedback = platform.end_day();
         let rec = WalRecord::DayEnd {
@@ -621,7 +893,7 @@ pub fn run_overload_durable(
                     });
                 }
             }
-            _ => append_tracked(&mut wal, &mut ov, &rec)?,
+            _ => append_tracked(&mut disk, &mut ov, &rec)?,
         }
         let t = Instant::now();
         let fb_before = assigner.stats().feedback_retries + assigner.stats().feedback_lost_days;
@@ -631,7 +903,7 @@ pub fn run_overload_durable(
         ov.end_day();
         progress.elapsed_secs += t.elapsed().as_secs_f64();
         // Repair deep-audit quarantines before the checkpoint capture.
-        repair_via_store(&mut assigner, &store, &donor_cfg, platform.num_brokers(), d);
+        repair_via_store(&mut assigner, disk.store.as_ref(), &donor_cfg, platform.num_brokers(), d);
         ledger.end_day(feedback.realized);
         progress.daily_utility.push(feedback.realized);
         progress.daily_elapsed.push(progress.elapsed_secs);
@@ -659,8 +931,11 @@ pub fn run_overload_durable(
             }
             _ => None,
         };
-        store.save(d + 1, &ckpt.to_v2_text(), write_crash)?;
-        append_tracked(&mut wal, &mut ov, &WalRecord::Checkpoint { next_day: d + 1 })?;
+        match disk.checkpoint(d + 1, &ckpt.to_v2_text(), write_crash)? {
+            Some(Logged::Disk) => ov.observe_wal(true),
+            Some(Logged::Buffered) => ov.observe_wal(false),
+            None => {}
+        }
     }
 
     let mut stats = assigner.resilience_stats().unwrap_or_default();
@@ -680,6 +955,7 @@ pub fn run_overload_durable(
             timings: StageTimings::default(),
             audit: assigner.take_audit_report(),
             replication: None,
+            storage: disk.finish(),
         },
         final_state,
         recovered_from,
@@ -968,6 +1244,162 @@ mod tests {
             assert_eq!(out.final_state, reference.final_state, "state diverged after {point:?}");
             std::fs::remove_dir_all(&dir).ok();
         }
+    }
+
+    fn flaky_cfg(seed: u64) -> platform_sim::StorageFaultConfig {
+        // Aggressive point faults so a 3-day run is essentially
+        // guaranteed to trip the guard at least once.
+        platform_sim::StorageFaultConfig {
+            seed,
+            append_enospc: 0.5,
+            fsync_fail: 0.3,
+            rename_fail: 0.3,
+            ..platform_sim::StorageFaultConfig::default()
+        }
+    }
+
+    fn dead_disk_cfg(seed: u64) -> platform_sim::StorageFaultConfig {
+        // Every window of every op fails: the disk is simply gone.
+        platform_sim::StorageFaultConfig {
+            seed,
+            disk_gone: 1.0,
+            disk_gone_every: 1,
+            disk_gone_span: 1,
+            ..platform_sim::StorageFaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn degraded_run_stays_bit_identical_with_exact_accounting() {
+        let ds = dataset(131);
+        let plan = chaos_plan(77);
+        let dir = scratch("degraded-identical");
+        let dcfg = DurableConfig::at(&dir)
+            .with_vfs(Arc::new(platform_sim::FaultVfs::new(flaky_cfg(9))))
+            .with_storage(StorageConfig::default());
+        let out = run_durable(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, &dcfg)
+            .unwrap();
+        let storage = out.metrics.storage.as_ref().expect("guard enabled");
+        assert!(storage.faults > 0, "fault config never fired: {storage:?}");
+        assert!(storage.accounting_balanced(), "unbalanced: {storage:?}");
+        // Degraded paths never touch the matcher/platform/ledger, so
+        // serving results match a fault-free in-memory run exactly.
+        let (reference_metrics, reference_state) = reference(&ds, plan);
+        assert_bit_identical(&out.metrics, &reference_metrics);
+        assert_eq!(out.final_state, reference_state);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_fault_degrades_then_resyncs_back_to_durable() {
+        let ds = dataset(137);
+        let plan = chaos_plan(79);
+        let dir = scratch("resync-durable");
+        // Exactly one injected ENOSPC on the 6th WAL append; the disk
+        // is healthy otherwise, so the cooldown's first day-boundary
+        // probe must resync and re-arm the WAL.
+        let fault = platform_sim::SingleFault {
+            op: durability::VfsOp::Append,
+            index: 5,
+            kind: platform_sim::SingleFaultKind::Enospc,
+        };
+        let dcfg = DurableConfig::at(&dir)
+            .with_vfs(Arc::new(platform_sim::FaultVfs::single(fault)))
+            .with_storage(StorageConfig::default());
+        let out = run_durable(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, &dcfg)
+            .unwrap();
+        let storage = out.metrics.storage.as_ref().expect("guard enabled");
+        assert_eq!(storage.faults, 1, "{storage:?}");
+        assert_eq!(storage.wal_append_failures, 1);
+        assert_eq!(storage.degraded_entries, 1);
+        assert_eq!(storage.resyncs_completed, 1, "{storage:?}");
+        assert_eq!(storage.final_mode, StorageMode::Durable);
+        assert!(storage.buffered_total > 0, "records must buffer while degraded");
+        assert_eq!(storage.covered_by_resync, storage.buffered_total);
+        assert_eq!(storage.buffered_final, 0);
+        assert!(storage.accounting_balanced(), "unbalanced: {storage:?}");
+        let (reference_metrics, reference_state) = reference(&ds, plan);
+        assert_bit_identical(&out.metrics, &reference_metrics);
+        assert_eq!(out.final_state, reference_state);
+        // The resync left a healthy store + WAL behind: a plain re-run
+        // on the same directory must recover, not start fresh.
+        let resumed = run_durable(
+            &ds,
+            LacbConfig::default(),
+            ResilienceConfig::default(),
+            plan,
+            &DurableConfig::at(&dir),
+        )
+        .unwrap();
+        assert!(resumed.recovered_from.is_some(), "resynced state must be recoverable");
+        assert_bit_identical(&resumed.metrics, &reference_metrics);
+        assert_eq!(resumed.final_state, reference_state);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dead_disk_serves_diskless_from_birth() {
+        let ds = dataset(139);
+        let plan = chaos_plan(83);
+        let dir = scratch("diskless-birth");
+        let dcfg = DurableConfig::at(&dir)
+            .with_vfs(Arc::new(platform_sim::FaultVfs::new(dead_disk_cfg(5))))
+            .with_storage(StorageConfig::default());
+        let out = run_durable(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, &dcfg)
+            .unwrap();
+        assert_eq!(out.recovered_from, None);
+        let storage = out.metrics.storage.as_ref().expect("guard enabled");
+        assert_eq!(storage.final_mode, StorageMode::Degraded, "{storage:?}");
+        assert_eq!(storage.resyncs_completed, 0);
+        assert!(storage.resync_attempts > 0, "cooldown must keep probing: {storage:?}");
+        assert!(storage.accounting_balanced(), "unbalanced: {storage:?}");
+        let (reference_metrics, reference_state) = reference(&ds, plan);
+        assert_bit_identical(&out.metrics, &reference_metrics);
+        assert_eq!(out.final_state, reference_state);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn storage_fault_without_guard_stays_a_typed_error() {
+        let ds = dataset(149);
+        let plan = chaos_plan(87);
+        let dir = scratch("legacy-typed-error");
+        let dcfg = DurableConfig::at(&dir)
+            .with_vfs(Arc::new(platform_sim::FaultVfs::new(dead_disk_cfg(3))));
+        let err = run_durable(&ds, LacbConfig::default(), ResilienceConfig::default(), plan, &dcfg)
+            .unwrap_err();
+        assert!(
+            matches!(err, RecoveryError::Store(_) | RecoveryError::Wal(_)),
+            "expected a typed storage error, got {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overload_durable_survives_storage_faults_with_balanced_accounting() {
+        let base = dataset(151);
+        let ramp = platform_sim::ramp_dataset(&base, &[1, 8], 17);
+        let ocfg = OverloadConfig::sized_for(&base);
+        let plan = chaos_plan(91);
+        let dir = scratch("overload-degraded");
+        let dcfg = DurableConfig::at(&dir)
+            .with_vfs(Arc::new(platform_sim::FaultVfs::new(flaky_cfg(21))))
+            .with_storage(StorageConfig::default());
+        let out = run_overload_durable(
+            &ramp.dataset,
+            LacbConfig::default(),
+            ResilienceConfig::default(),
+            &ocfg,
+            plan,
+            &dcfg,
+        )
+        .unwrap();
+        let storage = out.metrics.storage.as_ref().expect("guard enabled");
+        assert!(storage.faults > 0, "fault config never fired: {storage:?}");
+        assert!(storage.accounting_balanced(), "unbalanced: {storage:?}");
+        let ov = out.metrics.overload.as_ref().unwrap();
+        assert!(ov.accounting_balanced());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod io;
 pub mod metrics;
 pub mod request;
 pub mod rng;
+pub mod storage;
 pub mod traffic;
 pub mod utility;
 
@@ -52,9 +53,14 @@ pub use faults::{
 pub use metrics::{
     gini, percentile, AuditReport, AuditViolation, BreakerComponent, BreakerEvent, BrokerLedger,
     InvariantKind, LedgerSnapshot, OverloadStats, RepairAction, RepairKind, ReplicationStats,
-    ResilienceStats, RunMetrics, StageBreakdown, StageTimings,
+    ResilienceStats, RunMetrics, StageBreakdown, StageTimings, StorageMode, StorageStats,
+    StorageTransition,
 };
 pub use request::Request;
 pub use rng::splitmix64;
+pub use storage::{
+    FaultVfs, SingleFault, SingleFaultKind, StorageFaultCensus, StorageFaultConfig,
+    StorageScenarioError, STORAGE_SCENARIOS,
+};
 pub use traffic::{ramp_dataset, TrafficRamp};
 pub use utility::UtilityModel;

@@ -368,6 +368,99 @@ pub struct RunMetrics {
     /// Replication-protocol accounting, populated by the replicated
     /// serving loop (`None` for single-node runs).
     pub replication: Option<ReplicationStats>,
+    /// Storage-fault accounting and degraded-mode transitions,
+    /// populated when the durable serving loop ran with storage-fault
+    /// tolerance enabled (`None` otherwise).
+    pub storage: Option<StorageStats>,
+}
+
+/// Serving mode of the storage-fault state machine
+/// (`Durable → Degraded → Resyncing → Durable`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StorageMode {
+    /// WAL appends and checkpoint saves are landing on disk.
+    #[default]
+    Durable,
+    /// Diskless: a storage fault tripped the WAL/checkpoint breaker;
+    /// serving continues in memory with records held in a bounded
+    /// replay buffer.
+    Degraded,
+    /// A resync attempt is in flight: full checkpoint + fresh WAL.
+    Resyncing,
+}
+
+impl StorageMode {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageMode::Durable => "durable",
+            StorageMode::Degraded => "degraded",
+            StorageMode::Resyncing => "resyncing",
+        }
+    }
+}
+
+/// One deterministic mode transition, stamped with the integer batch
+/// tick it happened on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageTransition {
+    /// Cumulative batch tick of the transition.
+    pub tick: u64,
+    /// Mode before.
+    pub from: StorageMode,
+    /// Mode after.
+    pub to: StorageMode,
+    /// Why (fault site + detail, or "resync").
+    pub reason: String,
+}
+
+/// Storage-fault accounting of one durable run: every fault seen, every
+/// mode transition, and exact replay-buffer bookkeeping. Filled by the
+/// storage guard in the `lacb` crate and surfaced through
+/// [`RunMetrics::storage`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Every mode transition, in order, with integer ticks.
+    pub transitions: Vec<StorageTransition>,
+    /// Storage faults observed (any site).
+    pub faults: u64,
+    /// WAL appends that failed (the record went to the replay buffer).
+    pub wal_append_failures: u64,
+    /// Checkpoint saves that failed.
+    pub checkpoint_failures: u64,
+    /// Non-fatal prune/sweep warnings from the checkpoint store.
+    pub prune_warnings: u64,
+    /// Times the machine entered Degraded.
+    pub degraded_entries: u64,
+    /// Resync attempts started (breaker allowed a probe).
+    pub resync_attempts: u64,
+    /// Resyncs that completed back to Durable.
+    pub resyncs_completed: u64,
+    /// Records ever pushed into the replay buffer.
+    pub buffered_total: u64,
+    /// Peak replay-buffer occupancy.
+    pub buffered_peak: u64,
+    /// Records still in the buffer when the run ended.
+    pub buffered_final: u64,
+    /// Records dropped because the bounded buffer overflowed (oldest
+    /// first — safe because recovery recomputes, but it must be
+    /// *counted*, never silent).
+    pub dropped_overflow: u64,
+    /// Buffered records made redundant by a completed resync (the
+    /// fresh full checkpoint covers them).
+    pub covered_by_resync: u64,
+    /// Mode when the run ended.
+    pub final_mode: StorageMode,
+}
+
+impl StorageStats {
+    /// Exact replay-buffer accounting: every record that ever entered
+    /// the buffer is still buffered, was dropped on overflow, or was
+    /// covered by a completed resync. A run that cannot prove this has
+    /// lost track of data — the harness gates on it.
+    pub fn accounting_balanced(&self) -> bool {
+        self.buffered_total == self.buffered_final + self.dropped_overflow + self.covered_by_resync
+    }
 }
 
 /// Replication-protocol counters of one replicated run: what the link
@@ -406,6 +499,15 @@ pub struct ReplicationStats {
     /// Maximum replication lag observed (shipped seq − acked
     /// watermark).
     pub max_lag: u64,
+    /// Primary-side storage faults absorbed in fault-tolerant mode
+    /// (WAL append/recover, store open/save). Shipping continues from
+    /// the follower's acked watermark regardless.
+    pub primary_storage_faults: u64,
+    /// Day-boundary checkpoints the primary skipped because its store
+    /// was failing.
+    pub checkpoints_skipped: u64,
+    /// Watermark prunes skipped because the primary's WAL was degraded.
+    pub prunes_skipped: u64,
 }
 
 /// Which runtime invariant an audit found violated.

@@ -1,0 +1,820 @@
+//! Seeded storage-fault injection behind the [`Vfs`] trait.
+//!
+//! [`FaultVfs`] wraps a real filesystem and makes individual operations
+//! fail the way dying disks actually fail: `ENOSPC` on a write, `EIO`
+//! on an append, a *short* write that persists only a prefix, an fsync
+//! that errors after the data "landed", a rename that never happens, a
+//! read that comes back with one bit flipped — plus sticky "disk full"
+//! and "disk gone" windows during which every (mutating) operation
+//! fails until the window passes.
+//!
+//! Every verdict is a pure splitmix64 function of
+//! `(seed, path-class, op, op-index)` — no wall clock, no RNG state —
+//! so a schedule replays identically across runs and thread counts,
+//! exactly like the crash/fault/network schedules in [`crate::faults`].
+//! Op indices are counted per `(path-class, op)` pair, so adding a read
+//! somewhere never reshuffles the write faults.
+//!
+//! [`SingleFault`] is the surgical mode for proptests: exactly one
+//! fault of one kind at the N-th occurrence of one operation, all other
+//! operations clean — the "any single storage fault at any op index"
+//! obligation.
+
+use crate::rng::splitmix64 as mix;
+use durability::{StdVfs, StorageError, Vfs, VfsOp};
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Known storage scenarios for [`StorageFaultConfig::scenario`].
+pub const STORAGE_SCENARIOS: &[&str] =
+    &["none", "enospc", "flaky-disk", "bit-rot", "disk-gone", "storage-chaos"];
+
+/// Error returned by [`StorageFaultConfig::scenario`] for an unknown
+/// name; the display message lists every accepted scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageScenarioError {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for StorageScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown storage scenario {:?}; known scenarios: {}",
+            self.name,
+            STORAGE_SCENARIOS.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for StorageScenarioError {}
+
+/// Per-operation fault probabilities plus sticky-window parameters.
+/// All zeros (the default) injects nothing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StorageFaultConfig {
+    /// Seed for every schedule drawn from this config.
+    pub seed: u64,
+    /// P(whole-file write fails `ENOSPC` before any byte lands).
+    pub write_enospc: f64,
+    /// P(append fails `ENOSPC` before any byte lands).
+    pub append_enospc: f64,
+    /// P(write/append persists only a prefix, then fails `EIO`).
+    pub short_write: f64,
+    /// P(fsync fails `EIO` — the data may or may not be durable).
+    pub fsync_fail: f64,
+    /// P(rename fails `EIO`; the tmp file stays, the target is untouched).
+    pub rename_fail: f64,
+    /// P(remove fails `PermissionDenied`; the file stays).
+    pub remove_fail: f64,
+    /// P(read fails `EIO`).
+    pub read_eio: f64,
+    /// P(read silently returns data with one bit flipped). The CRC
+    /// layers above must catch this — it is the "zero silent data
+    /// loss" probe.
+    pub read_bitflip: f64,
+    /// P(a given disk-full window is active). Windows are
+    /// `disk_full_span` mutating ops long, every `disk_full_every`
+    /// mutating ops; inside one, every mutating op fails `ENOSPC`.
+    pub disk_full: f64,
+    /// Mutating-op period of disk-full windows (0 disables).
+    pub disk_full_every: u64,
+    /// Length of a disk-full window in mutating ops.
+    pub disk_full_span: u64,
+    /// P(a given disk-gone window is active). Windows are
+    /// `disk_gone_span` ops long, every `disk_gone_every` ops; inside
+    /// one, *every* operation — reads included — fails `EIO`.
+    pub disk_gone: f64,
+    /// Op period of disk-gone windows (0 disables).
+    pub disk_gone_every: u64,
+    /// Length of a disk-gone window in ops.
+    pub disk_gone_span: u64,
+}
+
+impl Default for StorageFaultConfig {
+    fn default() -> Self {
+        StorageFaultConfig {
+            seed: 0,
+            write_enospc: 0.0,
+            append_enospc: 0.0,
+            short_write: 0.0,
+            fsync_fail: 0.0,
+            rename_fail: 0.0,
+            remove_fail: 0.0,
+            read_eio: 0.0,
+            read_bitflip: 0.0,
+            disk_full: 0.0,
+            disk_full_every: 0,
+            disk_full_span: 0,
+            disk_gone: 0.0,
+            disk_gone_every: 0,
+            disk_gone_span: 0,
+        }
+    }
+}
+
+impl StorageFaultConfig {
+    /// A named storage scenario. Returns a [`StorageScenarioError`]
+    /// listing the accepted names (see [`STORAGE_SCENARIOS`]) for
+    /// unknown ones.
+    pub fn scenario(name: &str, seed: u64) -> Result<StorageFaultConfig, StorageScenarioError> {
+        let base = StorageFaultConfig { seed, ..StorageFaultConfig::default() };
+        Ok(match name {
+            "none" => base,
+            "enospc" => StorageFaultConfig {
+                write_enospc: 0.08,
+                append_enospc: 0.05,
+                disk_full: 0.5,
+                disk_full_every: 40,
+                disk_full_span: 6,
+                ..base
+            },
+            "flaky-disk" => StorageFaultConfig {
+                short_write: 0.05,
+                fsync_fail: 0.05,
+                rename_fail: 0.04,
+                remove_fail: 0.06,
+                read_eio: 0.02,
+                ..base
+            },
+            "bit-rot" => StorageFaultConfig { read_bitflip: 0.06, ..base },
+            "disk-gone" => StorageFaultConfig {
+                disk_gone: 0.6,
+                disk_gone_every: 50,
+                disk_gone_span: 10,
+                read_eio: 0.01,
+                ..base
+            },
+            "storage-chaos" => StorageFaultConfig {
+                write_enospc: 0.04,
+                append_enospc: 0.03,
+                short_write: 0.03,
+                fsync_fail: 0.03,
+                rename_fail: 0.02,
+                remove_fail: 0.04,
+                read_eio: 0.01,
+                read_bitflip: 0.02,
+                disk_full: 0.4,
+                disk_full_every: 48,
+                disk_full_span: 5,
+                disk_gone: 0.35,
+                disk_gone_every: 64,
+                disk_gone_span: 7,
+                ..base
+            },
+            _ => return Err(StorageScenarioError { name: name.to_string() }),
+        })
+    }
+}
+
+/// Which single fault [`FaultVfs::single`] should inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SingleFaultKind {
+    /// Fail with `ENOSPC` before any byte lands.
+    Enospc,
+    /// Fail with `EIO` before any effect.
+    Eio,
+    /// Persist a prefix of the payload, then fail `EIO`
+    /// (write/append only; other ops fall back to [`Self::Eio`]).
+    ShortWrite,
+    /// Return the data with one bit flipped (reads only; other ops
+    /// fall back to [`Self::Eio`]).
+    BitFlip,
+}
+
+/// Exactly one injected fault: the `index`-th occurrence (0-based,
+/// counted across all paths) of `op` fails with `kind`; every other
+/// operation passes through untouched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SingleFault {
+    /// The operation to sabotage.
+    pub op: VfsOp,
+    /// Which occurrence of `op` fails (0-based).
+    pub index: u64,
+    /// How it fails.
+    pub kind: SingleFaultKind,
+}
+
+/// Path classes faults are keyed by, so WAL faults and checkpoint
+/// faults draw from independent schedules and adding an op against one
+/// class never reshuffles the other's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PathClass {
+    Wal,
+    Checkpoint,
+    Tmp,
+    Other,
+}
+
+fn classify(path: &Path) -> PathClass {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return PathClass::Other;
+    };
+    if name.ends_with(".tmp") {
+        PathClass::Tmp
+    } else if name.ends_with(".wal") {
+        PathClass::Wal
+    } else if name.ends_with(".caam") {
+        PathClass::Checkpoint
+    } else {
+        PathClass::Other
+    }
+}
+
+fn class_tag(c: PathClass) -> u64 {
+    match c {
+        PathClass::Wal => 1,
+        PathClass::Checkpoint => 2,
+        PathClass::Tmp => 3,
+        PathClass::Other => 4,
+    }
+}
+
+fn op_tag(op: VfsOp) -> u64 {
+    match op {
+        VfsOp::Read => 1,
+        VfsOp::Write => 2,
+        VfsOp::Append => 3,
+        VfsOp::Fsync => 4,
+        VfsOp::Rename => 5,
+        VfsOp::Remove => 6,
+        VfsOp::List => 7,
+        VfsOp::Truncate => 8,
+        VfsOp::CreateDir => 9,
+    }
+}
+
+// Fault-kind salts folded into the coin key so the same op index draws
+// independent coins for each fault kind.
+const TAG_ENOSPC: u64 = 1;
+const TAG_SHORT: u64 = 2;
+const TAG_FSYNC: u64 = 3;
+const TAG_RENAME: u64 = 4;
+const TAG_REMOVE: u64 = 5;
+const TAG_READ_EIO: u64 = 6;
+const TAG_BITFLIP: u64 = 7;
+const TAG_FULL_WINDOW: u64 = 8;
+const TAG_GONE_WINDOW: u64 = 9;
+
+fn coin(seed: u64, fault: u64, class: u64, op: u64, idx: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    let h = mix(seed.wrapping_mul(0x2545F4914F6CDD1D)
+        ^ (fault << 56)
+        ^ (class << 48)
+        ^ (op << 40)
+        ^ idx);
+    ((h >> 11) as f64 / (1u64 << 53) as f64) < p
+}
+
+fn draw(seed: u64, fault: u64, class: u64, op: u64, idx: u64) -> u64 {
+    mix(seed.wrapping_mul(0x9E3779B97F4A7C15) ^ (fault << 56) ^ (class << 48) ^ (op << 40) ^ idx)
+}
+
+/// Is the sticky window containing `counter` active?
+fn window(seed: u64, tag: u64, counter: u64, p: f64, every: u64, span: u64) -> bool {
+    if p <= 0.0 || every == 0 || span == 0 {
+        return false;
+    }
+    coin(seed, tag, 0, 0, counter / every, p) && counter % every < span
+}
+
+/// Everything [`FaultVfs`] injected, by kind — the harness census that
+/// proves a schedule actually exercised each failure mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageFaultCensus {
+    /// `ENOSPC` failures (point faults + disk-full window ops).
+    pub enospc: u64,
+    /// Point `EIO` failures on writes/renames/fsyncs.
+    pub eio: u64,
+    /// Short writes (a prefix persisted, then `EIO`).
+    pub short_writes: u64,
+    /// Failed fsyncs.
+    pub fsync_failures: u64,
+    /// Failed renames.
+    pub rename_failures: u64,
+    /// Failed removes.
+    pub remove_failures: u64,
+    /// Failed reads (`EIO`).
+    pub read_failures: u64,
+    /// Silently bit-flipped reads.
+    pub bitflips: u64,
+    /// Ops failed inside a disk-full window.
+    pub disk_full_ops: u64,
+    /// Ops failed inside a disk-gone window.
+    pub disk_gone_ops: u64,
+}
+
+impl StorageFaultCensus {
+    /// Total injected faults (bit-flips included — they are faults even
+    /// though the op "succeeds").
+    pub fn total(&self) -> u64 {
+        self.enospc
+            + self.eio
+            + self.short_writes
+            + self.fsync_failures
+            + self.rename_failures
+            + self.remove_failures
+            + self.read_failures
+            + self.bitflips
+            + self.disk_full_ops
+            + self.disk_gone_ops
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Per `(class, op)` occurrence counters — the `op_index` axis of
+    /// the schedule key.
+    per_class_op: HashMap<(u64, u64), u64>,
+    /// Per-op occurrence counters across all classes ([`SingleFault`]
+    /// indexing).
+    per_op: HashMap<u64, u64>,
+    /// Mutating ops seen (disk-full window clock).
+    mutations: u64,
+    /// All ops seen (disk-gone window clock).
+    ops: u64,
+    census: StorageFaultCensus,
+}
+
+/// What the schedule decided for one operation.
+enum Verdict {
+    Clean,
+    Fail(ErrorKind, &'static str),
+    /// Persist `len` payload bytes, then fail.
+    Short(usize),
+    /// Deliver the read with bit `bit` flipped.
+    Flip(u64),
+}
+
+/// A [`Vfs`] that injects seeded storage faults around an inner
+/// filesystem. See the module docs for the fault model.
+#[derive(Debug)]
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    cfg: StorageFaultConfig,
+    single: Option<SingleFault>,
+    state: Mutex<FaultState>,
+}
+
+impl FaultVfs {
+    /// Inject `cfg`'s schedule around the real filesystem.
+    pub fn new(cfg: StorageFaultConfig) -> Self {
+        FaultVfs::wrapping(Arc::new(StdVfs), cfg)
+    }
+
+    /// Inject `cfg`'s schedule around an explicit inner filesystem.
+    pub fn wrapping(inner: Arc<dyn Vfs>, cfg: StorageFaultConfig) -> Self {
+        FaultVfs { inner, cfg, single: None, state: Mutex::new(FaultState::default()) }
+    }
+
+    /// Surgical mode: exactly `fault`, nothing else.
+    pub fn single(fault: SingleFault) -> Self {
+        FaultVfs {
+            inner: Arc::new(StdVfs),
+            cfg: StorageFaultConfig::default(),
+            single: Some(fault),
+            state: Mutex::new(FaultState::default()),
+        }
+    }
+
+    /// What has been injected so far.
+    pub fn census(&self) -> StorageFaultCensus {
+        self.state.lock().unwrap().census
+    }
+
+    /// Decide this operation's fate and advance every counter exactly
+    /// once. `payload_len` sizes short writes and bit-flips.
+    fn verdict(&self, op: VfsOp, path: &Path, payload_len: usize) -> Verdict {
+        let class = class_tag(classify(path));
+        let opt = op_tag(op);
+        let mutating = matches!(
+            op,
+            VfsOp::Write | VfsOp::Append | VfsOp::Fsync | VfsOp::Rename | VfsOp::CreateDir
+        );
+        let mut st = self.state.lock().unwrap();
+        let idx = {
+            let c = st.per_class_op.entry((class, opt)).or_insert(0);
+            let v = *c;
+            *c += 1;
+            v
+        };
+        let global_idx = {
+            let c = st.per_op.entry(opt).or_insert(0);
+            let v = *c;
+            *c += 1;
+            v
+        };
+        let op_clock = st.ops;
+        st.ops += 1;
+        let mutation_clock = st.mutations;
+        if mutating {
+            st.mutations += 1;
+        }
+
+        // Surgical single-fault mode bypasses the probability schedule.
+        if let Some(single) = self.single {
+            if single.op != op || single.index != global_idx {
+                return Verdict::Clean;
+            }
+            return match single.kind {
+                SingleFaultKind::Enospc => {
+                    st.census.enospc += 1;
+                    Verdict::Fail(ErrorKind::StorageFull, "injected ENOSPC (single)")
+                }
+                SingleFaultKind::ShortWrite
+                    if matches!(op, VfsOp::Write | VfsOp::Append) && payload_len > 0 =>
+                {
+                    st.census.short_writes += 1;
+                    let h = draw(self.cfg.seed, TAG_SHORT, class, opt, idx);
+                    Verdict::Short((h % payload_len as u64) as usize)
+                }
+                SingleFaultKind::BitFlip if op == VfsOp::Read => {
+                    st.census.bitflips += 1;
+                    Verdict::Flip(draw(self.cfg.seed, TAG_BITFLIP, class, opt, idx))
+                }
+                _ => {
+                    st.census.eio += 1;
+                    Verdict::Fail(ErrorKind::Other, "injected EIO (single)")
+                }
+            };
+        }
+
+        let seed = self.cfg.seed;
+        // Sticky windows first: they model the whole device going away,
+        // so they dominate per-op point faults.
+        if window(
+            seed,
+            TAG_GONE_WINDOW,
+            op_clock,
+            self.cfg.disk_gone,
+            self.cfg.disk_gone_every,
+            self.cfg.disk_gone_span,
+        ) {
+            st.census.disk_gone_ops += 1;
+            return Verdict::Fail(ErrorKind::Other, "injected EIO (disk-gone window)");
+        }
+        if mutating
+            && window(
+                seed,
+                TAG_FULL_WINDOW,
+                mutation_clock,
+                self.cfg.disk_full,
+                self.cfg.disk_full_every,
+                self.cfg.disk_full_span,
+            )
+        {
+            st.census.disk_full_ops += 1;
+            return Verdict::Fail(ErrorKind::StorageFull, "injected ENOSPC (disk-full window)");
+        }
+
+        match op {
+            VfsOp::Write | VfsOp::Append => {
+                let p_enospc =
+                    if op == VfsOp::Write { self.cfg.write_enospc } else { self.cfg.append_enospc };
+                if coin(seed, TAG_ENOSPC, class, opt, idx, p_enospc) {
+                    st.census.enospc += 1;
+                    return Verdict::Fail(ErrorKind::StorageFull, "injected ENOSPC");
+                }
+                if payload_len > 0 && coin(seed, TAG_SHORT, class, opt, idx, self.cfg.short_write) {
+                    st.census.short_writes += 1;
+                    let h = draw(seed, TAG_SHORT, class, opt, idx);
+                    return Verdict::Short((h % payload_len as u64) as usize);
+                }
+            }
+            VfsOp::Fsync => {
+                if coin(seed, TAG_FSYNC, class, opt, idx, self.cfg.fsync_fail) {
+                    st.census.fsync_failures += 1;
+                    return Verdict::Fail(ErrorKind::Other, "injected fsync EIO");
+                }
+            }
+            VfsOp::Rename => {
+                if coin(seed, TAG_RENAME, class, opt, idx, self.cfg.rename_fail) {
+                    st.census.rename_failures += 1;
+                    return Verdict::Fail(ErrorKind::Other, "injected rename EIO");
+                }
+            }
+            VfsOp::Remove => {
+                if coin(seed, TAG_REMOVE, class, opt, idx, self.cfg.remove_fail) {
+                    st.census.remove_failures += 1;
+                    return Verdict::Fail(ErrorKind::PermissionDenied, "injected remove failure");
+                }
+            }
+            VfsOp::Read => {
+                if coin(seed, TAG_READ_EIO, class, opt, idx, self.cfg.read_eio) {
+                    st.census.read_failures += 1;
+                    return Verdict::Fail(ErrorKind::Other, "injected read EIO");
+                }
+                if payload_len > 0
+                    && coin(seed, TAG_BITFLIP, class, opt, idx, self.cfg.read_bitflip)
+                {
+                    st.census.bitflips += 1;
+                    return Verdict::Flip(draw(seed, TAG_BITFLIP, class, opt, idx));
+                }
+            }
+            VfsOp::List | VfsOp::Truncate | VfsOp::CreateDir => {}
+        }
+        Verdict::Clean
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> Result<Vec<u8>, StorageError> {
+        // Read first so the bit-flip can size itself on the real data;
+        // real errors (NotFound, …) pass through untouched and do not
+        // consume an injected verdict slot's outcome.
+        let data = self.inner.read(path)?;
+        match self.verdict(VfsOp::Read, path, data.len()) {
+            Verdict::Clean => Ok(data),
+            Verdict::Fail(kind, detail) => {
+                Err(StorageError::injected(VfsOp::Read, path, kind, detail))
+            }
+            Verdict::Flip(h) => {
+                let mut data = data;
+                let bit = h % (data.len() as u64 * 8);
+                data[(bit / 8) as usize] ^= 1 << (bit % 8);
+                Ok(data)
+            }
+            Verdict::Short(_) => unreachable!("short verdicts only on writes"),
+        }
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        match self.verdict(VfsOp::Write, path, bytes.len()) {
+            Verdict::Clean => self.inner.write(path, bytes),
+            Verdict::Fail(kind, detail) => {
+                Err(StorageError::injected(VfsOp::Write, path, kind, detail))
+            }
+            Verdict::Short(len) => {
+                // The prefix genuinely lands on disk: exactly what a
+                // power-cut mid-write leaves behind.
+                self.inner.write(path, &bytes[..len])?;
+                Err(StorageError::injected(
+                    VfsOp::Write,
+                    path,
+                    ErrorKind::Other,
+                    "injected short write",
+                ))
+            }
+            Verdict::Flip(_) => unreachable!("flip verdicts only on reads"),
+        }
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        match self.verdict(VfsOp::Append, path, bytes.len()) {
+            Verdict::Clean => self.inner.append(path, bytes),
+            Verdict::Fail(kind, detail) => {
+                Err(StorageError::injected(VfsOp::Append, path, kind, detail))
+            }
+            Verdict::Short(len) => {
+                self.inner.append(path, &bytes[..len])?;
+                Err(StorageError::injected(
+                    VfsOp::Append,
+                    path,
+                    ErrorKind::Other,
+                    "injected short append",
+                ))
+            }
+            Verdict::Flip(_) => unreachable!("flip verdicts only on reads"),
+        }
+    }
+
+    fn fsync(&self, path: &Path) -> Result<(), StorageError> {
+        match self.verdict(VfsOp::Fsync, path, 0) {
+            Verdict::Clean => self.inner.fsync(path),
+            Verdict::Fail(kind, detail) => {
+                Err(StorageError::injected(VfsOp::Fsync, path, kind, detail))
+            }
+            _ => unreachable!("fsync verdicts are clean or fail"),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), StorageError> {
+        match self.verdict(VfsOp::Rename, to, 0) {
+            Verdict::Clean => self.inner.rename(from, to),
+            Verdict::Fail(kind, detail) => {
+                Err(StorageError::injected(VfsOp::Rename, to, kind, detail))
+            }
+            _ => unreachable!("rename verdicts are clean or fail"),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> Result<(), StorageError> {
+        match self.verdict(VfsOp::Remove, path, 0) {
+            Verdict::Clean => self.inner.remove(path),
+            Verdict::Fail(kind, detail) => {
+                Err(StorageError::injected(VfsOp::Remove, path, kind, detail))
+            }
+            _ => unreachable!("remove verdicts are clean or fail"),
+        }
+    }
+
+    fn list(&self, dir: &Path) -> Result<Vec<PathBuf>, StorageError> {
+        match self.verdict(VfsOp::List, dir, 0) {
+            Verdict::Fail(kind, detail) => {
+                Err(StorageError::injected(VfsOp::List, dir, kind, detail))
+            }
+            _ => self.inner.list(dir),
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> Result<(), StorageError> {
+        match self.verdict(VfsOp::Truncate, path, 0) {
+            Verdict::Fail(kind, detail) => {
+                Err(StorageError::injected(VfsOp::Truncate, path, kind, detail))
+            }
+            _ => self.inner.truncate(path, len),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> Result<(), StorageError> {
+        match self.verdict(VfsOp::CreateDir, dir, 0) {
+            Verdict::Fail(kind, detail) => {
+                Err(StorageError::injected(VfsOp::CreateDir, dir, kind, detail))
+            }
+            _ => self.inner.create_dir_all(dir),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("caam-faultvfs-tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Drive a fixed op sequence and record which ops failed.
+    fn failure_signature(vfs: &FaultVfs, dir: &Path) -> Vec<bool> {
+        let mut sig = Vec::new();
+        for i in 0..40u32 {
+            let wal = dir.join(format!("f{i}.wal"));
+            sig.push(vfs.write(&wal, b"caam-wal v1\n").is_err());
+            sig.push(vfs.append(&wal, b"record line\n").is_err());
+            sig.push(vfs.fsync(&wal).is_err());
+            sig.push(vfs.read(&wal).is_err());
+            let tmp = dir.join(format!("g{i}.caam.tmp"));
+            sig.push(vfs.write(&tmp, b"ckpt body\n").is_err());
+            sig.push(vfs.rename(&tmp, &dir.join(format!("g{i}.caam"))).is_err());
+            sig.push(vfs.remove(&wal).is_err());
+        }
+        sig
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = StorageFaultConfig::scenario("storage-chaos", 42).unwrap();
+        let dir_a = scratch("det-a");
+        let dir_b = scratch("det-b");
+        let a = FaultVfs::new(cfg);
+        let b = FaultVfs::new(cfg);
+        assert_eq!(failure_signature(&a, &dir_a), failure_signature(&b, &dir_b));
+        assert_eq!(a.census(), b.census());
+        assert!(a.census().total() > 0, "chaos scenario must inject something");
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let dir_a = scratch("seed-a");
+        let dir_b = scratch("seed-b");
+        let a = FaultVfs::new(StorageFaultConfig::scenario("storage-chaos", 1).unwrap());
+        let b = FaultVfs::new(StorageFaultConfig::scenario("storage-chaos", 2).unwrap());
+        assert_ne!(failure_signature(&a, &dir_a), failure_signature(&b, &dir_b));
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn unknown_scenario_lists_known_names() {
+        let err = StorageFaultConfig::scenario("melted", 0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("melted"), "{msg}");
+        assert!(msg.contains("storage-chaos"), "{msg}");
+    }
+
+    #[test]
+    fn single_fault_fires_exactly_once_at_the_exact_index() {
+        let dir = scratch("single");
+        let vfs = FaultVfs::single(SingleFault {
+            op: VfsOp::Append,
+            index: 3,
+            kind: SingleFaultKind::Enospc,
+        });
+        let path = dir.join("x.wal");
+        vfs.write(&path, b"caam-wal v1\n").unwrap();
+        let mut failures = Vec::new();
+        for i in 0..6 {
+            if vfs.append(&path, b"rec\n").is_err() {
+                failures.push(i);
+            }
+        }
+        assert_eq!(failures, vec![3]);
+        let census = vfs.census();
+        assert_eq!(census.enospc, 1);
+        assert_eq!(census.total(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_short_write_persists_a_strict_prefix() {
+        let dir = scratch("short");
+        let vfs = FaultVfs::single(SingleFault {
+            op: VfsOp::Write,
+            index: 0,
+            kind: SingleFaultKind::ShortWrite,
+        });
+        let path = dir.join("x.wal");
+        let err = vfs.write(&path, b"0123456789").unwrap_err();
+        assert!(err.injected);
+        let on_disk = std::fs::read(&path).unwrap();
+        assert!(on_disk.len() < 10, "short write must lose bytes, kept {}", on_disk.len());
+        assert_eq!(on_disk[..], b"0123456789"[..on_disk.len()], "prefix, not garbage");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bitflip_changes_exactly_one_bit() {
+        let dir = scratch("flip");
+        let vfs = FaultVfs::single(SingleFault {
+            op: VfsOp::Read,
+            index: 0,
+            kind: SingleFaultKind::BitFlip,
+        });
+        let path = dir.join("x.caam");
+        std::fs::write(&path, b"checkpoint payload").unwrap();
+        let corrupted = vfs.read(&path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        let flipped: u32 = corrupted.iter().zip(&clean).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(flipped, 1);
+        assert_eq!(vfs.census().bitflips, 1);
+        // Second read is clean.
+        assert_eq!(vfs.read(&path).unwrap(), clean);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_gone_windows_are_contiguous_and_fail_reads_too() {
+        let dir = scratch("gone");
+        let cfg = StorageFaultConfig {
+            seed: 7,
+            disk_gone: 1.0,
+            disk_gone_every: 10,
+            disk_gone_span: 4,
+            ..StorageFaultConfig::default()
+        };
+        let vfs = FaultVfs::new(cfg);
+        let path = dir.join("x.wal");
+        std::fs::write(&path, b"data").unwrap();
+        let outcomes: Vec<bool> = (0..20).map(|_| vfs.read(&path).is_err()).collect();
+        // p = 1.0: every window is active, so ops 0–3, 10–13 fail.
+        let expected: Vec<bool> = (0..20u64).map(|i| i % 10 < 4).collect();
+        assert_eq!(outcomes, expected);
+        assert_eq!(vfs.census().disk_gone_ops, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_preserves_storage_full_kind() {
+        let dir = scratch("kind");
+        let cfg = StorageFaultConfig { seed: 3, write_enospc: 1.0, ..Default::default() };
+        let vfs = FaultVfs::new(cfg);
+        let err = vfs.write(&dir.join("x.wal"), b"payload").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::StorageFull);
+        assert!(err.injected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_recovers_cleanly_from_short_append() {
+        // End-to-end through durability: a short append leaves a torn
+        // tail that recovery truncates — no error, no data invented.
+        use durability::{Wal, WalRecord};
+        let dir = scratch("wal-short");
+        let path = dir.join("serving.wal");
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            wal.append(&WalRecord::DayStart { day: 0 }).unwrap();
+        }
+        let vfs = Arc::new(FaultVfs::single(SingleFault {
+            op: VfsOp::Append,
+            index: 0,
+            kind: SingleFaultKind::ShortWrite,
+        }));
+        let (mut wal, records, _) = Wal::recover_with(vfs, &path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(wal.append(&WalRecord::DayStart { day: 1 }).is_err(), "short append errors");
+        let (_, records, _) = Wal::recover(&path).unwrap();
+        assert_eq!(records, vec![WalRecord::DayStart { day: 0 }], "torn tail truncated");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
