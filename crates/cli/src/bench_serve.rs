@@ -25,7 +25,7 @@
 use crate::args::Args;
 use crate::commands::CliError;
 use lacb::overload::run_overload;
-use lacb::{run, Lacb, LacbConfig, OverloadConfig, ResilienceConfig, RunConfig};
+use lacb::{run, Lacb, LacbConfig, OverloadConfig, ResilienceConfig, RunConfig, SparseMode};
 use matching::hungarian::KmSolver;
 use matching::UtilityMatrix;
 use platform_sim::{
@@ -204,11 +204,114 @@ fn bench_overload(
     })
 }
 
-fn run_serving(ds: &Dataset, n_threads: usize, seed: u64) -> (f64, StageTimings) {
-    let cfg = LacbConfig { seed, n_threads, ..LacbConfig::opt() };
+fn run_serving_mode(
+    ds: &Dataset,
+    n_threads: usize,
+    seed: u64,
+    mode: SparseMode,
+) -> (f64, StageTimings) {
+    let cfg = LacbConfig { seed, n_threads, sparse_assignment: mode, ..LacbConfig::opt() };
     let mut lacb = Lacb::new(cfg);
     let m = run(ds, &mut lacb, &RunConfig::default());
     (m.total_utility, m.timings)
+}
+
+fn run_serving(ds: &Dataset, n_threads: usize, seed: u64) -> (f64, StageTimings) {
+    run_serving_mode(ds, n_threads, seed, SparseMode::On)
+}
+
+/// One rung of the §16 sparse-vs-dense comparison: the serving horizon
+/// run in all three [`SparseMode`]s on the city preset. The fused CSR
+/// path must be bit-identical to its masked-dense oracle on *every*
+/// rung (skipped rungs still attest identity with one repetition); the
+/// legacy dense pipeline provides the speedup denominator.
+struct SparseRung {
+    n_threads: usize,
+    skipped: bool,
+    sparse_secs: f64,
+    oracle_secs: f64,
+    dense_secs: f64,
+    sparse_build_ms: f64,
+    sparse_rows: u64,
+    sparse_edges: u64,
+}
+
+fn bench_sparse_vs_dense(
+    ds: &Dataset,
+    threads: &[usize],
+    seed: u64,
+    repeat: usize,
+    hw: usize,
+) -> Result<Vec<SparseRung>, CliError> {
+    let mut rungs = Vec::new();
+    for &n in threads {
+        let skipped = n > hw;
+        let reps = if skipped { 1 } else { repeat };
+        let mut sparse_secs = f64::INFINITY;
+        let mut oracle_secs = f64::INFINITY;
+        let mut dense_secs = f64::INFINITY;
+        let mut sparse_build_ms = 0.0;
+        let mut sparse_km_ms = 0.0;
+        let mut dense_select_ms = 0.0;
+        let mut dense_km_ms = 0.0;
+        let mut sparse_rows = 0u64;
+        let mut sparse_edges = 0u64;
+        for _ in 0..reps {
+            let (us, ts) = run_serving_mode(ds, n, seed, SparseMode::On);
+            let (uo, to) = run_serving_mode(ds, n, seed, SparseMode::DenseOracle);
+            if us.to_bits() != uo.to_bits() {
+                return Err(CliError::Gate(format!(
+                    "sparse assignment diverged from its masked-dense oracle at {n} thread(s): \
+                     {us} vs {uo}"
+                )));
+            }
+            let s: f64 = ts.assign_batch_secs.iter().sum();
+            if s < sparse_secs {
+                sparse_secs = s;
+                sparse_build_ms = fmt_ms(ts.breakdown.sparse_build_secs);
+                sparse_km_ms = fmt_ms(ts.breakdown.km_solve_secs);
+                sparse_rows = ts.breakdown.sparse_rows;
+                sparse_edges = ts.breakdown.sparse_edges;
+            }
+            oracle_secs = oracle_secs.min(to.assign_batch_secs.iter().sum());
+            let (_, td) = run_serving_mode(ds, n, seed, SparseMode::Off);
+            let d: f64 = td.assign_batch_secs.iter().sum();
+            if d < dense_secs {
+                dense_secs = d;
+                dense_select_ms = fmt_ms(td.breakdown.cbs_select_secs);
+                dense_km_ms = fmt_ms(td.breakdown.km_solve_secs);
+            }
+            if std::env::var_os("CAAM_BENCH_DEBUG").is_some() {
+                eprintln!("sparse breakdown: {:?}", ts.breakdown);
+                eprintln!("dense  breakdown: {:?}", td.breakdown);
+            }
+        }
+        if skipped {
+            println!(
+                "  [sparse_vs_dense] {n} thread(s): skipped (exceeds {hw} hardware threads) — \
+                 bit-identity vs oracle ok"
+            );
+        } else {
+            let speedup = if sparse_secs > 0.0 { dense_secs / sparse_secs } else { 1.0 };
+            println!(
+                "  [sparse_vs_dense] {n} thread(s): sparse {sparse_secs:.3}s (build \
+                 {sparse_build_ms:.0}ms km {sparse_km_ms:.0}ms)  dense {dense_secs:.3}s \
+                 (select {dense_select_ms:.0}ms km {dense_km_ms:.0}ms)  oracle \
+                 {oracle_secs:.3}s  speedup {speedup:.2}x  bit-identical to oracle"
+            );
+        }
+        rungs.push(SparseRung {
+            n_threads: n,
+            skipped,
+            sparse_secs,
+            oracle_secs,
+            dense_secs,
+            sparse_build_ms,
+            sparse_rows,
+            sparse_edges,
+        });
+    }
+    Ok(rungs)
 }
 
 fn fmt_ms(secs: f64) -> f64 {
@@ -327,8 +430,9 @@ fn emit_ladder_json(out: &mut String, section: &LadderSection, hw: usize) {
             "      {{\"n_threads\": {}, \"assign_secs\": {:.6}, \"p50_batch_ms\": {:.4}, \
              \"p99_batch_ms\": {:.4}, \"begin_day_secs\": {:.6}, \"throughput_req_per_s\": {:.1}, \
              \"speedup_vs_1\": {:.3}, \"bit_identical_to_1\": {}, \"stages\": \
-             {{\"bandit_score_ms\": {:.3}, \"cbs_select_ms\": {:.3}, \"km_solve_ms\": {:.3}, \
-             \"pool_sync_ms\": {:.3}, \"parallel_rounds\": {}, \"inline_rounds\": {}}}}}{sep}\n",
+             {{\"bandit_score_ms\": {:.3}, \"cbs_select_ms\": {:.3}, \"sparse_build_ms\": {:.3}, \
+             \"km_solve_ms\": {:.3}, \"pool_sync_ms\": {:.3}, \"sparse_rows\": {}, \
+             \"sparse_edges\": {}, \"parallel_rounds\": {}, \"inline_rounds\": {}}}}}{sep}\n",
             s.n_threads,
             s.assign_secs,
             s.p50_batch_ms,
@@ -339,10 +443,47 @@ fn emit_ladder_json(out: &mut String, section: &LadderSection, hw: usize) {
             s.bit_identical_to_1,
             fmt_ms(s.stages.bandit_score_secs),
             fmt_ms(s.stages.cbs_select_secs),
+            fmt_ms(s.stages.sparse_build_secs),
             fmt_ms(s.stages.km_solve_secs),
             fmt_ms(s.stages.pool_sync_secs),
+            s.stages.sparse_rows,
+            s.stages.sparse_edges,
             s.stages.parallel_rounds,
             s.stages.inline_rounds,
+        ));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
+}
+
+fn emit_sparse_json(out: &mut String, rungs: &[SparseRung], hw: usize, floor: f64) {
+    out.push_str("  \"sparse_vs_dense\": {\n");
+    out.push_str(&format!("    \"preset\": \"city\",\n    \"speedup_floor\": {floor},\n"));
+    out.push_str("    \"threads\": [\n");
+    for (i, r) in rungs.iter().enumerate() {
+        let sep = if i + 1 == rungs.len() { "" } else { "," };
+        if r.skipped {
+            out.push_str(&format!(
+                "      {{\"n_threads\": {}, \"skipped\": \"exceeds hardware_threads ({hw})\", \
+                 \"bit_identical_to_oracle\": true}}{sep}\n",
+                r.n_threads
+            ));
+            continue;
+        }
+        let speedup = if r.sparse_secs > 0.0 { r.dense_secs / r.sparse_secs } else { 1.0 };
+        out.push_str(&format!(
+            "      {{\"n_threads\": {}, \"sparse_secs\": {:.6}, \"oracle_secs\": {:.6}, \
+             \"dense_secs\": {:.6}, \"speedup_vs_dense\": {:.3}, \
+             \"bit_identical_to_oracle\": true, \"sparse_build_ms\": {:.3}, \
+             \"sparse_rows\": {}, \"sparse_edges\": {}}}{sep}\n",
+            r.n_threads,
+            r.sparse_secs,
+            r.oracle_secs,
+            r.dense_secs,
+            speedup,
+            r.sparse_build_ms,
+            r.sparse_rows,
+            r.sparse_edges,
         ));
     }
     out.push_str("    ]\n");
@@ -354,6 +495,7 @@ fn emit_json(
     repeat: usize,
     hw: usize,
     sections: &[LadderSection],
+    sparse: Option<(&[SparseRung], f64)>,
     warm: &WarmKm,
     ov: &OverloadBench,
 ) -> String {
@@ -364,6 +506,9 @@ fn emit_json(
     out.push_str(&format!("  \"hardware_threads\": {hw},\n"));
     for section in sections {
         emit_ladder_json(&mut out, section, hw);
+    }
+    if let Some((rungs, floor)) = sparse {
+        emit_sparse_json(&mut out, rungs, hw, floor);
     }
     let ops_ratio = warm.cold_ops as f64 / warm.warm_ops.max(1) as f64;
     let secs_ratio = if warm.warm_secs > 0.0 { warm.cold_secs / warm.warm_secs } else { 1.0 };
@@ -492,6 +637,7 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
             samples,
         });
     }
+    let mut city_ds = None;
     if preset != "fig8" {
         let ds = Dataset::real_world(&city_cfg);
         println!(
@@ -515,6 +661,7 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
             ),
             samples,
         });
+        city_ds = Some(ds);
     }
 
     // Parallel-regression gate: on the city preset (where per-batch work
@@ -537,6 +684,31 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
                 )));
             }
         }
+    }
+
+    // §16 sparse-vs-dense comparison and its gates, on the city preset
+    // (the scale where the candidate graph is actually sparse). Every
+    // rung must be bit-identical to the masked-dense oracle; at 1
+    // thread the fused CSR path must beat the legacy dense pipeline by
+    // `--sparse-floor` (default 1.5x, acceptance target 2x).
+    let sparse_floor: f64 = args.get_or("sparse-floor", 1.5)?;
+    let mut sparse_rungs = None;
+    if let Some(ds) = &city_ds {
+        println!("sparse-vs-dense [city]: 3 modes per rung (On / DenseOracle / Off)");
+        let rungs = bench_sparse_vs_dense(ds, &threads, seed, repeat, hw)?;
+        if let Some(r1) = rungs.iter().find(|r| r.n_threads == 1 && !r.skipped) {
+            let speedup = if r1.sparse_secs > 0.0 { r1.dense_secs / r1.sparse_secs } else { 1.0 };
+            println!(
+                "sparse speedup gate [city]: 1 thread at {speedup:.3}x vs floor {sparse_floor}"
+            );
+            if speedup < sparse_floor {
+                return Err(CliError::Gate(format!(
+                    "sparse assignment speedup at 1 thread is {speedup:.3}x, below the \
+                     {sparse_floor}x floor against the dense path"
+                )));
+            }
+        }
+        sparse_rungs = Some(rungs);
     }
 
     let (wn, wb) = if quick { (40, 30) } else { (80, 60) };
@@ -572,7 +744,15 @@ pub fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
         ov.p99_spike_ms
     );
 
-    let report = emit_json(quick, repeat, hw, &sections, &warm, &ov);
+    let report = emit_json(
+        quick,
+        repeat,
+        hw,
+        &sections,
+        sparse_rungs.as_deref().map(|r| (r, sparse_floor)),
+        &warm,
+        &ov,
+    );
     if let Some(path) = args.get("out") {
         std::fs::write(path, &report).map_err(|e| format!("writing {path}: {e}"))?;
         println!("report written: {path}");
@@ -631,8 +811,11 @@ mod tests {
     #[test]
     fn quick_bench_runs_and_writes_report() {
         let out = std::env::temp_dir().join("caam_bench_serve_test.json");
+        // `--sparse-floor 0`: this test checks report structure, not
+        // timing; the speedup gate is load-sensitive when the whole
+        // workspace test suite shares the machine.
         let args = Args::parse(&argv(&format!(
-            "--quick --threads 1,2 --repeat 1 --out {}",
+            "--quick --threads 1,2 --repeat 1 --sparse-floor 0 --out {}",
             out.display()
         )))
         .unwrap();
@@ -642,6 +825,10 @@ mod tests {
         assert!(text.contains("\"city\":"));
         assert!(text.contains("\"hardware_threads\""));
         assert!(text.contains("\"stages\""));
+        assert!(text.contains("\"sparse_vs_dense\":"));
+        assert!(text.contains("\"bit_identical_to_oracle\": true"));
+        assert!(text.contains("\"speedup_vs_dense\""));
+        assert!(text.contains("\"sparse_build_ms\""));
         assert!(text.contains("\"warm_km\""));
         assert!(text.contains("\"overload_4x\""));
         assert!(text.contains("\"p99_under_4x_spike_ms\""));

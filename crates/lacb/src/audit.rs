@@ -36,8 +36,16 @@
 //! batch counter (not a free-running global), so a crash-recovery
 //! replay re-audits identically and stays bit-exact.
 
-use matching::UtilityMatrix;
+use matching::{SparseUtility, UtilityMatrix};
 use platform_sim::{AuditReport, AuditViolation, InvariantKind, RepairAction, RepairKind};
+
+/// Which retained instance the most recent certifiable solve used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SolvedKind {
+    None,
+    Dense,
+    Sparse,
+}
 
 /// Tuning knobs of the runtime audits. Defaults keep the cheap
 /// per-batch certificates and the day-boundary deep audits on; the
@@ -82,7 +90,10 @@ pub struct Auditor {
     max_reward: f64,
     /// Retained copy of the matrix given to the last KM solve.
     matrix: UtilityMatrix,
-    certifiable: bool,
+    /// Retained copy of the candidate graph given to the last sparse
+    /// KM solve (the sparse fast path's counterpart of `matrix`).
+    sparse: SparseUtility,
+    solved: SolvedKind,
 }
 
 impl Auditor {
@@ -97,7 +108,8 @@ impl Auditor {
             pending_greedy: false,
             max_reward: 0.0,
             matrix: UtilityMatrix::zeros(0, 0),
-            certifiable: false,
+            sparse: SparseUtility::new(),
+            solved: SolvedKind::None,
         }
     }
 
@@ -211,21 +223,38 @@ impl Auditor {
     /// Retain a copy of the matrix just solved, making the solve
     /// certifiable on the next audit pass.
     pub(crate) fn note_solve(&mut self, solved: &UtilityMatrix) {
-        self.matrix.reset(solved.rows(), solved.cols());
+        self.matrix.reshape_for_overwrite(solved.rows(), solved.cols());
         for r in 0..solved.rows() {
             self.matrix.row_mut(r).copy_from_slice(solved.row(r));
         }
-        self.certifiable = true;
+        self.solved = SolvedKind::Dense;
+    }
+
+    /// Retain a copy of the candidate graph just solved by the sparse
+    /// path, making that solve certifiable on the next audit pass.
+    pub(crate) fn note_solve_sparse(&mut self, solved: &SparseUtility) {
+        self.sparse.copy_from(solved);
+        self.solved = SolvedKind::Sparse;
     }
 
     pub(crate) fn forget_solve(&mut self) {
-        self.certifiable = false;
+        self.solved = SolvedKind::None;
     }
 
     /// The retained matrix of the last certifiable solve.
     pub(crate) fn solved_matrix(&self) -> Option<&UtilityMatrix> {
-        if self.certifiable {
+        if self.solved == SolvedKind::Dense {
             Some(&self.matrix)
+        } else {
+            None
+        }
+    }
+
+    /// The retained candidate graph of the last certifiable sparse
+    /// solve.
+    pub(crate) fn solved_sparse(&self) -> Option<&SparseUtility> {
+        if self.solved == SolvedKind::Sparse {
+            Some(&self.sparse)
         } else {
             None
         }
@@ -420,6 +449,24 @@ mod tests {
         assert_eq!(a.solved_matrix().unwrap(), &m);
         a.forget_solve();
         assert!(a.solved_matrix().is_none());
+    }
+
+    #[test]
+    fn note_solve_sparse_retains_a_copy() {
+        let mut a = Auditor::new(AuditConfig::default());
+        assert!(a.solved_sparse().is_none());
+        let m = UtilityMatrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        let g = SparseUtility::from_dense(&m);
+        a.note_solve_sparse(&g);
+        assert_eq!(a.solved_sparse().unwrap(), &g);
+        assert!(a.solved_matrix().is_none(), "sparse retention supersedes dense");
+        // A dense note supersedes the sparse one, and vice versa.
+        a.note_solve(&m);
+        assert!(a.solved_sparse().is_none());
+        assert_eq!(a.solved_matrix().unwrap(), &m);
+        a.forget_solve();
+        assert!(a.solved_matrix().is_none());
+        assert!(a.solved_sparse().is_none());
     }
 
     #[test]

@@ -6,10 +6,10 @@ use crate::audit::{self, AuditConfig, Auditor};
 use crate::value_function::ValueFunction;
 use bandit::{CandidateCapacities, NnUcbConfig, PersonalizedEstimator, ShrinkageEstimator};
 use linalg::InverseTracker;
-use matching::cbs::candidate_union_seeded_with;
+use matching::cbs::{candidate_union_seeded_with, fused_score_select, FusedScratch};
 use matching::greedy::greedy_assignment;
-use matching::hungarian::{CertifyMode, KmSolver};
-use matching::{MatchMode, UtilityMatrix};
+use matching::hungarian::{CertifyMode, KmSolver, MatchingError, SANITIZED_UTILITY};
+use matching::{MatchMode, SparseUtility, UtilityMatrix};
 use platform_sim::{
     AuditReport, DayFeedback, InvariantKind, Platform, RepairKind, Request, StageBreakdown,
     StateFault, StateFaultKind, StateTarget, STATUS_DIM,
@@ -86,6 +86,30 @@ pub struct LacbConfig {
     /// deep audits, broker quarantine). On by default — the per-batch
     /// cost is far below the solve itself.
     pub audit: AuditConfig,
+    /// Assignment path for Full-quality CBS batches (§16): the fused
+    /// score+select kernel plus the CSR sparse KM solve ([`SparseMode::On`],
+    /// the default), the same candidate graph solved through its
+    /// masked-dense expansion ([`SparseMode::DenseOracle`], the
+    /// benchmark bit-identity oracle), or the legacy dense pipeline
+    /// ([`SparseMode::Off`]). Brownout and greedy batches always take
+    /// the legacy path.
+    pub sparse_assignment: SparseMode,
+}
+
+/// Assignment-path selector for Full-quality CBS batches (§16).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SparseMode {
+    /// Fused score+select kernel and the CSR sparse KM solve. Never
+    /// materialises the dense utility matrix; the default.
+    On,
+    /// Build the same candidate graph but solve its masked-dense
+    /// expansion with the reference dense solver. Bit-identical to
+    /// `On` by construction — the benchmark's identity oracle.
+    DenseOracle,
+    /// The legacy pipeline: dense matrix build, CBS column selection,
+    /// dense pruned solve. Value-equal to `On` in Full mode
+    /// (Corollary 1) but not bitwise.
+    Off,
 }
 
 /// Personalisation mechanism for the capacity estimator.
@@ -167,6 +191,7 @@ impl Default for LacbConfig {
             n_threads: 1,
             parallel_cutoff: pool::SEQ_CUTOFF_WORK,
             audit: AuditConfig::default(),
+            sparse_assignment: SparseMode::On,
         }
     }
 }
@@ -212,6 +237,14 @@ pub struct Lacb {
     full_buf: UtilityMatrix,
     reduced_buf: UtilityMatrix,
     pruned_buf: UtilityMatrix,
+    /// Sparse fast-path buffers reused across batches (§16): fused
+    /// kernel scratch, the CSR candidate graph, the candidate-union
+    /// column ids (indices into today's available set), and the
+    /// per-available-column value refinements. All derived state.
+    fused_scratch: FusedScratch,
+    csr_buf: SparseUtility,
+    union_buf: Vec<usize>,
+    adj_buf: Vec<f64>,
     /// Runtime invariant audits and per-broker quarantine (§12).
     auditor: Auditor,
     /// Cumulative sub-stage timing telemetry since the last
@@ -242,6 +275,10 @@ impl Lacb {
             full_buf: UtilityMatrix::zeros(0, 0),
             reduced_buf: UtilityMatrix::zeros(0, 0),
             pruned_buf: UtilityMatrix::zeros(0, 0),
+            fused_scratch: FusedScratch::default(),
+            csr_buf: SparseUtility::new(),
+            union_buf: Vec::new(),
+            adj_buf: Vec::new(),
             auditor,
             breakdown: StageBreakdown::default(),
         }
@@ -464,6 +501,10 @@ impl Lacb {
             full_buf: UtilityMatrix::zeros(0, 0),
             reduced_buf: UtilityMatrix::zeros(0, 0),
             pruned_buf: UtilityMatrix::zeros(0, 0),
+            fused_scratch: FusedScratch::default(),
+            csr_buf: SparseUtility::new(),
+            union_buf: Vec::new(),
+            adj_buf: Vec::new(),
             auditor,
             breakdown: StageBreakdown::default(),
         })
@@ -584,7 +625,10 @@ impl Lacb {
     /// steer the next solve, then escalates to the greedy floor.
     fn check_dual_certificate(&mut self, day: usize, batch: usize, mode: CertifyMode) {
         let tol = self.auditor.tol();
-        let verdict = self.auditor.solved_matrix().and_then(|m| self.solver.certify(m, mode));
+        let verdict =
+            self.auditor.solved_matrix().and_then(|m| self.solver.certify(m, mode)).or_else(|| {
+                self.auditor.solved_sparse().and_then(|g| self.solver.certify_sparse(g, mode))
+            });
         if let Some(cert) = verdict {
             if !cert.holds(tol) {
                 self.auditor.record_violation(
@@ -851,6 +895,134 @@ impl Lacb {
         self.auditor.record_repair(day, batch, Some(b), RepairKind::Reinitialize);
         self.auditor.release(b);
     }
+
+    /// §16 fast path for Full-quality CBS batches: fused score+select
+    /// per request (the dense utility row is never materialised), then
+    /// a sparse KM solve over the CSR candidate graph. Bit-identical
+    /// to solving the same graph's masked-dense expansion with the
+    /// reference dense solver ([`SparseMode::DenseOracle`]), and
+    /// value-equal to the legacy dense pipeline (Corollary 1).
+    fn assign_batch_sparse(
+        &mut self,
+        platform: &Platform,
+        requests: &[Request],
+        available: &[usize],
+        batch_seed: u64,
+        audit_on: bool,
+        audit_batch: usize,
+    ) -> Vec<Option<usize>> {
+        // Eq. (15) refinement as a per-available-column additive term:
+        // the dense path adds `γV(cr−1) − V(cr)` to whole columns of
+        // the reduced matrix; here the identical adjustment folds into
+        // the score closure. The `adj != 0.0` guard mirrors
+        // `refine_utilities` (adding 0.0 would flip −0.0 cells).
+        let mut adj = std::mem::take(&mut self.adj_buf);
+        adj.clear();
+        adj.resize(available.len(), 0.0);
+        if self.days_elapsed > 0 {
+            for (j, &b) in available.iter().enumerate() {
+                if self.capacity_frequency(b) > self.cfg.delta {
+                    let cr = self.capacities[b] - platform.workload_today(b);
+                    adj[j] = self.value_fn.refinement(cr);
+                }
+            }
+        }
+        let k = MatchMode::Full.candidate_budget(requests.len());
+        let mut scratch = std::mem::take(&mut self.fused_scratch);
+        let mut csr = std::mem::take(&mut self.csr_buf);
+        let mut union_cols = std::mem::take(&mut self.union_buf);
+        let t_build = Instant::now();
+        {
+            let adj = &adj;
+            let score = move |r: usize, row: &mut [f64]| {
+                platform.pair_utilities_into(r, &requests[r], available, row);
+                for (v, &a) in row.iter_mut().zip(adj) {
+                    if a != 0.0 {
+                        *v += a;
+                    }
+                }
+            };
+            fused_score_select(
+                requests.len(),
+                available.len(),
+                k,
+                batch_seed,
+                self.cfg.n_threads,
+                self.cfg.parallel_cutoff,
+                &score,
+                &mut scratch,
+                &mut csr,
+                &mut union_cols,
+            );
+        }
+        self.breakdown.sparse_build_secs += t_build.elapsed().as_secs_f64();
+        self.breakdown.sparse_rows += csr.rows() as u64;
+        self.breakdown.sparse_edges += csr.nnz() as u64;
+
+        // CSR solve when the graph is wide enough for the balanced
+        // solver; the masked-dense expansion otherwise (tall batches
+        // transpose inside the dense solver) and as the fallback for an
+        // infeasible candidate graph — impossible in Full mode, where
+        // `k = |R|` satisfies Hall's condition, but cheap insurance.
+        let t_km = Instant::now();
+        let mut sparse_result = None;
+        if self.cfg.sparse_assignment == SparseMode::On && csr.rows() <= csr.cols() {
+            match self.solver.try_solve_sparse(&csr) {
+                Ok(r) => sparse_result = Some(r),
+                Err(MatchingError::Infeasible { .. }) => {}
+                Err(e) => panic!("sparse KM solve failed: {e}"),
+            }
+        }
+        let result = match sparse_result {
+            Some(r) => {
+                if audit_on {
+                    self.auditor.note_solve_sparse(&csr);
+                }
+                r
+            }
+            None => {
+                let mut pruned =
+                    std::mem::replace(&mut self.pruned_buf, UtilityMatrix::zeros(0, 0));
+                csr.to_dense_masked_into(SANITIZED_UTILITY, &mut pruned);
+                let r = self.solver.solve(&pruned);
+                if audit_on {
+                    self.auditor.note_solve(&pruned);
+                }
+                self.pruned_buf = pruned;
+                r
+            }
+        };
+        self.breakdown.km_solve_secs += t_km.elapsed().as_secs_f64();
+        self.last_ops = self.solver.last_ops();
+
+        // Map back to broker ids; TD-update per assignment with the
+        // *unrefined* pair utility, recomputed point-wise —
+        // `Platform::pair_utility` is bit-identical to the dense
+        // matrix fill the legacy path reads the reward from.
+        let mut assignment = vec![None; requests.len()];
+        for (r, slot) in result.row_to_col.iter().enumerate() {
+            let Some(c) = *slot else { continue };
+            let b = available[union_cols[c]];
+            assignment[r] = Some(b);
+            let u = platform.pair_utility(r, &requests[r], b);
+            let cr = self.capacities[b] - platform.workload_today(b);
+            if audit_on {
+                self.auditor.observe_reward(u);
+            }
+            self.value_fn.td_update(cr, u, cr - 1.0);
+            if platform.workload_today(b) + 1.0 >= self.capacities[b] {
+                self.reached_today[b] = true;
+            }
+        }
+        self.fused_scratch = scratch;
+        self.csr_buf = csr;
+        self.union_buf = union_cols;
+        self.adj_buf = adj;
+        if audit_on {
+            self.post_solve_audit(platform, &assignment, audit_batch);
+        }
+        assignment
+    }
 }
 
 impl Assigner for Lacb {
@@ -955,9 +1127,39 @@ impl Assigner for Lacb {
         if available.is_empty() || requests.is_empty() {
             return vec![None; requests.len()];
         }
+        // Alg. 2 line 7 pivots: the CBS pivot stream is a pure hash of
+        // (seed, day, batch), so candidate sets are reproducible for
+        // any thread count.
+        let batch_seed = splitmix(self.cfg.seed ^ (self.days_elapsed << 20) ^ self.batch_in_day);
+        self.batch_in_day += 1;
+        let effective_mode = if greedy_override { MatchMode::Greedy } else { self.match_mode };
+
+        // §16: Full-quality CBS batches take the sparse fast path —
+        // fused score+select straight into a CSR candidate graph, no
+        // dense matrix build at all. Brownout and greedy levels (and
+        // `SparseMode::Off`) keep the literal legacy pipeline.
+        if self.cfg.use_cbs
+            && matches!(effective_mode, MatchMode::Full)
+            && self.cfg.sparse_assignment != SparseMode::Off
+        {
+            return self.assign_batch_sparse(
+                platform,
+                requests,
+                &available,
+                batch_seed,
+                audit_on,
+                audit_batch,
+            );
+        }
+
         // Reuse the matrix buffers across batches (zero steady-state
         // allocation); they are moved out locally to keep the borrow
-        // checker happy around `refine_utilities`.
+        // checker happy around `refine_utilities`. Shrinking batches
+        // reuse the allocation; the debug checks after the solve prove
+        // the batch loop never regrows a buffer spuriously.
+        #[cfg(debug_assertions)]
+        let caps_before =
+            (self.full_buf.capacity(), self.reduced_buf.capacity(), self.pruned_buf.capacity());
         let mut full = std::mem::replace(&mut self.full_buf, UtilityMatrix::zeros(0, 0));
         let mut reduced = std::mem::replace(&mut self.reduced_buf, UtilityMatrix::zeros(0, 0));
         platform.utility_matrix_into(requests, &mut full);
@@ -966,16 +1168,11 @@ impl Assigner for Lacb {
         self.refine_utilities(&mut reduced, &available, platform);
 
         // Alg. 2 line 7: KM on refined utilities; LACB-Opt first prunes
-        // with CBS (Alg. 3) to Top^r_{|R|} candidates. The CBS pivot
-        // stream is a pure hash of (seed, day, batch), so LACB-Opt's
-        // candidate sets are reproducible for any thread count. The
-        // balanced path warm-starts the KM solver from the previous
-        // batch's column duals whenever the available-broker count is
-        // unchanged (`KmSolver` falls back to cold automatically
-        // otherwise, and rectangular solves are always cold).
-        let batch_seed = splitmix(self.cfg.seed ^ (self.days_elapsed << 20) ^ self.batch_in_day);
-        self.batch_in_day += 1;
-        let effective_mode = if greedy_override { MatchMode::Greedy } else { self.match_mode };
+        // with CBS (Alg. 3) to Top^r_{|R|} candidates. The balanced
+        // path warm-starts the KM solver from the previous batch's
+        // column duals whenever the available-broker count is unchanged
+        // (`KmSolver` falls back to cold automatically otherwise, and
+        // rectangular solves are always cold).
         let (result, col_map): (_, Option<Vec<usize>>) = match effective_mode {
             // Brownout floor: deterministic greedy edge-picking on the
             // refined matrix, no KM solve at all.
@@ -1062,6 +1259,23 @@ impl Assigner for Lacb {
         }
         self.full_buf = full;
         self.reduced_buf = reduced;
+        #[cfg(debug_assertions)]
+        {
+            let dense_needed = requests.len() * platform.num_brokers();
+            let reduced_needed = requests.len() * available.len();
+            debug_assert!(
+                self.full_buf.capacity() == caps_before.0 || dense_needed > caps_before.0,
+                "full utility buffer reallocated without needing to grow"
+            );
+            debug_assert!(
+                self.reduced_buf.capacity() == caps_before.1 || reduced_needed > caps_before.1,
+                "reduced utility buffer reallocated without needing to grow"
+            );
+            debug_assert!(
+                self.pruned_buf.capacity() == caps_before.2 || reduced_needed > caps_before.2,
+                "pruned utility buffer reallocated without needing to grow"
+            );
+        }
         if audit_on {
             self.post_solve_audit(platform, &assignment, audit_batch);
         }
@@ -1354,6 +1568,88 @@ mod tests {
     #[test]
     fn checkpoint_resume_is_bit_identical_tabular() {
         resume_matches(71, LacbConfig::default());
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_with_sparse_assignment() {
+        // LACB-Opt with the §16 sparse fast path on (the default):
+        // checkpoint/replay determinism must survive the CSR solve.
+        resume_matches(101, LacbConfig::opt());
+    }
+
+    /// Run a full horizon, returning every batch assignment plus the
+    /// realized total.
+    fn run_collecting(cfg: LacbConfig, seed: u64) -> (Vec<Vec<Option<usize>>>, f64) {
+        let (mut p, ds) = world(seed);
+        let mut a = Lacb::new(cfg);
+        let mut assignments = Vec::new();
+        let mut total = 0.0;
+        for (d, day) in ds.days.iter().enumerate() {
+            p.begin_day();
+            a.begin_day(&p, d);
+            for batch in day {
+                let asg = a.assign_batch(&p, &batch.requests);
+                assert_is_matching(&asg);
+                total += p.execute_batch(&batch.requests, &asg).realized;
+                assignments.push(asg);
+            }
+            let fb = p.end_day();
+            a.end_day(&p, &fb);
+        }
+        (assignments, total)
+    }
+
+    #[test]
+    fn sparse_on_matches_dense_oracle_bitwise() {
+        // The §16 equivalence end to end: the fused CSR solve and the
+        // masked-dense expansion of the *same* candidate graph must
+        // produce identical assignments on every batch of the horizon,
+        // hence bitwise-equal realized totals.
+        let on = run_collecting(LacbConfig::opt(), 97);
+        let oracle = run_collecting(
+            LacbConfig { sparse_assignment: SparseMode::DenseOracle, ..LacbConfig::opt() },
+            97,
+        );
+        assert_eq!(on.0, oracle.0, "sparse and masked-dense oracle assignments diverged");
+        assert_eq!(on.1.to_bits(), oracle.1.to_bits());
+    }
+
+    #[test]
+    fn sparse_on_and_off_agree_on_batch_utility() {
+        // Corollary 1 at the knob level: with the value function silent
+        // (day 0) the sparse fast path and the legacy dense pipeline
+        // pick same-value batch assignments (ties may break
+        // differently, so equality is on utility, not indices).
+        let (mut p, ds) = world(37);
+        let mut on = Lacb::new(LacbConfig::opt());
+        let mut off =
+            Lacb::new(LacbConfig { sparse_assignment: SparseMode::Off, ..LacbConfig::opt() });
+        p.begin_day();
+        on.begin_day(&p, 0);
+        off.begin_day(&p, 0);
+        let reqs = &ds.days[0][0].requests;
+        let u = p.utility_matrix(reqs);
+        let a1 = on.assign_batch(&p, reqs);
+        let a2 = off.assign_batch(&p, reqs);
+        assert_is_matching(&a1);
+        assert_is_matching(&a2);
+        let v1: f64 = a1.iter().enumerate().filter_map(|(r, s)| s.map(|b| u.get(r, b))).sum();
+        let v2: f64 = a2.iter().enumerate().filter_map(|(r, s)| s.map(|b| u.get(r, b))).sum();
+        assert!((v1 - v2).abs() < 1e-9, "sparse {v1} vs legacy {v2}");
+    }
+
+    #[test]
+    fn sparse_path_is_thread_count_invariant() {
+        // `parallel_cutoff: 0` forces the pool split even at this tiny
+        // scale; every thread count must replay the 1-thread horizon
+        // exactly (assignments and total bits).
+        let base = LacbConfig { parallel_cutoff: 0, ..LacbConfig::opt() };
+        let (asg1, t1) = run_collecting(base.clone(), 103);
+        for threads in [2usize, 4, 8] {
+            let (asg, t) = run_collecting(LacbConfig { n_threads: threads, ..base.clone() }, 103);
+            assert_eq!(asg1, asg, "{threads} threads diverged from 1");
+            assert_eq!(t1.to_bits(), t.to_bits());
+        }
     }
 
     #[test]

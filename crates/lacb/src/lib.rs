@@ -43,7 +43,9 @@ pub use baselines::oracle::OracleCapacity;
 pub use baselines::rr::RandomizedRecommendation;
 pub use baselines::top_k::TopK;
 pub use checkpoint::{Checkpoint, CheckpointError};
-pub use lacb::{tuned_bandit_config, Lacb, LacbConfig, Personalization, SCORE_WORK_PER_BROKER};
+pub use lacb::{
+    tuned_bandit_config, Lacb, LacbConfig, Personalization, SparseMode, SCORE_WORK_PER_BROKER,
+};
 pub use overload::{
     run_overload, OverloadConfig, OverloadOutcome, OverloadSnapshot, OverloadState,
 };

@@ -85,6 +85,25 @@ impl UtilityMatrix {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// Reshape in place to `rows × cols` **without** zeroing: existing
+    /// cell contents are unspecified and the caller must overwrite every
+    /// cell before reading. Shrinking truncates and growing extends, but
+    /// capacity is never freed either way — this is the allocation-free
+    /// fast path for buffers whose every cell is refilled each batch
+    /// (`select_columns_from`, the utility-model fill), where `reset`'s
+    /// zero-fill is pure memory-bandwidth waste.
+    pub fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Heap capacity in cells — lets callers assert the allocation-free
+    /// steady state (no dense buffer grows inside the batch loop).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// A new matrix restricted to the given column subset (in order).
     /// `cols[i]` becomes column `i` of the result — used by CBS to build
     /// the reduced graph over candidate brokers.
@@ -97,7 +116,7 @@ impl UtilityMatrix {
     /// In-place [`UtilityMatrix::select_columns`]: refill `self` with the
     /// chosen columns of `src`, reusing the allocation.
     pub fn select_columns_from(&mut self, src: &UtilityMatrix, cols: &[usize]) {
-        self.reset(src.rows, cols.len());
+        self.reshape_for_overwrite(src.rows, cols.len());
         for r in 0..src.rows {
             let from = src.row(r);
             let dst = self.row_mut(r);
@@ -216,6 +235,39 @@ mod tests {
         let u = UtilityMatrix::from_fn(1, 1, |_, _| 1.0);
         let a = AssignmentResult { row_to_col: vec![Some(0)], total: 5.0 };
         a.validate(&u);
+    }
+
+    #[test]
+    fn reset_and_select_shrink_without_freeing_capacity() {
+        let mut buf = UtilityMatrix::zeros(8, 8);
+        let cap = buf.capacity();
+        assert!(cap >= 64);
+        buf.reset(2, 3);
+        assert_eq!((buf.rows(), buf.cols()), (2, 3));
+        assert_eq!(buf.capacity(), cap, "reset must keep capacity");
+        assert!(buf.row(1).iter().all(|&v| v == 0.0));
+        let src = UtilityMatrix::from_fn(4, 6, |r, c| (r * 6 + c) as f64);
+        buf.select_columns_from(&src, &[5, 0]);
+        assert_eq!((buf.rows(), buf.cols()), (4, 2));
+        assert_eq!(buf.capacity(), cap, "column selection must keep capacity");
+        assert_eq!(buf.get(0, 0), 5.0);
+        assert_eq!(buf.get(3, 1), 18.0);
+        // Cycling shrink → regrow within the original footprint never
+        // reallocates: the allocation-free steady state of the batch loop.
+        for n in [1usize, 7, 3, 8, 2] {
+            buf.reshape_for_overwrite(n, 8);
+            assert_eq!(buf.capacity(), cap, "rows={n}");
+        }
+    }
+
+    #[test]
+    fn reshape_for_overwrite_skips_the_zero_fill() {
+        let mut buf = UtilityMatrix::from_fn(2, 2, |_, _| 7.0);
+        buf.reshape_for_overwrite(1, 3);
+        assert_eq!((buf.rows(), buf.cols()), (1, 3));
+        // Cells within the old footprint keep stale contents (the whole
+        // point: callers overwrite, so nothing is spent on zeroing).
+        assert_eq!(buf.get(0, 0), 7.0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!   plots requires actually paying it.
 
 use crate::graph::{AssignmentResult, UtilityMatrix};
+use crate::sparse::SparseUtility;
 
 /// Shape of the most recent [`KmSolver`] solve, retained so
 /// [`KmSolver::certify`] can re-derive the cost matrix the stored dual
@@ -120,6 +121,15 @@ pub enum MatchingError {
         /// Columns of the instance.
         cols: usize,
     },
+    /// A sparse solve found a row with no augmenting path: the candidate
+    /// graph violates Hall's condition. Cannot happen for CBS graphs
+    /// with `k ≥ rows` (every row then has ≥ `rows` distinct candidates),
+    /// but arbitrary sparse instances can hit it — callers fall back to
+    /// the masked dense oracle.
+    Infeasible {
+        /// Row (request index) whose augmenting search ran dry.
+        row: usize,
+    },
 }
 
 impl std::fmt::Display for MatchingError {
@@ -130,6 +140,9 @@ impl std::fmt::Display for MatchingError {
             }
             MatchingError::TooManyRows { rows, cols } => {
                 write!(f, "padded KM expects requests ≤ brokers ({rows} > {cols})")
+            }
+            MatchingError::Infeasible { row } => {
+                write!(f, "sparse instance has no augmenting path for row {row}")
             }
         }
     }
@@ -287,6 +300,10 @@ pub struct KmSolver {
     minv: Vec<f64>,
     used: Vec<bool>,
     zero_row: Vec<f64>,
+    /// Columns whose `minv` has left `+∞` during the current sparse
+    /// augmenting search — the only columns the delta scan and the
+    /// potential-update pass need to visit.
+    touched: Vec<usize>,
     /// `Some(m)` when `pot_v[1..=m]` holds duals usable to warm-start the
     /// next balanced solve over `m` columns.
     warm_cols: Option<usize>,
@@ -316,6 +333,7 @@ impl KmSolver {
             minv: Vec::new(),
             used: Vec::new(),
             zero_row: Vec::new(),
+            touched: Vec::new(),
             warm_cols: None,
             last_ops: 0,
             last_shape: None,
@@ -522,6 +540,251 @@ impl KmSolver {
         row_to_col.truncate(u.rows());
         let total = row_to_col.iter().enumerate().filter_map(|(r, m)| m.map(|c| u.get(r, c))).sum();
         AssignmentResult { row_to_col, total }
+    }
+
+    /// Cold maximum-weight solve of a CSR candidate graph; see
+    /// [`Self::solve_sparse`]. Rejects non-finite utilities, `rows >
+    /// cols` instances (no transposed sparse kernel — callers fall back
+    /// to the masked dense solve) and Hall-violating graphs with typed
+    /// errors instead of corrupting the solve.
+    pub fn try_solve_sparse(
+        &mut self,
+        g: &SparseUtility,
+    ) -> Result<AssignmentResult, MatchingError> {
+        if let Some((row, col)) = g.first_non_finite() {
+            return Err(MatchingError::NonFiniteUtility { row, col });
+        }
+        if g.rows() > g.cols() {
+            return Err(MatchingError::TooManyRows { rows: g.rows(), cols: g.cols() });
+        }
+        self.warm_cols = None;
+        if g.rows() == 0 || g.cols() == 0 {
+            self.last_ops = 0;
+            self.last_shape = None;
+            return Ok(AssignmentResult::empty(g.rows()));
+        }
+        self.run_sparse(g)
+    }
+
+    /// Cold rectangular maximum-weight solve over a CSR candidate graph
+    /// (`rows ≤ cols`), walking only the stored adjacency instead of
+    /// scanning every column.
+    ///
+    /// **Equivalence contract:** bit-identical — assignment, total and
+    /// dual potentials — to [`Self::solve`] on
+    /// [`SparseUtility::to_dense_masked`] with [`SANITIZED_UTILITY`],
+    /// whenever real utilities are small against the mask magnitude
+    /// (serving utilities live in `[0, 1]` plus bounded refinements, so
+    /// a masked pseudo-edge can never win an augmenting step). The
+    /// masked dense solve is therefore the reference oracle; see
+    /// DESIGN.md §16 for the full argument.
+    ///
+    /// # Panics
+    /// Panics on non-finite utilities (like [`Self::solve`]), on
+    /// `rows > cols`, and on infeasible graphs — use
+    /// [`Self::try_solve_sparse`] where those are expected.
+    pub fn solve_sparse(&mut self, g: &SparseUtility) -> AssignmentResult {
+        match self.try_solve_sparse(g) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Sparse analogue of [`Self::run`]: identical float-op-for-float-op
+    /// to the dense loop on the masked dense equivalent, restricted to
+    /// the columns that can matter — relaxation walks row adjacency
+    /// (≤ k edges), and the delta argmin / potential update visit only
+    /// `touched` columns (the ones whose `minv` has left `+∞`; the
+    /// dense loop's work on the rest is arithmetic on `±∞`/mask values
+    /// that never wins a step).
+    fn run_sparse(&mut self, g: &SparseUtility) -> Result<AssignmentResult, MatchingError> {
+        let n = g.rows();
+        let m = g.cols();
+        debug_assert!(n <= m);
+        const INF: f64 = f64::INFINITY;
+
+        self.pot_v.clear();
+        self.pot_v.resize(m + 1, 0.0);
+        self.pot_u.clear();
+        self.pot_u.resize(n + 1, 0.0);
+        self.matched_row.clear();
+        self.matched_row.resize(m + 1, 0);
+        self.way.clear();
+        self.way.resize(m + 1, 0);
+        // `minv`/`used` are reset via the touched list after every
+        // augmenting row (only entries in `touched ∪ {0}` are ever
+        // written), so the O(cols) refill happens once per solve
+        // instead of once per row.
+        self.minv.clear();
+        self.minv.resize(m + 1, INF);
+        self.used.clear();
+        self.used.resize(m + 1, false);
+        self.touched.clear();
+        let mut ops = 0u64;
+        let mut infeasible = None;
+
+        let Self { pot_u, pot_v, matched_row, way, minv, used, touched, .. } = self;
+
+        'rows: for i in 1..=n {
+            matched_row[0] = i;
+            let mut j0 = 0usize;
+            touched.clear();
+            loop {
+                ops += 1;
+                used[j0] = true;
+                let i0 = matched_row[j0];
+                // Relax only the real candidate edges of row i0.
+                for (c, util) in g.row_entries(i0 - 1) {
+                    let j = c + 1;
+                    if used[j] {
+                        continue;
+                    }
+                    // cost = -utility, as in the dense loop.
+                    let cur = -util - pot_u[i0] - pot_v[j];
+                    if cur < minv[j] {
+                        if minv[j] == INF {
+                            touched.push(j);
+                        }
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                }
+                // Argmin over touched columns. The dense loop scans j
+                // ascending with a strict `<`, i.e. smallest j wins a
+                // tie — `(v == delta && j < j1)` reproduces that for an
+                // arbitrary scan order.
+                let mut delta = INF;
+                let mut j1 = 0usize;
+                for &j in touched.iter() {
+                    if used[j] {
+                        continue;
+                    }
+                    let v = minv[j];
+                    if v < delta || (v == delta && j < j1) {
+                        delta = v;
+                        j1 = j;
+                    }
+                }
+                if !delta.is_finite() {
+                    infeasible = Some(i - 1);
+                    break 'rows;
+                }
+                // Potentials move only at used columns — the same set
+                // the dense pass updates (every used column except the
+                // virtual column 0 was touched first).
+                pot_u[matched_row[0]] += delta;
+                pot_v[0] -= delta;
+                for &j in touched.iter() {
+                    if used[j] {
+                        pot_u[matched_row[j]] += delta;
+                        pot_v[j] -= delta;
+                    } else {
+                        minv[j] -= delta;
+                    }
+                }
+                j0 = j1;
+                if matched_row[j0] == 0 {
+                    break;
+                }
+            }
+            // Unwind the alternating path.
+            loop {
+                let j1 = way[j0];
+                matched_row[j0] = matched_row[j1];
+                j0 = j1;
+                if j0 == 0 {
+                    break;
+                }
+            }
+            // Only touched columns (plus the virtual column 0) were
+            // written this row; restore just those instead of an
+            // O(cols) refill.
+            for &j in touched.iter() {
+                minv[j] = INF;
+                used[j] = false;
+            }
+            used[0] = false;
+        }
+        self.last_ops = ops;
+        if let Some(row) = infeasible {
+            self.last_shape = None;
+            return Err(MatchingError::Infeasible { row });
+        }
+        self.last_shape = Some(SolveShape { n_rows: n, cols: m, n_real: n, transposed: false });
+
+        let mut row_to_col = vec![None; n];
+        let mut total = 0.0;
+        for j in 1..=m {
+            let i = self.matched_row[j];
+            if i != 0 {
+                row_to_col[i - 1] = Some(j - 1);
+                total += self.touched_total_edge(g, i - 1, j - 1);
+            }
+        }
+        Ok(AssignmentResult { row_to_col, total })
+    }
+
+    /// A matched pair of a sparse solve is always a real candidate edge
+    /// (masked pseudo-edges are never selected); missing would mean the
+    /// solver state was corrupted mid-solve.
+    fn touched_total_edge(&self, g: &SparseUtility, r: usize, c: usize) -> f64 {
+        match g.get(r, c) {
+            Some(v) => v,
+            None => panic!("matched pair ({r}, {c}) is not a candidate edge"),
+        }
+    }
+
+    /// [`Self::certify`] for the most recent [`Self::solve_sparse`]:
+    /// complementary slackness over matched pairs and dual feasibility
+    /// over the *stored* candidate edges. Missing edges carry implicit
+    /// `+∞` cost, so their feasibility constraints hold vacuously; a
+    /// matched pair that is not a stored edge surfaces as a NaN
+    /// slackness gap (certificate fails).
+    pub fn certify_sparse(&self, g: &SparseUtility, mode: CertifyMode) -> Option<KmCertificate> {
+        let shape = self.last_shape?;
+        if shape.transposed
+            || shape.n_rows != g.rows()
+            || shape.n_real != g.rows()
+            || shape.cols != g.cols()
+        {
+            return None;
+        }
+        let mut feasibility_gap = 0.0f64;
+        let mut slackness_gap = 0.0f64;
+        let mut cells = 0usize;
+        for j in 1..=shape.cols {
+            let i = self.matched_row[j];
+            if i != 0 {
+                let cost = match g.get(i - 1, j - 1) {
+                    Some(v) => -v,
+                    None => f64::NAN,
+                };
+                let gap = (self.pot_u[i] + self.pot_v[j] - cost).abs();
+                slackness_gap = max_propagating(slackness_gap, gap);
+                cells += 1;
+            }
+        }
+        let check_row = |i: usize, feas: &mut f64, cells: &mut usize| {
+            for (c, v) in g.row_entries(i - 1) {
+                let gap = self.pot_u[i] + self.pot_v[c + 1] - (-v);
+                *feas = max_propagating(*feas, gap);
+                *cells += 1;
+            }
+        };
+        let full = matches!(mode, CertifyMode::Full);
+        match mode {
+            CertifyMode::Full => {
+                for i in 1..=shape.n_rows {
+                    check_row(i, &mut feasibility_gap, &mut cells);
+                }
+            }
+            CertifyMode::Sampled { row } => {
+                if shape.n_rows > 0 {
+                    check_row(1 + row % shape.n_rows, &mut feasibility_gap, &mut cells);
+                }
+            }
+        }
+        Some(KmCertificate { feasibility_gap, slackness_gap, cells_checked: cells, full })
     }
 
     /// Core shortest-augmenting-path loop over `n_rows` rows (rows past
@@ -976,6 +1239,144 @@ mod tests {
             solver.last_shape(),
             Some(SolveShape { n_rows: 3, cols: 3, n_real: 3, transposed: false })
         );
+    }
+
+    /// Keep each row's `k` largest entries of a dense matrix as a CSR
+    /// candidate graph (deterministic ties: smaller column wins).
+    fn top_k_sparsify(u: &UtilityMatrix, k: usize) -> SparseUtility {
+        let mut g = SparseUtility::new();
+        g.begin(u.cols());
+        for r in 0..u.rows() {
+            let mut cols: Vec<usize> = (0..u.cols()).collect();
+            cols.sort_by(|&a, &b| u.get(r, b).partial_cmp(&u.get(r, a)).unwrap().then(a.cmp(&b)));
+            cols.truncate(k);
+            cols.sort_unstable();
+            g.push_row(cols.into_iter().map(|c| (c, u.get(r, c))));
+        }
+        g
+    }
+
+    #[test]
+    fn full_sparse_graph_matches_dense_solve_bitwise() {
+        let mut next = lcg(4242);
+        let mut dense = KmSolver::new();
+        let mut sparse = KmSolver::new();
+        for (n, m) in [(1, 1), (2, 3), (4, 4), (5, 9), (7, 7)] {
+            let u = UtilityMatrix::from_fn(n, m, |_, _| next() * 2.0 - 0.5);
+            let g = SparseUtility::from_dense(&u);
+            let a = dense.solve(&u);
+            let b = sparse.solve_sparse(&g);
+            assert_eq!(a.row_to_col, b.row_to_col, "{n}x{m}");
+            assert_eq!(a.total.to_bits(), b.total.to_bits(), "{n}x{m}");
+        }
+    }
+
+    #[test]
+    fn topk_sparse_solve_matches_masked_dense_oracle_bitwise() {
+        let mut next = lcg(99177);
+        let mut dense = KmSolver::new();
+        let mut sparse = KmSolver::new();
+        for trial in 0..40 {
+            let n = 1 + trial % 6;
+            let m = n + trial % 9;
+            let k = (n + trial % 3).min(m);
+            // Ties included: quantised utilities collide often.
+            let u = UtilityMatrix::from_fn(n, m, |_, _| (next() * 8.0).floor() * 0.125 - 0.25);
+            let g = top_k_sparsify(&u, k);
+            let oracle = g.to_dense_masked(SANITIZED_UTILITY);
+            let a = dense.solve(&oracle);
+            let b = sparse.solve_sparse(&g);
+            assert_eq!(a.row_to_col, b.row_to_col, "trial {trial} ({n}x{m}, k={k})");
+            assert_eq!(a.total.to_bits(), b.total.to_bits(), "trial {trial}");
+            // Dual potentials agree on every column the sparse solve
+            // maintains, so both certificates hold.
+            let cd = dense.certify(&oracle, CertifyMode::Full).unwrap();
+            assert!(cd.holds(1e-9), "trial {trial} dense: {cd:?}");
+            let cs = sparse.certify_sparse(&g, CertifyMode::Full).unwrap();
+            assert!(cs.holds(1e-9), "trial {trial} sparse: {cs:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_rejects_bad_inputs_with_typed_errors() {
+        let mut s = KmSolver::new();
+        // Non-finite entry.
+        let mut g = SparseUtility::new();
+        g.begin(2);
+        g.push_row([(0, 1.0), (1, f64::NAN)]);
+        assert_eq!(s.try_solve_sparse(&g), Err(MatchingError::NonFiniteUtility { row: 0, col: 1 }));
+        // Tall instance: no transposed sparse kernel.
+        let mut g = SparseUtility::new();
+        g.begin(1);
+        g.push_row([(0, 1.0)]);
+        g.push_row([(0, 2.0)]);
+        assert_eq!(s.try_solve_sparse(&g), Err(MatchingError::TooManyRows { rows: 2, cols: 1 }));
+        // Hall violation: two rows share one candidate.
+        let mut g = SparseUtility::new();
+        g.begin(2);
+        g.push_row([(0, 0.5)]);
+        g.push_row([(0, 0.3)]);
+        assert_eq!(s.try_solve_sparse(&g), Err(MatchingError::Infeasible { row: 1 }));
+        assert!(s.last_shape().is_none(), "failed solve must not be certifiable");
+        // Empty instances are fine.
+        let mut g = SparseUtility::new();
+        g.begin(4);
+        assert_eq!(s.try_solve_sparse(&g), Ok(AssignmentResult::empty(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no augmenting path")]
+    fn solve_sparse_panics_on_infeasible() {
+        let mut g = SparseUtility::new();
+        g.begin(3);
+        g.push_row([]);
+        KmSolver::new().solve_sparse(&g);
+    }
+
+    #[test]
+    fn sparse_certificate_detects_tampered_duals() {
+        let mut next = lcg(314);
+        let u = UtilityMatrix::from_fn(3, 6, |_, _| next());
+        let g = top_k_sparsify(&u, 3);
+        let mut s = KmSolver::new();
+        let a = s.solve_sparse(&g);
+        assert!(s.certify_sparse(&g, CertifyMode::Full).unwrap().holds(1e-9));
+        let sampled = s.certify_sparse(&g, CertifyMode::Sampled { row: 7 }).unwrap();
+        assert!(sampled.holds(1e-9) && !sampled.full);
+        // Corrupt the dual of a *matched* column: slackness must break.
+        // (A column with no candidate edge is legitimately
+        // unconstrained — only real edges certify.)
+        let matched = a.row_to_col[0].unwrap();
+        s.pot_v[matched + 1] += 5.0;
+        let c = s.certify_sparse(&g, CertifyMode::Full).unwrap();
+        assert!(!c.holds(1e-9), "tampered duals must fail: {c:?}");
+        // Mismatched shapes refuse to certify.
+        let mut other = SparseUtility::new();
+        other.begin(5);
+        other.push_row([(0, 1.0)]);
+        assert!(s.certify_sparse(&other, CertifyMode::Full).is_none());
+    }
+
+    #[test]
+    fn sparse_solve_is_optimal_against_brute_force() {
+        let mut next = lcg(2718);
+        let mut s = KmSolver::new();
+        for trial in 0..20 {
+            let n = 2 + trial % 4;
+            let m = n + 2;
+            let u = UtilityMatrix::from_fn(n, m, |_, _| next() * 3.0 - 1.0);
+            // k = n: Corollary 1's regime — the candidate graph contains
+            // an optimal assignment of the full graph.
+            let g = top_k_sparsify(&u, n);
+            let a = s.solve_sparse(&g);
+            let best = brute_force_assignment(&u);
+            assert!(
+                (a.total - best).abs() < 1e-9,
+                "trial {trial}: sparse {} vs brute {best}",
+                a.total
+            );
+            a.validate(&u);
+        }
     }
 
     #[test]

@@ -26,14 +26,19 @@ pub mod graph;
 pub mod greedy;
 pub mod hungarian;
 pub mod parallel;
+pub mod sparse;
 
 pub use auction::auction_assignment;
 pub use brownout::MatchMode;
-pub use cbs::{candidate_union, candidate_union_seeded, top_k_indices, top_k_into};
+pub use cbs::{
+    candidate_union, candidate_union_seeded, fused_score_select, top_k_indices, top_k_into,
+    FusedScratch,
+};
 pub use graph::{AssignmentResult, UtilityMatrix};
 pub use hungarian::{
     max_weight_assignment, max_weight_assignment_padded, sanitize_utilities,
     try_max_weight_assignment, try_max_weight_assignment_padded, CertifyMode, KmCertificate,
     KmSolver, MatchingError, SolveShape, SANITIZED_UTILITY,
 };
-pub use parallel::{solve_shards, solve_shards_padded};
+pub use parallel::{solve_shards, solve_shards_padded, solve_shards_sparse};
+pub use sparse::SparseUtility;

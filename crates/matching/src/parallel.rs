@@ -16,6 +16,7 @@
 
 use crate::graph::{AssignmentResult, UtilityMatrix};
 use crate::hungarian::KmSolver;
+use crate::sparse::SparseUtility;
 
 /// Average estimated work units (≈ ns) per shard: KM relaxation is
 /// O(rows² · cols) with a small constant. Feeds the adaptive sequential
@@ -61,6 +62,35 @@ pub fn solve_shards_padded(n_threads: usize, shards: &[UtilityMatrix]) -> Vec<As
         |solver, _i, u| {
             solver.reset();
             solver.solve_padded(u)
+        },
+    )
+}
+
+/// Average estimated work per sparse shard — `2·rows·(nnz + cols)`, the
+/// CSR analogue of [`avg_shard_work`] (see
+/// [`SparseUtility::estimated_solve_work`]).
+fn avg_sparse_shard_work(shards: &[SparseUtility]) -> u64 {
+    if shards.is_empty() {
+        return 0;
+    }
+    let total: u64 = shards.iter().map(SparseUtility::estimated_solve_work).sum();
+    total / shards.len() as u64
+}
+
+/// Solve independent CSR candidate graphs concurrently.
+///
+/// Equivalent to `shards.iter().map(|g| solver.solve_sparse(g))`
+/// bit-for-bit, for any `n_threads`; every solve starts cold (see the
+/// module docs for why).
+pub fn solve_shards_sparse(n_threads: usize, shards: &[SparseUtility]) -> Vec<AssignmentResult> {
+    pool::map_chunked_adaptive(
+        n_threads,
+        shards,
+        avg_sparse_shard_work(shards),
+        KmSolver::new,
+        |solver, _i, g| {
+            solver.reset();
+            solver.solve_sparse(g)
         },
     )
 }
@@ -113,7 +143,41 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sparse_matches_sequential_bitwise() {
+        // Top-(rows+1) sparsifications of the dense shard set: feasible
+        // by construction (every row keeps > rows candidates).
+        let shards: Vec<SparseUtility> = shard_set()
+            .iter()
+            .map(|u| {
+                let mut g = SparseUtility::new();
+                g.begin(u.cols());
+                for r in 0..u.rows() {
+                    let mut cols: Vec<usize> = (0..u.cols()).collect();
+                    cols.sort_by(|&a, &b| {
+                        u.get(r, b).partial_cmp(&u.get(r, a)).unwrap().then(a.cmp(&b))
+                    });
+                    cols.truncate((u.rows() + 1).min(u.cols()));
+                    cols.sort_unstable();
+                    g.push_row(cols.into_iter().map(|c| (c, u.get(r, c))));
+                }
+                g
+            })
+            .collect();
+        let seq: Vec<AssignmentResult> =
+            shards.iter().map(|g| KmSolver::new().solve_sparse(g)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let par = solve_shards_sparse(threads, &shards);
+            assert_eq!(par.len(), seq.len());
+            for (p, s) in par.iter().zip(&seq) {
+                assert_eq!(p.row_to_col, s.row_to_col, "threads={threads}");
+                assert_eq!(p.total.to_bits(), s.total.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn empty_shard_list() {
         assert!(solve_shards(4, &[]).is_empty());
+        assert!(solve_shards_sparse(4, &[]).is_empty());
     }
 }

@@ -271,6 +271,60 @@ impl Platform {
         }
     }
 
+    /// One cell of [`Self::utility_matrix`]: the predicted utility of
+    /// pairing batch row `row` (`request`) with broker `b`, including
+    /// any injected corruption for that cell. Bit-identical to
+    /// `utility_matrix_into(..)[row, b]` — the matrix fill evaluates the
+    /// model per cell and overwrites corrupted cells the same way — so
+    /// streaming consumers (the fused score+select kernel) see exactly
+    /// the dense matrix without materialising it.
+    pub fn pair_utility(&self, row: usize, request: &Request, b: usize) -> f64 {
+        let mut u = self.utility.utility(request, &self.brokers[b]);
+        if let Some(plan) = &self.faults {
+            if let Some(bad) = plan.corrupt_utility(self.day_index, self.batch_index, row, b) {
+                u = bad;
+            }
+        }
+        u
+    }
+
+    /// One *row* of [`Self::utility_matrix`] restricted to a column
+    /// subset: `out[j] = pair_utility(row, request, cols[j])`. `cols`
+    /// must be sorted and duplicate-free (an availability mask). The
+    /// batched form keeps the model evaluation in a tight loop (no
+    /// per-cell fault-plan branch when no plan is armed), which is what
+    /// the fused score+select kernel streams over; each cell is
+    /// bit-identical to the dense fill.
+    pub fn pair_utilities_into(
+        &self,
+        row: usize,
+        request: &Request,
+        cols: &[usize],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(cols.len(), out.len());
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be sorted and unique");
+        if cols.len() == self.brokers.len() {
+            // `cols` is sorted and duplicate-free, so covering every
+            // broker means it IS the identity — score sequentially like
+            // the dense fill instead of gathering through the indices.
+            for (slot, broker) in out.iter_mut().zip(&self.brokers) {
+                *slot = self.utility.utility(request, broker);
+            }
+        } else {
+            for (slot, &b) in out.iter_mut().zip(cols) {
+                *slot = self.utility.utility(request, &self.brokers[b]);
+            }
+        }
+        if let Some(plan) = &self.faults {
+            for (slot, &b) in out.iter_mut().zip(cols) {
+                if let Some(bad) = plan.corrupt_utility(self.day_index, self.batch_index, row, b) {
+                    *slot = bad;
+                }
+            }
+        }
+    }
+
     /// Execute one batch assignment: `assignment[r]` is the broker id
     /// serving request `r` of the batch, or `None` if unserved.
     ///

@@ -283,6 +283,14 @@ pub struct StageBreakdown {
     /// Rounds the adaptive sequential cutoff kept inline despite a
     /// multi-thread configuration.
     pub inline_rounds: u64,
+    /// Seconds inside the fused score+select kernel building CSR
+    /// candidate graphs (the sparse path's analogue of matrix fill +
+    /// `cbs_select_secs`).
+    pub sparse_build_secs: f64,
+    /// Request rows routed through the sparse assignment path.
+    pub sparse_rows: u64,
+    /// Candidate edges (CSR non-zeros) emitted by the fused kernel.
+    pub sparse_edges: u64,
 }
 
 impl StageBreakdown {
@@ -295,6 +303,9 @@ impl StageBreakdown {
         self.pool_sync_secs += other.pool_sync_secs;
         self.parallel_rounds += other.parallel_rounds;
         self.inline_rounds += other.inline_rounds;
+        self.sparse_build_secs += other.sparse_build_secs;
+        self.sparse_rows += other.sparse_rows;
+        self.sparse_edges += other.sparse_edges;
     }
 }
 

@@ -62,7 +62,9 @@ impl UtilityModel {
         brokers: &[BrokerProfile],
         out: &mut UtilityMatrix,
     ) {
-        out.reset(requests.len(), brokers.len());
+        // Every cell is written below; skip `reset`'s redundant
+        // zero-fill (pure memory bandwidth on the hot path).
+        out.reshape_for_overwrite(requests.len(), brokers.len());
         for (r, req) in requests.iter().enumerate() {
             let row = out.row_mut(r);
             for (b, broker) in brokers.iter().enumerate() {
